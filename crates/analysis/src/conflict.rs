@@ -1,0 +1,188 @@
+//! Conflict-graph measurement (paper §3.1).
+//!
+//! Two samples conflict when they share at least one feature; a lock-free
+//! update pair on conflicting samples can interleave destructively, which
+//! is why the Hogwild guarantees degrade as the average conflict degree Δ̄
+//! grows. Exact Δ̄ costs `O(Σ_i Σ_{f∈c_i} m_f)` time via inverted lists;
+//! for large datasets a uniform row sample gives an unbiased estimate.
+
+use isasgd_sparse::Dataset;
+
+/// Conflict-graph summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConflictStats {
+    /// Average degree Δ̄ of the conflict graph (possibly estimated).
+    pub avg_degree: f64,
+    /// Maximum degree over the measured rows.
+    pub max_degree: usize,
+    /// Δ̄ / n — the quantity entering the τ budget `τ = O(n/Δ̄)` (Eq. 27).
+    pub normalized_degree: f64,
+    /// Number of rows whose degree was measured (n for exact).
+    pub measured_rows: usize,
+    /// True when every row was measured.
+    pub exact: bool,
+}
+
+impl ConflictStats {
+    /// Exact Δ̄ over all rows. Quadratic in the worst case — intended for
+    /// datasets up to ~10⁴ rows; above that use [`ConflictStats::estimate`].
+    pub fn exact(ds: &Dataset) -> ConflictStats {
+        Self::measure(ds, &(0..ds.n_samples()).collect::<Vec<_>>(), true)
+    }
+
+    /// Unbiased estimate of Δ̄ from `sample_size` uniformly chosen rows
+    /// (deterministic under `seed`).
+    pub fn estimate(ds: &Dataset, sample_size: usize, seed: u64) -> ConflictStats {
+        let n = ds.n_samples();
+        if sample_size >= n {
+            return Self::exact(ds);
+        }
+        // Partial Fisher–Yates over row ids with an inline xorshift.
+        let mut ids: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in 0..sample_size {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = i + (state % (n - i) as u64) as usize;
+            ids.swap(i, j);
+        }
+        ids.truncate(sample_size);
+        Self::measure(ds, &ids, false)
+    }
+
+    fn measure(ds: &Dataset, rows: &[usize], exact: bool) -> ConflictStats {
+        let n = ds.n_samples();
+        if n == 0 || rows.is_empty() {
+            return ConflictStats {
+                avg_degree: 0.0,
+                max_degree: 0,
+                normalized_degree: 0.0,
+                measured_rows: 0,
+                exact,
+            };
+        }
+        // Inverted index: feature -> rows containing it.
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); ds.dim()];
+        for (i, row) in ds.rows().enumerate() {
+            for &f in row.indices {
+                lists[f as usize].push(i as u32);
+            }
+        }
+        // Epoch-stamped visited array avoids clearing between rows.
+        let mut stamp = vec![u32::MAX; n];
+        let mut total: u64 = 0;
+        let mut max_degree = 0usize;
+        for (epoch, &i) in rows.iter().enumerate() {
+            let epoch = epoch as u32;
+            let mut degree = 0usize;
+            for &f in ds.row(i).indices {
+                for &j in &lists[f as usize] {
+                    let j = j as usize;
+                    if j != i && stamp[j] != epoch {
+                        stamp[j] = epoch;
+                        degree += 1;
+                    }
+                }
+            }
+            total += degree as u64;
+            max_degree = max_degree.max(degree);
+        }
+        let avg = total as f64 / rows.len() as f64;
+        ConflictStats {
+            avg_degree: avg,
+            max_degree,
+            normalized_degree: avg / n as f64,
+            measured_rows: rows.len(),
+            exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isasgd_sparse::DatasetBuilder;
+
+    fn ds_from(rows: &[&[(u32, f64)]], dim: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(dim);
+        for r in rows {
+            b.push_row(r, 1.0).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn disjoint_rows_have_zero_degree() {
+        let d = ds_from(&[&[(0, 1.0)], &[(1, 1.0)], &[(2, 1.0)]], 3);
+        let s = ConflictStats::exact(&d);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn shared_feature_makes_clique() {
+        // All three rows share feature 0 ⇒ complete graph, degree 2 each.
+        let d = ds_from(&[&[(0, 1.0)], &[(0, 1.0), (1, 1.0)], &[(0, 1.0), (2, 1.0)]], 3);
+        let s = ConflictStats::exact(&d);
+        assert_eq!(s.avg_degree, 2.0);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.normalized_degree - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_structure() {
+        // 0-1 share f1, 1-2 share f2; 0 and 2 disjoint.
+        let d = ds_from(&[&[(0, 1.0)], &[(0, 1.0), (1, 1.0)], &[(1, 1.0)]], 2);
+        let s = ConflictStats::exact(&d);
+        assert!((s.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn degree_not_double_counted_for_multi_shared_features() {
+        // Rows share TWO features but are still one edge apart.
+        let d = ds_from(&[&[(0, 1.0), (1, 1.0)], &[(0, 2.0), (1, 2.0)]], 2);
+        let s = ConflictStats::exact(&d);
+        assert_eq!(s.avg_degree, 1.0);
+    }
+
+    #[test]
+    fn estimate_close_to_exact() {
+        // Random-ish structured dataset.
+        let mut b = DatasetBuilder::new(50);
+        for i in 0..400u32 {
+            let f1 = i % 50;
+            let f2 = (i * 7 + 3) % 50;
+            if f1 == f2 {
+                b.push_row(&[(f1, 1.0)], 1.0).unwrap();
+            } else {
+                b.push_row(&[(f1.min(f2), 1.0), (f1.max(f2), 1.0)], 1.0).unwrap();
+            }
+        }
+        let d = b.finish();
+        let ex = ConflictStats::exact(&d);
+        let est = ConflictStats::estimate(&d, 100, 7);
+        assert!(!est.exact);
+        assert_eq!(est.measured_rows, 100);
+        let rel = (est.avg_degree - ex.avg_degree).abs() / ex.avg_degree;
+        assert!(rel < 0.2, "estimate {} vs exact {}", est.avg_degree, ex.avg_degree);
+    }
+
+    #[test]
+    fn estimate_with_oversized_sample_is_exact() {
+        let d = ds_from(&[&[(0, 1.0)], &[(0, 1.0)]], 1);
+        let s = ConflictStats::estimate(&d, 100, 1);
+        assert!(s.exact);
+        assert_eq!(s.measured_rows, 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = DatasetBuilder::new(4).finish();
+        let s = ConflictStats::exact(&d);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.measured_rows, 0);
+    }
+}

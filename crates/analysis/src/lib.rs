@@ -1,0 +1,29 @@
+//! Conflict-graph statistics and convergence-bound calculators (paper §3).
+//!
+//! The perturbed-iterate analysis the paper builds on (Mania et al. 2017)
+//! characterizes asynchrony noise through two quantities:
+//!
+//! * the **delay parameter τ** — the maximum lag between gradient
+//!   computation and application, used as the proxy for concurrency, and
+//! * the **conflict parameter Δ̄** — the average degree of the conflict
+//!   graph whose vertices are samples and whose edges connect samples with
+//!   overlapping feature support.
+//!
+//! [`conflict`] measures Δ̄ (exactly or by sampling) from a dataset;
+//! [`theory`] evaluates the closed-form bounds of Eqs. 13/14 and Lemma 2
+//! (Eqs. 26–28), including the τ budget of Eq. 27 under which IS-ASGD
+//! retains IS-SGD's convergence bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod theory;
+pub mod variance;
+
+pub use conflict::ConflictStats;
+pub use theory::{
+    is_asgd_iteration_bound, is_improvement_factor, recommended_step_size,
+    sgd_iteration_bound, tau_budget, BoundInputs,
+};
+pub use variance::{gradient_variance, VarianceReport};

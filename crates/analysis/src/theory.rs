@@ -1,0 +1,230 @@
+//! Closed-form convergence bounds (paper §2.2 and Lemma 2).
+
+/// Problem constants shared by the bound formulas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundInputs {
+    /// Strong-convexity modulus µ (Eq. 5).
+    pub mu: f64,
+    /// Residual σ² = E‖∇f_i(w*)‖² at the optimum.
+    pub sigma_sq: f64,
+    /// Target accuracy ε for E‖w_k − w*‖².
+    pub epsilon: f64,
+    /// Initial error ε₀ = max_t E‖ŵ_t − w*‖² (≈ ‖w₀ − w*‖²).
+    pub epsilon0: f64,
+}
+
+impl BoundInputs {
+    /// Validates that all constants are positive and finite.
+    pub fn validate(&self) -> bool {
+        [self.mu, self.sigma_sq, self.epsilon, self.epsilon0]
+            .iter()
+            .all(|x| x.is_finite() && *x > 0.0)
+            && self.epsilon0 >= self.epsilon
+    }
+}
+
+/// Lipschitz-constant summary needed by the bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LipschitzSummary {
+    /// sup L over samples.
+    pub sup: f64,
+    /// Mean L̄.
+    pub mean: f64,
+    /// inf L over samples.
+    pub inf: f64,
+}
+
+impl LipschitzSummary {
+    /// Computes sup/mean/inf of a weight vector.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let n = weights.len().max(1) as f64;
+        LipschitzSummary {
+            sup: weights.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: weights.iter().sum::<f64>() / n,
+            inf: weights.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// Uniform-sampling SGD iteration bound (paper Eq. 28, Needell et al.):
+/// `k = 2·log(ε₀/ε)·(supL/µ + σ²/(µ²ε))`.
+pub fn sgd_iteration_bound(inp: &BoundInputs, l: &LipschitzSummary) -> f64 {
+    2.0 * (inp.epsilon0 / inp.epsilon).ln()
+        * (l.sup / inp.mu + inp.sigma_sq / (inp.mu * inp.mu * inp.epsilon))
+}
+
+/// IS-SGD / IS-ASGD iteration bound (paper Eq. 26/29):
+/// `k = 2·log(ε₀/ε)·(L̄/µ + (L̄/infL)·σ²/(µ²ε))`.
+///
+/// Lemma 2 shows IS-ASGD obeys the same bound up to an order-wise constant
+/// provided τ stays within [`tau_budget`].
+pub fn is_asgd_iteration_bound(inp: &BoundInputs, l: &LipschitzSummary) -> f64 {
+    2.0 * (inp.epsilon0 / inp.epsilon).ln()
+        * (l.mean / inp.mu + (l.mean / l.inf) * inp.sigma_sq / (inp.mu * inp.mu * inp.epsilon))
+}
+
+/// The delay budget of Eq. 27:
+/// `τ = O(min{ n/Δ̄, (εµ·supL + σ²)/(εµ²) })`.
+///
+/// Within this budget the asynchrony noise term δ of Eq. 25 stays an
+/// order-wise constant and IS-ASGD inherits IS-SGD's bound.
+pub fn tau_budget(inp: &BoundInputs, l: &LipschitzSummary, n: usize, avg_degree: f64) -> f64 {
+    let structural = if avg_degree > 0.0 {
+        n as f64 / avg_degree
+    } else {
+        f64::INFINITY
+    };
+    let statistical =
+        (inp.epsilon * inp.mu * l.sup + inp.sigma_sq) / (inp.epsilon * inp.mu * inp.mu);
+    structural.min(statistical)
+}
+
+/// The step size used in Lemma 2: `λ = εµ / (2εµ·supL + 2σ²)`.
+pub fn recommended_step_size(inp: &BoundInputs, l: &LipschitzSummary) -> f64 {
+    inp.epsilon * inp.mu / (2.0 * inp.epsilon * inp.mu * l.sup + 2.0 * inp.sigma_sq)
+}
+
+/// The convergence-bound improvement factor of IS over uniform sampling
+/// implied by Eqs. 13–14: `sqrt(n·ΣL² ) / ΣL = 1/sqrt(ψ/n)`.
+///
+/// Always ≥ 1 by Cauchy–Schwarz; equals 1 iff all L_i are equal. Lower
+/// Table-1 ψ/n (e.g. KDD Bridge 0.877) ⇒ larger IS gain, which is the
+/// paper's explanation for Fig. 3's dataset ordering.
+pub fn is_improvement_factor(weights: &[f64]) -> f64 {
+    let n = weights.len() as f64;
+    let sum: f64 = weights.iter().sum();
+    let sum_sq: f64 = weights.iter().map(|&l| l * l).sum();
+    if sum <= 0.0 {
+        return 1.0;
+    }
+    (n * sum_sq).sqrt() / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> BoundInputs {
+        // supL-dominated regime (small residual σ²): the setting where IS
+        // provably helps — its gain trades supL for L̄ in the first term
+        // at the cost of an L̄/infL factor on the σ² term.
+        BoundInputs {
+            mu: 0.1,
+            sigma_sq: 1e-4,
+            epsilon: 0.1,
+            epsilon0: 1.0,
+        }
+    }
+
+    fn skewed() -> LipschitzSummary {
+        LipschitzSummary {
+            sup: 10.0,
+            mean: 1.0,
+            inf: 0.5,
+        }
+    }
+
+    #[test]
+    fn validate_inputs() {
+        assert!(inputs().validate());
+        let mut bad = inputs();
+        bad.mu = 0.0;
+        assert!(!bad.validate());
+        bad = inputs();
+        bad.epsilon = 2.0; // larger than epsilon0
+        assert!(!bad.validate());
+    }
+
+    #[test]
+    fn summary_from_weights() {
+        let s = LipschitzSummary::from_weights(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.sup, 3.0);
+        assert_eq!(s.inf, 1.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_bound_beats_sgd_when_sup_dominates() {
+        // supL ≫ L̄: the regime the paper targets (heavy-tailed importance).
+        let inp = inputs();
+        let l = skewed();
+        let k_sgd = sgd_iteration_bound(&inp, &l);
+        let k_is = is_asgd_iteration_bound(&inp, &l);
+        assert!(
+            k_is < k_sgd,
+            "IS bound {k_is} should beat uniform bound {k_sgd}"
+        );
+    }
+
+    #[test]
+    fn bounds_equal_for_uniform_lipschitz() {
+        let inp = inputs();
+        let l = LipschitzSummary {
+            sup: 2.0,
+            mean: 2.0,
+            inf: 2.0,
+        };
+        let k_sgd = sgd_iteration_bound(&inp, &l);
+        let k_is = is_asgd_iteration_bound(&inp, &l);
+        assert!((k_sgd - k_is).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_scale_with_log_accuracy() {
+        let l = skewed();
+        let mut tight = inputs();
+        tight.epsilon = 1e-6;
+        // Tighter ε ⇒ more iterations.
+        assert!(sgd_iteration_bound(&tight, &l) > sgd_iteration_bound(&inputs(), &l));
+    }
+
+    #[test]
+    fn tau_budget_structural_term() {
+        let inp = inputs();
+        let l = skewed();
+        // Very high conflict degree ⇒ structural term dominates.
+        let tau = tau_budget(&inp, &l, 1000, 500.0);
+        assert!((tau - 2.0).abs() < 1e-9);
+        // Zero conflicts ⇒ statistical term only.
+        let tau2 = tau_budget(&inp, &l, 1000, 0.0);
+        let expect = (inp.epsilon * inp.mu * l.sup + inp.sigma_sq)
+            / (inp.epsilon * inp.mu * inp.mu);
+        assert!((tau2 - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tau_budget_monotone_in_sparsity() {
+        let inp = inputs();
+        let l = skewed();
+        // Sparser data (lower Δ̄) tolerates more delay.
+        let dense = tau_budget(&inp, &l, 1000, 900.0);
+        let sparse = tau_budget(&inp, &l, 1000, 9.0);
+        assert!(sparse >= dense);
+    }
+
+    #[test]
+    fn step_size_positive_and_small() {
+        let lam = recommended_step_size(&inputs(), &skewed());
+        assert!(lam > 0.0 && lam < 1.0);
+    }
+
+    #[test]
+    fn improvement_factor_cauchy_schwarz() {
+        assert!((is_improvement_factor(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let f = is_improvement_factor(&[1.0, 2.0, 30.0]);
+        assert!(f > 1.0);
+        // Table 1 figures: ψ/n = 0.877 ⇒ factor ≈ 1/sqrt(0.877) ≈ 1.0679.
+        let w = [1.0, 1.8]; // any vector with ψ/n = target is fine; just check formula
+        let psi_norm = {
+            let s: f64 = w.iter().sum();
+            let ss: f64 = w.iter().map(|x| x * x).sum();
+            s * s / (ss * w.len() as f64)
+        };
+        assert!((is_improvement_factor(&w) - 1.0 / psi_norm.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_factor_degenerate() {
+        assert_eq!(is_improvement_factor(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The staleness update engine: Eq. 21's `w_{t+1} = w_t − λ∇f_it(ŵ_t)`.
+
+use crate::queue::DelayQueue;
+use isasgd_losses::{Loss, Objective};
+use isasgd_sparse::Dataset;
+
+/// One in-flight update: `w += coeff·x_row`, then an on-support
+/// regularizer step scaled by `reg_scale` (both already include −λ and the
+/// IS correction `1/(n·p_i)`).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingUpdate {
+    /// Row whose feature vector carries the gradient direction.
+    pub row: u32,
+    /// Multiplier for the sparse axpy (−λ·corr·ℓ'(m)·y).
+    pub coeff: f64,
+    /// Multiplier for the on-support regularizer subgradient (λ·corr).
+    pub reg_scale: f64,
+}
+
+/// Deterministic perturbed-iterate engine.
+///
+/// Each [`StalenessEngine::step`] computes the stochastic gradient of one
+/// sample against the *currently visible* model — which is missing the
+/// τ updates still in flight, i.e. it is the perturbed iterate `ŵ_t` —
+/// and enqueues the update; the update whose delay expired is applied.
+///
+/// The regularizer is applied lazily on the sample's support at apply
+/// time, mirroring how sparse ASGD implementations avoid `O(d)`
+/// regularization scans (see `isasgd-losses::regularizer`).
+#[derive(Debug)]
+pub struct StalenessEngine<'a, L: Loss> {
+    ds: &'a Dataset,
+    obj: &'a Objective<L>,
+    w: Vec<f64>,
+    queue: DelayQueue<PendingUpdate>,
+    step_size: f64,
+    steps: u64,
+    applied: u64,
+}
+
+impl<'a, L: Loss> StalenessEngine<'a, L> {
+    /// Creates an engine over `ds` with delay `tau`, starting from w = 0.
+    pub fn new(ds: &'a Dataset, obj: &'a Objective<L>, tau: usize, step_size: f64) -> Self {
+        Self::with_model(ds, obj, tau, step_size, vec![0.0; ds.dim()])
+    }
+
+    /// Creates an engine starting from an existing model vector.
+    pub fn with_model(
+        ds: &'a Dataset,
+        obj: &'a Objective<L>,
+        tau: usize,
+        step_size: f64,
+        w: Vec<f64>,
+    ) -> Self {
+        assert_eq!(w.len(), ds.dim(), "model dimension mismatch");
+        Self {
+            ds,
+            obj,
+            w,
+            queue: DelayQueue::new(tau),
+            step_size,
+            steps: 0,
+            applied: 0,
+        }
+    }
+
+    /// Takes one logical step on sample `row` with IS step correction
+    /// `correction` (1 for uniform sampling, `L̄/L_i` for IS).
+    #[inline]
+    pub fn step(&mut self, row: u32, correction: f64) {
+        let r = self.ds.row(row as usize);
+        let margin = self.obj.margin(&r, &self.w);
+        let g = self.obj.grad_scale(&r, margin);
+        let upd = PendingUpdate {
+            row,
+            coeff: -self.step_size * correction * g,
+            reg_scale: self.step_size * correction,
+        };
+        self.steps += 1;
+        if let Some(expired) = self.queue.push(upd) {
+            self.apply(expired);
+        }
+    }
+
+    fn apply(&mut self, u: PendingUpdate) {
+        let r = self.ds.row(u.row as usize);
+        for (&j, &x) in r.indices.iter().zip(r.values) {
+            let j = j as usize;
+            let wj = self.w[j] + u.coeff * x;
+            self.w[j] = wj - u.reg_scale * self.obj.reg.grad_coord(wj);
+        }
+        self.applied += 1;
+    }
+
+    /// Applies all in-flight updates (epoch-boundary barrier).
+    pub fn flush(&mut self) {
+        // Drain into a buffer to appease the borrow checker; τ is small.
+        let pending: Vec<PendingUpdate> = self.queue.drain().collect();
+        for u in pending {
+            self.apply(u);
+        }
+    }
+
+    /// The currently visible model (excludes in-flight updates).
+    pub fn model(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Consumes the engine, returning the model (flushing first).
+    pub fn into_model(mut self) -> Vec<f64> {
+        self.flush();
+        self.w
+    }
+
+    /// Gradient steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Updates applied so far (≤ steps; differs by in-flight count).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The configured delay τ.
+    pub fn tau(&self) -> usize {
+        self.queue.tau()
+    }
+
+    /// The configured step size λ.
+    pub fn step_size(&self) -> f64 {
+        self.step_size
+    }
+
+    /// Replaces the step size (for step-size schedules between epochs).
+    pub fn set_step_size(&mut self, lambda: f64) {
+        self.step_size = lambda;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isasgd_losses::{LogisticLoss, Regularizer};
+    use isasgd_sparse::DatasetBuilder;
+
+    fn ds() -> Dataset {
+        let mut b = DatasetBuilder::new(3);
+        b.push_row(&[(0, 1.0), (1, 0.5)], 1.0).unwrap();
+        b.push_row(&[(1, 1.0), (2, -0.5)], -1.0).unwrap();
+        b.push_row(&[(0, -1.0), (2, 2.0)], 1.0).unwrap();
+        b.finish()
+    }
+
+    fn sequential_sgd(
+        ds: &Dataset,
+        obj: &Objective<LogisticLoss>,
+        order: &[u32],
+        lambda: f64,
+    ) -> Vec<f64> {
+        let mut w = vec![0.0; ds.dim()];
+        for &i in order {
+            let r = ds.row(i as usize);
+            let m = obj.margin(&r, &w);
+            let g = obj.grad_scale(&r, m);
+            for (&j, &x) in r.indices.iter().zip(r.values) {
+                let j = j as usize;
+                let wj = w[j] - lambda * g * x;
+                w[j] = wj - lambda * obj.reg.grad_coord(wj);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn tau_zero_is_exact_sgd() {
+        let d = ds();
+        let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 0.01 });
+        let order = [0u32, 1, 2, 1, 0, 2, 2, 1];
+        let mut eng = StalenessEngine::new(&d, &obj, 0, 0.3);
+        for &i in &order {
+            eng.step(i, 1.0);
+        }
+        let expect = sequential_sgd(&d, &obj, &order, 0.3);
+        assert_eq!(eng.model(), expect.as_slice(), "τ=0 must be bit-exact SGD");
+        assert_eq!(eng.steps(), 8);
+        assert_eq!(eng.applied(), 8);
+    }
+
+    #[test]
+    fn tau_delays_application() {
+        let d = ds();
+        let obj = Objective::new(LogisticLoss, Regularizer::None);
+        let mut eng = StalenessEngine::new(&d, &obj, 4, 0.3);
+        eng.step(0, 1.0);
+        eng.step(1, 1.0);
+        // Nothing applied yet: model still zero.
+        assert_eq!(eng.model(), &[0.0, 0.0, 0.0]);
+        assert_eq!(eng.applied(), 0);
+        eng.flush();
+        assert_eq!(eng.applied(), 2);
+        assert!(eng.model().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn flushed_tau_run_differs_from_sgd_but_stays_finite() {
+        let d = ds();
+        let obj = Objective::new(LogisticLoss, Regularizer::None);
+        let order: Vec<u32> = (0..60).map(|i| i % 3).collect();
+        let mut eng = StalenessEngine::new(&d, &obj, 8, 0.5);
+        for &i in &order {
+            eng.step(i, 1.0);
+        }
+        eng.flush();
+        let sgd = sequential_sgd(&d, &obj, &order, 0.5);
+        assert_ne!(eng.model(), sgd.as_slice(), "τ>0 should perturb the trajectory");
+        assert!(eng.model().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn is_correction_scales_step() {
+        let d = ds();
+        let obj = Objective::new(LogisticLoss, Regularizer::None);
+        let mut a = StalenessEngine::new(&d, &obj, 0, 0.1);
+        a.step(0, 2.0);
+        let mut b = StalenessEngine::new(&d, &obj, 0, 0.2);
+        b.step(0, 1.0);
+        // λ·corr identical ⇒ identical first step.
+        assert_eq!(a.model(), b.model());
+    }
+
+    #[test]
+    fn into_model_flushes() {
+        let d = ds();
+        let obj = Objective::new(LogisticLoss, Regularizer::None);
+        let mut eng = StalenessEngine::new(&d, &obj, 16, 0.3);
+        eng.step(0, 1.0);
+        let w = eng.into_model();
+        assert!(w.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn step_size_schedule() {
+        let d = ds();
+        let obj = Objective::new(LogisticLoss, Regularizer::None);
+        let mut eng = StalenessEngine::new(&d, &obj, 0, 0.3);
+        assert_eq!(eng.step_size(), 0.3);
+        eng.set_step_size(0.15);
+        assert_eq!(eng.step_size(), 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_model_dim_panics() {
+        let d = ds();
+        let obj = Objective::new(LogisticLoss, Regularizer::None);
+        let _ = StalenessEngine::with_model(&d, &obj, 0, 0.1, vec![0.0; 2]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 1 kernel bench: index-compressed vs dense-µ model updates.
+//!
+//! `cargo bench -p isasgd-bench --bench fig1_update_cost`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_bench::bench_dataset;
+use std::hint::black_box;
+
+fn update_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_update");
+    for &dim in &[1_000usize, 10_000, 100_000] {
+        let data = bench_dataset(dim, 400, 20);
+        let ds = &data.dataset;
+        let mut w = vec![0.0f64; dim];
+        let mu = vec![1e-6f64; dim];
+        group.throughput(Throughput::Elements(1));
+
+        group.bench_with_input(BenchmarkId::new("sparse_axpy", dim), &dim, |b, _| {
+            let mut t = 0usize;
+            b.iter(|| {
+                let row = ds.row(t % ds.n_samples());
+                row.axpy_into(black_box(-1e-9), &mut w);
+                t += 1;
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("sparse_plus_dense_mu", dim), &dim, |b, _| {
+            let mut t = 0usize;
+            b.iter(|| {
+                let row = ds.row(t % ds.n_samples());
+                row.axpy_into(black_box(-1e-9), &mut w);
+                for (wj, &mj) in w.iter_mut().zip(&mu) {
+                    *wj -= 1e-9 * mj;
+                }
+                t += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, update_kernels);
+criterion_main!(benches);

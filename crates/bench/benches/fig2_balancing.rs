@@ -1,0 +1,34 @@
+//! Figure 2 bench: the balancing pass itself — Algorithm 3 head-tail,
+//! the greedy-LPT extension, and random shuffling, across sizes.
+//!
+//! `cargo bench -p isasgd-bench --bench fig2_balancing`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_balance::{greedy_lpt_balance, head_tail_balance, random_shuffle_order};
+use isasgd_sampling::Xoshiro256pp;
+use std::hint::black_box;
+
+fn balancing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_balancing");
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = Xoshiro256pp::new(7);
+        let weights: Vec<f64> = (0..n).map(|_| (rng.next_f64() * 3.0).exp()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("head_tail_alg3", n), &n, |b, _| {
+            b.iter(|| black_box(head_tail_balance(&weights)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("greedy_lpt", n), &n, |b, _| {
+            b.iter(|| black_box(greedy_lpt_balance(&weights, 16).unwrap()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("random_shuffle", n), &n, |b, _| {
+            b.iter(|| black_box(random_shuffle_order(n, 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, balancing);
+criterion_main!(benches);

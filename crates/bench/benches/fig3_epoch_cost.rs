@@ -1,0 +1,35 @@
+//! Figure 3 kernel bench: one *epoch* of each algorithm at fixed τ —
+//! the iterative-convergence axis is only meaningful because IS-ASGD's
+//! epoch cost matches ASGD's while SVRG-ASGD's explodes.
+//!
+//! `cargo bench -p isasgd-bench --bench fig3_epoch_cost`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_bench::bench_dataset;
+use isasgd_core::{train, Algorithm, Execution, SvrgVariant, TrainConfig};
+use isasgd_losses::{LogisticLoss, Objective, Regularizer};
+use std::hint::black_box;
+
+fn epoch_cost(c: &mut Criterion) {
+    let data = bench_dataset(20_000, 2_000, 15);
+    let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
+    let cfg = TrainConfig::default().with_epochs(1).with_step_size(0.3);
+    let exec = Execution::Simulated { tau: 16, workers: 4 };
+
+    let mut group = c.benchmark_group("fig3_epoch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.dataset.n_samples() as u64));
+    for (algo, label) in [
+        (Algorithm::Asgd, "asgd"),
+        (Algorithm::IsAsgd, "is_asgd"),
+        (Algorithm::SvrgAsgd(SvrgVariant::Literature), "svrg_asgd"),
+    ] {
+        group.bench_with_input(BenchmarkId::new("epoch", label), &algo, |b, &a| {
+            b.iter(|| black_box(train(&data.dataset, &obj, a, exec, &cfg, "bench").unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, epoch_cost);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 4 bench: end-to-end wall-clock of real-thread Hogwild ASGD vs
+//! IS-ASGD for a fixed epoch budget (the absolute-convergence axis).
+//!
+//! `cargo bench -p isasgd-bench --bench fig4_wallclock`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_bench::bench_dataset;
+use isasgd_core::{train, Algorithm, Execution, TrainConfig};
+use isasgd_losses::{LogisticLoss, Objective, Regularizer};
+use std::hint::black_box;
+
+fn wallclock(c: &mut Criterion) {
+    let data = bench_dataset(50_000, 5_000, 20);
+    let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
+    let cfg = TrainConfig::default().with_epochs(3).with_step_size(0.3);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+
+    let mut group = c.benchmark_group("fig4_wallclock");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(3 * data.dataset.n_samples() as u64));
+    for (algo, label) in [(Algorithm::Asgd, "asgd"), (Algorithm::IsAsgd, "is_asgd")] {
+        for &k in &[1usize, host] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("threads_{k}")),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        black_box(
+                            train(&data.dataset, &obj, algo, Execution::Threads(k), &cfg, "bench")
+                                .unwrap(),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wallclock);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 5 kernel bench: time-to-target interpolation and speedup-curve
+//! extraction from convergence traces.
+//!
+//! `cargo bench -p isasgd-bench --bench fig5_interpolation`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isasgd_metrics::speedup::{speedup_curve, SpeedupSummary};
+use isasgd_metrics::{interpolate::time_to_error, Trace, TracePoint};
+use std::hint::black_box;
+
+fn synthetic_trace(name: &str, scale: f64, points: usize) -> Trace {
+    let mut t = Trace::new(name, "bench", 16, 0.5);
+    for i in 0..points {
+        let x = (i + 1) as f64;
+        t.push(TracePoint {
+            epoch: x,
+            wall_secs: x * scale,
+            objective: 1.0 / x,
+            rmse: 1.0 / x.sqrt(),
+            error_rate: 0.5 / x,
+        });
+    }
+    t
+}
+
+fn interpolation(c: &mut Criterion) {
+    let base = synthetic_trace("ASGD", 1.0, 500);
+    let fast = synthetic_trace("IS-ASGD", 0.7, 500);
+    let targets: Vec<f64> = (1..100).map(|i| 0.5 / i as f64).collect();
+
+    c.bench_function("fig5/time_to_error", |b| {
+        b.iter(|| black_box(time_to_error(&base, black_box(0.01))));
+    });
+    c.bench_function("fig5/speedup_curve_100_targets", |b| {
+        b.iter(|| black_box(speedup_curve(&base, &fast, &targets)));
+    });
+    c.bench_function("fig5/speedup_summary", |b| {
+        b.iter(|| black_box(SpeedupSummary::compute(&base, &fast, 24)));
+    });
+}
+
+criterion_group!(benches, interpolation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Algorithm 2 kernel bench: weighted-draw throughput — the property that
+//! makes IS "free" at run time is that an alias-table draw costs the same
+//! as a uniform draw.
+//!
+//! `cargo bench -p isasgd-bench --bench sampling_throughput`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_sampling::{AliasTable, FenwickSampler, SampleSequence, SequenceMode, Xoshiro256pp};
+use std::hint::black_box;
+
+fn samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for &n in &[1_000usize, 1_000_000] {
+        let mut rng = Xoshiro256pp::new(1);
+        let weights: Vec<f64> = (0..n).map(|_| rng.next_f64() + 0.01).collect();
+        let alias = AliasTable::new(&weights).unwrap();
+        let fenwick = FenwickSampler::new(&weights).unwrap();
+        group.throughput(Throughput::Elements(1));
+
+        group.bench_with_input(BenchmarkId::new("uniform_draw", n), &n, |b, &n| {
+            let mut r = Xoshiro256pp::new(2);
+            b.iter(|| black_box(r.next_index(n)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("alias_draw", n), &n, |b, _| {
+            let mut r = Xoshiro256pp::new(3);
+            b.iter(|| black_box(alias.sample(&mut r)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("fenwick_draw", n), &n, |b, _| {
+            let mut r = Xoshiro256pp::new(4);
+            b.iter(|| black_box(fenwick.sample(&mut r)));
+        });
+    }
+
+    // Per-epoch sequence refresh: regenerate vs shuffle-once (§4.2).
+    let mut rng = Xoshiro256pp::new(5);
+    let weights: Vec<f64> = (0..100_000).map(|_| rng.next_f64() + 0.01).collect();
+    group.throughput(Throughput::Elements(100_000));
+    for (mode, label) in [
+        (SequenceMode::RegeneratePerEpoch, "seq_regenerate"),
+        (SequenceMode::ShuffleOnce, "seq_shuffle_once"),
+    ] {
+        let mut seq = SampleSequence::weighted(&weights, 100_000, mode, 6).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                seq.advance_epoch();
+                black_box(seq.indices()[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, samplers);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 1 bench: the cost of computing the dataset statistics and
+//! importance profile (dimension, density, ψ, ρ) that gate Algorithm 4.
+//!
+//! `cargo bench -p isasgd-bench --bench table1_stats`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_balance::ImportanceProfile;
+use isasgd_bench::bench_dataset;
+use isasgd_losses::{importance_weights, ImportanceScheme, LogisticLoss, Regularizer};
+use isasgd_sparse::DatasetStats;
+use std::hint::black_box;
+
+fn stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for &n in &[1_000usize, 10_000] {
+        let data = bench_dataset(20_000, n, 20);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("dataset_stats", n), &n, |b, _| {
+            b.iter(|| black_box(DatasetStats::compute(&data.dataset)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("importance_weights", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(importance_weights(
+                    &data.dataset,
+                    &LogisticLoss,
+                    Regularizer::None,
+                    ImportanceScheme::LipschitzSmoothness,
+                ))
+            });
+        });
+
+        let w = importance_weights(
+            &data.dataset,
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::LipschitzSmoothness,
+        );
+        group.bench_with_input(BenchmarkId::new("psi_rho_profile", n), &n, |b, _| {
+            b.iter(|| black_box(ImportanceProfile::compute(&w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stats);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared fixtures for the IS-ASGD benchmark suite.
+//!
+//! The benches mirror the experiment harness (`isasgd-experiments`) but
+//! measure the *kernels* behind each figure with criterion's statistical
+//! machinery: per-iteration update costs (Fig. 1), balancing passes
+//! (Fig. 2), epoch costs per algorithm (Fig. 3), end-to-end
+//! time-to-target (Fig. 4), and the samplers that make IS free at run
+//! time (Alg. 2).
+
+use isasgd_datagen::{generate, DatasetProfile, FeatureKind, GeneratedData};
+
+/// A small-but-realistic benchmark dataset: sparse rows, skewed feature
+/// popularity, skewed importance.
+pub fn bench_dataset(dim: usize, n: usize, mean_nnz: usize) -> GeneratedData {
+    let profile = DatasetProfile {
+        name: "bench",
+        dim,
+        n_samples: n,
+        mean_nnz,
+        zipf_exponent: 1.0,
+        target_psi_norm: 0.9,
+        target_rho: 3e-4,
+        label_noise: 0.02,
+        planted_density: 0.2,
+        feature_kind: FeatureKind::GaussianScaled,
+        noise_nnz_coupling: 1.0,
+    };
+    generate(&profile, 0xBE7C4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_generates() {
+        let d = bench_dataset(1000, 500, 10);
+        assert_eq!(d.dataset.n_samples(), 500);
+        assert_eq!(d.dataset.dim(), 1000);
+    }
+}

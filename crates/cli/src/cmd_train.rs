@@ -1,0 +1,203 @@
+//! `isasgd train` — train any solver of the family on a LibSVM file.
+
+use crate::opts::Opts;
+use crate::spec::{LossKind, TrainSpec};
+use isasgd_core::{
+    train, train_from, LogisticLoss, Objective, RunResult, SquaredHingeLoss, TrainConfig,
+};
+use isasgd_model::SavedModel;
+use isasgd_sparse::{holdout_split, Dataset};
+
+/// Runs the command; returns a process exit code.
+pub fn run(o: &Opts) -> i32 {
+    match run_inner(o) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("isasgd train: {e}");
+            2
+        }
+    }
+}
+
+fn run_inner(o: &Opts) -> Result<(), String> {
+    let data_path = o
+        .positional
+        .get(1)
+        .cloned()
+        .or_else(|| o.get("data"))
+        .ok_or("usage: isasgd train <data.svm> [flags] (see --help)")?;
+    let spec = TrainSpec::from_opts(o).map_err(|e| e.to_string())?;
+    let model_out = o.get("model");
+    let init_model = o.get("init-model");
+    let quiet = o.switch("quiet");
+    o.finish().map_err(|e| e.to_string())?;
+    let init: Option<Vec<f64>> = match &init_model {
+        Some(p) => {
+            let m = SavedModel::load(p).map_err(|e| e.to_string())?;
+            Some(m.to_dense())
+        }
+        None => None,
+    };
+
+    let ds = isasgd_sparse::libsvm::read_file(&data_path, None)
+        .map_err(|e| format!("reading {data_path}: {e}"))?;
+    if !quiet {
+        eprintln!(
+            "[load] {}: n={} d={} nnz={} density={:.2e}",
+            data_path,
+            ds.n_samples(),
+            ds.dim(),
+            ds.nnz(),
+            ds.density()
+        );
+    }
+
+    let (train_ds, test_ds) = if spec.holdout > 0.0 {
+        let (tr, te) = holdout_split(&ds, spec.holdout, spec.seed)
+            .map_err(|e| format!("holdout split: {e}"))?;
+        (tr, Some(te))
+    } else {
+        (ds, None)
+    };
+
+    let r = run_training(&spec, &train_ds, &data_path, init.as_deref())?;
+    report(&spec, &r, test_ds.as_ref(), quiet);
+
+    if let Some(path) = model_out {
+        let m = SavedModel::from_dense(
+            &r.model,
+            spec.algorithm.name(),
+            &data_path,
+            spec.step_size,
+            spec.epochs,
+            spec.seed,
+        )
+        .map_err(|e| e.to_string())?;
+        m.save(&path).map_err(|e| e.to_string())?;
+        if !quiet {
+            eprintln!("[save] model → {path} ({} non-zeros)", m.nnz());
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches over the (static) loss type.
+fn run_training(
+    spec: &TrainSpec,
+    ds: &Dataset,
+    name: &str,
+    init: Option<&[f64]>,
+) -> Result<RunResult, String> {
+    let mut cfg = TrainConfig::default()
+        .with_epochs(spec.epochs)
+        .with_step_size(spec.step_size)
+        .with_seed(spec.seed);
+    cfg.importance = spec.importance;
+    cfg.balance = spec.balance;
+    match (spec.loss, init) {
+        (LossKind::Logistic, None) => {
+            let obj = Objective::new(LogisticLoss, spec.regularizer);
+            train(ds, &obj, spec.algorithm, spec.execution, &cfg, name)
+        }
+        (LossKind::Logistic, Some(w0)) => {
+            let obj = Objective::new(LogisticLoss, spec.regularizer);
+            train_from(ds, &obj, spec.algorithm, spec.execution, &cfg, name, w0)
+        }
+        (LossKind::SquaredHinge, None) => {
+            let obj = Objective::new(SquaredHingeLoss, spec.regularizer);
+            train(ds, &obj, spec.algorithm, spec.execution, &cfg, name)
+        }
+        (LossKind::SquaredHinge, Some(w0)) => {
+            let obj = Objective::new(SquaredHingeLoss, spec.regularizer);
+            train_from(ds, &obj, spec.algorithm, spec.execution, &cfg, name, w0)
+        }
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn report(spec: &TrainSpec, r: &RunResult, test: Option<&Dataset>, quiet: bool) {
+    if !quiet {
+        for p in &r.trace.points {
+            eprintln!(
+                "[epoch {:>4}] t={:>8.3}s  obj={:<10.5} rmse={:<10.5} err={:.5}",
+                p.epoch, p.wall_secs, p.objective, p.rmse, p.error_rate
+            );
+        }
+    }
+    println!(
+        "algorithm={} epochs={} train_secs={:.3} setup_secs={:.4} final_obj={:.6} final_err={:.6}",
+        spec.algorithm.name(),
+        spec.epochs,
+        r.train_secs,
+        r.setup_secs,
+        r.final_metrics.objective,
+        r.final_metrics.error_rate
+    );
+    if let Some(te) = test {
+        // Held-out metrics under the same loss type.
+        let metrics = match spec.loss {
+            LossKind::Logistic => {
+                Objective::new(LogisticLoss, spec.regularizer).eval(te, &r.model)
+            }
+            LossKind::SquaredHinge => {
+                Objective::new(SquaredHingeLoss, spec.regularizer).eval(te, &r.model)
+            }
+        };
+        println!(
+            "holdout_n={} holdout_obj={:.6} holdout_err={:.6}",
+            te.n_samples(),
+            metrics.objective,
+            metrics.error_rate
+        );
+    }
+}
+
+/// Usage string for `--help`.
+pub const HELP: &str = "\
+isasgd train <data.svm> [flags]
+
+  --algo <name>      sgd | is-sgd | asgd | is-asgd | svrg | svrg-asgd |
+                     svrg-skipmu | saga                     [is-asgd]
+  --threads <k>      Hogwild threads (async solvers)        [2]
+  --tau <t>          simulate delay τ instead of threads    [off]
+  --workers <w>      simulated shards with --tau            [4]
+  --loss <name>      logistic | squared-hinge               [logistic]
+  --reg <kind>       none | l1 | l2                         [l1]
+  --eta <f>          regularization strength                [1e-5]
+  --scheme <name>    gradnorm | smoothness | partial | uniform [gradnorm]
+  --bias <f>         uniform mix for --scheme partial       [0.5]
+  --balance <name>   adaptive | head-tail | greedy | shuffle | identity
+  --epochs <n>       passes over the data                   [10]
+  --step <f>         step size λ                            [0.5]
+  --holdout <f>      held-out fraction for test metrics     [0]
+  --seed <n>         master seed
+  --model <path>     save the trained model as JSON
+  --init-model <p>   warm-start from a previously saved model
+  --quiet            suppress per-epoch progress
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Opts;
+
+    #[test]
+    fn missing_data_file_is_an_error() {
+        let o = Opts::parse(["train".to_string()]);
+        assert_eq!(run(&o), 2);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let o = Opts::parse(
+            ["train", "x.svm", "--nonsense", "1"].map(String::from),
+        );
+        assert_eq!(run(&o), 2);
+    }
+
+    #[test]
+    fn nonexistent_file_is_an_error() {
+        let o = Opts::parse(["train", "/no/such/file.svm"].map(String::from));
+        assert_eq!(run(&o), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! `isasgd` — command-line interface to the IS-ASGD solver family.
+//!
+//! ```text
+//! isasgd train   <data.svm> [flags]   train any solver, optionally save model
+//! isasgd predict <data.svm> --model m.json [--out preds.txt]
+//! isasgd info    <data.svm>           Table-1 stats, ψ/ρ, Δ̄, τ budget
+//! isasgd gen     --out f.svm          synthesize a calibrated dataset
+//! ```
+
+mod cmd_gen;
+mod cmd_info;
+mod cmd_predict;
+mod cmd_train;
+mod opts;
+mod spec;
+
+use opts::Opts;
+
+const HELP: &str = "\
+isasgd — lock-free asynchronous SGD with importance sampling (ICPP'18 repro)
+
+USAGE: isasgd <command> [args]
+
+COMMANDS
+  train     train SGD / IS-SGD / ASGD / IS-ASGD / SVRG / SAGA on LibSVM data
+  predict   score a LibSVM file with a saved model
+  info      dataset diagnostics (Table-1 stats, importance & conflict structure)
+  gen       synthesize a Table-1-calibrated dataset
+
+Run `isasgd <command> --help` for command flags.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = Opts::parse(args);
+    let cmd = o.positional.first().map(String::as_str);
+    if o.switch("help") {
+        let text = match cmd {
+            Some("train") => cmd_train::HELP,
+            Some("predict") => cmd_predict::HELP,
+            Some("info") => cmd_info::HELP,
+            Some("gen") => cmd_gen::HELP,
+            _ => HELP,
+        };
+        print!("{text}");
+        return;
+    }
+    let code = match cmd {
+        Some("train") => cmd_train::run(&o),
+        Some("predict") => cmd_predict::run(&o),
+        Some("info") => cmd_info::run(&o),
+        Some("gen") => cmd_gen::run(&o),
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n\n{HELP}");
+            2
+        }
+        None => {
+            print!("{HELP}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

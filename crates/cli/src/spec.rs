@@ -1,0 +1,217 @@
+//! Shared option-to-configuration mapping for the CLI commands.
+
+use crate::opts::{OptError, Opts};
+use isasgd_core::{
+    Algorithm, BalancePolicy, Execution, ImportanceScheme, Regularizer, SvrgVariant,
+};
+
+/// Everything `train` needs besides the dataset itself.
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    /// Solver.
+    pub algorithm: Algorithm,
+    /// Execution mode.
+    pub execution: Execution,
+    /// Loss selection (by name; the CLI trains logistic or squared-hinge).
+    pub loss: LossKind,
+    /// Regularizer.
+    pub regularizer: Regularizer,
+    /// Importance scheme.
+    pub importance: ImportanceScheme,
+    /// Balance policy.
+    pub balance: BalancePolicy,
+    /// Epochs.
+    pub epochs: usize,
+    /// Step size λ.
+    pub step_size: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Held-out fraction (0 disables).
+    pub holdout: f64,
+}
+
+/// CLI-selectable losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// L-something-regularized logistic regression (the paper's objective).
+    Logistic,
+    /// Squared hinge SVM (the paper's Eq. 16 example).
+    SquaredHinge,
+}
+
+fn bad(flag: &str, value: String, expected: &'static str) -> OptError {
+    OptError::BadValue { flag: flag.into(), value, expected }
+}
+
+/// Parses the solver name.
+pub fn parse_algorithm(s: &str) -> Option<Algorithm> {
+    Some(match s {
+        "sgd" => Algorithm::Sgd,
+        "is-sgd" => Algorithm::IsSgd,
+        "asgd" => Algorithm::Asgd,
+        "is-asgd" => Algorithm::IsAsgd,
+        "svrg" | "svrg-sgd" => Algorithm::SvrgSgd(SvrgVariant::Literature),
+        "svrg-asgd" => Algorithm::SvrgAsgd(SvrgVariant::Literature),
+        "svrg-skipmu" => Algorithm::SvrgSgd(SvrgVariant::SkipMu),
+        "saga" => Algorithm::Saga(SvrgVariant::Literature),
+        _ => return None,
+    })
+}
+
+impl TrainSpec {
+    /// Builds a spec from parsed options (flags: `--algo --threads --tau
+    /// --workers --epochs --step --loss --reg --eta --scheme --bias
+    /// --balance --holdout --seed`).
+    pub fn from_opts(o: &Opts) -> Result<TrainSpec, OptError> {
+        let algo_s = o.get_or("algo", "is-asgd");
+        let algorithm =
+            parse_algorithm(&algo_s).ok_or_else(|| bad("algo", algo_s, "solver name"))?;
+
+        let threads: usize = o.get_parsed_or("threads", 0, "usize")?;
+        let tau: usize = o.get_parsed_or("tau", 0, "usize")?;
+        let workers: usize = o.get_parsed_or("workers", 4, "usize")?;
+        let execution = if tau > 0 {
+            Execution::Simulated { tau, workers }
+        } else if threads > 1 {
+            Execution::Threads(threads)
+        } else {
+            // Async algorithms need a parallel execution; default modestly.
+            match algorithm {
+                Algorithm::Asgd | Algorithm::IsAsgd | Algorithm::SvrgAsgd(_) => {
+                    Execution::Threads(2)
+                }
+                _ => Execution::Sequential,
+            }
+        };
+
+        let loss = match o.get_or("loss", "logistic").as_str() {
+            "logistic" => LossKind::Logistic,
+            "squared-hinge" | "svm" => LossKind::SquaredHinge,
+            other => return Err(bad("loss", other.into(), "logistic|squared-hinge")),
+        };
+
+        let eta: f64 = o.get_parsed_or("eta", 1e-5, "float")?;
+        let regularizer = match o.get_or("reg", "l1").as_str() {
+            "none" => Regularizer::None,
+            "l1" => Regularizer::L1 { eta },
+            "l2" => Regularizer::L2 { eta },
+            other => return Err(bad("reg", other.into(), "none|l1|l2")),
+        };
+
+        let bias: f64 = o.get_parsed_or("bias", 0.5, "float")?;
+        let importance = match o.get_or("scheme", "gradnorm").as_str() {
+            "gradnorm" => ImportanceScheme::GradNormBound { radius: 1.0 },
+            "smoothness" | "lipschitz" => ImportanceScheme::LipschitzSmoothness,
+            "partial" => ImportanceScheme::PartiallyBiased { bias },
+            "uniform" => ImportanceScheme::Uniform,
+            other => {
+                return Err(bad("scheme", other.into(), "gradnorm|smoothness|partial|uniform"))
+            }
+        };
+
+        let balance = match o.get_or("balance", "adaptive").as_str() {
+            "adaptive" => BalancePolicy::default(),
+            "head-tail" | "balance" => BalancePolicy::ForceBalance,
+            "greedy" | "lpt" => BalancePolicy::ForceGreedy,
+            "shuffle" => BalancePolicy::ForceShuffle,
+            "identity" | "none" => BalancePolicy::Identity,
+            other => {
+                return Err(bad(
+                    "balance",
+                    other.into(),
+                    "adaptive|head-tail|greedy|shuffle|identity",
+                ))
+            }
+        };
+
+        let holdout: f64 = o.get_parsed_or("holdout", 0.0, "float in [0,1)")?;
+        if !(0.0..1.0).contains(&holdout) {
+            return Err(bad("holdout", holdout.to_string(), "float in [0,1)"));
+        }
+
+        Ok(TrainSpec {
+            algorithm,
+            execution,
+            loss,
+            regularizer,
+            importance,
+            balance,
+            epochs: o.get_parsed_or("epochs", 10, "usize")?,
+            step_size: o.get_parsed_or("step", 0.5, "float")?,
+            seed: o.get_parsed_or("seed", 0x15A5_6D00, "u64")?,
+            holdout,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Opts;
+
+    fn spec(s: &str) -> Result<TrainSpec, OptError> {
+        TrainSpec::from_opts(&Opts::parse(s.split_whitespace().map(String::from)))
+    }
+
+    #[test]
+    fn defaults_are_paperlike() {
+        let t = spec("").unwrap();
+        assert_eq!(t.algorithm, Algorithm::IsAsgd);
+        assert_eq!(t.execution, Execution::Threads(2));
+        assert_eq!(t.loss, LossKind::Logistic);
+        assert!(matches!(t.regularizer, Regularizer::L1 { .. }));
+        assert_eq!(t.epochs, 10);
+        assert_eq!(t.step_size, 0.5);
+        assert_eq!(t.holdout, 0.0);
+    }
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for (name, algo) in [
+            ("sgd", Algorithm::Sgd),
+            ("is-sgd", Algorithm::IsSgd),
+            ("asgd", Algorithm::Asgd),
+            ("is-asgd", Algorithm::IsAsgd),
+            ("svrg", Algorithm::SvrgSgd(SvrgVariant::Literature)),
+            ("svrg-asgd", Algorithm::SvrgAsgd(SvrgVariant::Literature)),
+            ("saga", Algorithm::Saga(SvrgVariant::Literature)),
+        ] {
+            assert_eq!(parse_algorithm(name), Some(algo), "{name}");
+        }
+        assert_eq!(parse_algorithm("adamw"), None);
+    }
+
+    #[test]
+    fn tau_selects_simulation() {
+        let t = spec("--algo asgd --tau 32 --workers 8").unwrap();
+        assert_eq!(t.execution, Execution::Simulated { tau: 32, workers: 8 });
+    }
+
+    #[test]
+    fn threads_select_hogwild() {
+        let t = spec("--algo is-asgd --threads 4").unwrap();
+        assert_eq!(t.execution, Execution::Threads(4));
+    }
+
+    #[test]
+    fn sequential_for_sgd_by_default() {
+        let t = spec("--algo sgd").unwrap();
+        assert_eq!(t.execution, Execution::Sequential);
+    }
+
+    #[test]
+    fn reg_and_scheme_parsing() {
+        let t = spec("--reg l2 --eta 0.01 --scheme partial --bias 0.25").unwrap();
+        assert_eq!(t.regularizer, Regularizer::L2 { eta: 0.01 });
+        assert_eq!(t.importance, ImportanceScheme::PartiallyBiased { bias: 0.25 });
+        assert!(spec("--reg l3").is_err());
+        assert!(spec("--scheme magic").is_err());
+    }
+
+    #[test]
+    fn holdout_validation() {
+        assert_eq!(spec("--holdout 0.2").unwrap().holdout, 0.2);
+        assert!(spec("--holdout 1.5").is_err());
+        assert!(spec("--holdout -0.1").is_err());
+    }
+}

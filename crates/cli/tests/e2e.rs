@@ -1,0 +1,212 @@
+//! End-to-end tests driving the compiled `isasgd` binary:
+//! gen → info → train (with holdout + model save) → predict.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_isasgd"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("isasgd_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn full_pipeline_gen_info_train_predict() {
+    let dir = tmpdir("pipeline");
+    let data = dir.join("d.svm");
+    let model = dir.join("m.json");
+
+    // gen
+    let out = bin()
+        .args(["gen", "--out"])
+        .arg(&data)
+        .args(["--profile", "news20", "--scale", "0.05", "--training"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+
+    // info
+    let out = bin().arg("info").arg(&data).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("psi/n"), "info output missing ψ: {text}");
+    assert!(text.contains("avg degree"), "info output missing Δ̄: {text}");
+
+    // train with holdout and model output
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args([
+            "--algo", "is-asgd", "--threads", "2", "--epochs", "5",
+            "--holdout", "0.2", "--quiet", "--model",
+        ])
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("algorithm=IS-ASGD"), "{text}");
+    assert!(text.contains("holdout_n=40"), "{text}");
+    assert!(model.exists());
+
+    // predict against the training file
+    let preds = dir.join("preds.txt");
+    let out = bin()
+        .arg("predict")
+        .arg(&data)
+        .arg("--model")
+        .arg(&model)
+        .arg("--out")
+        .arg(&preds)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "predict failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error_rate="), "{text}");
+    // One prediction line per sample, each "±1 margin".
+    let lines: Vec<String> =
+        std::fs::read_to_string(&preds).unwrap().lines().map(String::from).collect();
+    assert_eq!(lines.len(), 200);
+    for l in &lines {
+        let mut parts = l.split_whitespace();
+        let p: f64 = parts.next().unwrap().parse().unwrap();
+        let m: f64 = parts.next().unwrap().parse().unwrap();
+        assert!(p == 1.0 || p == -1.0);
+        assert!(m.is_finite());
+    }
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn train_all_solvers_smoke() {
+    let dir = tmpdir("solvers");
+    let data = dir.join("d.svm");
+    let out = bin()
+        .args(["gen", "--out"])
+        .arg(&data)
+        .args(["--profile", "news20", "--scale", "0.03", "--training"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    for algo in ["sgd", "is-sgd", "asgd", "is-asgd", "svrg", "saga"] {
+        let out = bin()
+            .arg("train")
+            .arg(&data)
+            .args(["--algo", algo, "--epochs", "2", "--quiet", "--step", "0.1"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("final_err="), "{algo}: {text}");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn simulated_tau_execution() {
+    let dir = tmpdir("tau");
+    let data = dir.join("d.svm");
+    bin()
+        .args(["gen", "--out"])
+        .arg(&data)
+        .args(["--profile", "news20", "--scale", "0.03", "--training"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args(["--algo", "is-asgd", "--tau", "16", "--workers", "4", "--epochs", "2", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn helpful_errors_and_help() {
+    // No args → usage, exit 2.
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // --help works for every command.
+    for cmd in ["train", "predict", "info", "gen"] {
+        let out = bin().args([cmd, "--help"]).output().unwrap();
+        assert!(out.status.success());
+        assert!(String::from_utf8_lossy(&out.stdout).contains(cmd));
+    }
+
+    // Unknown command names itself.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
+
+    // Typo'd flag is caught.
+    let out = bin().args(["gen", "--out", "/tmp/x.svm", "--sclae", "1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sclae"));
+}
+
+#[test]
+fn warm_start_resumes_training() {
+    let dir = tmpdir("warm");
+    let data = dir.join("d.svm");
+    let m1 = dir.join("m1.json");
+    let m2 = dir.join("m2.json");
+    bin()
+        .args(["gen", "--out"])
+        .arg(&data)
+        .args(["--profile", "news20", "--scale", "0.03", "--training"])
+        .output()
+        .unwrap();
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args(["--algo", "sgd", "--epochs", "3", "--quiet", "--step", "0.2", "--model"])
+        .arg(&m1)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let obj1: f64 = String::from_utf8_lossy(&out.stdout)
+        .split("final_obj=")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    // Resume for 3 more epochs; the final objective must not regress.
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args(["--algo", "sgd", "--epochs", "3", "--quiet", "--step", "0.2", "--init-model"])
+        .arg(&m1)
+        .arg("--model")
+        .arg(&m2)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let obj2: f64 = String::from_utf8_lossy(&out.stdout)
+        .split("final_obj=")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(obj2 <= obj1 + 1e-9, "resume {obj2} vs first {obj1}");
+    assert!(m2.exists());
+    std::fs::remove_dir_all(dir).ok();
+}

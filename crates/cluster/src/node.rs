@@ -1,0 +1,450 @@
+//! The cluster simulation: nodes, local training, synchronization rounds.
+
+use crate::sync::{average_models, SyncStrategy};
+use isasgd_balance::{decide, BalancePolicy};
+use isasgd_losses::{importance_weights, step_corrections, ImportanceScheme, Loss, Objective};
+use isasgd_metrics::{Trace, TracePoint};
+use isasgd_sampling::rng::derive_seeds;
+use isasgd_sampling::{SampleSequence, SequenceMode};
+use isasgd_sparse::dataset::shard_ranges;
+use isasgd_sparse::{Dataset, SparseError};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Cluster topology and schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of nodes `numT` (paper Algorithm 4's process count).
+    pub nodes: usize,
+    /// Synchronization rounds.
+    pub rounds: usize,
+    /// Local epochs each node runs between synchronizations.
+    pub local_epochs: usize,
+    /// Step size λ.
+    pub step_size: f64,
+    /// Importance scheme; [`ImportanceScheme::Uniform`] gives plain
+    /// local SGD (the distributed-ASGD baseline).
+    pub importance: ImportanceScheme,
+    /// Shard rearrangement policy (Algorithm 4 lines 2–6).
+    pub balance: BalancePolicy,
+    /// Model reducer at each round.
+    pub sync: SyncStrategy,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            rounds: 10,
+            local_epochs: 1,
+            step_size: 0.5,
+            importance: ImportanceScheme::GradNormBound { radius: 1.0 },
+            balance: BalancePolicy::default(),
+            sync: SyncStrategy::Average,
+            seed: 0x15A5_6D00,
+        }
+    }
+}
+
+/// One synchronization round's evaluation of the consensus model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundPoint {
+    /// Round number (1-based; 0 is the initial model).
+    pub round: usize,
+    /// Global objective `F(w)` of the consensus model.
+    pub objective: f64,
+    /// RMSE (paper §4 definition).
+    pub rmse: f64,
+    /// Misclassification fraction.
+    pub error_rate: f64,
+}
+
+/// One simulated node: a shard plus its private sampler state.
+#[derive(Debug)]
+pub struct Node {
+    /// Row range into the (rearranged) dataset.
+    pub range: Range<usize>,
+    sequence: SampleSequence,
+    corrections: Vec<f64>,
+    /// The node's local model replica.
+    pub model: Vec<f64>,
+    /// Shard importance sum Φ_a (paper Eq. 18).
+    pub phi: f64,
+}
+
+/// Result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Consensus-model trace; one point per round, `wall_secs` is
+    /// cumulative local-training time (communication modelled as free —
+    /// it is identical between the compared configurations).
+    pub trace: Trace,
+    /// Final consensus model.
+    pub model: Vec<f64>,
+    /// Per-round metrics (redundant with `trace`, typed for convenience).
+    pub rounds: Vec<RoundPoint>,
+    /// Max/mean ratio of the shard importance sums Φ_a — 1.0 is the
+    /// perfectly balanced Eq. 19 condition.
+    pub phi_imbalance: f64,
+    /// Whether balancing was applied by the policy.
+    pub balanced: bool,
+    /// Measured ρ of the importance weights.
+    pub rho: f64,
+    /// Number of synchronizations performed.
+    pub syncs: usize,
+}
+
+/// Configuration/validation errors.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Bad parameter combination.
+    InvalidConfig(String),
+    /// Propagated dataset error.
+    Sparse(SparseError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::InvalidConfig(s) => write!(f, "invalid cluster config: {s}"),
+            ClusterError::Sparse(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<SparseError> for ClusterError {
+    fn from(e: SparseError) -> Self {
+        ClusterError::Sparse(e)
+    }
+}
+
+/// Runs the simulation: rearrange → shard → (local epochs ∥ sync)*.
+pub fn run<L: Loss>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+) -> Result<ClusterRun, ClusterError> {
+    if cfg.nodes == 0 || cfg.nodes > ds.n_samples() {
+        return Err(ClusterError::InvalidConfig(format!(
+            "nodes = {} must be in 1..={}",
+            cfg.nodes,
+            ds.n_samples()
+        )));
+    }
+    if cfg.rounds == 0 || cfg.local_epochs == 0 {
+        return Err(ClusterError::InvalidConfig(
+            "rounds and local_epochs must be ≥ 1".into(),
+        ));
+    }
+    if !(cfg.step_size.is_finite() && cfg.step_size > 0.0) {
+        return Err(ClusterError::InvalidConfig(format!(
+            "step size {} must be positive",
+            cfg.step_size
+        )));
+    }
+
+    let n = ds.n_samples();
+    let d = ds.dim();
+    let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
+
+    // Algorithm 4 lines 2–6: weigh, decide, rearrange.
+    let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
+    let decision = decide(&weights, cfg.balance, seeds[cfg.nodes], cfg.nodes);
+    let data = ds.reordered(&decision.order)?;
+    let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| weights[i]).collect();
+
+    let ranges = shard_ranges(n, cfg.nodes)?;
+    let uniform = matches!(cfg.importance, ImportanceScheme::Uniform);
+    let mut nodes = Vec::with_capacity(cfg.nodes);
+    for (k, r) in ranges.iter().enumerate() {
+        let local = &reordered_weights[r.clone()];
+        let phi: f64 = local.iter().sum();
+        let (sequence, corrections) = if uniform {
+            (
+                SampleSequence::uniform(r.len(), r.len(), SequenceMode::UniformIid, seeds[k])
+                    .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?,
+                vec![1.0; r.len()],
+            )
+        } else {
+            (
+                SampleSequence::weighted(
+                    local,
+                    r.len(),
+                    SequenceMode::RegeneratePerEpoch,
+                    seeds[k],
+                )
+                .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?,
+                step_corrections(local),
+            )
+        };
+        nodes.push(Node {
+            range: r.clone(),
+            sequence,
+            corrections,
+            model: vec![0.0; d],
+            phi,
+        });
+    }
+    let mean_phi: f64 = nodes.iter().map(|x| x.phi).sum::<f64>() / cfg.nodes as f64;
+    let max_phi = nodes.iter().map(|x| x.phi).fold(0.0, f64::max);
+    let phi_imbalance = if mean_phi > 0.0 { max_phi / mean_phi } else { 1.0 };
+
+    let mut trace = Trace::new(
+        if uniform { "Cluster-SGD" } else { "Cluster-IS-SGD" },
+        "cluster",
+        cfg.nodes,
+        cfg.step_size,
+    );
+    let mut rounds = Vec::with_capacity(cfg.rounds + 1);
+    let mut consensus = vec![0.0f64; d];
+    let m0 = obj.eval(&data, &consensus);
+    trace.push(TracePoint {
+        epoch: 0.0,
+        wall_secs: 0.0,
+        objective: m0.objective,
+        rmse: m0.rmse,
+        error_rate: m0.error_rate,
+    });
+    rounds.push(RoundPoint { round: 0, objective: m0.objective, rmse: m0.rmse, error_rate: m0.error_rate });
+
+    let mut train_secs = 0.0;
+    let shard_sizes: Vec<usize> = nodes.iter().map(|x| x.range.len()).collect();
+    for round in 1..=cfg.rounds {
+        let t0 = Instant::now();
+        for node in nodes.iter_mut() {
+            // Local training starts from the consensus.
+            node.model.copy_from_slice(&consensus);
+            for _ in 0..cfg.local_epochs {
+                local_epoch(&data, obj, node, cfg.step_size);
+                node.sequence.advance_epoch();
+            }
+        }
+        train_secs += t0.elapsed().as_secs_f64();
+        let models: Vec<Vec<f64>> = nodes.iter().map(|x| x.model.clone()).collect();
+        average_models(&models, &shard_sizes, cfg.sync, &mut consensus);
+
+        let m = obj.eval(&data, &consensus);
+        trace.push(TracePoint {
+            epoch: (round * cfg.local_epochs) as f64,
+            wall_secs: train_secs,
+            objective: m.objective,
+            rmse: m.rmse,
+            error_rate: m.error_rate,
+        });
+        rounds.push(RoundPoint {
+            round,
+            objective: m.objective,
+            rmse: m.rmse,
+            error_rate: m.error_rate,
+        });
+    }
+
+    Ok(ClusterRun {
+        trace,
+        model: consensus,
+        rounds,
+        phi_imbalance,
+        balanced: decision.balanced,
+        rho: decision.rho,
+        syncs: cfg.rounds,
+    })
+}
+
+/// One local epoch of sequential (IS-)SGD on the node's shard.
+fn local_epoch<L: Loss>(data: &Dataset, obj: &Objective<L>, node: &mut Node, lambda: f64) {
+    let start = node.range.start;
+    for &local in node.sequence.indices() {
+        let local = local as usize;
+        let row = data.row(start + local);
+        let margin = obj.margin(&row, &node.model);
+        let g = obj.grad_scale(&row, margin);
+        let scale = lambda * node.corrections[local];
+        let coeff = -scale * g;
+        for (&j, &x) in row.indices.iter().zip(row.values) {
+            let j = j as usize;
+            let wj = node.model[j] + coeff * x;
+            node.model[j] = wj - scale * obj.reg.grad_coord(wj);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isasgd_losses::{LogisticLoss, Regularizer};
+    use isasgd_sparse::DatasetBuilder;
+
+    fn separable(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(6);
+        for i in 0..n {
+            let j = (i % 3) as u32;
+            if i % 2 == 0 {
+                b.push_row(&[(j, 1.0), (3 + j, 0.5)], 1.0).unwrap();
+            } else {
+                b.push_row(&[(j, -1.0), (3 + j, -0.5)], -1.0).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    /// Heavy-tailed norms, importance-sorted — the adversarial layout of
+    /// the Fig. 2 discussion.
+    fn sorted_skewed(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(8);
+        for i in 0..n {
+            let norm = 0.2 + 4.0 * (i as f64 / n as f64).powi(3);
+            let j = (i % 4) as u32;
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            b.push_row(&[(j, y * norm), (4 + j, 0.5 * y * norm)], y).unwrap();
+        }
+        b.finish()
+    }
+
+    fn obj() -> Objective<LogisticLoss> {
+        Objective::new(LogisticLoss, Regularizer::None)
+    }
+
+    #[test]
+    fn converges_on_separable_data() {
+        let ds = separable(400);
+        let cfg = ClusterConfig { rounds: 8, ..ClusterConfig::default() };
+        let r = run(&ds, &obj(), &cfg).unwrap();
+        assert_eq!(r.syncs, 8);
+        assert_eq!(r.rounds.len(), 9);
+        let last = r.rounds.last().unwrap();
+        assert_eq!(last.error_rate, 0.0, "separable data must fit");
+        assert!(last.objective < r.rounds[0].objective);
+        // Trace epochs advance by local_epochs per round.
+        assert_eq!(r.trace.points.last().unwrap().epoch, 8.0);
+    }
+
+    #[test]
+    fn single_node_is_sequential_sgd() {
+        let ds = separable(200);
+        let cfg = ClusterConfig {
+            nodes: 1,
+            rounds: 3,
+            importance: ImportanceScheme::Uniform,
+            ..ClusterConfig::default()
+        };
+        let r = run(&ds, &obj(), &cfg).unwrap();
+        assert_eq!(r.phi_imbalance, 1.0, "one shard is trivially balanced");
+        assert_eq!(r.rounds.last().unwrap().error_rate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = separable(300);
+        let cfg = ClusterConfig { seed: 42, ..ClusterConfig::default() };
+        let a = run(&ds, &obj(), &cfg).unwrap();
+        let b = run(&ds, &obj(), &cfg).unwrap();
+        assert_eq!(a.model, b.model);
+        let c = run(&ds, &obj(), &ClusterConfig { seed: 43, ..cfg }).unwrap();
+        assert_ne!(a.model, c.model);
+    }
+
+    #[test]
+    fn balancing_equalizes_phi_on_sorted_data() {
+        let ds = sorted_skewed(1000);
+        let base = ClusterConfig {
+            nodes: 8,
+            rounds: 2,
+            importance: ImportanceScheme::LipschitzSmoothness,
+            ..ClusterConfig::default()
+        };
+        let identity = run(
+            &ds,
+            &obj(),
+            &ClusterConfig { balance: BalancePolicy::Identity, ..base },
+        )
+        .unwrap();
+        let balanced = run(
+            &ds,
+            &obj(),
+            &ClusterConfig { balance: BalancePolicy::ForceBalance, ..base },
+        )
+        .unwrap();
+        let greedy = run(
+            &ds,
+            &obj(),
+            &ClusterConfig { balance: BalancePolicy::ForceGreedy, ..base },
+        )
+        .unwrap();
+        assert!(
+            identity.phi_imbalance > 1.5,
+            "sorted layout must be badly imbalanced, got {}",
+            identity.phi_imbalance
+        );
+        assert!(
+            balanced.phi_imbalance < identity.phi_imbalance,
+            "head-tail {} must improve on identity {}",
+            balanced.phi_imbalance,
+            identity.phi_imbalance
+        );
+        assert!(
+            greedy.phi_imbalance < 1.05,
+            "greedy-LPT should be near-perfect, got {}",
+            greedy.phi_imbalance
+        );
+        assert!(balanced.balanced);
+        assert!(!identity.balanced);
+    }
+
+    #[test]
+    fn more_local_epochs_cover_more_ground_per_round() {
+        let ds = separable(400);
+        let short = run(
+            &ds,
+            &obj(),
+            &ClusterConfig { rounds: 2, local_epochs: 1, ..ClusterConfig::default() },
+        )
+        .unwrap();
+        let long = run(
+            &ds,
+            &obj(),
+            &ClusterConfig { rounds: 2, local_epochs: 4, ..ClusterConfig::default() },
+        )
+        .unwrap();
+        assert!(
+            long.rounds.last().unwrap().objective <= short.rounds.last().unwrap().objective,
+            "4 local epochs/round should reach a lower objective after 2 rounds"
+        );
+        assert_eq!(long.trace.points.last().unwrap().epoch, 8.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let ds = separable(10);
+        let o = obj();
+        assert!(run(&ds, &o, &ClusterConfig { nodes: 0, ..Default::default() }).is_err());
+        assert!(run(&ds, &o, &ClusterConfig { nodes: 11, ..Default::default() }).is_err());
+        assert!(run(&ds, &o, &ClusterConfig { rounds: 0, ..Default::default() }).is_err());
+        assert!(
+            run(&ds, &o, &ClusterConfig { local_epochs: 0, ..Default::default() }).is_err()
+        );
+        assert!(
+            run(&ds, &o, &ClusterConfig { step_size: -0.5, ..Default::default() }).is_err()
+        );
+        assert!(
+            run(&ds, &o, &ClusterConfig { step_size: f64::NAN, ..Default::default() })
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn uniform_importance_gives_unit_corrections() {
+        let ds = separable(100);
+        let cfg = ClusterConfig {
+            importance: ImportanceScheme::Uniform,
+            rounds: 1,
+            ..ClusterConfig::default()
+        };
+        let r = run(&ds, &obj(), &cfg).unwrap();
+        assert_eq!(r.trace.algorithm, "Cluster-SGD");
+        assert!((r.phi_imbalance - 1.0).abs() < 0.01, "uniform weights ⇒ equal Φ");
+    }
+}

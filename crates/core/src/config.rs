@@ -1,0 +1,235 @@
+//! Training configuration types.
+
+use isasgd_balance::BalancePolicy;
+use isasgd_losses::ImportanceScheme;
+use isasgd_model::shared::UpdateMode;
+use isasgd_sampling::SequenceMode;
+
+/// Which solver to run (see crate docs for the paper mapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Uniform sequential SGD (paper Eq. 3) — the baseline.
+    Sgd,
+    /// Importance-sampling SGD (paper Algorithm 2).
+    IsSgd,
+    /// Lock-free asynchronous SGD (Hogwild), uniform local sampling.
+    Asgd,
+    /// Importance-sampling ASGD (paper Algorithm 4) — the contribution.
+    IsAsgd,
+    /// Sequential SVRG.
+    SvrgSgd(SvrgVariant),
+    /// Asynchronous SVRG (paper Algorithm 1).
+    SvrgAsgd(SvrgVariant),
+    /// Sequential SAGA (Defazio et al. 2014) — the incremental-memory VR
+    /// baseline with the same dense running-average cliff as SVRG.
+    Saga(SvrgVariant),
+    /// Sequential minibatch SGD with batch size `b` (uniform sampling).
+    MbSgd {
+        /// Samples averaged per step.
+        batch: usize,
+    },
+    /// Sequential minibatch SGD with importance sampling
+    /// (Csiba–Richtárik-motivated extension).
+    MbIsSgd {
+        /// Samples averaged per step.
+        batch: usize,
+    },
+}
+
+impl Algorithm {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Sgd => "SGD",
+            Algorithm::IsSgd => "IS-SGD",
+            Algorithm::Asgd => "ASGD",
+            Algorithm::IsAsgd => "IS-ASGD",
+            Algorithm::SvrgSgd(SvrgVariant::Literature) => "SVRG-SGD",
+            Algorithm::SvrgSgd(SvrgVariant::SkipMu) => "SVRG-SGD(skip-mu)",
+            Algorithm::SvrgAsgd(SvrgVariant::Literature) => "SVRG-ASGD",
+            Algorithm::SvrgAsgd(SvrgVariant::SkipMu) => "SVRG-ASGD(skip-mu)",
+            Algorithm::Saga(SvrgVariant::Literature) => "SAGA",
+            Algorithm::Saga(SvrgVariant::SkipMu) => "SAGA(skip-avg)",
+            Algorithm::MbSgd { .. } => "MB-SGD",
+            Algorithm::MbIsSgd { .. } => "MB-IS-SGD",
+        }
+    }
+
+    /// True for the importance-sampling members of the family.
+    pub fn uses_importance(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::IsSgd | Algorithm::IsAsgd | Algorithm::MbIsSgd { .. }
+        )
+    }
+}
+
+/// SVRG flavours discussed in the paper's §1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvrgVariant {
+    /// The literature algorithm: dense `µ` added every iteration
+    /// (J. Reddi et al. 2015, as restated in paper Algorithm 1).
+    Literature,
+    /// The public-code approximation the paper criticizes: the dense `µ`
+    /// add is skipped per-iteration and applied once per epoch multiplied
+    /// by the iteration count.
+    SkipMu,
+}
+
+/// How the solver executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// Single-threaded, exactly sequential.
+    Sequential,
+    /// Real lock-free Hogwild threads over a shared atomic model.
+    Threads(usize),
+    /// Deterministic bounded-staleness simulation: `workers` data shards
+    /// interleaved round-robin, each gradient applied `tau` logical steps
+    /// after computation. Reproduces the paper's τ ∈ {16, 32, 44} axis on
+    /// any machine.
+    Simulated {
+        /// Delay parameter τ (the paper's concurrency proxy).
+        tau: usize,
+        /// Number of simulated workers (data shards).
+        workers: usize,
+    },
+}
+
+impl Execution {
+    /// The concurrency number used for trace labelling.
+    pub fn concurrency(&self) -> usize {
+        match *self {
+            Execution::Sequential => 1,
+            Execution::Threads(k) => k,
+            Execution::Simulated { tau, .. } => tau,
+        }
+    }
+}
+
+/// Step-size schedule across epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepSchedule {
+    /// Constant λ (the paper's choice: λ = 0.5 or 0.05).
+    Constant,
+    /// λ_e = λ₀ · gamma^e — geometric decay per epoch.
+    EpochDecay {
+        /// Multiplicative decay per epoch, in (0, 1].
+        gamma: f64,
+    },
+}
+
+impl StepSchedule {
+    /// Step size for 0-based epoch `e` given base λ₀.
+    pub fn at(&self, base: f64, epoch: usize) -> f64 {
+        match *self {
+            StepSchedule::Constant => base,
+            StepSchedule::EpochDecay { gamma } => base * gamma.powi(epoch as i32),
+        }
+    }
+}
+
+/// Full training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the data (each epoch takes `n` steps in
+    /// total across all workers).
+    pub epochs: usize,
+    /// Base step size λ.
+    pub step_size: f64,
+    /// Schedule applied to λ per epoch.
+    pub schedule: StepSchedule,
+    /// Master seed; all per-worker streams derive from it.
+    pub seed: u64,
+    /// Importance scheme for the IS algorithms.
+    pub importance: ImportanceScheme,
+    /// Shard-rearrangement policy (paper Algorithm 4 lines 2–6).
+    pub balance: BalancePolicy,
+    /// How per-epoch sample sequences are produced (paper §4.2).
+    pub sequence: SequenceMode,
+    /// Lock-free write flavour for threaded runs.
+    pub update_mode: UpdateMode,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            step_size: 0.5,
+            schedule: StepSchedule::Constant,
+            seed: 0x15A5_6D00,
+            importance: ImportanceScheme::LipschitzSmoothness,
+            balance: BalancePolicy::default(),
+            sequence: SequenceMode::RegeneratePerEpoch,
+            update_mode: UpdateMode::AtomicCas,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Builder-style epoch override.
+    pub fn with_epochs(mut self, e: usize) -> Self {
+        self.epochs = e;
+        self
+    }
+
+    /// Builder-style step-size override.
+    pub fn with_step_size(mut self, s: f64) -> Self {
+        self.step_size = s;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Algorithm::IsAsgd.name(), "IS-ASGD");
+        assert_eq!(Algorithm::SvrgAsgd(SvrgVariant::Literature).name(), "SVRG-ASGD");
+        assert_eq!(
+            Algorithm::SvrgAsgd(SvrgVariant::SkipMu).name(),
+            "SVRG-ASGD(skip-mu)"
+        );
+    }
+
+    #[test]
+    fn importance_flag() {
+        assert!(Algorithm::IsAsgd.uses_importance());
+        assert!(Algorithm::IsSgd.uses_importance());
+        assert!(!Algorithm::Asgd.uses_importance());
+        assert!(!Algorithm::SvrgAsgd(SvrgVariant::Literature).uses_importance());
+    }
+
+    #[test]
+    fn execution_concurrency() {
+        assert_eq!(Execution::Sequential.concurrency(), 1);
+        assert_eq!(Execution::Threads(8).concurrency(), 8);
+        assert_eq!(Execution::Simulated { tau: 44, workers: 4 }.concurrency(), 44);
+    }
+
+    #[test]
+    fn schedules() {
+        assert_eq!(StepSchedule::Constant.at(0.5, 7), 0.5);
+        let d = StepSchedule::EpochDecay { gamma: 0.5 };
+        assert_eq!(d.at(1.0, 0), 1.0);
+        assert_eq!(d.at(1.0, 2), 0.25);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = TrainConfig::default()
+            .with_epochs(3)
+            .with_step_size(0.1)
+            .with_seed(9);
+        assert_eq!(c.epochs, 3);
+        assert_eq!(c.step_size, 0.1);
+        assert_eq!(c.seed, 9);
+    }
+}

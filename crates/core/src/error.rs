@@ -1,0 +1,70 @@
+//! Error types for the solver layer.
+
+use std::fmt;
+
+/// Errors surfaced by [`train`](crate::train).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The dataset has no samples.
+    EmptyDataset,
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// The (algorithm, execution) pair is not meaningful.
+    Unsupported {
+        /// Algorithm display name.
+        algorithm: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Propagated sparse-data error.
+    Sparse(isasgd_sparse::SparseError),
+    /// Propagated sampling error.
+    Sampling(isasgd_sampling::SamplingError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyDataset => write!(f, "dataset is empty"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Unsupported { algorithm, reason } => {
+                write!(f, "unsupported execution for {algorithm}: {reason}")
+            }
+            CoreError::Sparse(e) => write!(f, "sparse data error: {e}"),
+            CoreError::Sampling(e) => write!(f, "sampling error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<isasgd_sparse::SparseError> for CoreError {
+    fn from(e: isasgd_sparse::SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+impl From<isasgd_sampling::SamplingError> for CoreError {
+    fn from(e: isasgd_sampling::SamplingError) -> Self {
+        CoreError::Sampling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::EmptyDataset.to_string().contains("empty"));
+        let e = CoreError::Unsupported {
+            algorithm: "SGD",
+            reason: "no".into(),
+        };
+        assert!(e.to_string().contains("SGD"));
+        let e: CoreError = isasgd_sampling::SamplingError::ZeroMass.into();
+        assert!(matches!(e, CoreError::Sampling(_)));
+        let e: CoreError = isasgd_sparse::SparseError::Empty.into();
+        assert!(matches!(e, CoreError::Sparse(_)));
+    }
+}

@@ -1,0 +1,49 @@
+//! IS-ASGD and its baselines: the paper's solver family.
+//!
+//! One entry point, [`train`], dispatches over
+//! ([`Algorithm`], [`Execution`]) pairs:
+//!
+//! | Algorithm | paper reference | executions |
+//! |---|---|---|
+//! | [`Algorithm::Sgd`] | Eq. 3 (uniform sequential) | Sequential, Simulated |
+//! | [`Algorithm::IsSgd`] | Algorithm 2 | Sequential, Simulated |
+//! | [`Algorithm::Asgd`] | Hogwild (Recht et al. 2011) | Threads, Simulated |
+//! | [`Algorithm::IsAsgd`] | **Algorithm 4 — the contribution** | Threads, Simulated |
+//! | [`Algorithm::SvrgSgd`] | Johnson & Zhang 2013 | Sequential |
+//! | [`Algorithm::SvrgAsgd`] | Algorithm 1 | Threads, Simulated |
+//!
+//! `Execution::Threads` runs genuine lock-free Hogwild threads over a
+//! [`SharedModel`](isasgd_model::SharedModel); `Execution::Simulated`
+//! reproduces any concurrency level τ deterministically through the
+//! bounded-staleness engine (see `isasgd-asyncsim`), which is how the
+//! paper's 16/32/44-thread sweeps are reproduced on small hosts.
+//!
+//! Every run produces a [`RunResult`] with a
+//! [`Trace`](isasgd_metrics::Trace) (per-epoch RMSE / error-rate /
+//! wall-clock, evaluation time excluded) and timing breakdowns, which the
+//! experiment harness turns into the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod eval;
+pub mod solvers;
+pub mod trainer;
+
+pub use config::{Algorithm, Execution, StepSchedule, SvrgVariant, TrainConfig};
+pub use error::CoreError;
+pub use trainer::{train, train_from, RunResult};
+
+// Re-export the sibling-crate types that appear in this crate's API so
+// downstream users need only depend on `isasgd-core`.
+pub use isasgd_balance::BalancePolicy;
+pub use isasgd_losses::{
+    importance_weights, step_corrections, EvalMetrics, ImportanceScheme, LogisticLoss, Loss,
+    Objective, Regularizer, SquaredHingeLoss, SquaredLoss,
+};
+pub use isasgd_metrics::{Trace, TracePoint};
+pub use isasgd_model::shared::UpdateMode;
+pub use isasgd_sampling::SequenceMode;
+pub use isasgd_sparse::{Dataset, DatasetBuilder};

@@ -1,0 +1,16 @@
+//! Solver implementations.
+//!
+//! * [`plan`] — shared pre-training setup: importance weights, balancing
+//!   decision, sharding, per-worker sample sequences (Algorithm 4 lines
+//!   2–12 and Algorithm 2 lines 2–3).
+//! * [`hogwild`] — real-thread lock-free ASGD / IS-ASGD.
+//! * [`sim`] — deterministic bounded-staleness SGD / IS-SGD / ASGD /
+//!   IS-ASGD (any τ).
+//! * [`svrg`] — SVRG-SGD and SVRG-ASGD (literature and skip-µ variants).
+
+pub mod hogwild;
+pub mod minibatch;
+pub mod plan;
+pub mod saga;
+pub mod sim;
+pub mod svrg;

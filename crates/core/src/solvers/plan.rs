@@ -1,0 +1,261 @@
+//! Pre-training setup shared by all solvers.
+//!
+//! This is the offline part of the paper's Algorithms 2 and 4: compute the
+//! importance weights, decide balancing vs shuffling from ρ, rearrange and
+//! shard the dataset, build per-worker weighted sample sequences and the
+//! inverse-probability step corrections. Everything here is timed into
+//! `setup_secs` — the "sampling time" overhead the paper quantifies as
+//! 1.1–7.7% (§4.2).
+
+use crate::config::TrainConfig;
+use crate::error::CoreError;
+use isasgd_balance::{decide, BalancePolicy};
+use isasgd_losses::{importance_weights, step_corrections, Loss, Objective};
+use isasgd_sampling::rng::derive_seeds;
+use isasgd_sampling::{SampleSequence, SequenceMode};
+use isasgd_sparse::dataset::shard_ranges;
+use isasgd_sparse::Dataset;
+use std::ops::Range;
+use std::time::Instant;
+
+/// The per-worker training plan.
+#[derive(Debug)]
+pub struct WorkerPlan {
+    /// Dataset rearranged per the balance decision (identity order for
+    /// sequential solvers).
+    pub data: Dataset,
+    /// Contiguous shard (row range into `data`) per worker.
+    pub ranges: Vec<Range<usize>>,
+    /// Per-worker sample sequences emitting *local* indices within the
+    /// worker's range.
+    pub sequences: Vec<SampleSequence>,
+    /// Per-worker, per-local-row step corrections `1/(n_local·p_local)`
+    /// (all 1.0 for uniform sampling).
+    pub corrections: Vec<Vec<f64>>,
+    /// Wall-clock spent building this plan.
+    pub setup_secs: f64,
+    /// Whether head-tail balancing was applied.
+    pub balanced: bool,
+    /// Measured ρ of the importance weights (0 for uniform).
+    pub rho: f64,
+}
+
+impl WorkerPlan {
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Advances every worker's sequence to the next epoch.
+    pub fn advance_epoch(&mut self) {
+        for s in &mut self.sequences {
+            s.advance_epoch();
+        }
+    }
+}
+
+/// Builds the plan.
+///
+/// * `workers` — number of shards/threads (1 for sequential).
+/// * `is_mode` — importance sampling on (IS-SGD/IS-ASGD) or off
+///   (SGD/ASGD/SVRG, which sample uniformly).
+pub fn build_plan<L: Loss>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &TrainConfig,
+    workers: usize,
+    is_mode: bool,
+) -> Result<WorkerPlan, CoreError> {
+    if ds.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    if workers == 0 || workers > ds.n_samples() {
+        return Err(CoreError::InvalidConfig(format!(
+            "workers = {workers} must be in 1..={}",
+            ds.n_samples()
+        )));
+    }
+    if !(cfg.step_size.is_finite() && cfg.step_size > 0.0) {
+        return Err(CoreError::InvalidConfig(format!(
+            "step size {} must be positive",
+            cfg.step_size
+        )));
+    }
+    if cfg.epochs == 0 {
+        return Err(CoreError::InvalidConfig("epochs must be ≥ 1".into()));
+    }
+
+    let t0 = Instant::now();
+    let n = ds.n_samples();
+    let seeds = derive_seeds(cfg.seed, workers + 1);
+
+    let (data, weights, balanced, rho) = if is_mode {
+        let w = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
+        let decision = decide(&w, cfg.balance, seeds[workers], workers);
+        let reordered = ds.reordered(&decision.order)?;
+        let reordered_weights: Vec<f64> =
+            decision.order.iter().map(|&i| w[i]).collect();
+        (reordered, Some(reordered_weights), decision.balanced, decision.rho)
+    } else if workers > 1 {
+        // ASGD shuffles before sharding (standard Hogwild practice) so
+        // shards are statistically homogeneous.
+        let decision = decide(
+            &vec![1.0; n],
+            BalancePolicy::ForceShuffle,
+            seeds[workers],
+            workers,
+        );
+        (ds.reordered(&decision.order)?, None, false, 0.0)
+    } else {
+        (ds.clone(), None, false, 0.0)
+    };
+
+    let ranges = shard_ranges(n, workers)?;
+    let mut sequences = Vec::with_capacity(workers);
+    let mut corrections = Vec::with_capacity(workers);
+    for (k, r) in ranges.iter().enumerate() {
+        let len = r.len();
+        match &weights {
+            Some(w) => {
+                let local = &w[r.clone()];
+                sequences.push(SampleSequence::weighted(
+                    local,
+                    len,
+                    cfg.sequence,
+                    seeds[k],
+                )?);
+                corrections.push(step_corrections(local));
+            }
+            None => {
+                let mode = match cfg.sequence {
+                    // Weighted-only modes degrade to uniform i.i.d.
+                    SequenceMode::RegeneratePerEpoch | SequenceMode::ShuffleOnce => {
+                        SequenceMode::UniformIid
+                    }
+                    m => m,
+                };
+                sequences.push(SampleSequence::uniform(len, len, mode, seeds[k])?);
+                corrections.push(vec![1.0; len]);
+            }
+        }
+    }
+
+    Ok(WorkerPlan {
+        data,
+        ranges,
+        sequences,
+        corrections,
+        setup_secs: t0.elapsed().as_secs_f64(),
+        balanced,
+        rho,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isasgd_losses::{LogisticLoss, Regularizer};
+    use isasgd_sparse::DatasetBuilder;
+
+    fn ds(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(4);
+        for i in 0..n {
+            // Varying norms give non-trivial importance weights.
+            let v = 1.0 + (i % 5) as f64;
+            b.push_row(&[((i % 4) as u32, v)], if i % 2 == 0 { 1.0 } else { -1.0 })
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn obj() -> Objective<LogisticLoss> {
+        Objective::new(LogisticLoss, Regularizer::None)
+    }
+
+    #[test]
+    fn uniform_plan_shapes() {
+        let d = ds(20);
+        let p = build_plan(&d, &obj(), &TrainConfig::default(), 4, false).unwrap();
+        assert_eq!(p.workers(), 4);
+        assert_eq!(p.data.n_samples(), 20);
+        for (k, r) in p.ranges.iter().enumerate() {
+            assert_eq!(p.sequences[k].indices().len(), r.len());
+            assert!(p.corrections[k].iter().all(|&c| c == 1.0));
+        }
+        assert!(!p.balanced);
+    }
+
+    #[test]
+    fn is_plan_has_corrections_with_unit_mean_under_p() {
+        let d = ds(40);
+        let p = build_plan(&d, &obj(), &TrainConfig::default(), 2, true).unwrap();
+        // For each shard, E_p[corr] = Σ p_i · (L̄/L_i) = 1.
+        for k in 0..2 {
+            let corr = &p.corrections[k];
+            let n_local = corr.len() as f64;
+            // corr_i = L̄/L_i ⇒ L_i = L̄/corr_i; weights renormalize out.
+            let sum_inv: f64 = corr.iter().map(|c| 1.0 / c).sum();
+            let e: f64 = corr
+                .iter()
+                .map(|&c| (1.0 / c / sum_inv) * c)
+                .sum();
+            assert!((e - n_local / sum_inv).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn is_plan_balances_skewed_weights() {
+        let d = ds(40); // norms 1..5 ⇒ ρ well above ζ=5e-4
+        let p = build_plan(&d, &obj(), &TrainConfig::default(), 4, true).unwrap();
+        assert!(p.balanced);
+        assert!(p.rho > 5e-4);
+    }
+
+    #[test]
+    fn sequential_plan_keeps_order() {
+        let d = ds(10);
+        let p = build_plan(&d, &obj(), &TrainConfig::default(), 1, false).unwrap();
+        assert_eq!(p.data, d, "sequential uniform must not reorder");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let d = ds(5);
+        let cfg = TrainConfig::default();
+        assert!(matches!(
+            build_plan(&DatasetBuilder::new(3).finish(), &obj(), &cfg, 1, false),
+            Err(CoreError::EmptyDataset)
+        ));
+        assert!(build_plan(&d, &obj(), &cfg, 0, false).is_err());
+        assert!(build_plan(&d, &obj(), &cfg, 6, false).is_err());
+        let bad = TrainConfig::default().with_step_size(-1.0);
+        assert!(build_plan(&d, &obj(), &bad, 1, false).is_err());
+        let bad = TrainConfig::default().with_epochs(0);
+        assert!(build_plan(&d, &obj(), &bad, 1, false).is_err());
+    }
+
+    #[test]
+    fn advance_epoch_changes_uniform_sequences() {
+        let d = ds(30);
+        let mut p = build_plan(&d, &obj(), &TrainConfig::default(), 2, false).unwrap();
+        let before: Vec<Vec<u32>> =
+            p.sequences.iter().map(|s| s.indices().to_vec()).collect();
+        p.advance_epoch();
+        let after: Vec<Vec<u32>> =
+            p.sequences.iter().map(|s| s.indices().to_vec()).collect();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = ds(30);
+        let cfg = TrainConfig::default().with_seed(77);
+        let a = build_plan(&d, &obj(), &cfg, 3, true).unwrap();
+        let b = build_plan(&d, &obj(), &cfg, 3, true).unwrap();
+        assert_eq!(a.data, b.data);
+        for k in 0..3 {
+            assert_eq!(a.sequences[k].indices(), b.sequences[k].indices());
+            assert_eq!(a.corrections[k], b.corrections[k]);
+        }
+    }
+}

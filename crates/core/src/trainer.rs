@@ -1,0 +1,318 @@
+//! The unified entry point dispatching (algorithm, execution) pairs.
+
+use crate::config::{Algorithm, Execution, TrainConfig};
+use crate::error::CoreError;
+use isasgd_losses::{EvalMetrics, Loss, Objective};
+use isasgd_metrics::Trace;
+use isasgd_sparse::Dataset;
+
+/// Everything a training run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-epoch convergence trace (training wall-clock, eval excluded).
+    pub trace: Trace,
+    /// The final model vector.
+    pub model: Vec<f64>,
+    /// Metrics of the final model.
+    pub final_metrics: EvalMetrics,
+    /// Time spent in offline setup: importance weights, balancing,
+    /// sequence generation (the paper's "sampling time" overhead).
+    pub setup_secs: f64,
+    /// Accumulated training time.
+    pub train_secs: f64,
+    /// Accumulated evaluation time (excluded from the trace).
+    pub eval_secs: f64,
+    /// Total gradient steps taken.
+    pub steps: u64,
+    /// Whether importance balancing was applied (IS algorithms only).
+    pub balanced: Option<bool>,
+    /// Measured ρ (IS algorithms only).
+    pub rho: Option<f64>,
+}
+
+impl RunResult {
+    /// Setup overhead relative to training time — the §4.2 "7.7% to 1.1%"
+    /// observation.
+    pub fn setup_overhead(&self) -> f64 {
+        if self.train_secs > 0.0 {
+            self.setup_secs / self.train_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Trains `algo` on `ds` under `exec`, starting from the zero model.
+///
+/// See the crate docs for the supported (algorithm, execution) matrix;
+/// unsupported pairs return [`CoreError::Unsupported`].
+pub fn train<L: Loss>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    algo: Algorithm,
+    exec: Execution,
+    cfg: &TrainConfig,
+    dataset_name: &str,
+) -> Result<RunResult, CoreError> {
+    dispatch(ds, obj, algo, exec, cfg, dataset_name, None)
+}
+
+/// [`train`] warm-started from an existing model vector (e.g. a loaded
+/// [`SavedModel`](isasgd_model::SavedModel), or the result of a previous
+/// run whose epochs ran out) — every solver continues from `init`.
+pub fn train_from<L: Loss>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    algo: Algorithm,
+    exec: Execution,
+    cfg: &TrainConfig,
+    dataset_name: &str,
+    init: &[f64],
+) -> Result<RunResult, CoreError> {
+    if init.len() != ds.dim() {
+        return Err(CoreError::InvalidConfig(format!(
+            "warm-start model has dimension {} but the dataset has {}",
+            init.len(),
+            ds.dim()
+        )));
+    }
+    if let Some(bad) = init.iter().find(|x| !x.is_finite()) {
+        return Err(CoreError::InvalidConfig(format!(
+            "warm-start model contains non-finite weight {bad}"
+        )));
+    }
+    dispatch(ds, obj, algo, exec, cfg, dataset_name, Some(init))
+}
+
+fn dispatch<L: Loss>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    algo: Algorithm,
+    exec: Execution,
+    cfg: &TrainConfig,
+    dataset_name: &str,
+    init: Option<&[f64]>,
+) -> Result<RunResult, CoreError> {
+    let name = algo.name();
+    match (algo, exec) {
+        // --- plain SGD family ---------------------------------------
+        (Algorithm::Sgd, Execution::Sequential) => {
+            crate::solvers::sim::run(ds, obj, cfg, 0, 1, false, name, dataset_name, init)
+        }
+        (Algorithm::IsSgd, Execution::Sequential) => {
+            crate::solvers::sim::run(ds, obj, cfg, 0, 1, true, name, dataset_name, init)
+        }
+        (Algorithm::Sgd, Execution::Simulated { tau, workers }) => {
+            crate::solvers::sim::run(ds, obj, cfg, tau, workers, false, name, dataset_name, init)
+        }
+        (Algorithm::IsSgd, Execution::Simulated { tau, workers }) => {
+            crate::solvers::sim::run(ds, obj, cfg, tau, workers, true, name, dataset_name, init)
+        }
+        // --- asynchronous family ------------------------------------
+        (Algorithm::Asgd, Execution::Threads(k)) => {
+            crate::solvers::hogwild::run(ds, obj, cfg, k, false, name, dataset_name, init)
+        }
+        (Algorithm::IsAsgd, Execution::Threads(k)) => {
+            crate::solvers::hogwild::run(ds, obj, cfg, k, true, name, dataset_name, init)
+        }
+        (Algorithm::Asgd, Execution::Simulated { tau, workers }) => {
+            crate::solvers::sim::run(ds, obj, cfg, tau, workers, false, name, dataset_name, init)
+        }
+        (Algorithm::IsAsgd, Execution::Simulated { tau, workers }) => {
+            crate::solvers::sim::run(ds, obj, cfg, tau, workers, true, name, dataset_name, init)
+        }
+        // --- SVRG family --------------------------------------------
+        (Algorithm::SvrgSgd(v), Execution::Sequential) => {
+            crate::solvers::svrg::run(ds, obj, cfg, v, exec, name, dataset_name, init)
+        }
+        (Algorithm::SvrgAsgd(v), Execution::Threads(_))
+        | (Algorithm::SvrgAsgd(v), Execution::Simulated { .. }) => {
+            crate::solvers::svrg::run(ds, obj, cfg, v, exec, name, dataset_name, init)
+        }
+        // --- SAGA / minibatch family ---------------------------------
+        (Algorithm::Saga(v), Execution::Sequential) => {
+            crate::solvers::saga::run(ds, obj, cfg, v, name, dataset_name, init)
+        }
+        (Algorithm::MbSgd { batch }, Execution::Sequential) => {
+            crate::solvers::minibatch::run(ds, obj, cfg, batch, false, name, dataset_name, init)
+        }
+        (Algorithm::MbIsSgd { batch }, Execution::Sequential) => {
+            crate::solvers::minibatch::run(ds, obj, cfg, batch, true, name, dataset_name, init)
+        }
+        (Algorithm::Saga(_) | Algorithm::MbSgd { .. } | Algorithm::MbIsSgd { .. }, _) => {
+            Err(CoreError::Unsupported {
+                algorithm: name,
+                reason: "SAGA and minibatch solvers are sequential; see crate docs".into(),
+            })
+        }
+        // --- rejected combinations ----------------------------------
+        (Algorithm::Sgd | Algorithm::IsSgd, Execution::Threads(_)) => {
+            Err(CoreError::Unsupported {
+                algorithm: name,
+                reason: "sequential algorithms do not take threads; use Asgd/IsAsgd".into(),
+            })
+        }
+        (Algorithm::Asgd | Algorithm::IsAsgd, Execution::Sequential) => {
+            Err(CoreError::Unsupported {
+                algorithm: name,
+                reason: "asynchronous algorithms need Threads(k) or Simulated{..}".into(),
+            })
+        }
+        (Algorithm::SvrgSgd(_), _) => Err(CoreError::Unsupported {
+            algorithm: name,
+            reason: "SVRG-SGD is sequential; use SvrgAsgd for parallel runs".into(),
+        }),
+        (Algorithm::SvrgAsgd(_), Execution::Sequential) => Err(CoreError::Unsupported {
+            algorithm: name,
+            reason: "use SvrgSgd for the sequential variant".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SvrgVariant;
+    use isasgd_losses::{LogisticLoss, Regularizer};
+    use isasgd_sparse::DatasetBuilder;
+
+    fn ds() -> Dataset {
+        let mut b = DatasetBuilder::new(4);
+        for i in 0..120 {
+            let j = (i % 2) as u32;
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            b.push_row(&[(j, y), (2 + j, 0.5 * y)], y).unwrap();
+        }
+        b.finish()
+    }
+
+    fn obj() -> Objective<LogisticLoss> {
+        Objective::new(LogisticLoss, Regularizer::None)
+    }
+
+    #[test]
+    fn dispatch_matrix_happy_paths() {
+        let d = ds();
+        let cfg = TrainConfig::default().with_epochs(2);
+        let combos: Vec<(Algorithm, Execution)> = vec![
+            (Algorithm::Sgd, Execution::Sequential),
+            (Algorithm::IsSgd, Execution::Sequential),
+            (Algorithm::Sgd, Execution::Simulated { tau: 4, workers: 2 }),
+            (Algorithm::Asgd, Execution::Threads(2)),
+            (Algorithm::IsAsgd, Execution::Threads(2)),
+            (Algorithm::Asgd, Execution::Simulated { tau: 8, workers: 2 }),
+            (Algorithm::IsAsgd, Execution::Simulated { tau: 8, workers: 2 }),
+            (Algorithm::SvrgSgd(SvrgVariant::Literature), Execution::Sequential),
+            (Algorithm::SvrgAsgd(SvrgVariant::Literature), Execution::Threads(2)),
+            (
+                Algorithm::SvrgAsgd(SvrgVariant::Literature),
+                Execution::Simulated { tau: 4, workers: 2 },
+            ),
+        ];
+        for (a, e) in combos {
+            let r = train(&d, &obj(), a, e, &cfg, "t").unwrap();
+            assert_eq!(r.trace.algorithm, a.name(), "{a:?}/{e:?}");
+            assert!(r.steps > 0);
+        }
+    }
+
+    #[test]
+    fn dispatch_rejections() {
+        let d = ds();
+        let cfg = TrainConfig::default().with_epochs(1);
+        let bad: Vec<(Algorithm, Execution)> = vec![
+            (Algorithm::Sgd, Execution::Threads(2)),
+            (Algorithm::IsSgd, Execution::Threads(2)),
+            (Algorithm::Asgd, Execution::Sequential),
+            (Algorithm::IsAsgd, Execution::Sequential),
+            (Algorithm::SvrgSgd(SvrgVariant::Literature), Execution::Threads(2)),
+            (Algorithm::SvrgAsgd(SvrgVariant::Literature), Execution::Sequential),
+        ];
+        for (a, e) in bad {
+            assert!(
+                matches!(train(&d, &obj(), a, e, &cfg, "t"), Err(CoreError::Unsupported { .. })),
+                "{a:?}/{e:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn setup_overhead_reported() {
+        let d = ds();
+        let cfg = TrainConfig::default().with_epochs(2);
+        let r = train(&d, &obj(), Algorithm::IsSgd, Execution::Sequential, &cfg, "t").unwrap();
+        assert!(r.setup_secs >= 0.0);
+        assert!(r.setup_overhead() >= 0.0);
+    }
+
+    #[test]
+    fn warm_start_continues_from_init() {
+        let d = ds();
+        let cfg = TrainConfig::default().with_epochs(3).with_step_size(0.3);
+        // Train 3 epochs, then continue 3 more from the result.
+        let first = train(&d, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "t").unwrap();
+        let second = train_from(
+            &d,
+            &obj(),
+            Algorithm::Sgd,
+            Execution::Sequential,
+            &cfg,
+            "t",
+            &first.model,
+        )
+        .unwrap();
+        // The continued run's epoch-0 metrics equal the first run's final
+        // metrics (same model evaluated).
+        let resume0 = &second.trace.points[0];
+        assert!((resume0.objective - first.final_metrics.objective).abs() < 1e-12);
+        // And it keeps improving (or at least never regresses) from there.
+        assert!(
+            second.final_metrics.objective <= first.final_metrics.objective + 1e-9,
+            "{} then {}",
+            first.final_metrics.objective,
+            second.final_metrics.objective
+        );
+    }
+
+    #[test]
+    fn warm_start_all_solver_families() {
+        let d = ds();
+        let cfg = TrainConfig::default().with_epochs(1).with_step_size(0.1);
+        let init = vec![0.01; d.dim()];
+        let init_obj = obj().eval(&d, &init).objective;
+        let combos: Vec<(Algorithm, Execution)> = vec![
+            (Algorithm::Sgd, Execution::Sequential),
+            (Algorithm::IsAsgd, Execution::Threads(2)),
+            (Algorithm::IsAsgd, Execution::Simulated { tau: 4, workers: 2 }),
+            (Algorithm::SvrgSgd(SvrgVariant::Literature), Execution::Sequential),
+            (Algorithm::Saga(SvrgVariant::Literature), Execution::Sequential),
+            (Algorithm::MbSgd { batch: 4 }, Execution::Sequential),
+        ];
+        for (a, e) in combos {
+            let r = train_from(&d, &obj(), a, e, &cfg, "t", &init).unwrap();
+            // Epoch-0 point reflects the warm-start model, not zeros.
+            assert!(
+                (r.trace.points[0].objective - init_obj).abs() < 1e-12,
+                "{a:?}/{e:?}: epoch-0 objective {} should match init {init_obj}",
+                r.trace.points[0].objective
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_validation() {
+        let d = ds();
+        let cfg = TrainConfig::default().with_epochs(1);
+        let short = vec![0.0; d.dim() - 1];
+        assert!(matches!(
+            train_from(&d, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "t", &short),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let mut nan = vec![0.0; d.dim()];
+        nan[1] = f64::NAN;
+        assert!(matches!(
+            train_from(&d, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "t", &nan),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,279 @@
+//! Ablations backing the paper's design-choice claims.
+
+use crate::common::{paper_objective, Ctx};
+use isasgd_core::{
+    train, Algorithm, BalancePolicy, Execution, SequenceMode, SvrgVariant, TrainConfig,
+};
+use isasgd_datagen::{DatasetProfile, FeatureKind, PaperProfile};
+use isasgd_metrics::table::{fmt_num, TextTable};
+
+/// §2.3–2.4 — does importance balancing matter? Runs IS-ASGD with
+/// ForceBalance vs ForceShuffle vs Identity sharding on a deliberately
+/// high-ρ profile (where the paper predicts balancing wins) and on the
+/// low-ρ KDD-like profile (where shuffling suffices).
+pub fn balance(ctx: &mut Ctx) {
+    println!("\n=== Ablation: importance balancing (paper §2.3–2.4) ===\n");
+    let obj = paper_objective();
+    // A skewed profile: heavy-tailed norms ⇒ large ρ ⇒ shard imbalance.
+    let skewed = DatasetProfile {
+        name: "skewed",
+        dim: 5_000,
+        n_samples: 8_000,
+        mean_nnz: 30,
+        zipf_exponent: 0.9,
+        target_psi_norm: 0.60,
+        target_rho: 5e-2,
+        label_noise: 0.02,
+        planted_density: 0.10,
+        feature_kind: FeatureKind::GaussianScaled,
+        noise_nnz_coupling: 1.0,
+    };
+    let gen = isasgd_datagen::generate(&skewed, ctx.settings.seed);
+    let kdd = ctx.dataset_training(PaperProfile::KddAlgebra);
+
+    let mut table = TextTable::new(vec![
+        "dataset", "policy", "balanced?", "rho", "best_err", "final_rmse",
+    ]);
+    let epochs = ctx.settings.epochs.unwrap_or(10);
+    for (name, ds) in [("skewed", &gen.dataset), ("kdd_algebra", &kdd.dataset)] {
+        for (policy, label) in [
+            (BalancePolicy::ForceBalance, "head-tail"),
+            (BalancePolicy::ForceGreedy, "greedy-lpt"),
+            (BalancePolicy::ForceShuffle, "shuffle"),
+            (BalancePolicy::Identity, "identity"),
+            (BalancePolicy::default(), "adaptive"),
+        ] {
+            let mut cfg = TrainConfig::default()
+                .with_epochs(epochs)
+                .with_step_size(0.5)
+                .with_seed(ctx.settings.seed);
+            cfg.balance = policy;
+            cfg.importance = isasgd_core::ImportanceScheme::GradNormBound { radius: 1.0 };
+            let exec = Execution::Simulated { tau: 32, workers: 8 };
+            let r = train(ds, &obj, Algorithm::IsAsgd, exec, &cfg, name).expect("run");
+            table.row(vec![
+                name.to_string(),
+                label.to_string(),
+                r.balanced.map_or("-".into(), |b| b.to_string()),
+                fmt_num(r.rho.unwrap_or(f64::NAN)),
+                fmt_num(r.trace.best_error().unwrap_or(f64::NAN)),
+                fmt_num(r.trace.points.last().map_or(f64::NAN, |q| q.rmse)),
+            ]);
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "Expected: on the high-ρ profile, 'balance' ≥ 'shuffle' ≥ 'identity';\n\
+         on the low-ρ profile the three are indistinguishable and 'adaptive'\n\
+         picks shuffle — the paper's Algorithm-4 rule.\n"
+    );
+    ctx.write("ablation_balance.txt", &rendered);
+    ctx.write("ablation_balance.csv", &table.to_csv());
+}
+
+/// §4.2 — regenerate-per-epoch vs shuffle-once sample sequences.
+pub fn sequences(ctx: &mut Ctx) {
+    println!("\n=== Ablation: sequence regeneration vs shuffle-once (§4.2) ===\n");
+    let obj = paper_objective();
+    let mut table = TextTable::new(vec![
+        "dataset", "mode", "best_err", "final_rmse", "setup_s", "train_s",
+    ]);
+    for p in [PaperProfile::News20, PaperProfile::KddAlgebra] {
+        let data = ctx.dataset_training(p);
+        let epochs = ctx.settings.epochs_for(p).min(15);
+        for (mode, label) in [
+            (SequenceMode::RegeneratePerEpoch, "regenerate"),
+            (SequenceMode::ShuffleOnce, "shuffle-once"),
+        ] {
+            let mut cfg = TrainConfig::default()
+                .with_epochs(epochs)
+                .with_step_size(p.paper_step_size())
+                .with_seed(ctx.settings.seed);
+            cfg.sequence = mode;
+            cfg.importance = isasgd_core::ImportanceScheme::GradNormBound { radius: 1.0 };
+            let exec = Execution::Simulated { tau: 16, workers: 8 };
+            let r = train(&data.dataset, &obj, Algorithm::IsAsgd, exec, &cfg, p.id())
+                .expect("run");
+            table.row(vec![
+                p.id().to_string(),
+                label.to_string(),
+                fmt_num(r.trace.best_error().unwrap_or(f64::NAN)),
+                fmt_num(r.trace.points.last().map_or(f64::NAN, |q| q.rmse)),
+                fmt_num(r.setup_secs),
+                fmt_num(r.train_secs),
+            ]);
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "Expected (paper §4.2): the shuffle-once approximation converges like\n\
+         exact regeneration — 'such approximation works well in practice'.\n"
+    );
+    ctx.write("ablation_seq.txt", &rendered);
+    ctx.write("ablation_seq.csv", &table.to_csv());
+}
+
+/// Importance scheme × ψ × step-stability regime sweep.
+///
+/// The paper's Eq. 12 prescribes `p_i ∝ L_i` (smoothness constants) but
+/// reports gains (1.13–1.54×) far above what its own Table-1 ψ values
+/// predict through the variance bound alone (`1/√ψ_norm` ≈ 1.01–1.07).
+/// This grid measures all four Eq.-12 weight choices against uniform
+/// sampling across the importance spread ψ and the hotness `h = λ·L̄`
+/// (the step-stability regime). At the paper's shared-λ protocol the
+/// curvature channel cancels exactly (per-epoch effective step mass per
+/// row is λ·L_i under every static sampler), so the measured differences
+/// isolate the variance channel and the tail effects of extreme step
+/// corrections — see EXPERIMENTS.md, "Where the 1.13–1.54× lives", and
+/// the `is-gain` artifact for the tuned-λ regime where the large factors
+/// appear.
+pub fn schemes(ctx: &mut Ctx) {
+    println!("\n=== Ablation: importance scheme × ψ × step regime (Eq. 12 variants) ===\n");
+    use isasgd_core::ImportanceScheme as Sch;
+    let obj = paper_objective();
+    let mut table = TextTable::new(vec![
+        "psi_norm", "hotness", "scheme", "best_err", "err@25%ep",
+        "epochs_to_1.25opt", "speedup_ep", "max_corr",
+    ]);
+    // Reduced-size kdd-like profile: enough samples for stable curves,
+    // small enough that the ψ × hotness × scheme grid stays in minutes.
+    let base_scale = (ctx.settings.scale * 0.25).min(0.25);
+    let profile = PaperProfile::KddAlgebra;
+    let lambda = profile.paper_step_size();
+    let epochs = ctx.settings.epochs.unwrap_or(20);
+    // ψ axis: the Table-1 printed value (on normalized constants) down to
+    // the raw-constant spread real variable-nnz data exhibits.
+    let paper_psi = profile.paper_table1().3;
+    for psi in [paper_psi, 0.7, 0.5, 0.35] {
+        for hotness in [1.0, 2.0] {
+            let mut p = profile.scaled().scaled_by(base_scale);
+            p.target_psi_norm = psi;
+            let cv_sq = 1.0 / psi - 1.0;
+            let mean_l = hotness / lambda;
+            p.target_rho = cv_sq * mean_l * mean_l;
+            if let FeatureKind::Binary { .. } = p.feature_kind {
+                // Binary mode carries the importance scale in the value.
+                p.feature_kind = FeatureKind::Binary {
+                    value: (4.0 * mean_l / p.mean_nnz as f64).sqrt(),
+                };
+            }
+            let gen = isasgd_datagen::generate(&p, ctx.settings.seed);
+            let exec = Execution::Simulated { tau: 32, workers: 8 };
+            let mk_cfg = || {
+                TrainConfig::default()
+                    .with_epochs(epochs)
+                    .with_step_size(lambda)
+                    .with_seed(ctx.settings.seed)
+            };
+            let asgd = train(&gen.dataset, &obj, Algorithm::Asgd, exec, &mk_cfg(), p.name)
+                .expect("asgd");
+            // Common target both algorithms plausibly reach: 1.25× ASGD's
+            // best error; epoch-speedup is ASGD's time to it over the
+            // candidate's.
+            let target = 1.25 * asgd.trace.best_error().unwrap_or(f64::NAN);
+            let asgd_curve = isasgd_metrics::trace::best_error_curve_by_epoch(&asgd.trace);
+            let asgd_to = isasgd_metrics::interpolate::time_to_target(&asgd_curve, target);
+            let schemes: [(Sch, &str); 4] = [
+                (Sch::Uniform, "uniform(ASGD)"),
+                (Sch::GradNormBound { radius: 1.0 }, "gradnorm"),
+                (Sch::LipschitzSmoothness, "smoothness"),
+                (Sch::PartiallyBiased { bias: 0.5 }, "partial-0.5"),
+            ];
+            for (scheme, label) in schemes {
+                let r = if matches!(scheme, Sch::Uniform) {
+                    asgd.clone()
+                } else {
+                    let mut cfg = mk_cfg();
+                    cfg.importance = scheme;
+                    train(&gen.dataset, &obj, Algorithm::IsAsgd, exec, &cfg, p.name)
+                        .expect("is-asgd")
+                };
+                let curve = isasgd_metrics::trace::best_error_curve_by_epoch(&r.trace);
+                let to_target = isasgd_metrics::interpolate::time_to_target(&curve, target);
+                let speedup = match (asgd_to, to_target) {
+                    (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+                    _ => None,
+                };
+                // Early-stage error: at 25% of the epoch budget.
+                let early = r
+                    .trace
+                    .points
+                    .iter()
+                    .find(|q| q.epoch >= epochs as f64 * 0.25)
+                    .map_or(f64::NAN, |q| q.error_rate);
+                let w = isasgd_core::importance_weights(
+                    &gen.dataset, &isasgd_core::LogisticLoss, obj.reg, scheme,
+                );
+                let corr = isasgd_core::step_corrections(&w);
+                let max_corr = corr.iter().cloned().fold(0.0, f64::max);
+                table.row(vec![
+                    fmt_num(psi),
+                    fmt_num(hotness),
+                    label.to_string(),
+                    fmt_num(r.trace.best_error().unwrap_or(f64::NAN)),
+                    fmt_num(early),
+                    to_target.map_or("-".into(), fmt_num),
+                    speedup.map_or("-".into(), fmt_num),
+                    fmt_num(max_corr),
+                ]);
+            }
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "Reading: at the Table-1-printed ψ (normalized constants) the L-spread\n\
+         is too small for any scheme to beat uniform by the paper's factors; at\n\
+         the raw-constant ψ of variable-nnz data (0.35–0.6) the smoothness and\n\
+         partially-biased corrections equalize effective steps and reach common\n\
+         error targets with paper-sized epoch speedups.\n"
+    );
+    ctx.write("ablation_scheme.txt", &rendered);
+    ctx.write("ablation_scheme.csv", &table.to_csv());
+}
+
+/// §1.2 — the public skip-µ SVRG variant vs the literature algorithm.
+pub fn svrg(ctx: &mut Ctx) {
+    println!("\n=== Ablation: SVRG literature vs public skip-µ variant (§1.2) ===\n");
+    let obj = paper_objective();
+    let data = ctx.dataset(PaperProfile::News20);
+    let epochs = ctx.settings.epochs_for(PaperProfile::News20);
+    let cfg = TrainConfig::default()
+        .with_epochs(epochs)
+        .with_step_size(0.05) // SVRG needs a gentler step on this objective
+        .with_seed(ctx.settings.seed);
+    let mut table = TextTable::new(vec!["variant", "epoch", "rmse", "error_rate"]);
+    for (variant, label) in [
+        (SvrgVariant::Literature, "literature"),
+        (SvrgVariant::SkipMu, "skip-mu"),
+    ] {
+        let r = train(
+            &data.dataset,
+            &obj,
+            Algorithm::SvrgSgd(variant),
+            Execution::Sequential,
+            &cfg,
+            "news20",
+        )
+        .expect("svrg run");
+        for q in &r.trace.points {
+            table.row(vec![
+                label.to_string(),
+                fmt_num(q.epoch),
+                fmt_num(q.rmse),
+                fmt_num(q.error_rate),
+            ]);
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "Expected (paper §1.2): the skip-µ trajectory departs from the literature\n\
+         version — 'we found the convergence curve of this public version far\n\
+         from the literature version'.\n"
+    );
+    ctx.write("ablation_svrg.txt", &rendered);
+    ctx.write("ablation_svrg.csv", &table.to_csv());
+}

@@ -1,0 +1,93 @@
+//! The `cluster` artifact — paper §2.3/Fig. 2 in the *node* setting.
+//!
+//! Each node samples only from its local shard, so a skewed contiguous
+//! layout distorts the per-node sampling distribution exactly as the
+//! paper's Fig. 2 worked example. This sweep measures the shard
+//! importance imbalance max Φ_a/mean Φ_a (Eq. 18/19) and the consensus
+//! model quality for each balancing policy across cluster sizes.
+
+use crate::common::Ctx;
+use isasgd_cluster::{ClusterConfig, SyncStrategy};
+use isasgd_core::{BalancePolicy, ImportanceScheme, LogisticLoss, Objective, Regularizer};
+use isasgd_datagen::{DatasetProfile, FeatureKind};
+use isasgd_metrics::table::{fmt_num, TextTable};
+
+/// Runs the sweep.
+pub fn run(ctx: &mut Ctx) {
+    println!("\n=== Cluster: per-node importance balancing (§2.3–2.4, Fig. 2) ===\n");
+    // Heavy-tailed importance, *sorted* by importance before sharding —
+    // the adversarial arrival order (e.g. documents sorted by length)
+    // that contiguous sharding turns into maximal imbalance.
+    let profile = DatasetProfile {
+        name: "cluster_skewed",
+        dim: 5_000,
+        n_samples: 12_000,
+        mean_nnz: 30,
+        zipf_exponent: 0.9,
+        target_psi_norm: 0.55,
+        target_rho: 10.0,
+        label_noise: 0.05,
+        planted_density: 0.10,
+        feature_kind: FeatureKind::GaussianScaled,
+        noise_nnz_coupling: 1.0,
+    };
+    let gen = isasgd_datagen::generate(&profile, ctx.settings.seed);
+    let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
+    // Sort rows by row norm (∝ importance) to plant the adversarial
+    // layout.
+    let mut order: Vec<usize> = (0..gen.dataset.n_samples()).collect();
+    let norms = isasgd_core::importance_weights(
+        &gen.dataset,
+        &LogisticLoss,
+        Regularizer::None,
+        ImportanceScheme::LipschitzSmoothness,
+    );
+    order.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).expect("finite weights"));
+    let sorted = gen.dataset.reordered(&order).expect("permutation");
+
+    let mut table = TextTable::new(vec![
+        "nodes", "policy", "phi_max_over_mean", "final_obj", "final_err",
+    ]);
+    let rounds = ctx.settings.epochs.unwrap_or(8);
+    for nodes in [2usize, 4, 8, 16] {
+        for (policy, label) in [
+            (BalancePolicy::Identity, "identity"),
+            (BalancePolicy::ForceShuffle, "shuffle"),
+            (BalancePolicy::ForceBalance, "head-tail"),
+            (BalancePolicy::ForceGreedy, "greedy-lpt"),
+        ] {
+            let cfg = ClusterConfig {
+                nodes,
+                rounds,
+                local_epochs: 1,
+                step_size: 0.1,
+                importance: ImportanceScheme::GradNormBound { radius: 1.0 },
+                balance: policy,
+                sync: SyncStrategy::Average,
+                seed: ctx.settings.seed,
+            };
+            let r = isasgd_cluster::node::run(&sorted, &obj, &cfg).expect("cluster run");
+            let last = r.rounds.last().expect("≥1 round");
+            table.row(vec![
+                nodes.to_string(),
+                label.to_string(),
+                fmt_num(r.phi_imbalance),
+                fmt_num(last.objective),
+                fmt_num(last.error_rate),
+            ]);
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "Expected: identity sharding of importance-sorted data is maximally\n\
+         imbalanced (Φ ratio ≫ 1, growing with node count); greedy-LPT flattens\n\
+         Φ to ≈ 1 at every width; head-tail (Alg. 3) helps but *degrades with\n\
+         node count on right-skewed importance* (its pair sums concentrate the\n\
+         heavy tail in one contiguous block — see EXPERIMENTS.md, 'balancing\n\
+         under skew'); shuffling is near-balanced at this n/node ratio, the\n\
+         paper's §2.4 observation.\n"
+    );
+    ctx.write("cluster.txt", &rendered);
+    ctx.write("cluster.csv", &table.to_csv());
+}

@@ -1,0 +1,153 @@
+//! The `is-gain` demonstration: the regime where importance sampling
+//! *provably* delivers the paper's claimed factors.
+//!
+//! The paper's Lemma 2 inherits Needell et al.'s bound: uniform sampling
+//! needs `k ∝ sup L/µ` iterations where IS needs `k ∝ L̄/µ` — a gain of
+//! `sup L/L̄` in the curvature-dominated (Kaczmarz) regime of the
+//! *squared* loss with the step size at the uniform-sampling stability
+//! edge. The main figures use the paper's saturated logistic objective,
+//! where that mechanism is clipped and the measured IS-ASGD gain is ≈ 1×
+//! (see EXPERIMENTS.md); this artifact exhibits the claim in the regime
+//! its own theory targets, sweeping the importance spread ψ.
+
+use crate::common::{run_averaged, Ctx};
+use isasgd_core::{
+    train, Algorithm, Execution, ImportanceScheme, Objective, Regularizer, SquaredLoss,
+    TrainConfig,
+};
+use isasgd_datagen::{DatasetProfile, FeatureKind};
+use isasgd_metrics::interpolate::time_to_target;
+use isasgd_metrics::table::{fmt_num, TextTable};
+use isasgd_metrics::Trace;
+
+/// Monotone best-objective curve keyed by epoch.
+fn objective_curve(t: &Trace) -> Vec<(f64, f64)> {
+    let mut best = f64::INFINITY;
+    t.points
+        .iter()
+        .map(|p| {
+            best = best.min(p.objective);
+            (p.epoch, best)
+        })
+        .collect()
+}
+
+/// Epoch-speedup of `fast` over `slow` at a fraction `frac` of `slow`'s
+/// own objective decrease (robust common target).
+fn epoch_speedup(slow: &Trace, fast: &Trace, frac: f64) -> Option<f64> {
+    let cs = objective_curve(slow);
+    let cf = objective_curve(fast);
+    let start = cs.first()?.1;
+    let end = cs.last()?.1;
+    let target = end + (start - end) * (1.0 - frac);
+    match (time_to_target(&cs, target), time_to_target(&cf, target)) {
+        (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+        _ => None,
+    }
+}
+
+/// Runs the ψ sweep.
+pub fn run(ctx: &mut Ctx) {
+    println!("\n=== IS gain demonstration (squared loss, Eq. 13/14 regime) ===\n");
+    let obj = Objective::new(SquaredLoss, Regularizer::L2 { eta: 1e-4 });
+    let mut table = TextTable::new(vec![
+        "psi_norm", "sup_over_mean", "pair_protocol", "sp@50%", "sp@80%", "sp@95%",
+    ]);
+    let epochs = ctx.settings.epochs.unwrap_or(12);
+    let avg = ctx.settings.avg_runs.max(3);
+    for psi in [0.9, 0.7, 0.5, 0.35] {
+        let p = DatasetProfile {
+            name: "isgain",
+            dim: 2_000,
+            n_samples: 8_000,
+            mean_nnz: 16,
+            zipf_exponent: 0.8,
+            target_psi_norm: psi,
+            // Moderate norms: L̄ fixed at 0.5 across the sweep so only
+            // the *spread* changes, and λ = 1/(2·L̄-ish) sits at the
+            // uniform stability edge for the heavy tail.
+            target_rho: (1.0 / psi - 1.0) * 0.25,
+            label_noise: 0.0,
+            planted_density: 0.3,
+            feature_kind: FeatureKind::GaussianScaled,
+            noise_nnz_coupling: 0.0,
+        };
+        let gen = isasgd_datagen::generate(&p, ctx.settings.seed);
+        let w = isasgd_core::importance_weights(
+            &gen.dataset,
+            &SquaredLoss,
+            obj.reg,
+            ImportanceScheme::LipschitzSmoothness,
+        );
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        let sup = w.iter().cloned().fold(0.0, f64::max);
+        // Uniform sampling must not diverge on the heaviest row, so its
+        // stability-edge step is λ_u ≈ 0.5/sup L. The theory bounds
+        // (Needell Eqs. 28/29, inherited by Lemma 2) compare each
+        // algorithm at its *own* optimal step — IS's effective per-visit
+        // step is λ·(L̄/L_i)·L_i = λ·L̄, so its edge is λ_is ≈ 0.4/L̄,
+        // larger by ≈ sup L/L̄. The table reports both protocols:
+        // `tuned-λ` (theory's comparison — the sup/mean gain) and
+        // `same-λ` (the paper's experimental protocol — variance-channel
+        // gain only).
+        let lambda_u = 0.5 / sup;
+        let lambda_is = 0.4 / mean;
+
+        let mk = |seed: u64, lambda: f64| {
+            let mut c = TrainConfig::default()
+                .with_epochs(epochs)
+                .with_step_size(lambda)
+                .with_seed(seed);
+            c.importance = ImportanceScheme::LipschitzSmoothness;
+            c
+        };
+        let exec = Execution::Simulated { tau: 32, workers: 8 };
+        let run_algo = |algo: Algorithm, lambda: f64| {
+            run_averaged(avg, ctx.settings.seed, |s| {
+                let e = match algo {
+                    Algorithm::Sgd | Algorithm::IsSgd => Execution::Sequential,
+                    _ => exec,
+                };
+                train(&gen.dataset, &obj, algo, e, &mk(s, lambda), "isgain")
+                    .expect("isgain run")
+            })
+        };
+        // Sequential pair (Alg. 2 vs Eq. 3) and async pair (Alg. 4 vs
+        // Hogwild, τ = 32), under both step-size protocols.
+        let sgd = run_algo(Algorithm::Sgd, lambda_u);
+        let is_sgd_same = run_algo(Algorithm::IsSgd, lambda_u);
+        let is_sgd_tuned = run_algo(Algorithm::IsSgd, lambda_is);
+        let asgd = run_algo(Algorithm::Asgd, lambda_u);
+        let is_asgd_same = run_algo(Algorithm::IsAsgd, lambda_u);
+        let is_asgd_tuned = run_algo(Algorithm::IsAsgd, lambda_is);
+
+        for (slow, fast, label) in [
+            (&sgd, &is_sgd_same, "IS-SGD/SGD same-λ"),
+            (&sgd, &is_sgd_tuned, "IS-SGD/SGD tuned-λ"),
+            (&asgd, &is_asgd_same, "IS-ASGD/ASGD same-λ"),
+            (&asgd, &is_asgd_tuned, "IS-ASGD/ASGD tuned-λ"),
+        ] {
+            table.row(vec![
+                fmt_num(psi),
+                fmt_num(sup / mean),
+                label.to_string(),
+                epoch_speedup(&slow.trace, &fast.trace, 0.50).map_or("-".into(), fmt_num),
+                epoch_speedup(&slow.trace, &fast.trace, 0.80).map_or("-".into(), fmt_num),
+                epoch_speedup(&slow.trace, &fast.trace, 0.95).map_or("-".into(), fmt_num),
+            ]);
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "Expected: tuned-λ speedups grow with sup L/L̄ as ψ falls — into and\n\
+         beyond the paper's 1.13–1.54× band — and the asynchronous pair tracks\n\
+         the sequential pair (Lemma 2's 'IS-ASGD inherits IS-SGD's bound up to\n\
+         an order-wise constant'). Same-λ speedups (the paper's experimental\n\
+         protocol) collapse to the variance channel: per-epoch effective step\n\
+         mass per row is λ·L_i under both samplers, so only the gradient-noise\n\
+         reduction remains.\n"
+    );
+    ctx.write("is_gain.txt", &rendered);
+    ctx.write("is_gain.csv", &table.to_csv());
+}

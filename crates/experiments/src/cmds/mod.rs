@@ -1,0 +1,15 @@
+//! One module per regenerated artifact.
+
+pub mod ablations;
+pub mod cluster;
+pub mod dense;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod isgain;
+pub mod summary;
+pub mod table1;
+pub mod theory;
+pub mod variance;

@@ -1,0 +1,65 @@
+//! §3 — theoretical quantities: Lipschitz summaries, IS improvement
+//! factors (Eqs. 13–14), conflict degrees Δ̄ and τ budgets (Eq. 27).
+
+use crate::common::{paper_objective, Ctx};
+use isasgd_analysis::theory::LipschitzSummary;
+use isasgd_analysis::{
+    is_asgd_iteration_bound, is_improvement_factor, recommended_step_size, sgd_iteration_bound,
+    tau_budget, BoundInputs, ConflictStats,
+};
+use isasgd_core::ImportanceScheme;
+use isasgd_datagen::PaperProfile;
+use isasgd_losses::importance_weights;
+use isasgd_metrics::table::{fmt_num, TextTable};
+
+/// Runs the theory calculators over the four profiles.
+pub fn run(ctx: &mut Ctx) {
+    println!("\n=== §3 theory: bounds, conflict degrees, τ budgets ===\n");
+    let obj = paper_objective();
+    let mut table = TextTable::new(vec![
+        "dataset", "supL", "meanL", "infL", "IS_factor", "delta_bar", "n/delta",
+        "tau_budget", "k_sgd", "k_is", "lambda*",
+    ]);
+    for p in PaperProfile::ALL {
+        let data = ctx.dataset(p);
+        let ds = &data.dataset;
+        let w = importance_weights(ds, &obj.loss, obj.reg, ImportanceScheme::LipschitzSmoothness);
+        let l = LipschitzSummary::from_weights(&w);
+        let conflicts = ConflictStats::estimate(ds, 300, ctx.settings.seed);
+        // Representative constants: ε = 1% of ε₀, strong convexity from a
+        // hypothetical L2 term at the paper's η, residual from mean L.
+        let inp = BoundInputs {
+            mu: 1e-2,
+            sigma_sq: 1e-3,
+            epsilon: 1e-2,
+            epsilon0: 1.0,
+        };
+        table.row(vec![
+            p.id().to_string(),
+            fmt_num(l.sup),
+            fmt_num(l.mean),
+            fmt_num(l.inf),
+            fmt_num(is_improvement_factor(&w)),
+            fmt_num(conflicts.avg_degree),
+            fmt_num(if conflicts.avg_degree > 0.0 {
+                ds.n_samples() as f64 / conflicts.avg_degree
+            } else {
+                f64::INFINITY
+            }),
+            fmt_num(tau_budget(&inp, &l, ds.n_samples(), conflicts.avg_degree)),
+            fmt_num(sgd_iteration_bound(&inp, &l)),
+            fmt_num(is_asgd_iteration_bound(&inp, &l)),
+            fmt_num(recommended_step_size(&inp, &l)),
+        ]);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "IS_factor = 1/sqrt(psi/n) is the Eq. 13-vs-14 bound improvement; the\n\
+         low-psi KDD profiles gain most, matching the paper's Fig. 3 ordering.\n\
+         tau_budget is Eq. 27's delay tolerance: sparser data (smaller delta_bar)\n\
+         tolerates more asynchrony.\n"
+    );
+    ctx.write("theory.txt", &rendered);
+    ctx.write("theory.csv", &table.to_csv());
+}

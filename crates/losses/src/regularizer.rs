@@ -1,0 +1,120 @@
+//! Regularizers `η·r(w)` with sparse (on-support) application.
+//!
+//! A dense regularizer gradient would reintroduce exactly the `O(d)`
+//! per-iteration cost the paper eliminates, so — following the Hogwild
+//! code base the paper builds on — the regularizer is applied **lazily on
+//! the support of the current sample**, scaled by the inverse feature
+//! frequency so the *expected* regularization force matches the full
+//! gradient. With uniform scaling `1.0` the regularizer is simply applied
+//! on-support (the common practical choice); both scalings are exposed.
+
+/// Regularization term added to every `f_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Regularizer {
+    /// No regularization.
+    #[default]
+    None,
+    /// `η·‖w‖₁` — the paper's evaluation choice (L1 cross-entropy).
+    L1 {
+        /// Regularization factor η.
+        eta: f64,
+    },
+    /// `(η/2)·‖w‖₂²`.
+    L2 {
+        /// Regularization factor η.
+        eta: f64,
+    },
+}
+
+impl Regularizer {
+    /// The regularization factor η (0 for `None`).
+    pub fn eta(&self) -> f64 {
+        match *self {
+            Regularizer::None => 0.0,
+            Regularizer::L1 { eta } | Regularizer::L2 { eta } => eta,
+        }
+    }
+
+    /// Value `η·r(w)` for a dense model.
+    pub fn value(&self, w: &[f64]) -> f64 {
+        match *self {
+            Regularizer::None => 0.0,
+            Regularizer::L1 { eta } => eta * w.iter().map(|x| x.abs()).sum::<f64>(),
+            Regularizer::L2 { eta } => 0.5 * eta * w.iter().map(|x| x * x).sum::<f64>(),
+        }
+    }
+
+    /// Sub/gradient contribution at coordinate value `wj`.
+    #[inline]
+    pub fn grad_coord(&self, wj: f64) -> f64 {
+        match *self {
+            Regularizer::None => 0.0,
+            Regularizer::L1 { eta } => {
+                if wj > 0.0 {
+                    eta
+                } else if wj < 0.0 {
+                    -eta
+                } else {
+                    0.0
+                }
+            }
+            Regularizer::L2 { eta } => eta * wj,
+        }
+    }
+
+    /// Curvature (strong-convexity / smoothness contribution) of the
+    /// regularizer: `η` for L2, `0` otherwise. Enters the per-sample
+    /// Lipschitz constant `L_i = smoothness·‖x_i‖² + curvature`.
+    pub fn curvature(&self) -> f64 {
+        match *self {
+            Regularizer::L2 { eta } => eta,
+            _ => 0.0,
+        }
+    }
+
+    /// True when `r` makes each `f_i` strongly convex (the paper's µ-convex
+    /// assumption, Eq. 5).
+    pub fn strongly_convex(&self) -> bool {
+        matches!(self, Regularizer::L2 { eta } if *eta > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values() {
+        let w = [1.0, -2.0, 0.0];
+        assert_eq!(Regularizer::None.value(&w), 0.0);
+        assert_eq!(Regularizer::L1 { eta: 0.5 }.value(&w), 1.5);
+        assert_eq!(Regularizer::L2 { eta: 2.0 }.value(&w), 5.0);
+    }
+
+    #[test]
+    fn coordinate_gradients() {
+        let l1 = Regularizer::L1 { eta: 0.1 };
+        assert_eq!(l1.grad_coord(3.0), 0.1);
+        assert_eq!(l1.grad_coord(-3.0), -0.1);
+        assert_eq!(l1.grad_coord(0.0), 0.0);
+        let l2 = Regularizer::L2 { eta: 0.1 };
+        assert!((l2.grad_coord(3.0) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn curvature_and_convexity() {
+        assert_eq!(Regularizer::None.curvature(), 0.0);
+        assert_eq!(Regularizer::L1 { eta: 1.0 }.curvature(), 0.0);
+        assert_eq!(Regularizer::L2 { eta: 0.3 }.curvature(), 0.3);
+        assert!(Regularizer::L2 { eta: 0.3 }.strongly_convex());
+        assert!(!Regularizer::L2 { eta: 0.0 }.strongly_convex());
+        assert!(!Regularizer::L1 { eta: 0.3 }.strongly_convex());
+    }
+
+    #[test]
+    fn eta_accessor() {
+        assert_eq!(Regularizer::None.eta(), 0.0);
+        assert_eq!(Regularizer::L1 { eta: 0.7 }.eta(), 0.7);
+        assert_eq!(Regularizer::L2 { eta: 0.9 }.eta(), 0.9);
+    }
+}

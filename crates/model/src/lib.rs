@@ -1,0 +1,30 @@
+//! Lock-free shared model for Hogwild-style asynchronous SGD.
+//!
+//! The paper's ASGD substrate (Recht et al.'s Hogwild) updates a single
+//! shared parameter vector from many threads with **no locks**: each
+//! coordinate update is an independent atomic read-modify-write with
+//! `Relaxed` ordering. Rust has no `AtomicF64`, so parameters are stored as
+//! `AtomicU64` bit-patterns (see *Rust Atomics and Locks*, ch. 2-3); the
+//! two update flavours offered are:
+//!
+//! * [`SharedModel::fetch_add`] — a compare-exchange loop; no update is
+//!   ever lost, matching the "atomic coordinate update" analysis model.
+//! * [`SharedModel::store_racy`] — read-modify-write as *separate* relaxed
+//!   load and store, the literal Hogwild implementation where concurrent
+//!   writes may stomp each other. Both are exposed because the paper's
+//!   convergence analysis (§3.1) models the *perturbed iterate* noise that
+//!   this racing produces.
+//!
+//! Everything here is safe Rust: races happen through atomics, never
+//! through UB.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod saved;
+pub mod shared;
+pub mod snapshot;
+
+pub use saved::{ModelIoError, SavedModel};
+pub use shared::SharedModel;
+pub use snapshot::ModelSnapshot;

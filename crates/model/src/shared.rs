@@ -1,0 +1,265 @@
+//! The atomic parameter vector.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared, lock-free `f64` parameter vector of fixed dimensionality.
+///
+/// All coordinate operations use `Relaxed` ordering: Hogwild's correctness
+/// argument is statistical (bounded staleness), not happens-before based,
+/// and `Relaxed` is the fastest ordering on every ISA. Synchronisation
+/// points that need a consistent view (epoch evaluation) go through
+/// [`SharedModel::snapshot_into`] *after* joining/parking the workers.
+#[derive(Debug)]
+pub struct SharedModel {
+    w: Vec<AtomicU64>,
+}
+
+impl SharedModel {
+    /// Creates a zero-initialized model of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        let mut w = Vec::with_capacity(dim);
+        w.resize_with(dim, || AtomicU64::new(0f64.to_bits()));
+        Self { w }
+    }
+
+    /// Creates a model from an existing dense vector.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        let w = dense
+            .iter()
+            .map(|&x| AtomicU64::new(x.to_bits()))
+            .collect();
+        Self { w }
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when the model has zero coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Relaxed read of coordinate `j`.
+    #[inline]
+    pub fn get(&self, j: usize) -> f64 {
+        f64::from_bits(self.w[j].load(Ordering::Relaxed))
+    }
+
+    /// Relaxed write of coordinate `j`.
+    #[inline]
+    pub fn set(&self, j: usize, x: f64) {
+        self.w[j].store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Lock-free `w[j] += delta` via a compare-exchange loop.
+    ///
+    /// Never loses an update; this is the default ASGD/IS-ASGD write path.
+    #[inline]
+    pub fn fetch_add(&self, j: usize, delta: f64) {
+        let cell = &self.w[j];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The literal Hogwild update: separate relaxed load and store.
+    ///
+    /// Concurrent writers may overwrite each other's contribution — this is
+    /// the additional gradient noise the perturbed-iterate analysis (paper
+    /// §3.1) absorbs into the `R_1`/`R_2` error terms. Exposed so the
+    /// effect is measurable; the solvers take an [`UpdateMode`].
+    #[inline]
+    pub fn store_racy(&self, j: usize, delta: f64) {
+        let cell = &self.w[j];
+        let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + delta).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Applies `w[j] += delta` using the requested mode.
+    #[inline]
+    pub fn add(&self, j: usize, delta: f64, mode: UpdateMode) {
+        match mode {
+            UpdateMode::AtomicCas => self.fetch_add(j, delta),
+            UpdateMode::RacyHogwild => self.store_racy(j, delta),
+        }
+    }
+
+    /// Copies the current (racy) model into `out`.
+    ///
+    /// When called while workers are updating, the copy is a *perturbed
+    /// iterate* — per-coordinate atomic but not globally consistent; exact
+    /// when called at a barrier.
+    pub fn snapshot_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.w.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))));
+    }
+
+    /// Allocates and returns a snapshot.
+    pub fn snapshot(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Overwrites the model from a dense slice.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn load_dense(&self, dense: &[f64]) {
+        assert_eq!(dense.len(), self.dim(), "load_dense dimension mismatch");
+        for (cell, &x) in self.w.iter().zip(dense) {
+            cell.store(x.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Resets all coordinates to zero.
+    pub fn reset(&self) {
+        for cell in &self.w {
+            cell.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Squared Euclidean norm of the current snapshot.
+    pub fn norm_sq(&self) -> f64 {
+        self.w
+            .iter()
+            .map(|a| {
+                let x = f64::from_bits(a.load(Ordering::Relaxed));
+                x * x
+            })
+            .sum()
+    }
+
+    /// Number of coordinates whose current value is exactly zero — tracks
+    /// model sparsity under L1 regularization.
+    pub fn count_zeros(&self) -> usize {
+        self.w
+            .iter()
+            .filter(|a| f64::from_bits(a.load(Ordering::Relaxed)) == 0.0)
+            .count()
+    }
+}
+
+/// Write-path selection for lock-free updates (see [`SharedModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateMode {
+    /// Compare-exchange loop; linearizable per coordinate.
+    #[default]
+    AtomicCas,
+    /// Relaxed load + relaxed store; concurrent increments may be lost
+    /// (original Hogwild behaviour).
+    RacyHogwild,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zeros_and_get_set() {
+        let m = SharedModel::zeros(4);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.get(2), 0.0);
+        m.set(2, 1.5);
+        assert_eq!(m.get(2), 1.5);
+    }
+
+    #[test]
+    fn from_dense_and_snapshot() {
+        let m = SharedModel::from_dense(&[1.0, -2.0, 3.0]);
+        assert_eq!(m.snapshot(), vec![1.0, -2.0, 3.0]);
+        let mut buf = Vec::new();
+        m.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let m = SharedModel::zeros(1);
+        for _ in 0..100 {
+            m.fetch_add(0, 0.5);
+        }
+        assert_eq!(m.get(0), 50.0);
+    }
+
+    #[test]
+    fn concurrent_cas_adds_conserve_sum() {
+        let m = Arc::new(SharedModel::zeros(8));
+        let threads = 4;
+        let adds_per_thread = 50_000;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for k in 0..adds_per_thread {
+                        m.fetch_add((t + k) % 8, 1.0);
+                    }
+                });
+            }
+        });
+        let total: f64 = m.snapshot().iter().sum();
+        assert_eq!(total, (threads * adds_per_thread) as f64);
+    }
+
+    #[test]
+    fn racy_updates_may_lose_but_stay_finite() {
+        let m = Arc::new(SharedModel::zeros(1));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        m.store_racy(0, 1.0);
+                    }
+                });
+            }
+        });
+        let v = m.get(0);
+        assert!(v.is_finite());
+        assert!(v > 0.0);
+        assert!(v <= 40_000.0);
+    }
+
+    #[test]
+    fn add_dispatches_mode() {
+        let m = SharedModel::zeros(1);
+        m.add(0, 2.0, UpdateMode::AtomicCas);
+        m.add(0, 3.0, UpdateMode::RacyHogwild);
+        assert_eq!(m.get(0), 5.0);
+    }
+
+    #[test]
+    fn load_dense_reset_and_norm() {
+        let m = SharedModel::zeros(3);
+        m.load_dense(&[3.0, 0.0, 4.0]);
+        assert_eq!(m.norm_sq(), 25.0);
+        assert_eq!(m.count_zeros(), 1);
+        m.reset();
+        assert_eq!(m.norm_sq(), 0.0);
+        assert_eq!(m.count_zeros(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn load_dense_wrong_len_panics() {
+        SharedModel::zeros(2).load_dense(&[1.0]);
+    }
+
+    #[test]
+    fn negative_zero_and_specials_roundtrip() {
+        let m = SharedModel::zeros(2);
+        m.set(0, -0.0);
+        assert_eq!(m.get(0), 0.0);
+        m.set(1, f64::MIN_POSITIVE);
+        assert_eq!(m.get(1), f64::MIN_POSITIVE);
+    }
+}

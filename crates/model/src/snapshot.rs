@@ -1,0 +1,78 @@
+//! Reusable model snapshots for epoch evaluation and SVRG anchors.
+
+use crate::shared::SharedModel;
+
+/// A reusable dense snapshot buffer with bookkeeping of when it was taken.
+///
+/// SVRG (paper Algorithm 1) keeps a model snapshot `s` and its full
+/// gradient `µ` per sync round; epoch evaluation also snapshots the shared
+/// model. Reusing one buffer avoids an `O(d)` allocation per epoch, which
+/// matters when `d` is in the millions (Figure 1's regime).
+#[derive(Debug, Clone, Default)]
+pub struct ModelSnapshot {
+    data: Vec<f64>,
+    /// Number of times the snapshot was refreshed.
+    pub version: u64,
+}
+
+impl ModelSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a zeroed snapshot of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            data: vec![0.0; dim],
+            version: 0,
+        }
+    }
+
+    /// Refreshes from the shared model, reusing the buffer.
+    pub fn refresh(&mut self, model: &SharedModel) {
+        model.snapshot_into(&mut self.data);
+        self.version += 1;
+    }
+
+    /// The snapshot contents.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access (used by SVRG to write µ in place).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Dimensionality of the snapshot.
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_tracks_model_and_version() {
+        let m = SharedModel::from_dense(&[1.0, 2.0]);
+        let mut s = ModelSnapshot::new();
+        s.refresh(&m);
+        assert_eq!(s.as_slice(), &[1.0, 2.0]);
+        assert_eq!(s.version, 1);
+        m.set(0, 9.0);
+        s.refresh(&m);
+        assert_eq!(s.as_slice(), &[9.0, 2.0]);
+        assert_eq!(s.version, 2);
+    }
+
+    #[test]
+    fn zeros_and_mut_access() {
+        let mut s = ModelSnapshot::zeros(3);
+        assert_eq!(s.dim(), 3);
+        s.as_mut_slice()[1] = 5.0;
+        assert_eq!(s.as_slice(), &[0.0, 5.0, 0.0]);
+    }
+}

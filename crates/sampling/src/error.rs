@@ -1,0 +1,48 @@
+//! Error types for the sampling crate.
+
+use std::fmt;
+
+/// Errors from constructing samplers or sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// The weight vector was empty.
+    EmptyWeights,
+    /// A weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// Position of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// All weights were zero — no probability mass to sample from.
+    ZeroMass,
+    /// Requested a sequence of zero length.
+    EmptySequence,
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::EmptyWeights => write!(f, "weight vector is empty"),
+            SamplingError::InvalidWeight { index, value } => {
+                write!(f, "invalid weight {value} at index {index}")
+            }
+            SamplingError::ZeroMass => write!(f, "weights sum to zero"),
+            SamplingError::EmptySequence => write!(f, "sample sequence length must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SamplingError::EmptyWeights.to_string().contains("empty"));
+        let e = SamplingError::InvalidWeight { index: 2, value: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Fenwick-tree (binary indexed tree) weighted sampler.
+//!
+//! Complements the [alias table](crate::alias): draws cost `O(log n)` but
+//! weights can be *updated* in `O(log n)`, which the static alias table
+//! cannot do. Used (a) as an independent oracle in differential tests of
+//! the alias method, and (b) for the adaptive-importance extension where
+//! `p_i ∝ ‖∇f_i(w_t)‖` estimates are refreshed during training (paper
+//! Eq. 11 — the "completely impractical" exact scheme becomes practical at
+//! small scale, making a useful ablation).
+
+use crate::error::SamplingError;
+use crate::rng::Xoshiro256pp;
+
+/// A dynamic weighted sampler over `n` outcomes backed by a Fenwick tree of
+/// prefix sums.
+#[derive(Debug, Clone)]
+pub struct FenwickSampler {
+    /// 1-based Fenwick tree; `tree[0]` unused.
+    tree: Vec<f64>,
+    /// Current raw weights, for exact reads.
+    weights: Vec<f64>,
+}
+
+impl FenwickSampler {
+    /// Builds the sampler from non-negative weights.
+    pub fn new(weights: &[f64]) -> Result<Self, SamplingError> {
+        if weights.is_empty() {
+            return Err(SamplingError::EmptyWeights);
+        }
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(SamplingError::InvalidWeight { index: i, value: w });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(SamplingError::ZeroMass);
+        }
+        let n = weights.len();
+        let mut tree = vec![0.0; n + 1];
+        // O(n) bulk construction.
+        for i in 1..=n {
+            tree[i] += weights[i - 1];
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                let v = tree[i];
+                tree[parent] += v;
+            }
+        }
+        Ok(Self {
+            tree,
+            weights: weights.to_vec(),
+        })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when there are no outcomes (unreachable through `new`).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total weight mass.
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.len())
+    }
+
+    /// Current weight of outcome `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Sum of weights over `0..=i-1` (`i` outcomes).
+    fn prefix_sum(&self, mut i: usize) -> f64 {
+        let mut s = 0.0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sets the weight of outcome `i` to `w` in `O(log n)`.
+    pub fn update(&mut self, i: usize, w: f64) -> Result<(), SamplingError> {
+        if !w.is_finite() || w < 0.0 {
+            return Err(SamplingError::InvalidWeight { index: i, value: w });
+        }
+        let delta = w - self.weights[i];
+        self.weights[i] = w;
+        let n = self.len();
+        let mut j = i + 1;
+        while j <= n {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+        Ok(())
+    }
+
+    /// Draws one outcome proportionally to current weights.
+    ///
+    /// Uses the standard Fenwick descend: find the smallest index whose
+    /// prefix sum exceeds `u * total`.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> usize {
+        let total = self.prefix_sum(self.len());
+        debug_assert!(total > 0.0, "sampler mass became zero");
+        let mut target = rng.next_f64() * total;
+        let n = self.len();
+        let mut pos = 0usize;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] < target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        // pos is the count of outcomes whose cumulative mass is below
+        // target, i.e. the sampled outcome index; clamp for fp residue.
+        pos.min(n - 1)
+    }
+
+    /// The normalized probability of outcome `i` under current weights.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.weights[i] / self.prefix_sum(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let w = [0.5, 1.5, 0.0, 3.0, 2.0];
+        let f = FenwickSampler::new(&w).unwrap();
+        let mut acc = 0.0;
+        for i in 0..=w.len() {
+            assert!((f.prefix_sum(i) - acc).abs() < 1e-12, "prefix {i}");
+            if i < w.len() {
+                acc += w[i];
+            }
+        }
+    }
+
+    #[test]
+    fn total_mass() {
+        let f = FenwickSampler::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((f.total() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let w = [4.0, 1.0, 3.0, 2.0];
+        let f = FenwickSampler::new(&w).unwrap();
+        let mut rng = Xoshiro256pp::new(17);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[f.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / draws as f64;
+            let expect = w[i] / 10.0;
+            assert!((freq - expect).abs() < 0.01, "outcome {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn update_changes_distribution() {
+        let mut f = FenwickSampler::new(&[1.0, 1.0]).unwrap();
+        f.update(0, 0.0).unwrap();
+        let mut rng = Xoshiro256pp::new(23);
+        for _ in 0..5_000 {
+            assert_eq!(f.sample(&mut rng), 1);
+        }
+        assert_eq!(f.weight(0), 0.0);
+        assert!((f.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_rejects_bad_weight() {
+        let mut f = FenwickSampler::new(&[1.0]).unwrap();
+        assert!(f.update(0, -2.0).is_err());
+        assert!(f.update(0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let f = FenwickSampler::new(&[0.0, 5.0, 0.0]).unwrap();
+        let mut rng = Xoshiro256pp::new(31);
+        for _ in 0..10_000 {
+            assert_eq!(f.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(FenwickSampler::new(&[]).is_err());
+        assert!(FenwickSampler::new(&[0.0]).is_err());
+        assert!(FenwickSampler::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 13, 100, 257] {
+            let w: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let f = FenwickSampler::new(&w).unwrap();
+            let mut rng = Xoshiro256pp::new(n as u64);
+            for _ in 0..1000 {
+                let s = f.sample(&mut rng);
+                assert!(s < n, "n={n} sample={s}");
+            }
+        }
+    }
+}

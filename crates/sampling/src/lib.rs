@@ -1,0 +1,77 @@
+//! Weighted sampling machinery for importance sampling SGD.
+//!
+//! The paper's practical IS-SGD (Algorithm 2) hinges on the observation that
+//! the non-uniform sampling distribution `P = {p_i = L_i / Σ L_j}` is
+//! *static*: it depends only on the per-sample Lipschitz constants, so the
+//! sample sequence can be generated offline and the training kernel stays
+//! identical to plain ASGD. This crate provides:
+//!
+//! * [`AliasTable`] — Walker/Vose alias method: `O(n)` build, `O(1)` draws.
+//! * [`FenwickSampler`] — a binary-indexed-tree sampler with `O(log n)`
+//!   draws *and* `O(log n)` weight updates, used as an oracle in tests and
+//!   for adaptive-weight extensions.
+//! * [`SampleSequence`] — pre-generated per-thread index sequences with the
+//!   paper's §4.2 "generate once, shuffle every epoch" approximation.
+//! * [`rng`] — small, fast, reproducible PRNGs (SplitMix64, Xoshiro256++)
+//!   so every experiment is seed-deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod error;
+pub mod fenwick;
+pub mod rng;
+pub mod sequence;
+
+pub use alias::AliasTable;
+pub use error::SamplingError;
+pub use fenwick::FenwickSampler;
+pub use rng::{splitmix64, Xoshiro256pp};
+pub use sequence::{SampleSequence, SequenceMode};
+
+/// Normalizes a weight vector into a probability distribution.
+///
+/// Returns an error if the weights are empty, contain negatives/NaN, or sum
+/// to zero.
+pub fn normalize_weights(weights: &[f64]) -> Result<Vec<f64>, SamplingError> {
+    if weights.is_empty() {
+        return Err(SamplingError::EmptyWeights);
+    }
+    let mut sum = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(SamplingError::InvalidWeight { index: i, value: w });
+        }
+        sum += w;
+    }
+    if sum <= 0.0 {
+        return Err(SamplingError::ZeroMass);
+    }
+    Ok(weights.iter().map(|&w| w / sum).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_ok() {
+        let p = normalize_weights(&[1.0, 3.0]).unwrap();
+        assert_eq!(p, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_rejects_bad_inputs() {
+        assert!(matches!(normalize_weights(&[]), Err(SamplingError::EmptyWeights)));
+        assert!(matches!(
+            normalize_weights(&[1.0, -2.0]),
+            Err(SamplingError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            normalize_weights(&[0.0, 0.0]),
+            Err(SamplingError::ZeroMass)
+        ));
+        assert!(normalize_weights(&[f64::NAN]).is_err());
+    }
+}

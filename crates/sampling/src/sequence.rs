@@ -1,0 +1,222 @@
+//! Pre-generated sample sequences (paper Algorithm 2, line 3).
+//!
+//! IS-SGD/IS-ASGD generate the weighted index sequence *before* training so
+//! the hot loop is a plain array walk — identical to ASGD's kernel. The
+//! paper's §4.2 additionally observes that regenerating the sequence every
+//! epoch can be replaced by generating once and Fisher–Yates-shuffling each
+//! epoch, closing the (already small) throughput gap with ASGD; both modes
+//! are provided and compared in the `ablation-seq` experiment.
+
+use crate::alias::AliasTable;
+use crate::error::SamplingError;
+use crate::rng::Xoshiro256pp;
+
+/// How per-epoch sequences are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequenceMode {
+    /// Draw a fresh i.i.d. weighted sequence every epoch (exact IS).
+    RegeneratePerEpoch,
+    /// Draw one weighted sequence up front, then only shuffle it each epoch
+    /// (paper §4.2 approximation; zero sampling cost after warm-up).
+    ShuffleOnce,
+    /// Uniform sampling with replacement (plain SGD/ASGD baseline).
+    UniformIid,
+    /// Random-reshuffling of `0..n` (epoch permutation, the common SGD
+    /// practice; included for ablations).
+    Permutation,
+}
+
+/// A reusable buffer of sample indices for one worker thread.
+///
+/// `advance_epoch` refreshes the buffer according to the chosen mode; the
+/// training loop then reads `indices()` sequentially.
+#[derive(Debug, Clone)]
+pub struct SampleSequence {
+    mode: SequenceMode,
+    table: Option<AliasTable>,
+    indices: Vec<u32>,
+    rng: Xoshiro256pp,
+    n_outcomes: usize,
+}
+
+impl SampleSequence {
+    /// Creates a weighted sequence of `len` draws over `weights.len()`
+    /// outcomes (modes [`SequenceMode::RegeneratePerEpoch`] /
+    /// [`SequenceMode::ShuffleOnce`]).
+    pub fn weighted(
+        weights: &[f64],
+        len: usize,
+        mode: SequenceMode,
+        seed: u64,
+    ) -> Result<Self, SamplingError> {
+        if len == 0 {
+            return Err(SamplingError::EmptySequence);
+        }
+        let table = AliasTable::new(weights)?;
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut indices = vec![0u32; len];
+        table.sample_into(&mut rng, &mut indices);
+        Ok(Self {
+            mode,
+            n_outcomes: table.len(),
+            table: Some(table),
+            indices,
+            rng,
+        })
+    }
+
+    /// Creates a uniform sequence of `len` draws over `n` outcomes
+    /// (modes [`SequenceMode::UniformIid`] / [`SequenceMode::Permutation`]).
+    pub fn uniform(
+        n: usize,
+        len: usize,
+        mode: SequenceMode,
+        seed: u64,
+    ) -> Result<Self, SamplingError> {
+        if len == 0 {
+            return Err(SamplingError::EmptySequence);
+        }
+        if n == 0 {
+            return Err(SamplingError::EmptyWeights);
+        }
+        let mut rng = Xoshiro256pp::new(seed);
+        let indices = match mode {
+            SequenceMode::Permutation => {
+                // Tile permutations of 0..n until len is covered.
+                let mut out = Vec::with_capacity(len);
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                while out.len() < len {
+                    rng.shuffle(&mut perm);
+                    let take = (len - out.len()).min(n);
+                    out.extend_from_slice(&perm[..take]);
+                }
+                out
+            }
+            _ => (0..len).map(|_| rng.next_index(n) as u32).collect(),
+        };
+        Ok(Self {
+            mode,
+            table: None,
+            indices,
+            rng,
+            n_outcomes: n,
+        })
+    }
+
+    /// The sampling mode.
+    pub fn mode(&self) -> SequenceMode {
+        self.mode
+    }
+
+    /// Number of underlying outcomes (dataset rows in the shard).
+    pub fn n_outcomes(&self) -> usize {
+        self.n_outcomes
+    }
+
+    /// The current epoch's index buffer.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Refreshes the buffer for the next epoch according to the mode.
+    pub fn advance_epoch(&mut self) {
+        match self.mode {
+            SequenceMode::RegeneratePerEpoch => {
+                let table = self
+                    .table
+                    .as_ref()
+                    .expect("weighted mode always stores a table");
+                table.sample_into(&mut self.rng, &mut self.indices);
+            }
+            SequenceMode::ShuffleOnce => self.rng.shuffle(&mut self.indices),
+            SequenceMode::UniformIid => {
+                let n = self.n_outcomes;
+                for i in &mut self.indices {
+                    *i = self.rng.next_index(n) as u32;
+                }
+            }
+            SequenceMode::Permutation => self.rng.shuffle(&mut self.indices),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_sequence_respects_distribution() {
+        let s = SampleSequence::weighted(&[1.0, 3.0], 40_000, SequenceMode::RegeneratePerEpoch, 7)
+            .unwrap();
+        let ones = s.indices().iter().filter(|&&i| i == 1).count();
+        let frac = ones as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn regenerate_changes_sequence() {
+        let mut s =
+            SampleSequence::weighted(&[1.0, 1.0, 1.0], 128, SequenceMode::RegeneratePerEpoch, 1)
+                .unwrap();
+        let before = s.indices().to_vec();
+        s.advance_epoch();
+        assert_ne!(before, s.indices());
+    }
+
+    #[test]
+    fn shuffle_once_preserves_multiset() {
+        let mut s = SampleSequence::weighted(&[1.0, 2.0], 512, SequenceMode::ShuffleOnce, 2).unwrap();
+        let mut before = s.indices().to_vec();
+        s.advance_epoch();
+        let mut after = s.indices().to_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after, "shuffle must preserve the draw multiset");
+    }
+
+    #[test]
+    fn uniform_iid_covers_outcomes() {
+        let s = SampleSequence::uniform(10, 10_000, SequenceMode::UniformIid, 3).unwrap();
+        let mut seen = [false; 10];
+        for &i in s.indices() {
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn permutation_mode_is_balanced_per_epoch() {
+        let n = 16;
+        let s = SampleSequence::uniform(n, n, SequenceMode::Permutation, 4).unwrap();
+        let mut sorted = s.indices().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_tiles_longer_sequences() {
+        let s = SampleSequence::uniform(4, 10, SequenceMode::Permutation, 5).unwrap();
+        assert_eq!(s.indices().len(), 10);
+        // First 4 and next 4 are full permutations.
+        let mut first: Vec<u32> = s.indices()[..4].to_vec();
+        first.sort_unstable();
+        assert_eq!(first, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = SampleSequence::weighted(&[1.0, 2.0, 3.0], 64, SequenceMode::RegeneratePerEpoch, 9)
+            .unwrap();
+        let b = SampleSequence::weighted(&[1.0, 2.0, 3.0], 64, SequenceMode::RegeneratePerEpoch, 9)
+            .unwrap();
+        assert_eq!(a.indices(), b.indices());
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(SampleSequence::weighted(&[], 4, SequenceMode::ShuffleOnce, 0).is_err());
+        assert!(SampleSequence::weighted(&[1.0], 0, SequenceMode::ShuffleOnce, 0).is_err());
+        assert!(SampleSequence::uniform(0, 4, SequenceMode::UniformIid, 0).is_err());
+        assert!(SampleSequence::uniform(4, 0, SequenceMode::UniformIid, 0).is_err());
+    }
+}

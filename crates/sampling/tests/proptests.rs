@@ -1,0 +1,104 @@
+//! Property tests: the alias table and the Fenwick sampler are two
+//! independent implementations of the same weighted distribution; they are
+//! checked against each other and against the analytic distribution.
+
+use isasgd_sampling::{AliasTable, FenwickSampler, SampleSequence, SequenceMode, Xoshiro256pp};
+use proptest::prelude::*;
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, 1..40).prop_filter("needs mass", |w| {
+        w.iter().sum::<f64>() > 1e-6
+    })
+}
+
+/// Chi-square-like closeness check between empirical and target
+/// distributions: every outcome within an absolute tolerance scaled to the
+/// number of draws.
+fn check_close(empirical: &[f64], target: &[f64], tol: f64) -> Result<(), TestCaseError> {
+    for (i, (&e, &t)) in empirical.iter().zip(target).enumerate() {
+        prop_assert!(
+            (e - t).abs() < tol,
+            "outcome {i}: empirical {e:.4} vs target {t:.4}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn alias_matches_target(w in weights_strategy(), seed in 0u64..1_000) {
+        let table = AliasTable::new(&w).unwrap();
+        let total: f64 = w.iter().sum();
+        let target: Vec<f64> = w.iter().map(|&x| x / total).collect();
+        let draws = 60_000;
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut counts = vec![0usize; w.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / draws as f64).collect();
+        check_close(&empirical, &target, 0.02)?;
+    }
+
+    #[test]
+    fn fenwick_matches_alias(w in weights_strategy(), seed in 0u64..1_000) {
+        let alias = AliasTable::new(&w).unwrap();
+        let fen = FenwickSampler::new(&w).unwrap();
+        let draws = 60_000;
+        let mut r1 = Xoshiro256pp::new(seed);
+        let mut r2 = Xoshiro256pp::new(seed.wrapping_add(1));
+        let mut c1 = vec![0usize; w.len()];
+        let mut c2 = vec![0usize; w.len()];
+        for _ in 0..draws {
+            c1[alias.sample(&mut r1)] += 1;
+            c2[fen.sample(&mut r2)] += 1;
+        }
+        let e1: Vec<f64> = c1.iter().map(|&c| c as f64 / draws as f64).collect();
+        let e2: Vec<f64> = c2.iter().map(|&c| c as f64 / draws as f64).collect();
+        check_close(&e1, &e2, 0.03)?;
+    }
+
+    #[test]
+    fn alias_probabilities_normalized(w in weights_strategy()) {
+        let table = AliasTable::new(&w).unwrap();
+        let s: f64 = table.probabilities().iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fenwick_update_consistency(w in weights_strategy(), idx_frac in 0.0f64..1.0, new_w in 0.0f64..5.0) {
+        let mut fen = FenwickSampler::new(&w).unwrap();
+        let idx = ((w.len() - 1) as f64 * idx_frac) as usize;
+        // Keep total mass positive.
+        let mut w2 = w.clone();
+        w2[idx] = new_w;
+        prop_assume!(w2.iter().sum::<f64>() > 1e-6);
+        fen.update(idx, new_w).unwrap();
+        let rebuilt = FenwickSampler::new(&w2).unwrap();
+        prop_assert!((fen.total() - rebuilt.total()).abs() < 1e-9);
+        for i in 0..w.len() {
+            prop_assert!((fen.probability(i) - rebuilt.probability(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shuffle_once_sequence_stable_multiset(w in weights_strategy(), epochs in 1usize..5) {
+        let mut seq = SampleSequence::weighted(&w, 256, SequenceMode::ShuffleOnce, 42).unwrap();
+        let mut base = seq.indices().to_vec();
+        base.sort_unstable();
+        for _ in 0..epochs {
+            seq.advance_epoch();
+            let mut cur = seq.indices().to_vec();
+            cur.sort_unstable();
+            prop_assert_eq!(&cur, &base);
+        }
+    }
+
+    #[test]
+    fn sequences_only_emit_valid_indices(w in weights_strategy(), seed in 0u64..100) {
+        let seq = SampleSequence::weighted(&w, 512, SequenceMode::RegeneratePerEpoch, seed).unwrap();
+        prop_assert!(seq.indices().iter().all(|&i| (i as usize) < w.len()));
+    }
+}

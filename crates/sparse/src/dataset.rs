@@ -1,0 +1,390 @@
+//! CSR dataset container and row views.
+
+use crate::error::SparseError;
+use crate::vector::SparseVec;
+
+/// A borrowed view of one sample: index-compressed features plus its label.
+///
+/// Rows are the unit every solver iterates over; all operations are
+/// `O(nnz)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseRow<'a> {
+    /// Strictly increasing feature indices.
+    pub indices: &'a [u32],
+    /// Feature values parallel to `indices`.
+    pub values: &'a [f64],
+    /// Binary label in {-1.0, +1.0}.
+    pub label: f64,
+}
+
+impl<'a> SparseRow<'a> {
+    /// Number of non-zero features.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Dot product against a dense model vector.
+    #[inline]
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&i, &x) in self.indices.iter().zip(self.values) {
+            acc += x * dense[i as usize];
+        }
+        acc
+    }
+
+    /// `dense += scale * x_i`, touching only the support.
+    #[inline]
+    pub fn axpy_into(&self, scale: f64, dense: &mut [f64]) {
+        for (&i, &x) in self.indices.iter().zip(self.values) {
+            dense[i as usize] += scale * x;
+        }
+    }
+
+    /// Squared Euclidean norm of the features.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Euclidean norm of the features.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Copies this row into an owned [`SparseVec`].
+    pub fn to_sparse_vec(&self) -> SparseVec {
+        self.indices.iter().copied().zip(self.values.iter().copied()).collect()
+    }
+}
+
+/// An immutable CSR (compressed sparse row) dataset of labelled samples.
+///
+/// Storage is three parallel arrays (`offsets`, `indices`, `values`) plus a
+/// label per row, exactly the layout used by high-performance ASGD
+/// implementations: row access is two slice borrows, no hashing, no
+/// indirection per non-zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Declared dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Borrow row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_samples()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> SparseRow<'_> {
+        let lo = self.offsets[i];
+        let hi = self.offsets[i + 1];
+        SparseRow {
+            indices: &self.indices[lo..hi],
+            values: &self.values[lo..hi],
+            label: self.labels[i],
+        }
+    }
+
+    /// Label of row `i` (±1).
+    #[inline]
+    pub fn label(&self, i: usize) -> f64 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Iterates over all rows in order.
+    pub fn rows(&self) -> impl Iterator<Item = SparseRow<'_>> + '_ {
+        (0..self.n_samples()).map(move |i| self.row(i))
+    }
+
+    /// Average non-zeros per sample.
+    pub fn mean_nnz(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.n_samples() as f64
+        }
+    }
+
+    /// Fraction of non-zero entries relative to the dense `n × d` matrix —
+    /// the "∇f_i sparsity" column of the paper's Table 1.
+    pub fn density(&self) -> f64 {
+        if self.is_empty() || self.dim == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.n_samples() as f64 * self.dim as f64)
+        }
+    }
+
+    /// Builds a new dataset containing the rows at `order`, in that order.
+    ///
+    /// Used by importance balancing (paper Algorithm 3) and random shuffling
+    /// to rearrange samples before sharding. Returns an error if any index
+    /// is out of range; duplicate indices are allowed (bootstrap-style
+    /// resampling is legitimate).
+    pub fn reordered(&self, order: &[usize]) -> Result<Dataset, SparseError> {
+        let mut b = DatasetBuilder::with_capacity(self.dim, order.len(), self.nnz());
+        for &i in order {
+            if i >= self.n_samples() {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: i as u32,
+                    dim: self.n_samples(),
+                });
+            }
+            let r = self.row(i);
+            b.push_row_unchecked(r.indices, r.values, r.label);
+        }
+        Ok(b.finish())
+    }
+
+    /// Splits `0..n` into `k` contiguous equal shards of row index ranges —
+    /// Algorithm 4 line 9 (`D_tid = D_r[n*tid/numT : n*(tid+1)/numT]`).
+    ///
+    /// Returns an error when `k == 0` or `k > n`.
+    pub fn shard_ranges(&self, k: usize) -> Result<Vec<std::ops::Range<usize>>, SparseError> {
+        shard_ranges(self.n_samples(), k)
+    }
+
+    /// Estimated heap bytes of the CSR arrays (indices, values, offsets,
+    /// labels); useful in the Figure-1 cost discussion.
+    pub fn heap_bytes(&self) -> usize {
+        self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f64>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.labels.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Computes `k` contiguous, nearly-equal ranges covering `0..n`.
+pub fn shard_ranges(n: usize, k: usize) -> Result<Vec<std::ops::Range<usize>>, SparseError> {
+    if k == 0 || k > n {
+        return Err(SparseError::Empty);
+    }
+    // Same arithmetic as the paper's Algorithm 4 line 9.
+    let mut out = Vec::with_capacity(k);
+    for t in 0..k {
+        let lo = n * t / k;
+        let hi = n * (t + 1) / k;
+        out.push(lo..hi);
+    }
+    Ok(out)
+}
+
+/// Incremental builder for [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    dim: usize,
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    labels: Vec<f64>,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder for dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(dim, 0, 0)
+    }
+
+    /// Starts a builder with row/non-zero capacity hints.
+    pub fn with_capacity(dim: usize, rows: usize, nnz: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Self {
+            dim,
+            offsets,
+            indices: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+            labels: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no rows were pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Validates and appends a row given `(index, value)` pairs (may be
+    /// unsorted) and a ±1 label.
+    pub fn push_row(&mut self, pairs: &[(u32, f64)], label: f64) -> Result<(), SparseError> {
+        let row = self.labels.len();
+        if label != 1.0 && label != -1.0 {
+            return Err(SparseError::BadLabel { row, label });
+        }
+        let v = SparseVec::from_pairs(pairs).map_err(|e| match e {
+            SparseError::DuplicateIndex { index, .. } => SparseError::DuplicateIndex { row, index },
+            SparseError::NonFiniteValue { .. } => SparseError::NonFiniteValue { row },
+            other => other,
+        })?;
+        if let Some(&last) = v.indices().last() {
+            if last as usize >= self.dim {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: last,
+                    dim: self.dim,
+                });
+            }
+        }
+        self.indices.extend_from_slice(v.indices());
+        self.values.extend_from_slice(v.values());
+        self.offsets.push(self.indices.len());
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Appends a row assumed to be already validated (sorted, in-bounds,
+    /// finite). Used on hot rebuild paths such as reordering.
+    pub fn push_row_unchecked(&mut self, indices: &[u32], values: &[f64], label: f64) {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(indices.last().map_or(true, |&l| (l as usize) < self.dim));
+        debug_assert_eq!(indices.len(), values.len());
+        self.indices.extend_from_slice(indices);
+        self.values.extend_from_slice(values);
+        self.offsets.push(self.indices.len());
+        self.labels.push(label);
+    }
+
+    /// Finalizes the dataset.
+    pub fn finish(self) -> Dataset {
+        Dataset {
+            dim: self.dim,
+            offsets: self.offsets,
+            indices: self.indices,
+            values: self.values,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut b = DatasetBuilder::new(5);
+        b.push_row(&[(0, 1.0), (2, 2.0)], 1.0).unwrap();
+        b.push_row(&[(1, -1.0)], -1.0).unwrap();
+        b.push_row(&[(2, 0.5), (4, 4.0)], 1.0).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let ds = tiny();
+        assert_eq!(ds.n_samples(), 3);
+        assert_eq!(ds.dim(), 5);
+        assert_eq!(ds.nnz(), 5);
+        let r = ds.row(2);
+        assert_eq!(r.indices, &[2, 4]);
+        assert_eq!(r.values, &[0.5, 4.0]);
+        assert_eq!(r.label, 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_rows() {
+        let mut b = DatasetBuilder::new(3);
+        assert!(matches!(
+            b.push_row(&[(3, 1.0)], 1.0),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.push_row(&[(0, 1.0)], 0.5),
+            Err(SparseError::BadLabel { .. })
+        ));
+        assert!(matches!(
+            b.push_row(&[(0, 1.0), (0, 2.0)], 1.0),
+            Err(SparseError::DuplicateIndex { row: 0, index: 0 })
+        ));
+    }
+
+    #[test]
+    fn density_and_mean_nnz() {
+        let ds = tiny();
+        assert!((ds.density() - 5.0 / 15.0).abs() < 1e-12);
+        assert!((ds.mean_nnz() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_ops_match_vector_ops() {
+        let ds = tiny();
+        let dense = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ds.row(0);
+        assert_eq!(r.dot_dense(&dense), 1.0 + 6.0);
+        let mut acc = vec![0.0; 5];
+        r.axpy_into(2.0, &mut acc);
+        assert_eq!(acc, vec![2.0, 0.0, 4.0, 0.0, 0.0]);
+        assert_eq!(r.norm_sq(), 5.0);
+        assert_eq!(r.to_sparse_vec().nnz(), 2);
+    }
+
+    #[test]
+    fn reordered_permutes_rows() {
+        let ds = tiny();
+        let rd = ds.reordered(&[2, 0, 1]).unwrap();
+        assert_eq!(rd.row(0).indices, ds.row(2).indices);
+        assert_eq!(rd.label(1), ds.label(0));
+        assert_eq!(rd.nnz(), ds.nnz());
+        assert!(ds.reordered(&[9]).is_err());
+    }
+
+    #[test]
+    fn reordered_allows_duplicates() {
+        let ds = tiny();
+        let rd = ds.reordered(&[0, 0, 0]).unwrap();
+        assert_eq!(rd.n_samples(), 3);
+        assert_eq!(rd.row(2).indices, ds.row(0).indices);
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_partition() {
+        let ranges = shard_ranges(10, 3).unwrap();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..10]);
+        assert!(shard_ranges(2, 0).is_err());
+        assert!(shard_ranges(2, 3).is_err());
+        let ranges = shard_ranges(4, 4).unwrap();
+        assert!(ranges.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn rows_iterator_visits_all() {
+        let ds = tiny();
+        let total: usize = ds.rows().map(|r| r.nnz()).sum();
+        assert_eq!(total, ds.nnz());
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(tiny().heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Dense-vector helpers shared by the solvers.
+//!
+//! These exist so the *dense* code paths (SVRG's full gradient µ, model
+//! snapshots) are implemented once and benchmarked against the
+//! index-compressed paths in the Figure-1 experiment.
+
+/// `y += alpha * x` over full dense vectors — the `O(d)` operation that
+/// dominates SVRG-ASGD's per-iteration cost on sparse data (paper §1.2).
+#[inline]
+pub fn dense_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "dense_axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dense dot product.
+#[inline]
+pub fn dense_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dense_dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm of a dense vector.
+#[inline]
+pub fn dense_norm_sq(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean distance between two dense vectors.
+#[inline]
+pub fn dense_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dense_dist length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Scales a dense vector in place.
+#[inline]
+pub fn dense_scale(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Fills a dense vector with zeros (kept as a named op for benches).
+#[inline]
+pub fn dense_zero(a: &mut [f64]) {
+    a.fill(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        dense_axpy(2.0, &x, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+        assert_eq!(dense_dot(&x, &y), 3.0 + 10.0 + 21.0);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = [3.0, 4.0];
+        let b = [0.0, 0.0];
+        assert_eq!(dense_norm_sq(&a), 25.0);
+        assert_eq!(dense_dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn scale_zero() {
+        let mut a = [1.0, -2.0];
+        dense_scale(&mut a, -2.0);
+        assert_eq!(a, [-2.0, 4.0]);
+        dense_zero(&mut a);
+        assert_eq!(a, [0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut y = [0.0];
+        dense_axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+}

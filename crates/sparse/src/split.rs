@@ -1,0 +1,219 @@
+//! Train/test splitting utilities.
+//!
+//! The paper evaluates on training error (its "error rate" metric is
+//! updated on the training set); downstream users of this library almost
+//! always want a held-out estimate too, so the CLI and several examples
+//! split with these helpers. Splits are deterministic under a seed.
+
+use crate::dataset::Dataset;
+use crate::error::SparseError;
+
+/// SplitMix64 step — a tiny, high-quality mixer; keeps this crate free of
+/// RNG dependencies (the dedicated generators live in `isasgd-sampling`,
+/// which sits *above* this crate in the dependency graph).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates shuffle of `0..n` under a seed.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut s = seed;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut s) % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Splits a dataset into `(train, test)` with `test_fraction` of the rows
+/// held out, after a seeded shuffle.
+///
+/// `test_fraction` must lie in `(0, 1)` and both sides must end up
+/// non-empty.
+pub fn holdout_split(
+    ds: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), SparseError> {
+    let n = ds.n_samples();
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(SparseError::Empty);
+    }
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    if n_test == 0 || n_test >= n {
+        return Err(SparseError::Empty);
+    }
+    let idx = shuffled_indices(n, seed);
+    let test = ds.reordered(&idx[..n_test])?;
+    let train = ds.reordered(&idx[n_test..])?;
+    Ok((train, test))
+}
+
+/// Stratified variant of [`holdout_split`]: positives and negatives are
+/// held out in (approximately) the same proportion, so a rare class does
+/// not vanish from a small test side.
+pub fn stratified_holdout_split(
+    ds: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), SparseError> {
+    let n = ds.n_samples();
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 || n < 2 {
+        return Err(SparseError::Empty);
+    }
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (i, &y) in ds.labels().iter().enumerate() {
+        if y > 0.0 {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    // Shuffle each class independently, then take the head as test.
+    let shuffle_class = |class: &mut Vec<usize>, salt: u64| {
+        let order = shuffled_indices(class.len(), seed ^ salt);
+        let copy: Vec<usize> = order.iter().map(|&k| class[k]).collect();
+        *class = copy;
+    };
+    shuffle_class(&mut pos, 0x505);
+    shuffle_class(&mut neg, 0xA0A);
+    let take = |class: &[usize]| ((class.len() as f64) * test_fraction).round() as usize;
+    let (tp, tn) = (take(&pos), take(&neg));
+    let mut test_idx: Vec<usize> = pos[..tp].iter().chain(neg[..tn].iter()).copied().collect();
+    let mut train_idx: Vec<usize> = pos[tp..].iter().chain(neg[tn..].iter()).copied().collect();
+    if test_idx.is_empty() || train_idx.is_empty() {
+        return Err(SparseError::Empty);
+    }
+    // Deterministic order within the halves (indices sorted) so the split
+    // does not leak class-grouping into downstream contiguous sharding.
+    let mut s = seed ^ 0xC0FFEE;
+    for v in [&mut test_idx, &mut train_idx] {
+        for i in (1..v.len()).rev() {
+            let j = (splitmix64(&mut s) % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+    }
+    Ok((ds.reordered(&train_idx)?, ds.reordered(&test_idx)?))
+}
+
+/// `k`-fold index partition of `0..n` after a seeded shuffle; fold sizes
+/// differ by at most one. Returns an error when `k < 2` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Vec<usize>>, SparseError> {
+    if k < 2 || k > n {
+        return Err(SparseError::Empty);
+    }
+    let idx = shuffled_indices(n, seed);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = n * f / k;
+        let hi = n * (f + 1) / k;
+        folds.push(idx[lo..hi].to_vec());
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn ds(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(8);
+        for i in 0..n {
+            let y = if i % 3 == 0 { 1.0 } else { -1.0 };
+            b.push_row(&[((i % 8) as u32, i as f64 + 1.0)], y).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn holdout_partitions_all_rows() {
+        let d = ds(100);
+        let (train, test) = holdout_split(&d, 0.2, 7).unwrap();
+        assert_eq!(test.n_samples(), 20);
+        assert_eq!(train.n_samples(), 80);
+        assert_eq!(train.dim(), d.dim());
+        // Every original row value appears exactly once across the halves
+        // (values are unique by construction).
+        let mut vals: Vec<u64> = train
+            .rows()
+            .chain(test.rows())
+            .map(|r| r.values[0] as u64)
+            .collect();
+        vals.sort_unstable();
+        let expect: Vec<u64> = (1..=100).collect();
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn holdout_is_deterministic_and_seed_sensitive() {
+        let d = ds(50);
+        let (a1, b1) = holdout_split(&d, 0.3, 1).unwrap();
+        let (a2, b2) = holdout_split(&d, 0.3, 1).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = holdout_split(&d, 0.3, 2).unwrap();
+        assert_ne!(a1, a3, "different seeds must give different splits");
+    }
+
+    #[test]
+    fn holdout_rejects_degenerate_fractions() {
+        let d = ds(10);
+        assert!(holdout_split(&d, 0.0, 1).is_err());
+        assert!(holdout_split(&d, 1.0, 1).is_err());
+        assert!(holdout_split(&d, -0.1, 1).is_err());
+        assert!(holdout_split(&d, 0.01, 1).is_err(), "rounds to empty test");
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratio() {
+        let d = ds(300); // 100 positives, 200 negatives
+        let (train, test) = stratified_holdout_split(&d, 0.2, 3).unwrap();
+        let frac_pos = |x: &Dataset| {
+            x.labels().iter().filter(|&&y| y > 0.0).count() as f64 / x.n_samples() as f64
+        };
+        assert!((frac_pos(&test) - 1.0 / 3.0).abs() < 0.02, "{}", frac_pos(&test));
+        assert!((frac_pos(&train) - 1.0 / 3.0).abs() < 0.02);
+        assert_eq!(train.n_samples() + test.n_samples(), 300);
+    }
+
+    #[test]
+    fn stratified_test_is_shuffled_not_class_grouped() {
+        let d = ds(300);
+        let (_, test) = stratified_holdout_split(&d, 0.3, 3).unwrap();
+        // If labels were grouped (all + then all −), the number of label
+        // changes along the row order would be 1; a shuffle gives many.
+        let changes = test
+            .labels()
+            .windows(2)
+            .filter(|w| (w[0] > 0.0) != (w[1] > 0.0))
+            .count();
+        assert!(changes > 10, "labels look grouped: {changes} changes");
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let folds = kfold_indices(103, 5, 11).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() == 20 || f.len() == 21);
+        }
+    }
+
+    #[test]
+    fn kfold_rejects_bad_k() {
+        assert!(kfold_indices(10, 1, 0).is_err());
+        assert!(kfold_indices(10, 11, 0).is_err());
+        assert!(kfold_indices(10, 10, 0).is_ok());
+    }
+}

@@ -1,0 +1,72 @@
+//! Distributed IS-SGD across simulated nodes (paper §2.3's
+//! "cores/nodes" setting): each node trains on its local shard and the
+//! cluster synchronizes by model averaging. Demonstrates why the shard
+//! *layout* matters — the per-node sampling distribution is distorted
+//! exactly as the paper's Fig. 2 worked example — and how Algorithm 3's
+//! importance balancing (plus the greedy-LPT extension) repairs it.
+//!
+//! Run with: `cargo run --release --example distributed_nodes`
+
+use is_asgd::cluster::node::run as run_cluster;
+use is_asgd::prelude::*;
+
+fn main() {
+    // A stream of documents sorted by length — heavy-tailed importance in
+    // the worst possible arrival order for contiguous sharding.
+    let profile = DatasetProfile {
+        name: "doc_stream",
+        dim: 4_000,
+        n_samples: 10_000,
+        mean_nnz: 25,
+        zipf_exponent: 0.9,
+        target_psi_norm: 0.55,
+        target_rho: 10.0,
+        label_noise: 0.05,
+        planted_density: 0.1,
+        feature_kind: FeatureKind::GaussianScaled,
+        noise_nnz_coupling: 1.0,
+    };
+    let data = generate(&profile, 7);
+    let weights = importance_weights(
+        &data.dataset,
+        &LogisticLoss,
+        Regularizer::None,
+        ImportanceScheme::LipschitzSmoothness,
+    );
+    let mut order: Vec<usize> = (0..data.dataset.n_samples()).collect();
+    order.sort_by(|&a, &b| weights[a].partial_cmp(&weights[b]).unwrap());
+    let sorted = data.dataset.reordered(&order).expect("valid permutation");
+
+    let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
+    println!("8-node cluster, 6 rounds of local IS-SGD + averaging\n");
+    println!("{:<12} {:>18} {:>12} {:>12}", "layout", "phi_max/mean", "final_obj", "final_err");
+    for (policy, label) in [
+        (BalancePolicy::Identity, "as-arrived"),
+        (BalancePolicy::ForceShuffle, "shuffled"),
+        (BalancePolicy::ForceBalance, "head-tail"),
+        (BalancePolicy::ForceGreedy, "greedy-lpt"),
+    ] {
+        let cfg = ClusterConfig {
+            nodes: 8,
+            rounds: 6,
+            local_epochs: 1,
+            step_size: 0.1,
+            importance: ImportanceScheme::GradNormBound { radius: 1.0 },
+            balance: policy,
+            sync: SyncStrategy::Average,
+            seed: 42,
+        };
+        let r = run_cluster(&sorted, &obj, &cfg).expect("cluster run");
+        let last = r.rounds.last().unwrap();
+        println!(
+            "{:<12} {:>18.4} {:>12.4} {:>12.4}",
+            label, r.phi_imbalance, last.objective, last.error_rate
+        );
+    }
+    println!(
+        "\nΦ_a is each node's importance mass (paper Eq. 18); Eq. 19 wants them\n\
+         equal. 'as-arrived' concentrates all heavy documents on one node;\n\
+         greedy-LPT equalizes Φ to within rounding and head-tail (Alg. 3)\n\
+         helps but loses ground on right-skewed importance distributions."
+    );
+}

@@ -1,0 +1,112 @@
+//! Cross-crate property tests on the full training stack.
+
+use is_asgd::prelude::*;
+use proptest::prelude::*;
+
+fn small_data(seed: u64, n: usize) -> GeneratedData {
+    let mut p = DatasetProfile::tiny();
+    p.n_samples = n.max(16);
+    p.dim = 100;
+    p.mean_nnz = 6;
+    generate(&p, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (τ, workers, seed) combination yields a finite model and a
+    /// monotone wall-clock trace.
+    #[test]
+    fn simulated_training_is_total(seed in 0u64..500, tau in 0usize..64, workers in 1usize..6) {
+        let data = small_data(seed, 200);
+        let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
+        let cfg = TrainConfig::default().with_epochs(2).with_seed(seed);
+        let r = train(
+            &data.dataset,
+            &obj,
+            Algorithm::IsAsgd,
+            Execution::Simulated { tau, workers },
+            &cfg,
+            "prop",
+        )
+        .unwrap();
+        prop_assert!(r.model.iter().all(|x| x.is_finite()));
+        prop_assert!(r.final_metrics.objective.is_finite());
+        prop_assert!(r.final_metrics.error_rate >= 0.0 && r.final_metrics.error_rate <= 1.0);
+        for w in r.trace.points.windows(2) {
+            prop_assert!(w[1].wall_secs >= w[0].wall_secs);
+        }
+    }
+
+    /// The objective after training is never worse than the zero model's
+    /// (the step sizes in play are stable for this data).
+    #[test]
+    fn training_never_hurts(seed in 0u64..200) {
+        let data = small_data(seed, 300);
+        let obj = Objective::new(LogisticLoss, Regularizer::None);
+        let zero = obj.eval(&data.dataset, &vec![0.0; data.dataset.dim()]);
+        let cfg = TrainConfig::default().with_epochs(3).with_step_size(0.2).with_seed(seed);
+        let r = train(&data.dataset, &obj, Algorithm::Sgd, Execution::Sequential, &cfg, "p")
+            .unwrap();
+        prop_assert!(
+            r.final_metrics.objective <= zero.objective,
+            "trained {} vs zero {}",
+            r.final_metrics.objective,
+            zero.objective
+        );
+    }
+
+    /// Importance weights are strictly positive and the step corrections
+    /// have unit expectation under the induced distribution.
+    #[test]
+    fn importance_invariants(seed in 0u64..300) {
+        let data = small_data(seed, 150);
+        let w = importance_weights(
+            &data.dataset,
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::LipschitzSmoothness,
+        );
+        prop_assert!(w.iter().all(|&x| x > 0.0));
+        let total: f64 = w.iter().sum();
+        let corr = is_asgd::losses::step_corrections(&w);
+        let e: f64 = corr.iter().zip(&w).map(|(&c, &l)| c * l / total).sum();
+        prop_assert!((e - 1.0).abs() < 1e-9, "E[1/(np)] = {e}");
+    }
+
+    /// LibSVM round-trip through the real generator output.
+    #[test]
+    fn generated_data_survives_libsvm(seed in 0u64..100) {
+        let data = small_data(seed, 60);
+        let mut buf = Vec::new();
+        libsvm::write_writer(&data.dataset, &mut buf).unwrap();
+        let back = libsvm::parse_reader(buf.as_slice(), Some(data.dataset.dim())).unwrap();
+        prop_assert_eq!(back.n_samples(), data.dataset.n_samples());
+        prop_assert_eq!(back.nnz(), data.dataset.nnz());
+        // Values survive the decimal round-trip to within print precision.
+        for i in 0..back.n_samples() {
+            let (a, b) = (data.dataset.row(i), back.row(i));
+            prop_assert_eq!(a.indices, b.indices);
+            prop_assert_eq!(a.label, b.label);
+            for (x, y) in a.values.iter().zip(b.values) {
+                prop_assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Evaluation is invariant under row permutation.
+    #[test]
+    fn eval_is_permutation_invariant(seed in 0u64..200) {
+        let data = small_data(seed, 80);
+        let obj = Objective::new(LogisticLoss, Regularizer::L2 { eta: 0.01 });
+        let w: Vec<f64> = (0..data.dataset.dim()).map(|i| ((i * seed as usize) % 7) as f64 * 0.05 - 0.15).collect();
+        let base = obj.eval(&data.dataset, &w);
+        let mut order: Vec<usize> = (0..data.dataset.n_samples()).collect();
+        order.reverse();
+        let permuted = data.dataset.reordered(&order).unwrap();
+        let p = obj.eval(&permuted, &w);
+        prop_assert!((base.objective - p.objective).abs() < 1e-10);
+        prop_assert!((base.rmse - p.rmse).abs() < 1e-10);
+        prop_assert_eq!(base.error_rate, p.error_rate);
+    }
+}
