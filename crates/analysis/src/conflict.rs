@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn shared_feature_makes_clique() {
         // All three rows share feature 0 ⇒ complete graph, degree 2 each.
-        let d = ds_from(&[&[(0, 1.0)], &[(0, 1.0), (1, 1.0)], &[(0, 1.0), (2, 1.0)]], 3);
+        let d = ds_from(
+            &[&[(0, 1.0)], &[(0, 1.0), (1, 1.0)], &[(0, 1.0), (2, 1.0)]],
+            3,
+        );
         let s = ConflictStats::exact(&d);
         assert_eq!(s.avg_degree, 2.0);
         assert_eq!(s.max_degree, 2);
@@ -158,7 +161,8 @@ mod tests {
             if f1 == f2 {
                 b.push_row(&[(f1, 1.0)], 1.0).unwrap();
             } else {
-                b.push_row(&[(f1.min(f2), 1.0), (f1.max(f2), 1.0)], 1.0).unwrap();
+                b.push_row(&[(f1.min(f2), 1.0), (f1.max(f2), 1.0)], 1.0)
+                    .unwrap();
             }
         }
         let d = b.finish();
@@ -167,7 +171,12 @@ mod tests {
         assert!(!est.exact);
         assert_eq!(est.measured_rows, 100);
         let rel = (est.avg_degree - ex.avg_degree).abs() / ex.avg_degree;
-        assert!(rel < 0.2, "estimate {} vs exact {}", est.avg_degree, ex.avg_degree);
+        assert!(
+            rel < 0.2,
+            "estimate {} vs exact {}",
+            est.avg_degree,
+            ex.avg_degree
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod variance;
 
 pub use conflict::ConflictStats;
 pub use theory::{
-    is_asgd_iteration_bound, is_improvement_factor, recommended_step_size,
-    sgd_iteration_bound, tau_budget, BoundInputs,
+    is_asgd_iteration_bound, is_improvement_factor, recommended_step_size, sgd_iteration_bound,
+    tau_budget, BoundInputs,
 };
 pub use variance::{gradient_variance, VarianceReport};

@@ -187,8 +187,8 @@ mod tests {
         assert!((tau - 2.0).abs() < 1e-9);
         // Zero conflicts ⇒ statistical term only.
         let tau2 = tau_budget(&inp, &l, 1000, 0.0);
-        let expect = (inp.epsilon * inp.mu * l.sup + inp.sigma_sq)
-            / (inp.epsilon * inp.mu * inp.mu);
+        let expect =
+            (inp.epsilon * inp.mu * l.sup + inp.sigma_sq) / (inp.epsilon * inp.mu * inp.mu);
         assert!((tau2 - expect).abs() < 1e-6);
     }
 

@@ -9,22 +9,23 @@
 //! that semantics, sequentially and deterministically:
 //!
 //! * [`DelayQueue`] — a FIFO holding at most τ in-flight items.
-//! * [`StalenessEngine`] — the update engine: compute the sparse gradient
-//!   on the currently visible model, enqueue it, and apply the update that
-//!   has been in flight for τ steps.
+//! * [`round_robin_interleave`] — the schedule a homogeneous worker pool
+//!   produces.
 //!
-//! With `τ = 0` the engine *is* sequential SGD (verified bit-for-bit by
-//! property test), and growing τ reproduces the convergence degradation
-//! that the paper's Figures 3–5 show for 16/32/44 threads — on any
-//! machine, with a fixed seed.
+//! The solver runtime in `isasgd-core` drives its compute/apply-split
+//! [`Solver`](../isasgd_core/solvers/solver/trait.Solver.html) updates
+//! through the queue: with `τ = 0` the simulation *is* the sequential
+//! algorithm (the queue passes items straight through), and growing τ
+//! reproduces the convergence degradation that the paper's Figures 3–5
+//! show for 16/32/44 threads — on any machine, with a fixed seed.
+//! (An earlier in-crate `StalenessEngine` hard-coded the SGD kernel here;
+//! it was superseded by the generic engine and removed.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod engine;
 pub mod queue;
 
-pub use engine::{PendingUpdate, StalenessEngine};
 pub use queue::DelayQueue;
 
 /// Interleaves per-worker iteration streams round-robin, the schedule a

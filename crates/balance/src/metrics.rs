@@ -33,7 +33,11 @@ pub fn rho(weights: &[f64]) -> f64 {
     }
     let n = weights.len() as f64;
     let mean = weights.iter().sum::<f64>() / n;
-    weights.iter().map(|&l| (l - mean) * (l - mean)).sum::<f64>() / n
+    weights
+        .iter()
+        .map(|&l| (l - mean) * (l - mean))
+        .sum::<f64>()
+        / n
 }
 
 /// Summary of an importance-weight vector, as reported in Table 1.

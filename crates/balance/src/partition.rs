@@ -153,9 +153,11 @@ impl ShardReport {
                 }
             }
         }
-        let (mn, mx) = phi.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
-            (a.min(x), b.max(x))
-        });
+        let (mn, mx) = phi
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
+                (a.min(x), b.max(x))
+            });
         Ok(ShardReport {
             imbalance_ratio: if mn > 0.0 { mx / mn } else { f64::INFINITY },
             max_distortion: max_d,
@@ -219,7 +221,11 @@ mod tests {
             // Alg. 3 is a heuristic, not an exact partitioner: pairs split
             // across shard boundaries leave a residue of roughly one
             // max-weight per shard.
-            assert!(r_bal.imbalance_ratio < 1.25, "k={k}: {}", r_bal.imbalance_ratio);
+            assert!(
+                r_bal.imbalance_ratio < 1.25,
+                "k={k}: {}",
+                r_bal.imbalance_ratio
+            );
         }
     }
 

@@ -167,7 +167,9 @@ mod tests {
         let phi = shard_importance(&w, &d.order, 4).unwrap();
         let (mn, mx) = phi
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| (a.min(x), b.max(x)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
+                (a.min(x), b.max(x))
+            });
         assert!(mx / mn < 1.05, "greedy phi spread {mx}/{mn}");
     }
 }

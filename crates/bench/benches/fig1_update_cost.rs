@@ -24,17 +24,21 @@ fn update_kernels(c: &mut Criterion) {
             });
         });
 
-        group.bench_with_input(BenchmarkId::new("sparse_plus_dense_mu", dim), &dim, |b, _| {
-            let mut t = 0usize;
-            b.iter(|| {
-                let row = ds.row(t % ds.n_samples());
-                row.axpy_into(black_box(-1e-9), &mut w);
-                for (wj, &mj) in w.iter_mut().zip(&mu) {
-                    *wj -= 1e-9 * mj;
-                }
-                t += 1;
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sparse_plus_dense_mu", dim),
+            &dim,
+            |b, _| {
+                let mut t = 0usize;
+                b.iter(|| {
+                    let row = ds.row(t % ds.n_samples());
+                    row.axpy_into(black_box(-1e-9), &mut w);
+                    for (wj, &mj) in w.iter_mut().zip(&mu) {
+                        *wj -= 1e-9 * mj;
+                    }
+                    t += 1;
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,10 @@ fn epoch_cost(c: &mut Criterion) {
     let data = bench_dataset(20_000, 2_000, 15);
     let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
     let cfg = TrainConfig::default().with_epochs(1).with_step_size(0.3);
-    let exec = Execution::Simulated { tau: 16, workers: 4 };
+    let exec = Execution::Simulated {
+        tau: 16,
+        workers: 4,
+    };
 
     let mut group = c.benchmark_group("fig3_epoch");
     group.sample_size(10);

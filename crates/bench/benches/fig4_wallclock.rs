@@ -13,7 +13,9 @@ fn wallclock(c: &mut Criterion) {
     let data = bench_dataset(50_000, 5_000, 20);
     let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
     let cfg = TrainConfig::default().with_epochs(3).with_step_size(0.3);
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
 
     let mut group = c.benchmark_group("fig4_wallclock");
     group.sample_size(10);
@@ -26,8 +28,15 @@ fn wallclock(c: &mut Criterion) {
                 |b, &k| {
                     b.iter(|| {
                         black_box(
-                            train(&data.dataset, &obj, algo, Execution::Threads(k), &cfg, "bench")
-                                .unwrap(),
+                            train(
+                                &data.dataset,
+                                &obj,
+                                algo,
+                                Execution::Threads(k),
+                                &cfg,
+                                "bench",
+                            )
+                            .unwrap(),
                         )
                     });
                 },

@@ -5,7 +5,10 @@
 //! `cargo bench -p isasgd-bench --bench sampling_throughput`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use isasgd_sampling::{AliasTable, FenwickSampler, SampleSequence, SequenceMode, Xoshiro256pp};
+use isasgd_sampling::{
+    AdaptiveIsSampler, AliasTable, FenwickSampler, SampleSequence, Sampler, SequenceMode,
+    Xoshiro256pp,
+};
 use std::hint::black_box;
 
 fn samplers(c: &mut Criterion) {
@@ -31,6 +34,38 @@ fn samplers(c: &mut Criterion) {
             let mut r = Xoshiro256pp::new(4);
             b.iter(|| black_box(fenwick.sample(&mut r)));
         });
+
+        // The adaptivity tax, itemized: a Fenwick weight refresh, an
+        // adaptive mixture draw, and a draw+correction pair (what the
+        // engine actually does per scheduled sample).
+        group.bench_with_input(BenchmarkId::new("fenwick_update", n), &n, |b, &n| {
+            let mut f = fenwick.clone();
+            let mut r = Xoshiro256pp::new(5);
+            b.iter(|| {
+                let i = r.next_index(n);
+                f.update(i, r.next_f64() + 0.01).unwrap();
+                black_box(f.total())
+            });
+        });
+
+        let mut adaptive = AdaptiveIsSampler::new(&weights).unwrap();
+        group.bench_with_input(BenchmarkId::new("adaptive_draw", n), &n, |b, _| {
+            let mut r = Xoshiro256pp::new(6);
+            b.iter(|| black_box(adaptive.next(&mut r)));
+        });
+
+        let mut adaptive2 = AdaptiveIsSampler::new(&weights).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_draw_with_correction", n),
+            &n,
+            |b, _| {
+                let mut r = Xoshiro256pp::new(7);
+                b.iter(|| {
+                    let i = adaptive2.next(&mut r);
+                    black_box(adaptive2.correction(i))
+                });
+            },
+        );
     }
 
     // Per-epoch sequence refresh: regenerate vs shuffle-once (§4.2).

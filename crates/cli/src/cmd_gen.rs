@@ -48,7 +48,11 @@ fn run_inner(o: &Opts) -> Result<(), String> {
         p.dim,
         p.n_samples,
         p.mean_nnz,
-        if training { "training-calibrated" } else { "Table-1-literal" }
+        if training {
+            "training-calibrated"
+        } else {
+            "Table-1-literal"
+        }
     );
     let g = generate(&p, seed);
     isasgd_sparse::libsvm::write_file(&g.dataset, &out).map_err(|e| e.to_string())?;
@@ -91,9 +95,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_profile() {
-        let o = Opts::parse(
-            ["gen", "--out", "/tmp/x.svm", "--profile", "mnist"].map(String::from),
-        );
+        let o = Opts::parse(["gen", "--out", "/tmp/x.svm", "--profile", "mnist"].map(String::from));
         assert_eq!(run(&o), 2);
     }
 }

@@ -44,10 +44,7 @@ fn run_inner(o: &Opts) -> Result<(), String> {
     println!("nnz                {}", ds.nnz());
     println!("density            {:.3e}", ds.density());
     println!("mean nnz/row       {:.2}", ds.mean_nnz());
-    println!(
-        "positive fraction  {:.4}",
-        stats.positive_fraction
-    );
+    println!("positive fraction  {:.4}", stats.positive_fraction);
     println!("active features    {}", stats.active_features);
 
     // Importance structure under the paper's Eq. 12 constants.
@@ -62,7 +59,10 @@ fn run_inner(o: &Opts) -> Result<(), String> {
     println!("\nimportance (L_i = ‖x_i‖²/4, logistic)");
     println!("psi/n (Eq. 15)     {:.4}", profile.psi_normalized);
     println!("rho   (Eq. 20)     {:.4e}", profile.rho);
-    println!("L mean/sup/inf     {:.4} / {:.4} / {:.4}", l.mean, l.sup, l.inf);
+    println!(
+        "L mean/sup/inf     {:.4} / {:.4} / {:.4}",
+        l.mean, l.sup, l.inf
+    );
     println!("IS gain (Eq13/14)  {:.4}x", is_improvement_factor(&w));
     println!(
         "balancing hint     {}",
@@ -81,7 +81,10 @@ fn run_inner(o: &Opts) -> Result<(), String> {
     };
     println!("\nconflict graph (§3.1)");
     println!("avg degree Δ̄      {:.2}", c.avg_degree);
-    println!("Δ̄/n               {:.4}", c.avg_degree / ds.n_samples().max(1) as f64);
+    println!(
+        "Δ̄/n               {:.4}",
+        c.avg_degree / ds.n_samples().max(1) as f64
+    );
     println!(
         "τ budget hint      n/Δ̄ ≈ {:.0} (Eq. 27 first term)",
         ds.n_samples() as f64 / c.avg_degree.max(1e-12)

@@ -80,9 +80,7 @@ mod tests {
 
     #[test]
     fn missing_model_file_is_an_error() {
-        let o = Opts::parse(
-            ["predict", "x.svm", "--model", "/no/model.json"].map(String::from),
-        );
+        let o = Opts::parse(["predict", "x.svm", "--model", "/no/model.json"].map(String::from));
         assert_eq!(run(&o), 2);
     }
 }

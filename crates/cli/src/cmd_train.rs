@@ -94,6 +94,7 @@ fn run_training(
         .with_seed(spec.seed);
     cfg.importance = spec.importance;
     cfg.balance = spec.balance;
+    cfg.sampling = spec.sampling;
     match (spec.loss, init) {
         (LossKind::Logistic, None) => {
             let obj = Objective::new(LogisticLoss, spec.regularizer);
@@ -126,7 +127,7 @@ fn report(spec: &TrainSpec, r: &RunResult, test: Option<&Dataset>, quiet: bool) 
     }
     println!(
         "algorithm={} epochs={} train_secs={:.3} setup_secs={:.4} final_obj={:.6} final_err={:.6}",
-        spec.algorithm.name(),
+        r.trace.algorithm,
         spec.epochs,
         r.train_secs,
         r.setup_secs,
@@ -136,9 +137,7 @@ fn report(spec: &TrainSpec, r: &RunResult, test: Option<&Dataset>, quiet: bool) 
     if let Some(te) = test {
         // Held-out metrics under the same loss type.
         let metrics = match spec.loss {
-            LossKind::Logistic => {
-                Objective::new(LogisticLoss, spec.regularizer).eval(te, &r.model)
-            }
+            LossKind::Logistic => Objective::new(LogisticLoss, spec.regularizer).eval(te, &r.model),
             LossKind::SquaredHinge => {
                 Objective::new(SquaredHingeLoss, spec.regularizer).eval(te, &r.model)
             }
@@ -165,6 +164,8 @@ isasgd train <data.svm> [flags]
   --reg <kind>       none | l1 | l2                         [l1]
   --eta <f>          regularization strength                [1e-5]
   --scheme <name>    gradnorm | smoothness | partial | uniform [gradnorm]
+  --sampling <name>  uniform | static | adaptive (overrides the
+                     algorithm's default sampling distribution)
   --bias <f>         uniform mix for --scheme partial       [0.5]
   --balance <name>   adaptive | head-tail | greedy | shuffle | identity
   --epochs <n>       passes over the data                   [10]
@@ -189,9 +190,7 @@ mod tests {
 
     #[test]
     fn unknown_flag_is_an_error() {
-        let o = Opts::parse(
-            ["train", "x.svm", "--nonsense", "1"].map(String::from),
-        );
+        let o = Opts::parse(["train", "x.svm", "--nonsense", "1"].map(String::from));
         assert_eq!(run(&o), 2);
     }
 

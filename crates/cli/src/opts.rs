@@ -37,7 +37,11 @@ pub enum OptError {
 impl std::fmt::Display for OptError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            OptError::BadValue { flag, value, expected } => {
+            OptError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "bad value '{value}' for --{flag} (expected {expected})")
             }
             OptError::Required(k) => write!(f, "missing required flag --{k}"),

@@ -2,7 +2,8 @@
 
 use crate::opts::{OptError, Opts};
 use isasgd_core::{
-    Algorithm, BalancePolicy, Execution, ImportanceScheme, Regularizer, SvrgVariant,
+    Algorithm, BalancePolicy, Execution, ImportanceScheme, Regularizer, SamplingStrategy,
+    SvrgVariant,
 };
 
 /// Everything `train` needs besides the dataset itself.
@@ -20,6 +21,8 @@ pub struct TrainSpec {
     pub importance: ImportanceScheme,
     /// Balance policy.
     pub balance: BalancePolicy,
+    /// Sampling-strategy override (`None` keeps the algorithm's default).
+    pub sampling: Option<SamplingStrategy>,
     /// Epochs.
     pub epochs: usize,
     /// Step size λ.
@@ -40,7 +43,11 @@ pub enum LossKind {
 }
 
 fn bad(flag: &str, value: String, expected: &'static str) -> OptError {
-    OptError::BadValue { flag: flag.into(), value, expected }
+    OptError::BadValue {
+        flag: flag.into(),
+        value,
+        expected,
+    }
 }
 
 /// Parses the solver name.
@@ -105,7 +112,11 @@ impl TrainSpec {
             "partial" => ImportanceScheme::PartiallyBiased { bias },
             "uniform" => ImportanceScheme::Uniform,
             other => {
-                return Err(bad("scheme", other.into(), "gradnorm|smoothness|partial|uniform"))
+                return Err(bad(
+                    "scheme",
+                    other.into(),
+                    "gradnorm|smoothness|partial|uniform",
+                ))
             }
         };
 
@@ -124,6 +135,14 @@ impl TrainSpec {
             }
         };
 
+        let sampling = match o.get("sampling") {
+            None => None,
+            Some(v) => Some(
+                SamplingStrategy::parse(&v)
+                    .ok_or_else(|| bad("sampling", v, "uniform|static|adaptive"))?,
+            ),
+        };
+
         let holdout: f64 = o.get_parsed_or("holdout", 0.0, "float in [0,1)")?;
         if !(0.0..1.0).contains(&holdout) {
             return Err(bad("holdout", holdout.to_string(), "float in [0,1)"));
@@ -136,6 +155,7 @@ impl TrainSpec {
             regularizer,
             importance,
             balance,
+            sampling,
             epochs: o.get_parsed_or("epochs", 10, "usize")?,
             step_size: o.get_parsed_or("step", 0.5, "float")?,
             seed: o.get_parsed_or("seed", 0x15A5_6D00, "u64")?,
@@ -184,7 +204,13 @@ mod tests {
     #[test]
     fn tau_selects_simulation() {
         let t = spec("--algo asgd --tau 32 --workers 8").unwrap();
-        assert_eq!(t.execution, Execution::Simulated { tau: 32, workers: 8 });
+        assert_eq!(
+            t.execution,
+            Execution::Simulated {
+                tau: 32,
+                workers: 8
+            }
+        );
     }
 
     #[test]
@@ -203,9 +229,30 @@ mod tests {
     fn reg_and_scheme_parsing() {
         let t = spec("--reg l2 --eta 0.01 --scheme partial --bias 0.25").unwrap();
         assert_eq!(t.regularizer, Regularizer::L2 { eta: 0.01 });
-        assert_eq!(t.importance, ImportanceScheme::PartiallyBiased { bias: 0.25 });
+        assert_eq!(
+            t.importance,
+            ImportanceScheme::PartiallyBiased { bias: 0.25 }
+        );
         assert!(spec("--reg l3").is_err());
         assert!(spec("--scheme magic").is_err());
+    }
+
+    #[test]
+    fn sampling_flag_parsing() {
+        assert_eq!(spec("").unwrap().sampling, None);
+        assert_eq!(
+            spec("--sampling adaptive").unwrap().sampling,
+            Some(SamplingStrategy::Adaptive)
+        );
+        assert_eq!(
+            spec("--sampling static").unwrap().sampling,
+            Some(SamplingStrategy::Static)
+        );
+        assert_eq!(
+            spec("--sampling uniform").unwrap().sampling,
+            Some(SamplingStrategy::Uniform)
+        );
+        assert!(spec("--sampling magic").is_err());
     }
 
     #[test]

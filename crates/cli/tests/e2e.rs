@@ -27,7 +27,11 @@ fn full_pipeline_gen_info_train_predict() {
         .args(["--profile", "news20", "--scale", "0.05", "--training"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.exists());
 
     // info
@@ -42,13 +46,25 @@ fn full_pipeline_gen_info_train_predict() {
         .arg("train")
         .arg(&data)
         .args([
-            "--algo", "is-asgd", "--threads", "2", "--epochs", "5",
-            "--holdout", "0.2", "--quiet", "--model",
+            "--algo",
+            "is-asgd",
+            "--threads",
+            "2",
+            "--epochs",
+            "5",
+            "--holdout",
+            "0.2",
+            "--quiet",
+            "--model",
         ])
         .arg(&model)
         .output()
         .unwrap();
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("algorithm=IS-ASGD"), "{text}");
     assert!(text.contains("holdout_n=40"), "{text}");
@@ -65,12 +81,19 @@ fn full_pipeline_gen_info_train_predict() {
         .arg(&preds)
         .output()
         .unwrap();
-    assert!(out.status.success(), "predict failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "predict failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("error_rate="), "{text}");
     // One prediction line per sample, each "±1 margin".
-    let lines: Vec<String> =
-        std::fs::read_to_string(&preds).unwrap().lines().map(String::from).collect();
+    let lines: Vec<String> = std::fs::read_to_string(&preds)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect();
     assert_eq!(lines.len(), 200);
     for l in &lines {
         let mut parts = l.split_whitespace();
@@ -114,6 +137,85 @@ fn train_all_solvers_smoke() {
 }
 
 #[test]
+fn sampling_strategies_end_to_end() {
+    // The acceptance path: `train --sampling adaptive` works end-to-end
+    // and its per-epoch trace differs from `--sampling static` on the
+    // same (importance-skewed) dataset and seed.
+    let dir = tmpdir("sampling");
+    let data = dir.join("d.svm");
+    let out = bin()
+        .args(["gen", "--out"])
+        .arg(&data)
+        .args(["--profile", "news20", "--scale", "0.05", "--training"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = |sampling: &str| {
+        let out = bin()
+            .arg("train")
+            .arg(&data)
+            .args([
+                "--algo",
+                "is-sgd",
+                "--epochs",
+                "4",
+                "--step",
+                "0.2",
+                "--seed",
+                "7",
+                "--sampling",
+                sampling,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--sampling {sampling} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Per-epoch progress lines go to stderr; the summary to stdout.
+        let summary = String::from_utf8_lossy(&out.stdout).to_string();
+        let trace = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(summary.contains("final_obj="), "{summary}");
+        (summary, trace)
+    };
+
+    let (stat_summary, stat_trace) = run("static");
+    let (adap_summary, adap_trace) = run("adaptive");
+    let (_uni_summary, _) = run("uniform");
+    assert_ne!(
+        stat_trace, adap_trace,
+        "adaptive trace must be distinguishable from static"
+    );
+    assert_ne!(stat_summary, adap_summary);
+
+    // Rejected value reports a helpful error.
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args([
+            "--algo",
+            "is-sgd",
+            "--epochs",
+            "1",
+            "--sampling",
+            "magic",
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sampling"));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn simulated_tau_execution() {
     let dir = tmpdir("tau");
     let data = dir.join("d.svm");
@@ -126,10 +228,24 @@ fn simulated_tau_execution() {
     let out = bin()
         .arg("train")
         .arg(&data)
-        .args(["--algo", "is-asgd", "--tau", "16", "--workers", "4", "--epochs", "2", "--quiet"])
+        .args([
+            "--algo",
+            "is-asgd",
+            "--tau",
+            "16",
+            "--workers",
+            "4",
+            "--epochs",
+            "2",
+            "--quiet",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_dir_all(dir).ok();
 }
 
@@ -152,7 +268,10 @@ fn helpful_errors_and_help() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
 
     // Typo'd flag is caught.
-    let out = bin().args(["gen", "--out", "/tmp/x.svm", "--sclae", "1"]).output().unwrap();
+    let out = bin()
+        .args(["gen", "--out", "/tmp/x.svm", "--sclae", "1"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("sclae"));
 }
@@ -172,7 +291,9 @@ fn warm_start_resumes_training() {
     let out = bin()
         .arg("train")
         .arg(&data)
-        .args(["--algo", "sgd", "--epochs", "3", "--quiet", "--step", "0.2", "--model"])
+        .args([
+            "--algo", "sgd", "--epochs", "3", "--quiet", "--step", "0.2", "--model",
+        ])
         .arg(&m1)
         .output()
         .unwrap();
@@ -190,13 +311,26 @@ fn warm_start_resumes_training() {
     let out = bin()
         .arg("train")
         .arg(&data)
-        .args(["--algo", "sgd", "--epochs", "3", "--quiet", "--step", "0.2", "--init-model"])
+        .args([
+            "--algo",
+            "sgd",
+            "--epochs",
+            "3",
+            "--quiet",
+            "--step",
+            "0.2",
+            "--init-model",
+        ])
         .arg(&m1)
         .arg("--model")
         .arg(&m2)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let obj2: f64 = String::from_utf8_lossy(&out.stdout)
         .split("final_obj=")
         .nth(1)

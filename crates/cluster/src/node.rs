@@ -2,10 +2,10 @@
 
 use crate::sync::{average_models, SyncStrategy};
 use isasgd_balance::{decide, BalancePolicy};
-use isasgd_losses::{importance_weights, step_corrections, ImportanceScheme, Loss, Objective};
+use isasgd_losses::{importance_weights, ImportanceScheme, Loss, Objective};
 use isasgd_metrics::{Trace, TracePoint};
 use isasgd_sampling::rng::derive_seeds;
-use isasgd_sampling::{SampleSequence, SequenceMode};
+use isasgd_sampling::{build_sampler, Sampler, SamplingStrategy, SequenceMode, Xoshiro256pp};
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::{Dataset, SparseError};
 use std::ops::Range;
@@ -29,6 +29,12 @@ pub struct ClusterConfig {
     pub balance: BalancePolicy,
     /// Model reducer at each round.
     pub sync: SyncStrategy,
+    /// Sampling strategy each node draws from. [`SamplingStrategy::Static`]
+    /// reproduces the paper's offline sequences; `Adaptive` re-weights
+    /// every node's local distribution from observed gradient magnitudes
+    /// between rounds. Ignored (forced uniform) when `importance` is
+    /// [`ImportanceScheme::Uniform`].
+    pub sampling: SamplingStrategy,
     /// Master seed.
     pub seed: u64,
 }
@@ -43,6 +49,7 @@ impl Default for ClusterConfig {
             importance: ImportanceScheme::GradNormBound { radius: 1.0 },
             balance: BalancePolicy::default(),
             sync: SyncStrategy::Average,
+            sampling: SamplingStrategy::Static,
             seed: 0x15A5_6D00,
         }
     }
@@ -62,16 +69,30 @@ pub struct RoundPoint {
 }
 
 /// One simulated node: a shard plus its private sampler state.
-#[derive(Debug)]
 pub struct Node {
     /// Row range into the (rearranged) dataset.
     pub range: Range<usize>,
-    sequence: SampleSequence,
-    corrections: Vec<f64>,
+    /// The node's local sampling distribution (uniform, static-IS, or
+    /// adaptive-IS) — any [`Sampler`] implementation works.
+    sampler: Box<dyn Sampler>,
+    /// Private draw stream for live samplers.
+    rng: Xoshiro256pp,
+    /// Per-local-row feature norms `‖x_i‖` (populated only for adaptive
+    /// samplers, which scale observed gradient magnitudes by them).
+    norms: Vec<f64>,
     /// The node's local model replica.
     pub model: Vec<f64>,
     /// Shard importance sum Φ_a (paper Eq. 18).
     pub phi: f64,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("range", &self.range)
+            .field("phi", &self.phi)
+            .finish()
+    }
 }
 
 /// Result of a cluster run.
@@ -159,42 +180,58 @@ pub fn run<L: Loss>(
 
     let ranges = shard_ranges(n, cfg.nodes)?;
     let uniform = matches!(cfg.importance, ImportanceScheme::Uniform);
+    let draw_seeds = derive_seeds(cfg.seed ^ 0xADA9_715E_5EED_0002, cfg.nodes);
+    // Per-row feature norms are only consumed by adaptive samplers'
+    // feedback; skip the O(nnz) scan otherwise.
+    let strategy = if uniform {
+        SamplingStrategy::Uniform
+    } else {
+        cfg.sampling
+    };
+    let all_norms_sq = if strategy == SamplingStrategy::Adaptive {
+        Some(isasgd_sparse::stats::row_norms_sq(&data))
+    } else {
+        None
+    };
     let mut nodes = Vec::with_capacity(cfg.nodes);
     for (k, r) in ranges.iter().enumerate() {
         let local = &reordered_weights[r.clone()];
         let phi: f64 = local.iter().sum();
-        let (sequence, corrections) = if uniform {
-            (
-                SampleSequence::uniform(r.len(), r.len(), SequenceMode::UniformIid, seeds[k])
-                    .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?,
-                vec![1.0; r.len()],
-            )
-        } else {
-            (
-                SampleSequence::weighted(
-                    local,
-                    r.len(),
-                    SequenceMode::RegeneratePerEpoch,
-                    seeds[k],
-                )
-                .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?,
-                step_corrections(local),
-            )
+        let sampler = build_sampler(
+            strategy,
+            Some(local),
+            r.len(),
+            SequenceMode::RegeneratePerEpoch,
+            seeds[k],
+        )
+        .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
+        let norms = match &all_norms_sq {
+            Some(sq) => sq[r.clone()].iter().map(|&x| x.sqrt()).collect(),
+            None => Vec::new(),
         };
         nodes.push(Node {
             range: r.clone(),
-            sequence,
-            corrections,
+            sampler,
+            rng: Xoshiro256pp::new(draw_seeds[k]),
+            norms,
             model: vec![0.0; d],
             phi,
         });
     }
     let mean_phi: f64 = nodes.iter().map(|x| x.phi).sum::<f64>() / cfg.nodes as f64;
     let max_phi = nodes.iter().map(|x| x.phi).fold(0.0, f64::max);
-    let phi_imbalance = if mean_phi > 0.0 { max_phi / mean_phi } else { 1.0 };
+    let phi_imbalance = if mean_phi > 0.0 {
+        max_phi / mean_phi
+    } else {
+        1.0
+    };
 
     let mut trace = Trace::new(
-        if uniform { "Cluster-SGD" } else { "Cluster-IS-SGD" },
+        match strategy {
+            SamplingStrategy::Uniform => "Cluster-SGD",
+            SamplingStrategy::Static => "Cluster-IS-SGD",
+            SamplingStrategy::Adaptive => "Cluster-AIS-SGD",
+        },
         "cluster",
         cfg.nodes,
         cfg.step_size,
@@ -209,7 +246,12 @@ pub fn run<L: Loss>(
         rmse: m0.rmse,
         error_rate: m0.error_rate,
     });
-    rounds.push(RoundPoint { round: 0, objective: m0.objective, rmse: m0.rmse, error_rate: m0.error_rate });
+    rounds.push(RoundPoint {
+        round: 0,
+        objective: m0.objective,
+        rmse: m0.rmse,
+        error_rate: m0.error_rate,
+    });
 
     let mut train_secs = 0.0;
     let shard_sizes: Vec<usize> = nodes.iter().map(|x| x.range.len()).collect();
@@ -220,7 +262,7 @@ pub fn run<L: Loss>(
             node.model.copy_from_slice(&consensus);
             for _ in 0..cfg.local_epochs {
                 local_epoch(&data, obj, node, cfg.step_size);
-                node.sequence.advance_epoch();
+                node.sampler.epoch_reset();
             }
         }
         train_secs += t0.elapsed().as_secs_f64();
@@ -254,20 +296,24 @@ pub fn run<L: Loss>(
     })
 }
 
-/// One local epoch of sequential (IS-)SGD on the node's shard.
+/// One local epoch of sequential (IS-)SGD on the node's shard, drawn
+/// through the node's [`Sampler`]. Observed gradient magnitudes feed the
+/// sampler's adaptivity hook (a no-op for uniform/static sampling).
 fn local_epoch<L: Loss>(data: &Dataset, obj: &Objective<L>, node: &mut Node, lambda: f64) {
     let start = node.range.start;
-    for &local in node.sequence.indices() {
-        let local = local as usize;
+    let steps = node.range.len();
+    let adaptive = node.sampler.is_adaptive();
+    for _ in 0..steps {
+        let local = node.sampler.next(&mut node.rng);
+        let corr = node.sampler.correction(local);
         let row = data.row(start + local);
         let margin = obj.margin(&row, &node.model);
         let g = obj.grad_scale(&row, margin);
-        let scale = lambda * node.corrections[local];
-        let coeff = -scale * g;
-        for (&j, &x) in row.indices.iter().zip(row.values) {
-            let j = j as usize;
-            let wj = node.model[j] + coeff * x;
-            node.model[j] = wj - scale * obj.reg.grad_coord(wj);
+        let scale = lambda * corr;
+        obj.apply_sgd_update(&row, -scale * g, scale, &mut node.model);
+        if adaptive {
+            node.sampler
+                .update_weight(local, g.abs() * node.norms[local]);
         }
     }
 }
@@ -299,7 +345,8 @@ mod tests {
             let norm = 0.2 + 4.0 * (i as f64 / n as f64).powi(3);
             let j = (i % 4) as u32;
             let y = if i % 2 == 0 { 1.0 } else { -1.0 };
-            b.push_row(&[(j, y * norm), (4 + j, 0.5 * y * norm)], y).unwrap();
+            b.push_row(&[(j, y * norm), (4 + j, 0.5 * y * norm)], y)
+                .unwrap();
         }
         b.finish()
     }
@@ -311,7 +358,10 @@ mod tests {
     #[test]
     fn converges_on_separable_data() {
         let ds = separable(400);
-        let cfg = ClusterConfig { rounds: 8, ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            rounds: 8,
+            ..ClusterConfig::default()
+        };
         let r = run(&ds, &obj(), &cfg).unwrap();
         assert_eq!(r.syncs, 8);
         assert_eq!(r.rounds.len(), 9);
@@ -339,7 +389,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let ds = separable(300);
-        let cfg = ClusterConfig { seed: 42, ..ClusterConfig::default() };
+        let cfg = ClusterConfig {
+            seed: 42,
+            ..ClusterConfig::default()
+        };
         let a = run(&ds, &obj(), &cfg).unwrap();
         let b = run(&ds, &obj(), &cfg).unwrap();
         assert_eq!(a.model, b.model);
@@ -359,19 +412,28 @@ mod tests {
         let identity = run(
             &ds,
             &obj(),
-            &ClusterConfig { balance: BalancePolicy::Identity, ..base },
+            &ClusterConfig {
+                balance: BalancePolicy::Identity,
+                ..base
+            },
         )
         .unwrap();
         let balanced = run(
             &ds,
             &obj(),
-            &ClusterConfig { balance: BalancePolicy::ForceBalance, ..base },
+            &ClusterConfig {
+                balance: BalancePolicy::ForceBalance,
+                ..base
+            },
         )
         .unwrap();
         let greedy = run(
             &ds,
             &obj(),
-            &ClusterConfig { balance: BalancePolicy::ForceGreedy, ..base },
+            &ClusterConfig {
+                balance: BalancePolicy::ForceGreedy,
+                ..base
+            },
         )
         .unwrap();
         assert!(
@@ -400,13 +462,21 @@ mod tests {
         let short = run(
             &ds,
             &obj(),
-            &ClusterConfig { rounds: 2, local_epochs: 1, ..ClusterConfig::default() },
+            &ClusterConfig {
+                rounds: 2,
+                local_epochs: 1,
+                ..ClusterConfig::default()
+            },
         )
         .unwrap();
         let long = run(
             &ds,
             &obj(),
-            &ClusterConfig { rounds: 2, local_epochs: 4, ..ClusterConfig::default() },
+            &ClusterConfig {
+                rounds: 2,
+                local_epochs: 4,
+                ..ClusterConfig::default()
+            },
         )
         .unwrap();
         assert!(
@@ -420,19 +490,84 @@ mod tests {
     fn validation_errors() {
         let ds = separable(10);
         let o = obj();
-        assert!(run(&ds, &o, &ClusterConfig { nodes: 0, ..Default::default() }).is_err());
-        assert!(run(&ds, &o, &ClusterConfig { nodes: 11, ..Default::default() }).is_err());
-        assert!(run(&ds, &o, &ClusterConfig { rounds: 0, ..Default::default() }).is_err());
-        assert!(
-            run(&ds, &o, &ClusterConfig { local_epochs: 0, ..Default::default() }).is_err()
+        assert!(run(
+            &ds,
+            &o,
+            &ClusterConfig {
+                nodes: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &o,
+            &ClusterConfig {
+                nodes: 11,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &o,
+            &ClusterConfig {
+                rounds: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &o,
+            &ClusterConfig {
+                local_epochs: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &o,
+            &ClusterConfig {
+                step_size: -0.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &ds,
+            &o,
+            &ClusterConfig {
+                step_size: f64::NAN,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn adaptive_sampling_runs_and_differs_from_static() {
+        let ds = sorted_skewed(400);
+        let base = ClusterConfig {
+            nodes: 4,
+            rounds: 4,
+            importance: ImportanceScheme::LipschitzSmoothness,
+            ..ClusterConfig::default()
+        };
+        let stat = run(&ds, &obj(), &base).unwrap();
+        let adaptive_cfg = ClusterConfig {
+            sampling: SamplingStrategy::Adaptive,
+            ..base
+        };
+        let a = run(&ds, &obj(), &adaptive_cfg).unwrap();
+        let b = run(&ds, &obj(), &adaptive_cfg).unwrap();
+        assert_eq!(
+            a.model, b.model,
+            "adaptive cluster runs must be reproducible"
         );
-        assert!(
-            run(&ds, &o, &ClusterConfig { step_size: -0.5, ..Default::default() }).is_err()
-        );
-        assert!(
-            run(&ds, &o, &ClusterConfig { step_size: f64::NAN, ..Default::default() })
-                .is_err()
-        );
+        assert_ne!(a.model, stat.model, "adaptive must actually change the run");
+        assert!(a.model.iter().all(|x| x.is_finite()));
     }
 
     #[test]
@@ -445,6 +580,9 @@ mod tests {
         };
         let r = run(&ds, &obj(), &cfg).unwrap();
         assert_eq!(r.trace.algorithm, "Cluster-SGD");
-        assert!((r.phi_imbalance - 1.0).abs() < 0.01, "uniform weights ⇒ equal Φ");
+        assert!(
+            (r.phi_imbalance - 1.0).abs() < 0.01,
+            "uniform weights ⇒ equal Φ"
+        );
     }
 }

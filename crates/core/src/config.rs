@@ -3,7 +3,7 @@
 use isasgd_balance::BalancePolicy;
 use isasgd_losses::ImportanceScheme;
 use isasgd_model::shared::UpdateMode;
-use isasgd_sampling::SequenceMode;
+use isasgd_sampling::{SamplingStrategy, SequenceMode};
 
 /// Which solver to run (see crate docs for the paper mapping).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +148,11 @@ pub struct TrainConfig {
     pub sequence: SequenceMode,
     /// Lock-free write flavour for threaded runs.
     pub update_mode: UpdateMode,
+    /// Sampling-distribution override. `None` keeps each algorithm's
+    /// classical distribution (static IS for IS-SGD/IS-ASGD/MB-IS-SGD,
+    /// uniform otherwise); `Some(strategy)` forces uniform, static-IS, or
+    /// adaptive-IS sampling for any SGD-family solver.
+    pub sampling: Option<SamplingStrategy>,
 }
 
 impl Default for TrainConfig {
@@ -161,6 +166,7 @@ impl Default for TrainConfig {
             balance: BalancePolicy::default(),
             sequence: SequenceMode::RegeneratePerEpoch,
             update_mode: UpdateMode::AtomicCas,
+            sampling: None,
         }
     }
 }
@@ -183,6 +189,12 @@ impl TrainConfig {
         self.seed = s;
         self
     }
+
+    /// Builder-style sampling-strategy override.
+    pub fn with_sampling(mut self, s: SamplingStrategy) -> Self {
+        self.sampling = Some(s);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +204,10 @@ mod tests {
     #[test]
     fn names_match_paper_legends() {
         assert_eq!(Algorithm::IsAsgd.name(), "IS-ASGD");
-        assert_eq!(Algorithm::SvrgAsgd(SvrgVariant::Literature).name(), "SVRG-ASGD");
+        assert_eq!(
+            Algorithm::SvrgAsgd(SvrgVariant::Literature).name(),
+            "SVRG-ASGD"
+        );
         assert_eq!(
             Algorithm::SvrgAsgd(SvrgVariant::SkipMu).name(),
             "SVRG-ASGD(skip-mu)"
@@ -211,7 +226,14 @@ mod tests {
     fn execution_concurrency() {
         assert_eq!(Execution::Sequential.concurrency(), 1);
         assert_eq!(Execution::Threads(8).concurrency(), 8);
-        assert_eq!(Execution::Simulated { tau: 44, workers: 4 }.concurrency(), 44);
+        assert_eq!(
+            Execution::Simulated {
+                tau: 44,
+                workers: 4
+            }
+            .concurrency(),
+            44
+        );
     }
 
     #[test]
@@ -227,9 +249,12 @@ mod tests {
         let c = TrainConfig::default()
             .with_epochs(3)
             .with_step_size(0.1)
-            .with_seed(9);
+            .with_seed(9)
+            .with_sampling(SamplingStrategy::Adaptive);
         assert_eq!(c.epochs, 3);
         assert_eq!(c.step_size, 0.1);
         assert_eq!(c.seed, 9);
+        assert_eq!(c.sampling, Some(SamplingStrategy::Adaptive));
+        assert_eq!(TrainConfig::default().sampling, None);
     }
 }

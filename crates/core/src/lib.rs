@@ -1,7 +1,15 @@
-//! IS-ASGD and its baselines: the paper's solver family.
+//! IS-ASGD and its baselines: the paper's solver family behind one
+//! `Solver`/`Sampler` trait runtime.
 //!
-//! One entry point, [`train`], dispatches over
-//! ([`Algorithm`], [`Execution`]) pairs:
+//! One entry point, [`train`], validates an
+//! ([`Algorithm`], [`Execution`]) pair, resolves the
+//! [`SamplingStrategy`], constructs the matching
+//! [`Solver`](solvers::Solver) kernel, and hands it to the shared
+//! [`ExecutionEngine`](solvers::engine::run_engine) — which owns the
+//! epoch loop, worker pool, staleness queue, timing and
+//! [`Trace`](isasgd_metrics::Trace) recording for *every* solver.
+//!
+//! # Algorithm × execution matrix
 //!
 //! | Algorithm | paper reference | executions |
 //! |---|---|---|
@@ -11,12 +19,33 @@
 //! | [`Algorithm::IsAsgd`] | **Algorithm 4 — the contribution** | Threads, Simulated |
 //! | [`Algorithm::SvrgSgd`] | Johnson & Zhang 2013 | Sequential |
 //! | [`Algorithm::SvrgAsgd`] | Algorithm 1 | Threads, Simulated |
+//! | [`Algorithm::Saga`] | Defazio et al. 2014 | Sequential |
+//! | [`Algorithm::MbSgd`] / [`Algorithm::MbIsSgd`] | Csiba–Richtárik | Sequential |
 //!
 //! `Execution::Threads` runs genuine lock-free Hogwild threads over a
-//! [`SharedModel`](isasgd_model::SharedModel); `Execution::Simulated`
-//! reproduces any concurrency level τ deterministically through the
-//! bounded-staleness engine (see `isasgd-asyncsim`), which is how the
-//! paper's 16/32/44-thread sweeps are reproduced on small hosts.
+//! [`SharedModel`](isasgd_model::SharedModel) through each solver's
+//! [`SharedKernel`](solvers::SharedKernel); `Execution::Simulated`
+//! reproduces any concurrency level τ deterministically by pushing the
+//! solvers' compute/apply-split updates through a bounded
+//! [`DelayQueue`](isasgd_asyncsim::DelayQueue), which is how the paper's
+//! 16/32/44-thread sweeps are reproduced on small hosts.
+//!
+//! # Sampling strategies
+//!
+//! Orthogonally to the matrix above, every SGD-family solver draws its
+//! samples from a per-worker boxed [`Sampler`](isasgd_sampling::Sampler):
+//!
+//! | [`SamplingStrategy`] | distribution | corrections |
+//! |---|---|---|
+//! | `Uniform` | uniform i.i.d. / permutation | 1 |
+//! | `Static` | offline `p_i ∝ L_i` sequences (Alg. 2) | `1/(n·p_i)`, frozen |
+//! | `Adaptive` | Fenwick-backed, re-weighted per epoch from observed `‖∇f_i‖` | `1/(n·p_i)`, live |
+//!
+//! `TrainConfig::sampling = None` keeps each algorithm's classical
+//! distribution (static for the IS-named members, uniform otherwise);
+//! the CLI surfaces the override as `--sampling`. Variance-reduction
+//! solvers (SVRG/SAGA) sample uniformly by construction and reject
+//! explicit IS strategies.
 //!
 //! Every run produces a [`RunResult`] with a
 //! [`Trace`](isasgd_metrics::Trace) (per-epoch RMSE / error-rate /
@@ -45,5 +74,5 @@ pub use isasgd_losses::{
 };
 pub use isasgd_metrics::{Trace, TracePoint};
 pub use isasgd_model::shared::UpdateMode;
-pub use isasgd_sampling::SequenceMode;
+pub use isasgd_sampling::{Sampler, SamplingStrategy, SequenceMode};
 pub use isasgd_sparse::{Dataset, DatasetBuilder};

@@ -1,9 +1,10 @@
 //! Minibatch SGD with optional importance sampling — the extension the
 //! paper motivates by citing Csiba & Richtárik's "Importance sampling for
-//! minibatches" (§1.1).
+//! minibatches" (§1.1) — as a [`Solver`] kernel.
 //!
-//! Each step draws `b` indices i.i.d. (uniformly, or from the static IS
-//! distribution) and applies the averaged, correction-scaled gradient:
+//! Each step draws `b` indices i.i.d. (uniformly, or from the static or
+//! adaptive IS distribution) and applies the averaged, correction-scaled
+//! gradient:
 //!
 //! ```text
 //! w ← w − (λ/b)·Σ_{i∈B} 1/(n·p_i) · ∇f_i(w)
@@ -13,204 +14,87 @@
 //! by both the batch size and the importance weighting. An epoch is
 //! `⌈n/b⌉` steps, so epoch budgets stay comparable with the
 //! single-sample solvers.
+//!
+//! The compute/apply split of the [`Solver`] trait maps exactly onto the
+//! two-phase batch step: `compute` evaluates every gradient in the batch
+//! at the *same* `w`, `apply` plays the averaged update back.
 
-use crate::config::TrainConfig;
 use crate::error::CoreError;
-use crate::eval::{evaluate, TrainTimer};
-use crate::solvers::plan::build_plan;
-use crate::trainer::RunResult;
+use crate::solvers::solver::{Feedback, Sched, Solver};
 use isasgd_losses::{Loss, Objective};
-use isasgd_metrics::{Trace, TracePoint};
 use isasgd_sparse::Dataset;
 
-/// Runs sequential minibatch (IS-)SGD with batch size `batch`.
-#[allow(clippy::too_many_arguments)]
-pub fn run<L: Loss>(
-    ds: &Dataset,
-    obj: &Objective<L>,
-    cfg: &TrainConfig,
-    batch: usize,
-    is_mode: bool,
-    algo_name: &str,
-    dataset_name: &str,
-    init: Option<&[f64]>,
-) -> Result<RunResult, CoreError> {
-    if batch == 0 {
-        return Err(CoreError::InvalidConfig("batch size must be ≥ 1".into()));
-    }
-    let plan = build_plan(ds, obj, cfg, 1, is_mode)?;
-    let data = plan.data;
-    let mut sequences = plan.sequences;
-    let corrections = plan.corrections;
-    let n = data.n_samples();
-    let mut w = match init {
-        Some(w0) => w0.to_vec(),
-        None => vec![0.0f64; data.dim()],
-    };
-    // Batch gradient accumulated sparsely as (coeff, row) pairs; applying
-    // them after the batch keeps the update math identical to the
-    // averaged dense gradient without densifying.
-    let mut batch_buf: Vec<(u32, f64)> = Vec::with_capacity(batch);
-
-    let mut trace = Trace::new(algo_name, dataset_name, 1, cfg.step_size);
-    let mut timer = TrainTimer::new();
-    let mut eval_timer = TrainTimer::new();
-    let mut steps: u64 = 0;
-
-    eval_timer.start();
-    let m0 = evaluate(&data, obj, &w);
-    eval_timer.stop();
-    trace.push(TracePoint {
-        epoch: 0.0,
-        wall_secs: 0.0,
-        objective: m0.objective,
-        rmse: m0.rmse,
-        error_rate: m0.error_rate,
-    });
-
-    for epoch in 0..cfg.epochs {
-        let lambda = cfg.schedule.at(cfg.step_size, epoch);
-        timer.start();
-        let seq = sequences[0].indices();
-        for chunk in seq.chunks(batch) {
-            // Phase 1: gradients at the *same* w for the whole batch.
-            batch_buf.clear();
-            for &i in chunk {
-                let i = i as usize;
-                let row = data.row(i);
-                let m = obj.margin(&row, &w);
-                let g = obj.grad_scale(&row, m);
-                batch_buf.push((i as u32, g * corrections[0][i]));
-            }
-            // Phase 2: averaged application + on-support regularizer.
-            let scale = -lambda / chunk.len() as f64;
-            for &(i, coeff) in &batch_buf {
-                let row = data.row(i as usize);
-                for (&j, &x) in row.indices.iter().zip(row.values) {
-                    let j = j as usize;
-                    let wj = w[j] + scale * coeff * x;
-                    w[j] = wj - (lambda / chunk.len() as f64) * obj.reg.grad_coord(wj);
-                }
-            }
-            steps += chunk.len() as u64;
-        }
-        timer.stop();
-
-        eval_timer.start();
-        let m = evaluate(&data, obj, &w);
-        eval_timer.stop();
-        trace.push(TracePoint {
-            epoch: (epoch + 1) as f64,
-            wall_secs: timer.seconds(),
-            objective: m.objective,
-            rmse: m.rmse,
-            error_rate: m.error_rate,
-        });
-        for s in &mut sequences {
-            s.advance_epoch();
-        }
-    }
-    let _ = n;
-
-    let final_metrics = evaluate(&data, obj, &w);
-    Ok(RunResult {
-        trace,
-        model: w,
-        final_metrics,
-        setup_secs: plan.setup_secs,
-        train_secs: timer.seconds(),
-        eval_secs: eval_timer.seconds(),
-        steps,
-        balanced: Some(plan.balanced),
-        rho: Some(plan.rho),
-    })
+/// One computed batch: `(row, g·corr)` pairs, applied averaged.
+#[derive(Debug, Clone)]
+pub struct BatchUpdate {
+    items: Vec<(u32, f64)>,
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use isasgd_losses::{LogisticLoss, Regularizer};
-    use isasgd_sparse::DatasetBuilder;
+/// The minibatch kernel.
+pub struct MinibatchSolver<'a, L: Loss> {
+    obj: &'a Objective<L>,
+    batch: usize,
+}
 
-    fn separable(n: usize) -> Dataset {
-        let mut b = DatasetBuilder::new(6);
-        for i in 0..n {
-            let j = (i % 3) as u32;
-            if i % 2 == 0 {
-                b.push_row(&[(j, 1.0), (3 + j, 0.5)], 1.0).unwrap();
-            } else {
-                b.push_row(&[(j, -1.0), (3 + j, -0.5)], -1.0).unwrap();
+impl<'a, L: Loss> MinibatchSolver<'a, L> {
+    /// Wraps the objective with batch size `batch` (validated ≥ 1 by the
+    /// trainer).
+    pub fn new(obj: &'a Objective<L>, batch: usize) -> Self {
+        Self { obj, batch }
+    }
+}
+
+impl<L: Loss> Solver for MinibatchSolver<'_, L> {
+    type Update = BatchUpdate;
+
+    fn label(&self) -> &'static str {
+        "minibatch"
+    }
+
+    fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn init(&mut self, _data: &Dataset) -> Result<(), CoreError> {
+        if self.batch == 0 {
+            return Err(CoreError::InvalidConfig("batch size must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    fn compute(
+        &mut self,
+        data: &Dataset,
+        batch: &[Sched],
+        _lambda: f64,
+        w: &[f64],
+        fb: &mut Feedback<'_>,
+    ) -> BatchUpdate {
+        // Phase 1: gradients at the *same* w for the whole batch.
+        let mut items = Vec::with_capacity(batch.len());
+        for &s in batch {
+            let row = data.row(s.row as usize);
+            let m = self.obj.margin(&row, w);
+            let g = self.obj.grad_scale(&row, m);
+            if fb.wants() {
+                fb.record(s.row, g.abs());
+            }
+            items.push((s.row, g * s.corr));
+        }
+        BatchUpdate { items }
+    }
+
+    fn apply(&mut self, data: &Dataset, lambda: f64, u: BatchUpdate, w: &mut [f64]) {
+        // Phase 2: averaged application + on-support regularizer.
+        let b = u.items.len() as f64;
+        let scale = -lambda / b;
+        for &(i, coeff) in &u.items {
+            let row = data.row(i as usize);
+            for (&j, &x) in row.indices.iter().zip(row.values) {
+                let j = j as usize;
+                let wj = w[j] + scale * coeff * x;
+                w[j] = wj - (lambda / b) * self.obj.reg.grad_coord(wj);
             }
         }
-        b.finish()
-    }
-
-    fn obj() -> Objective<LogisticLoss> {
-        Objective::new(LogisticLoss, Regularizer::None)
-    }
-
-    #[test]
-    fn minibatch_converges_across_batch_sizes() {
-        let ds = separable(240);
-        for batch in [1usize, 8, 32, 240] {
-            let cfg = TrainConfig::default().with_epochs(6).with_step_size(0.8);
-            let r = run(&ds, &obj(), &cfg, batch, false, "MB-SGD", "sep", None).unwrap();
-            assert_eq!(
-                r.final_metrics.error_rate, 0.0,
-                "batch={batch}: error {}",
-                r.final_metrics.error_rate
-            );
-            assert_eq!(r.steps, 6 * 240);
-        }
-    }
-
-    #[test]
-    fn batch_one_matches_single_sample_structure() {
-        // b=1 minibatch is plain SGD with the same sequence; both must
-        // converge to equally good optima (not necessarily bitwise equal:
-        // the regularizer application point differs).
-        let ds = separable(120);
-        let cfg = TrainConfig::default().with_epochs(4);
-        let mb = run(&ds, &obj(), &cfg, 1, false, "MB-SGD", "sep", None).unwrap();
-        let sgd = crate::solvers::sim::run(&ds, &obj(), &cfg, 0, 1, false, "SGD", "sep", None).unwrap();
-        assert_eq!(mb.model, sgd.model, "b=1, no reg: identical trajectories");
-    }
-
-    #[test]
-    fn is_minibatch_runs_and_reports_balance() {
-        let ds = separable(200);
-        let cfg = TrainConfig::default().with_epochs(4);
-        let r = run(&ds, &obj(), &cfg, 16, true, "MB-IS-SGD", "sep", None).unwrap();
-        assert_eq!(r.final_metrics.error_rate, 0.0);
-        assert!(r.balanced.is_some());
-    }
-
-    #[test]
-    fn zero_batch_rejected() {
-        let ds = separable(10);
-        let cfg = TrainConfig::default();
-        assert!(run(&ds, &obj(), &cfg, 0, false, "MB", "sep", None).is_err());
-    }
-
-    #[test]
-    fn larger_batches_reduce_trajectory_noise() {
-        // Variance proxy: distance between two runs with different seeds
-        // shrinks as batch grows.
-        let ds = separable(240);
-        let mut spreads = Vec::new();
-        for batch in [1usize, 32] {
-            let a = run(&ds, &obj(), &TrainConfig::default().with_epochs(2).with_seed(1),
-                        batch, false, "MB", "sep", None).unwrap();
-            let b = run(&ds, &obj(), &TrainConfig::default().with_epochs(2).with_seed(2),
-                        batch, false, "MB", "sep", None).unwrap();
-            let d: f64 = a.model.iter().zip(&b.model).map(|(x, y)| (x - y) * (x - y)).sum();
-            spreads.push(d.sqrt());
-        }
-        assert!(
-            spreads[1] < spreads[0],
-            "b=32 spread {} should be below b=1 spread {}",
-            spreads[1],
-            spreads[0]
-        );
     }
 }

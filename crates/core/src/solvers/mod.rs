@@ -1,16 +1,35 @@
-//! Solver implementations.
+//! The solver runtime: one engine, one sampler abstraction, thin
+//! per-algorithm kernels.
 //!
 //! * [`plan`] — shared pre-training setup: importance weights, balancing
-//!   decision, sharding, per-worker sample sequences (Algorithm 4 lines
+//!   decision, sharding, one boxed
+//!   [`Sampler`](isasgd_sampling::Sampler) per worker (Algorithm 4 lines
 //!   2–12 and Algorithm 2 lines 2–3).
-//! * [`hogwild`] — real-thread lock-free ASGD / IS-ASGD.
-//! * [`sim`] — deterministic bounded-staleness SGD / IS-SGD / ASGD /
-//!   IS-ASGD (any τ).
-//! * [`svrg`] — SVRG-SGD and SVRG-ASGD (literature and skip-µ variants).
+//! * [`solver`] — the [`Solver`](solver::Solver) trait: compute/apply
+//!   split plus epoch hooks and an optional lock-free
+//!   [`SharedKernel`](solver::SharedKernel).
+//! * [`engine`] — the shared [`run_engine`](engine::run_engine) epoch
+//!   loop driving any solver under Sequential / `Threads(k)` /
+//!   `Simulated{tau, workers}` execution, with timing, tracing, and
+//!   adaptive-sampling feedback.
+//! * [`sgd`] — the single kernel behind SGD, IS-SGD, ASGD and IS-ASGD
+//!   (the paper's point: importance sampling leaves it untouched).
+//! * [`svrg`] — SVRG-SGD / SVRG-ASGD (literature and skip-µ variants).
+//! * [`saga`] — sequential SAGA (scalar-memory VR baseline).
+//! * [`minibatch`] — minibatch (IS-)SGD.
+//!
+//! Adding a solver is now a one-file change: implement
+//! [`Solver`](solver::Solver) and add one dispatch arm in
+//! [`trainer`](crate::trainer); every sampling strategy and execution
+//! mode comes for free.
 
-pub mod hogwild;
+pub mod engine;
 pub mod minibatch;
 pub mod plan;
 pub mod saga;
-pub mod sim;
+pub mod sgd;
+pub mod solver;
 pub mod svrg;
+
+pub use engine::{run_engine, RunMeta};
+pub use solver::{Feedback, Sched, SharedKernel, Solver};

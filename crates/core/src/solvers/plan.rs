@@ -2,36 +2,36 @@
 //!
 //! This is the offline part of the paper's Algorithms 2 and 4: compute the
 //! importance weights, decide balancing vs shuffling from ρ, rearrange and
-//! shard the dataset, build per-worker weighted sample sequences and the
-//! inverse-probability step corrections. Everything here is timed into
-//! `setup_secs` — the "sampling time" overhead the paper quantifies as
-//! 1.1–7.7% (§4.2).
+//! shard the dataset, and build one boxed [`Sampler`] per worker shard
+//! (uniform, static-IS, or adaptive-IS per the requested
+//! [`SamplingStrategy`]). Everything here is timed into `setup_secs` — the
+//! "sampling time" overhead the paper quantifies as 1.1–7.7% (§4.2).
 
 use crate::config::TrainConfig;
 use crate::error::CoreError;
 use isasgd_balance::{decide, BalancePolicy};
-use isasgd_losses::{importance_weights, step_corrections, Loss, Objective};
+use isasgd_losses::{importance_weights, Loss, Objective};
 use isasgd_sampling::rng::derive_seeds;
-use isasgd_sampling::{SampleSequence, SequenceMode};
+use isasgd_sampling::{build_sampler, Sampler, SamplingStrategy, Xoshiro256pp};
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::Dataset;
 use std::ops::Range;
 use std::time::Instant;
 
-/// The per-worker training plan.
-#[derive(Debug)]
-pub struct WorkerPlan {
+/// The per-worker training plan: rearranged data, shard ranges, and one
+/// sampler per shard.
+pub struct TrainingPlan {
     /// Dataset rearranged per the balance decision (identity order for
-    /// sequential solvers).
+    /// sequential uniform solvers).
     pub data: Dataset,
     /// Contiguous shard (row range into `data`) per worker.
     pub ranges: Vec<Range<usize>>,
-    /// Per-worker sample sequences emitting *local* indices within the
-    /// worker's range.
-    pub sequences: Vec<SampleSequence>,
-    /// Per-worker, per-local-row step corrections `1/(n_local·p_local)`
-    /// (all 1.0 for uniform sampling).
-    pub corrections: Vec<Vec<f64>>,
+    /// Per-worker samplers emitting *local* indices within the worker's
+    /// range.
+    pub samplers: Vec<Box<dyn Sampler>>,
+    /// Per-worker draw RNGs (consumed only by live samplers; the
+    /// pre-generated ones carry their own stream).
+    pub rngs: Vec<Xoshiro256pp>,
     /// Wall-clock spent building this plan.
     pub setup_secs: f64,
     /// Whether head-tail balancing was applied.
@@ -40,16 +40,33 @@ pub struct WorkerPlan {
     pub rho: f64,
 }
 
-impl WorkerPlan {
+impl std::fmt::Debug for TrainingPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainingPlan")
+            .field("workers", &self.ranges.len())
+            .field("n", &self.data.n_samples())
+            .field("balanced", &self.balanced)
+            .field("rho", &self.rho)
+            .finish()
+    }
+}
+
+impl TrainingPlan {
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.ranges.len()
     }
 
-    /// Advances every worker's sequence to the next epoch.
+    /// True when any worker's sampler adapts from feedback.
+    pub fn is_adaptive(&self) -> bool {
+        self.samplers.iter().any(|s| s.is_adaptive())
+    }
+
+    /// Advances every worker's sampler to the next epoch (committing any
+    /// adaptive re-weighting).
     pub fn advance_epoch(&mut self) {
-        for s in &mut self.sequences {
-            s.advance_epoch();
+        for s in &mut self.samplers {
+            s.epoch_reset();
         }
     }
 }
@@ -57,15 +74,14 @@ impl WorkerPlan {
 /// Builds the plan.
 ///
 /// * `workers` — number of shards/threads (1 for sequential).
-/// * `is_mode` — importance sampling on (IS-SGD/IS-ASGD) or off
-///   (SGD/ASGD/SVRG, which sample uniformly).
+/// * `strategy` — the sampling distribution every shard draws from.
 pub fn build_plan<L: Loss>(
     ds: &Dataset,
     obj: &Objective<L>,
     cfg: &TrainConfig,
     workers: usize,
-    is_mode: bool,
-) -> Result<WorkerPlan, CoreError> {
+    strategy: SamplingStrategy,
+) -> Result<TrainingPlan, CoreError> {
     if ds.is_empty() {
         return Err(CoreError::EmptyDataset);
     }
@@ -89,13 +105,17 @@ pub fn build_plan<L: Loss>(
     let n = ds.n_samples();
     let seeds = derive_seeds(cfg.seed, workers + 1);
 
-    let (data, weights, balanced, rho) = if is_mode {
+    let (data, weights, balanced, rho) = if strategy.uses_importance() {
         let w = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
         let decision = decide(&w, cfg.balance, seeds[workers], workers);
         let reordered = ds.reordered(&decision.order)?;
-        let reordered_weights: Vec<f64> =
-            decision.order.iter().map(|&i| w[i]).collect();
-        (reordered, Some(reordered_weights), decision.balanced, decision.rho)
+        let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| w[i]).collect();
+        (
+            reordered,
+            Some(reordered_weights),
+            decision.balanced,
+            decision.rho,
+        )
     } else if workers > 1 {
         // ASGD shuffles before sharding (standard Hogwild practice) so
         // shards are statistically homogeneous.
@@ -111,40 +131,30 @@ pub fn build_plan<L: Loss>(
     };
 
     let ranges = shard_ranges(n, workers)?;
-    let mut sequences = Vec::with_capacity(workers);
-    let mut corrections = Vec::with_capacity(workers);
+    let mut samplers: Vec<Box<dyn Sampler>> = Vec::with_capacity(workers);
     for (k, r) in ranges.iter().enumerate() {
-        let len = r.len();
-        match &weights {
-            Some(w) => {
-                let local = &w[r.clone()];
-                sequences.push(SampleSequence::weighted(
-                    local,
-                    len,
-                    cfg.sequence,
-                    seeds[k],
-                )?);
-                corrections.push(step_corrections(local));
-            }
-            None => {
-                let mode = match cfg.sequence {
-                    // Weighted-only modes degrade to uniform i.i.d.
-                    SequenceMode::RegeneratePerEpoch | SequenceMode::ShuffleOnce => {
-                        SequenceMode::UniformIid
-                    }
-                    m => m,
-                };
-                sequences.push(SampleSequence::uniform(len, len, mode, seeds[k])?);
-                corrections.push(vec![1.0; len]);
-            }
-        }
+        let local = weights.as_ref().map(|w| &w[r.clone()]);
+        samplers.push(build_sampler(
+            strategy,
+            local,
+            r.len(),
+            cfg.sequence,
+            seeds[k],
+        )?);
     }
+    // Independent draw streams for live samplers; pre-generated samplers
+    // ignore these, so uniform/static plans keep their exact pre-trait
+    // behaviour under a given seed.
+    let rngs = derive_seeds(cfg.seed ^ 0xADA9_715E_5EED_0001, workers)
+        .into_iter()
+        .map(Xoshiro256pp::new)
+        .collect();
 
-    Ok(WorkerPlan {
+    Ok(TrainingPlan {
         data,
         ranges,
-        sequences,
-        corrections,
+        samplers,
+        rngs,
         setup_secs: t0.elapsed().as_secs_f64(),
         balanced,
         rho,
@@ -172,49 +182,105 @@ mod tests {
         Objective::new(LogisticLoss, Regularizer::None)
     }
 
+    fn drain_epoch(plan: &mut TrainingPlan, k: usize) -> Vec<(usize, f64)> {
+        let len = plan.ranges[k].len();
+        let (sampler, rng) = (&mut plan.samplers[k], &mut plan.rngs[k]);
+        (0..len)
+            .map(|_| {
+                let i = sampler.next(rng);
+                (i, sampler.correction(i))
+            })
+            .collect()
+    }
+
     #[test]
     fn uniform_plan_shapes() {
         let d = ds(20);
-        let p = build_plan(&d, &obj(), &TrainConfig::default(), 4, false).unwrap();
+        let mut p = build_plan(
+            &d,
+            &obj(),
+            &TrainConfig::default(),
+            4,
+            SamplingStrategy::Uniform,
+        )
+        .unwrap();
         assert_eq!(p.workers(), 4);
         assert_eq!(p.data.n_samples(), 20);
-        for (k, r) in p.ranges.iter().enumerate() {
-            assert_eq!(p.sequences[k].indices().len(), r.len());
-            assert!(p.corrections[k].iter().all(|&c| c == 1.0));
+        assert!(!p.is_adaptive());
+        for k in 0..4 {
+            let len = p.ranges[k].len();
+            for (i, c) in drain_epoch(&mut p, k) {
+                assert!(i < len);
+                assert_eq!(c, 1.0);
+            }
         }
         assert!(!p.balanced);
     }
 
     #[test]
-    fn is_plan_has_corrections_with_unit_mean_under_p() {
+    fn static_plan_has_corrections_with_unit_mean_under_p() {
         let d = ds(40);
-        let p = build_plan(&d, &obj(), &TrainConfig::default(), 2, true).unwrap();
-        // For each shard, E_p[corr] = Σ p_i · (L̄/L_i) = 1.
+        let mut p = build_plan(
+            &d,
+            &obj(),
+            &TrainConfig::default(),
+            2,
+            SamplingStrategy::Static,
+        )
+        .unwrap();
+        // Empirically: E_p[corr] over many draws ≈ 1 per shard.
         for k in 0..2 {
-            let corr = &p.corrections[k];
-            let n_local = corr.len() as f64;
-            // corr_i = L̄/L_i ⇒ L_i = L̄/corr_i; weights renormalize out.
-            let sum_inv: f64 = corr.iter().map(|c| 1.0 / c).sum();
-            let e: f64 = corr
-                .iter()
-                .map(|&c| (1.0 / c / sum_inv) * c)
-                .sum();
-            assert!((e - n_local / sum_inv).abs() < 1e-9);
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for _ in 0..200 {
+                for (_, c) in drain_epoch(&mut p, k) {
+                    sum += c;
+                    count += 1;
+                }
+                p.samplers[k].epoch_reset();
+            }
+            let mean = sum / count as f64;
+            assert!((mean - 1.0).abs() < 0.05, "shard {k}: E[corr] = {mean}");
         }
     }
 
     #[test]
-    fn is_plan_balances_skewed_weights() {
+    fn is_plans_balance_skewed_weights() {
         let d = ds(40); // norms 1..5 ⇒ ρ well above ζ=5e-4
-        let p = build_plan(&d, &obj(), &TrainConfig::default(), 4, true).unwrap();
-        assert!(p.balanced);
-        assert!(p.rho > 5e-4);
+        for strategy in [SamplingStrategy::Static, SamplingStrategy::Adaptive] {
+            let p = build_plan(&d, &obj(), &TrainConfig::default(), 4, strategy).unwrap();
+            assert!(p.balanced, "{strategy:?}");
+            assert!(p.rho > 5e-4);
+        }
+    }
+
+    #[test]
+    fn adaptive_plan_is_adaptive() {
+        let d = ds(30);
+        let p = build_plan(
+            &d,
+            &obj(),
+            &TrainConfig::default(),
+            2,
+            SamplingStrategy::Adaptive,
+        )
+        .unwrap();
+        assert!(p.is_adaptive());
+        assert_eq!(p.samplers.len(), 2);
+        assert_eq!(p.rngs.len(), 2);
     }
 
     #[test]
     fn sequential_plan_keeps_order() {
         let d = ds(10);
-        let p = build_plan(&d, &obj(), &TrainConfig::default(), 1, false).unwrap();
+        let p = build_plan(
+            &d,
+            &obj(),
+            &TrainConfig::default(),
+            1,
+            SamplingStrategy::Uniform,
+        )
+        .unwrap();
         assert_eq!(p.data, d, "sequential uniform must not reorder");
     }
 
@@ -222,27 +288,33 @@ mod tests {
     fn validation_errors() {
         let d = ds(5);
         let cfg = TrainConfig::default();
+        let s = SamplingStrategy::Uniform;
         assert!(matches!(
-            build_plan(&DatasetBuilder::new(3).finish(), &obj(), &cfg, 1, false),
+            build_plan(&DatasetBuilder::new(3).finish(), &obj(), &cfg, 1, s),
             Err(CoreError::EmptyDataset)
         ));
-        assert!(build_plan(&d, &obj(), &cfg, 0, false).is_err());
-        assert!(build_plan(&d, &obj(), &cfg, 6, false).is_err());
+        assert!(build_plan(&d, &obj(), &cfg, 0, s).is_err());
+        assert!(build_plan(&d, &obj(), &cfg, 6, s).is_err());
         let bad = TrainConfig::default().with_step_size(-1.0);
-        assert!(build_plan(&d, &obj(), &bad, 1, false).is_err());
+        assert!(build_plan(&d, &obj(), &bad, 1, s).is_err());
         let bad = TrainConfig::default().with_epochs(0);
-        assert!(build_plan(&d, &obj(), &bad, 1, false).is_err());
+        assert!(build_plan(&d, &obj(), &bad, 1, s).is_err());
     }
 
     #[test]
-    fn advance_epoch_changes_uniform_sequences() {
+    fn advance_epoch_changes_uniform_draws() {
         let d = ds(30);
-        let mut p = build_plan(&d, &obj(), &TrainConfig::default(), 2, false).unwrap();
-        let before: Vec<Vec<u32>> =
-            p.sequences.iter().map(|s| s.indices().to_vec()).collect();
+        let mut p = build_plan(
+            &d,
+            &obj(),
+            &TrainConfig::default(),
+            2,
+            SamplingStrategy::Uniform,
+        )
+        .unwrap();
+        let before: Vec<(usize, f64)> = drain_epoch(&mut p, 0);
         p.advance_epoch();
-        let after: Vec<Vec<u32>> =
-            p.sequences.iter().map(|s| s.indices().to_vec()).collect();
+        let after: Vec<(usize, f64)> = drain_epoch(&mut p, 0);
         assert_ne!(before, after);
     }
 
@@ -250,12 +322,21 @@ mod tests {
     fn deterministic_under_seed() {
         let d = ds(30);
         let cfg = TrainConfig::default().with_seed(77);
-        let a = build_plan(&d, &obj(), &cfg, 3, true).unwrap();
-        let b = build_plan(&d, &obj(), &cfg, 3, true).unwrap();
-        assert_eq!(a.data, b.data);
-        for k in 0..3 {
-            assert_eq!(a.sequences[k].indices(), b.sequences[k].indices());
-            assert_eq!(a.corrections[k], b.corrections[k]);
+        for strategy in [
+            SamplingStrategy::Uniform,
+            SamplingStrategy::Static,
+            SamplingStrategy::Adaptive,
+        ] {
+            let mut a = build_plan(&d, &obj(), &cfg, 3, strategy).unwrap();
+            let mut b = build_plan(&d, &obj(), &cfg, 3, strategy).unwrap();
+            assert_eq!(a.data, b.data);
+            for k in 0..3 {
+                assert_eq!(
+                    drain_epoch(&mut a, k),
+                    drain_epoch(&mut b, k),
+                    "{strategy:?} shard {k}"
+                );
+            }
         }
     }
 }

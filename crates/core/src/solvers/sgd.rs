@@ -1,0 +1,131 @@
+//! The single-sample GLM-SGD kernel — one solver for SGD, IS-SGD, ASGD
+//! and IS-ASGD.
+//!
+//! This module is the paper's central observation made literal: the four
+//! algorithms share *one* training kernel; they differ only in the
+//! sampling distribution (handled by the plan's
+//! [`Sampler`](isasgd_sampling::Sampler)s) and the execution mode
+//! (handled by the [`engine`](crate::solvers::engine)). The perturbed-
+//! iterate semantics of Eq. 21 fall out of the compute/apply split: the
+//! gradient is computed against the currently visible model `ŵ_t` and
+//! the update lands τ logical steps later (τ = 0 sequentially).
+//!
+//! The regularizer is applied lazily on the sample's support at apply
+//! time, mirroring how sparse ASGD implementations avoid `O(d)`
+//! regularization scans.
+
+use crate::error::CoreError;
+use crate::solvers::solver::{Feedback, Sched, SharedKernel, Solver};
+use isasgd_losses::{Loss, Objective};
+use isasgd_model::shared::UpdateMode;
+use isasgd_model::SharedModel;
+use isasgd_sparse::{Dataset, SparseRow};
+
+/// Computes the margin `y·wᵀx` against the shared model with relaxed
+/// per-coordinate reads (the perturbed iterate ŵ of the analysis).
+#[inline]
+pub fn margin_shared(model: &SharedModel, row: &SparseRow<'_>) -> f64 {
+    let mut acc = 0.0;
+    for (&j, &x) in row.indices.iter().zip(row.values) {
+        acc += x * model.get(j as usize);
+    }
+    acc * row.label
+}
+
+/// One in-flight update: `w += coeff·x_row`, then an on-support
+/// regularizer step scaled by `reg_scale` (both already include −λ and
+/// the IS correction `1/(n·p_i)`).
+#[derive(Debug, Clone, Copy)]
+pub struct SgdUpdate {
+    row: u32,
+    /// Multiplier for the sparse axpy (−λ·corr·ℓ'(m)·y).
+    coeff: f64,
+    /// Multiplier for the on-support regularizer subgradient (λ·corr).
+    reg_scale: f64,
+}
+
+/// The shared SGD/ASGD kernel.
+pub struct SgdSolver<'a, L: Loss> {
+    obj: &'a Objective<L>,
+}
+
+impl<'a, L: Loss> SgdSolver<'a, L> {
+    /// Wraps the objective.
+    pub fn new(obj: &'a Objective<L>) -> Self {
+        Self { obj }
+    }
+}
+
+impl<L: Loss> Solver for SgdSolver<'_, L> {
+    type Update = SgdUpdate;
+
+    fn label(&self) -> &'static str {
+        "sgd-family"
+    }
+
+    fn compute(
+        &mut self,
+        data: &Dataset,
+        batch: &[Sched],
+        lambda: f64,
+        w: &[f64],
+        fb: &mut Feedback<'_>,
+    ) -> SgdUpdate {
+        debug_assert_eq!(batch.len(), 1, "sgd kernel steps one sample at a time");
+        let s = batch[0];
+        let row = data.row(s.row as usize);
+        let margin = self.obj.margin(&row, w);
+        let g = self.obj.grad_scale(&row, margin);
+        if fb.wants() {
+            fb.record(s.row, g.abs());
+        }
+        SgdUpdate {
+            row: s.row,
+            coeff: -lambda * s.corr * g,
+            reg_scale: lambda * s.corr,
+        }
+    }
+
+    fn apply(&mut self, data: &Dataset, _lambda: f64, u: SgdUpdate, w: &mut [f64]) {
+        let row = data.row(u.row as usize);
+        self.obj.apply_sgd_update(&row, u.coeff, u.reg_scale, w);
+    }
+
+    fn shared_kernel(&self) -> Option<&dyn SharedKernel> {
+        Some(self)
+    }
+
+    fn init(&mut self, _data: &Dataset) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+impl<L: Loss> SharedKernel for SgdSolver<'_, L> {
+    fn step_shared(
+        &self,
+        data: &Dataset,
+        s: Sched,
+        lambda: f64,
+        model: &SharedModel,
+        mode: UpdateMode,
+        observe: bool,
+    ) -> f64 {
+        let row = data.row(s.row as usize);
+        let m = margin_shared(model, &row);
+        let g = self.obj.grad_scale(&row, m);
+        let scale = lambda * s.corr;
+        let coeff = -scale * g;
+        for (&j, &x) in row.indices.iter().zip(row.values) {
+            let j = j as usize;
+            // One combined write: gradient step + on-support regularizer
+            // subgradient at the (racily read) current coordinate.
+            let wj = model.get(j);
+            model.add(j, coeff * x - scale * self.obj.reg.grad_coord(wj), mode);
+        }
+        if observe {
+            g.abs()
+        } else {
+            0.0
+        }
+    }
+}

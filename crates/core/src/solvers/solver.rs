@@ -1,0 +1,189 @@
+//! The [`Solver`] trait: the per-algorithm kernel behind the shared
+//! [`ExecutionEngine`](crate::solvers::engine).
+//!
+//! Every solver is split into the two phases a bounded-staleness run
+//! needs anyway:
+//!
+//! * [`Solver::compute`] — read-only against the currently *visible*
+//!   model: sample gradient(s), produce a self-contained
+//!   [`Solver::Update`].
+//! * [`Solver::apply`] — mutate the model with a previously computed
+//!   update.
+//!
+//! Sequential execution calls them back-to-back (so `τ = 0` staleness is
+//! literally the sequential algorithm); simulated execution pushes the
+//! updates through a [`DelayQueue`](isasgd_asyncsim::DelayQueue);
+//! threaded execution instead uses the solver's lock-free
+//! [`SharedKernel`] (when it has one — solvers with per-step mutable
+//! state like SAGA are sequential-only and return `None`).
+//!
+//! Epoch-granular state (SVRG's snapshot + full gradient µ, skip-µ's
+//! deferred dense add) lives in [`Solver::on_epoch_start`] /
+//! [`Solver::on_epoch_end`].
+
+use crate::error::CoreError;
+use isasgd_model::shared::UpdateMode;
+use isasgd_model::SharedModel;
+use isasgd_sparse::Dataset;
+
+/// One scheduled draw: a global row index plus its importance-sampling
+/// step correction `1/(n·p)` (1.0 under uniform sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sched {
+    /// Global row index into the plan's (rearranged) dataset.
+    pub row: u32,
+    /// Step correction for this draw.
+    pub corr: f64,
+}
+
+/// Sink for observed per-sample gradient *scales* `|ℓ'(m)|`, used to
+/// drive [`Sampler::update_weight`](isasgd_sampling::Sampler) for
+/// adaptive sampling. The engine multiplies each observation by the
+/// sample's (precomputed) feature norm `‖x_i‖` to form the GLM gradient
+/// norm `‖∇f_i‖ = |ℓ'(m)|·‖x_i‖`, so kernels never recompute norms in
+/// the hot loop. A disabled sink costs one branch per step.
+pub struct Feedback<'a> {
+    sink: Option<&'a mut Vec<(u32, f64)>>,
+}
+
+impl<'a> Feedback<'a> {
+    /// A sink collecting into `buf`.
+    pub fn into_buf(buf: &'a mut Vec<(u32, f64)>) -> Self {
+        Feedback { sink: Some(buf) }
+    }
+
+    /// A disabled sink.
+    pub fn disabled() -> Feedback<'static> {
+        Feedback { sink: None }
+    }
+
+    /// Whether observations are wanted (lets kernels skip the extra
+    /// norm computation entirely).
+    #[inline]
+    pub fn wants(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records one observation (`|ℓ'(m)|` for the sampled row).
+    #[inline]
+    pub fn record(&mut self, row: u32, observed: f64) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.push((row, observed));
+        }
+    }
+}
+
+/// The lock-free per-sample kernel used by `Execution::Threads`.
+///
+/// Must be safe to run from many threads against one [`SharedModel`]
+/// (Hogwild semantics): implementations may only read shared solver
+/// state that is frozen for the duration of the epoch.
+pub trait SharedKernel: Sync {
+    /// One gradient step on `s` against the shared model. Returns the
+    /// observed gradient scale `|ℓ'(m)|` (the engine scales it by the
+    /// row norm), or 0.0 when not meaningful.
+    fn step_shared(
+        &self,
+        data: &Dataset,
+        s: Sched,
+        lambda: f64,
+        model: &SharedModel,
+        mode: UpdateMode,
+        observe: bool,
+    ) -> f64;
+
+    /// Epoch-boundary hook against the shared model (e.g. skip-µ's
+    /// deferred dense add). Runs on the main thread after workers join.
+    fn epoch_end_shared(&self, data: &Dataset, lambda: f64, model: &SharedModel, mode: UpdateMode) {
+        let _ = (data, lambda, model, mode);
+    }
+}
+
+/// A training algorithm's kernel, driven by the
+/// [`ExecutionEngine`](crate::solvers::engine::run_engine).
+pub trait Solver {
+    /// The in-flight update type (what `compute` hands to `apply`,
+    /// possibly τ logical steps later under simulated execution).
+    type Update;
+
+    /// Display tag for error messages.
+    fn label(&self) -> &'static str;
+
+    /// Whether the sampling plan should compute importance weights.
+    /// Variance-reduction solvers sample uniformly and return `false`
+    /// (their [`RunResult`](crate::RunResult) reports `balanced: None`).
+    fn uses_importance_plan(&self) -> bool {
+        true
+    }
+
+    /// Scheduling granularity: how many draws each `compute` consumes
+    /// (1 for the single-sample solvers, `b` for minibatch).
+    fn batch(&self) -> usize {
+        1
+    }
+
+    /// Per-run state allocation. Called once, after planning.
+    fn init(&mut self, data: &Dataset) -> Result<(), CoreError> {
+        let _ = data;
+        Ok(())
+    }
+
+    /// Whether [`Solver::on_epoch_start`] needs the current dense model.
+    /// Threaded execution only pays the `O(d)` shared-model snapshot per
+    /// epoch when this returns `true` (SVRG's sync point); the SGD family
+    /// leaves it `false` so its timed epochs contain worker steps only.
+    fn wants_epoch_start(&self) -> bool {
+        false
+    }
+
+    /// Epoch-start hook with a dense view of the current model (runs
+    /// before workers start; SVRG's sync point).
+    fn on_epoch_start(&mut self, data: &Dataset, w: &[f64], lambda: f64) {
+        let _ = (data, w, lambda);
+    }
+
+    /// Computes one update from `batch` against the visible model `w`
+    /// without mutating it.
+    fn compute(
+        &mut self,
+        data: &Dataset,
+        batch: &[Sched],
+        lambda: f64,
+        w: &[f64],
+        fb: &mut Feedback<'_>,
+    ) -> Self::Update;
+
+    /// Applies a previously computed update to the model.
+    fn apply(&mut self, data: &Dataset, lambda: f64, update: Self::Update, w: &mut [f64]);
+
+    /// Epoch-end hook for dense execution modes (e.g. skip-µ's deferred
+    /// add). The simulated queue is already drained when this runs.
+    fn on_epoch_end(&mut self, data: &Dataset, lambda: f64, w: &mut [f64]) {
+        let _ = (data, lambda, w);
+    }
+
+    /// The lock-free kernel for `Execution::Threads`, if this solver's
+    /// per-step state is immutable within an epoch.
+    fn shared_kernel(&self) -> Option<&dyn SharedKernel> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feedback_routing() {
+        let mut buf = Vec::new();
+        {
+            let mut fb = Feedback::into_buf(&mut buf);
+            assert!(fb.wants());
+            fb.record(3, 1.5);
+        }
+        assert_eq!(buf, vec![(3, 1.5)]);
+        let mut off = Feedback::disabled();
+        assert!(!off.wants());
+        off.record(1, 1.0); // no-op
+    }
+}

@@ -1,34 +1,37 @@
-//! SVRG-SGD and SVRG-ASGD (paper Algorithm 1 and §1.2).
+//! SVRG-SGD and SVRG-ASGD (paper Algorithm 1 and §1.2) as a
+//! [`Solver`] kernel.
 //!
 //! Per sync round (one epoch here, as in the paper's Algorithm 1 with
 //! `sync(t)` at epoch boundaries): snapshot `s = w`, compute the dense
-//! full gradient `µ = ∇F(s)`, then iterate
-//! `w ← w − λ·(∇f_i(w) − ∇f_i(s) + µ)`.
+//! full gradient `µ = ∇F(s)` (both in [`Solver::on_epoch_start`]), then
+//! iterate `w ← w − λ·(∇f_i(w) − ∇f_i(s) + µ)`.
 //!
 //! The two sparse terms share the sample's support and cost `O(nnz)`; the
 //! `µ` term is **dense** and costs `O(d)` *per iteration* — the
 //! performance cliff the paper demonstrates on sparse data (Fig. 1, §1.2).
 //! The [`SvrgVariant::SkipMu`] flavour reproduces the public-code
 //! approximation the paper criticizes: `µ` is skipped in the loop and
-//! applied once per epoch multiplied by the iteration count, which
-//! recovers the *sum* of the updates but not the trajectory, and visibly
-//! distorts convergence (the `ablation-svrg` experiment).
+//! applied once per epoch multiplied by the iteration count
+//! ([`Solver::on_epoch_end`]), which recovers the *sum* of the updates
+//! but not the trajectory, and visibly distorts convergence (the
+//! `ablation-svrg` experiment).
+//!
+//! SVRG samples uniformly (`uses_importance_plan` = false): its epoch
+//! state is read-only during steps, so it also provides a lock-free
+//! [`SharedKernel`] for real-thread execution.
 
-use crate::config::{SvrgVariant, TrainConfig};
+use crate::config::SvrgVariant;
 use crate::error::CoreError;
-use crate::eval::{evaluate, full_gradient, TrainTimer};
-use crate::solvers::plan::{build_plan, WorkerPlan};
-use crate::trainer::RunResult;
-use isasgd_asyncsim::DelayQueue;
+use crate::eval::full_gradient;
+use crate::solvers::solver::{Feedback, Sched, SharedKernel, Solver};
 use isasgd_losses::{Loss, Objective};
-use isasgd_metrics::{Trace, TracePoint};
+use isasgd_model::shared::UpdateMode;
 use isasgd_model::SharedModel;
 use isasgd_sparse::Dataset;
 
-/// An in-flight simulated SVRG update (sparse part only; the dense µ part
-/// is applied alongside at expiry).
+/// An in-flight SVRG update (sparse part plus the dense µ scale).
 #[derive(Debug, Clone, Copy)]
-struct Pending {
+pub struct SvrgUpdate {
     row: u32,
     /// Coefficient of the sparse direction x_row: −λ·(g_w − g_s).
     coeff: f64,
@@ -36,379 +39,146 @@ struct Pending {
     mu_scale: f64,
 }
 
-/// Shared state for one run.
-struct SvrgRun<'a, L: Loss> {
-    plan: WorkerPlan,
+/// The SVRG kernel.
+pub struct SvrgSolver<'a, L: Loss> {
     obj: &'a Objective<L>,
     variant: SvrgVariant,
     mu: Vec<f64>,
     snapshot: Vec<f64>,
 }
 
-impl<'a, L: Loss> SvrgRun<'a, L> {
-    /// Dense-model sequential epoch (also the skip-µ path when
-    /// `variant == SkipMu`).
-    fn epoch_sequential(&mut self, w: &mut [f64], lambda: f64) {
-        let data = &self.plan.data;
-        let seq = self.plan.sequences[0].indices();
-        for &local in seq {
-            let row = data.row(local as usize);
-            let g_w = {
-                let m = self.obj.margin(&row, w);
-                self.obj.grad_scale(&row, m)
-            };
-            let g_s = {
-                let m = self.obj.margin(&row, &self.snapshot);
-                self.obj.grad_scale(&row, m)
-            };
-            let coeff = -lambda * (g_w - g_s);
-            for (&j, &x) in row.indices.iter().zip(row.values) {
-                w[j as usize] += coeff * x;
-            }
-            if self.variant == SvrgVariant::Literature {
-                // The dense O(d) add that dominates on sparse data.
-                for (wj, &mj) in w.iter_mut().zip(&self.mu) {
-                    *wj -= lambda * mj;
-                }
+impl<'a, L: Loss> SvrgSolver<'a, L> {
+    /// Wraps the objective for one SVRG variant.
+    pub fn new(obj: &'a Objective<L>, variant: SvrgVariant) -> Self {
+        Self {
+            obj,
+            variant,
+            mu: Vec::new(),
+            snapshot: Vec::new(),
+        }
+    }
+}
+
+impl<L: Loss> Solver for SvrgSolver<'_, L> {
+    type Update = SvrgUpdate;
+
+    fn label(&self) -> &'static str {
+        "svrg"
+    }
+
+    fn uses_importance_plan(&self) -> bool {
+        false
+    }
+
+    fn init(&mut self, data: &Dataset) -> Result<(), CoreError> {
+        self.mu = vec![0.0; data.dim()];
+        self.snapshot = vec![0.0; data.dim()];
+        Ok(())
+    }
+
+    fn wants_epoch_start(&self) -> bool {
+        true
+    }
+
+    fn on_epoch_start(&mut self, data: &Dataset, w: &[f64], _lambda: f64) {
+        // Sync point (Algorithm 1 lines 4–6): snapshot + full gradient.
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(w);
+        let snap = std::mem::take(&mut self.snapshot);
+        full_gradient(data, self.obj, &snap, &mut self.mu);
+        self.snapshot = snap;
+    }
+
+    fn compute(
+        &mut self,
+        data: &Dataset,
+        batch: &[Sched],
+        lambda: f64,
+        w: &[f64],
+        _fb: &mut Feedback<'_>,
+    ) -> SvrgUpdate {
+        debug_assert_eq!(batch.len(), 1, "svrg steps one sample at a time");
+        let s = batch[0];
+        let row = data.row(s.row as usize);
+        let g_w = {
+            let m = self.obj.margin(&row, w);
+            self.obj.grad_scale(&row, m)
+        };
+        let g_s = {
+            let m = self.obj.margin(&row, &self.snapshot);
+            self.obj.grad_scale(&row, m)
+        };
+        SvrgUpdate {
+            row: s.row,
+            coeff: -lambda * (g_w - g_s),
+            mu_scale: -lambda,
+        }
+    }
+
+    fn apply(&mut self, data: &Dataset, _lambda: f64, u: SvrgUpdate, w: &mut [f64]) {
+        let row = data.row(u.row as usize);
+        for (&j, &x) in row.indices.iter().zip(row.values) {
+            w[j as usize] += u.coeff * x;
+        }
+        if self.variant == SvrgVariant::Literature {
+            // The dense O(d) add that dominates on sparse data.
+            for (wj, &mj) in w.iter_mut().zip(&self.mu) {
+                *wj += u.mu_scale * mj;
             }
         }
+    }
+
+    fn on_epoch_end(&mut self, data: &Dataset, lambda: f64, w: &mut [f64]) {
         if self.variant == SvrgVariant::SkipMu {
-            let total = seq.len() as f64;
+            let total = data.n_samples() as f64;
             for (wj, &mj) in w.iter_mut().zip(&self.mu) {
                 *wj -= lambda * total * mj;
             }
         }
     }
 
-    /// Lock-free threaded epoch over the shared model.
-    fn epoch_threads(&self, model: &SharedModel, lambda: f64, k: usize, mode: isasgd_model::shared::UpdateMode) {
-        std::thread::scope(|s| {
-            for worker in 0..k {
-                let plan = &self.plan;
-                let obj = self.obj;
-                let mu = &self.mu;
-                let snapshot = &self.snapshot;
-                let variant = self.variant;
-                s.spawn(move || {
-                    let range = &plan.ranges[worker];
-                    let seq = plan.sequences[worker].indices();
-                    for &local in seq {
-                        let global = range.start + local as usize;
-                        let row = plan.data.row(global);
-                        let m_w = super::hogwild::margin_shared(model, &row);
-                        let g_w = obj.grad_scale(&row, m_w);
-                        let m_s = obj.margin(&row, snapshot);
-                        let g_s = obj.grad_scale(&row, m_s);
-                        let coeff = -lambda * (g_w - g_s);
-                        for (&j, &x) in row.indices.iter().zip(row.values) {
-                            model.add(j as usize, coeff * x, mode);
-                        }
-                        if variant == SvrgVariant::Literature {
-                            for (j, &mj) in mu.iter().enumerate() {
-                                if mj != 0.0 {
-                                    model.add(j, -lambda * mj, mode);
-                                }
-                            }
-                        }
-                    }
-                });
+    fn shared_kernel(&self) -> Option<&dyn SharedKernel> {
+        Some(self)
+    }
+}
+
+impl<L: Loss> SharedKernel for SvrgSolver<'_, L> {
+    fn step_shared(
+        &self,
+        data: &Dataset,
+        s: Sched,
+        lambda: f64,
+        model: &SharedModel,
+        mode: UpdateMode,
+        _observe: bool,
+    ) -> f64 {
+        let row = data.row(s.row as usize);
+        let m_w = super::sgd::margin_shared(model, &row);
+        let g_w = self.obj.grad_scale(&row, m_w);
+        let m_s = self.obj.margin(&row, &self.snapshot);
+        let g_s = self.obj.grad_scale(&row, m_s);
+        let coeff = -lambda * (g_w - g_s);
+        for (&j, &x) in row.indices.iter().zip(row.values) {
+            model.add(j as usize, coeff * x, mode);
+        }
+        if self.variant == SvrgVariant::Literature {
+            for (j, &mj) in self.mu.iter().enumerate() {
+                if mj != 0.0 {
+                    model.add(j, -lambda * mj, mode);
+                }
             }
-        });
+        }
+        0.0
+    }
+
+    fn epoch_end_shared(&self, data: &Dataset, lambda: f64, model: &SharedModel, mode: UpdateMode) {
         if self.variant == SvrgVariant::SkipMu {
-            let total = self.plan.data.n_samples() as f64;
+            let total = data.n_samples() as f64;
             for (j, &mj) in self.mu.iter().enumerate() {
                 if mj != 0.0 {
                     model.add(j, -lambda * total * mj, mode);
                 }
             }
         }
-    }
-
-    /// Bounded-staleness simulated epoch (Literature semantics only; the
-    /// trainer rejects SkipMu+Simulated).
-    fn epoch_simulated(
-        &self,
-        w: &mut [f64],
-        lambda: f64,
-        queue: &mut DelayQueue<Pending>,
-    ) {
-        let data = &self.plan.data;
-        let streams: Vec<Vec<u32>> = (0..self.plan.workers())
-            .map(|k| {
-                let range = &self.plan.ranges[k];
-                self.plan.sequences[k]
-                    .indices()
-                    .iter()
-                    .map(|&local| (range.start + local as usize) as u32)
-                    .collect()
-            })
-            .collect();
-        let schedule = isasgd_asyncsim::round_robin_interleave(&streams);
-        let apply = |w: &mut [f64], mu: &[f64], data: &Dataset, p: Pending| {
-            let row = data.row(p.row as usize);
-            for (&j, &x) in row.indices.iter().zip(row.values) {
-                w[j as usize] += p.coeff * x;
-            }
-            for (wj, &mj) in w.iter_mut().zip(mu) {
-                *wj += p.mu_scale * mj;
-            }
-        };
-        for row_id in schedule {
-            let row = data.row(row_id as usize);
-            let g_w = {
-                let m = self.obj.margin(&row, w);
-                self.obj.grad_scale(&row, m)
-            };
-            let g_s = {
-                let m = self.obj.margin(&row, &self.snapshot);
-                self.obj.grad_scale(&row, m)
-            };
-            let p = Pending {
-                row: row_id,
-                coeff: -lambda * (g_w - g_s),
-                mu_scale: -lambda,
-            };
-            if let Some(expired) = queue.push(p) {
-                apply(w, &self.mu, data, expired);
-            }
-        }
-        let pending: Vec<Pending> = queue.drain().collect();
-        for p in pending {
-            apply(w, &self.mu, data, p);
-        }
-    }
-}
-
-/// Runs SVRG in the requested execution mode.
-#[allow(clippy::too_many_arguments)]
-pub fn run<L: Loss>(
-    ds: &Dataset,
-    obj: &Objective<L>,
-    cfg: &TrainConfig,
-    variant: SvrgVariant,
-    exec: crate::config::Execution,
-    algo_name: &str,
-    dataset_name: &str,
-    init: Option<&[f64]>,
-) -> Result<RunResult, CoreError> {
-    use crate::config::Execution;
-    let (workers, concurrency) = match exec {
-        Execution::Sequential => (1, 1),
-        Execution::Threads(k) => (k, k),
-        Execution::Simulated { workers, tau } => {
-            if variant == SvrgVariant::SkipMu {
-                return Err(CoreError::Unsupported {
-                    algorithm: "SVRG-ASGD(skip-mu)",
-                    reason: "skip-µ is an epoch-granular approximation; simulate the \
-                             literature variant instead"
-                        .into(),
-                });
-            }
-            (workers, tau)
-        }
-    };
-    let plan = build_plan(ds, obj, cfg, workers, false)?;
-    let setup_secs = plan.setup_secs;
-    let mut runner = SvrgRun {
-        plan,
-        obj,
-        variant,
-        mu: vec![0.0; ds.dim()],
-        snapshot: vec![0.0; ds.dim()],
-    };
-    let mut trace = Trace::new(algo_name, dataset_name, concurrency, cfg.step_size);
-    let mut timer = TrainTimer::new();
-    let mut eval_timer = TrainTimer::new();
-    let mut steps: u64 = 0;
-
-    // State containers per execution mode.
-    let model_shared = match init {
-        Some(w0) => SharedModel::from_dense(w0),
-        None => SharedModel::zeros(ds.dim()),
-    };
-    let mut model_dense = match init {
-        Some(w0) => w0.to_vec(),
-        None => vec![0.0f64; ds.dim()],
-    };
-    let mut queue: DelayQueue<Pending> = DelayQueue::new(match exec {
-        Execution::Simulated { tau, .. } => tau,
-        _ => 0,
-    });
-
-    eval_timer.start();
-    let m0 = evaluate(&runner.plan.data, obj, &model_dense);
-    eval_timer.stop();
-    trace.push(TracePoint {
-        epoch: 0.0,
-        wall_secs: 0.0,
-        objective: m0.objective,
-        rmse: m0.rmse,
-        error_rate: m0.error_rate,
-    });
-
-    for epoch in 0..cfg.epochs {
-        let lambda = cfg.schedule.at(cfg.step_size, epoch);
-        timer.start();
-        // Sync point (Algorithm 1 lines 4–6): snapshot + full gradient.
-        match exec {
-            Execution::Threads(_) => model_shared.snapshot_into(&mut runner.snapshot),
-            _ => {
-                runner.snapshot.clear();
-                runner.snapshot.extend_from_slice(&model_dense);
-            }
-        }
-        let snap = std::mem::take(&mut runner.snapshot);
-        full_gradient(&runner.plan.data, obj, &snap, &mut runner.mu);
-        runner.snapshot = snap;
-
-        match exec {
-            Execution::Sequential => runner.epoch_sequential(&mut model_dense, lambda),
-            Execution::Threads(k) => {
-                runner.epoch_threads(&model_shared, lambda, k, cfg.update_mode)
-            }
-            Execution::Simulated { .. } => {
-                runner.epoch_simulated(&mut model_dense, lambda, &mut queue)
-            }
-        }
-        timer.stop();
-        steps += runner.plan.data.n_samples() as u64;
-
-        eval_timer.start();
-        let w_now: Vec<f64> = match exec {
-            Execution::Threads(_) => model_shared.snapshot(),
-            _ => model_dense.clone(),
-        };
-        let m = evaluate(&runner.plan.data, obj, &w_now);
-        eval_timer.stop();
-        trace.push(TracePoint {
-            epoch: (epoch + 1) as f64,
-            wall_secs: timer.seconds(),
-            objective: m.objective,
-            rmse: m.rmse,
-            error_rate: m.error_rate,
-        });
-        runner.plan.advance_epoch();
-    }
-
-    let model = match exec {
-        crate::config::Execution::Threads(_) => model_shared.snapshot(),
-        _ => model_dense,
-    };
-    let final_metrics = evaluate(&runner.plan.data, obj, &model);
-    Ok(RunResult {
-        trace,
-        model,
-        final_metrics,
-        setup_secs,
-        train_secs: timer.seconds(),
-        eval_secs: eval_timer.seconds(),
-        steps,
-        balanced: None,
-        rho: None,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::Execution;
-    use isasgd_losses::{LogisticLoss, Regularizer};
-    use isasgd_sparse::DatasetBuilder;
-
-    fn separable(n: usize) -> Dataset {
-        let mut b = DatasetBuilder::new(6);
-        for i in 0..n {
-            let j = (i % 3) as u32;
-            if i % 2 == 0 {
-                b.push_row(&[(j, 1.0), (3 + j, 0.5)], 1.0).unwrap();
-            } else {
-                b.push_row(&[(j, -1.0), (3 + j, -0.5)], -1.0).unwrap();
-            }
-        }
-        b.finish()
-    }
-
-    fn obj() -> Objective<LogisticLoss> {
-        Objective::new(LogisticLoss, Regularizer::L2 { eta: 1e-3 })
-    }
-
-    #[test]
-    fn svrg_sequential_converges() {
-        let ds = separable(200);
-        let cfg = TrainConfig::default().with_epochs(4).with_step_size(0.3);
-        let r = run(&ds, &obj(), &cfg, SvrgVariant::Literature, Execution::Sequential,
-                    "SVRG-SGD", "sep", None).unwrap();
-        assert_eq!(r.final_metrics.error_rate, 0.0);
-        let first = r.trace.points.first().unwrap().objective;
-        let last = r.trace.points.last().unwrap().objective;
-        assert!(last < first);
-    }
-
-    #[test]
-    fn svrg_threads_converges() {
-        let ds = separable(300);
-        let cfg = TrainConfig::default().with_epochs(3).with_step_size(0.3);
-        let r = run(&ds, &obj(), &cfg, SvrgVariant::Literature, Execution::Threads(2),
-                    "SVRG-ASGD", "sep", None).unwrap();
-        assert_eq!(r.final_metrics.error_rate, 0.0);
-    }
-
-    #[test]
-    fn svrg_simulated_deterministic() {
-        let ds = separable(150);
-        let cfg = TrainConfig::default().with_epochs(3).with_step_size(0.3);
-        let e = Execution::Simulated { tau: 8, workers: 2 };
-        let a = run(&ds, &obj(), &cfg, SvrgVariant::Literature, e, "SVRG-ASGD", "sep", None).unwrap();
-        let b = run(&ds, &obj(), &cfg, SvrgVariant::Literature, e, "SVRG-ASGD", "sep", None).unwrap();
-        assert_eq!(a.model, b.model);
-        assert_eq!(a.final_metrics.error_rate, 0.0);
-    }
-
-    #[test]
-    fn skip_mu_diverges_from_literature() {
-        // The paper: "we found the convergence curve of this public
-        // version far from the literature version".
-        let ds = separable(200);
-        let cfg = TrainConfig::default().with_epochs(3).with_step_size(0.3);
-        let lit = run(&ds, &obj(), &cfg, SvrgVariant::Literature, Execution::Sequential,
-                      "SVRG-SGD", "sep", None).unwrap();
-        let skip = run(&ds, &obj(), &cfg, SvrgVariant::SkipMu, Execution::Sequential,
-                       "SVRG-SGD(skip-mu)", "sep", None).unwrap();
-        let d: f64 = lit
-            .model
-            .iter()
-            .zip(&skip.model)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
-        assert!(d > 1e-6, "variants must follow different trajectories");
-    }
-
-    #[test]
-    fn skip_mu_simulated_rejected() {
-        let ds = separable(50);
-        let cfg = TrainConfig::default().with_epochs(1);
-        let e = Execution::Simulated { tau: 4, workers: 2 };
-        assert!(matches!(
-            run(&ds, &obj(), &cfg, SvrgVariant::SkipMu, e, "x", "sep", None),
-            Err(CoreError::Unsupported { .. })
-        ));
-    }
-
-    #[test]
-    fn variance_reduction_helps_iteratively() {
-        // SVRG should reach a lower objective than plain simulated SGD in
-        // the same epoch budget on this small problem (its per-epoch cost
-        // is higher, but iteration-for-iteration it converges faster).
-        let ds = separable(200);
-        let cfg = TrainConfig::default().with_epochs(5).with_step_size(0.2);
-        let svrg = run(&ds, &obj(), &cfg, SvrgVariant::Literature, Execution::Sequential,
-                       "SVRG-SGD", "sep", None).unwrap();
-        let sgd = crate::solvers::sim::run(&ds, &obj(), &cfg, 0, 1, false, "SGD", "sep", None).unwrap();
-        assert!(
-            svrg.final_metrics.objective <= sgd.final_metrics.objective + 1e-3,
-            "svrg {} vs sgd {}",
-            svrg.final_metrics.objective,
-            sgd.final_metrics.objective
-        );
     }
 }

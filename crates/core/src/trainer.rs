@@ -1,9 +1,17 @@
-//! The unified entry point dispatching (algorithm, execution) pairs.
+//! The unified entry point: validate the (algorithm, execution) pair,
+//! resolve the sampling strategy, construct the solver kernel, hand off
+//! to the shared [`ExecutionEngine`](crate::solvers::engine).
 
 use crate::config::{Algorithm, Execution, TrainConfig};
 use crate::error::CoreError;
+use crate::solvers::engine::{run_engine, RunMeta};
+use crate::solvers::minibatch::MinibatchSolver;
+use crate::solvers::saga::SagaSolver;
+use crate::solvers::sgd::SgdSolver;
+use crate::solvers::svrg::SvrgSolver;
 use isasgd_losses::{EvalMetrics, Loss, Objective};
 use isasgd_metrics::Trace;
+use isasgd_sampling::SamplingStrategy;
 use isasgd_sparse::Dataset;
 
 /// Everything a training run produces.
@@ -24,9 +32,9 @@ pub struct RunResult {
     pub eval_secs: f64,
     /// Total gradient steps taken.
     pub steps: u64,
-    /// Whether importance balancing was applied (IS algorithms only).
+    /// Whether importance balancing was applied (IS-capable solvers only).
     pub balanced: Option<bool>,
-    /// Measured ρ (IS algorithms only).
+    /// Measured ρ (IS-capable solvers only).
     pub rho: Option<f64>,
 }
 
@@ -44,8 +52,8 @@ impl RunResult {
 
 /// Trains `algo` on `ds` under `exec`, starting from the zero model.
 ///
-/// See the crate docs for the supported (algorithm, execution) matrix;
-/// unsupported pairs return [`CoreError::Unsupported`].
+/// See the crate docs for the supported (algorithm, execution, sampling)
+/// matrix; unsupported combinations return [`CoreError::Unsupported`].
 pub fn train<L: Loss>(
     ds: &Dataset,
     obj: &Objective<L>,
@@ -84,6 +92,113 @@ pub fn train_from<L: Loss>(
     dispatch(ds, obj, algo, exec, cfg, dataset_name, Some(init))
 }
 
+/// Rejects (algorithm, execution) pairs that are not meaningful,
+/// preserving the original dispatch's error surface.
+fn validate(algo: Algorithm, exec: Execution) -> Result<(), CoreError> {
+    use crate::config::SvrgVariant;
+    let name = algo.name();
+    match (algo, exec) {
+        (Algorithm::Sgd | Algorithm::IsSgd, Execution::Threads(_)) => Err(CoreError::Unsupported {
+            algorithm: name,
+            reason: "sequential algorithms do not take threads; use Asgd/IsAsgd".into(),
+        }),
+        (Algorithm::Asgd | Algorithm::IsAsgd, Execution::Sequential) => {
+            Err(CoreError::Unsupported {
+                algorithm: name,
+                reason: "asynchronous algorithms need Threads(k) or Simulated{..}".into(),
+            })
+        }
+        (Algorithm::Saga(_) | Algorithm::MbSgd { .. } | Algorithm::MbIsSgd { .. }, e)
+            if e != Execution::Sequential =>
+        {
+            Err(CoreError::Unsupported {
+                algorithm: name,
+                reason: "SAGA and minibatch solvers are sequential; see crate docs".into(),
+            })
+        }
+        (Algorithm::SvrgSgd(_), e) if e != Execution::Sequential => Err(CoreError::Unsupported {
+            algorithm: name,
+            reason: "SVRG-SGD is sequential; use SvrgAsgd for parallel runs".into(),
+        }),
+        (Algorithm::SvrgAsgd(_), Execution::Sequential) => Err(CoreError::Unsupported {
+            algorithm: name,
+            reason: "use SvrgSgd for the sequential variant".into(),
+        }),
+        (Algorithm::SvrgAsgd(SvrgVariant::SkipMu), Execution::Simulated { .. }) => {
+            Err(CoreError::Unsupported {
+                algorithm: "SVRG-ASGD(skip-mu)",
+                reason: "skip-µ is an epoch-granular approximation; simulate the \
+                         literature variant instead"
+                    .into(),
+            })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Resolves the effective sampling strategy for this run.
+///
+/// `cfg.sampling = None` keeps the algorithm's classical distribution
+/// (static IS for the IS-named members, uniform otherwise); an explicit
+/// strategy overrides it. Variance-reduction solvers sample uniformly by
+/// construction and reject explicit IS strategies.
+fn resolve_strategy(
+    algo: Algorithm,
+    cfg: &TrainConfig,
+) -> Result<(SamplingStrategy, String), CoreError> {
+    let vr = matches!(
+        algo,
+        Algorithm::SvrgSgd(_) | Algorithm::SvrgAsgd(_) | Algorithm::Saga(_)
+    );
+    if vr {
+        return match cfg.sampling {
+            None | Some(SamplingStrategy::Uniform) => {
+                Ok((SamplingStrategy::Uniform, algo.name().to_string()))
+            }
+            Some(other) => Err(CoreError::Unsupported {
+                algorithm: algo.name(),
+                reason: format!(
+                    "variance-reduction solvers sample uniformly; --sampling {} \
+                     is not applicable",
+                    other.name()
+                ),
+            }),
+        };
+    }
+    let natural = if algo.uses_importance() {
+        SamplingStrategy::Static
+    } else {
+        SamplingStrategy::Uniform
+    };
+    let strategy = cfg.sampling.unwrap_or(natural);
+    // Annotate runs whose --sampling override departs from the
+    // algorithm's classical distribution, so traces keyed on `algorithm`
+    // never mix different sampling strategies under one name (the
+    // cluster runtime does the same with its Cluster-{,A}IS-SGD labels).
+    let label = if strategy != natural {
+        format!("{}({})", algo.name(), strategy.name())
+    } else {
+        algo.name().to_string()
+    };
+    Ok((strategy, label))
+}
+
+/// Concurrency number recorded in the trace, matching the paper's
+/// labelling conventions (τ for simulated runs, thread count for real
+/// ones).
+fn concurrency_of(algo: Algorithm, exec: Execution) -> usize {
+    let c = exec.concurrency();
+    // The SGD family labels simulated runs by τ, clamped to 1 so the
+    // τ = 0 sequential degenerate stays plottable.
+    match (algo, exec) {
+        (
+            Algorithm::Sgd | Algorithm::IsSgd | Algorithm::Asgd | Algorithm::IsAsgd,
+            Execution::Simulated { .. },
+        ) => c.max(1),
+        _ => c,
+    }
+}
+
 fn dispatch<L: Loss>(
     ds: &Dataset,
     obj: &Objective<L>,
@@ -93,79 +208,54 @@ fn dispatch<L: Loss>(
     dataset_name: &str,
     init: Option<&[f64]>,
 ) -> Result<RunResult, CoreError> {
-    let name = algo.name();
-    match (algo, exec) {
-        // --- plain SGD family ---------------------------------------
-        (Algorithm::Sgd, Execution::Sequential) => {
-            crate::solvers::sim::run(ds, obj, cfg, 0, 1, false, name, dataset_name, init)
-        }
-        (Algorithm::IsSgd, Execution::Sequential) => {
-            crate::solvers::sim::run(ds, obj, cfg, 0, 1, true, name, dataset_name, init)
-        }
-        (Algorithm::Sgd, Execution::Simulated { tau, workers }) => {
-            crate::solvers::sim::run(ds, obj, cfg, tau, workers, false, name, dataset_name, init)
-        }
-        (Algorithm::IsSgd, Execution::Simulated { tau, workers }) => {
-            crate::solvers::sim::run(ds, obj, cfg, tau, workers, true, name, dataset_name, init)
-        }
-        // --- asynchronous family ------------------------------------
-        (Algorithm::Asgd, Execution::Threads(k)) => {
-            crate::solvers::hogwild::run(ds, obj, cfg, k, false, name, dataset_name, init)
-        }
-        (Algorithm::IsAsgd, Execution::Threads(k)) => {
-            crate::solvers::hogwild::run(ds, obj, cfg, k, true, name, dataset_name, init)
-        }
-        (Algorithm::Asgd, Execution::Simulated { tau, workers }) => {
-            crate::solvers::sim::run(ds, obj, cfg, tau, workers, false, name, dataset_name, init)
-        }
-        (Algorithm::IsAsgd, Execution::Simulated { tau, workers }) => {
-            crate::solvers::sim::run(ds, obj, cfg, tau, workers, true, name, dataset_name, init)
-        }
-        // --- SVRG family --------------------------------------------
-        (Algorithm::SvrgSgd(v), Execution::Sequential) => {
-            crate::solvers::svrg::run(ds, obj, cfg, v, exec, name, dataset_name, init)
-        }
-        (Algorithm::SvrgAsgd(v), Execution::Threads(_))
-        | (Algorithm::SvrgAsgd(v), Execution::Simulated { .. }) => {
-            crate::solvers::svrg::run(ds, obj, cfg, v, exec, name, dataset_name, init)
-        }
-        // --- SAGA / minibatch family ---------------------------------
-        (Algorithm::Saga(v), Execution::Sequential) => {
-            crate::solvers::saga::run(ds, obj, cfg, v, name, dataset_name, init)
-        }
-        (Algorithm::MbSgd { batch }, Execution::Sequential) => {
-            crate::solvers::minibatch::run(ds, obj, cfg, batch, false, name, dataset_name, init)
-        }
-        (Algorithm::MbIsSgd { batch }, Execution::Sequential) => {
-            crate::solvers::minibatch::run(ds, obj, cfg, batch, true, name, dataset_name, init)
-        }
-        (Algorithm::Saga(_) | Algorithm::MbSgd { .. } | Algorithm::MbIsSgd { .. }, _) => {
-            Err(CoreError::Unsupported {
-                algorithm: name,
-                reason: "SAGA and minibatch solvers are sequential; see crate docs".into(),
-            })
-        }
-        // --- rejected combinations ----------------------------------
-        (Algorithm::Sgd | Algorithm::IsSgd, Execution::Threads(_)) => {
-            Err(CoreError::Unsupported {
-                algorithm: name,
-                reason: "sequential algorithms do not take threads; use Asgd/IsAsgd".into(),
-            })
-        }
-        (Algorithm::Asgd | Algorithm::IsAsgd, Execution::Sequential) => {
-            Err(CoreError::Unsupported {
-                algorithm: name,
-                reason: "asynchronous algorithms need Threads(k) or Simulated{..}".into(),
-            })
-        }
-        (Algorithm::SvrgSgd(_), _) => Err(CoreError::Unsupported {
-            algorithm: name,
-            reason: "SVRG-SGD is sequential; use SvrgAsgd for parallel runs".into(),
-        }),
-        (Algorithm::SvrgAsgd(_), Execution::Sequential) => Err(CoreError::Unsupported {
-            algorithm: name,
-            reason: "use SvrgSgd for the sequential variant".into(),
-        }),
+    validate(algo, exec)?;
+    let (strategy, label) = resolve_strategy(algo, cfg)?;
+    let meta = RunMeta {
+        algo_name: &label,
+        dataset_name,
+        concurrency: concurrency_of(algo, exec),
+    };
+    match algo {
+        Algorithm::Sgd | Algorithm::IsSgd | Algorithm::Asgd | Algorithm::IsAsgd => run_engine(
+            ds,
+            obj,
+            cfg,
+            exec,
+            strategy,
+            meta,
+            init,
+            SgdSolver::new(obj),
+        ),
+        Algorithm::SvrgSgd(v) | Algorithm::SvrgAsgd(v) => run_engine(
+            ds,
+            obj,
+            cfg,
+            exec,
+            strategy,
+            meta,
+            init,
+            SvrgSolver::new(obj, v),
+        ),
+        Algorithm::Saga(v) => run_engine(
+            ds,
+            obj,
+            cfg,
+            exec,
+            strategy,
+            meta,
+            init,
+            SagaSolver::new(obj, v),
+        ),
+        Algorithm::MbSgd { batch } | Algorithm::MbIsSgd { batch } => run_engine(
+            ds,
+            obj,
+            cfg,
+            exec,
+            strategy,
+            meta,
+            init,
+            MinibatchSolver::new(obj, batch),
+        ),
     }
 }
 
@@ -201,9 +291,18 @@ mod tests {
             (Algorithm::Asgd, Execution::Threads(2)),
             (Algorithm::IsAsgd, Execution::Threads(2)),
             (Algorithm::Asgd, Execution::Simulated { tau: 8, workers: 2 }),
-            (Algorithm::IsAsgd, Execution::Simulated { tau: 8, workers: 2 }),
-            (Algorithm::SvrgSgd(SvrgVariant::Literature), Execution::Sequential),
-            (Algorithm::SvrgAsgd(SvrgVariant::Literature), Execution::Threads(2)),
+            (
+                Algorithm::IsAsgd,
+                Execution::Simulated { tau: 8, workers: 2 },
+            ),
+            (
+                Algorithm::SvrgSgd(SvrgVariant::Literature),
+                Execution::Sequential,
+            ),
+            (
+                Algorithm::SvrgAsgd(SvrgVariant::Literature),
+                Execution::Threads(2),
+            ),
             (
                 Algorithm::SvrgAsgd(SvrgVariant::Literature),
                 Execution::Simulated { tau: 4, workers: 2 },
@@ -225,22 +324,125 @@ mod tests {
             (Algorithm::IsSgd, Execution::Threads(2)),
             (Algorithm::Asgd, Execution::Sequential),
             (Algorithm::IsAsgd, Execution::Sequential),
-            (Algorithm::SvrgSgd(SvrgVariant::Literature), Execution::Threads(2)),
-            (Algorithm::SvrgAsgd(SvrgVariant::Literature), Execution::Sequential),
+            (
+                Algorithm::SvrgSgd(SvrgVariant::Literature),
+                Execution::Threads(2),
+            ),
+            (
+                Algorithm::SvrgAsgd(SvrgVariant::Literature),
+                Execution::Sequential,
+            ),
+            (
+                Algorithm::Saga(SvrgVariant::Literature),
+                Execution::Threads(2),
+            ),
+            (
+                Algorithm::MbSgd { batch: 4 },
+                Execution::Simulated { tau: 4, workers: 2 },
+            ),
+            (
+                Algorithm::SvrgAsgd(SvrgVariant::SkipMu),
+                Execution::Simulated { tau: 4, workers: 2 },
+            ),
         ];
         for (a, e) in bad {
             assert!(
-                matches!(train(&d, &obj(), a, e, &cfg, "t"), Err(CoreError::Unsupported { .. })),
+                matches!(
+                    train(&d, &obj(), a, e, &cfg, "t"),
+                    Err(CoreError::Unsupported { .. })
+                ),
                 "{a:?}/{e:?} should be rejected"
             );
         }
     }
 
     #[test]
+    fn every_sgd_family_member_accepts_every_sampling_strategy() {
+        let d = ds();
+        for strategy in [
+            SamplingStrategy::Uniform,
+            SamplingStrategy::Static,
+            SamplingStrategy::Adaptive,
+        ] {
+            let mut cfg = TrainConfig::default().with_epochs(2);
+            cfg.sampling = Some(strategy);
+            for (a, e) in [
+                (Algorithm::Sgd, Execution::Sequential),
+                (Algorithm::IsAsgd, Execution::Threads(2)),
+                (Algorithm::Asgd, Execution::Simulated { tau: 4, workers: 2 }),
+                (Algorithm::MbIsSgd { batch: 8 }, Execution::Sequential),
+            ] {
+                let r = train(&d, &obj(), a, e, &cfg, "t").unwrap();
+                assert!(r.steps > 0, "{a:?}/{e:?}/{strategy:?}");
+                assert!(r.balanced.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_override_annotates_the_trace_label() {
+        let d = ds();
+        let mut cfg = TrainConfig::default().with_epochs(1);
+        cfg.sampling = Some(SamplingStrategy::Adaptive);
+        let r = train(&d, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "t").unwrap();
+        assert_eq!(r.trace.algorithm, "SGD(adaptive)");
+        // The classical pairing keeps the plain paper label.
+        cfg.sampling = Some(SamplingStrategy::Static);
+        let r = train(
+            &d,
+            &obj(),
+            Algorithm::IsSgd,
+            Execution::Sequential,
+            &cfg,
+            "t",
+        )
+        .unwrap();
+        assert_eq!(r.trace.algorithm, "IS-SGD");
+        cfg.sampling = None;
+        let r = train(&d, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "t").unwrap();
+        assert_eq!(r.trace.algorithm, "SGD");
+    }
+
+    #[test]
+    fn vr_solvers_reject_explicit_is_sampling() {
+        let d = ds();
+        let mut cfg = TrainConfig::default().with_epochs(1);
+        cfg.sampling = Some(SamplingStrategy::Adaptive);
+        for a in [
+            Algorithm::SvrgSgd(SvrgVariant::Literature),
+            Algorithm::Saga(SvrgVariant::Literature),
+        ] {
+            assert!(matches!(
+                train(&d, &obj(), a, Execution::Sequential, &cfg, "t"),
+                Err(CoreError::Unsupported { .. })
+            ));
+        }
+        // Explicit uniform is fine (it is what they do anyway).
+        cfg.sampling = Some(SamplingStrategy::Uniform);
+        assert!(train(
+            &d,
+            &obj(),
+            Algorithm::Saga(SvrgVariant::Literature),
+            Execution::Sequential,
+            &cfg,
+            "t"
+        )
+        .is_ok());
+    }
+
+    #[test]
     fn setup_overhead_reported() {
         let d = ds();
         let cfg = TrainConfig::default().with_epochs(2);
-        let r = train(&d, &obj(), Algorithm::IsSgd, Execution::Sequential, &cfg, "t").unwrap();
+        let r = train(
+            &d,
+            &obj(),
+            Algorithm::IsSgd,
+            Execution::Sequential,
+            &cfg,
+            "t",
+        )
+        .unwrap();
         assert!(r.setup_secs >= 0.0);
         assert!(r.setup_overhead() >= 0.0);
     }
@@ -283,9 +485,18 @@ mod tests {
         let combos: Vec<(Algorithm, Execution)> = vec![
             (Algorithm::Sgd, Execution::Sequential),
             (Algorithm::IsAsgd, Execution::Threads(2)),
-            (Algorithm::IsAsgd, Execution::Simulated { tau: 4, workers: 2 }),
-            (Algorithm::SvrgSgd(SvrgVariant::Literature), Execution::Sequential),
-            (Algorithm::Saga(SvrgVariant::Literature), Execution::Sequential),
+            (
+                Algorithm::IsAsgd,
+                Execution::Simulated { tau: 4, workers: 2 },
+            ),
+            (
+                Algorithm::SvrgSgd(SvrgVariant::Literature),
+                Execution::Sequential,
+            ),
+            (
+                Algorithm::Saga(SvrgVariant::Literature),
+                Execution::Sequential,
+            ),
             (Algorithm::MbSgd { batch: 4 }, Execution::Sequential),
         ];
         for (a, e) in combos {
@@ -305,14 +516,45 @@ mod tests {
         let cfg = TrainConfig::default().with_epochs(1);
         let short = vec![0.0; d.dim() - 1];
         assert!(matches!(
-            train_from(&d, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "t", &short),
+            train_from(
+                &d,
+                &obj(),
+                Algorithm::Sgd,
+                Execution::Sequential,
+                &cfg,
+                "t",
+                &short
+            ),
             Err(CoreError::InvalidConfig(_))
         ));
         let mut nan = vec![0.0; d.dim()];
         nan[1] = f64::NAN;
         assert!(matches!(
-            train_from(&d, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "t", &nan),
+            train_from(
+                &d,
+                &obj(),
+                Algorithm::Sgd,
+                Execution::Sequential,
+                &cfg,
+                "t",
+                &nan
+            ),
             Err(CoreError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let d = ds();
+        let cfg = TrainConfig::default().with_epochs(1);
+        assert!(train(
+            &d,
+            &obj(),
+            Algorithm::MbSgd { batch: 0 },
+            Execution::Sequential,
+            &cfg,
+            "t"
+        )
+        .is_err());
     }
 }

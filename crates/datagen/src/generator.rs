@@ -235,7 +235,11 @@ mod tests {
         p.label_noise = 0.25;
         p.n_samples = 2000;
         let g = generate(&p, 4);
-        assert!((g.flipped_fraction - 0.25).abs() < 0.04, "{}", g.flipped_fraction);
+        assert!(
+            (g.flipped_fraction - 0.25).abs() < 0.04,
+            "{}",
+            g.flipped_fraction
+        );
     }
 
     #[test]

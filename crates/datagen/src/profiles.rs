@@ -147,7 +147,9 @@ impl PaperProfile {
                 // nnz≈30: 0.2 keeps P(row misses the planted support) < 0.2%
                 planted_density: 0.2,
                 // lexical/host indicator features.
-                feature_kind: FeatureKind::Binary { value: binary_value(30) },
+                feature_kind: FeatureKind::Binary {
+                    value: binary_value(30),
+                },
                 noise_nnz_coupling: 1.0,
             },
             PaperProfile::KddAlgebra => DatasetProfile {
@@ -162,7 +164,9 @@ impl PaperProfile {
                 // nnz≈20: 0.3 keeps P(row misses the planted support) < 0.1%
                 planted_density: 0.3,
                 // student-step interaction indicators.
-                feature_kind: FeatureKind::Binary { value: binary_value(20) },
+                feature_kind: FeatureKind::Binary {
+                    value: binary_value(20),
+                },
                 noise_nnz_coupling: 1.0,
             },
             PaperProfile::KddBridge => DatasetProfile {
@@ -176,7 +180,9 @@ impl PaperProfile {
                 label_noise: 0.02,
                 // nnz≈20: 0.3 keeps P(row misses the planted support) < 0.1%
                 planted_density: 0.3,
-                feature_kind: FeatureKind::Binary { value: binary_value(20) },
+                feature_kind: FeatureKind::Binary {
+                    value: binary_value(20),
+                },
                 noise_nnz_coupling: 1.0,
             },
         }
@@ -431,8 +437,7 @@ mod tests {
 
     #[test]
     fn ids_unique() {
-        let ids: std::collections::HashSet<_> =
-            PaperProfile::ALL.iter().map(|p| p.id()).collect();
+        let ids: std::collections::HashSet<_> = PaperProfile::ALL.iter().map(|p| p.id()).collect();
         assert_eq!(ids.len(), 4);
     }
 }

@@ -32,7 +32,12 @@ pub fn balance(ctx: &mut Ctx) {
     let kdd = ctx.dataset_training(PaperProfile::KddAlgebra);
 
     let mut table = TextTable::new(vec![
-        "dataset", "policy", "balanced?", "rho", "best_err", "final_rmse",
+        "dataset",
+        "policy",
+        "balanced?",
+        "rho",
+        "best_err",
+        "final_rmse",
     ]);
     let epochs = ctx.settings.epochs.unwrap_or(10);
     for (name, ds) in [("skewed", &gen.dataset), ("kdd_algebra", &kdd.dataset)] {
@@ -49,7 +54,10 @@ pub fn balance(ctx: &mut Ctx) {
                 .with_seed(ctx.settings.seed);
             cfg.balance = policy;
             cfg.importance = isasgd_core::ImportanceScheme::GradNormBound { radius: 1.0 };
-            let exec = Execution::Simulated { tau: 32, workers: 8 };
+            let exec = Execution::Simulated {
+                tau: 32,
+                workers: 8,
+            };
             let r = train(ds, &obj, Algorithm::IsAsgd, exec, &cfg, name).expect("run");
             table.row(vec![
                 name.to_string(),
@@ -77,7 +85,12 @@ pub fn sequences(ctx: &mut Ctx) {
     println!("\n=== Ablation: sequence regeneration vs shuffle-once (§4.2) ===\n");
     let obj = paper_objective();
     let mut table = TextTable::new(vec![
-        "dataset", "mode", "best_err", "final_rmse", "setup_s", "train_s",
+        "dataset",
+        "mode",
+        "best_err",
+        "final_rmse",
+        "setup_s",
+        "train_s",
     ]);
     for p in [PaperProfile::News20, PaperProfile::KddAlgebra] {
         let data = ctx.dataset_training(p);
@@ -92,9 +105,11 @@ pub fn sequences(ctx: &mut Ctx) {
                 .with_seed(ctx.settings.seed);
             cfg.sequence = mode;
             cfg.importance = isasgd_core::ImportanceScheme::GradNormBound { radius: 1.0 };
-            let exec = Execution::Simulated { tau: 16, workers: 8 };
-            let r = train(&data.dataset, &obj, Algorithm::IsAsgd, exec, &cfg, p.id())
-                .expect("run");
+            let exec = Execution::Simulated {
+                tau: 16,
+                workers: 8,
+            };
+            let r = train(&data.dataset, &obj, Algorithm::IsAsgd, exec, &cfg, p.id()).expect("run");
             table.row(vec![
                 p.id().to_string(),
                 label.to_string(),
@@ -134,8 +149,14 @@ pub fn schemes(ctx: &mut Ctx) {
     use isasgd_core::ImportanceScheme as Sch;
     let obj = paper_objective();
     let mut table = TextTable::new(vec![
-        "psi_norm", "hotness", "scheme", "best_err", "err@25%ep",
-        "epochs_to_1.25opt", "speedup_ep", "max_corr",
+        "psi_norm",
+        "hotness",
+        "scheme",
+        "best_err",
+        "err@25%ep",
+        "epochs_to_1.25opt",
+        "speedup_ep",
+        "max_corr",
     ]);
     // Reduced-size kdd-like profile: enough samples for stable curves,
     // small enough that the ψ × hotness × scheme grid stays in minutes.
@@ -160,15 +181,18 @@ pub fn schemes(ctx: &mut Ctx) {
                 };
             }
             let gen = isasgd_datagen::generate(&p, ctx.settings.seed);
-            let exec = Execution::Simulated { tau: 32, workers: 8 };
+            let exec = Execution::Simulated {
+                tau: 32,
+                workers: 8,
+            };
             let mk_cfg = || {
                 TrainConfig::default()
                     .with_epochs(epochs)
                     .with_step_size(lambda)
                     .with_seed(ctx.settings.seed)
             };
-            let asgd = train(&gen.dataset, &obj, Algorithm::Asgd, exec, &mk_cfg(), p.name)
-                .expect("asgd");
+            let asgd =
+                train(&gen.dataset, &obj, Algorithm::Asgd, exec, &mk_cfg(), p.name).expect("asgd");
             // Common target both algorithms plausibly reach: 1.25× ASGD's
             // best error; epoch-speedup is ASGD's time to it over the
             // candidate's.
@@ -204,7 +228,10 @@ pub fn schemes(ctx: &mut Ctx) {
                     .find(|q| q.epoch >= epochs as f64 * 0.25)
                     .map_or(f64::NAN, |q| q.error_rate);
                 let w = isasgd_core::importance_weights(
-                    &gen.dataset, &isasgd_core::LogisticLoss, obj.reg, scheme,
+                    &gen.dataset,
+                    &isasgd_core::LogisticLoss,
+                    obj.reg,
+                    scheme,
                 );
                 let corr = isasgd_core::step_corrections(&w);
                 let max_corr = corr.iter().cloned().fold(0.0, f64::max);

@@ -46,7 +46,11 @@ pub fn run(ctx: &mut Ctx) {
     let sorted = gen.dataset.reordered(&order).expect("permutation");
 
     let mut table = TextTable::new(vec![
-        "nodes", "policy", "phi_max_over_mean", "final_obj", "final_err",
+        "nodes",
+        "policy",
+        "phi_max_over_mean",
+        "final_obj",
+        "final_err",
     ]);
     let rounds = ctx.settings.epochs.unwrap_or(8);
     for nodes in [2usize, 4, 8, 16] {
@@ -65,6 +69,7 @@ pub fn run(ctx: &mut Ctx) {
                 balance: policy,
                 sync: SyncStrategy::Average,
                 seed: ctx.settings.seed,
+                ..ClusterConfig::default()
             };
             let r = isasgd_cluster::node::run(&sorted, &obj, &cfg).expect("cluster run");
             let last = r.rounds.last().expect("≥1 round");

@@ -22,8 +22,15 @@ pub fn run(ctx: &mut Ctx) {
     let n = 3_000usize;
     let epochs = ctx.settings.epochs.unwrap_or(8);
     let mut table = TextTable::new(vec![
-        "density", "nnz/row", "asgd_s", "svrg_s", "asgd_obj", "svrg_obj",
-        "t_to_target_asgd", "t_to_target_svrg", "winner",
+        "density",
+        "nnz/row",
+        "asgd_s",
+        "svrg_s",
+        "asgd_obj",
+        "svrg_obj",
+        "t_to_target_asgd",
+        "t_to_target_svrg",
+        "winner",
     ]);
     for nnz in [4usize, 40, 400, 4_000] {
         let density = nnz as f64 / d as f64;
@@ -46,7 +53,10 @@ pub fn run(ctx: &mut Ctx) {
             .with_epochs(epochs)
             .with_step_size(0.1)
             .with_seed(ctx.settings.seed);
-        let exec = Execution::Simulated { tau: 16, workers: 4 };
+        let exec = Execution::Simulated {
+            tau: 16,
+            workers: 4,
+        };
         eprintln!("[dense] nnz={nnz} ASGD…");
         let asgd = train(&data.dataset, &obj, Algorithm::Asgd, exec, &cfg, "dense").unwrap();
         eprintln!("[dense] nnz={nnz} SVRG-ASGD…");

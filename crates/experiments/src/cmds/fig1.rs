@@ -41,7 +41,13 @@ fn time_dense(data: &isasgd_sparse::Dataset, w: &mut [f64], mu: &[f64], iters: u
 pub fn run(ctx: &mut Ctx) {
     println!("\n=== Figure 1: per-iteration update cost, sparse vs dense µ ===\n");
     let mut table = TextTable::new(vec![
-        "dataset", "d", "nnz/row", "sparse_ns", "dense_ns", "measured_ratio", "d/nnz",
+        "dataset",
+        "d",
+        "nnz/row",
+        "sparse_ns",
+        "dense_ns",
+        "measured_ratio",
+        "d/nnz",
     ]);
     for p in PaperProfile::ALL {
         let data = ctx.dataset(p);

@@ -2,9 +2,7 @@
 //! plus a quantitative sweep of shard distortion, shuffled vs balanced.
 
 use crate::common::{paper_objective, Ctx};
-use isasgd_balance::{
-    head_tail_balance, random_shuffle_order, ImportanceProfile, ShardReport,
-};
+use isasgd_balance::{head_tail_balance, random_shuffle_order, ImportanceProfile, ShardReport};
 use isasgd_core::ImportanceScheme;
 use isasgd_datagen::PaperProfile;
 use isasgd_losses::importance_weights;
@@ -34,7 +32,12 @@ pub fn run(ctx: &mut Ctx) {
     // --- Quantitative sweep on the synthetic profiles. ----------------
     let obj = paper_objective();
     let mut table = TextTable::new(vec![
-        "dataset", "shards", "shuffle_imb", "balance_imb", "shuffle_maxdist", "balance_maxdist",
+        "dataset",
+        "shards",
+        "shuffle_imb",
+        "balance_imb",
+        "shuffle_maxdist",
+        "balance_maxdist",
     ]);
     let shards = ctx.settings.taus.clone();
     for p in PaperProfile::ALL {

@@ -26,7 +26,13 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
     let taus = ctx.settings.taus.clone();
     let mut traces: Vec<Trace> = Vec::new();
     let mut table = TextTable::new(vec![
-        "dataset", "tau", "algo", "final_rmse", "final_err", "best_err", "epochs_to_asgd_opt",
+        "dataset",
+        "tau",
+        "algo",
+        "final_rmse",
+        "final_err",
+        "best_err",
+        "epochs_to_asgd_opt",
     ]);
     let mut csv = String::from("dataset,algo,tau,epoch,rmse,error_rate,objective\n");
 
@@ -49,18 +55,17 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
         let avg = ctx.settings.avg_runs;
         eprintln!("[fig3] {} SGD ({epochs} epochs, {avg}-seed avg)…", p.id());
         let sgd = run_averaged(avg, ctx.settings.seed, |seed| {
-            let c = cfg.clone().with_seed(seed);
-            train(ds, &obj, Algorithm::Sgd, Execution::Sequential, &c, p.id())
-                .expect("sgd run")
+            let c = cfg.with_seed(seed);
+            train(ds, &obj, Algorithm::Sgd, Execution::Sequential, &c, p.id()).expect("sgd run")
         });
         traces.push(sgd.trace.clone());
 
         for &tau in &taus {
-            let exec = Execution::Simulated { tau, workers: workers_for(tau) };
-            let mut runs = vec![
-                (Algorithm::Asgd, "ASGD"),
-                (Algorithm::IsAsgd, "IS-ASGD"),
-            ];
+            let exec = Execution::Simulated {
+                tau,
+                workers: workers_for(tau),
+            };
+            let mut runs = vec![(Algorithm::Asgd, "ASGD"), (Algorithm::IsAsgd, "IS-ASGD")];
             // The paper evaluates SVRG-ASGD only on News20 (elsewhere it
             // "fails to finish training in a reasonable time").
             if p == PaperProfile::News20 {
@@ -96,7 +101,13 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
                 for q in &r.trace.points {
                     csv.push_str(&format!(
                         "{},{},{},{},{},{},{}\n",
-                        p.id(), label, tau, q.epoch, q.rmse, q.error_rate, q.objective
+                        p.id(),
+                        label,
+                        tau,
+                        q.epoch,
+                        q.rmse,
+                        q.error_rate,
+                        q.objective
                     ));
                 }
                 traces.push(r.trace);
@@ -106,7 +117,11 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
         for q in &sgd.trace.points {
             csv.push_str(&format!(
                 "{},SGD,0,{},{},{},{}\n",
-                p.id(), q.epoch, q.rmse, q.error_rate, q.objective
+                p.id(),
+                q.epoch,
+                q.rmse,
+                q.error_rate,
+                q.objective
             ));
         }
     }

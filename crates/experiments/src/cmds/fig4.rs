@@ -24,11 +24,16 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
     let threads = ctx.settings.threads.clone();
     let mut traces: Vec<Trace> = Vec::new();
     let mut table = TextTable::new(vec![
-        "dataset", "threads", "algo", "train_s", "best_err",
-        "t_to_asgd_opt_s", "speedup_vs_asgd", "setup_overhead",
+        "dataset",
+        "threads",
+        "algo",
+        "train_s",
+        "best_err",
+        "t_to_asgd_opt_s",
+        "speedup_vs_asgd",
+        "setup_overhead",
     ]);
-    let mut csv =
-        String::from("dataset,algo,threads,epoch,wall_secs,rmse,error_rate,objective\n");
+    let mut csv = String::from("dataset,algo,threads,epoch,wall_secs,rmse,error_rate,objective\n");
 
     for p in PaperProfile::ALL {
         let data = ctx.dataset_training(p);
@@ -45,8 +50,7 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
         eprintln!("[fig4] {} SGD ({reps} reps)…", p.id());
         let sgd = run_averaged(reps, ctx.settings.seed, |seed| {
             let c = cfg.with_seed(seed);
-            train(ds, &obj, Algorithm::Sgd, Execution::Sequential, &c, p.id())
-                .expect("sgd run")
+            train(ds, &obj, Algorithm::Sgd, Execution::Sequential, &c, p.id()).expect("sgd run")
         });
         push_csv(&mut csv, p.id(), 1, &sgd.trace);
         traces.push(sgd.trace.clone());
@@ -61,18 +65,18 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
             // background load) cannot masquerade as an algorithmic
             // wall-clock difference; traces and timings are then averaged
             // per algorithm.
-            eprintln!("[fig4] {} ASGD/IS-ASGD k={k} ({reps} interleaved reps)…", p.id());
+            eprintln!(
+                "[fig4] {} ASGD/IS-ASGD k={k} ({reps} interleaved reps)…",
+                p.id()
+            );
             let seeds = isasgd_sampling::rng::derive_seeds(ctx.settings.seed, reps);
             let mut asgd_runs = Vec::with_capacity(reps);
             let mut is_runs = Vec::with_capacity(reps);
             for (i, &seed) in seeds.iter().enumerate() {
                 let c = cfg.with_seed(seed);
-                let run_asgd = || {
-                    train(ds, &obj, Algorithm::Asgd, exec, &c, p.id()).expect("asgd")
-                };
-                let run_is = || {
-                    train(ds, &obj, Algorithm::IsAsgd, exec, &c, p.id()).expect("is-asgd")
-                };
+                let run_asgd = || train(ds, &obj, Algorithm::Asgd, exec, &c, p.id()).expect("asgd");
+                let run_is =
+                    || train(ds, &obj, Algorithm::IsAsgd, exec, &c, p.id()).expect("is-asgd");
                 if i % 2 == 0 {
                     asgd_runs.push(run_asgd());
                     is_runs.push(run_is());
@@ -94,10 +98,7 @@ pub fn run(ctx: &mut Ctx) -> Vec<Trace> {
                 _ => None,
             };
 
-            for (r, label, sp) in [
-                (&asgd, "ASGD", None),
-                (&is_asgd, "IS-ASGD", speedup),
-            ] {
+            for (r, label, sp) in [(&asgd, "ASGD", None), (&is_asgd, "IS-ASGD", speedup)] {
                 table.row(vec![
                     p.id().to_string(),
                     k.to_string(),

@@ -28,7 +28,11 @@ pub fn run(ctx: &mut Ctx) {
     println!("\n=== Figure 5: error-rate → speedup slices ===\n");
     let traces = fig4_traces(ctx);
     let mut table = TextTable::new(vec![
-        "dataset", "threads", "target_err", "speedup_vs_ASGD", "speedup_vs_SGD",
+        "dataset",
+        "threads",
+        "target_err",
+        "speedup_vs_ASGD",
+        "speedup_vs_SGD",
     ]);
     let mut csv = String::from("dataset,threads,target_err,speedup_vs_asgd,speedup_vs_sgd\n");
 

@@ -12,8 +12,7 @@
 
 use crate::common::{run_averaged, Ctx};
 use isasgd_core::{
-    train, Algorithm, Execution, ImportanceScheme, Objective, Regularizer, SquaredLoss,
-    TrainConfig,
+    train, Algorithm, Execution, ImportanceScheme, Objective, Regularizer, SquaredLoss, TrainConfig,
 };
 use isasgd_datagen::{DatasetProfile, FeatureKind};
 use isasgd_metrics::interpolate::time_to_target;
@@ -51,7 +50,12 @@ pub fn run(ctx: &mut Ctx) {
     println!("\n=== IS gain demonstration (squared loss, Eq. 13/14 regime) ===\n");
     let obj = Objective::new(SquaredLoss, Regularizer::L2 { eta: 1e-4 });
     let mut table = TextTable::new(vec![
-        "psi_norm", "sup_over_mean", "pair_protocol", "sp@50%", "sp@80%", "sp@95%",
+        "psi_norm",
+        "sup_over_mean",
+        "pair_protocol",
+        "sp@50%",
+        "sp@80%",
+        "sp@95%",
     ]);
     let epochs = ctx.settings.epochs.unwrap_or(12);
     let avg = ctx.settings.avg_runs.max(3);
@@ -101,15 +105,17 @@ pub fn run(ctx: &mut Ctx) {
             c.importance = ImportanceScheme::LipschitzSmoothness;
             c
         };
-        let exec = Execution::Simulated { tau: 32, workers: 8 };
+        let exec = Execution::Simulated {
+            tau: 32,
+            workers: 8,
+        };
         let run_algo = |algo: Algorithm, lambda: f64| {
             run_averaged(avg, ctx.settings.seed, |s| {
                 let e = match algo {
                     Algorithm::Sgd | Algorithm::IsSgd => Execution::Sequential,
                     _ => exec,
                 };
-                train(&gen.dataset, &obj, algo, e, &mk(s, lambda), "isgain")
-                    .expect("isgain run")
+                train(&gen.dataset, &obj, algo, e, &mk(s, lambda), "isgain").expect("isgain run")
             })
         };
         // Sequential pair (Alg. 2 vs Eq. 3) and async pair (Alg. 4 vs

@@ -1,6 +1,7 @@
 //! One module per regenerated artifact.
 
 pub mod ablations;
+pub mod adaptive;
 pub mod cluster;
 pub mod dense;
 pub mod fig1;

@@ -25,7 +25,12 @@ pub fn run(ctx: &mut Ctx) {
     };
 
     let mut table = TextTable::new(vec![
-        "dataset", "threads", "avg_speedup", "optimum_speedup", "max", "min",
+        "dataset",
+        "threads",
+        "avg_speedup",
+        "optimum_speedup",
+        "max",
+        "min",
     ]);
     let mut avg_lo = f64::INFINITY;
     let mut avg_hi = f64::NEG_INFINITY;

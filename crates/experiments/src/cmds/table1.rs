@@ -15,8 +15,17 @@ pub fn run(ctx: &mut Ctx) {
     println!("\n=== Table 1: evaluation datasets (paper → synthetic) ===\n");
     let obj = paper_objective();
     let mut table = TextTable::new(vec![
-        "dataset", "dim", "n", "grad-spa.", "psi/n", "rho",
-        "paper-dim", "paper-n", "paper-spa.", "paper-psi", "paper-rho",
+        "dataset",
+        "dim",
+        "n",
+        "grad-spa.",
+        "psi/n",
+        "rho",
+        "paper-dim",
+        "paper-n",
+        "paper-spa.",
+        "paper-psi",
+        "paper-rho",
     ]);
     for p in PaperProfile::ALL {
         let data = ctx.dataset(p);

@@ -17,13 +17,27 @@ pub fn run(ctx: &mut Ctx) {
     println!("\n=== §3 theory: bounds, conflict degrees, τ budgets ===\n");
     let obj = paper_objective();
     let mut table = TextTable::new(vec![
-        "dataset", "supL", "meanL", "infL", "IS_factor", "delta_bar", "n/delta",
-        "tau_budget", "k_sgd", "k_is", "lambda*",
+        "dataset",
+        "supL",
+        "meanL",
+        "infL",
+        "IS_factor",
+        "delta_bar",
+        "n/delta",
+        "tau_budget",
+        "k_sgd",
+        "k_is",
+        "lambda*",
     ]);
     for p in PaperProfile::ALL {
         let data = ctx.dataset(p);
         let ds = &data.dataset;
-        let w = importance_weights(ds, &obj.loss, obj.reg, ImportanceScheme::LipschitzSmoothness);
+        let w = importance_weights(
+            ds,
+            &obj.loss,
+            obj.reg,
+            ImportanceScheme::LipschitzSmoothness,
+        );
         let l = LipschitzSummary::from_weights(&w);
         let conflicts = ConflictStats::estimate(ds, 300, ctx.settings.seed);
         // Representative constants: ε = 1% of ε₀, strong convexity from a

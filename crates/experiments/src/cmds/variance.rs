@@ -14,7 +14,12 @@ pub fn run(ctx: &mut Ctx) {
     println!("\n=== Eq. 10: stochastic-gradient variance along the trajectory ===\n");
     let obj = paper_objective();
     let mut table = TextTable::new(vec![
-        "dataset", "epoch", "V_uniform", "V_smoothness", "V_gradnorm", "V_optimal",
+        "dataset",
+        "epoch",
+        "V_uniform",
+        "V_smoothness",
+        "V_gradnorm",
+        "V_optimal",
         "gradnorm_reduction",
     ]);
     for p in [PaperProfile::News20, PaperProfile::KddBridge] {
@@ -40,8 +45,15 @@ pub fn run(ctx: &mut Ctx) {
                 .with_epochs(epochs)
                 .with_step_size(p.paper_step_size())
                 .with_seed(ctx.settings.seed);
-            let run = train(ds, &obj, Algorithm::Sgd, Execution::Sequential, &cfg, p.id())
-                .expect("sgd trajectory");
+            let run = train(
+                ds,
+                &obj,
+                Algorithm::Sgd,
+                Execution::Sequential,
+                &cfg,
+                p.id(),
+            )
+            .expect("sgd trajectory");
             let rs = gradient_variance(ds, &obj, &run.model, &w_smooth);
             let rg = gradient_variance(ds, &obj, &run.model, &w_gnorm);
             table.row(vec![

@@ -135,7 +135,11 @@ impl Ctx {
                 eprintln!(
                     "[datagen] {}{} (d={}, n={}, ~{} nnz/row)…",
                     profile.name,
-                    if training { " [training-calibrated]" } else { "" },
+                    if training {
+                        " [training-calibrated]"
+                    } else {
+                        ""
+                    },
                     profile.dim,
                     profile.n_samples,
                     profile.mean_nnz
@@ -184,13 +188,15 @@ pub fn run_averaged<F: FnMut(u64) -> isasgd_core::RunResult>(
 /// Merges several runs of one configuration into a single result: traces
 /// pointwise-averaged, timings averaged, model/metrics from the last run.
 pub fn merge_results(runs: Vec<isasgd_core::RunResult>) -> isasgd_core::RunResult {
-    let traces: Vec<isasgd_metrics::Trace> =
-        runs.iter().map(|r| r.trace.clone()).collect();
+    let traces: Vec<isasgd_metrics::Trace> = runs.iter().map(|r| r.trace.clone()).collect();
     let k = runs.len() as f64;
     let setup_secs = runs.iter().map(|r| r.setup_secs).sum::<f64>() / k;
     let train_secs = runs.iter().map(|r| r.train_secs).sum::<f64>() / k;
     let eval_secs = runs.iter().map(|r| r.eval_secs).sum::<f64>() / k;
-    let mut out = runs.into_iter().last().expect("merge_results needs ≥ 1 run");
+    let mut out = runs
+        .into_iter()
+        .last()
+        .expect("merge_results needs ≥ 1 run");
     out.trace = isasgd_metrics::trace::average_traces(&traces);
     out.setup_secs = setup_secs;
     out.train_secs = train_secs;

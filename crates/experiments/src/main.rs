@@ -15,6 +15,7 @@
 //!   ablation-seq      §4.2     — regenerate vs shuffle-once sequences
 //!   ablation-svrg     §1.2     — literature vs skip-µ SVRG
 //!   ablation-scheme   Eq. 12   — importance scheme × ψ × step regime
+//!   ablation-adaptive Eq. 11   — static vs adaptive importance sampling
 //!   is-gain           §2.2     — provable-regime IS speedup sweep
 //!   cluster           §2.3     — per-node balancing in the local-SGD setting
 //!   theory            §3       — bound calculators, τ budgets, Δ̄
@@ -136,6 +137,7 @@ fn run_command(ctx: &mut Ctx, cmd: &str) {
         "ablation-seq" => cmds::ablations::sequences(ctx),
         "ablation-svrg" => cmds::ablations::svrg(ctx),
         "ablation-scheme" => cmds::ablations::schemes(ctx),
+        "ablation-adaptive" => cmds::adaptive::run(ctx),
         "is-gain" => cmds::isgain::run(ctx),
         "cluster" => cmds::cluster::run(ctx),
         "theory" => cmds::theory::run(ctx),
@@ -143,9 +145,22 @@ fn run_command(ctx: &mut Ctx, cmd: &str) {
         "dense-crossover" => cmds::dense::run(ctx),
         "all" => {
             for c in [
-                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "summary",
-                "ablation-balance", "ablation-seq", "ablation-svrg",
-                "ablation-scheme", "is-gain", "cluster", "theory", "variance",
+                "table1",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "summary",
+                "ablation-balance",
+                "ablation-seq",
+                "ablation-svrg",
+                "ablation-scheme",
+                "ablation-adaptive",
+                "is-gain",
+                "cluster",
+                "theory",
+                "variance",
                 "dense-crossover",
             ] {
                 run_command(ctx, c);
@@ -166,7 +181,7 @@ USAGE: isasgd-experiments [FLAGS] <COMMAND>...
 COMMANDS
   table1 fig1 fig2 fig3 fig4 fig5 summary
   ablation-balance ablation-seq ablation-svrg ablation-scheme
-  is-gain cluster theory variance dense-crossover all
+  ablation-adaptive is-gain cluster theory variance dense-crossover all
 
 FLAGS
   --quick | --scale <f> | --epochs <n> | --seed <n>

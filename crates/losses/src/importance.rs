@@ -102,12 +102,9 @@ pub fn importance_weights<L: Loss>(
 
 /// Inverse-probability step correction `1/(n·p_i)` for each sample
 /// (paper Eq. 8): with `p_i = L_i/ΣL`, this equals `L̄/L_i`.
-pub fn step_corrections(weights: &[f64]) -> Vec<f64> {
-    let n = weights.len() as f64;
-    let total: f64 = weights.iter().sum();
-    let mean = total / n;
-    weights.iter().map(|&l| mean / l).collect()
-}
+/// (Canonical implementation lives in `isasgd-sampling`, next to the
+/// samplers that consume it.)
+pub use isasgd_sampling::step_corrections;
 
 #[cfg(test)]
 mod tests {
@@ -125,8 +122,12 @@ mod tests {
 
     #[test]
     fn lipschitz_weights_scale_with_norm_sq() {
-        let w = importance_weights(&ds(), &LogisticLoss, Regularizer::None,
-                                   ImportanceScheme::LipschitzSmoothness);
+        let w = importance_weights(
+            &ds(),
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::LipschitzSmoothness,
+        );
         assert_eq!(w.len(), 3);
         assert!((w[0] - 0.25).abs() < 1e-12);
         assert!((w[1] - 1.0).abs() < 1e-12);
@@ -135,15 +136,23 @@ mod tests {
 
     #[test]
     fn l2_curvature_enters_weights() {
-        let w = importance_weights(&ds(), &LogisticLoss, Regularizer::L2 { eta: 0.5 },
-                                   ImportanceScheme::LipschitzSmoothness);
+        let w = importance_weights(
+            &ds(),
+            &LogisticLoss,
+            Regularizer::L2 { eta: 0.5 },
+            ImportanceScheme::LipschitzSmoothness,
+        );
         assert!((w[0] - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn gradnorm_weights_positive_and_ordered() {
-        let w = importance_weights(&ds(), &SquaredHingeLoss, Regularizer::L2 { eta: 0.1 },
-                                   ImportanceScheme::GradNormBound { radius: 2.0 });
+        let w = importance_weights(
+            &ds(),
+            &SquaredHingeLoss,
+            Regularizer::L2 { eta: 0.1 },
+            ImportanceScheme::GradNormBound { radius: 2.0 },
+        );
         assert!(w.iter().all(|&x| x > 0.0));
         // Larger norm ⇒ larger weight under this scheme too.
         assert!(w[2] > w[1] && w[1] > w[0]);
@@ -151,8 +160,12 @@ mod tests {
 
     #[test]
     fn uniform_weights() {
-        let w = importance_weights(&ds(), &LogisticLoss, Regularizer::None,
-                                   ImportanceScheme::Uniform);
+        let w = importance_weights(
+            &ds(),
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::Uniform,
+        );
         assert_eq!(w, vec![1.0, 1.0, 1.0]);
     }
 
@@ -162,8 +175,12 @@ mod tests {
         b.push_row(&[], 1.0).unwrap();
         b.push_row(&[(0, 3.0)], -1.0).unwrap();
         let d = b.finish();
-        let w = importance_weights(&d, &LogisticLoss, Regularizer::None,
-                                   ImportanceScheme::LipschitzSmoothness);
+        let w = importance_weights(
+            &d,
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::LipschitzSmoothness,
+        );
         assert!(w[0] > 0.0);
         assert_eq!(w[0], w.iter().cloned().fold(f64::INFINITY, f64::min));
     }
@@ -171,24 +188,40 @@ mod tests {
     #[test]
     fn partially_biased_interpolates() {
         let d = ds();
-        let pure = importance_weights(&d, &LogisticLoss, Regularizer::None,
-                                      ImportanceScheme::LipschitzSmoothness);
+        let pure = importance_weights(
+            &d,
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::LipschitzSmoothness,
+        );
         let mean = pure.iter().sum::<f64>() / pure.len() as f64;
         // bias = 1 ⇒ uniform at the mean level.
-        let w1 = importance_weights(&d, &LogisticLoss, Regularizer::None,
-                                    ImportanceScheme::PartiallyBiased { bias: 1.0 });
+        let w1 = importance_weights(
+            &d,
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::PartiallyBiased { bias: 1.0 },
+        );
         for &x in &w1 {
             assert!((x - mean).abs() < 1e-12);
         }
         // bias = 0 ⇒ pure Lipschitz weights.
-        let w0 = importance_weights(&d, &LogisticLoss, Regularizer::None,
-                                    ImportanceScheme::PartiallyBiased { bias: 0.0 });
+        let w0 = importance_weights(
+            &d,
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::PartiallyBiased { bias: 0.0 },
+        );
         for (a, b) in w0.iter().zip(&pure) {
             assert!((a - b).abs() < 1e-12);
         }
         // bias = 0.5 caps the correction at 2 = 1/bias.
-        let w5 = importance_weights(&d, &LogisticLoss, Regularizer::None,
-                                    ImportanceScheme::PartiallyBiased { bias: 0.5 });
+        let w5 = importance_weights(
+            &d,
+            &LogisticLoss,
+            Regularizer::None,
+            ImportanceScheme::PartiallyBiased { bias: 0.5 },
+        );
         let corr = step_corrections(&w5);
         assert!(corr.iter().all(|&c| c <= 2.0 + 1e-9), "{corr:?}");
     }

@@ -28,6 +28,6 @@ pub mod objective;
 pub mod regularizer;
 
 pub use importance::{importance_weights, step_corrections, ImportanceScheme};
-pub use loss::{Loss, LogisticLoss, SquaredHingeLoss, SquaredLoss};
+pub use loss::{LogisticLoss, Loss, SquaredHingeLoss, SquaredLoss};
 pub use objective::{EvalMetrics, Objective, PartialEval};
 pub use regularizer::Regularizer;

@@ -70,6 +70,19 @@ impl<L: Loss> Objective<L> {
         self.loss.derivative(margin) * row.label
     }
 
+    /// Applies one (IS-corrected) SGD update in place: the sparse axpy
+    /// `w += coeff·x` followed by the on-support lazy regularizer
+    /// subgradient scaled by `reg_scale` — the single GLM step kernel
+    /// shared by the core solvers and the cluster nodes.
+    #[inline]
+    pub fn apply_sgd_update(&self, row: &SparseRow<'_>, coeff: f64, reg_scale: f64, w: &mut [f64]) {
+        for (&j, &x) in row.indices.iter().zip(row.values) {
+            let j = j as usize;
+            let wj = w[j] + coeff * x;
+            w[j] = wj - reg_scale * self.reg.grad_coord(wj);
+        }
+    }
+
     /// Per-sample raw loss `φ_i(w)` (no regularizer).
     #[inline]
     pub fn sample_loss(&self, row: &SparseRow<'_>, w: &[f64]) -> f64 {
@@ -78,7 +91,12 @@ impl<L: Loss> Objective<L> {
 
     /// Evaluates a contiguous row range; combine with
     /// [`PartialEval::merge`] and finish with [`Objective::finalize`].
-    pub fn eval_range(&self, ds: &Dataset, w: &[f64], range: std::ops::Range<usize>) -> PartialEval {
+    pub fn eval_range(
+        &self,
+        ds: &Dataset,
+        w: &[f64],
+        range: std::ops::Range<usize>,
+    ) -> PartialEval {
         let mut p = PartialEval::default();
         for i in range {
             let row = ds.row(i);
@@ -185,7 +203,7 @@ mod tests {
         assert!((obj.margin(&r1, &w) - 2.0).abs() < 1e-12);
         // grad scale = ℓ'(m)·y
         let m = obj.margin(&r1, &w);
-        assert!((obj.grad_scale(&r1, m) - LogisticLoss.derivative(m) * -1.0).abs() < 1e-15);
+        assert!((obj.grad_scale(&r1, m) + LogisticLoss.derivative(m)).abs() < 1e-15);
     }
 
     #[test]

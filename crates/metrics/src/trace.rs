@@ -115,7 +115,10 @@ pub fn best_error_curve_by_epoch(trace: &Trace) -> Vec<(f64, f64)> {
 /// # Panics
 /// Panics if `traces` is empty or the traces have different lengths.
 pub fn average_traces(traces: &[Trace]) -> Trace {
-    assert!(!traces.is_empty(), "average_traces needs at least one trace");
+    assert!(
+        !traces.is_empty(),
+        "average_traces needs at least one trace"
+    );
     let n = traces[0].points.len();
     for t in traces {
         assert_eq!(

@@ -176,8 +176,8 @@ impl SavedModel {
 
     /// Serializes to pretty JSON.
     pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), ModelIoError> {
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| ModelIoError::Parse(e.to_string()))?;
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| ModelIoError::Parse(e.to_string()))?;
         w.write_all(json.as_bytes())?;
         Ok(())
     }
@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn margin_merge_join() {
         let m = sample(); // w = [0, 1.5, 0, -2, 0.25]
-        // x with support {0, 3, 4}: margin = -2*1 + 0.25*4 = -1
+                          // x with support {0, 3, 4}: margin = -2*1 + 0.25*4 = -1
         let got = m.margin(&[0, 3, 4], &[5.0, 1.0, 4.0]);
         assert!((got - (-1.0)).abs() < 1e-12);
         // Disjoint support ⇒ 0.

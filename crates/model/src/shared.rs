@@ -24,10 +24,7 @@ impl SharedModel {
 
     /// Creates a model from an existing dense vector.
     pub fn from_dense(dense: &[f64]) -> Self {
-        let w = dense
-            .iter()
-            .map(|&x| AtomicU64::new(x.to_bits()))
-            .collect();
+        let w = dense.iter().map(|&x| AtomicU64::new(x.to_bits())).collect();
         Self { w }
     }
 
@@ -99,7 +96,11 @@ impl SharedModel {
     /// when called at a barrier.
     pub fn snapshot_into(&self, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(self.w.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))));
+        out.extend(
+            self.w
+                .iter()
+                .map(|a| f64::from_bits(a.load(Ordering::Relaxed))),
+        );
     }
 
     /// Allocates and returns a snapshot.

@@ -16,6 +16,20 @@ pub enum SamplingError {
     },
     /// All weights were zero — no probability mass to sample from.
     ZeroMass,
+    /// A sampler hyper-parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two parallel per-outcome vectors disagree in length.
+    LengthMismatch {
+        /// Length of the weight vector.
+        weights: usize,
+        /// Length of the companion vector (e.g. step corrections).
+        other: usize,
+    },
     /// Requested a sequence of zero length.
     EmptySequence,
 }
@@ -28,6 +42,15 @@ impl fmt::Display for SamplingError {
                 write!(f, "invalid weight {value} at index {index}")
             }
             SamplingError::ZeroMass => write!(f, "weights sum to zero"),
+            SamplingError::InvalidParameter { name, value } => {
+                write!(f, "invalid sampler parameter {name} = {value}")
+            }
+            SamplingError::LengthMismatch { weights, other } => {
+                write!(
+                    f,
+                    "length mismatch: {weights} weights vs {other} companion entries"
+                )
+            }
             SamplingError::EmptySequence => write!(f, "sample sequence length must be positive"),
         }
     }
@@ -42,7 +65,10 @@ mod tests {
     #[test]
     fn display() {
         assert!(SamplingError::EmptyWeights.to_string().contains("empty"));
-        let e = SamplingError::InvalidWeight { index: 2, value: -1.0 };
+        let e = SamplingError::InvalidWeight {
+            index: 2,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("-1"));
     }
 }

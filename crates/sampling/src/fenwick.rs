@@ -19,6 +19,9 @@ pub struct FenwickSampler {
     tree: Vec<f64>,
     /// Current raw weights, for exact reads.
     weights: Vec<f64>,
+    /// Cached total mass, maintained incrementally so draws and
+    /// probability reads cost one descend, not an extra prefix walk.
+    total: f64,
 }
 
 impl FenwickSampler {
@@ -51,6 +54,7 @@ impl FenwickSampler {
         Ok(Self {
             tree,
             weights: weights.to_vec(),
+            total,
         })
     }
 
@@ -66,7 +70,7 @@ impl FenwickSampler {
 
     /// Total weight mass.
     pub fn total(&self) -> f64 {
-        self.prefix_sum(self.len())
+        self.total
     }
 
     /// Current weight of outcome `i`.
@@ -74,7 +78,9 @@ impl FenwickSampler {
         self.weights[i]
     }
 
-    /// Sum of weights over `0..=i-1` (`i` outcomes).
+    /// Sum of weights over `0..=i-1` (`i` outcomes). Production reads go
+    /// through the cached total; tests use this as the exact reference.
+    #[cfg(test)]
     fn prefix_sum(&self, mut i: usize) -> f64 {
         let mut s = 0.0;
         while i > 0 {
@@ -91,6 +97,7 @@ impl FenwickSampler {
         }
         let delta = w - self.weights[i];
         self.weights[i] = w;
+        self.total += delta;
         let n = self.len();
         let mut j = i + 1;
         while j <= n {
@@ -105,9 +112,8 @@ impl FenwickSampler {
     /// Uses the standard Fenwick descend: find the smallest index whose
     /// prefix sum exceeds `u * total`.
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> usize {
-        let total = self.prefix_sum(self.len());
-        debug_assert!(total > 0.0, "sampler mass became zero");
-        let mut target = rng.next_f64() * total;
+        debug_assert!(self.total > 0.0, "sampler mass became zero");
+        let mut target = rng.next_f64() * self.total;
         let n = self.len();
         let mut pos = 0usize;
         let mut mask = n.next_power_of_two();
@@ -126,7 +132,7 @@ impl FenwickSampler {
 
     /// The normalized probability of outcome `i` under current weights.
     pub fn probability(&self, i: usize) -> f64 {
-        self.weights[i] / self.prefix_sum(self.len())
+        self.weights[i] / self.total
     }
 }
 
@@ -166,7 +172,10 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let freq = c as f64 / draws as f64;
             let expect = w[i] / 10.0;
-            assert!((freq - expect).abs() < 0.01, "outcome {i}: {freq} vs {expect}");
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "outcome {i}: {freq} vs {expect}"
+            );
         }
     }
 
@@ -203,6 +212,16 @@ mod tests {
         assert!(FenwickSampler::new(&[]).is_err());
         assert!(FenwickSampler::new(&[0.0]).is_err());
         assert!(FenwickSampler::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn cached_total_tracks_updates() {
+        let mut f = FenwickSampler::new(&[1.0, 2.0, 3.0]).unwrap();
+        for i in 0..3 {
+            f.update(i, (i + 2) as f64).unwrap();
+        }
+        assert!((f.total() - f.prefix_sum(3)).abs() < 1e-12);
+        assert!((f.total() - 9.0).abs() < 1e-12);
     }
 
     #[test]

@@ -9,11 +9,24 @@
 //! * [`AliasTable`] — Walker/Vose alias method: `O(n)` build, `O(1)` draws.
 //! * [`FenwickSampler`] — a binary-indexed-tree sampler with `O(log n)`
 //!   draws *and* `O(log n)` weight updates, used as an oracle in tests and
-//!   for adaptive-weight extensions.
+//!   as the substrate of the adaptive sampler.
 //! * [`SampleSequence`] — pre-generated per-thread index sequences with the
 //!   paper's §4.2 "generate once, shuffle every epoch" approximation.
 //! * [`rng`] — small, fast, reproducible PRNGs (SplitMix64, Xoshiro256++)
 //!   so every experiment is seed-deterministic.
+//!
+//! # The `Sampler` abstraction
+//!
+//! The [`Sampler`] trait unifies the three distributions a solver can draw
+//! from — [`UniformSampler`], [`StaticIsSampler`] (the paper's offline
+//! sequences) and [`AdaptiveIsSampler`] (Fenwick-backed, re-weighted
+//! between epochs from observed gradient magnitudes) — behind
+//! `next`/`correction`/`update_weight`/`epoch_reset`. The solver runtime
+//! in `isasgd-core` consumes `Box<dyn Sampler>` per worker shard, so every
+//! (algorithm, execution) pair supports every [`SamplingStrategy`] without
+//! touching its training kernel; `isasgd-cluster` nodes do the same.
+//! The strategy is surfaced to users as `isasgd train --sampling
+//! {uniform,static,adaptive}`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,13 +35,29 @@ pub mod alias;
 pub mod error;
 pub mod fenwick;
 pub mod rng;
+pub mod sampler;
 pub mod sequence;
 
 pub use alias::AliasTable;
 pub use error::SamplingError;
 pub use fenwick::FenwickSampler;
 pub use rng::{splitmix64, Xoshiro256pp};
+pub use sampler::{
+    build_sampler, AdaptiveIsSampler, Sampler, SamplingStrategy, StaticIsSampler, UniformSampler,
+};
 pub use sequence::{SampleSequence, SequenceMode};
+
+/// Inverse-probability step correction `1/(n·p_i)` for each sample
+/// (paper Eq. 8): with `p_i = L_i/ΣL`, this equals `L̄/L_i`.
+///
+/// This is the canonical implementation; `isasgd-losses` re-exports it so
+/// the static and adaptive sampling paths can never drift.
+pub fn step_corrections(weights: &[f64]) -> Vec<f64> {
+    let n = weights.len() as f64;
+    let total: f64 = weights.iter().sum();
+    let mean = total / n;
+    weights.iter().map(|&l| mean / l).collect()
+}
 
 /// Normalizes a weight vector into a probability distribution.
 ///
@@ -63,7 +92,10 @@ mod tests {
 
     #[test]
     fn normalize_rejects_bad_inputs() {
-        assert!(matches!(normalize_weights(&[]), Err(SamplingError::EmptyWeights)));
+        assert!(matches!(
+            normalize_weights(&[]),
+            Err(SamplingError::EmptyWeights)
+        ));
         assert!(matches!(
             normalize_weights(&[1.0, -2.0]),
             Err(SamplingError::InvalidWeight { index: 1, .. })

@@ -1,0 +1,591 @@
+//! The [`Sampler`] trait: one interface for every way a solver can pick
+//! its next training sample.
+//!
+//! The paper's practical insight (Algorithm 2) is that *static*
+//! importance sampling leaves the training kernel identical to uniform
+//! ASGD — only the index stream changes. This module turns that
+//! observation into an abstraction: solvers consume `Sampler::next` and
+//! `Sampler::correction` without knowing whether indices come from a
+//! uniform stream, a pre-generated weighted sequence, or a live
+//! Fenwick-tree distribution that re-weights itself from observed
+//! per-sample gradient magnitudes (the adaptive scheme of Katharopoulos &
+//! Fleuret 2018 and the distributed estimator of Alain et al. 2015 — the
+//! "completely impractical" exact scheme of the paper's Eq. 11 made
+//! practical by `O(log n)` weight updates).
+//!
+//! Implementations:
+//!
+//! * [`UniformSampler`] — uniform draws (plain SGD/ASGD), unit
+//!   corrections.
+//! * [`StaticIsSampler`] — the paper's pre-generated weighted
+//!   [`SampleSequence`] with `1/(n·p_i)` step corrections, frozen for the
+//!   whole run.
+//! * [`AdaptiveIsSampler`] — a [`FenwickSampler`]-backed distribution
+//!   whose weights are refreshed between epochs from observed per-sample
+//!   importance via [`Sampler::update_weight`].
+
+use crate::error::SamplingError;
+use crate::fenwick::FenwickSampler;
+use crate::rng::Xoshiro256pp;
+use crate::sequence::{SampleSequence, SequenceMode};
+
+/// Which sampling distribution a training run draws from.
+///
+/// This is the knob surfaced as `--sampling` in the CLI; the solver
+/// kernels are identical across all three (the paper's central point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingStrategy {
+    /// Uniform sampling (plain SGD/ASGD baselines).
+    Uniform,
+    /// Static importance sampling from offline weights (paper Alg. 2/4).
+    #[default]
+    Static,
+    /// Adaptive importance sampling: starts from the static weights and
+    /// re-weights between epochs from observed gradient magnitudes.
+    Adaptive,
+}
+
+impl SamplingStrategy {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "uniform" => SamplingStrategy::Uniform,
+            "static" => SamplingStrategy::Static,
+            "adaptive" => SamplingStrategy::Adaptive,
+            _ => return None,
+        })
+    }
+
+    /// The CLI/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SamplingStrategy::Uniform => "uniform",
+            SamplingStrategy::Static => "static",
+            SamplingStrategy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Whether this strategy needs importance weights at plan time.
+    pub fn uses_importance(&self) -> bool {
+        !matches!(self, SamplingStrategy::Uniform)
+    }
+}
+
+/// A stream of sample indices over `0..len()` outcomes, with per-outcome
+/// importance-sampling step corrections and optional adaptivity hooks.
+///
+/// `Send` so per-worker samplers can cross into worker threads.
+pub trait Sampler: Send {
+    /// Number of outcomes (rows in this sampler's shard).
+    fn len(&self) -> usize;
+
+    /// True when the sampler has no outcomes (unreachable through the
+    /// provided constructors).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draws the next sample index in `0..len()`.
+    ///
+    /// Pre-generated samplers ignore `rng` (their stream was fixed at
+    /// construction, preserving the paper's offline-sequence semantics);
+    /// live samplers consume it.
+    fn next(&mut self, rng: &mut Xoshiro256pp) -> usize;
+
+    /// The unbiasing step correction `1/(n·p_i)` for outcome `i` under
+    /// the *current* distribution (`1.0` for uniform sampling).
+    fn correction(&self, i: usize) -> f64 {
+        let _ = i;
+        1.0
+    }
+
+    /// Feeds back an observed importance value (e.g. per-sample gradient
+    /// norm) for outcome `i`. Non-adaptive samplers ignore it.
+    fn update_weight(&mut self, i: usize, observed: f64) {
+        let _ = (i, observed);
+    }
+
+    /// Epoch boundary: refresh pre-generated streams / commit adaptive
+    /// re-weighting.
+    fn epoch_reset(&mut self);
+
+    /// Whether [`Sampler::update_weight`] has any effect — lets drivers
+    /// skip collecting feedback otherwise.
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+}
+
+/// Builds the boxed [`Sampler`] for one worker shard under `strategy`.
+///
+/// This is the single construction point shared by the `isasgd-core`
+/// engine plan and `isasgd-cluster` nodes, so the two runtimes can never
+/// drift in what a strategy means. `weights` carries the shard's
+/// importance weights; it is ignored (uniform fallback) when the
+/// strategy does not use importance. For uniform sampling the
+/// weighted-only sequence modes degrade to uniform i.i.d.
+pub fn build_sampler(
+    strategy: SamplingStrategy,
+    weights: Option<&[f64]>,
+    len: usize,
+    mode: SequenceMode,
+    seed: u64,
+) -> Result<Box<dyn Sampler>, SamplingError> {
+    match (strategy, weights) {
+        (SamplingStrategy::Static, Some(w)) => {
+            Ok(Box::new(StaticIsSampler::from_weights(w, len, mode, seed)?))
+        }
+        (SamplingStrategy::Adaptive, Some(w)) => Ok(Box::new(AdaptiveIsSampler::new(w)?)),
+        _ => {
+            let mode = match mode {
+                // Weighted-only modes degrade to uniform i.i.d.
+                SequenceMode::RegeneratePerEpoch | SequenceMode::ShuffleOnce => {
+                    SequenceMode::UniformIid
+                }
+                m => m,
+            };
+            Ok(Box::new(UniformSampler::new(len, len, mode, seed)?))
+        }
+    }
+}
+
+/// Cursor replay over a pre-generated [`SampleSequence`]: the shared
+/// core of [`UniformSampler`] and [`StaticIsSampler`]. Draws walk the
+/// epoch buffer (wrapping if over-drawn); an epoch reset refreshes the
+/// buffer and rewinds.
+#[derive(Debug, Clone)]
+struct SequenceReplay {
+    seq: SampleSequence,
+    cursor: usize,
+}
+
+impl SequenceReplay {
+    fn new(seq: SampleSequence) -> Self {
+        Self { seq, cursor: 0 }
+    }
+
+    fn n_outcomes(&self) -> usize {
+        self.seq.n_outcomes()
+    }
+
+    fn next(&mut self) -> usize {
+        let buf = self.seq.indices();
+        let i = buf[self.cursor % buf.len()] as usize;
+        self.cursor += 1;
+        i
+    }
+
+    fn epoch_reset(&mut self) {
+        self.seq.advance_epoch();
+        self.cursor = 0;
+    }
+}
+
+/// Uniform sampling through a pre-generated [`SampleSequence`] stream
+/// (keeps draw streams identical to the pre-trait solvers under the same
+/// seed).
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    replay: SequenceReplay,
+}
+
+impl UniformSampler {
+    /// Uniform sampler over `n` outcomes emitting `len` draws per epoch.
+    pub fn new(n: usize, len: usize, mode: SequenceMode, seed: u64) -> Result<Self, SamplingError> {
+        Ok(Self {
+            replay: SequenceReplay::new(SampleSequence::uniform(n, len, mode, seed)?),
+        })
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn len(&self) -> usize {
+        self.replay.n_outcomes()
+    }
+
+    fn next(&mut self, _rng: &mut Xoshiro256pp) -> usize {
+        self.replay.next()
+    }
+
+    fn epoch_reset(&mut self) {
+        self.replay.epoch_reset();
+    }
+}
+
+/// Static importance sampling: the paper's pre-generated weighted
+/// sequence plus frozen `1/(n·p_i)` corrections.
+#[derive(Debug, Clone)]
+pub struct StaticIsSampler {
+    replay: SequenceReplay,
+    corrections: Vec<f64>,
+}
+
+impl StaticIsSampler {
+    /// Builds from raw importance weights; `len` draws per epoch.
+    ///
+    /// `corrections[i]` must hold `1/(n·p_i)` for the normalized weights
+    /// (see `isasgd-losses::step_corrections`).
+    pub fn new(
+        weights: &[f64],
+        corrections: Vec<f64>,
+        len: usize,
+        mode: SequenceMode,
+        seed: u64,
+    ) -> Result<Self, SamplingError> {
+        if corrections.len() != weights.len() {
+            return Err(SamplingError::LengthMismatch {
+                weights: weights.len(),
+                other: corrections.len(),
+            });
+        }
+        Ok(Self {
+            replay: SequenceReplay::new(SampleSequence::weighted(weights, len, mode, seed)?),
+            corrections,
+        })
+    }
+
+    /// Builds from raw importance weights, deriving the corrections
+    /// `1/(n·p_i) = L̄/L_i` (paper Eq. 8) from the same weights via
+    /// [`step_corrections`](crate::step_corrections).
+    pub fn from_weights(
+        weights: &[f64],
+        len: usize,
+        mode: SequenceMode,
+        seed: u64,
+    ) -> Result<Self, SamplingError> {
+        Self::new(weights, crate::step_corrections(weights), len, mode, seed)
+    }
+}
+
+impl Sampler for StaticIsSampler {
+    fn len(&self) -> usize {
+        self.replay.n_outcomes()
+    }
+
+    fn next(&mut self, _rng: &mut Xoshiro256pp) -> usize {
+        self.replay.next()
+    }
+
+    fn correction(&self, i: usize) -> f64 {
+        self.corrections[i]
+    }
+
+    fn epoch_reset(&mut self) {
+        self.replay.epoch_reset();
+    }
+}
+
+/// Adaptive importance sampling over a Fenwick tree.
+///
+/// Draws from the mixture `p_i = (1−β)·w_i/Σw + β/n` (the partially
+/// biased distribution of the paper's Eq. 15 / Needell et al., which
+/// keeps corrections bounded by `1/β`), where `w_i` starts at the static
+/// importance weight and is re-estimated between epochs as an
+/// exponential moving average of observed per-sample importance:
+///
+/// ```text
+/// w_i ← (1−γ)·w_i + γ·obs_i
+/// ```
+///
+/// Feedback accumulates through [`Sampler::update_weight`] and is
+/// committed at [`Sampler::epoch_reset`], so a full epoch samples from
+/// one fixed distribution (keeping the unbiasedness argument per epoch
+/// and the run deterministic under a seed).
+#[derive(Debug, Clone)]
+pub struct AdaptiveIsSampler {
+    fen: FenwickSampler,
+    /// Pending EMA targets observed this epoch (NaN = no observation).
+    pending: Vec<f64>,
+    /// Uniform-mixture floor β.
+    beta: f64,
+    /// EMA retention γ for weight refreshes.
+    gamma: f64,
+}
+
+impl AdaptiveIsSampler {
+    /// Default uniform-mixture floor.
+    pub const DEFAULT_BETA: f64 = 0.2;
+    /// Default EMA step for observed weights.
+    pub const DEFAULT_GAMMA: f64 = 0.5;
+
+    /// Builds from initial (e.g. static Lipschitz) weights.
+    pub fn new(initial_weights: &[f64]) -> Result<Self, SamplingError> {
+        Self::with_params(initial_weights, Self::DEFAULT_BETA, Self::DEFAULT_GAMMA)
+    }
+
+    /// Builds with explicit mixture floor `beta ∈ [0,1]` and EMA step
+    /// `gamma ∈ (0,1]` (`gamma = 0` would silently never adapt).
+    pub fn with_params(
+        initial_weights: &[f64],
+        beta: f64,
+        gamma: f64,
+    ) -> Result<Self, SamplingError> {
+        if !(0.0..=1.0).contains(&beta) {
+            return Err(SamplingError::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        if !(gamma > 0.0 && gamma <= 1.0) {
+            return Err(SamplingError::InvalidParameter {
+                name: "gamma",
+                value: gamma,
+            });
+        }
+        let fen = FenwickSampler::new(initial_weights)?;
+        Ok(Self {
+            pending: vec![f64::NAN; initial_weights.len()],
+            fen,
+            beta,
+            gamma,
+        })
+    }
+
+    /// The current mixture probability of outcome `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let n = self.fen.len() as f64;
+        (1.0 - self.beta) * self.fen.probability(i) + self.beta / n
+    }
+
+    /// The current raw weight of outcome `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.fen.weight(i)
+    }
+}
+
+impl Sampler for AdaptiveIsSampler {
+    fn len(&self) -> usize {
+        self.fen.len()
+    }
+
+    fn next(&mut self, rng: &mut Xoshiro256pp) -> usize {
+        if rng.next_f64() < self.beta {
+            rng.next_index(self.fen.len())
+        } else {
+            self.fen.sample(rng)
+        }
+    }
+
+    fn correction(&self, i: usize) -> f64 {
+        1.0 / (self.fen.len() as f64 * self.probability(i))
+    }
+
+    fn update_weight(&mut self, i: usize, observed: f64) {
+        if observed.is_finite() && observed >= 0.0 {
+            // Last observation this epoch wins; EMA applies at commit.
+            self.pending[i] = observed;
+        }
+    }
+
+    fn epoch_reset(&mut self) {
+        // Normalize pending observations to the current mean weight scale
+        // so the EMA mixes comparable magnitudes, then commit.
+        let mean_w = self.fen.total() / self.fen.len() as f64;
+        let observed: Vec<(usize, f64)> = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_finite())
+            .map(|(i, &o)| (i, o))
+            .collect();
+        if observed.is_empty() {
+            return;
+        }
+        let mean_obs = observed.iter().map(|&(_, o)| o).sum::<f64>() / observed.len() as f64;
+        let scale = if mean_obs > 0.0 {
+            mean_w / mean_obs
+        } else {
+            0.0
+        };
+        // Floor keeps every row sampleable, bounding corrections.
+        let floor = mean_w * 1e-3;
+        for (i, obs) in observed {
+            let target = (obs * scale).max(floor);
+            let blended = (1.0 - self.gamma) * self.fen.weight(i) + self.gamma * target;
+            self.fen
+                .update(i, blended)
+                .expect("blended weight is finite and non-negative");
+        }
+        self.pending.fill(f64::NAN);
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draws(s: &mut dyn Sampler, rng: &mut Xoshiro256pp, k: usize) -> Vec<usize> {
+        (0..k).map(|_| s.next(rng)).collect()
+    }
+
+    #[test]
+    fn uniform_sampler_covers_and_has_unit_corrections() {
+        let mut s = UniformSampler::new(8, 8, SequenceMode::UniformIid, 3).unwrap();
+        let mut rng = Xoshiro256pp::new(0);
+        let mut seen = [false; 8];
+        for _ in 0..20 {
+            for i in draws(&mut s, &mut rng, 8) {
+                assert!(i < 8);
+                seen[i] = true;
+                assert_eq!(s.correction(i), 1.0);
+            }
+            s.epoch_reset();
+        }
+        assert!(seen.iter().all(|&x| x));
+        assert!(!s.is_adaptive());
+    }
+
+    #[test]
+    fn static_sampler_matches_its_sequence() {
+        let w = [1.0, 3.0, 2.0];
+        let corr = vec![2.0, 0.5, 1.0];
+        let mut s = StaticIsSampler::new(&w, corr.clone(), 64, SequenceMode::RegeneratePerEpoch, 9)
+            .unwrap();
+        let reference =
+            SampleSequence::weighted(&w, 64, SequenceMode::RegeneratePerEpoch, 9).unwrap();
+        let mut rng = Xoshiro256pp::new(1);
+        let got = draws(&mut s, &mut rng, 64);
+        let expect: Vec<usize> = reference.indices().iter().map(|&i| i as usize).collect();
+        assert_eq!(got, expect, "static sampler must replay its sequence");
+        assert_eq!(s.correction(1), 0.5);
+    }
+
+    #[test]
+    fn adaptive_sampler_tracks_observed_importance() {
+        // Start uniform; observe that outcome 2 matters 10× more.
+        let mut s = AdaptiveIsSampler::with_params(&[1.0, 1.0, 1.0, 1.0], 0.1, 1.0).unwrap();
+        let before = s.probability(2);
+        for i in 0..4 {
+            s.update_weight(i, if i == 2 { 10.0 } else { 1.0 });
+        }
+        s.epoch_reset();
+        let after = s.probability(2);
+        assert!(
+            after > 2.0 * before,
+            "probability should grow: {before} → {after}"
+        );
+        // Mixture floor keeps every outcome sampleable.
+        for i in 0..4 {
+            assert!(s.probability(i) >= 0.1 / 4.0 - 1e-12);
+        }
+        // Corrections are 1/(n·p): heavier outcomes step smaller.
+        assert!(s.correction(2) < s.correction(0));
+        assert!(s.is_adaptive());
+    }
+
+    #[test]
+    fn adaptive_ema_blends_rather_than_replaces() {
+        let mut s = AdaptiveIsSampler::with_params(&[1.0, 1.0], 0.0, 0.5).unwrap();
+        s.update_weight(0, 3.0);
+        s.update_weight(1, 1.0);
+        s.epoch_reset();
+        // With γ = 0.5 the heavy outcome moves halfway toward its target,
+        // not all the way.
+        let (w0, w1) = (s.weight(0), s.weight(1));
+        assert!(w0 > w1, "observed-heavier outcome must gain weight");
+        assert!(
+            w0 / w1 < 3.0,
+            "EMA must damp the 3:1 observation, got {w0}/{w1}"
+        );
+    }
+
+    #[test]
+    fn adaptive_without_feedback_is_stationary() {
+        let mut s = AdaptiveIsSampler::new(&[2.0, 1.0]).unwrap();
+        let p = s.probability(0);
+        s.epoch_reset();
+        assert_eq!(s.probability(0), p);
+    }
+
+    #[test]
+    fn adaptive_ignores_bad_observations() {
+        let mut s = AdaptiveIsSampler::new(&[1.0, 1.0]).unwrap();
+        s.update_weight(0, f64::NAN);
+        s.update_weight(1, -5.0);
+        s.epoch_reset();
+        assert_eq!(s.weight(0), 1.0);
+        assert_eq!(s.weight(1), 1.0);
+    }
+
+    #[test]
+    fn adaptive_corrections_average_to_one_under_p() {
+        let mut s = AdaptiveIsSampler::new(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        for i in 0..4 {
+            s.update_weight(i, (i + 1) as f64);
+        }
+        s.epoch_reset();
+        let e: f64 = (0..4).map(|i| s.probability(i) * s.correction(i)).sum();
+        assert!((e - 1.0).abs() < 1e-9, "E_p[1/(np)] = {e}");
+    }
+
+    #[test]
+    fn parameter_validation_names_the_offender() {
+        let w = [1.0, 1.0];
+        assert!(matches!(
+            AdaptiveIsSampler::with_params(&w, 1.5, 0.5),
+            Err(SamplingError::InvalidParameter { name: "beta", .. })
+        ));
+        assert!(matches!(
+            AdaptiveIsSampler::with_params(&w, 0.5, 0.0),
+            Err(SamplingError::InvalidParameter { name: "gamma", .. })
+        ));
+        assert!(matches!(
+            AdaptiveIsSampler::with_params(&w, 0.5, f64::NAN),
+            Err(SamplingError::InvalidParameter { name: "gamma", .. })
+        ));
+        assert!(matches!(
+            StaticIsSampler::new(&w, vec![1.0], 4, SequenceMode::ShuffleOnce, 0),
+            Err(SamplingError::LengthMismatch {
+                weights: 2,
+                other: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(
+            SamplingStrategy::parse("adaptive"),
+            Some(SamplingStrategy::Adaptive)
+        );
+        assert_eq!(
+            SamplingStrategy::parse("static"),
+            Some(SamplingStrategy::Static)
+        );
+        assert_eq!(
+            SamplingStrategy::parse("uniform"),
+            Some(SamplingStrategy::Uniform)
+        );
+        assert_eq!(SamplingStrategy::parse("magic"), None);
+        assert!(SamplingStrategy::Adaptive.uses_importance());
+        assert!(!SamplingStrategy::Uniform.uses_importance());
+    }
+
+    #[test]
+    fn boxed_samplers_are_object_safe() {
+        let mut boxed: Vec<Box<dyn Sampler>> = vec![
+            Box::new(UniformSampler::new(4, 4, SequenceMode::UniformIid, 0).unwrap()),
+            Box::new(
+                StaticIsSampler::new(
+                    &[1.0, 2.0],
+                    vec![1.5, 0.75],
+                    8,
+                    SequenceMode::ShuffleOnce,
+                    1,
+                )
+                .unwrap(),
+            ),
+            Box::new(AdaptiveIsSampler::new(&[1.0, 1.0, 1.0]).unwrap()),
+        ];
+        let mut rng = Xoshiro256pp::new(5);
+        for s in boxed.iter_mut() {
+            let i = s.next(&mut rng);
+            assert!(i < s.len());
+            s.epoch_reset();
+        }
+    }
+}

@@ -165,7 +165,8 @@ mod tests {
 
     #[test]
     fn shuffle_once_preserves_multiset() {
-        let mut s = SampleSequence::weighted(&[1.0, 2.0], 512, SequenceMode::ShuffleOnce, 2).unwrap();
+        let mut s =
+            SampleSequence::weighted(&[1.0, 2.0], 512, SequenceMode::ShuffleOnce, 2).unwrap();
         let mut before = s.indices().to_vec();
         s.advance_epoch();
         let mut after = s.indices().to_vec();

@@ -6,9 +6,8 @@ use isasgd_sampling::{AliasTable, FenwickSampler, SampleSequence, SequenceMode, 
 use proptest::prelude::*;
 
 fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..10.0, 1..40).prop_filter("needs mass", |w| {
-        w.iter().sum::<f64>() > 1e-6
-    })
+    proptest::collection::vec(0.0f64..10.0, 1..40)
+        .prop_filter("needs mass", |w| w.iter().sum::<f64>() > 1e-6)
 }
 
 /// Chi-square-like closeness check between empirical and target
@@ -100,5 +99,84 @@ proptest! {
     fn sequences_only_emit_valid_indices(w in weights_strategy(), seed in 0u64..100) {
         let seq = SampleSequence::weighted(&w, 512, SequenceMode::RegeneratePerEpoch, seed).unwrap();
         prop_assert!(seq.indices().iter().all(|&i| (i as usize) < w.len()));
+    }
+}
+
+/// Pearson chi-squared statistic of observed counts against expected
+/// probabilities over `draws` samples (bins with negligible expected mass
+/// are pooled to keep the statistic well-defined).
+fn chi_squared(counts: &[usize], probs: &[f64], draws: usize) -> f64 {
+    let mut stat = 0.0;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    for (&c, &p) in counts.iter().zip(probs) {
+        let expected = p * draws as f64;
+        if expected < 5.0 {
+            pooled_obs += c as f64;
+            pooled_exp += expected;
+        } else {
+            let d = c as f64 - expected;
+            stat += d * d / expected;
+        }
+    }
+    if pooled_exp > 0.0 {
+        let d = pooled_obs - pooled_exp;
+        stat += d * d / pooled_exp;
+    }
+    stat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `AliasTable`, `FenwickSampler` and `SampleSequence::weighted` are
+    /// three independent implementations of the same weighted
+    /// distribution: each empirical histogram must pass a chi-squared
+    /// goodness-of-fit test against the analytic distribution. The bound
+    /// is the χ²₍df₎ 99.9th percentile (approximated via the
+    /// Wilson–Hilferty cube-root transform), so a systematic bias in any
+    /// implementation fails deterministically while statistical noise
+    /// passes.
+    #[test]
+    fn all_three_samplers_are_statistically_indistinguishable(
+        w in weights_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let total: f64 = w.iter().sum();
+        let probs: Vec<f64> = w.iter().map(|&x| x / total).collect();
+        let draws = 30_000usize;
+
+        let alias = AliasTable::new(&w).unwrap();
+        let fen = FenwickSampler::new(&w).unwrap();
+        let seq = SampleSequence::weighted(&w, draws, SequenceMode::RegeneratePerEpoch, seed)
+            .unwrap();
+
+        let mut counts = vec![vec![0usize; w.len()]; 3];
+        let mut r1 = Xoshiro256pp::new(seed);
+        let mut r2 = Xoshiro256pp::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+        for _ in 0..draws {
+            counts[0][alias.sample(&mut r1)] += 1;
+            counts[1][fen.sample(&mut r2)] += 1;
+        }
+        for &i in seq.indices() {
+            counts[2][i as usize] += 1;
+        }
+
+        // Degrees of freedom after pooling tiny-mass bins.
+        let big_bins = probs.iter().filter(|&&p| p * draws as f64 >= 5.0).count();
+        let pooled = probs.len() - big_bins;
+        let df = (big_bins + usize::from(pooled > 0)).saturating_sub(1).max(1) as f64;
+        // Wilson–Hilferty: χ²_q ≈ df·(1 − 2/(9df) + z_q·√(2/(9df)))³,
+        // z_0.999 ≈ 3.09.
+        let h = 2.0 / (9.0 * df);
+        let bound = df * (1.0 - h + 3.09 * h.sqrt()).powi(3);
+
+        for (label, c) in ["alias", "fenwick", "sequence"].iter().zip(&counts) {
+            let stat = chi_squared(c, &probs, draws);
+            prop_assert!(
+                stat < bound,
+                "{label}: chi-squared {stat:.2} exceeds the 99.9% bound {bound:.2} (df {df})"
+            );
+        }
     }
 }

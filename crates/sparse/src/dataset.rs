@@ -53,7 +53,11 @@ impl<'a> SparseRow<'a> {
 
     /// Copies this row into an owned [`SparseVec`].
     pub fn to_sparse_vec(&self) -> SparseVec {
-        self.indices.iter().copied().zip(self.values.iter().copied()).collect()
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+            .collect()
     }
 }
 
@@ -267,7 +271,7 @@ impl DatasetBuilder {
     /// finite). Used on hot rebuild paths such as reordering.
     pub fn push_row_unchecked(&mut self, indices: &[u32], values: &[f64], label: f64) {
         debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
-        debug_assert!(indices.last().map_or(true, |&l| (l as usize) < self.dim));
+        debug_assert!(indices.last().is_none_or(|&l| (l as usize) < self.dim));
         debug_assert_eq!(indices.len(), values.len());
         self.indices.extend_from_slice(indices);
         self.values.extend_from_slice(values);

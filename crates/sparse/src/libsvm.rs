@@ -82,7 +82,8 @@ pub fn parse_reader<R: Read>(reader: R, dim: Option<usize>) -> Result<Dataset, S
         }
         None => inferred,
     };
-    let mut b = DatasetBuilder::with_capacity(dim, rows.len(), rows.iter().map(|r| r.0.len()).sum());
+    let mut b =
+        DatasetBuilder::with_capacity(dim, rows.len(), rows.iter().map(|r| r.0.len()).sum());
     for (i, (pairs, label)) in rows.into_iter().enumerate() {
         b.push_row(&pairs, label).map_err(|e| match e {
             SparseError::DuplicateIndex { index, .. } => {

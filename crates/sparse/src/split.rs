@@ -179,7 +179,11 @@ mod tests {
         let frac_pos = |x: &Dataset| {
             x.labels().iter().filter(|&&y| y > 0.0).count() as f64 / x.n_samples() as f64
         };
-        assert!((frac_pos(&test) - 1.0 / 3.0).abs() < 0.02, "{}", frac_pos(&test));
+        assert!(
+            (frac_pos(&test) - 1.0 / 3.0).abs() < 0.02,
+            "{}",
+            frac_pos(&test)
+        );
         assert!((frac_pos(&train) - 1.0 / 3.0).abs() < 0.02);
         assert_eq!(train.n_samples() + test.n_samples(), 300);
     }

@@ -72,7 +72,11 @@ impl DatasetStats {
             min_nnz,
             mean_norm_sq: if n == 0 { 0.0 } else { sum_norm_sq / n as f64 },
             max_norm_sq,
-            positive_fraction: if n == 0 { 0.0 } else { positives as f64 / n as f64 },
+            positive_fraction: if n == 0 {
+                0.0
+            } else {
+                positives as f64 / n as f64
+            },
             active_features: active.iter().filter(|&&a| a).count(),
         }
     }

@@ -110,7 +110,10 @@ impl SparseVec {
 
     /// Iterates over `(index, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Removes all entries, keeping capacity.
@@ -199,7 +202,7 @@ impl FromIterator<(u32, f64)> for SparseVec {
     fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
         let mut v = SparseVec::new();
         for (i, x) in iter {
-            debug_assert!(v.indices.last().map_or(true, |&l| l < i));
+            debug_assert!(v.indices.last().is_none_or(|&l| l < i));
             v.indices.push(i);
             v.values.push(x);
         }

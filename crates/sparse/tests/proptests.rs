@@ -11,10 +11,7 @@ fn row_strategy(dim: u32) -> impl Strategy<Value = (Vec<(u32, f64)>, f64)> {
         prop_oneof![Just(1.0f64), Just(-1.0f64)],
     )
         .prop_map(|(m, label)| {
-            let pairs: Vec<(u32, f64)> = m
-                .into_iter()
-                .filter(|&(_, v)| v != 0.0)
-                .collect();
+            let pairs: Vec<(u32, f64)> = m.into_iter().filter(|&(_, v)| v != 0.0).collect();
             (pairs, label)
         })
 }
@@ -122,7 +119,7 @@ fn arb_dataset(n: usize, seed: u64) -> isasgd_sparse::Dataset {
         state ^= state >> 7;
         state ^= state << 17;
         let j = (state % 32) as u32;
-        let y = if state % 3 == 0 { 1.0 } else { -1.0 };
+        let y = if state.is_multiple_of(3) { 1.0 } else { -1.0 };
         // Unique value per row lets the partition property track rows.
         b.push_row(&[(j, i as f64 + 1.0)], y).unwrap();
     }

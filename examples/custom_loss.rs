@@ -81,7 +81,10 @@ fn main() {
         (Algorithm::IsSgd, Execution::Sequential, "IS-SGD"),
         (
             Algorithm::IsAsgd,
-            Execution::Simulated { tau: 16, workers: 4 },
+            Execution::Simulated {
+                tau: 16,
+                workers: 4,
+            },
             "IS-ASGD(τ=16)",
         ),
     ] {

@@ -39,7 +39,10 @@ fn main() {
 
     let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
     println!("8-node cluster, 6 rounds of local IS-SGD + averaging\n");
-    println!("{:<12} {:>18} {:>12} {:>12}", "layout", "phi_max/mean", "final_obj", "final_err");
+    println!(
+        "{:<12} {:>18} {:>12} {:>12}",
+        "layout", "phi_max/mean", "final_obj", "final_err"
+    );
     for (policy, label) in [
         (BalancePolicy::Identity, "as-arrived"),
         (BalancePolicy::ForceShuffle, "shuffled"),
@@ -55,6 +58,7 @@ fn main() {
             balance: policy,
             sync: SyncStrategy::Average,
             seed: 42,
+            ..ClusterConfig::default()
         };
         let r = run_cluster(&sorted, &obj, &cfg).expect("cluster run");
         let last = r.rounds.last().unwrap();

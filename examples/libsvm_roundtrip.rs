@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &loaded,
         &obj,
         Algorithm::IsAsgd,
-        Execution::Simulated { tau: 16, workers: 4 },
+        Execution::Simulated {
+            tau: 16,
+            workers: 4,
+        },
         &cfg,
         "libsvm-file",
     )?;

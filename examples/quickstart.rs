@@ -43,7 +43,10 @@ fn main() {
         &data.dataset,
         &obj,
         Algorithm::IsAsgd,
-        Execution::Simulated { tau: 16, workers: 4 },
+        Execution::Simulated {
+            tau: 16,
+            workers: 4,
+        },
         &cfg,
         "quickstart",
     )
@@ -62,5 +65,8 @@ fn main() {
         run.setup_secs * 1e3,
         run.train_secs * 1e3
     );
-    assert!(run.final_metrics.error_rate < 0.2, "should learn the planted model");
+    assert!(
+        run.final_metrics.error_rate < 0.2,
+        "should learn the planted model"
+    );
 }

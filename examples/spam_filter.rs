@@ -21,18 +21,37 @@ fn main() {
     let obj = Objective::new(LogisticLoss, Regularizer::L1 { eta: 1e-5 });
     let cfg = TrainConfig::default().with_epochs(10).with_step_size(0.5);
 
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let exec = Execution::Threads(host);
     println!("running ASGD and IS-ASGD with {host} lock-free threads…\n");
 
-    let asgd = train(&data.dataset, &obj, Algorithm::Asgd, exec, &cfg, profile.name)
-        .expect("asgd");
-    let is_asgd = train(&data.dataset, &obj, Algorithm::IsAsgd, exec, &cfg, profile.name)
-        .expect("is-asgd");
+    let asgd = train(
+        &data.dataset,
+        &obj,
+        Algorithm::Asgd,
+        exec,
+        &cfg,
+        profile.name,
+    )
+    .expect("asgd");
+    let is_asgd = train(
+        &data.dataset,
+        &obj,
+        Algorithm::IsAsgd,
+        exec,
+        &cfg,
+        profile.name,
+    )
+    .expect("is-asgd");
 
     println!("epoch  ASGD err   IS-ASGD err");
     for (a, b) in asgd.trace.points.iter().zip(&is_asgd.trace.points) {
-        println!("{:>5}  {:>8.4}  {:>10.4}", a.epoch, a.error_rate, b.error_rate);
+        println!(
+            "{:>5}  {:>8.4}  {:>10.4}",
+            a.epoch, a.error_rate, b.error_rate
+        );
     }
 
     // The paper's Fig. 4 marker: when does each reach ASGD's optimum?
@@ -44,7 +63,10 @@ fn main() {
     println!("  IS-ASGD reached it at {:?} s", t_is);
     if let (Some(a), Some(b)) = (t_asgd, t_is) {
         if b > 0.0 {
-            println!("  absolute speedup: {:.2}x (paper range: 1.13–1.54x)", a / b);
+            println!(
+                "  absolute speedup: {:.2}x (paper range: 1.13–1.54x)",
+                a / b
+            );
         }
     }
     println!(

@@ -46,7 +46,10 @@ fn main() {
     // λ at the uniform stability edge; IS's corrections keep its
     // effective steps at λ·L̄ ≪ λ·sup L.
     let lambda = 0.5 / sup;
-    let exec = Execution::Simulated { tau: 32, workers: 8 };
+    let exec = Execution::Simulated {
+        tau: 32,
+        workers: 8,
+    };
     let mk = |scheme| {
         let mut c = TrainConfig::default()
             .with_epochs(10)

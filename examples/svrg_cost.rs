@@ -21,7 +21,9 @@ fn main() {
     let obj = Objective::new(LogisticLoss, Regularizer::L2 { eta: 1e-4 });
 
     let epochs = 6;
-    let cfg = TrainConfig::default().with_epochs(epochs).with_step_size(0.1);
+    let cfg = TrainConfig::default()
+        .with_epochs(epochs)
+        .with_step_size(0.1);
     let exec = Execution::Simulated { tau: 8, workers: 4 };
 
     println!("running ASGD (index-compressed updates)…");
@@ -39,7 +41,10 @@ fn main() {
     )
     .unwrap();
 
-    println!("\n{:<10} {:>12} {:>12} {:>12}", "algorithm", "train (s)", "s/epoch", "best err");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12}",
+        "algorithm", "train (s)", "s/epoch", "best err"
+    );
     for (name, r) in [("ASGD", &asgd), ("IS-ASGD", &is_asgd), ("SVRG-ASGD", &svrg)] {
         println!(
             "{:<10} {:>12.3} {:>12.3} {:>12.4}",
@@ -56,5 +61,8 @@ fn main() {
          SVRG-ASGD ~2 hours per epoch — 'computationally infeasible' (§1.2).",
         data.dataset.dim() as f64 / data.dataset.mean_nnz()
     );
-    assert!(slowdown > 5.0, "the sparsity cliff should be clearly visible");
+    assert!(
+        slowdown > 5.0,
+        "the sparsity cliff should be clearly visible"
+    );
 }

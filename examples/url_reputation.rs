@@ -32,7 +32,11 @@ fn main() {
     );
     println!(
         "Algorithm 4 would {} this dataset before sharding.\n",
-        if prof.rho >= 5e-4 { "head-tail balance" } else { "randomly shuffle" }
+        if prof.rho >= 5e-4 {
+            "head-tail balance"
+        } else {
+            "randomly shuffle"
+        }
     );
 
     // --- Conflict structure (paper §3.1) ------------------------------

@@ -67,8 +67,7 @@ pub mod prelude {
     pub use isasgd_balance::{BalancePolicy, ImportanceProfile};
     pub use isasgd_cluster::{ClusterConfig, ClusterRun, SyncStrategy};
     pub use isasgd_core::{
-        train, train_from, Algorithm, Execution, RunResult, StepSchedule, SvrgVariant,
-        TrainConfig,
+        train, train_from, Algorithm, Execution, RunResult, StepSchedule, SvrgVariant, TrainConfig,
     };
     pub use isasgd_datagen::{generate, DatasetProfile, FeatureKind, GeneratedData, PaperProfile};
     pub use isasgd_losses::{
@@ -79,6 +78,7 @@ pub mod prelude {
         interpolate::time_to_error, speedup::SpeedupSummary, Trace, TracePoint,
     };
     pub use isasgd_model::{shared::UpdateMode, SavedModel, SharedModel};
+    pub use isasgd_sampling::{AdaptiveIsSampler, Sampler, SamplingStrategy};
     pub use isasgd_sampling::{AliasTable, SampleSequence, SequenceMode};
     pub use isasgd_sparse::{libsvm, Dataset, DatasetBuilder, DatasetStats, SparseVec};
 }

@@ -26,12 +26,18 @@ fn every_solver_learns_planted_data() {
         (Algorithm::IsAsgd, Execution::Threads(2), "IS-ASGD"),
         (
             Algorithm::Asgd,
-            Execution::Simulated { tau: 16, workers: 4 },
+            Execution::Simulated {
+                tau: 16,
+                workers: 4,
+            },
             "ASGD-sim",
         ),
         (
             Algorithm::IsAsgd,
-            Execution::Simulated { tau: 16, workers: 4 },
+            Execution::Simulated {
+                tau: 16,
+                workers: 4,
+            },
             "IS-ASGD-sim",
         ),
         (
@@ -47,7 +53,8 @@ fn every_solver_learns_planted_data() {
     ];
     let zero_model_error = {
         let o = obj();
-        o.eval(&data.dataset, &vec![0.0; data.dataset.dim()]).error_rate
+        o.eval(&data.dataset, &vec![0.0; data.dataset.dim()])
+            .error_rate
     };
     for (algo, exec, label) in combos {
         let r = train(&data.dataset, &obj(), algo, exec, &cfg, "planted").unwrap();
@@ -56,7 +63,10 @@ fn every_solver_learns_planted_data() {
             "{label}: error {} should clearly beat the zero model's {zero_model_error}",
             r.final_metrics.error_rate
         );
-        assert!(r.model.iter().all(|x| x.is_finite()), "{label}: finite model");
+        assert!(
+            r.model.iter().all(|x| x.is_finite()),
+            "{label}: finite model"
+        );
         assert!(r.final_metrics.objective.is_finite());
         // Trace invariants.
         assert_eq!(r.trace.points.len(), cfg.epochs + 1, "{label}");
@@ -117,8 +127,15 @@ fn threaded_runs_converge_at_any_thread_count() {
     let data = planted(900, 300, 4);
     let cfg = TrainConfig::default().with_epochs(5);
     for k in [1usize, 2, 3, 4, 8] {
-        let r = train(&data.dataset, &obj(), Algorithm::IsAsgd, Execution::Threads(k), &cfg, "k")
-            .unwrap();
+        let r = train(
+            &data.dataset,
+            &obj(),
+            Algorithm::IsAsgd,
+            Execution::Threads(k),
+            &cfg,
+            "k",
+        )
+        .unwrap();
         assert!(
             r.final_metrics.error_rate < 0.25,
             "k={k}: error {}",
@@ -133,12 +150,36 @@ fn error_paths_are_typed() {
     let cfg = TrainConfig::default();
     // Empty dataset.
     let empty = DatasetBuilder::new(4).finish();
-    assert!(train(&empty, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "e").is_err());
+    assert!(train(
+        &empty,
+        &obj(),
+        Algorithm::Sgd,
+        Execution::Sequential,
+        &cfg,
+        "e"
+    )
+    .is_err());
     // Zero epochs / bad step size.
     let bad = TrainConfig::default().with_epochs(0);
-    assert!(train(&data.dataset, &obj(), Algorithm::Sgd, Execution::Sequential, &bad, "e").is_err());
+    assert!(train(
+        &data.dataset,
+        &obj(),
+        Algorithm::Sgd,
+        Execution::Sequential,
+        &bad,
+        "e"
+    )
+    .is_err());
     let bad = TrainConfig::default().with_step_size(f64::NAN);
-    assert!(train(&data.dataset, &obj(), Algorithm::Sgd, Execution::Sequential, &bad, "e").is_err());
+    assert!(train(
+        &data.dataset,
+        &obj(),
+        Algorithm::Sgd,
+        Execution::Sequential,
+        &bad,
+        "e"
+    )
+    .is_err());
     // More workers than samples.
     assert!(train(
         &data.dataset,
@@ -156,7 +197,15 @@ fn step_decay_schedule_runs() {
     let data = planted(400, 200, 6);
     let mut cfg = TrainConfig::default().with_epochs(4);
     cfg.schedule = StepSchedule::EpochDecay { gamma: 0.7 };
-    let r = train(&data.dataset, &obj(), Algorithm::Sgd, Execution::Sequential, &cfg, "d").unwrap();
+    let r = train(
+        &data.dataset,
+        &obj(),
+        Algorithm::Sgd,
+        Execution::Sequential,
+        &cfg,
+        "d",
+    )
+    .unwrap();
     assert!(r.final_metrics.objective.is_finite());
 }
 
@@ -166,8 +215,15 @@ fn update_mode_racy_vs_cas_both_work() {
     for mode in [UpdateMode::AtomicCas, UpdateMode::RacyHogwild] {
         let mut cfg = TrainConfig::default().with_epochs(4);
         cfg.update_mode = mode;
-        let r = train(&data.dataset, &obj(), Algorithm::Asgd, Execution::Threads(4), &cfg, "m")
-            .unwrap();
+        let r = train(
+            &data.dataset,
+            &obj(),
+            Algorithm::Asgd,
+            Execution::Threads(4),
+            &cfg,
+            "m",
+        )
+        .unwrap();
         assert!(r.final_metrics.error_rate < 0.3, "{mode:?}");
     }
 }

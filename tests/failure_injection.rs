@@ -64,7 +64,10 @@ fn trainer_rejects_all_invalid_configs() {
     for exec in [
         Execution::Threads(0),
         Execution::Simulated { tau: 4, workers: 0 },
-        Execution::Simulated { tau: 4, workers: usize::MAX },
+        Execution::Simulated {
+            tau: 4,
+            workers: usize::MAX,
+        },
     ] {
         assert!(
             train(&data.dataset, &obj, Algorithm::IsAsgd, exec, &base, "x").is_err(),
@@ -78,9 +81,15 @@ fn trainer_rejects_all_invalid_configs() {
         base.with_step_size(f64::INFINITY),
         base.with_epochs(0),
     ] {
-        assert!(
-            train(&data.dataset, &obj, Algorithm::Sgd, Execution::Sequential, &cfg, "x").is_err()
-        );
+        assert!(train(
+            &data.dataset,
+            &obj,
+            Algorithm::Sgd,
+            Execution::Sequential,
+            &cfg,
+            "x"
+        )
+        .is_err());
     }
 }
 
@@ -145,13 +154,24 @@ fn extreme_importance_skew_stays_finite() {
     let mut b = DatasetBuilder::new(4);
     b.push_row(&[(0, 1e3)], 1.0).unwrap();
     for i in 0..50 {
-        b.push_row(&[((i % 4) as u32, 1e-3)], if i % 2 == 0 { 1.0 } else { -1.0 })
-            .unwrap();
+        b.push_row(
+            &[((i % 4) as u32, 1e-3)],
+            if i % 2 == 0 { 1.0 } else { -1.0 },
+        )
+        .unwrap();
     }
     let ds = b.finish();
     let obj = Objective::new(LogisticLoss, Regularizer::None);
     let cfg = TrainConfig::default().with_epochs(2).with_step_size(1e-3);
-    let r = train(&ds, &obj, Algorithm::IsSgd, Execution::Sequential, &cfg, "skew").unwrap();
+    let r = train(
+        &ds,
+        &obj,
+        Algorithm::IsSgd,
+        Execution::Sequential,
+        &cfg,
+        "skew",
+    )
+    .unwrap();
     assert!(r.model.iter().all(|x| x.is_finite()));
     assert!(r.final_metrics.objective.is_finite());
 }

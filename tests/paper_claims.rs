@@ -46,11 +46,24 @@ fn is_sgd_beats_sgd_per_epoch_in_kaczmarz_regime() {
             .with_epochs(3)
             .with_step_size(1.0)
             .with_seed(s);
-        let sgd =
-            train(&data.dataset, &obj, Algorithm::Sgd, Execution::Sequential, &cfg, "sk").unwrap();
-        let is =
-            train(&data.dataset, &obj, Algorithm::IsSgd, Execution::Sequential, &cfg, "sk")
-                .unwrap();
+        let sgd = train(
+            &data.dataset,
+            &obj,
+            Algorithm::Sgd,
+            Execution::Sequential,
+            &cfg,
+            "sk",
+        )
+        .unwrap();
+        let is = train(
+            &data.dataset,
+            &obj,
+            Algorithm::IsSgd,
+            Execution::Sequential,
+            &cfg,
+            "sk",
+        )
+        .unwrap();
         if is.final_metrics.objective < sgd.final_metrics.objective {
             is_wins += 1;
         }
@@ -218,7 +231,10 @@ fn is_setup_overhead_is_small() {
         &data.dataset,
         &obj(),
         Algorithm::IsAsgd,
-        Execution::Simulated { tau: 16, workers: 4 },
+        Execution::Simulated {
+            tau: 16,
+            workers: 4,
+        },
         &cfg,
         "ovh",
     )

@@ -1,0 +1,217 @@
+//! Offline stand-in for `rand_distr`: the three distributions
+//! `isasgd-datagen` samples from — [`LogNormal`], [`Poisson`] and
+//! [`Zipf`] — implemented over the vendored `rand`'s [`RngCore`].
+//!
+//! Algorithms: log-normal via Box–Muller; Poisson via Knuth's product
+//! method for small λ and a clamped normal approximation for large λ
+//! (datagen only consumes first-moment behaviour there); Zipf via an
+//! inverse-CDF table with binary search — O(n) setup, O(log n) draws,
+//! exact for any exponent ≥ 0.
+
+use rand::RngCore;
+
+/// Sampling interface matching `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid-parameter error shared by the constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard normal draw (Box–Muller).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_f64(rng).max(f64::MIN_POSITIVE);
+    let u2 = unit_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal distribution: `exp(µ + σ·Z)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution of `exp(N(mu, sigma²))`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Poisson distribution with rate λ.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson(λ) distribution.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError("Poisson requires lambda > 0"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: count multiplications until the product drops below
+            // e^{-λ}.
+            let limit = (-self.lambda).exp();
+            let mut product = unit_f64(rng);
+            let mut count = 0u64;
+            while product > limit {
+                product *= unit_f64(rng);
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction; exact
+            // higher moments are not consumed at these rates.
+            let z = standard_normal(rng);
+            (self.lambda + self.lambda.sqrt() * z + 0.5)
+                .floor()
+                .max(0.0)
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^{-s}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) mass, `cdf[k-1] = Σ_{i<=k} i^-s`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` ranks.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf requires n >= 1"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError("Zipf requires finite exponent >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let target = unit_f64(rng) * total;
+        let idx = self.cdf.partition_point(|&c| c < target);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* for decent high bits.
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::new(2.0f64.ln(), 0.5).unwrap();
+        let mut r = Lcg(3);
+        let mut draws: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        draws.sort_by(f64::total_cmp);
+        let median = draws[10_000];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        for lambda in [3.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let mut r = Lcg(5);
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_rank_skewed_and_in_range() {
+        let d = Zipf::new(100, 1.1).unwrap();
+        let mut r = Lcg(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            let k = d.sample(&mut r);
+            assert!((1.0..=100.0).contains(&k));
+            counts[k as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9], "rank 1 must beat rank 10");
+        assert!(counts[9] > counts[90], "rank 10 must beat rank 91");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+}

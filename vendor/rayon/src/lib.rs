@@ -1,0 +1,204 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API that `isasgd-core` uses for
+//! epoch evaluation: `(0..n).into_par_iter().step_by(c).map(f)` followed
+//! by `.reduce(id, op)` or `.collect::<Vec<_>>()`, plus
+//! [`current_num_threads`]. Work is executed on `std::thread::scope`
+//! threads, one chunk per available core; results keep input order.
+
+use std::ops::Range;
+
+/// Number of worker threads the executor will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The rayon-style glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap, ParRange};
+}
+
+/// Conversion into a (materialized) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            range: self,
+            step: 1,
+        }
+    }
+}
+
+/// A lazy parallel range (indices are only materialized after `step_by`,
+/// so `(0..huge).into_par_iter().step_by(chunk)` stays cheap).
+pub struct ParRange {
+    range: Range<usize>,
+    step: usize,
+}
+
+impl ParRange {
+    /// Keeps every `step`-th index.
+    pub fn step_by(self, step: usize) -> ParRange {
+        assert!(step > 0, "step_by(0)");
+        ParRange {
+            range: self.range,
+            step: self.step * step,
+        }
+    }
+
+    /// Maps each index through `f`.
+    pub fn map<U, F>(self, f: F) -> ParMap<usize, F>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        ParMap {
+            items: self.range.step_by(self.step).collect(),
+            f,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Keeps every `step`-th item (rayon's `step_by`).
+    pub fn step_by(self, step: usize) -> ParIter<T> {
+        assert!(step > 0, "step_by(0)");
+        ParIter {
+            items: self.items.into_iter().step_by(step).collect(),
+        }
+    }
+
+    /// Maps each item through `f` (executed in parallel at the terminal
+    /// operation).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator awaiting a terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    fn run(self) -> Vec<U> {
+        let Self { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = current_num_threads().min(n).max(1);
+        if threads == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        let mut slots: Vec<Option<Vec<U>>> = Vec::new();
+        slots.resize_with(threads, || None);
+        // Hand each scoped thread one chunk of owned items and one output
+        // slot; order is preserved by slot index.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while items.len() > chunk {
+            let rest = items.split_off(chunk);
+            chunks.push(items);
+            items = rest;
+        }
+        chunks.push(items);
+        std::thread::scope(|scope| {
+            for (slot, part) in slots.iter_mut().zip(chunks) {
+                scope.spawn(move || {
+                    *slot = Some(part.into_iter().map(f).collect());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .flat_map(|s| s.expect("worker completed"))
+            .collect()
+    }
+
+    /// Parallel map + sequential fold with `op` from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+
+    /// Collects mapped results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn step_by_then_reduce() {
+        let sum = (0..100)
+            .into_par_iter()
+            .step_by(10)
+            .map(|i| i as u64)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(sum, (0..100).step_by(10).sum::<usize>() as u64);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = (0..0).into_par_iter().map(|_| 1u8).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_reported() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

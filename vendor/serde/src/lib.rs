@@ -1,0 +1,272 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` is unavailable in this build environment (no network
+//! access), so this crate provides the *minimal* data model the workspace
+//! needs: a JSON-shaped [`Value`] tree, [`Serialize`]/[`Deserialize`]
+//! traits converting to and from it, and derive macros (re-exported from
+//! the sibling `serde_derive` stand-in) for plain named-field structs.
+//!
+//! The companion `serde_json` stand-in renders [`Value`] to JSON text and
+//! parses it back; `f64` round-trips are bit-exact for finite values
+//! because Rust's float formatting emits the shortest representation that
+//! re-parses to the same bits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also produced when serializing non-finite floats, matching
+    /// real `serde_json`).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer literal.
+    Int(i64),
+    /// An unsigned integer literal too large for `i64`.
+    UInt(u64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object as an ordered field list.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object field by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the dynamic [`Value`] model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the dynamic [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Reads a typed struct field out of an object value (used by the derive).
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    let field = value
+        .get(name)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
+    T::from_value(field).map_err(|e| DeError(format!("field `{name}`: {e}")))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match *value {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    _ => return Err(DeError(format!("expected unsigned integer, got {value:?}"))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match *value {
+                    Value::Int(i) => i,
+                    Value::UInt(u) if u <= i64::MAX as u64 => u as i64,
+                    _ => return Err(DeError(format!("expected integer, got {value:?}"))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Float(x) => Ok(x),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            _ => Err(DeError(format!("expected number, got {value:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError(format!("expected bool, got {value:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError(format!("expected string, got {value:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError(format!("expected array, got {value:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        let v = vec![1.0f64, -2.5, 0.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+}

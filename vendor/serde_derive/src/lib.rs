@@ -1,0 +1,160 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` facade (a `Value`-based data model, see
+//! `vendor/serde`). Supports exactly what this workspace uses: plain
+//! non-generic structs with named fields. Anything else produces a
+//! `compile_error!` naming the limitation, so misuse fails loudly rather
+//! than silently.
+//!
+//! The implementation walks the raw `TokenStream` by hand — no `syn` or
+//! `quote`, since those are equally unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type: its name and field identifiers.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts `struct Name { field: Ty, ... }` from the derive input.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(n)) => {
+                            name = Some(n.to_string());
+                            break;
+                        }
+                        _ => return Err("expected a struct name".into()),
+                    }
+                } else if s == "enum" || s == "union" {
+                    return Err(format!(
+                        "the vendored serde_derive only supports structs, found `{s}`"
+                    ));
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or("no `struct` keyword found")?;
+
+    // Next significant token must be the brace-delimited field list (no
+    // generics, no tuple structs).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("the vendored serde_derive does not support generics".into())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("the vendored serde_derive does not support tuple structs".into())
+            }
+            Some(_) => continue,
+            None => return Err("struct has no braced field list".into()),
+        }
+    };
+
+    // Walk the fields: skip attributes and visibility, take the ident
+    // before `:`, then skip the type up to the next top-level comma
+    // (tracking `<...>` nesting, since type arguments may contain commas).
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    while let Some(tt) = toks.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // attribute body
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Optional restriction like `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    _ => return Err(format!("field `{id}` is not followed by `:`")),
+                }
+                let mut angle = 0i32;
+                for ty in toks.by_ref() {
+                    match ty {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (the vendored `Value`-based trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` (the vendored `Value`-based trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field(value, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}

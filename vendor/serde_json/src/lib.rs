@@ -1,0 +1,376 @@
+//! Offline stand-in for `serde_json`: renders the vendored
+//! [`serde::Value`] model to JSON text and parses it back.
+//!
+//! Finite `f64` values round-trip bit-exactly: serialization uses Rust's
+//! shortest-round-trip float formatting, and integral floats that print
+//! without a fraction re-enter as integer literals which deserialize back
+//! to the same `f64`. Non-finite floats serialize as `null` (as in real
+//! `serde_json`).
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialization/parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------- writing
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Arr(items) => write_seq(items.iter(), write_value, out, indent, '[', ']'),
+        Value::Obj(fields) => write_seq(
+            fields.iter(),
+            |(k, v), out, ind| {
+                escape_into(k, out);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(v, out, ind);
+            },
+            out,
+            indent,
+            '{',
+            '}',
+        ),
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(T, &mut String, Option<usize>),
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    let n = items.len();
+    let inner = indent.map(|i| i + 1);
+    for (i, item) in items.enumerate() {
+        if let Some(level) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+        write_item(item, out, inner);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(level) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+    }
+    out.push(close);
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None);
+    Ok(out)
+}
+
+/// Serializes to two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(0));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.parse_value()?));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() {
+            return Err(self.err("expected a value"));
+        }
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses a JSON string into `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    from_slice(text.as_bytes())
+}
+
+/// Parses JSON bytes into `T`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut p = Parser { bytes, pos: 0 };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for &x in &[
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.5,
+            1e-300,
+            1e300,
+            0.1,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert!(back == x || (back == 0.0 && x == 0.0), "{x} → {s} → {back}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = vec![vec![1.0f64, 2.5], vec![], vec![-3.25]];
+        let s = to_string(&v).unwrap();
+        let back: Vec<Vec<f64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\u{1}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Vec<u32> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<f64>("[1,").is_err());
+        assert!(from_str::<f64>("nul").is_err());
+        assert!(from_str::<f64>("1 2").is_err());
+    }
+}
