@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use isasgd_sampling::{
-    AdaptiveIsSampler, AliasTable, FenwickSampler, SampleSequence, Sampler, SequenceMode,
-    Xoshiro256pp,
+    AdaptiveIsSampler, AliasTable, CommitPolicy, FenwickSampler, SampleSequence, Sampler,
+    SequenceMode, StripedFenwick, Xoshiro256pp,
 };
 use std::hint::black_box;
 
@@ -66,6 +66,37 @@ fn samplers(c: &mut Criterion) {
                 });
             },
         );
+
+        // The intra-epoch tax: observe + periodic EveryK commit (what a
+        // streamed schedule pays per step on top of the draw).
+        let mut everyk = AdaptiveIsSampler::new(&weights)
+            .unwrap()
+            .with_commit(CommitPolicy::EveryK(256));
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_observe_every_k", n),
+            &n,
+            |b, &n| {
+                let mut r = Xoshiro256pp::new(8);
+                b.iter(|| {
+                    let i = r.next_index(n);
+                    everyk.update_weight(i, r.next_f64() + 0.01);
+                    black_box(everyk.weight(i))
+                });
+            },
+        );
+
+        // The concurrent-accumulation path threaded adaptive runs take:
+        // one striped max-observe per step (uncontended here; stripes
+        // exist to keep the contended case cheap).
+        let striped = StripedFenwick::new(n, 16);
+        group.bench_with_input(BenchmarkId::new("striped_observe_max", n), &n, |b, &n| {
+            let mut r = Xoshiro256pp::new(9);
+            let version = striped.version();
+            b.iter(|| {
+                let i = r.next_index(n);
+                black_box(striped.observe_max(version, i, r.next_f64() + 0.01))
+            });
+        });
     }
 
     // Per-epoch sequence refresh: regenerate vs shuffle-once (§4.2).

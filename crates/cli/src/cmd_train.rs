@@ -95,6 +95,8 @@ fn run_training(
     cfg.importance = spec.importance;
     cfg.balance = spec.balance;
     cfg.sampling = spec.sampling;
+    cfg.obs_model = spec.obs_model;
+    cfg.commit = spec.commit;
     match (spec.loss, init) {
         (LossKind::Logistic, None) => {
             let obj = Objective::new(LogisticLoss, spec.regularizer);
@@ -166,6 +168,10 @@ isasgd train <data.svm> [flags]
   --scheme <name>    gradnorm | smoothness | partial | uniform [gradnorm]
   --sampling <name>  uniform | static | adaptive (overrides the
                      algorithm's default sampling distribution)
+  --obs-model <m>    gradnorm | loss-bound | staleness — how adaptive
+                     sampling scores observations            [gradnorm]
+  --commit <when>    epoch | every-k | every-<n> — when adaptive
+                     samplers re-weight (every-k = intra-epoch) [epoch]
   --bias <f>         uniform mix for --scheme partial       [0.5]
   --balance <name>   adaptive | head-tail | greedy | shuffle | identity
   --epochs <n>       passes over the data                   [10]

@@ -2,8 +2,8 @@
 
 use crate::opts::{OptError, Opts};
 use isasgd_core::{
-    Algorithm, BalancePolicy, Execution, ImportanceScheme, Regularizer, SamplingStrategy,
-    SvrgVariant,
+    Algorithm, BalancePolicy, CommitPolicy, Execution, ImportanceScheme, ObservationModel,
+    Regularizer, SamplingStrategy, SvrgVariant,
 };
 
 /// Everything `train` needs besides the dataset itself.
@@ -23,6 +23,10 @@ pub struct TrainSpec {
     pub balance: BalancePolicy,
     /// Sampling-strategy override (`None` keeps the algorithm's default).
     pub sampling: Option<SamplingStrategy>,
+    /// Observation model for adaptive sampling.
+    pub obs_model: ObservationModel,
+    /// Commit policy for adaptive sampling.
+    pub commit: CommitPolicy,
     /// Epochs.
     pub epochs: usize,
     /// Step size λ.
@@ -143,6 +147,18 @@ impl TrainSpec {
             ),
         };
 
+        let obs_model = match o.get("obs-model") {
+            None => ObservationModel::default(),
+            Some(v) => ObservationModel::parse(&v)
+                .ok_or_else(|| bad("obs-model", v, "gradnorm|loss-bound|staleness"))?,
+        };
+
+        let commit = match o.get("commit") {
+            None => CommitPolicy::default(),
+            Some(v) => CommitPolicy::parse(&v)
+                .ok_or_else(|| bad("commit", v, "epoch|every-k|every-<n>"))?,
+        };
+
         let holdout: f64 = o.get_parsed_or("holdout", 0.0, "float in [0,1)")?;
         if !(0.0..1.0).contains(&holdout) {
             return Err(bad("holdout", holdout.to_string(), "float in [0,1)"));
@@ -156,6 +172,8 @@ impl TrainSpec {
             importance,
             balance,
             sampling,
+            obs_model,
+            commit,
             epochs: o.get_parsed_or("epochs", 10, "usize")?,
             step_size: o.get_parsed_or("step", 0.5, "float")?,
             seed: o.get_parsed_or("seed", 0x15A5_6D00, "u64")?,
@@ -235,6 +253,27 @@ mod tests {
         );
         assert!(spec("--reg l3").is_err());
         assert!(spec("--scheme magic").is_err());
+    }
+
+    #[test]
+    fn obs_model_and_commit_flag_parsing() {
+        let d = spec("").unwrap();
+        assert_eq!(d.obs_model, ObservationModel::GradNorm);
+        assert_eq!(d.commit, CommitPolicy::EpochBoundary);
+        let t = spec("--sampling adaptive --obs-model loss-bound --commit every-64").unwrap();
+        assert_eq!(t.obs_model, ObservationModel::LossBound);
+        assert_eq!(t.commit, CommitPolicy::EveryK(64));
+        let t = spec("--obs-model staleness --commit every-k").unwrap();
+        assert!(matches!(
+            t.obs_model,
+            ObservationModel::StalenessDiscounted { .. }
+        ));
+        assert_eq!(
+            t.commit,
+            CommitPolicy::EveryK(CommitPolicy::DEFAULT_EVERY_K)
+        );
+        assert!(spec("--obs-model psychic").is_err());
+        assert!(spec("--commit never").is_err());
     }
 
     #[test]

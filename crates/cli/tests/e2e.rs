@@ -216,6 +216,85 @@ fn sampling_strategies_end_to_end() {
 }
 
 #[test]
+fn obs_model_and_commit_flags_end_to_end() {
+    // `--obs-model` and `--commit` steer the adaptive feedback protocol;
+    // each variant must run, and intra-epoch commits must produce a
+    // trace distinguishable from epoch-boundary commits.
+    let dir = tmpdir("feedback");
+    let data = dir.join("d.svm");
+    let out = bin()
+        .args(["gen", "--out"])
+        .arg(&data)
+        .args(["--profile", "news20", "--scale", "0.05", "--training"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = |extra: &[&str]| {
+        let out = bin()
+            .arg("train")
+            .arg(&data)
+            .args([
+                "--algo",
+                "is-sgd",
+                "--epochs",
+                "4",
+                "--step",
+                "0.2",
+                "--seed",
+                "7",
+                "--sampling",
+                "adaptive",
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Compare only the final objective: raw stdout/stderr embed
+        // wall-clock fields that differ between any two runs, which
+        // would make an inequality assertion vacuous.
+        let summary = String::from_utf8_lossy(&out.stdout).to_string();
+        summary
+            .split_whitespace()
+            .find(|t| t.starts_with("final_obj="))
+            .unwrap_or_else(|| panic!("no final_obj in summary: {summary}"))
+            .to_string()
+    };
+
+    let epoch_obj = run(&["--commit", "epoch"]);
+    let everyk_obj = run(&["--commit", "every-32"]);
+    assert_ne!(
+        epoch_obj, everyk_obj,
+        "intra-epoch commits must change the trajectory"
+    );
+    for model in ["gradnorm", "loss-bound", "staleness"] {
+        run(&["--obs-model", model]);
+    }
+
+    // Rejected values report helpful errors.
+    for (flag, value) in [("--obs-model", "psychic"), ("--commit", "never")] {
+        let out = bin()
+            .arg("train")
+            .arg(&data)
+            .args(["--algo", "is-sgd", "--epochs", "1", "--quiet", flag, value])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} {value}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains(flag.trim_start_matches("--")));
+    }
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn simulated_tau_execution() {
     let dir = tmpdir("tau");
     let data = dir.join("d.svm");

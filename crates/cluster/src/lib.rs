@@ -20,5 +20,5 @@
 pub mod node;
 pub mod sync;
 
-pub use node::{ClusterConfig, ClusterRun, Node, RoundPoint};
+pub use node::{run, ClusterConfig, ClusterRun, Node, RoundPoint};
 pub use sync::{average_models, SyncStrategy};

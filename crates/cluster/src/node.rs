@@ -5,7 +5,10 @@ use isasgd_balance::{decide, BalancePolicy};
 use isasgd_losses::{importance_weights, ImportanceScheme, Loss, Objective};
 use isasgd_metrics::{Trace, TracePoint};
 use isasgd_sampling::rng::derive_seeds;
-use isasgd_sampling::{build_sampler, Sampler, SamplingStrategy, SequenceMode, Xoshiro256pp};
+use isasgd_sampling::{
+    build_sampler, draw_rngs, CommitPolicy, FeedbackProtocol, ObservationModel, Sampler,
+    SamplingStrategy, SequenceMode, Xoshiro256pp,
+};
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::{Dataset, SparseError};
 use std::ops::Range;
@@ -32,9 +35,19 @@ pub struct ClusterConfig {
     /// Sampling strategy each node draws from. [`SamplingStrategy::Static`]
     /// reproduces the paper's offline sequences; `Adaptive` re-weights
     /// every node's local distribution from observed gradient magnitudes
-    /// between rounds. Ignored (forced uniform) when `importance` is
-    /// [`ImportanceScheme::Uniform`].
+    /// (Alain et al.'s per-node adaptive distributions). Ignored (forced
+    /// uniform) when `importance` is [`ImportanceScheme::Uniform`].
     pub sampling: SamplingStrategy,
+    /// How observed gradient scales become importance observations for
+    /// adaptive nodes (see [`ObservationModel`]); the shared
+    /// [`FeedbackProtocol`] applies it identically to the `isasgd-core`
+    /// engine's convention.
+    pub obs_model: ObservationModel,
+    /// When adaptive nodes fold accumulated observations into their live
+    /// distribution: at local-epoch boundaries, or every `k` observations
+    /// (intra-epoch adaptivity — node loops stream draws, so mid-epoch
+    /// commits steer the remaining draws of the same pass).
+    pub commit: CommitPolicy,
     /// Master seed.
     pub seed: u64,
 }
@@ -50,6 +63,8 @@ impl Default for ClusterConfig {
             balance: BalancePolicy::default(),
             sync: SyncStrategy::Average,
             sampling: SamplingStrategy::Static,
+            obs_model: ObservationModel::GradNorm,
+            commit: CommitPolicy::EpochBoundary,
             seed: 0x15A5_6D00,
         }
     }
@@ -69,6 +84,11 @@ pub struct RoundPoint {
 }
 
 /// One simulated node: a shard plus its private sampler state.
+///
+/// Observation scaling and norm precompute live in the run-level
+/// [`FeedbackProtocol`] shared by all nodes (and, conventionally, with
+/// the `isasgd-core` engine) — the node holds no feedback state of its
+/// own beyond the sampler's pending window.
 pub struct Node {
     /// Row range into the (rearranged) dataset.
     pub range: Range<usize>,
@@ -77,9 +97,6 @@ pub struct Node {
     sampler: Box<dyn Sampler>,
     /// Private draw stream for live samplers.
     rng: Xoshiro256pp,
-    /// Per-local-row feature norms `‖x_i‖` (populated only for adaptive
-    /// samplers, which scale observed gradient magnitudes by them).
-    norms: Vec<f64>,
     /// The node's local model replica.
     pub model: Vec<f64>,
     /// Shard importance sum Φ_a (paper Eq. 18).
@@ -180,19 +197,19 @@ pub fn run<L: Loss>(
 
     let ranges = shard_ranges(n, cfg.nodes)?;
     let uniform = matches!(cfg.importance, ImportanceScheme::Uniform);
-    let draw_seeds = derive_seeds(cfg.seed ^ 0xADA9_715E_5EED_0002, cfg.nodes);
-    // Per-row feature norms are only consumed by adaptive samplers'
-    // feedback; skip the O(nnz) scan otherwise.
+    // Draw streams come from the same derivation the engine plan uses,
+    // so a node and an engine worker over the same shard and master seed
+    // draw identically (pinned by the core↔cluster equivalence test).
+    let mut draw_streams = draw_rngs(cfg.seed, cfg.nodes).into_iter();
     let strategy = if uniform {
         SamplingStrategy::Uniform
     } else {
         cfg.sampling
     };
-    let all_norms_sq = if strategy == SamplingStrategy::Adaptive {
-        Some(isasgd_sparse::stats::row_norms_sq(&data))
-    } else {
-        None
-    };
+    // The shared feedback protocol owns the observation convention (norm
+    // precompute included); built only when nodes actually adapt.
+    let protocol = (strategy == SamplingStrategy::Adaptive)
+        .then(|| FeedbackProtocol::for_dataset(&data, ranges.to_vec(), cfg.obs_model));
     let mut nodes = Vec::with_capacity(cfg.nodes);
     for (k, r) in ranges.iter().enumerate() {
         let local = &reordered_weights[r.clone()];
@@ -203,17 +220,13 @@ pub fn run<L: Loss>(
             r.len(),
             SequenceMode::RegeneratePerEpoch,
             seeds[k],
+            cfg.commit,
         )
         .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
-        let norms = match &all_norms_sq {
-            Some(sq) => sq[r.clone()].iter().map(|&x| x.sqrt()).collect(),
-            None => Vec::new(),
-        };
         nodes.push(Node {
             range: r.clone(),
             sampler,
-            rng: Xoshiro256pp::new(draw_seeds[k]),
-            norms,
+            rng: draw_streams.next().expect("one stream per node"),
             model: vec![0.0; d],
             phi,
         });
@@ -257,11 +270,11 @@ pub fn run<L: Loss>(
     let shard_sizes: Vec<usize> = nodes.iter().map(|x| x.range.len()).collect();
     for round in 1..=cfg.rounds {
         let t0 = Instant::now();
-        for node in nodes.iter_mut() {
+        for (k, node) in nodes.iter_mut().enumerate() {
             // Local training starts from the consensus.
             node.model.copy_from_slice(&consensus);
             for _ in 0..cfg.local_epochs {
-                local_epoch(&data, obj, node, cfg.step_size);
+                local_epoch(&data, obj, node, k, protocol.as_ref(), cfg.step_size);
                 node.sampler.epoch_reset();
             }
         }
@@ -297,13 +310,22 @@ pub fn run<L: Loss>(
 }
 
 /// One local epoch of sequential (IS-)SGD on the node's shard, drawn
-/// through the node's [`Sampler`]. Observed gradient magnitudes feed the
-/// sampler's adaptivity hook (a no-op for uniform/static sampling).
-fn local_epoch<L: Loss>(data: &Dataset, obj: &Objective<L>, node: &mut Node, lambda: f64) {
+/// through the node's [`Sampler`]. Observed gradient scales stream
+/// through the shared [`FeedbackProtocol`] — the single scaling
+/// convention this runtime shares with the `isasgd-core` engine — into
+/// the sampler's adaptivity hook (`protocol` is `None` for
+/// uniform/static sampling, where feedback is a no-op).
+fn local_epoch<L: Loss>(
+    data: &Dataset,
+    obj: &Objective<L>,
+    node: &mut Node,
+    node_idx: usize,
+    protocol: Option<&FeedbackProtocol>,
+    lambda: f64,
+) {
     let start = node.range.start;
     let steps = node.range.len();
-    let adaptive = node.sampler.is_adaptive();
-    for _ in 0..steps {
+    for step in 0..steps {
         let local = node.sampler.next(&mut node.rng);
         let corr = node.sampler.correction(local);
         let row = data.row(start + local);
@@ -311,9 +333,16 @@ fn local_epoch<L: Loss>(data: &Dataset, obj: &Objective<L>, node: &mut Node, lam
         let g = obj.grad_scale(&row, margin);
         let scale = lambda * corr;
         obj.apply_sgd_update(&row, -scale * g, scale, &mut node.model);
-        if adaptive {
-            node.sampler
-                .update_weight(local, g.abs() * node.norms[local]);
+        if let Some(p) = protocol {
+            // Age = steps remaining before the epoch-boundary commit
+            // (consumed only by the staleness-discounted model).
+            p.observe(
+                node_idx,
+                node.sampler.as_mut(),
+                start + local,
+                g.abs(),
+                steps - 1 - step,
+            );
         }
     }
 }

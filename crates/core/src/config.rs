@@ -3,7 +3,7 @@
 use isasgd_balance::BalancePolicy;
 use isasgd_losses::ImportanceScheme;
 use isasgd_model::shared::UpdateMode;
-use isasgd_sampling::{SamplingStrategy, SequenceMode};
+use isasgd_sampling::{CommitPolicy, ObservationModel, SamplingStrategy, SequenceMode};
 
 /// Which solver to run (see crate docs for the paper mapping).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,6 +153,17 @@ pub struct TrainConfig {
     /// uniform otherwise); `Some(strategy)` forces uniform, static-IS, or
     /// adaptive-IS sampling for any SGD-family solver.
     pub sampling: Option<SamplingStrategy>,
+    /// How observed gradient scales become importance observations for
+    /// adaptive sampling (exact gradient norms, Katharopoulos–Fleuret
+    /// loss-bound, or staleness-discounted). Ignored unless the run's
+    /// effective sampling strategy is adaptive.
+    pub obs_model: ObservationModel,
+    /// When adaptive samplers fold accumulated observations into the live
+    /// distribution: at epoch boundaries (default, deterministic) or
+    /// every `k` observations (intra-epoch adaptivity; the sequential and
+    /// simulated engine paths then stream draws instead of materializing
+    /// per-epoch schedules).
+    pub commit: CommitPolicy,
 }
 
 impl Default for TrainConfig {
@@ -167,6 +178,8 @@ impl Default for TrainConfig {
             sequence: SequenceMode::RegeneratePerEpoch,
             update_mode: UpdateMode::AtomicCas,
             sampling: None,
+            obs_model: ObservationModel::GradNorm,
+            commit: CommitPolicy::EpochBoundary,
         }
     }
 }
@@ -193,6 +206,18 @@ impl TrainConfig {
     /// Builder-style sampling-strategy override.
     pub fn with_sampling(mut self, s: SamplingStrategy) -> Self {
         self.sampling = Some(s);
+        self
+    }
+
+    /// Builder-style observation-model override (adaptive sampling).
+    pub fn with_obs_model(mut self, m: ObservationModel) -> Self {
+        self.obs_model = m;
+        self
+    }
+
+    /// Builder-style commit-policy override (adaptive sampling).
+    pub fn with_commit(mut self, c: CommitPolicy) -> Self {
+        self.commit = c;
         self
     }
 }
@@ -250,11 +275,18 @@ mod tests {
             .with_epochs(3)
             .with_step_size(0.1)
             .with_seed(9)
-            .with_sampling(SamplingStrategy::Adaptive);
+            .with_sampling(SamplingStrategy::Adaptive)
+            .with_obs_model(ObservationModel::LossBound)
+            .with_commit(CommitPolicy::EveryK(16));
         assert_eq!(c.epochs, 3);
         assert_eq!(c.step_size, 0.1);
         assert_eq!(c.seed, 9);
         assert_eq!(c.sampling, Some(SamplingStrategy::Adaptive));
-        assert_eq!(TrainConfig::default().sampling, None);
+        assert_eq!(c.obs_model, ObservationModel::LossBound);
+        assert_eq!(c.commit, CommitPolicy::EveryK(16));
+        let d = TrainConfig::default();
+        assert_eq!(d.sampling, None);
+        assert_eq!(d.obs_model, ObservationModel::GradNorm);
+        assert_eq!(d.commit, CommitPolicy::EpochBoundary);
     }
 }

@@ -74,5 +74,7 @@ pub use isasgd_losses::{
 };
 pub use isasgd_metrics::{Trace, TracePoint};
 pub use isasgd_model::shared::UpdateMode;
-pub use isasgd_sampling::{Sampler, SamplingStrategy, SequenceMode};
+pub use isasgd_sampling::{
+    CommitPolicy, FeedbackProtocol, ObservationModel, Sampler, SamplingStrategy, SequenceMode,
+};
 pub use isasgd_sparse::{Dataset, DatasetBuilder};

@@ -18,26 +18,48 @@
 //!   the sequential path bit-for-bit.
 //!
 //! Sampling is delegated to the plan's per-worker boxed
-//! [`Sampler`](isasgd_sampling::Sampler)s; when a sampler is adaptive,
-//! the engine routes the kernels' observed per-sample gradient norms
-//! back through `update_weight` at each epoch boundary. Schedule drawing
-//! and sampler maintenance run *outside* the training timer and are
-//! accumulated into `setup_secs` instead, mirroring the paper's
-//! convention that sampling cost is "sampling time" overhead, not
-//! training — so `RunResult::setup_overhead` prices adaptivity's
-//! per-epoch draws honestly against static sequences.
+//! [`Sampler`](isasgd_sampling::Sampler)s. Adaptive feedback — observed
+//! per-sample gradient scales flowing back into the samplers — goes
+//! through the plan's
+//! [`FeedbackProtocol`](isasgd_sampling::FeedbackProtocol), the single
+//! observation convention shared with `isasgd-cluster` (scaling model,
+//! norm precompute, shard routing); the engine itself never touches
+//! norms or shard arithmetic. Delivery depends on the commit policy and
+//! execution mode:
+//!
+//! * **Epoch-boundary commits** (default): sequential/simulated runs
+//!   buffer `(row, |ℓ'|)` pairs and route them in one batch at the epoch
+//!   barrier; threaded workers publish observations concurrently into a
+//!   striped, epoch-versioned
+//!   [`StripedFenwick`](isasgd_sampling::StripedFenwick) accumulator
+//!   that the barrier drains.
+//! * **`CommitPolicy::EveryK`** (intra-epoch adaptivity): the
+//!   sequential and simulated paths *stream* draws — each sample is
+//!   drawn from the live distribution, stepped, and observed
+//!   immediately, so commits inside the epoch steer the remaining
+//!   draws. Threaded runs keep pre-materialized schedules, so their
+//!   commits still land at the barrier (chunked by `k`).
+//!
+//! Schedule drawing and sampler maintenance run *outside* the training
+//! timer and are accumulated into `setup_secs` instead, mirroring the
+//! paper's convention that sampling cost is "sampling time" overhead,
+//! not training — so `RunResult::setup_overhead` prices adaptivity's
+//! per-epoch draws honestly against static sequences. Streamed epochs
+//! are the exception: their draws interleave with gradient steps and are
+//! billed to training time (the price of intra-epoch adaptivity is paid
+//! on the hot path, where it belongs).
 
 use crate::config::{Execution, TrainConfig};
 use crate::error::CoreError;
 use crate::eval::{evaluate, TrainTimer};
-use crate::solvers::plan::{build_plan, TrainingPlan};
+use crate::solvers::plan::build_plan;
 use crate::solvers::solver::{Feedback, Sched, Solver};
 use crate::trainer::RunResult;
 use isasgd_asyncsim::{round_robin_interleave, DelayQueue};
 use isasgd_losses::{Loss, Objective};
 use isasgd_metrics::{Trace, TracePoint};
 use isasgd_model::SharedModel;
-use isasgd_sampling::SamplingStrategy;
+use isasgd_sampling::{CommitPolicy, SamplingStrategy, StripedFenwick};
 
 /// Identifying metadata for one engine run.
 pub struct RunMeta<'a> {
@@ -84,21 +106,24 @@ pub fn run_engine<L: Loss, S: Solver>(
     let n = plan.data.n_samples();
     let dim = plan.data.dim();
     let adaptive = plan.is_adaptive();
-    // Static per-row feature norms, used to scale the kernels' observed
-    // gradient scales into gradient norms (adaptive sampling only).
-    let norms: Vec<f64> = if adaptive {
-        isasgd_sparse::stats::row_norms_sq(&plan.data)
-            .into_iter()
-            .map(f64::sqrt)
-            .collect()
-    } else {
-        Vec::new()
-    };
+    // The staleness-discounted observation model decays by the queue
+    // delay; tell the protocol what τ this run holds updates for.
+    if let (Execution::Simulated { tau, .. }, Some(p)) = (exec, plan.feedback.as_mut()) {
+        p.set_queue_delay(tau);
+    }
+    // Intra-epoch commits only bite if draws can see them: stream draws
+    // on the single-threaded paths; threaded runs keep their
+    // pre-materialized schedules (commits land at the barrier).
+    let threaded = matches!(exec, Execution::Threads(_));
+    let streaming = adaptive && matches!(plan.commit, CommitPolicy::EveryK(_)) && !threaded;
+    // One run-level concurrent observation accumulator for threaded
+    // adaptive runs — allocated once here; `drain_observed` re-arms it
+    // (bumping its epoch version) at every barrier.
+    let accumulator = (adaptive && threaded).then(|| StripedFenwick::new(n, 4 * workers.max(1)));
     let report_balance = solver.uses_importance_plan();
 
     // Model containers: a dense vector for sequential/simulated modes, a
     // lock-free shared model for threads.
-    let threaded = matches!(exec, Execution::Threads(_));
     let mut w: Vec<f64> = match init {
         Some(w0) => w0.to_vec(),
         None => vec![0.0; dim],
@@ -121,7 +146,10 @@ pub fn run_engine<L: Loss, S: Solver>(
     // (the paper's "sampling time").
     let mut sampling_timer = TrainTimer::new();
     let mut steps: u64 = 0;
+    // Epoch-end feedback buffer (sequential/simulated batched paths).
     let mut feedback: Vec<(u32, f64)> = Vec::new();
+    // Already-scaled observations drained from the threaded accumulator.
+    let mut observed: Vec<(usize, f64)> = Vec::new();
 
     // Epoch-0 point: metrics of the starting model at time zero.
     eval_timer.start();
@@ -141,29 +169,40 @@ pub fn run_engine<L: Loss, S: Solver>(
         // the re-weighted distribution; skip collection on the last one.
         let collect = adaptive && epoch + 1 < cfg.epochs;
 
+        // A streamed epoch draws inside the training loop (intra-epoch
+        // adaptivity must see each commit before the next draw); the
+        // final epoch of a streaming run collects no feedback and falls
+        // back to the pre-drawn path, which consumes the same draw
+        // stream.
+        let stream_epoch = streaming && collect;
+
         // Draw this epoch's per-worker schedules (outside the training
         // timer: sequence generation is the paper's "sampling time").
         sampling_timer.start();
-        let schedules: Vec<Vec<Sched>> = (0..workers)
-            .map(|k| {
-                let range = &plan.ranges[k];
-                let len = range.len();
-                let sampler = &mut plan.samplers[k];
-                let rng = &mut plan.rngs[k];
-                (0..len)
-                    .map(|_| {
-                        let local = sampler.next(rng);
-                        Sched {
-                            row: (range.start + local) as u32,
-                            corr: sampler.correction(local),
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let schedules: Vec<Vec<Sched>> = if stream_epoch {
+            Vec::new()
+        } else {
+            (0..workers)
+                .map(|k| {
+                    let range = &plan.ranges[k];
+                    let len = range.len();
+                    let sampler = &mut plan.samplers[k];
+                    let rng = &mut plan.rngs[k];
+                    (0..len)
+                        .map(|_| {
+                            let local = sampler.next(rng);
+                            Sched {
+                                row: (range.start + local) as u32,
+                                corr: sampler.correction(local),
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
         // The simulated schedule (round-robin interleave of the worker
         // streams) is also sampling time, as in the pre-engine sim path.
-        let interleaved = if matches!(exec, Execution::Simulated { .. }) {
+        let interleaved = if matches!(exec, Execution::Simulated { .. }) && !stream_epoch {
             Some(round_robin_interleave(&schedules))
         } else {
             None
@@ -174,31 +213,110 @@ pub fn run_engine<L: Loss, S: Solver>(
         match exec {
             Execution::Sequential => {
                 solver.on_epoch_start(&plan.data, &w, lambda);
-                let mut fb = if collect {
-                    Feedback::into_buf(&mut feedback)
-                } else {
-                    Feedback::disabled()
-                };
                 let batch = solver.batch().max(1);
-                for chunk in schedules[0].chunks(batch) {
-                    let update = solver.compute(&plan.data, chunk, lambda, &w, &mut fb);
-                    solver.apply(&plan.data, lambda, update, &mut w);
+                if stream_epoch {
+                    let proto = plan
+                        .feedback
+                        .as_ref()
+                        .expect("adaptive plan has a protocol");
+                    let range = plan.ranges[0].clone();
+                    let sampler = &mut plan.samplers[0];
+                    let rng = &mut plan.rngs[0];
+                    let epoch_steps = range.len();
+                    let mut chunk: Vec<Sched> = Vec::with_capacity(batch);
+                    let mut obs_buf: Vec<(u32, f64)> = Vec::new();
+                    let mut done = 0usize;
+                    while done < epoch_steps {
+                        let b = batch.min(epoch_steps - done);
+                        chunk.clear();
+                        for _ in 0..b {
+                            let local = sampler.next(rng);
+                            chunk.push(Sched {
+                                row: (range.start + local) as u32,
+                                corr: sampler.correction(local),
+                            });
+                        }
+                        let mut fb = Feedback::into_buf(&mut obs_buf);
+                        let update = solver.compute(&plan.data, &chunk, lambda, &w, &mut fb);
+                        solver.apply(&plan.data, lambda, update, &mut w);
+                        for (j, &(row, g)) in obs_buf.iter().enumerate() {
+                            let age = epoch_steps - 1 - (done + j).min(epoch_steps - 1);
+                            proto.observe(0, sampler.as_mut(), row as usize, g, age);
+                        }
+                        obs_buf.clear();
+                        done += b;
+                    }
+                } else {
+                    let mut fb = if collect {
+                        Feedback::into_buf(&mut feedback)
+                    } else {
+                        Feedback::disabled()
+                    };
+                    for chunk in schedules[0].chunks(batch) {
+                        let update = solver.compute(&plan.data, chunk, lambda, &w, &mut fb);
+                        solver.apply(&plan.data, lambda, update, &mut w);
+                    }
                 }
                 solver.on_epoch_end(&plan.data, lambda, &mut w);
             }
             Execution::Simulated { tau, .. } => {
                 solver.on_epoch_start(&plan.data, &w, lambda);
-                let mut fb = if collect {
-                    Feedback::into_buf(&mut feedback)
-                } else {
-                    Feedback::disabled()
-                };
-                let schedule = interleaved.expect("built for simulated mode");
                 let mut queue: DelayQueue<S::Update> = DelayQueue::new(tau);
-                for s in schedule {
-                    let update = solver.compute(&plan.data, &[s], lambda, &w, &mut fb);
-                    if let Some(expired) = queue.push(update) {
-                        solver.apply(&plan.data, lambda, expired, &mut w);
+                if stream_epoch {
+                    // Round-robin over live samplers: worker `t mod k`
+                    // draws from its *current* distribution at global
+                    // step t, so mid-epoch commits steer later draws.
+                    let proto = plan
+                        .feedback
+                        .as_ref()
+                        .expect("adaptive plan has a protocol");
+                    let mut remaining: Vec<usize> = plan.ranges.iter().map(|r| r.len()).collect();
+                    let total: usize = remaining.iter().sum();
+                    let mut obs_buf: Vec<(u32, f64)> = Vec::new();
+                    let mut k = 0usize;
+                    for _ in 0..total {
+                        while remaining[k] == 0 {
+                            k = (k + 1) % workers;
+                        }
+                        let start = plan.ranges[k].start;
+                        let s = {
+                            let sampler = &mut plan.samplers[k];
+                            let local = sampler.next(&mut plan.rngs[k]);
+                            Sched {
+                                row: (start + local) as u32,
+                                corr: sampler.correction(local),
+                            }
+                        };
+                        let mut fb = Feedback::into_buf(&mut obs_buf);
+                        let update = solver.compute(&plan.data, &[s], lambda, &w, &mut fb);
+                        if let Some(expired) = queue.push(update) {
+                            solver.apply(&plan.data, lambda, expired, &mut w);
+                        }
+                        remaining[k] -= 1;
+                        for &(row, g) in obs_buf.iter() {
+                            proto.observe(
+                                k,
+                                plan.samplers[k].as_mut(),
+                                row as usize,
+                                g,
+                                remaining[k],
+                            );
+                        }
+                        obs_buf.clear();
+                        k = (k + 1) % workers;
+                    }
+                } else {
+                    let mut fb = if collect {
+                        Feedback::into_buf(&mut feedback)
+                    } else {
+                        Feedback::disabled()
+                    };
+                    let schedule = interleaved.expect("built for simulated mode");
+                    for s in schedule {
+                        let update = solver.compute(&plan.data, &[s], lambda, &w, &mut fb);
+                        if let Some(expired) = queue.push(update) {
+                            solver.apply(&plan.data, lambda, expired, &mut w);
+                        }
                     }
                 }
                 // Epoch barrier: flush in-flight updates.
@@ -224,27 +342,42 @@ pub fn run_engine<L: Loss, S: Solver>(
                     })?;
                 let data = &plan.data;
                 let mode = cfg.update_mode;
+                // Workers publish observations concurrently into the
+                // run-level striped, epoch-versioned accumulator (max
+                // per row, as the sampler's pending window would)
+                // instead of buffering thread-locally and joining; the
+                // barrier drains it below.
+                let proto = plan.feedback.as_ref();
+                let acc = if collect { accumulator.as_ref() } else { None };
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..k)
                         .map(|worker| {
                             let schedule = &schedules[worker];
                             scope.spawn(move || {
-                                let mut observed = Vec::new();
-                                for &s in schedule {
+                                let version = acc.map_or(0, |a| a.version());
+                                for (i, &s) in schedule.iter().enumerate() {
                                     let obs =
                                         kernel.step_shared(data, s, lambda, model, mode, collect);
-                                    if collect {
-                                        observed.push((s.row, obs));
+                                    if let (Some(acc), Some(proto)) = (acc, proto) {
+                                        let row = s.row as usize;
+                                        let age = schedule.len() - 1 - i;
+                                        acc.observe_max(
+                                            version,
+                                            row,
+                                            proto.observation(row, obs, age),
+                                        );
                                     }
                                 }
-                                observed
                             })
                         })
                         .collect();
                     for handle in handles {
-                        feedback.extend(handle.join().expect("worker thread panicked"));
+                        handle.join().expect("worker thread panicked");
                     }
                 });
+                if let Some(acc) = acc {
+                    observed = acc.drain_observed();
+                }
                 kernel.epoch_end_shared(&plan.data, lambda, model, mode);
             }
         }
@@ -266,15 +399,23 @@ pub fn run_engine<L: Loss, S: Solver>(
         });
 
         // Sampler maintenance (sampling time, like schedule drawing):
-        // route observed importance to adaptive samplers, then advance
-        // every stream to the next epoch. Skipped after the final epoch —
-        // regenerating a sequence nobody will consume would inflate the
-        // reported sampling overhead.
+        // route observed importance through the feedback protocol into
+        // the adaptive samplers, then advance every stream to the next
+        // epoch. Skipped after the final epoch — regenerating a sequence
+        // nobody will consume would inflate the reported sampling
+        // overhead. Streamed epochs already delivered their observations
+        // per step, so only the epoch advance remains for them.
         if epoch + 1 < cfg.epochs {
             sampling_timer.start();
-            if adaptive && !feedback.is_empty() {
-                route_feedback(&mut plan, &feedback, &norms);
+            if !feedback.is_empty() {
+                let dropped = plan.route_feedback(&feedback);
+                debug_assert_eq!(dropped, 0, "engine schedules only in-shard rows");
                 feedback.clear();
+            }
+            if !observed.is_empty() {
+                let dropped = plan.commit_observed(&observed);
+                debug_assert_eq!(dropped, 0, "accumulator rows come from the schedule");
+                observed.clear();
             }
             plan.advance_epoch();
             sampling_timer.stop();
@@ -296,18 +437,6 @@ pub fn run_engine<L: Loss, S: Solver>(
         balanced: report_balance.then_some(plan.balanced),
         rho: report_balance.then_some(plan.rho),
     })
-}
-
-/// Maps global-row observations back to each worker's local sampler,
-/// scaling each observed gradient scale by the row's feature norm.
-fn route_feedback(plan: &mut TrainingPlan, feedback: &[(u32, f64)], norms: &[f64]) {
-    for &(row, obs) in feedback {
-        let row = row as usize;
-        // Shard ranges are contiguous and sorted; find the owner.
-        let k = plan.ranges.partition_point(|r| r.end <= row);
-        let local = row - plan.ranges[k].start;
-        plan.samplers[k].update_weight(local, obs * norms[row]);
-    }
 }
 
 #[cfg(test)]
@@ -956,6 +1085,129 @@ mod tests {
         assert_eq!(
             a.model, b.model,
             "adaptive simulated runs must be reproducible"
+        );
+    }
+
+    #[test]
+    fn every_k_commit_is_deterministic_and_differs_from_epoch_commit() {
+        use isasgd_sampling::CommitPolicy;
+        let ds = skewed(300);
+        let run = |commit| {
+            let mut cfg = TrainConfig::default()
+                .with_epochs(4)
+                .with_step_size(0.2)
+                .with_seed(3);
+            cfg.sampling = Some(SamplingStrategy::Adaptive);
+            cfg.commit = commit;
+            train(
+                &ds,
+                &obj(),
+                Algorithm::IsSgd,
+                Execution::Sequential,
+                &cfg,
+                "skew",
+            )
+            .unwrap()
+        };
+        let a = run(CommitPolicy::EveryK(16));
+        let b = run(CommitPolicy::EveryK(16));
+        let epoch = run(CommitPolicy::EpochBoundary);
+        assert_eq!(a.model, b.model, "streamed runs must be reproducible");
+        assert_ne!(
+            a.model, epoch.model,
+            "intra-epoch commits must actually change the trajectory"
+        );
+        assert!(a.model.iter().all(|x| x.is_finite()));
+        assert!(a.final_metrics.error_rate <= 0.05);
+    }
+
+    #[test]
+    fn every_k_tau_zero_simulation_matches_sequential_stream() {
+        // The τ=0 invariant holds on the streaming path too: one worker,
+        // zero delay, intra-epoch commits — still the sequential
+        // algorithm bit-for-bit.
+        use isasgd_sampling::CommitPolicy;
+        let ds = skewed(160);
+        let mut cfg = TrainConfig::default().with_epochs(3).with_seed(13);
+        cfg.sampling = Some(SamplingStrategy::Adaptive);
+        cfg.commit = CommitPolicy::EveryK(8);
+        let seq = train(
+            &ds,
+            &obj(),
+            Algorithm::IsSgd,
+            Execution::Sequential,
+            &cfg,
+            "skew",
+        )
+        .unwrap();
+        let sim = train(
+            &ds,
+            &obj(),
+            Algorithm::IsAsgd,
+            Execution::Simulated { tau: 0, workers: 1 },
+            &cfg,
+            "skew",
+        )
+        .unwrap();
+        assert_eq!(seq.model, sim.model, "τ=0 streaming must be bit-exact");
+    }
+
+    #[test]
+    fn every_k_runs_under_simulation_and_threads() {
+        use isasgd_sampling::CommitPolicy;
+        let ds = skewed(240);
+        let mut cfg = TrainConfig::default().with_epochs(3).with_step_size(0.2);
+        cfg.sampling = Some(SamplingStrategy::Adaptive);
+        cfg.commit = CommitPolicy::EveryK(32);
+        for e in [
+            Execution::Simulated { tau: 8, workers: 2 },
+            Execution::Threads(2),
+        ] {
+            let r = train(&ds, &obj(), Algorithm::IsAsgd, e, &cfg, "skew").unwrap();
+            assert!(r.model.iter().all(|x| x.is_finite()), "{e:?}");
+            assert_eq!(r.steps, 3 * 240);
+        }
+        // Simulated streaming stays deterministic under a seed.
+        let e = Execution::Simulated { tau: 8, workers: 2 };
+        let a = train(&ds, &obj(), Algorithm::IsAsgd, e, &cfg, "skew").unwrap();
+        let b = train(&ds, &obj(), Algorithm::IsAsgd, e, &cfg, "skew").unwrap();
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn observation_models_train_and_differ() {
+        use isasgd_sampling::ObservationModel;
+        let ds = skewed(300);
+        let run = |m| {
+            let mut cfg = TrainConfig::default()
+                .with_epochs(4)
+                .with_step_size(0.2)
+                .with_seed(5);
+            cfg.sampling = Some(SamplingStrategy::Adaptive);
+            cfg.obs_model = m;
+            train(
+                &ds,
+                &obj(),
+                Algorithm::IsSgd,
+                Execution::Sequential,
+                &cfg,
+                "skew",
+            )
+            .unwrap()
+        };
+        let gradnorm = run(ObservationModel::GradNorm);
+        let bound = run(ObservationModel::LossBound);
+        let stale = run(ObservationModel::StalenessDiscounted { half_life: 32.0 });
+        for r in [&gradnorm, &bound, &stale] {
+            assert!(r.model.iter().all(|x| x.is_finite()));
+        }
+        assert_ne!(
+            gradnorm.model, bound.model,
+            "loss-bound must re-rank differently than exact gradient norms"
+        );
+        assert_ne!(
+            gradnorm.model, stale.model,
+            "staleness discounting must shift weight toward fresh evidence"
         );
     }
 

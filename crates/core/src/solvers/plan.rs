@@ -12,7 +12,10 @@ use crate::error::CoreError;
 use isasgd_balance::{decide, BalancePolicy};
 use isasgd_losses::{importance_weights, Loss, Objective};
 use isasgd_sampling::rng::derive_seeds;
-use isasgd_sampling::{build_sampler, Sampler, SamplingStrategy, Xoshiro256pp};
+use isasgd_sampling::{
+    build_sampler, draw_rngs, CommitPolicy, FeedbackProtocol, Sampler, SamplingStrategy,
+    Xoshiro256pp,
+};
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::Dataset;
 use std::ops::Range;
@@ -32,6 +35,11 @@ pub struct TrainingPlan {
     /// Per-worker draw RNGs (consumed only by live samplers; the
     /// pre-generated ones carry their own stream).
     pub rngs: Vec<Xoshiro256pp>,
+    /// The shared feedback subsystem routing observed gradient scales
+    /// back into the samplers (present only for adaptive plans).
+    pub feedback: Option<FeedbackProtocol>,
+    /// When adaptive samplers commit accumulated observations.
+    pub commit: CommitPolicy,
     /// Wall-clock spent building this plan.
     pub setup_secs: f64,
     /// Whether head-tail balancing was applied.
@@ -67,6 +75,27 @@ impl TrainingPlan {
     pub fn advance_epoch(&mut self) {
         for s in &mut self.samplers {
             s.epoch_reset();
+        }
+    }
+
+    /// Routes batched epoch-end feedback (global row, observed gradient
+    /// scale, in step order) through the [`FeedbackProtocol`] into the
+    /// owning samplers. Returns the number of out-of-shard observations
+    /// dropped (always 0 for engine-produced schedules).
+    pub fn route_feedback(&mut self, feedback: &[(u32, f64)]) -> usize {
+        match &self.feedback {
+            Some(p) => p.route(&mut self.samplers, feedback),
+            None => feedback.len(),
+        }
+    }
+
+    /// Commits already-scaled observations (drained from a concurrent
+    /// accumulator) into the owning samplers; see
+    /// [`FeedbackProtocol::commit_observed`].
+    pub fn commit_observed(&mut self, observed: &[(usize, f64)]) -> usize {
+        match &self.feedback {
+            Some(p) => p.commit_observed(&mut self.samplers, observed),
+            None => observed.len(),
         }
     }
 }
@@ -140,21 +169,31 @@ pub fn build_plan<L: Loss>(
             r.len(),
             cfg.sequence,
             seeds[k],
+            cfg.commit,
         )?);
     }
     // Independent draw streams for live samplers; pre-generated samplers
     // ignore these, so uniform/static plans keep their exact pre-trait
-    // behaviour under a given seed.
-    let rngs = derive_seeds(cfg.seed ^ 0xADA9_715E_5EED_0001, workers)
-        .into_iter()
-        .map(Xoshiro256pp::new)
-        .collect();
+    // behaviour under a given seed. The derivation is shared with cluster
+    // nodes (isasgd_sampling::draw_rngs), pinning the two runtimes to
+    // identical streams under one master seed.
+    let rngs = draw_rngs(cfg.seed, workers);
+    // The feedback protocol owns the norm precompute and observation
+    // scaling for adaptive plans (it is the single entry point feedback
+    // takes back into the samplers; the engine sets the staleness-queue
+    // delay τ before running).
+    let feedback = samplers
+        .iter()
+        .any(|s| s.is_adaptive())
+        .then(|| FeedbackProtocol::for_dataset(&data, ranges.clone(), cfg.obs_model));
 
     Ok(TrainingPlan {
         data,
         ranges,
         samplers,
         rngs,
+        feedback,
+        commit: cfg.commit,
         setup_secs: t0.elapsed().as_secs_f64(),
         balanced,
         rho,

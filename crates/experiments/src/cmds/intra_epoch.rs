@@ -1,0 +1,142 @@
+//! The `ablation-intra-epoch` artifact: epoch-boundary vs intra-epoch
+//! (`every-k`) commit policies for adaptive importance sampling.
+//!
+//! The adaptive sampler's distribution is re-estimated from observed
+//! gradient magnitudes; *when* those estimates become visible to draws
+//! is the [`CommitPolicy`]. Epoch-boundary commits keep every epoch's
+//! distribution frozen (deterministic, per-epoch-unbiased — the default
+//! since the adaptive sampler landed). `every-k` commits re-weight the
+//! live Fenwick distribution every `k` observations, so draws later in
+//! the same epoch already prefer the rows the current model finds hard —
+//! at the cost of drawing on the hot path (streamed schedules) instead
+//! of pre-generated sequences. This command quantifies that trade at the
+//! paper's interesting importance spreads, including the acceptance
+//! point ψ = 0.35.
+
+use crate::common::{run_averaged, Ctx};
+use isasgd_core::{
+    train, Algorithm, CommitPolicy, Execution, ImportanceScheme, Objective, Regularizer, RunResult,
+    SamplingStrategy, SquaredLoss, TrainConfig,
+};
+use isasgd_datagen::{DatasetProfile, FeatureKind};
+use isasgd_metrics::interpolate::time_to_target;
+use isasgd_metrics::table::{fmt_num, TextTable};
+use isasgd_metrics::Trace;
+
+/// Monotone best-objective curve keyed by epoch.
+fn objective_curve(t: &Trace) -> Vec<(f64, f64)> {
+    let mut best = f64::INFINITY;
+    t.points
+        .iter()
+        .map(|p| {
+            best = best.min(p.objective);
+            (p.epoch, best)
+        })
+        .collect()
+}
+
+/// Epoch-speedup of `fast` over `slow` at a fraction `frac` of `slow`'s
+/// own objective decrease (robust common target).
+fn epoch_speedup(slow: &Trace, fast: &Trace, frac: f64) -> Option<f64> {
+    let cs = objective_curve(slow);
+    let cf = objective_curve(fast);
+    let start = cs.first()?.1;
+    let end = cs.last()?.1;
+    let target = end + (start - end) * (1.0 - frac);
+    match (time_to_target(&cs, target), time_to_target(&cf, target)) {
+        (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+        _ => None,
+    }
+}
+
+/// Runs the commit-policy sweep.
+pub fn run(ctx: &mut Ctx) {
+    println!("\n=== Intra-epoch adaptivity ablation (commit policy) ===\n");
+    let obj = Objective::new(SquaredLoss, Regularizer::L2 { eta: 1e-4 });
+    let mut table = TextTable::new(vec!["psi_norm", "commit", "sp@50%", "sp@80%", "final_obj"]);
+    let epochs = ctx.settings.epochs.unwrap_or(12);
+    let avg = ctx.settings.avg_runs.max(3);
+    let policies = [
+        CommitPolicy::EpochBoundary,
+        CommitPolicy::EveryK(256),
+        CommitPolicy::EveryK(32),
+    ];
+    for psi in [0.5, 0.35] {
+        let p = DatasetProfile {
+            name: "intra-epoch",
+            dim: 2_000,
+            n_samples: 8_000,
+            mean_nnz: 16,
+            zipf_exponent: 0.8,
+            target_psi_norm: psi,
+            target_rho: (1.0 / psi - 1.0) * 0.25,
+            label_noise: 0.0,
+            planted_density: 0.3,
+            feature_kind: FeatureKind::GaussianScaled,
+            noise_nnz_coupling: 0.0,
+        };
+        let gen = isasgd_datagen::generate(&p, ctx.settings.seed);
+        let w = isasgd_core::importance_weights(
+            &gen.dataset,
+            &SquaredLoss,
+            obj.reg,
+            ImportanceScheme::LipschitzSmoothness,
+        );
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        let sup = w.iter().cloned().fold(0.0, f64::max);
+        // Same tuned-λ protocol as the adaptive ablation: uniform at its
+        // own stability edge, IS at the IS edge.
+        let lambda_u = 0.5 / sup;
+        let lambda_is = 0.4 / mean;
+
+        let run_one =
+            |sampling: Option<SamplingStrategy>, commit: CommitPolicy, lambda: f64| -> RunResult {
+                run_averaged(avg, ctx.settings.seed, |s| {
+                    let mut c = TrainConfig::default()
+                        .with_epochs(epochs)
+                        .with_step_size(lambda)
+                        .with_seed(s);
+                    c.importance = ImportanceScheme::LipschitzSmoothness;
+                    c.sampling = sampling;
+                    c.commit = commit;
+                    train(
+                        &gen.dataset,
+                        &obj,
+                        Algorithm::IsSgd,
+                        Execution::Sequential,
+                        &c,
+                        "intra-epoch",
+                    )
+                    .expect("ablation run")
+                })
+            };
+        let uniform = run_one(
+            Some(SamplingStrategy::Uniform),
+            CommitPolicy::EpochBoundary,
+            lambda_u,
+        );
+        for commit in policies {
+            let r = run_one(Some(SamplingStrategy::Adaptive), commit, lambda_is);
+            table.row(vec![
+                fmt_num(psi),
+                commit.name(),
+                epoch_speedup(&uniform.trace, &r.trace, 0.50).map_or("-".into(), fmt_num),
+                epoch_speedup(&uniform.trace, &r.trace, 0.80).map_or("-".into(), fmt_num),
+                fmt_num(r.final_metrics.objective),
+            ]);
+        }
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+    println!(
+        "Expected: every-k commits track the shifting gradient distribution\n\
+         within each pass, which matters most late in training and at low ψ\n\
+         (heavy importance skew). Smaller k reacts faster but re-weights from\n\
+         noisier windows; epoch commits are the deterministic baseline. The\n\
+         cost side is structural rather than visible here: every-k runs draw\n\
+         on the training path (streamed schedules) instead of pre-generating\n\
+         sequences offline.\n"
+    );
+    ctx.write("ablation_intra_epoch.txt", &rendered);
+    ctx.write("ablation_intra_epoch.csv", &table.to_csv());
+}

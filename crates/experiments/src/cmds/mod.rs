@@ -9,6 +9,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod intra_epoch;
 pub mod isgain;
 pub mod summary;
 pub mod table1;

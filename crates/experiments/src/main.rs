@@ -16,6 +16,7 @@
 //!   ablation-svrg     §1.2     — literature vs skip-µ SVRG
 //!   ablation-scheme   Eq. 12   — importance scheme × ψ × step regime
 //!   ablation-adaptive Eq. 11   — static vs adaptive importance sampling
+//!   ablation-intra-epoch       — epoch vs every-k adaptive commit policy
 //!   is-gain           §2.2     — provable-regime IS speedup sweep
 //!   cluster           §2.3     — per-node balancing in the local-SGD setting
 //!   theory            §3       — bound calculators, τ budgets, Δ̄
@@ -138,6 +139,7 @@ fn run_command(ctx: &mut Ctx, cmd: &str) {
         "ablation-svrg" => cmds::ablations::svrg(ctx),
         "ablation-scheme" => cmds::ablations::schemes(ctx),
         "ablation-adaptive" => cmds::adaptive::run(ctx),
+        "ablation-intra-epoch" => cmds::intra_epoch::run(ctx),
         "is-gain" => cmds::isgain::run(ctx),
         "cluster" => cmds::cluster::run(ctx),
         "theory" => cmds::theory::run(ctx),
@@ -157,6 +159,7 @@ fn run_command(ctx: &mut Ctx, cmd: &str) {
                 "ablation-svrg",
                 "ablation-scheme",
                 "ablation-adaptive",
+                "ablation-intra-epoch",
                 "is-gain",
                 "cluster",
                 "theory",
@@ -181,7 +184,8 @@ USAGE: isasgd-experiments [FLAGS] <COMMAND>...
 COMMANDS
   table1 fig1 fig2 fig3 fig4 fig5 summary
   ablation-balance ablation-seq ablation-svrg ablation-scheme
-  ablation-adaptive is-gain cluster theory variance dense-crossover all
+  ablation-adaptive ablation-intra-epoch is-gain cluster theory variance
+  dense-crossover all
 
 FLAGS
   --quick | --scale <f> | --epochs <n> | --seed <n>

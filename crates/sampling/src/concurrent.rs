@@ -1,0 +1,391 @@
+//! [`StripedFenwick`]: a striped, epoch-versioned concurrent Fenwick
+//! tree.
+//!
+//! The plain [`FenwickSampler`](crate::FenwickSampler) needs `&mut` for
+//! every weight update, which is fine for the per-shard samplers the
+//! engine drives from one thread — but intra-epoch adaptivity in the
+//! *threaded* runtime needs many Hogwild workers to publish observations
+//! concurrently while an epoch is still running. This structure provides
+//! that substrate:
+//!
+//! * **Striped** — the index space is split into contiguous stripes,
+//!   each guarded by its own mutex over an independent Fenwick segment.
+//!   Writers touching different stripes never contend; per-stripe totals
+//!   make the global total and weighted draws a short scan over stripe
+//!   summaries.
+//! * **Epoch-versioned** — every write carries the epoch version it was
+//!   observed under. [`StripedFenwick::drain_observed`] bumps the
+//!   version *before* collecting, so a laggard worker still holding a
+//!   reference from the previous epoch has its commits rejected instead
+//!   of contaminating the next epoch's accumulation.
+//!
+//! Two usage modes:
+//!
+//! * As a **concurrent observation accumulator** (the engine's threaded
+//!   adaptive path): workers [`StripedFenwick::observe_max`] scaled
+//!   observations during the epoch; the main thread drains the touched
+//!   rows at the barrier and feeds them to the per-shard samplers via
+//!   [`FeedbackProtocol::commit_observed`](crate::FeedbackProtocol::commit_observed).
+//! * As a **live weighted distribution** ([`StripedFenwick::commit`] +
+//!   [`StripedFenwick::sample`]): draws under concurrent updates are
+//!   weakly consistent — each stripe is internally consistent, but the
+//!   cross-stripe total may interleave with in-flight updates. The
+//!   proptests pin that any interleaving of commits over disjoint rows
+//!   converges to exactly the sequential Fenwick state.
+
+use crate::rng::Xoshiro256pp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One mutex-guarded Fenwick segment.
+#[derive(Debug)]
+struct Stripe {
+    /// 1-based Fenwick tree over this stripe's slots; `tree[0]` unused.
+    tree: Vec<f64>,
+    /// Raw slot values, for exact reads.
+    values: Vec<f64>,
+    /// Whether a slot has been written since the last drain.
+    touched: Vec<bool>,
+    /// Touched slots in first-touch order (drain order).
+    dirty: Vec<u32>,
+    /// Cached segment total.
+    total: f64,
+}
+
+impl Stripe {
+    fn new(slots: usize) -> Self {
+        Stripe {
+            tree: vec![0.0; slots + 1],
+            values: vec![0.0; slots],
+            touched: vec![false; slots],
+            dirty: Vec::new(),
+            total: 0.0,
+        }
+    }
+
+    fn set(&mut self, slot: usize, w: f64) {
+        let delta = w - self.values[slot];
+        self.values[slot] = w;
+        self.total += delta;
+        let n = self.values.len();
+        let mut j = slot + 1;
+        while j <= n {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+        if !self.touched[slot] {
+            self.touched[slot] = true;
+            self.dirty.push(slot as u32);
+        }
+    }
+
+    /// Standard Fenwick descend within the segment.
+    fn descend(&self, mut target: f64) -> usize {
+        let n = self.values.len();
+        let mut pos = 0usize;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] < target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos.min(n - 1)
+    }
+
+    fn clear(&mut self) {
+        self.tree.fill(0.0);
+        for &s in &self.dirty {
+            self.values[s as usize] = 0.0;
+            self.touched[s as usize] = false;
+        }
+        self.dirty.clear();
+        self.total = 0.0;
+    }
+}
+
+/// A striped, epoch-versioned concurrent Fenwick tree over `len` rows
+/// (see the module docs). All methods take `&self`; the structure is
+/// `Sync` and meant to be shared across worker threads.
+#[derive(Debug)]
+pub struct StripedFenwick {
+    stripes: Vec<Mutex<Stripe>>,
+    stripe_len: usize,
+    len: usize,
+    epoch: AtomicU64,
+}
+
+impl StripedFenwick {
+    /// Builds a zero-initialized tree over `len` rows split into
+    /// `stripes` segments (clamped to `1..=len`). Panics if `len == 0`.
+    pub fn new(len: usize, stripes: usize) -> Self {
+        assert!(len > 0, "StripedFenwick needs at least one row");
+        let stripes = stripes.clamp(1, len);
+        let stripe_len = len.div_ceil(stripes);
+        let n_stripes = len.div_ceil(stripe_len);
+        let stripes = (0..n_stripes)
+            .map(|s| {
+                let lo = s * stripe_len;
+                let hi = ((s + 1) * stripe_len).min(len);
+                Mutex::new(Stripe::new(hi - lo))
+            })
+            .collect();
+        StripedFenwick {
+            stripes,
+            stripe_len,
+            len,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no rows (unreachable through `new`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The current epoch version; pass it back into writes so laggard
+    /// writers from a drained epoch are rejected.
+    pub fn version(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn slot_of(&self, i: usize) -> (usize, usize) {
+        (i / self.stripe_len, i % self.stripe_len)
+    }
+
+    fn write(&self, version: u64, i: usize, value: f64, max_accumulate: bool) -> bool {
+        if !value.is_finite() || value < 0.0 || i >= self.len {
+            return false;
+        }
+        let (s, slot) = self.slot_of(i);
+        let mut stripe = self.stripes[s].lock().expect("stripe poisoned");
+        // Re-check under the lock: drain_observed bumps the version
+        // before collecting, so a writer racing a drain lands here with a
+        // stale version and is rejected rather than leaking into the next
+        // epoch.
+        if self.epoch.load(Ordering::Acquire) != version {
+            return false;
+        }
+        let value = if max_accumulate && stripe.touched[slot] {
+            stripe.values[slot].max(value)
+        } else {
+            value
+        };
+        stripe.set(slot, value);
+        true
+    }
+
+    /// Sets row `i` to `value` (distribution use). Returns `false` —
+    /// without writing — when `version` is stale, the row is out of
+    /// range, or the value is non-finite/negative.
+    pub fn commit(&self, version: u64, i: usize, value: f64) -> bool {
+        self.write(version, i, value, false)
+    }
+
+    /// Accumulates an observation for row `i` as a per-row maximum
+    /// (observation-accumulator use; same rejection rules as
+    /// [`StripedFenwick::commit`]).
+    pub fn observe_max(&self, version: u64, i: usize, obs: f64) -> bool {
+        self.write(version, i, obs, true)
+    }
+
+    /// Current value of row `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        let (s, slot) = self.slot_of(i);
+        self.stripes[s].lock().expect("stripe poisoned").values[slot]
+    }
+
+    /// Total mass across all stripes. Under concurrent writes this is a
+    /// weakly consistent sum (each stripe's contribution is exact at the
+    /// moment its lock is held).
+    pub fn total(&self) -> f64 {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").total)
+            .sum()
+    }
+
+    /// Draws one row proportionally to current values, or `None` when
+    /// the tree holds no mass. Weakly consistent under concurrent writes
+    /// (see the module docs).
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> Option<usize> {
+        let totals: Vec<f64> = self
+            .stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").total)
+            .collect();
+        let grand: f64 = totals.iter().sum();
+        if grand <= 0.0 {
+            return None;
+        }
+        let mut target = rng.next_f64() * grand;
+        let mut pick = totals.len() - 1;
+        for (s, &t) in totals.iter().enumerate() {
+            if target < t || s == totals.len() - 1 {
+                pick = s;
+                break;
+            }
+            target -= t;
+        }
+        let stripe = self.stripes[pick].lock().expect("stripe poisoned");
+        if stripe.total <= 0.0 {
+            return None; // raced an emptying drain; caller may retry
+        }
+        // Clamp: the stripe may have shrunk since the totals snapshot.
+        let local = stripe.descend(target.min(stripe.total));
+        Some(pick * self.stripe_len + local)
+    }
+
+    /// Ends the accumulation epoch: bumps the version (rejecting laggard
+    /// writers), then collects and clears every touched row. Returns
+    /// `(global_row, value)` pairs in stripe-then-first-touch order.
+    pub fn drain_observed(&self) -> Vec<(usize, f64)> {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let mut out = Vec::new();
+        for (s, stripe) in self.stripes.iter().enumerate() {
+            let mut stripe = stripe.lock().expect("stripe poisoned");
+            let base = s * self.stripe_len;
+            for &slot in &stripe.dirty {
+                out.push((base + slot as usize, stripe.values[slot as usize]));
+            }
+            stripe.clear();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fenwick::FenwickSampler;
+
+    #[test]
+    fn matches_sequential_fenwick_after_updates() {
+        let striped = StripedFenwick::new(13, 4);
+        let v = striped.version();
+        let weights: Vec<f64> = (0..13).map(|i| (i % 5) as f64 + 0.5).collect();
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(striped.commit(v, i, w));
+        }
+        let seq = FenwickSampler::new(&weights).unwrap();
+        assert!((striped.total() - seq.total()).abs() < 1e-12);
+        for i in 0..13 {
+            assert_eq!(striped.weight(i), seq.weight(i));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let striped = StripedFenwick::new(6, 3);
+        let v = striped.version();
+        let weights = [4.0, 1.0, 3.0, 2.0, 0.0, 10.0];
+        for (i, &w) in weights.iter().enumerate() {
+            striped.commit(v, i, w);
+        }
+        let mut rng = Xoshiro256pp::new(11);
+        let draws = 100_000;
+        let mut counts = [0usize; 6];
+        for _ in 0..draws {
+            counts[striped.sample(&mut rng).unwrap()] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / draws as f64;
+            let expect = weights[i] / total;
+            assert!((freq - expect).abs() < 0.01, "row {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn empty_tree_samples_none() {
+        let striped = StripedFenwick::new(5, 2);
+        let mut rng = Xoshiro256pp::new(3);
+        assert_eq!(striped.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn observe_max_accumulates_per_row() {
+        let striped = StripedFenwick::new(4, 2);
+        let v = striped.version();
+        assert!(striped.observe_max(v, 2, 5.0));
+        assert!(striped.observe_max(v, 2, 1.0), "accepted but not shrinking");
+        assert_eq!(striped.weight(2), 5.0);
+        assert!(striped.observe_max(v, 2, 9.0));
+        assert_eq!(striped.weight(2), 9.0);
+    }
+
+    #[test]
+    fn drain_collects_touched_rows_and_resets() {
+        let striped = StripedFenwick::new(10, 3);
+        let v = striped.version();
+        striped.observe_max(v, 7, 2.0);
+        striped.observe_max(v, 1, 0.0); // a genuine zero observation counts
+        striped.observe_max(v, 7, 1.0);
+        let mut drained = striped.drain_observed();
+        drained.sort_unstable_by_key(|e| e.0);
+        assert_eq!(drained, vec![(1, 0.0), (7, 2.0)]);
+        assert_eq!(striped.total(), 0.0);
+        assert!(striped.drain_observed().is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_writes_are_rejected() {
+        let striped = StripedFenwick::new(8, 2);
+        let stale = striped.version();
+        striped.observe_max(stale, 3, 1.0);
+        let _ = striped.drain_observed(); // bumps the version
+        assert!(
+            !striped.observe_max(stale, 3, 7.0),
+            "laggard write from a drained epoch must be dropped"
+        );
+        assert!(striped.drain_observed().is_empty());
+        let fresh = striped.version();
+        assert!(striped.observe_max(fresh, 3, 7.0));
+    }
+
+    #[test]
+    fn rejects_bad_values_and_rows() {
+        let striped = StripedFenwick::new(4, 1);
+        let v = striped.version();
+        assert!(!striped.commit(v, 0, f64::NAN));
+        assert!(!striped.commit(v, 0, -1.0));
+        assert!(!striped.commit(v, 99, 1.0));
+    }
+
+    #[test]
+    fn concurrent_commits_from_threads_match_sequential() {
+        let n = 257;
+        let striped = StripedFenwick::new(n, 8);
+        let v = striped.version();
+        let weights: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 + 0.25).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let striped = &striped;
+                let weights = &weights;
+                scope.spawn(move || {
+                    for i in (t..n).step_by(4) {
+                        assert!(striped.commit(v, i, weights[i]));
+                    }
+                });
+            }
+        });
+        let seq = FenwickSampler::new(&weights).unwrap();
+        assert!((striped.total() - seq.total()).abs() < 1e-9);
+        for i in 0..n {
+            assert_eq!(striped.weight(i), seq.weight(i));
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The [`FeedbackProtocol`]: the single observation convention behind
+//! adaptive importance sampling.
+//!
+//! Adaptive samplers re-estimate their distribution from *observed*
+//! per-sample importance. What exactly an "observation" is — which
+//! quantity the training kernel reports, how it is scaled into gradient
+//! norms, how multi-visit rows accumulate, and how observations map from
+//! global dataset rows back to per-shard samplers — used to be
+//! hand-rolled twice, once in `isasgd-core`'s execution engine and once
+//! in `isasgd-cluster`'s node loop, and the two copies had drifted into
+//! bugs (out-of-shard rows panicked the router; multi-visit observations
+//! were silently dropped; zero-gradient epochs inverted the
+//! distribution). This module is the one pinned implementation both
+//! runtimes drive.
+//!
+//! The convention: training kernels report the raw **gradient scale**
+//! `|ℓ'(m)|` of each visited row — the only quantity they compute anyway.
+//! The protocol owns everything downstream:
+//!
+//! * **Norm precompute** — per-row feature norms `‖x_i‖` are computed
+//!   once at construction ([`FeedbackProtocol::for_dataset`]), so kernels
+//!   never touch norms in the hot loop.
+//! * **Observation models** ([`ObservationModel`]) — how a raw gradient
+//!   scale becomes an importance observation: the exact GLM gradient norm
+//!   `|ℓ'(m)|·‖x_i‖`, Katharopoulos & Fleuret's last-layer upper bound
+//!   `|ℓ'(m)|` alone, or a staleness-discounted variant that decays each
+//!   observation by its queue delay.
+//! * **Routing** — mapping global row indices to the owning shard's
+//!   sampler, skipping (and counting) rows outside every shard instead of
+//!   panicking.
+//!
+//! Per-row accumulation (max across visits) lives in
+//! [`AdaptiveIsSampler`](crate::AdaptiveIsSampler), which also owns the
+//! [`CommitPolicy`](crate::CommitPolicy) deciding *when* accumulated
+//! observations become visible to draws.
+
+use crate::rng::{derive_seeds, Xoshiro256pp};
+use crate::sampler::Sampler;
+use isasgd_sparse::Dataset;
+use std::ops::Range;
+
+/// Salt folded into the master seed to derive per-shard *draw* streams,
+/// kept distinct from the sequence-generation seeds. Shared by both
+/// runtimes (via [`draw_rngs`]) so a core worker and a cluster node with
+/// the same master seed and shard layout draw identical streams — the
+/// property the core↔cluster equivalence test pins.
+const DRAW_STREAM_SALT: u64 = 0xADA9_715E_5EED_0001;
+
+/// Derives the per-shard draw RNGs for live samplers from a master seed.
+///
+/// This is the single construction point for draw streams, shared by the
+/// `isasgd-core` plan and `isasgd-cluster` nodes (pre-generated samplers
+/// carry their own stream and ignore these).
+pub fn draw_rngs(master_seed: u64, shards: usize) -> Vec<Xoshiro256pp> {
+    derive_seeds(master_seed ^ DRAW_STREAM_SALT, shards)
+        .into_iter()
+        .map(Xoshiro256pp::new)
+        .collect()
+}
+
+/// How a raw observed gradient scale `|ℓ'(m)|` becomes an importance
+/// observation for the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ObservationModel {
+    /// The exact GLM per-sample gradient norm `|ℓ'(m)|·‖x_i‖` (default).
+    #[default]
+    GradNorm,
+    /// Katharopoulos & Fleuret's upper-bound observation: the gradient of
+    /// the loss with respect to the model's output alone — for a GLM,
+    /// `|ℓ'(m)|` without the feature-norm factor. Cheaper to reason about
+    /// under preconditioning and the natural analogue of their last-layer
+    /// bound.
+    LossBound,
+    /// [`ObservationModel::GradNorm`] decayed by the observation's delay:
+    /// `|ℓ'(m)|·‖x_i‖·2^(−delay/half_life)`, where `delay` is the
+    /// observation's age in steps (steps remaining until its commit,
+    /// plus the runtime's fixed staleness-queue delay τ). Observations
+    /// computed against a stale model are trusted less (Alain et al.'s
+    /// distributed estimators face the same decay choice). Note the
+    /// *uniform* τ component cancels under the sampler's mean
+    /// normalization; the per-observation age component is what shifts
+    /// weight toward fresher evidence.
+    StalenessDiscounted {
+        /// Half-life of an observation, in steps.
+        half_life: f64,
+    },
+}
+
+impl ObservationModel {
+    /// Default half-life (steps) for the bare `staleness` CLI spelling.
+    pub const DEFAULT_HALF_LIFE: f64 = 64.0;
+
+    /// Parses a CLI name: `gradnorm`, `loss-bound`, or
+    /// `staleness`/`staleness-discounted`.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "gradnorm" => ObservationModel::GradNorm,
+            "loss-bound" => ObservationModel::LossBound,
+            "staleness" | "staleness-discounted" => ObservationModel::StalenessDiscounted {
+                half_life: Self::DEFAULT_HALF_LIFE,
+            },
+            _ => return None,
+        })
+    }
+
+    /// The CLI/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObservationModel::GradNorm => "gradnorm",
+            ObservationModel::LossBound => "loss-bound",
+            ObservationModel::StalenessDiscounted { .. } => "staleness-discounted",
+        }
+    }
+}
+
+/// The shared feedback subsystem: shard layout, precomputed norms, and
+/// the observation model, behind the two entry points the runtimes use —
+/// [`FeedbackProtocol::route`] for batched epoch-end feedback and
+/// [`FeedbackProtocol::observe`] for streaming per-step feedback.
+#[derive(Debug, Clone)]
+pub struct FeedbackProtocol {
+    /// Contiguous, sorted shard ranges (global row indices).
+    ranges: Vec<Range<usize>>,
+    /// Per-global-row feature norms `‖x_i‖`.
+    norms: Vec<f64>,
+    /// Observation scaling convention.
+    model: ObservationModel,
+    /// The runtime's fixed staleness-queue delay τ (0 when none), added
+    /// to every observation's age under
+    /// [`ObservationModel::StalenessDiscounted`].
+    queue_delay: usize,
+}
+
+impl FeedbackProtocol {
+    /// Builds the protocol from precomputed **squared** row norms (the
+    /// form `isasgd_sparse::stats::row_norms_sq` produces); takes the
+    /// square roots once here.
+    pub fn new(ranges: Vec<Range<usize>>, norms_sq: &[f64], model: ObservationModel) -> Self {
+        FeedbackProtocol {
+            ranges,
+            norms: norms_sq.iter().map(|&x| x.sqrt()).collect(),
+            model,
+            queue_delay: 0,
+        }
+    }
+
+    /// Builds the protocol for a dataset, owning the norm precompute
+    /// (one `O(nnz)` scan).
+    pub fn for_dataset(data: &Dataset, ranges: Vec<Range<usize>>, model: ObservationModel) -> Self {
+        Self::new(ranges, &isasgd_sparse::stats::row_norms_sq(data), model)
+    }
+
+    /// Sets the runtime's fixed staleness-queue delay τ (consumed only by
+    /// [`ObservationModel::StalenessDiscounted`]).
+    pub fn set_queue_delay(&mut self, tau: usize) {
+        self.queue_delay = tau;
+    }
+
+    /// The observation model in force.
+    pub fn model(&self) -> ObservationModel {
+        self.model
+    }
+
+    /// Scales a raw observed gradient scale for global row `row` into
+    /// sampler-observation units. `age` is the number of steps between
+    /// the observation and its commit (0 for an immediate commit).
+    pub fn observation(&self, row: usize, grad_scale: f64, age: usize) -> f64 {
+        match self.model {
+            ObservationModel::GradNorm => grad_scale * self.norms[row],
+            ObservationModel::LossBound => grad_scale,
+            ObservationModel::StalenessDiscounted { half_life } => {
+                let delay = (age + self.queue_delay) as f64;
+                grad_scale * self.norms[row] * (-delay / half_life.max(1e-9)).exp2()
+            }
+        }
+    }
+
+    /// Locates the shard owning global row `row`, returning
+    /// `(shard, local_index)` — `None` when the row lies outside every
+    /// shard (shards need not tile the dataset).
+    pub fn locate(&self, row: usize) -> Option<(usize, usize)> {
+        // Shard ranges are contiguous and sorted; find the owner.
+        let k = self.ranges.partition_point(|r| r.end <= row);
+        let r = self.ranges.get(k)?;
+        r.contains(&row).then(|| (k, row - r.start))
+    }
+
+    /// Streaming entry point: feeds one observed gradient scale for
+    /// global row `row` into `sampler` (shard `shard`'s sampler).
+    /// Returns `false` — without touching the sampler — when the row is
+    /// not owned by that shard.
+    pub fn observe(
+        &self,
+        shard: usize,
+        sampler: &mut dyn Sampler,
+        row: usize,
+        grad_scale: f64,
+        age: usize,
+    ) -> bool {
+        match self.locate(row) {
+            Some((k, local)) if k == shard => {
+                sampler.update_weight(local, self.observation(row, grad_scale, age));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Batched entry point: maps global-row observations (in step order,
+    /// as the engine's feedback buffer records them) back to each shard's
+    /// sampler. Ages are derived from position — the `i`-th of `m`
+    /// observations commits `m−1−i` steps after it was recorded.
+    ///
+    /// Returns the number of observations that were **dropped** because
+    /// their row lies outside every shard. Out-of-shard rows are a caller
+    /// bug upstream (the engine schedules only in-shard rows), but the
+    /// protocol's contract is to skip and count them rather than panic —
+    /// the pre-protocol router indexed past the end of the shard table
+    /// for any row beyond the last shard.
+    pub fn route(&self, samplers: &mut [Box<dyn Sampler>], feedback: &[(u32, f64)]) -> usize {
+        let m = feedback.len();
+        let mut dropped = 0usize;
+        for (i, &(row, grad_scale)) in feedback.iter().enumerate() {
+            let row = row as usize;
+            match self.locate(row) {
+                Some((k, local)) if k < samplers.len() => {
+                    samplers[k].update_weight(local, self.observation(row, grad_scale, m - 1 - i));
+                }
+                _ => dropped += 1,
+            }
+        }
+        dropped
+    }
+
+    /// Commits already-scaled observations (e.g. drained from a
+    /// [`StripedFenwick`](crate::StripedFenwick) accumulator, which
+    /// applied [`FeedbackProtocol::observation`] at observe time) into
+    /// the owning samplers. Returns the number dropped as out-of-shard.
+    pub fn commit_observed(
+        &self,
+        samplers: &mut [Box<dyn Sampler>],
+        observed: &[(usize, f64)],
+    ) -> usize {
+        let mut dropped = 0usize;
+        for &(row, obs) in observed {
+            match self.locate(row) {
+                Some((k, local)) if k < samplers.len() => samplers[k].update_weight(local, obs),
+                _ => dropped += 1,
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{AdaptiveIsSampler, CommitPolicy};
+
+    fn two_shard_protocol(model: ObservationModel) -> FeedbackProtocol {
+        // 6 rows, norms‖x‖ = 1..6, two shards of 3.
+        let norms_sq: Vec<f64> = (1..=6).map(|i| (i * i) as f64).collect();
+        FeedbackProtocol::new(vec![0..3, 3..6], &norms_sq, model)
+    }
+
+    fn adaptive(n: usize) -> AdaptiveIsSampler {
+        AdaptiveIsSampler::with_params(&vec![1.0; n], 0.0, 1.0).unwrap()
+    }
+
+    fn boxed(n: usize) -> Vec<Box<dyn Sampler>> {
+        vec![Box::new(adaptive(n)), Box::new(adaptive(n))]
+    }
+
+    #[test]
+    fn gradnorm_scales_by_row_norm() {
+        let p = two_shard_protocol(ObservationModel::GradNorm);
+        assert_eq!(p.observation(0, 2.0, 0), 2.0);
+        assert_eq!(p.observation(4, 2.0, 9), 10.0, "age ignored by gradnorm");
+    }
+
+    #[test]
+    fn loss_bound_drops_the_norm_factor() {
+        let p = two_shard_protocol(ObservationModel::LossBound);
+        assert_eq!(p.observation(4, 2.0, 0), 2.0);
+    }
+
+    #[test]
+    fn staleness_discount_halves_per_half_life() {
+        let mut p = two_shard_protocol(ObservationModel::StalenessDiscounted { half_life: 10.0 });
+        let fresh = p.observation(2, 1.0, 0);
+        let stale = p.observation(2, 1.0, 10);
+        assert!((fresh - 3.0).abs() < 1e-12);
+        assert!((stale - 1.5).abs() < 1e-12, "one half-life halves");
+        // The fixed queue delay τ adds to every observation's age.
+        p.set_queue_delay(10);
+        assert!((p.observation(2, 1.0, 0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_maps_rows_to_shards() {
+        let p = two_shard_protocol(ObservationModel::GradNorm);
+        assert_eq!(p.locate(0), Some((0, 0)));
+        assert_eq!(p.locate(2), Some((0, 2)));
+        assert_eq!(p.locate(3), Some((1, 0)));
+        assert_eq!(p.locate(5), Some((1, 2)));
+        assert_eq!(p.locate(6), None);
+        assert_eq!(p.locate(usize::MAX), None);
+    }
+
+    #[test]
+    fn out_of_range_rows_are_skipped_not_panicked() {
+        // Regression: a row past the last shard used to index the shard
+        // table at ranges.len() and panic. It must be counted + skipped.
+        let p = two_shard_protocol(ObservationModel::GradNorm);
+        let mut samplers = boxed(3);
+        let dropped = p.route(
+            &mut samplers,
+            &[(0, 1.0), (1, 2.0), (6, 1.0), (400, 1.0), (3, 1.0), (4, 3.0)],
+        );
+        assert_eq!(dropped, 2);
+        // The in-range observations still landed.
+        for s in samplers.iter_mut() {
+            s.epoch_reset();
+        }
+        assert!(samplers[0].correction(1) < samplers[0].correction(0));
+        assert!(samplers[1].correction(1) < samplers[1].correction(0));
+    }
+
+    #[test]
+    fn observe_rejects_rows_outside_the_given_shard() {
+        let p = two_shard_protocol(ObservationModel::GradNorm);
+        let mut s = adaptive(3);
+        assert!(p.observe(0, &mut s, 0, 0.5, 0));
+        assert!(p.observe(0, &mut s, 1, 2.0, 0));
+        assert!(!p.observe(0, &mut s, 4, 2.0, 0), "row 4 belongs to shard 1");
+        assert!(!p.observe(1, &mut s, 6, 2.0, 0), "row 6 is out of range");
+        s.epoch_reset();
+        assert!(s.weight(1) > s.weight(0));
+    }
+
+    /// The core↔cluster convention pin at the protocol level: the batched
+    /// epoch-end path (engine) and the streaming per-step path (cluster
+    /// node / intra-epoch engine) must produce identical sampler weight
+    /// trajectories for the same shard layout, seed, and observation
+    /// stream.
+    #[test]
+    fn batched_route_and_streaming_observe_trajectories_match() {
+        for model in [
+            ObservationModel::GradNorm,
+            ObservationModel::LossBound,
+            ObservationModel::StalenessDiscounted { half_life: 8.0 },
+        ] {
+            let p = two_shard_protocol(model);
+            let mut routed = boxed(3);
+            let mut streamed = boxed(3);
+            // Three epochs of a fixed observation stream, multi-visit
+            // rows included.
+            for epoch in 0..3u32 {
+                let stream: Vec<(u32, f64)> = (0..12)
+                    .map(|t| ((t * 5 + epoch) % 6, 0.25 + ((t + epoch) % 4) as f64))
+                    .collect();
+                let dropped = p.route(&mut routed, &stream);
+                assert_eq!(dropped, 0);
+                let m = stream.len();
+                for (i, &(row, g)) in stream.iter().enumerate() {
+                    let (shard, _) = p.locate(row as usize).unwrap();
+                    assert!(p.observe(shard, &mut *streamed[shard], row as usize, g, m - 1 - i));
+                }
+                for s in routed.iter_mut().chain(streamed.iter_mut()) {
+                    s.epoch_reset();
+                }
+                for (a, b) in routed.iter().zip(&streamed) {
+                    let ca: Vec<f64> = (0..3).map(|i| a.correction(i)).collect();
+                    let cb: Vec<f64> = (0..3).map(|i| b.correction(i)).collect();
+                    assert_eq!(ca, cb, "{model:?} epoch {epoch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commit_observed_matches_direct_updates() {
+        let p = two_shard_protocol(ObservationModel::GradNorm);
+        let mut a = boxed(3);
+        let mut b = boxed(3);
+        let obs = [(0usize, 4.0), (4, 9.0), (7, 1.0)];
+        assert_eq!(p.commit_observed(&mut a, &obs), 1, "row 7 is out of range");
+        b[0].update_weight(0, 4.0);
+        b[1].update_weight(1, 9.0);
+        for s in a.iter_mut().chain(b.iter_mut()) {
+            s.epoch_reset();
+        }
+        for (x, y) in a.iter().zip(&b) {
+            for i in 0..3 {
+                assert_eq!(x.correction(i), y.correction(i));
+            }
+        }
+    }
+
+    #[test]
+    fn observation_model_parsing() {
+        assert_eq!(
+            ObservationModel::parse("gradnorm"),
+            Some(ObservationModel::GradNorm)
+        );
+        assert_eq!(
+            ObservationModel::parse("loss-bound"),
+            Some(ObservationModel::LossBound)
+        );
+        assert!(matches!(
+            ObservationModel::parse("staleness"),
+            Some(ObservationModel::StalenessDiscounted { .. })
+        ));
+        assert_eq!(ObservationModel::parse("psychic"), None);
+        assert_eq!(ObservationModel::GradNorm.name(), "gradnorm");
+        assert_eq!(ObservationModel::default(), ObservationModel::GradNorm);
+    }
+
+    #[test]
+    fn draw_rngs_are_deterministic_and_distinct() {
+        let mut a = draw_rngs(7, 3);
+        let mut b = draw_rngs(7, 3);
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            assert_eq!(x.next_raw(), y.next_raw());
+        }
+        let mut c = draw_rngs(8, 3);
+        assert_ne!(a[0].next_raw(), c[0].next_raw());
+    }
+
+    #[test]
+    fn every_k_through_the_protocol_adapts_mid_stream() {
+        let p = two_shard_protocol(ObservationModel::GradNorm);
+        let mut s = AdaptiveIsSampler::with_params(&[1.0; 3], 0.0, 1.0)
+            .unwrap()
+            .with_commit(CommitPolicy::EveryK(2));
+        p.observe(0, &mut s, 0, 5.0, 0);
+        p.observe(0, &mut s, 1, 1.0, 0);
+        // Two accepted observations → committed without an epoch reset.
+        assert!(s.weight(0) > s.weight(1));
+    }
+}

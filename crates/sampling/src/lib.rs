@@ -19,31 +19,54 @@
 //!
 //! The [`Sampler`] trait unifies the three distributions a solver can draw
 //! from — [`UniformSampler`], [`StaticIsSampler`] (the paper's offline
-//! sequences) and [`AdaptiveIsSampler`] (Fenwick-backed, re-weighted
-//! between epochs from observed gradient magnitudes) — behind
+//! sequences) and [`AdaptiveIsSampler`] (Fenwick-backed, re-weighted from
+//! observed gradient magnitudes) — behind
 //! `next`/`correction`/`update_weight`/`epoch_reset`. The solver runtime
 //! in `isasgd-core` consumes `Box<dyn Sampler>` per worker shard, so every
 //! (algorithm, execution) pair supports every [`SamplingStrategy`] without
 //! touching its training kernel; `isasgd-cluster` nodes do the same.
 //! The strategy is surfaced to users as `isasgd train --sampling
 //! {uniform,static,adaptive}`.
+//!
+//! # The feedback protocol
+//!
+//! Adaptive sampling closes a loop: kernels observe per-sample gradient
+//! scales, and the sampler's distribution tracks them. The
+//! [`FeedbackProtocol`] owns that loop's conventions — observation
+//! scaling ([`ObservationModel`]: exact `|ℓ'(m)|·‖x‖` gradient norms,
+//! Katharopoulos & Fleuret's loss-bound, or staleness-discounted), the
+//! per-row norm precompute, and global-row→shard-sampler routing — and is
+//! the single feedback entry point for both the `isasgd-core` engine and
+//! `isasgd-cluster` nodes. *When* accumulated observations become visible
+//! to draws is the sampler's [`CommitPolicy`]: at epoch boundaries
+//! (deterministic, per-epoch-unbiased) or every `k` observations
+//! (intra-epoch adaptivity). [`StripedFenwick`] provides the striped,
+//! epoch-versioned concurrent substrate threaded runtimes use to
+//! accumulate observations without a barrier. Surfaced as `isasgd train
+//! --obs-model {gradnorm,loss-bound,staleness} --commit
+//! {epoch,every-k,every-<n>}`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod concurrent;
 pub mod error;
+pub mod feedback;
 pub mod fenwick;
 pub mod rng;
 pub mod sampler;
 pub mod sequence;
 
 pub use alias::AliasTable;
+pub use concurrent::StripedFenwick;
 pub use error::SamplingError;
+pub use feedback::{draw_rngs, FeedbackProtocol, ObservationModel};
 pub use fenwick::FenwickSampler;
 pub use rng::{splitmix64, Xoshiro256pp};
 pub use sampler::{
-    build_sampler, AdaptiveIsSampler, Sampler, SamplingStrategy, StaticIsSampler, UniformSampler,
+    build_sampler, AdaptiveIsSampler, CommitPolicy, Sampler, SamplingStrategy, StaticIsSampler,
+    UniformSampler,
 };
 pub use sequence::{SampleSequence, SequenceMode};
 

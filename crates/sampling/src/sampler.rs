@@ -71,6 +71,61 @@ impl SamplingStrategy {
     }
 }
 
+/// When an adaptive sampler folds its pending observations into the live
+/// distribution.
+///
+/// The paper keeps its distribution frozen for a whole run; the adaptive
+/// extension re-estimates it from observed gradient magnitudes. *When*
+/// those estimates become visible to draws is a policy choice:
+///
+/// * [`CommitPolicy::EpochBoundary`] — commit once per epoch, at
+///   [`Sampler::epoch_reset`]. Every epoch samples from one fixed
+///   distribution, preserving the per-epoch unbiasedness argument and
+///   keeping pre-generated schedules valid.
+/// * [`CommitPolicy::EveryK`] — additionally commit after every `k`
+///   accepted observations, *inside* the epoch. Draws that happen after a
+///   commit see the refreshed distribution, so the sampler tracks the
+///   shifting gradient landscape within a single pass (the intra-epoch
+///   adaptivity the ROADMAP asks for). Runtimes that pre-materialize
+///   their epoch schedule fall back to boundary semantics; streaming
+///   runtimes (the sequential/simulated engine paths and cluster nodes)
+///   get genuine intra-epoch updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPolicy {
+    /// Commit pending observations only at epoch boundaries (default; the
+    /// deterministic, per-epoch-unbiased mode).
+    #[default]
+    EpochBoundary,
+    /// Commit after every `k` accepted observations as well as at epoch
+    /// boundaries. `k = 0` is normalized to 1 at use.
+    EveryK(usize),
+}
+
+impl CommitPolicy {
+    /// Default `k` for the bare `--commit every-k` CLI spelling.
+    pub const DEFAULT_EVERY_K: usize = 32;
+
+    /// Parses a CLI name: `epoch`, `every-k`, or `every-<n>`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "epoch" => Some(CommitPolicy::EpochBoundary),
+            "every-k" => Some(CommitPolicy::EveryK(Self::DEFAULT_EVERY_K)),
+            _ => {
+                let n: usize = s.strip_prefix("every-")?.parse().ok()?;
+                (n > 0).then_some(CommitPolicy::EveryK(n))
+            }
+        }
+    }
+
+    /// The CLI/display name (`every-<k>` for explicit strides).
+    pub fn name(&self) -> String {
+        match self {
+            CommitPolicy::EpochBoundary => "epoch".to_string(),
+            CommitPolicy::EveryK(k) => format!("every-{k}"),
+        }
+    }
+}
+
 /// A stream of sample indices over `0..len()` outcomes, with per-outcome
 /// importance-sampling step corrections and optional adaptivity hooks.
 ///
@@ -130,12 +185,15 @@ pub fn build_sampler(
     len: usize,
     mode: SequenceMode,
     seed: u64,
+    commit: CommitPolicy,
 ) -> Result<Box<dyn Sampler>, SamplingError> {
     match (strategy, weights) {
         (SamplingStrategy::Static, Some(w)) => {
             Ok(Box::new(StaticIsSampler::from_weights(w, len, mode, seed)?))
         }
-        (SamplingStrategy::Adaptive, Some(w)) => Ok(Box::new(AdaptiveIsSampler::new(w)?)),
+        (SamplingStrategy::Adaptive, Some(w)) => {
+            Ok(Box::new(AdaptiveIsSampler::new(w)?.with_commit(commit)))
+        }
         _ => {
             let mode = match mode {
                 // Weighted-only modes degrade to uniform i.i.d.
@@ -287,19 +345,35 @@ impl Sampler for StaticIsSampler {
 /// w_i ← (1−γ)·w_i + γ·obs_i
 /// ```
 ///
-/// Feedback accumulates through [`Sampler::update_weight`] and is
-/// committed at [`Sampler::epoch_reset`], so a full epoch samples from
-/// one fixed distribution (keeping the unbiasedness argument per epoch
-/// and the run deterministic under a seed).
+/// Feedback accumulates through [`Sampler::update_weight`] as a per-row
+/// **maximum** — a row visited `k` times in one window keeps its largest
+/// observation, matching the upper-bound observation semantics of
+/// Katharopoulos & Fleuret (an importance estimate should not shrink
+/// because a later visit happened to land on a flatter model) — and is
+/// committed per the sampler's [`CommitPolicy`]: at
+/// [`Sampler::epoch_reset`] under [`CommitPolicy::EpochBoundary`] (so a
+/// full epoch samples from one fixed distribution, keeping the
+/// unbiasedness argument per epoch and the run deterministic under a
+/// seed), or additionally after every `k` accepted observations under
+/// [`CommitPolicy::EveryK`].
 #[derive(Debug, Clone)]
 pub struct AdaptiveIsSampler {
     fen: FenwickSampler,
-    /// Pending EMA targets observed this epoch (NaN = no observation).
+    /// Pending EMA targets observed this window (NaN = no observation);
+    /// multi-visit rows accumulate their per-row max.
     pending: Vec<f64>,
+    /// Rows with a finite pending observation, in first-observation
+    /// order — commits walk this dirty list so an `EveryK` commit costs
+    /// O(window), not O(n).
+    observed_rows: Vec<u32>,
     /// Uniform-mixture floor β.
     beta: f64,
     /// EMA retention γ for weight refreshes.
     gamma: f64,
+    /// When pending observations fold into the live distribution.
+    commit: CommitPolicy,
+    /// Accepted observations since the last commit (drives `EveryK`).
+    since_commit: usize,
 }
 
 impl AdaptiveIsSampler {
@@ -335,10 +409,25 @@ impl AdaptiveIsSampler {
         let fen = FenwickSampler::new(initial_weights)?;
         Ok(Self {
             pending: vec![f64::NAN; initial_weights.len()],
+            observed_rows: Vec::new(),
             fen,
             beta,
             gamma,
+            commit: CommitPolicy::EpochBoundary,
+            since_commit: 0,
         })
+    }
+
+    /// Sets the commit policy (builder-style; default
+    /// [`CommitPolicy::EpochBoundary`]).
+    pub fn with_commit(mut self, commit: CommitPolicy) -> Self {
+        self.commit = commit;
+        self
+    }
+
+    /// The sampler's commit policy.
+    pub fn commit_policy(&self) -> CommitPolicy {
+        self.commit
     }
 
     /// The current mixture probability of outcome `i`.
@@ -350,6 +439,51 @@ impl AdaptiveIsSampler {
     /// The current raw weight of outcome `i`.
     pub fn weight(&self, i: usize) -> f64 {
         self.fen.weight(i)
+    }
+
+    /// Folds pending observations into the Fenwick distribution.
+    ///
+    /// Observations are normalized to the current mean weight scale so
+    /// the EMA mixes comparable magnitudes, floored so every row stays
+    /// sampleable (bounding corrections), and blended with retention γ.
+    /// An all-zero window (`mean_obs == 0`, e.g. a converged or
+    /// zero-gradient epoch) carries no ranking information and leaves the
+    /// distribution **unchanged** — scaling observed rows to the floor
+    /// while unobserved rows kept their weight would invert the
+    /// distribution.
+    fn commit_pending(&mut self) {
+        self.since_commit = 0;
+        if self.observed_rows.is_empty() {
+            return;
+        }
+        // Walk only the dirty list (rows observed this window), so a
+        // commit costs O(window) — EveryK commits sit on the training
+        // hot path of streamed schedules.
+        let mut rows = std::mem::take(&mut self.observed_rows);
+        let mean_w = self.fen.total() / self.fen.len() as f64;
+        let sum: f64 = rows.iter().map(|&i| self.pending[i as usize]).sum();
+        let mean_obs = sum / rows.len() as f64;
+        if mean_obs > 0.0 {
+            let scale = mean_w / mean_obs;
+            // Floor keeps every row sampleable, bounding corrections.
+            let floor = mean_w * 1e-3;
+            for &i in &rows {
+                let i = i as usize;
+                let target = (self.pending[i] * scale).max(floor);
+                let blended = (1.0 - self.gamma) * self.fen.weight(i) + self.gamma * target;
+                self.fen
+                    .update(i, blended)
+                    .expect("blended weight is finite and non-negative");
+            }
+        }
+        // mean_obs == 0 is the degenerate all-zero window: nothing to
+        // rank by, so the distribution stays untouched and the window is
+        // simply dropped.
+        for &i in &rows {
+            self.pending[i as usize] = f64::NAN;
+        }
+        rows.clear();
+        self.observed_rows = rows; // keep the allocation
     }
 }
 
@@ -372,41 +506,27 @@ impl Sampler for AdaptiveIsSampler {
 
     fn update_weight(&mut self, i: usize, observed: f64) {
         if observed.is_finite() && observed >= 0.0 {
-            // Last observation this epoch wins; EMA applies at commit.
-            self.pending[i] = observed;
+            // Per-row max across visits in the window; EMA applies at
+            // commit. (A plain overwrite would silently drop every
+            // observation but the last for multi-visit rows.)
+            let prev = self.pending[i];
+            if prev.is_finite() {
+                self.pending[i] = prev.max(observed);
+            } else {
+                self.pending[i] = observed;
+                self.observed_rows.push(i as u32);
+            }
+            self.since_commit += 1;
+            if let CommitPolicy::EveryK(k) = self.commit {
+                if self.since_commit >= k.max(1) {
+                    self.commit_pending();
+                }
+            }
         }
     }
 
     fn epoch_reset(&mut self) {
-        // Normalize pending observations to the current mean weight scale
-        // so the EMA mixes comparable magnitudes, then commit.
-        let mean_w = self.fen.total() / self.fen.len() as f64;
-        let observed: Vec<(usize, f64)> = self
-            .pending
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.is_finite())
-            .map(|(i, &o)| (i, o))
-            .collect();
-        if observed.is_empty() {
-            return;
-        }
-        let mean_obs = observed.iter().map(|&(_, o)| o).sum::<f64>() / observed.len() as f64;
-        let scale = if mean_obs > 0.0 {
-            mean_w / mean_obs
-        } else {
-            0.0
-        };
-        // Floor keeps every row sampleable, bounding corrections.
-        let floor = mean_w * 1e-3;
-        for (i, obs) in observed {
-            let target = (obs * scale).max(floor);
-            let blended = (1.0 - self.gamma) * self.fen.weight(i) + self.gamma * target;
-            self.fen
-                .update(i, blended)
-                .expect("blended weight is finite and non-negative");
-        }
-        self.pending.fill(f64::NAN);
+        self.commit_pending();
     }
 
     fn is_adaptive(&self) -> bool {
@@ -491,6 +611,112 @@ mod tests {
             w0 / w1 < 3.0,
             "EMA must damp the 3:1 observation, got {w0}/{w1}"
         );
+    }
+
+    #[test]
+    fn adaptive_keeps_max_of_multi_visit_observations() {
+        // A row visited several times per epoch must keep its largest
+        // observation (upper-bound semantics), not the last one.
+        let mut s = AdaptiveIsSampler::with_params(&[1.0, 1.0], 0.0, 1.0).unwrap();
+        s.update_weight(0, 8.0); // large early observation...
+        s.update_weight(0, 0.5); // ...must survive a small later one
+        s.update_weight(1, 1.0);
+        s.epoch_reset();
+        let ratio = s.weight(0) / s.weight(1);
+        assert!(
+            (ratio - 8.0).abs() < 1e-9,
+            "expected the 8.0 observation to win, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn all_zero_epoch_leaves_distribution_unchanged() {
+        // Regression: an all-zero observation window used to drive every
+        // *observed* row to the floor while unobserved rows kept their
+        // weight — inverting the distribution. It must be a no-op.
+        let mut s = AdaptiveIsSampler::with_params(&[4.0, 2.0, 1.0], 0.0, 1.0).unwrap();
+        let before: Vec<f64> = (0..3).map(|i| s.weight(i)).collect();
+        s.update_weight(0, 0.0);
+        s.update_weight(1, 0.0);
+        s.epoch_reset();
+        let after: Vec<f64> = (0..3).map(|i| s.weight(i)).collect();
+        assert_eq!(before, after, "zero-gradient epoch must not re-rank");
+        // And the pending window was dropped: the next (informative)
+        // epoch starts clean.
+        s.update_weight(2, 5.0);
+        s.update_weight(0, 1.0);
+        s.epoch_reset();
+        assert!(s.weight(2) > s.weight(0));
+    }
+
+    #[test]
+    fn every_k_commits_inside_the_epoch() {
+        let mut boundary = AdaptiveIsSampler::with_params(&[1.0, 1.0], 0.0, 1.0).unwrap();
+        let mut every2 = AdaptiveIsSampler::with_params(&[1.0, 1.0], 0.0, 1.0)
+            .unwrap()
+            .with_commit(CommitPolicy::EveryK(2));
+        for s in [&mut boundary, &mut every2] {
+            s.update_weight(0, 9.0);
+            s.update_weight(1, 1.0);
+        }
+        // Mid-epoch: the boundary sampler still holds the initial
+        // distribution; the every-2 sampler has already committed.
+        assert_eq!(boundary.weight(0), boundary.weight(1));
+        assert!(
+            every2.weight(0) > every2.weight(1),
+            "EveryK(2) must fold observations into live weights mid-epoch"
+        );
+        // Epoch reset converges both to re-ranked weights.
+        boundary.epoch_reset();
+        every2.epoch_reset();
+        assert!(boundary.weight(0) > boundary.weight(1));
+    }
+
+    #[test]
+    fn commit_policy_parsing_roundtrip() {
+        assert_eq!(
+            CommitPolicy::parse("epoch"),
+            Some(CommitPolicy::EpochBoundary)
+        );
+        assert_eq!(
+            CommitPolicy::parse("every-k"),
+            Some(CommitPolicy::EveryK(CommitPolicy::DEFAULT_EVERY_K))
+        );
+        assert_eq!(
+            CommitPolicy::parse("every-128"),
+            Some(CommitPolicy::EveryK(128))
+        );
+        assert_eq!(CommitPolicy::parse("every-0"), None);
+        assert_eq!(CommitPolicy::parse("sometimes"), None);
+        assert_eq!(CommitPolicy::EpochBoundary.name(), "epoch");
+        assert_eq!(CommitPolicy::EveryK(64).name(), "every-64");
+        assert_eq!(CommitPolicy::default(), CommitPolicy::EpochBoundary);
+    }
+
+    #[test]
+    fn build_sampler_honors_commit_policy() {
+        let w = [1.0, 2.0, 3.0];
+        let s = build_sampler(
+            SamplingStrategy::Adaptive,
+            Some(&w),
+            3,
+            SequenceMode::RegeneratePerEpoch,
+            1,
+            CommitPolicy::EveryK(7),
+        )
+        .unwrap();
+        assert!(s.is_adaptive());
+        // Non-adaptive strategies ignore the policy without error.
+        let s = build_sampler(
+            SamplingStrategy::Static,
+            Some(&w),
+            8,
+            SequenceMode::RegeneratePerEpoch,
+            1,
+            CommitPolicy::EveryK(7),
+        )
+        .unwrap();
+        assert!(!s.is_adaptive());
     }
 
     #[test]

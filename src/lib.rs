@@ -37,7 +37,7 @@
 //! |---|---|
 //! | [`core`] | solvers: SGD, ASGD (Hogwild), IS-SGD, IS-ASGD, SVRG-(A)SGD |
 //! | [`sparse`] | CSR datasets, LibSVM IO |
-//! | [`sampling`] | alias/Fenwick samplers, sample sequences, RNG |
+//! | [`sampling`] | alias/Fenwick samplers, adaptive feedback protocol, sample sequences, RNG |
 //! | [`model`] | lock-free atomic shared model |
 //! | [`losses`] | objectives, gradients, importance weights |
 //! | [`datagen`] | Table-1-calibrated synthetic datasets |
@@ -78,7 +78,10 @@ pub mod prelude {
         interpolate::time_to_error, speedup::SpeedupSummary, Trace, TracePoint,
     };
     pub use isasgd_model::{shared::UpdateMode, SavedModel, SharedModel};
-    pub use isasgd_sampling::{AdaptiveIsSampler, Sampler, SamplingStrategy};
+    pub use isasgd_sampling::{
+        AdaptiveIsSampler, CommitPolicy, FeedbackProtocol, ObservationModel, Sampler,
+        SamplingStrategy,
+    };
     pub use isasgd_sampling::{AliasTable, SampleSequence, SequenceMode};
     pub use isasgd_sparse::{libsvm, Dataset, DatasetBuilder, DatasetStats, SparseVec};
 }
