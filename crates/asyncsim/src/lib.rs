@@ -8,18 +8,23 @@
 //! updates — `ŵ_t = w_t + θ_t` in Eq. 21. This crate implements exactly
 //! that semantics, sequentially and deterministically:
 //!
-//! * [`DelayQueue`] — a FIFO holding at most τ in-flight items.
-//! * [`round_robin_interleave`] — the schedule a homogeneous worker pool
-//!   produces.
+//! * [`DelayQueue`] — a FIFO holding at most τ in-flight items, with a
+//!   logical clock that measures each item's *actual* in-flight delay
+//!   (an epoch-end barrier flushes younger items before their τ expires;
+//!   the staleness-discounted feedback path consumes those measurements).
 //!
 //! The solver runtime in `isasgd-core` drives its compute/apply-split
 //! [`Solver`](../isasgd_core/solvers/solver/trait.Solver.html) updates
-//! through the queue: with `τ = 0` the simulation *is* the sequential
-//! algorithm (the queue passes items straight through), and growing τ
-//! reproduces the convergence degradation that the paper's Figures 3–5
-//! show for 16/32/44 threads — on any machine, with a fixed seed.
-//! (An earlier in-crate `StalenessEngine` hard-coded the SGD kernel here;
-//! it was superseded by the generic engine and removed.)
+//! through the queue, drawing each worker's stream lazily round-robin —
+//! at global step `t`, worker `t mod k` takes a step from its live
+//! `ScheduleStream` (no schedule is ever materialized): with `τ = 0` the
+//! simulation *is* the sequential algorithm (the queue passes items
+//! straight through), and growing τ reproduces the convergence
+//! degradation that the paper's Figures 3–5 show for 16/32/44 threads —
+//! on any machine, with a fixed seed. (An earlier in-crate
+//! `StalenessEngine` hard-coded the SGD kernel here, and an earlier
+//! `round_robin_interleave` pre-materialized the worker schedules; both
+//! were superseded by the streaming engine and removed.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,49 +32,3 @@
 pub mod queue;
 
 pub use queue::DelayQueue;
-
-/// Interleaves per-worker iteration streams round-robin, the schedule a
-/// homogeneous pool of workers produces: at global step `t`, worker
-/// `t mod k` takes a step. Streams of unequal length drain as workers
-/// finish their local shards.
-pub fn round_robin_interleave<T: Copy>(streams: &[Vec<T>]) -> Vec<T> {
-    let total: usize = streams.iter().map(|s| s.len()).sum();
-    let mut out = Vec::with_capacity(total);
-    let mut cursors = vec![0usize; streams.len()];
-    let mut remaining = total;
-    while remaining > 0 {
-        for (k, stream) in streams.iter().enumerate() {
-            if cursors[k] < stream.len() {
-                out.push(stream[cursors[k]]);
-                cursors[k] += 1;
-                remaining -= 1;
-            }
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn interleave_round_robin_order() {
-        let s = vec![vec![1, 2, 3], vec![10, 20, 30]];
-        assert_eq!(round_robin_interleave(&s), vec![1, 10, 2, 20, 3, 30]);
-    }
-
-    #[test]
-    fn interleave_unequal_lengths() {
-        let s = vec![vec![1, 2, 3], vec![10]];
-        assert_eq!(round_robin_interleave(&s), vec![1, 10, 2, 3]);
-    }
-
-    #[test]
-    fn interleave_empty() {
-        let s: Vec<Vec<u32>> = vec![vec![], vec![]];
-        assert!(round_robin_interleave(&s).is_empty());
-        let s: Vec<Vec<u32>> = vec![];
-        assert!(round_robin_interleave(&s).is_empty());
-    }
-}

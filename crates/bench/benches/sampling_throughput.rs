@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use isasgd_sampling::{
-    AdaptiveIsSampler, AliasTable, CommitPolicy, FenwickSampler, SampleSequence, Sampler,
-    SequenceMode, StripedFenwick, Xoshiro256pp,
+    AdaptiveIsSampler, AliasTable, CommitPolicy, Draw, FenwickSampler, SampleSequence, Sampler,
+    ScheduleStream, SequenceMode, StripedFenwick, Xoshiro256pp,
 };
 use std::hint::black_box;
 
@@ -95,6 +95,59 @@ fn samplers(c: &mut Criterion) {
             b.iter(|| {
                 let i = r.next_index(n);
                 black_box(striped.observe_max(version, i, r.next_f64() + 0.01))
+            });
+        });
+    }
+
+    // Streamed vs materialized epoch schedules: the engine pulls bounded
+    // chunks from a ScheduleStream (O(chunk) memory, distribution read
+    // at pull time) where the old path collected a full epoch Vec
+    // (O(n) allocation per epoch, frozen distribution). Same adaptive
+    // sampler underneath, so the delta is pure schedule mechanics.
+    {
+        let n = 100_000usize;
+        let mut rng = Xoshiro256pp::new(12);
+        let weights: Vec<f64> = (0..n).map(|_| rng.next_f64() + 0.01).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        let sampler = AdaptiveIsSampler::new(&weights).unwrap();
+        let mut stream =
+            ScheduleStream::new(Box::new(sampler.clone()), Xoshiro256pp::new(13), 0, 0, n);
+        let mut chunk: Vec<Draw> = Vec::with_capacity(ScheduleStream::DEFAULT_CHUNK);
+        group.bench_function("stream_chunked_epoch", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                while stream.fill_chunk(&mut chunk, ScheduleStream::DEFAULT_CHUNK) > 0 {
+                    for d in &chunk {
+                        acc = acc.wrapping_add(d.row as u64);
+                    }
+                }
+                stream.epoch_reset();
+                black_box(acc)
+            });
+        });
+
+        let mut mat_sampler = sampler;
+        let mut mat_rng = Xoshiro256pp::new(13);
+        group.bench_function("materialized_epoch", |b| {
+            b.iter(|| {
+                // The pre-stream engine path: draw the whole epoch into a
+                // Vec, then walk it.
+                let schedule: Vec<Draw> = (0..n)
+                    .map(|_| {
+                        let i = mat_sampler.next(&mut mat_rng);
+                        Draw {
+                            row: i as u32,
+                            corr: mat_sampler.correction(i),
+                        }
+                    })
+                    .collect();
+                let mut acc = 0u64;
+                for d in &schedule {
+                    acc = acc.wrapping_add(d.row as u64);
+                }
+                mat_sampler.epoch_reset();
+                black_box(acc)
             });
         });
     }

@@ -126,15 +126,26 @@ fn report(spec: &TrainSpec, r: &RunResult, test: Option<&Dataset>, quiet: bool) 
                 p.epoch, p.wall_secs, p.objective, p.rmse, p.error_rate
             );
         }
+        if r.sampler_commits.last().copied().unwrap_or(0) > 0 {
+            // Cumulative commit versions per epoch: growth beyond one
+            // per worker per epoch is intra-epoch (--commit every-k)
+            // adaptivity firing mid-epoch.
+            eprintln!(
+                "[sampler] cumulative commits per epoch: {:?}",
+                r.sampler_commits
+            );
+        }
     }
     println!(
-        "algorithm={} epochs={} train_secs={:.3} setup_secs={:.4} final_obj={:.6} final_err={:.6}",
+        "algorithm={} epochs={} train_secs={:.3} setup_secs={:.4} final_obj={:.6} \
+         final_err={:.6} sampler_commits={}",
         r.trace.algorithm,
         spec.epochs,
         r.train_secs,
         r.setup_secs,
         r.final_metrics.objective,
-        r.final_metrics.error_rate
+        r.final_metrics.error_rate,
+        r.sampler_commits.last().copied().unwrap_or(0)
     );
     if let Some(te) = test {
         // Held-out metrics under the same loss type.
@@ -171,7 +182,8 @@ isasgd train <data.svm> [flags]
   --obs-model <m>    gradnorm | loss-bound | staleness — how adaptive
                      sampling scores observations            [gradnorm]
   --commit <when>    epoch | every-k | every-<n> — when adaptive
-                     samplers re-weight (every-k = intra-epoch) [epoch]
+                     samplers re-weight (every-k = intra-epoch, streamed
+                     on every exec mode; needs --sampling adaptive) [epoch]
   --bias <f>         uniform mix for --scheme partial       [0.5]
   --balance <name>   adaptive | head-tail | greedy | shuffle | identity
   --epochs <n>       passes over the data                   [10]

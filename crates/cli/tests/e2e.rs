@@ -279,6 +279,68 @@ fn obs_model_and_commit_flags_end_to_end() {
         run(&["--obs-model", model]);
     }
 
+    // `--commit every-k` without adaptive sampling used to be silently
+    // accepted (the sampler ignores feedback, so the run degraded to
+    // epoch-boundary semantics); it must be rejected with a pointer at
+    // the fix.
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args([
+            "--algo", "is-sgd", "--epochs", "2", "--quiet", "--commit", "every-k",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "every-k without adaptive sampling must be a config error"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("adaptive"), "error must name the fix: {err}");
+
+    // Threaded runs consume intra-epoch commits too (the streamed
+    // worker schedules): the summary's cumulative sampler commit count
+    // must exceed one-per-worker-per-epoch.
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args([
+            "--algo",
+            "is-asgd",
+            "--threads",
+            "2",
+            "--epochs",
+            "3",
+            "--step",
+            "0.2",
+            "--seed",
+            "7",
+            "--sampling",
+            "adaptive",
+            "--commit",
+            "every-32",
+            "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout).to_string();
+    let commits: u64 = summary
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("sampler_commits="))
+        .unwrap_or_else(|| panic!("no sampler_commits in summary: {summary}"))
+        .parse()
+        .unwrap();
+    assert!(
+        commits > 2 * 3,
+        "threaded every-k must commit inside epochs, got {commits}"
+    );
+
     // Rejected values report helpful errors.
     for (flag, value) in [("--obs-model", "psychic"), ("--commit", "never")] {
         let out = bin()

@@ -6,8 +6,8 @@ use isasgd_losses::{importance_weights, ImportanceScheme, Loss, Objective};
 use isasgd_metrics::{Trace, TracePoint};
 use isasgd_sampling::rng::derive_seeds;
 use isasgd_sampling::{
-    build_sampler, draw_rngs, CommitPolicy, FeedbackProtocol, ObservationModel, Sampler,
-    SamplingStrategy, SequenceMode, Xoshiro256pp,
+    build_sampler, draw_rngs, CommitPolicy, FeedbackProtocol, ObservationModel, SamplingStrategy,
+    ScheduleStream, SequenceMode,
 };
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::{Dataset, SparseError};
@@ -83,20 +83,22 @@ pub struct RoundPoint {
     pub error_rate: f64,
 }
 
-/// One simulated node: a shard plus its private sampler state.
+/// One simulated node: a shard plus its private draw stream.
 ///
+/// The node consumes draws from the same [`ScheduleStream`] mechanism
+/// the `isasgd-core` engine workers use — one stream per shard, owning
+/// the node's sampler and private draw RNG — so a single-node cluster
+/// run stays bit-equal to the sequential engine (pinned by
+/// `tests/equivalence.rs`, on the streamed intra-epoch path too).
 /// Observation scaling and norm precompute live in the run-level
-/// [`FeedbackProtocol`] shared by all nodes (and, conventionally, with
-/// the `isasgd-core` engine) — the node holds no feedback state of its
-/// own beyond the sampler's pending window.
+/// [`FeedbackProtocol`] shared by all nodes; the node holds no feedback
+/// state of its own beyond the sampler's pending window.
 pub struct Node {
     /// Row range into the (rearranged) dataset.
     pub range: Range<usize>,
-    /// The node's local sampling distribution (uniform, static-IS, or
-    /// adaptive-IS) — any [`Sampler`] implementation works.
-    sampler: Box<dyn Sampler>,
-    /// Private draw stream for live samplers.
-    rng: Xoshiro256pp,
+    /// The node's draw stream (wraps its uniform, static-IS, or
+    /// adaptive-IS sampler and its private RNG).
+    stream: ScheduleStream,
     /// The node's local model replica.
     pub model: Vec<f64>,
     /// Shard importance sum Φ_a (paper Eq. 18).
@@ -184,6 +186,20 @@ pub fn run<L: Loss>(
             cfg.step_size
         )));
     }
+    // Same guard as the core plan: intra-epoch commits only exist for
+    // adaptive samplers; anything else would silently run boundary
+    // semantics.
+    if matches!(cfg.commit, CommitPolicy::EveryK(_))
+        && (cfg.sampling != SamplingStrategy::Adaptive
+            || matches!(cfg.importance, ImportanceScheme::Uniform))
+    {
+        return Err(ClusterError::InvalidConfig(format!(
+            "commit policy '{}' needs adaptive sampling (only adaptive samplers \
+             re-weight from observations); use sampling: Adaptive with a \
+             non-uniform importance scheme, or commit: EpochBoundary",
+            cfg.commit.name()
+        )));
+    }
 
     let n = ds.n_samples();
     let d = ds.dim();
@@ -225,8 +241,13 @@ pub fn run<L: Loss>(
         .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
         nodes.push(Node {
             range: r.clone(),
-            sampler,
-            rng: draw_streams.next().expect("one stream per node"),
+            stream: ScheduleStream::new(
+                sampler,
+                draw_streams.next().expect("one stream per node"),
+                k,
+                r.start,
+                r.len(),
+            ),
             model: vec![0.0; d],
             phi,
         });
@@ -270,12 +291,12 @@ pub fn run<L: Loss>(
     let shard_sizes: Vec<usize> = nodes.iter().map(|x| x.range.len()).collect();
     for round in 1..=cfg.rounds {
         let t0 = Instant::now();
-        for (k, node) in nodes.iter_mut().enumerate() {
+        for node in nodes.iter_mut() {
             // Local training starts from the consensus.
             node.model.copy_from_slice(&consensus);
             for _ in 0..cfg.local_epochs {
-                local_epoch(&data, obj, node, k, protocol.as_ref(), cfg.step_size);
-                node.sampler.epoch_reset();
+                local_epoch(&data, obj, node, protocol.as_ref(), cfg.step_size);
+                node.stream.epoch_reset();
             }
         }
         train_secs += t0.elapsed().as_secs_f64();
@@ -310,39 +331,31 @@ pub fn run<L: Loss>(
 }
 
 /// One local epoch of sequential (IS-)SGD on the node's shard, drawn
-/// through the node's [`Sampler`]. Observed gradient scales stream
-/// through the shared [`FeedbackProtocol`] — the single scaling
+/// through the node's [`ScheduleStream`]. Observed gradient scales
+/// stream through the shared [`FeedbackProtocol`] — the single scaling
 /// convention this runtime shares with the `isasgd-core` engine — into
-/// the sampler's adaptivity hook (`protocol` is `None` for
-/// uniform/static sampling, where feedback is a no-op).
+/// the stream's own sampler (`protocol` is `None` for uniform/static
+/// sampling, where feedback is a no-op). Under `CommitPolicy::EveryK`
+/// the sampler re-weights mid-epoch and the very next draw sees it,
+/// matching the engine's sequential streaming path draw-for-draw.
 fn local_epoch<L: Loss>(
     data: &Dataset,
     obj: &Objective<L>,
     node: &mut Node,
-    node_idx: usize,
     protocol: Option<&FeedbackProtocol>,
     lambda: f64,
 ) {
-    let start = node.range.start;
-    let steps = node.range.len();
-    for step in 0..steps {
-        let local = node.sampler.next(&mut node.rng);
-        let corr = node.sampler.correction(local);
-        let row = data.row(start + local);
+    while let Some(d) = node.stream.next_draw() {
+        let row = data.row(d.row as usize);
         let margin = obj.margin(&row, &node.model);
         let g = obj.grad_scale(&row, margin);
-        let scale = lambda * corr;
+        let scale = lambda * d.corr;
         obj.apply_sgd_update(&row, -scale * g, scale, &mut node.model);
         if let Some(p) = protocol {
             // Age = steps remaining before the epoch-boundary commit
             // (consumed only by the staleness-discounted model).
-            p.observe(
-                node_idx,
-                node.sampler.as_mut(),
-                start + local,
-                g.abs(),
-                steps - 1 - step,
-            );
+            let age = node.stream.remaining();
+            node.stream.observe(p, d.row as usize, g.abs(), age);
         }
     }
 }
@@ -573,6 +586,63 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn every_k_without_adaptive_sampling_is_rejected() {
+        // Same contract as the core plan: intra-epoch commits with a
+        // sampler that ignores feedback would silently run boundary
+        // semantics — reject loudly instead.
+        let ds = separable(100);
+        for (sampling, importance) in [
+            (
+                SamplingStrategy::Static,
+                ImportanceScheme::LipschitzSmoothness,
+            ),
+            (SamplingStrategy::Adaptive, ImportanceScheme::Uniform),
+        ] {
+            let cfg = ClusterConfig {
+                sampling,
+                importance,
+                commit: CommitPolicy::EveryK(16),
+                ..ClusterConfig::default()
+            };
+            match run(&ds, &obj(), &cfg) {
+                Err(ClusterError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("adaptive"), "must point at the fix: {msg}")
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_k_adaptive_nodes_run_deterministically() {
+        let ds = sorted_skewed(300);
+        let cfg = ClusterConfig {
+            nodes: 3,
+            rounds: 3,
+            importance: ImportanceScheme::LipschitzSmoothness,
+            sampling: SamplingStrategy::Adaptive,
+            commit: CommitPolicy::EveryK(16),
+            ..ClusterConfig::default()
+        };
+        let a = run(&ds, &obj(), &cfg).unwrap();
+        let b = run(&ds, &obj(), &cfg).unwrap();
+        assert_eq!(a.model, b.model, "streamed node runs must reproduce");
+        let boundary = run(
+            &ds,
+            &obj(),
+            &ClusterConfig {
+                commit: CommitPolicy::EpochBoundary,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            a.model, boundary.model,
+            "mid-epoch commits must steer the nodes' remaining draws"
+        );
     }
 
     #[test]

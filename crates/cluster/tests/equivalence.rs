@@ -12,8 +12,8 @@
 
 use isasgd_cluster::{run, ClusterConfig, SyncStrategy};
 use isasgd_core::{
-    train, Algorithm, BalancePolicy, Execution, ImportanceScheme, LogisticLoss, Objective,
-    Regularizer, SamplingStrategy, TrainConfig,
+    train, Algorithm, BalancePolicy, CommitPolicy, Execution, ImportanceScheme, LogisticLoss,
+    Objective, Regularizer, SamplingStrategy, TrainConfig,
 };
 use isasgd_sparse::{Dataset, DatasetBuilder};
 
@@ -35,6 +35,15 @@ fn obj() -> Objective<LogisticLoss> {
 }
 
 fn run_both(strategy: SamplingStrategy, seed: u64, epochs: usize) -> (Vec<f64>, Vec<f64>) {
+    run_both_with_commit(strategy, CommitPolicy::EpochBoundary, seed, epochs)
+}
+
+fn run_both_with_commit(
+    strategy: SamplingStrategy,
+    commit: CommitPolicy,
+    seed: u64,
+    epochs: usize,
+) -> (Vec<f64>, Vec<f64>) {
     let ds = skewed(240);
     let scheme = ImportanceScheme::LipschitzSmoothness;
     let step = 0.3;
@@ -45,6 +54,7 @@ fn run_both(strategy: SamplingStrategy, seed: u64, epochs: usize) -> (Vec<f64>, 
         .with_seed(seed);
     cfg.importance = scheme;
     cfg.sampling = Some(strategy);
+    cfg.commit = commit;
     let algo = if strategy == SamplingStrategy::Uniform {
         Algorithm::Sgd
     } else {
@@ -65,6 +75,7 @@ fn run_both(strategy: SamplingStrategy, seed: u64, epochs: usize) -> (Vec<f64>, 
         balance: BalancePolicy::default(),
         sync: SyncStrategy::Average,
         sampling: strategy,
+        commit,
         seed,
         ..ClusterConfig::default()
     };
@@ -81,6 +92,27 @@ fn adaptive_single_node_cluster_is_bit_equal_to_sequential_engine() {
         assert_eq!(
             engine, cluster,
             "seed {seed}: adaptive engine and cluster runtimes diverged"
+        );
+        assert!(engine.iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn streamed_every_k_single_node_cluster_is_bit_equal_to_sequential_engine() {
+    // The streamed-path extension of the pin: under intra-epoch commits
+    // both runtimes draw one sample at a time from the live distribution
+    // and observe immediately, so the mid-epoch re-weights — and with
+    // them every subsequent draw — must coincide exactly.
+    for seed in [3u64, 0x15A5_6D00] {
+        let (engine, cluster) = run_both_with_commit(
+            SamplingStrategy::Adaptive,
+            CommitPolicy::EveryK(16),
+            seed,
+            5,
+        );
+        assert_eq!(
+            engine, cluster,
+            "seed {seed}: streamed engine and cluster runtimes diverged"
         );
         assert!(engine.iter().all(|x| x.is_finite()));
     }

@@ -159,10 +159,12 @@ pub struct TrainConfig {
     /// effective sampling strategy is adaptive.
     pub obs_model: ObservationModel,
     /// When adaptive samplers fold accumulated observations into the live
-    /// distribution: at epoch boundaries (default, deterministic) or
-    /// every `k` observations (intra-epoch adaptivity; the sequential and
-    /// simulated engine paths then stream draws instead of materializing
-    /// per-epoch schedules).
+    /// distribution: at epoch boundaries (default) or every `k`
+    /// observations (intra-epoch adaptivity). Every execution mode pulls
+    /// draws from live per-worker streams, so `EveryK` commits steer the
+    /// remaining draws of the same epoch on sequential, simulated, *and*
+    /// threaded runs; it requires `sampling = Adaptive` (rejected at plan
+    /// validation otherwise).
     pub commit: CommitPolicy,
 }
 

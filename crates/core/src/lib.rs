@@ -33,7 +33,13 @@
 //! # Sampling strategies
 //!
 //! Orthogonally to the matrix above, every SGD-family solver draws its
-//! samples from a per-worker boxed [`Sampler`](isasgd_sampling::Sampler):
+//! samples from a per-worker
+//! [`ScheduleStream`](isasgd_sampling::ScheduleStream) wrapping the
+//! shard's boxed [`Sampler`](isasgd_sampling::Sampler) — draws are pulled
+//! in bounded chunks from the live distribution on every execution mode
+//! (no schedule is ever materialized), so intra-epoch re-weighting
+//! (`TrainConfig::commit = EveryK`) steers the remaining draws of the
+//! same epoch even on real Hogwild threads:
 //!
 //! | [`SamplingStrategy`] | distribution | corrections |
 //! |---|---|---|

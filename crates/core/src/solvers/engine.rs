@@ -9,45 +9,62 @@
 //! * **Sequential** — `compute` + `apply` back-to-back over the single
 //!   shard's draw stream.
 //! * **`Threads(k)`** — real lock-free Hogwild workers over a
-//!   [`SharedModel`], each walking its shard's schedule through the
-//!   solver's [`SharedKernel`].
+//!   [`SharedModel`], each pulling chunks from its own shard's
+//!   [`ScheduleStream`] through the solver's [`SharedKernel`].
 //! * **`Simulated{tau, workers}`** — the paper's deterministic
-//!   bounded-staleness mode: per-worker streams interleave round-robin
+//!   bounded-staleness mode: worker streams are drawn lazily round-robin
 //!   and every update is applied `τ` logical steps after computation via
 //!   a [`DelayQueue`], with an epoch-boundary flush. `τ = 0` reproduces
 //!   the sequential path bit-for-bit.
 //!
-//! Sampling is delegated to the plan's per-worker boxed
-//! [`Sampler`](isasgd_sampling::Sampler)s. Adaptive feedback — observed
-//! per-sample gradient scales flowing back into the samplers — goes
-//! through the plan's
+//! **Schedules are never materialized.** Every path pulls draws from
+//! per-worker [`ScheduleStream`]s (each owns its shard's boxed
+//! [`Sampler`](isasgd_sampling::Sampler) and private draw RNG) in bounded
+//! chunks, so epoch memory is `O(workers · chunk)` instead of the old
+//! `O(n)` per-epoch `Vec` of draws — and a mid-epoch sampler re-weight is
+//! visible to the very next chunk on *every* execution mode. Only the
+//! owning stream consumes its RNG, so thread scheduling cannot perturb a
+//! worker's RNG sequence: single-threaded and simulated runs are
+//! bit-deterministic under a master seed, as are non-adaptive and
+//! 1-worker threaded runs. Multi-worker *adaptive* threaded runs remain
+//! structurally deterministic (draw counts, commit cadence) but not
+//! bitwise: racy Hogwild model reads feed run-varying observations into
+//! the sampler, so committed weights — and with them the rows RNG
+//! outputs map to — can differ run-to-run.
+//!
+//! Adaptive feedback — observed per-sample gradient scales flowing back
+//! into the samplers — goes through the plan's
 //! [`FeedbackProtocol`](isasgd_sampling::FeedbackProtocol), the single
 //! observation convention shared with `isasgd-cluster` (scaling model,
-//! norm precompute, shard routing); the engine itself never touches
-//! norms or shard arithmetic. Delivery depends on the commit policy and
-//! execution mode:
+//! norm precompute, shard routing); the engine itself never touches norms
+//! or shard arithmetic. Delivery is always streaming:
 //!
-//! * **Epoch-boundary commits** (default): sequential/simulated runs
-//!   buffer `(row, |ℓ'|)` pairs and route them in one batch at the epoch
-//!   barrier; threaded workers publish observations concurrently into a
-//!   striped, epoch-versioned
-//!   [`StripedFenwick`](isasgd_sampling::StripedFenwick) accumulator
-//!   that the barrier drains.
-//! * **`CommitPolicy::EveryK`** (intra-epoch adaptivity): the
-//!   sequential and simulated paths *stream* draws — each sample is
-//!   drawn from the live distribution, stepped, and observed
-//!   immediately, so commits inside the epoch steer the remaining
-//!   draws. Threaded runs keep pre-materialized schedules, so their
-//!   commits still land at the barrier (chunked by `k`).
+//! * **Sequential/threaded** runs observe each sample right after its
+//!   step, into the drawing worker's own sampler (shards are disjoint, so
+//!   a worker only ever observes rows its own sampler owns — threaded
+//!   adaptivity needs no cross-thread accumulator).
+//! * **Simulated** runs attach the observation to the in-flight update
+//!   and deliver it when the update *applies*, carrying the **measured**
+//!   queue delay from [`DelayQueue::push_timed`] — epoch-end flushes
+//!   report genuinely shorter delays than the configured τ, which is what
+//!   the staleness-discounted observation model consumes.
 //!
-//! Schedule drawing and sampler maintenance run *outside* the training
-//! timer and are accumulated into `setup_secs` instead, mirroring the
-//! paper's convention that sampling cost is "sampling time" overhead,
-//! not training — so `RunResult::setup_overhead` prices adaptivity's
-//! per-epoch draws honestly against static sequences. Streamed epochs
+//! *When* observations fold into the live distribution is the sampler's
+//! [`CommitPolicy`]: at epoch boundaries (default), or every `k` accepted
+//! observations (`EveryK` — intra-epoch adaptivity). Under `EveryK` the
+//! engine pulls draws in `k`-sized strides so each chunk is at most one
+//! commit window behind the freshest re-weighting; the per-epoch
+//! cumulative sampler commit count is reported in
+//! [`RunResult::sampler_commits`], where intra-epoch commits show up as
+//! the count advancing by more than `workers` per epoch.
+//!
+//! Draw cost accounting follows the paper's convention: epoch-boundary
+//! runs bill chunk pulls to `setup_secs` ("sampling time"), mirroring the
+//! offline sequence generation they replace. Streamed (`EveryK`) epochs
 //! are the exception: their draws interleave with gradient steps and are
 //! billed to training time (the price of intra-epoch adaptivity is paid
-//! on the hot path, where it belongs).
+//! on the hot path, where it belongs). Threaded workers likewise draw on
+//! the hot path — their pulls overlap training by construction.
 
 use crate::config::{Execution, TrainConfig};
 use crate::error::CoreError;
@@ -55,11 +72,11 @@ use crate::eval::{evaluate, TrainTimer};
 use crate::solvers::plan::build_plan;
 use crate::solvers::solver::{Feedback, Sched, Solver};
 use crate::trainer::RunResult;
-use isasgd_asyncsim::{round_robin_interleave, DelayQueue};
+use isasgd_asyncsim::DelayQueue;
 use isasgd_losses::{Loss, Objective};
 use isasgd_metrics::{Trace, TracePoint};
 use isasgd_model::SharedModel;
-use isasgd_sampling::{CommitPolicy, SamplingStrategy, StripedFenwick};
+use isasgd_sampling::{CommitPolicy, SamplingStrategy, ScheduleStream};
 
 /// Identifying metadata for one engine run.
 pub struct RunMeta<'a> {
@@ -71,6 +88,15 @@ pub struct RunMeta<'a> {
     /// Concurrency number recorded in the trace (τ, thread count, or 1).
     pub concurrency: usize,
 }
+
+/// One observation riding a simulated in-flight update: the sampled row,
+/// its raw gradient scale `|ℓ'(m)|`, and its age (worker-local draws
+/// remaining) at compute time. Delivered to the feedback protocol when
+/// the update applies, together with the queue's measured delay.
+type ObsNote = (u32, f64, usize);
+
+/// An in-flight simulated update paired with its (optional) observation.
+type InFlight<U> = (U, Option<ObsNote>);
 
 /// Runs `solver` on `ds` under `exec`, drawing samples per `strategy`.
 ///
@@ -106,20 +132,10 @@ pub fn run_engine<L: Loss, S: Solver>(
     let n = plan.data.n_samples();
     let dim = plan.data.dim();
     let adaptive = plan.is_adaptive();
-    // The staleness-discounted observation model decays by the queue
-    // delay; tell the protocol what τ this run holds updates for.
-    if let (Execution::Simulated { tau, .. }, Some(p)) = (exec, plan.feedback.as_mut()) {
-        p.set_queue_delay(tau);
-    }
-    // Intra-epoch commits only bite if draws can see them: stream draws
-    // on the single-threaded paths; threaded runs keep their
-    // pre-materialized schedules (commits land at the barrier).
+    // Intra-epoch commits steer the remaining draws of the same epoch on
+    // every execution mode — all of them pull from live streams.
+    let streaming = adaptive && matches!(plan.commit, CommitPolicy::EveryK(_));
     let threaded = matches!(exec, Execution::Threads(_));
-    let streaming = adaptive && matches!(plan.commit, CommitPolicy::EveryK(_)) && !threaded;
-    // One run-level concurrent observation accumulator for threaded
-    // adaptive runs — allocated once here; `drain_observed` re-arms it
-    // (bumping its epoch version) at every barrier.
-    let accumulator = (adaptive && threaded).then(|| StripedFenwick::new(n, 4 * workers.max(1)));
     let report_balance = solver.uses_importance_plan();
 
     // Model containers: a dense vector for sequential/simulated modes, a
@@ -142,14 +158,19 @@ pub fn run_engine<L: Loss, S: Solver>(
     );
     let mut timer = TrainTimer::new();
     let mut eval_timer = TrainTimer::new();
-    // Per-epoch draw + sampler-maintenance cost, folded into setup_secs
-    // (the paper's "sampling time").
+    // Chunk-pull + sampler-maintenance cost on boundary-commit runs,
+    // folded into setup_secs (the paper's "sampling time").
     let mut sampling_timer = TrainTimer::new();
     let mut steps: u64 = 0;
-    // Epoch-end feedback buffer (sequential/simulated batched paths).
-    let mut feedback: Vec<(u32, f64)> = Vec::new();
-    // Already-scaled observations drained from the threaded accumulator.
-    let mut observed: Vec<(usize, f64)> = Vec::new();
+    // Cumulative sampler commit count at each epoch's end.
+    let mut sampler_commits: Vec<u64> = Vec::with_capacity(cfg.epochs);
+    // Reused per-step observation buffer (single-threaded paths).
+    let mut obs_buf: Vec<(u32, f64)> = Vec::new();
+    // Reused draw chunk (sequential path).
+    let mut chunk: Vec<Sched> = Vec::new();
+    // Reused per-worker draw buffers (simulated path): (chunk, cursor).
+    // `Vec::new()` does not allocate, so non-simulated runs pay nothing.
+    let mut feeds: Vec<(Vec<Sched>, usize)> = (0..workers).map(|_| (Vec::new(), 0)).collect();
 
     // Epoch-0 point: metrics of the starting model at time zero.
     eval_timer.start();
@@ -165,168 +186,168 @@ pub fn run_engine<L: Loss, S: Solver>(
 
     for epoch in 0..cfg.epochs {
         let lambda = cfg.schedule.at(cfg.step_size, epoch);
-        // Feedback only matters if a subsequent epoch will sample from
-        // the re-weighted distribution; skip collection on the last one.
-        let collect = adaptive && epoch + 1 < cfg.epochs;
-
-        // A streamed epoch draws inside the training loop (intra-epoch
-        // adaptivity must see each commit before the next draw); the
-        // final epoch of a streaming run collects no feedback and falls
-        // back to the pre-drawn path, which consumes the same draw
-        // stream.
-        let stream_epoch = streaming && collect;
-
-        // Draw this epoch's per-worker schedules (outside the training
-        // timer: sequence generation is the paper's "sampling time").
-        sampling_timer.start();
-        let schedules: Vec<Vec<Sched>> = if stream_epoch {
-            Vec::new()
-        } else {
-            (0..workers)
-                .map(|k| {
-                    let range = &plan.ranges[k];
-                    let len = range.len();
-                    let sampler = &mut plan.samplers[k];
-                    let rng = &mut plan.rngs[k];
-                    (0..len)
-                        .map(|_| {
-                            let local = sampler.next(rng);
-                            Sched {
-                                row: (range.start + local) as u32,
-                                corr: sampler.correction(local),
-                            }
-                        })
-                        .collect()
-                })
-                .collect()
-        };
-        // The simulated schedule (round-robin interleave of the worker
-        // streams) is also sampling time, as in the pre-engine sim path.
-        let interleaved = if matches!(exec, Execution::Simulated { .. }) && !stream_epoch {
-            Some(round_robin_interleave(&schedules))
-        } else {
-            None
-        };
-        sampling_timer.stop();
+        // Feedback matters when a later epoch re-samples from it — or,
+        // on streamed runs, when a commit inside THIS epoch steers its
+        // own remaining draws (so the final epoch collects too).
+        let collect = adaptive && (streaming || epoch + 1 < cfg.epochs);
 
         timer.start();
         match exec {
             Execution::Sequential => {
                 solver.on_epoch_start(&plan.data, &w, lambda);
                 let batch = solver.batch().max(1);
-                if stream_epoch {
-                    let proto = plan
-                        .feedback
-                        .as_ref()
-                        .expect("adaptive plan has a protocol");
-                    let range = plan.ranges[0].clone();
-                    let sampler = &mut plan.samplers[0];
-                    let rng = &mut plan.rngs[0];
-                    let epoch_steps = range.len();
-                    let mut chunk: Vec<Sched> = Vec::with_capacity(batch);
-                    let mut obs_buf: Vec<(u32, f64)> = Vec::new();
-                    let mut done = 0usize;
-                    while done < epoch_steps {
-                        let b = batch.min(epoch_steps - done);
-                        chunk.clear();
-                        for _ in 0..b {
-                            let local = sampler.next(rng);
-                            chunk.push(Sched {
-                                row: (range.start + local) as u32,
-                                corr: sampler.correction(local),
-                            });
-                        }
-                        let mut fb = Feedback::into_buf(&mut obs_buf);
-                        let update = solver.compute(&plan.data, &chunk, lambda, &w, &mut fb);
-                        solver.apply(&plan.data, lambda, update, &mut w);
-                        for (j, &(row, g)) in obs_buf.iter().enumerate() {
-                            let age = epoch_steps - 1 - (done + j).min(epoch_steps - 1);
-                            proto.observe(0, sampler.as_mut(), row as usize, g, age);
-                        }
-                        obs_buf.clear();
-                        done += b;
-                    }
+                // Streamed epochs pull in solver-batch strides so every
+                // draw sees the freshest committed distribution;
+                // boundary-commit epochs pull large chunks (the
+                // distribution is frozen all epoch) with the draw cost
+                // billed to sampling time, as materialization was.
+                let chunk_len = if streaming {
+                    batch
                 } else {
-                    let mut fb = if collect {
-                        Feedback::into_buf(&mut feedback)
-                    } else {
-                        Feedback::disabled()
-                    };
-                    for chunk in schedules[0].chunks(batch) {
-                        let update = solver.compute(&plan.data, chunk, lambda, &w, &mut fb);
+                    (ScheduleStream::DEFAULT_CHUNK / batch).max(1) * batch
+                };
+                let proto = plan.feedback.as_ref();
+                let stream = &mut plan.streams[0];
+                let epoch_steps = stream.epoch_len();
+                let mut done = 0usize;
+                while !stream.is_exhausted() {
+                    if !streaming {
+                        timer.stop();
+                        sampling_timer.start();
+                    }
+                    stream.fill_chunk(&mut chunk, chunk_len);
+                    if !streaming {
+                        sampling_timer.stop();
+                        timer.start();
+                    }
+                    for group in chunk.chunks(batch) {
+                        let mut fb = if collect {
+                            Feedback::into_buf(&mut obs_buf)
+                        } else {
+                            Feedback::disabled()
+                        };
+                        let update = solver.compute(&plan.data, group, lambda, &w, &mut fb);
                         solver.apply(&plan.data, lambda, update, &mut w);
+                        if collect {
+                            let proto = proto.expect("adaptive plan has a protocol");
+                            for (j, &(row, g)) in obs_buf.iter().enumerate() {
+                                // Distance (in draws) from this
+                                // observation to the epoch barrier.
+                                let age = epoch_steps - 1 - (done + j).min(epoch_steps - 1);
+                                stream.observe(proto, row as usize, g, age);
+                            }
+                            obs_buf.clear();
+                        }
+                        done += group.len();
                     }
                 }
                 solver.on_epoch_end(&plan.data, lambda, &mut w);
             }
             Execution::Simulated { tau, .. } => {
                 solver.on_epoch_start(&plan.data, &w, lambda);
-                let mut queue: DelayQueue<S::Update> = DelayQueue::new(tau);
-                if stream_epoch {
-                    // Round-robin over live samplers: worker `t mod k`
-                    // draws from its *current* distribution at global
-                    // step t, so mid-epoch commits steer later draws.
-                    let proto = plan
-                        .feedback
-                        .as_ref()
-                        .expect("adaptive plan has a protocol");
-                    let mut remaining: Vec<usize> = plan.ranges.iter().map(|r| r.len()).collect();
-                    let total: usize = remaining.iter().sum();
-                    let mut obs_buf: Vec<(u32, f64)> = Vec::new();
-                    let mut k = 0usize;
-                    for _ in 0..total {
-                        while remaining[k] == 0 {
-                            k = (k + 1) % workers;
-                        }
-                        let start = plan.ranges[k].start;
-                        let s = {
-                            let sampler = &mut plan.samplers[k];
-                            let local = sampler.next(&mut plan.rngs[k]);
-                            Sched {
-                                row: (start + local) as u32,
-                                corr: sampler.correction(local),
-                            }
-                        };
-                        let mut fb = Feedback::into_buf(&mut obs_buf);
-                        let update = solver.compute(&plan.data, &[s], lambda, &w, &mut fb);
-                        if let Some(expired) = queue.push(update) {
-                            solver.apply(&plan.data, lambda, expired, &mut w);
-                        }
-                        remaining[k] -= 1;
-                        for &(row, g) in obs_buf.iter() {
-                            proto.observe(
-                                k,
-                                plan.samplers[k].as_mut(),
-                                row as usize,
-                                g,
-                                remaining[k],
-                            );
-                        }
-                        obs_buf.clear();
+                // In-flight updates carry their observation note (row,
+                // raw gradient scale, age at compute) so feedback lands
+                // at APPLY time with the queue delay actually measured —
+                // not the assumed uniform τ (epoch-end flushes are
+                // genuinely younger).
+                let mut queue: DelayQueue<InFlight<S::Update>> = DelayQueue::new(tau);
+                let chunk_len = if streaming {
+                    1
+                } else {
+                    ScheduleStream::DEFAULT_CHUNK
+                };
+                let proto = plan.feedback.as_ref();
+                let streams = &mut plan.streams;
+                let data = &plan.data;
+                // Rewind the reused per-worker draw buffers (emptied by
+                // the previous epoch; capacity is kept).
+                for f in feeds.iter_mut() {
+                    f.0.clear();
+                    f.1 = 0;
+                }
+                let total: usize = streams.iter().map(|s| s.remaining()).sum();
+                // Round-robin over live streams: worker `t mod k` draws
+                // from its *current* distribution at global step t, so
+                // mid-epoch commits steer later draws.
+                let mut k = 0usize;
+                for _ in 0..total {
+                    while feeds[k].1 == feeds[k].0.len() && streams[k].is_exhausted() {
                         k = (k + 1) % workers;
                     }
-                } else {
+                    if feeds[k].1 == feeds[k].0.len() {
+                        if !streaming {
+                            timer.stop();
+                            sampling_timer.start();
+                        }
+                        streams[k].fill_chunk(&mut feeds[k].0, chunk_len);
+                        feeds[k].1 = 0;
+                        if !streaming {
+                            sampling_timer.stop();
+                            timer.start();
+                        }
+                    }
+                    let s = feeds[k].0[feeds[k].1];
+                    feeds[k].1 += 1;
+                    // Worker-local draws remaining after this one (the
+                    // observation's distance to the epoch barrier).
+                    let age = streams[k].remaining() + (feeds[k].0.len() - feeds[k].1);
                     let mut fb = if collect {
-                        Feedback::into_buf(&mut feedback)
+                        Feedback::into_buf(&mut obs_buf)
                     } else {
                         Feedback::disabled()
                     };
-                    let schedule = interleaved.expect("built for simulated mode");
-                    for s in schedule {
-                        let update = solver.compute(&plan.data, &[s], lambda, &w, &mut fb);
-                        if let Some(expired) = queue.push(update) {
-                            solver.apply(&plan.data, lambda, expired, &mut w);
+                    let update = solver.compute(data, &[s], lambda, &w, &mut fb);
+                    let note = if collect {
+                        debug_assert!(
+                            obs_buf.len() <= 1,
+                            "simulated adaptive runs step one sample at a time"
+                        );
+                        obs_buf.pop().map(|(row, g)| (row, g, age))
+                    } else {
+                        None
+                    };
+                    obs_buf.clear();
+                    if let Some(((u, note), delay)) = queue.push_timed((update, note)) {
+                        solver.apply(data, lambda, u, &mut w);
+                        if let (Some((row, g, age)), Some(p)) = (note, proto) {
+                            let row = row as usize;
+                            if let Some((owner, _)) = p.locate(row) {
+                                p.observe_delayed(
+                                    owner,
+                                    streams[owner].sampler_mut(),
+                                    row,
+                                    g,
+                                    age,
+                                    delay,
+                                );
+                            }
+                        }
+                    }
+                    k = (k + 1) % workers;
+                }
+                // Epoch barrier: flush in-flight updates; their
+                // observations commit with the (shorter) measured delay
+                // the barrier imposed.
+                let pending: Vec<_> = queue.drain_timed().collect();
+                for ((u, note), delay) in pending {
+                    solver.apply(data, lambda, u, &mut w);
+                    if let (Some((row, g, age)), Some(p)) = (note, proto) {
+                        let row = row as usize;
+                        if let Some((owner, _)) = p.locate(row) {
+                            p.observe_delayed(
+                                owner,
+                                streams[owner].sampler_mut(),
+                                row,
+                                g,
+                                age,
+                                delay,
+                            );
                         }
                     }
                 }
-                // Epoch barrier: flush in-flight updates.
-                let pending: Vec<S::Update> = queue.drain().collect();
-                for update in pending {
-                    solver.apply(&plan.data, lambda, update, &mut w);
-                }
                 solver.on_epoch_end(&plan.data, lambda, &mut w);
             }
-            Execution::Threads(k) => {
+            Execution::Threads(_) => {
                 let model = shared.as_ref().expect("threaded mode owns a shared model");
                 if solver.wants_epoch_start() {
                     model.snapshot_into(&mut w);
@@ -342,42 +363,43 @@ pub fn run_engine<L: Loss, S: Solver>(
                     })?;
                 let data = &plan.data;
                 let mode = cfg.update_mode;
-                // Workers publish observations concurrently into the
-                // run-level striped, epoch-versioned accumulator (max
-                // per row, as the sampler's pending window would)
-                // instead of buffering thread-locally and joining; the
-                // barrier drains it below.
                 let proto = plan.feedback.as_ref();
-                let acc = if collect { accumulator.as_ref() } else { None };
+                // Each worker owns its shard's stream for the epoch and
+                // observes into its own sampler — shards are disjoint, so
+                // adaptivity is thread-local by construction. Under
+                // EveryK the pull stride is k: draws are at most one
+                // commit window behind the freshest re-weighting (and a
+                // 1-worker streamed threaded run is bit-equal to the
+                // sequential stream, which commits on the same
+                // k-aligned boundaries).
+                let chunk_len = match (streaming, plan.commit) {
+                    (true, CommitPolicy::EveryK(every)) => every.max(1),
+                    _ => ScheduleStream::DEFAULT_CHUNK,
+                };
                 std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..k)
-                        .map(|worker| {
-                            let schedule = &schedules[worker];
-                            scope.spawn(move || {
-                                let version = acc.map_or(0, |a| a.version());
-                                for (i, &s) in schedule.iter().enumerate() {
-                                    let obs =
+                    for stream in plan.streams.iter_mut() {
+                        scope.spawn(move || {
+                            let mut chunk: Vec<Sched> = Vec::with_capacity(chunk_len);
+                            loop {
+                                let pulled = stream.fill_chunk(&mut chunk, chunk_len);
+                                if pulled == 0 {
+                                    break;
+                                }
+                                let left = stream.remaining();
+                                for (j, &s) in chunk.iter().enumerate() {
+                                    let g =
                                         kernel.step_shared(data, s, lambda, model, mode, collect);
-                                    if let (Some(acc), Some(proto)) = (acc, proto) {
-                                        let row = s.row as usize;
-                                        let age = schedule.len() - 1 - i;
-                                        acc.observe_max(
-                                            version,
-                                            row,
-                                            proto.observation(row, obs, age),
-                                        );
+                                    if collect {
+                                        if let Some(p) = proto {
+                                            let age = left + (pulled - 1 - j);
+                                            stream.observe(p, s.row as usize, g, age);
+                                        }
                                     }
                                 }
-                            })
-                        })
-                        .collect();
-                    for handle in handles {
-                        handle.join().expect("worker thread panicked");
+                            }
+                        });
                     }
                 });
-                if let Some(acc) = acc {
-                    observed = acc.drain_observed();
-                }
                 kernel.epoch_end_shared(&plan.data, lambda, model, mode);
             }
         }
@@ -397,26 +419,15 @@ pub fn run_engine<L: Loss, S: Solver>(
             rmse: m.rmse,
             error_rate: m.error_rate,
         });
+        // Snapshot BEFORE the boundary commit below: growth beyond
+        // `workers` per epoch here is intra-epoch adaptivity firing.
+        sampler_commits.push(plan.commit_version());
 
-        // Sampler maintenance (sampling time, like schedule drawing):
-        // route observed importance through the feedback protocol into
-        // the adaptive samplers, then advance every stream to the next
-        // epoch. Skipped after the final epoch — regenerating a sequence
-        // nobody will consume would inflate the reported sampling
-        // overhead. Streamed epochs already delivered their observations
-        // per step, so only the epoch advance remains for them.
+        // Epoch barrier (sampling time, like chunk pulls): commit
+        // adaptive re-weighting and advance every stream. Skipped after
+        // the final epoch — nobody draws from the result.
         if epoch + 1 < cfg.epochs {
             sampling_timer.start();
-            if !feedback.is_empty() {
-                let dropped = plan.route_feedback(&feedback);
-                debug_assert_eq!(dropped, 0, "engine schedules only in-shard rows");
-                feedback.clear();
-            }
-            if !observed.is_empty() {
-                let dropped = plan.commit_observed(&observed);
-                debug_assert_eq!(dropped, 0, "accumulator rows come from the schedule");
-                observed.clear();
-            }
             plan.advance_epoch();
             sampling_timer.stop();
         }
@@ -434,11 +445,11 @@ pub fn run_engine<L: Loss, S: Solver>(
         train_secs: timer.seconds(),
         eval_secs: eval_timer.seconds(),
         steps,
+        sampler_commits,
         balanced: report_balance.then_some(plan.balanced),
         rho: report_balance.then_some(plan.rho),
     })
 }
-
 #[cfg(test)]
 mod tests {
     use crate::config::{Algorithm, Execution, StepSchedule, SvrgVariant, TrainConfig};
@@ -1209,6 +1220,164 @@ mod tests {
             gradnorm.model, stale.model,
             "staleness discounting must shift weight toward fresh evidence"
         );
+    }
+
+    // ------------------------------------ streamed worker schedules
+
+    #[test]
+    fn threaded_single_worker_every_k_stream_matches_sequential() {
+        // The streamed-threads equivalence pin: a 1-worker threaded run
+        // under intra-epoch commits IS the sequential streaming
+        // algorithm — same draw stream, same k-aligned commit
+        // boundaries, same step math (no regularizer, so the shared and
+        // dense kernels are bit-identical).
+        use isasgd_sampling::CommitPolicy;
+        let ds = skewed(240);
+        let mut cfg = TrainConfig::default()
+            .with_epochs(4)
+            .with_step_size(0.2)
+            .with_seed(17);
+        cfg.sampling = Some(SamplingStrategy::Adaptive);
+        cfg.commit = CommitPolicy::EveryK(16);
+        let seq = train(
+            &ds,
+            &obj(),
+            Algorithm::IsSgd,
+            Execution::Sequential,
+            &cfg,
+            "skew",
+        )
+        .unwrap();
+        let thr = train(
+            &ds,
+            &obj(),
+            Algorithm::IsAsgd,
+            Execution::Threads(1),
+            &cfg,
+            "skew",
+        )
+        .unwrap();
+        assert_eq!(
+            seq.model, thr.model,
+            "1-worker streamed threads must be bit-equal to sequential streaming"
+        );
+        assert_eq!(
+            seq.sampler_commits, thr.sampler_commits,
+            "commit cadence must match too"
+        );
+    }
+
+    #[test]
+    fn threaded_every_k_runs_are_reproducible_under_a_seed() {
+        use isasgd_sampling::CommitPolicy;
+        let ds = skewed(200);
+        let run = |threads| {
+            let mut cfg = TrainConfig::default()
+                .with_epochs(3)
+                .with_step_size(0.2)
+                .with_seed(23);
+            cfg.sampling = Some(SamplingStrategy::Adaptive);
+            cfg.commit = CommitPolicy::EveryK(16);
+            train(
+                &ds,
+                &obj(),
+                Algorithm::IsAsgd,
+                Execution::Threads(threads),
+                &cfg,
+                "skew",
+            )
+            .unwrap()
+        };
+        // One worker: the whole trajectory is bit-reproducible.
+        let (a, b) = (run(1), run(1));
+        assert_eq!(a.model, b.model, "1-worker streamed runs must reproduce");
+        // Two workers: the model is Hogwild-racy and the racy reads make
+        // observed values (hence committed weights, hence draws)
+        // run-varying — but the structure is deterministic: every
+        // observation is accepted, so the commit cadence and step counts
+        // reproduce exactly.
+        let (c, d) = (run(2), run(2));
+        assert_eq!(c.sampler_commits, d.sampler_commits);
+        assert_eq!(c.steps, d.steps);
+        assert!(c.model.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn threaded_every_k_consumes_mid_epoch_commits() {
+        // The acceptance criterion for streamed worker schedules:
+        // `--commit every-k --exec threads` must show sampler commit
+        // versions advancing INSIDE an epoch — the pre-stream engine
+        // silently degraded threaded runs to barrier-only commits.
+        use isasgd_sampling::CommitPolicy;
+        let ds = skewed(300);
+        let workers = 2usize;
+        let run = |commit| {
+            let mut cfg = TrainConfig::default()
+                .with_epochs(3)
+                .with_step_size(0.2)
+                .with_seed(5);
+            cfg.sampling = Some(SamplingStrategy::Adaptive);
+            cfg.commit = commit;
+            train(
+                &ds,
+                &obj(),
+                Algorithm::IsAsgd,
+                Execution::Threads(workers),
+                &cfg,
+                "skew",
+            )
+            .unwrap()
+        };
+        let every_k = run(CommitPolicy::EveryK(32));
+        let boundary = run(CommitPolicy::EpochBoundary);
+        // Commit snapshots are taken before each epoch's boundary fold,
+        // so a boundary-only run reports `workers · epoch` at epoch e —
+        // and 0 inside the first epoch.
+        assert_eq!(boundary.sampler_commits[0], 0);
+        assert!(
+            every_k.sampler_commits[0] as usize > workers,
+            "every-32 with 150-draw shards must commit several times inside \
+             epoch 0, got {}",
+            every_k.sampler_commits[0]
+        );
+        let last = *every_k.sampler_commits.last().unwrap() as usize;
+        assert!(
+            last > workers * every_k.sampler_commits.len(),
+            "cumulative commits {last} must exceed one-per-worker-per-epoch"
+        );
+    }
+
+    #[test]
+    fn simulated_staleness_discount_with_measured_delays_is_deterministic() {
+        // The measured-delay feedback path (observations commit at apply
+        // time with the delay the queue actually imposed) must stay
+        // seed-deterministic and train; the τ axis changes the measured
+        // delays and with them the trajectory.
+        use isasgd_sampling::{CommitPolicy, ObservationModel};
+        let ds = skewed(240);
+        let run = |tau| {
+            let mut cfg = TrainConfig::default()
+                .with_epochs(4)
+                .with_step_size(0.2)
+                .with_seed(29);
+            cfg.sampling = Some(SamplingStrategy::Adaptive);
+            cfg.commit = CommitPolicy::EveryK(16);
+            cfg.obs_model = ObservationModel::StalenessDiscounted { half_life: 16.0 };
+            train(
+                &ds,
+                &obj(),
+                Algorithm::IsAsgd,
+                Execution::Simulated { tau, workers: 2 },
+                &cfg,
+                "skew",
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(8), run(8));
+        assert_eq!(a.model, b.model, "measured-delay feedback must reproduce");
+        assert!(a.model.iter().all(|x| x.is_finite()));
+        let c = run(24);
+        assert_ne!(a.model, c.model, "τ must change the measured discounts");
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! per-algorithm kernels.
 //!
 //! * [`plan`] — shared pre-training setup: importance weights, balancing
-//!   decision, sharding, one boxed
-//!   [`Sampler`](isasgd_sampling::Sampler) per worker (Algorithm 4 lines
-//!   2–12 and Algorithm 2 lines 2–3).
+//!   decision, sharding, one
+//!   [`ScheduleStream`](isasgd_sampling::ScheduleStream) per worker
+//!   wrapping its shard's boxed [`Sampler`](isasgd_sampling::Sampler)
+//!   (Algorithm 4 lines 2–12 and Algorithm 2 lines 2–3).
 //! * [`solver`] — the [`Solver`](solver::Solver) trait: compute/apply
 //!   split plus epoch hooks and an optional lock-free
 //!   [`SharedKernel`](solver::SharedKernel).

@@ -2,10 +2,13 @@
 //!
 //! This is the offline part of the paper's Algorithms 2 and 4: compute the
 //! importance weights, decide balancing vs shuffling from ρ, rearrange and
-//! shard the dataset, and build one boxed [`Sampler`] per worker shard
+//! shard the dataset, and build one [`ScheduleStream`] per worker shard —
+//! the stream owns the shard's boxed [`Sampler`](isasgd_sampling::Sampler)
 //! (uniform, static-IS, or adaptive-IS per the requested
-//! [`SamplingStrategy`]). Everything here is timed into `setup_secs` — the
-//! "sampling time" overhead the paper quantifies as 1.1–7.7% (§4.2).
+//! [`SamplingStrategy`]) and its private draw RNG, and is the only draw
+//! mechanism every execution path consumes. Everything here is timed into
+//! `setup_secs` — the "sampling time" overhead the paper quantifies as
+//! 1.1–7.7% (§4.2).
 
 use crate::config::TrainConfig;
 use crate::error::CoreError;
@@ -13,8 +16,7 @@ use isasgd_balance::{decide, BalancePolicy};
 use isasgd_losses::{importance_weights, Loss, Objective};
 use isasgd_sampling::rng::derive_seeds;
 use isasgd_sampling::{
-    build_sampler, draw_rngs, CommitPolicy, FeedbackProtocol, Sampler, SamplingStrategy,
-    Xoshiro256pp,
+    build_sampler, draw_rngs, CommitPolicy, FeedbackProtocol, SamplingStrategy, ScheduleStream,
 };
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::Dataset;
@@ -22,19 +24,16 @@ use std::ops::Range;
 use std::time::Instant;
 
 /// The per-worker training plan: rearranged data, shard ranges, and one
-/// sampler per shard.
+/// draw stream per shard.
 pub struct TrainingPlan {
     /// Dataset rearranged per the balance decision (identity order for
     /// sequential uniform solvers).
     pub data: Dataset,
     /// Contiguous shard (row range into `data`) per worker.
     pub ranges: Vec<Range<usize>>,
-    /// Per-worker samplers emitting *local* indices within the worker's
-    /// range.
-    pub samplers: Vec<Box<dyn Sampler>>,
-    /// Per-worker draw RNGs (consumed only by live samplers; the
-    /// pre-generated ones carry their own stream).
-    pub rngs: Vec<Xoshiro256pp>,
+    /// Per-worker draw streams (each owns its shard's sampler and draw
+    /// RNG; draws carry *global* row indices).
+    pub streams: Vec<ScheduleStream>,
     /// The shared feedback subsystem routing observed gradient scales
     /// back into the samplers (present only for adaptive plans).
     pub feedback: Option<FeedbackProtocol>,
@@ -67,36 +66,23 @@ impl TrainingPlan {
 
     /// True when any worker's sampler adapts from feedback.
     pub fn is_adaptive(&self) -> bool {
-        self.samplers.iter().any(|s| s.is_adaptive())
+        self.streams.iter().any(|s| s.sampler().is_adaptive())
     }
 
-    /// Advances every worker's sampler to the next epoch (committing any
-    /// adaptive re-weighting).
+    /// Advances every worker's stream to the next epoch (committing any
+    /// adaptive re-weighting and rewinding the draw counters).
     pub fn advance_epoch(&mut self) {
-        for s in &mut self.samplers {
+        for s in &mut self.streams {
             s.epoch_reset();
         }
     }
 
-    /// Routes batched epoch-end feedback (global row, observed gradient
-    /// scale, in step order) through the [`FeedbackProtocol`] into the
-    /// owning samplers. Returns the number of out-of-shard observations
-    /// dropped (always 0 for engine-produced schedules).
-    pub fn route_feedback(&mut self, feedback: &[(u32, f64)]) -> usize {
-        match &self.feedback {
-            Some(p) => p.route(&mut self.samplers, feedback),
-            None => feedback.len(),
-        }
-    }
-
-    /// Commits already-scaled observations (drained from a concurrent
-    /// accumulator) into the owning samplers; see
-    /// [`FeedbackProtocol::commit_observed`].
-    pub fn commit_observed(&mut self, observed: &[(usize, f64)]) -> usize {
-        match &self.feedback {
-            Some(p) => p.commit_observed(&mut self.samplers, observed),
-            None => observed.len(),
-        }
+    /// Total sampler commit version across all workers: how many
+    /// observation windows have been folded into live distributions so
+    /// far. Growing by more than one per worker per epoch is intra-epoch
+    /// adaptivity actually firing.
+    pub fn commit_version(&self) -> u64 {
+        self.streams.iter().map(|s| s.commit_version()).sum()
     }
 }
 
@@ -129,6 +115,17 @@ pub fn build_plan<L: Loss>(
     if cfg.epochs == 0 {
         return Err(CoreError::InvalidConfig("epochs must be ≥ 1".into()));
     }
+    // Intra-epoch commits only exist for samplers that consume feedback.
+    // Anything else would accept the flag and silently run epoch-boundary
+    // semantics — reject it loudly instead.
+    if matches!(cfg.commit, CommitPolicy::EveryK(_)) && strategy != SamplingStrategy::Adaptive {
+        return Err(CoreError::InvalidConfig(format!(
+            "commit policy '{}' needs adaptive sampling (only adaptive samplers \
+             re-weight from observations); pass --sampling adaptive or use \
+             --commit epoch",
+            cfg.commit.name()
+        )));
+    }
 
     let t0 = Instant::now();
     let n = ds.n_samples();
@@ -160,38 +157,37 @@ pub fn build_plan<L: Loss>(
     };
 
     let ranges = shard_ranges(n, workers)?;
-    let mut samplers: Vec<Box<dyn Sampler>> = Vec::with_capacity(workers);
-    for (k, r) in ranges.iter().enumerate() {
-        let local = weights.as_ref().map(|w| &w[r.clone()]);
-        samplers.push(build_sampler(
-            strategy,
-            local,
-            r.len(),
-            cfg.sequence,
-            seeds[k],
-            cfg.commit,
-        )?);
-    }
     // Independent draw streams for live samplers; pre-generated samplers
     // ignore these, so uniform/static plans keep their exact pre-trait
     // behaviour under a given seed. The derivation is shared with cluster
     // nodes (isasgd_sampling::draw_rngs), pinning the two runtimes to
     // identical streams under one master seed.
-    let rngs = draw_rngs(cfg.seed, workers);
+    let mut rngs = draw_rngs(cfg.seed, workers).into_iter();
+    let mut streams: Vec<ScheduleStream> = Vec::with_capacity(workers);
+    for (k, r) in ranges.iter().enumerate() {
+        let local = weights.as_ref().map(|w| &w[r.clone()]);
+        let sampler = build_sampler(strategy, local, r.len(), cfg.sequence, seeds[k], cfg.commit)?;
+        streams.push(ScheduleStream::new(
+            sampler,
+            rngs.next().expect("one draw rng per worker"),
+            k,
+            r.start,
+            r.len(),
+        ));
+    }
     // The feedback protocol owns the norm precompute and observation
-    // scaling for adaptive plans (it is the single entry point feedback
-    // takes back into the samplers; the engine sets the staleness-queue
-    // delay τ before running).
-    let feedback = samplers
+    // scaling for adaptive plans; it is the single entry point feedback
+    // takes back into the samplers. Queue delays are measured per
+    // observation by the runtime, not assumed.
+    let feedback = streams
         .iter()
-        .any(|s| s.is_adaptive())
+        .any(|s| s.sampler().is_adaptive())
         .then(|| FeedbackProtocol::for_dataset(&data, ranges.clone(), cfg.obs_model));
 
     Ok(TrainingPlan {
         data,
         ranges,
-        samplers,
-        rngs,
+        streams,
         feedback,
         commit: cfg.commit,
         setup_secs: t0.elapsed().as_secs_f64(),
@@ -222,14 +218,12 @@ mod tests {
     }
 
     fn drain_epoch(plan: &mut TrainingPlan, k: usize) -> Vec<(usize, f64)> {
-        let len = plan.ranges[k].len();
-        let (sampler, rng) = (&mut plan.samplers[k], &mut plan.rngs[k]);
-        (0..len)
-            .map(|_| {
-                let i = sampler.next(rng);
-                (i, sampler.correction(i))
-            })
-            .collect()
+        let stream = &mut plan.streams[k];
+        let mut out = Vec::new();
+        while let Some(d) = stream.next_draw() {
+            out.push((d.row as usize, d.corr));
+        }
+        out
     }
 
     #[test]
@@ -247,11 +241,12 @@ mod tests {
         assert_eq!(p.data.n_samples(), 20);
         assert!(!p.is_adaptive());
         for k in 0..4 {
-            let len = p.ranges[k].len();
-            for (i, c) in drain_epoch(&mut p, k) {
-                assert!(i < len);
+            let range = p.ranges[k].clone();
+            for (row, c) in drain_epoch(&mut p, k) {
+                assert!(range.contains(&row), "draws stay inside the shard");
                 assert_eq!(c, 1.0);
             }
+            assert!(p.streams[k].is_exhausted());
         }
         assert!(!p.balanced);
     }
@@ -276,7 +271,7 @@ mod tests {
                     sum += c;
                     count += 1;
                 }
-                p.samplers[k].epoch_reset();
+                p.streams[k].epoch_reset();
             }
             let mean = sum / count as f64;
             assert!((mean - 1.0).abs() < 0.05, "shard {k}: E[corr] = {mean}");
@@ -305,8 +300,8 @@ mod tests {
         )
         .unwrap();
         assert!(p.is_adaptive());
-        assert_eq!(p.samplers.len(), 2);
-        assert_eq!(p.rngs.len(), 2);
+        assert_eq!(p.streams.len(), 2);
+        assert_eq!(p.commit_version(), 0, "no windows folded before training");
     }
 
     #[test]
@@ -338,6 +333,28 @@ mod tests {
         assert!(build_plan(&d, &obj(), &bad, 1, s).is_err());
         let bad = TrainConfig::default().with_epochs(0);
         assert!(build_plan(&d, &obj(), &bad, 1, s).is_err());
+    }
+
+    #[test]
+    fn every_k_without_adaptive_sampling_is_rejected() {
+        // Regression: `--commit every-k` with a non-adaptive sampler used
+        // to be accepted and silently run epoch-boundary semantics (the
+        // sampler ignores update_weight). It must be a loud config error.
+        let d = ds(20);
+        let cfg = TrainConfig::default().with_commit(CommitPolicy::EveryK(8));
+        for strategy in [SamplingStrategy::Uniform, SamplingStrategy::Static] {
+            match build_plan(&d, &obj(), &cfg, 2, strategy) {
+                Err(CoreError::InvalidConfig(msg)) => {
+                    assert!(
+                        msg.contains("adaptive"),
+                        "{strategy:?}: error must point at the fix, got: {msg}"
+                    );
+                }
+                other => panic!("{strategy:?}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // The adaptive pairing is accepted.
+        assert!(build_plan(&d, &obj(), &cfg, 2, SamplingStrategy::Adaptive).is_ok());
     }
 
     #[test]

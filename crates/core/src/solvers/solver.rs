@@ -27,14 +27,11 @@ use isasgd_model::SharedModel;
 use isasgd_sparse::Dataset;
 
 /// One scheduled draw: a global row index plus its importance-sampling
-/// step correction `1/(n·p)` (1.0 under uniform sampling).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Sched {
-    /// Global row index into the plan's (rearranged) dataset.
-    pub row: u32,
-    /// Step correction for this draw.
-    pub corr: f64,
-}
+/// step correction `1/(n·p)` (1.0 under uniform sampling). This is the
+/// sampling crate's [`Draw`](isasgd_sampling::Draw) — the engine pulls
+/// them from per-worker [`ScheduleStream`](isasgd_sampling::ScheduleStream)s
+/// instead of materializing per-epoch schedules.
+pub type Sched = isasgd_sampling::Draw;
 
 /// Sink for observed per-sample gradient *scales* `|ℓ'(m)|`, used to
 /// drive [`Sampler::update_weight`](isasgd_sampling::Sampler) for

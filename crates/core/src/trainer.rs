@@ -32,6 +32,12 @@ pub struct RunResult {
     pub eval_secs: f64,
     /// Total gradient steps taken.
     pub steps: u64,
+    /// Cumulative sampler commit count at each epoch's end (before the
+    /// epoch-boundary fold), summed over workers. Non-adaptive runs stay
+    /// at 0; epoch-boundary adaptive runs grow by ≤ `workers` per epoch;
+    /// growth beyond that is intra-epoch (`--commit every-k`) adaptivity
+    /// actually firing.
+    pub sampler_commits: Vec<u64>,
     /// Whether importance balancing was applied (IS-capable solvers only).
     pub balanced: Option<bool>,
     /// Measured ρ (IS-capable solvers only).

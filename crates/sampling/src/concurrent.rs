@@ -21,11 +21,14 @@
 //!
 //! Two usage modes:
 //!
-//! * As a **concurrent observation accumulator** (the engine's threaded
-//!   adaptive path): workers [`StripedFenwick::observe_max`] scaled
-//!   observations during the epoch; the main thread drains the touched
-//!   rows at the barrier and feeds them to the per-shard samplers via
-//!   [`FeedbackProtocol::commit_observed`](crate::FeedbackProtocol::commit_observed).
+//! * As a **concurrent observation accumulator**: writers
+//!   [`StripedFenwick::observe_max`] scaled observations during an
+//!   epoch; a coordinator drains the touched rows at the barrier. (The
+//!   engine's threaded path used this until streamed worker schedules
+//!   made adaptivity thread-local — worker shards are disjoint, so each
+//!   stream observes into its own sampler. The accumulator remains the
+//!   substrate for any future runtime whose writers *share* rows, e.g.
+//!   cross-node replicated shards.)
 //! * As a **live weighted distribution** ([`StripedFenwick::commit`] +
 //!   [`StripedFenwick::sample`]): draws under concurrent updates are
 //!   weakly consistent — each stripe is internally consistent, but the

@@ -24,10 +24,10 @@
 //!   scale becomes an importance observation: the exact GLM gradient norm
 //!   `|ℓ'(m)|·‖x_i‖`, Katharopoulos & Fleuret's last-layer upper bound
 //!   `|ℓ'(m)|` alone, or a staleness-discounted variant that decays each
-//!   observation by its queue delay.
+//!   observation by its commit distance plus its *measured* queue delay.
 //! * **Routing** — mapping global row indices to the owning shard's
-//!   sampler, skipping (and counting) rows outside every shard instead of
-//!   panicking.
+//!   sampler ([`FeedbackProtocol::locate`]), rejecting rows outside every
+//!   shard instead of panicking.
 //!
 //! Per-row accumulation (max across visits) lives in
 //! [`AdaptiveIsSampler`](crate::AdaptiveIsSampler), which also owns the
@@ -71,15 +71,15 @@ pub enum ObservationModel {
     /// under preconditioning and the natural analogue of their last-layer
     /// bound.
     LossBound,
-    /// [`ObservationModel::GradNorm`] decayed by the observation's delay:
-    /// `|ℓ'(m)|·‖x_i‖·2^(−delay/half_life)`, where `delay` is the
-    /// observation's age in steps (steps remaining until its commit,
-    /// plus the runtime's fixed staleness-queue delay τ). Observations
+    /// [`ObservationModel::GradNorm`] decayed by the observation's total
+    /// delay: `|ℓ'(m)|·‖x_i‖·2^(−(age+delay)/half_life)`, where `age` is
+    /// the distance from the observation to its commit in steps and
+    /// `delay` is the **measured** per-observation staleness-queue delay
+    /// the runtime reports (how many steps the update actually spent in
+    /// flight — not an assumed uniform τ, which would cancel under the
+    /// sampler's mean normalization and discount nothing). Observations
     /// computed against a stale model are trusted less (Alain et al.'s
-    /// distributed estimators face the same decay choice). Note the
-    /// *uniform* τ component cancels under the sampler's mean
-    /// normalization; the per-observation age component is what shifts
-    /// weight toward fresher evidence.
+    /// distributed estimators face the same decay choice).
     StalenessDiscounted {
         /// Half-life of an observation, in steps.
         half_life: f64,
@@ -114,9 +114,12 @@ impl ObservationModel {
 }
 
 /// The shared feedback subsystem: shard layout, precomputed norms, and
-/// the observation model, behind the two entry points the runtimes use —
-/// [`FeedbackProtocol::route`] for batched epoch-end feedback and
-/// [`FeedbackProtocol::observe`] for streaming per-step feedback.
+/// the observation model, behind the streaming entry points the runtimes
+/// use — [`FeedbackProtocol::observe`] for immediate per-step feedback
+/// and [`FeedbackProtocol::observe_delayed`] when the observation rode an
+/// in-flight update queue. (A batched epoch-end `route` entry point
+/// existed while the engine materialized schedules; streaming removed its
+/// only consumer and it was deleted with that path.)
 #[derive(Debug, Clone)]
 pub struct FeedbackProtocol {
     /// Contiguous, sorted shard ranges (global row indices).
@@ -125,10 +128,6 @@ pub struct FeedbackProtocol {
     norms: Vec<f64>,
     /// Observation scaling convention.
     model: ObservationModel,
-    /// The runtime's fixed staleness-queue delay τ (0 when none), added
-    /// to every observation's age under
-    /// [`ObservationModel::StalenessDiscounted`].
-    queue_delay: usize,
 }
 
 impl FeedbackProtocol {
@@ -140,7 +139,6 @@ impl FeedbackProtocol {
             ranges,
             norms: norms_sq.iter().map(|&x| x.sqrt()).collect(),
             model,
-            queue_delay: 0,
         }
     }
 
@@ -150,12 +148,6 @@ impl FeedbackProtocol {
         Self::new(ranges, &isasgd_sparse::stats::row_norms_sq(data), model)
     }
 
-    /// Sets the runtime's fixed staleness-queue delay τ (consumed only by
-    /// [`ObservationModel::StalenessDiscounted`]).
-    pub fn set_queue_delay(&mut self, tau: usize) {
-        self.queue_delay = tau;
-    }
-
     /// The observation model in force.
     pub fn model(&self) -> ObservationModel {
         self.model
@@ -163,13 +155,34 @@ impl FeedbackProtocol {
 
     /// Scales a raw observed gradient scale for global row `row` into
     /// sampler-observation units. `age` is the number of steps between
-    /// the observation and its commit (0 for an immediate commit).
+    /// the observation and its commit (0 for an immediate commit); paths
+    /// with an in-flight update queue report the measured per-observation
+    /// delay through [`FeedbackProtocol::observation_delayed`] instead.
     pub fn observation(&self, row: usize, grad_scale: f64, age: usize) -> f64 {
+        self.observation_delayed(row, grad_scale, age, 0)
+    }
+
+    /// [`FeedbackProtocol::observation`] with the observation's
+    /// **measured** staleness-queue delay: the number of steps the
+    /// corresponding update actually spent in flight between compute and
+    /// apply. The pre-measurement protocol added one *assumed* uniform τ
+    /// to every observation — a constant factor that cancels under the
+    /// sampler's mean normalization, so it discounted nothing. Measured
+    /// delays differ per observation (an epoch-end barrier flushes
+    /// younger updates early), which is what actually shifts weight
+    /// toward fresher evidence.
+    pub fn observation_delayed(
+        &self,
+        row: usize,
+        grad_scale: f64,
+        age: usize,
+        measured_delay: usize,
+    ) -> f64 {
         match self.model {
             ObservationModel::GradNorm => grad_scale * self.norms[row],
             ObservationModel::LossBound => grad_scale,
             ObservationModel::StalenessDiscounted { half_life } => {
-                let delay = (age + self.queue_delay) as f64;
+                let delay = (age + measured_delay) as f64;
                 grad_scale * self.norms[row] * (-delay / half_life.max(1e-9)).exp2()
             }
         }
@@ -197,58 +210,33 @@ impl FeedbackProtocol {
         grad_scale: f64,
         age: usize,
     ) -> bool {
+        self.observe_delayed(shard, sampler, row, grad_scale, age, 0)
+    }
+
+    /// [`FeedbackProtocol::observe`] carrying the observation's measured
+    /// staleness-queue delay (see
+    /// [`FeedbackProtocol::observation_delayed`]). Runtimes that apply
+    /// updates through an in-flight queue call this at *pop* time with
+    /// the delay the queue actually imposed.
+    pub fn observe_delayed(
+        &self,
+        shard: usize,
+        sampler: &mut dyn Sampler,
+        row: usize,
+        grad_scale: f64,
+        age: usize,
+        measured_delay: usize,
+    ) -> bool {
         match self.locate(row) {
             Some((k, local)) if k == shard => {
-                sampler.update_weight(local, self.observation(row, grad_scale, age));
+                sampler.update_weight(
+                    local,
+                    self.observation_delayed(row, grad_scale, age, measured_delay),
+                );
                 true
             }
             _ => false,
         }
-    }
-
-    /// Batched entry point: maps global-row observations (in step order,
-    /// as the engine's feedback buffer records them) back to each shard's
-    /// sampler. Ages are derived from position — the `i`-th of `m`
-    /// observations commits `m−1−i` steps after it was recorded.
-    ///
-    /// Returns the number of observations that were **dropped** because
-    /// their row lies outside every shard. Out-of-shard rows are a caller
-    /// bug upstream (the engine schedules only in-shard rows), but the
-    /// protocol's contract is to skip and count them rather than panic —
-    /// the pre-protocol router indexed past the end of the shard table
-    /// for any row beyond the last shard.
-    pub fn route(&self, samplers: &mut [Box<dyn Sampler>], feedback: &[(u32, f64)]) -> usize {
-        let m = feedback.len();
-        let mut dropped = 0usize;
-        for (i, &(row, grad_scale)) in feedback.iter().enumerate() {
-            let row = row as usize;
-            match self.locate(row) {
-                Some((k, local)) if k < samplers.len() => {
-                    samplers[k].update_weight(local, self.observation(row, grad_scale, m - 1 - i));
-                }
-                _ => dropped += 1,
-            }
-        }
-        dropped
-    }
-
-    /// Commits already-scaled observations (e.g. drained from a
-    /// [`StripedFenwick`](crate::StripedFenwick) accumulator, which
-    /// applied [`FeedbackProtocol::observation`] at observe time) into
-    /// the owning samplers. Returns the number dropped as out-of-shard.
-    pub fn commit_observed(
-        &self,
-        samplers: &mut [Box<dyn Sampler>],
-        observed: &[(usize, f64)],
-    ) -> usize {
-        let mut dropped = 0usize;
-        for &(row, obs) in observed {
-            match self.locate(row) {
-                Some((k, local)) if k < samplers.len() => samplers[k].update_weight(local, obs),
-                _ => dropped += 1,
-            }
-        }
-        dropped
     }
 }
 
@@ -286,14 +274,45 @@ mod tests {
 
     #[test]
     fn staleness_discount_halves_per_half_life() {
-        let mut p = two_shard_protocol(ObservationModel::StalenessDiscounted { half_life: 10.0 });
+        let p = two_shard_protocol(ObservationModel::StalenessDiscounted { half_life: 10.0 });
         let fresh = p.observation(2, 1.0, 0);
         let stale = p.observation(2, 1.0, 10);
         assert!((fresh - 3.0).abs() < 1e-12);
         assert!((stale - 1.5).abs() < 1e-12, "one half-life halves");
-        // The fixed queue delay τ adds to every observation's age.
-        p.set_queue_delay(10);
-        assert!((p.observation(2, 1.0, 0) - 1.5).abs() < 1e-12);
+        // A measured queue delay adds to the observation's age.
+        assert!((p.observation_delayed(2, 1.0, 0, 10) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_delay_changes_the_discount() {
+        // Regression for the assumed-τ bug: the protocol used to add one
+        // uniform configured τ to every observation, which cancels under
+        // the sampler's mean normalization — the "discount" discounted
+        // nothing. Measured per-observation delays must actually change
+        // the scaled observation, and observations the queue released
+        // early (epoch-end flush, measured < τ) must count for more.
+        let p = two_shard_protocol(ObservationModel::StalenessDiscounted { half_life: 8.0 });
+        let full_tau = p.observation_delayed(1, 1.0, 4, 8);
+        let flushed_early = p.observation_delayed(1, 1.0, 4, 3);
+        assert!(
+            flushed_early > full_tau,
+            "a shorter measured delay must discount less: {flushed_early} vs {full_tau}"
+        );
+        // And the two paths agree when the measured delay is zero.
+        assert_eq!(
+            p.observation_delayed(1, 1.0, 4, 0),
+            p.observation(1, 1.0, 4)
+        );
+        // End-to-end through the sampler: equal raw observations with
+        // unequal measured delays commit to unequal weights.
+        let mut s = adaptive(3);
+        assert!(p.observe_delayed(0, &mut s, 0, 1.0, 0, 0));
+        assert!(p.observe_delayed(0, &mut s, 1, 1.0, 0, 16));
+        s.epoch_reset();
+        assert!(
+            s.weight(0) > s.weight(1),
+            "the observation that spent 16 steps in flight must weigh less"
+        );
     }
 
     #[test]
@@ -310,13 +329,25 @@ mod tests {
     #[test]
     fn out_of_range_rows_are_skipped_not_panicked() {
         // Regression: a row past the last shard used to index the shard
-        // table at ranges.len() and panic. It must be counted + skipped.
+        // table at ranges.len() and panic. `locate`/`observe` — the
+        // routing every runtime now streams through — must reject it
+        // without touching any sampler.
         let p = two_shard_protocol(ObservationModel::GradNorm);
         let mut samplers = boxed(3);
-        let dropped = p.route(
-            &mut samplers,
-            &[(0, 1.0), (1, 2.0), (6, 1.0), (400, 1.0), (3, 1.0), (4, 3.0)],
-        );
+        let mut dropped = 0usize;
+        for &(row, g) in &[
+            (0usize, 1.0),
+            (1, 2.0),
+            (6, 1.0),
+            (400, 1.0),
+            (3, 1.0),
+            (4, 3.0),
+        ] {
+            match p.locate(row) {
+                Some((shard, _)) => assert!(p.observe(shard, &mut *samplers[shard], row, g, 0)),
+                None => dropped += 1,
+            }
+        }
         assert_eq!(dropped, 2);
         // The in-range observations still landed.
         for s in samplers.iter_mut() {
@@ -338,61 +369,40 @@ mod tests {
         assert!(s.weight(1) > s.weight(0));
     }
 
-    /// The core↔cluster convention pin at the protocol level: the batched
-    /// epoch-end path (engine) and the streaming per-step path (cluster
-    /// node / intra-epoch engine) must produce identical sampler weight
-    /// trajectories for the same shard layout, seed, and observation
-    /// stream.
+    /// The multi-shard streaming pin: routing a mixed observation stream
+    /// to each row's owning shard via [`FeedbackProtocol::locate`] +
+    /// [`FeedbackProtocol::observe`] must land every in-range
+    /// observation on the right sampler and reproduce the trajectory of
+    /// direct per-sampler updates.
     #[test]
-    fn batched_route_and_streaming_observe_trajectories_match() {
+    fn located_streaming_observations_match_direct_updates() {
         for model in [
             ObservationModel::GradNorm,
             ObservationModel::LossBound,
             ObservationModel::StalenessDiscounted { half_life: 8.0 },
         ] {
             let p = two_shard_protocol(model);
-            let mut routed = boxed(3);
             let mut streamed = boxed(3);
-            // Three epochs of a fixed observation stream, multi-visit
-            // rows included.
+            let mut direct = boxed(3);
             for epoch in 0..3u32 {
                 let stream: Vec<(u32, f64)> = (0..12)
                     .map(|t| ((t * 5 + epoch) % 6, 0.25 + ((t + epoch) % 4) as f64))
                     .collect();
-                let dropped = p.route(&mut routed, &stream);
-                assert_eq!(dropped, 0);
                 let m = stream.len();
                 for (i, &(row, g)) in stream.iter().enumerate() {
-                    let (shard, _) = p.locate(row as usize).unwrap();
+                    let (shard, local) = p.locate(row as usize).unwrap();
                     assert!(p.observe(shard, &mut *streamed[shard], row as usize, g, m - 1 - i));
+                    let obs = p.observation(row as usize, g, m - 1 - i);
+                    direct[shard].update_weight(local, obs);
                 }
-                for s in routed.iter_mut().chain(streamed.iter_mut()) {
+                for s in streamed.iter_mut().chain(direct.iter_mut()) {
                     s.epoch_reset();
                 }
-                for (a, b) in routed.iter().zip(&streamed) {
+                for (a, b) in streamed.iter().zip(&direct) {
                     let ca: Vec<f64> = (0..3).map(|i| a.correction(i)).collect();
                     let cb: Vec<f64> = (0..3).map(|i| b.correction(i)).collect();
                     assert_eq!(ca, cb, "{model:?} epoch {epoch}");
                 }
-            }
-        }
-    }
-
-    #[test]
-    fn commit_observed_matches_direct_updates() {
-        let p = two_shard_protocol(ObservationModel::GradNorm);
-        let mut a = boxed(3);
-        let mut b = boxed(3);
-        let obs = [(0usize, 4.0), (4, 9.0), (7, 1.0)];
-        assert_eq!(p.commit_observed(&mut a, &obs), 1, "row 7 is out of range");
-        b[0].update_weight(0, 4.0);
-        b[1].update_weight(1, 9.0);
-        for s in a.iter_mut().chain(b.iter_mut()) {
-            s.epoch_reset();
-        }
-        for (x, y) in a.iter().zip(&b) {
-            for i in 0..3 {
-                assert_eq!(x.correction(i), y.correction(i));
             }
         }
     }

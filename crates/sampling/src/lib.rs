@@ -28,23 +28,35 @@
 //! The strategy is surfaced to users as `isasgd train --sampling
 //! {uniform,static,adaptive}`.
 //!
+//! # The draw stream
+//!
+//! Every runtime consumes draws through a per-worker [`ScheduleStream`]:
+//! the stream owns the shard's sampler and private draw RNG (derived via
+//! [`draw_rngs`] from one master seed) and emits draws in bounded chunks,
+//! so schedules are never materialized per epoch and a mid-epoch sampler
+//! re-weight is visible to the very next chunk — on sequential,
+//! simulated, threaded, and cluster execution alike.
+//!
 //! # The feedback protocol
 //!
 //! Adaptive sampling closes a loop: kernels observe per-sample gradient
 //! scales, and the sampler's distribution tracks them. The
 //! [`FeedbackProtocol`] owns that loop's conventions — observation
 //! scaling ([`ObservationModel`]: exact `|ℓ'(m)|·‖x‖` gradient norms,
-//! Katharopoulos & Fleuret's loss-bound, or staleness-discounted), the
-//! per-row norm precompute, and global-row→shard-sampler routing — and is
-//! the single feedback entry point for both the `isasgd-core` engine and
+//! Katharopoulos & Fleuret's loss-bound, or staleness-discounted by each
+//! observation's *measured* in-flight delay), the per-row norm
+//! precompute, and global-row→shard-sampler routing — and is the single
+//! feedback entry point for both the `isasgd-core` engine and
 //! `isasgd-cluster` nodes. *When* accumulated observations become visible
 //! to draws is the sampler's [`CommitPolicy`]: at epoch boundaries
 //! (deterministic, per-epoch-unbiased) or every `k` observations
-//! (intra-epoch adaptivity). [`StripedFenwick`] provides the striped,
-//! epoch-versioned concurrent substrate threaded runtimes use to
-//! accumulate observations without a barrier. Surfaced as `isasgd train
-//! --obs-model {gradnorm,loss-bound,staleness} --commit
-//! {epoch,every-k,every-<n>}`.
+//! (intra-epoch adaptivity, visible as the sampler's advancing
+//! [`Sampler::commit_version`]). [`StripedFenwick`] remains the striped,
+//! epoch-versioned concurrent substrate for cross-thread weight
+//! accumulation where shards overlap (and the contended-path benchmark
+//! baseline); the engine's disjoint worker shards let each stream adapt
+//! its own sampler without it. Surfaced as `isasgd train --obs-model
+//! {gradnorm,loss-bound,staleness} --commit {epoch,every-k,every-<n>}`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +69,7 @@ pub mod fenwick;
 pub mod rng;
 pub mod sampler;
 pub mod sequence;
+pub mod stream;
 
 pub use alias::AliasTable;
 pub use concurrent::StripedFenwick;
@@ -69,6 +82,7 @@ pub use sampler::{
     UniformSampler,
 };
 pub use sequence::{SampleSequence, SequenceMode};
+pub use stream::{Draw, ScheduleStream};
 
 /// Inverse-probability step correction `1/(n·p_i)` for each sample
 /// (paper Eq. 8): with `p_i = L_i/ΣL`, this equals `L̄/L_i`.

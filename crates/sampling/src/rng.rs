@@ -73,9 +73,16 @@ impl Xoshiro256pp {
 
     /// Uniform index in `[0, n)` via Lemire's multiply-shift rejection-free
     /// approximation (bias < 2^-64, negligible for n ≪ 2^64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`: there is no index to draw from an empty
+    /// domain. (This used to be a `debug_assert!`, which vanishes in
+    /// release builds and let `next_index(0)` return the in-bounds-looking
+    /// index 0 into an empty collection — a silent out-of-domain draw.)
     #[inline]
     pub fn next_index(&mut self, n: usize) -> usize {
-        debug_assert!(n > 0);
+        assert!(n > 0, "next_index: cannot draw from an empty domain");
         ((self.next_raw() as u128 * n as u128) >> 64) as usize
     }
 
@@ -181,6 +188,16 @@ mod tests {
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn next_index_zero_panics_in_every_build_profile() {
+        // Regression: `next_index(0)` only debug-asserted, so release
+        // builds returned 0 — an index that *looks* valid but points into
+        // an empty domain. It must fail loudly everywhere.
+        let mut r = Xoshiro256pp::new(1);
+        let _ = r.next_index(0);
     }
 
     #[test]

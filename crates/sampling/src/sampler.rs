@@ -86,10 +86,11 @@ impl SamplingStrategy {
 ///   accepted observations, *inside* the epoch. Draws that happen after a
 ///   commit see the refreshed distribution, so the sampler tracks the
 ///   shifting gradient landscape within a single pass (the intra-epoch
-///   adaptivity the ROADMAP asks for). Runtimes that pre-materialize
-///   their epoch schedule fall back to boundary semantics; streaming
-///   runtimes (the sequential/simulated engine paths and cluster nodes)
-///   get genuine intra-epoch updates.
+///   adaptivity the ROADMAP asks for). Every runtime consumes draws
+///   through a [`ScheduleStream`](crate::ScheduleStream) — sequential,
+///   simulated, threaded, and cluster execution all deliver genuine
+///   intra-epoch updates; a run's [`Sampler::commit_version`] trace shows
+///   the commits landing mid-epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CommitPolicy {
     /// Commit pending observations only at epoch boundaries (default; the
@@ -168,6 +169,14 @@ pub trait Sampler: Send {
     /// skip collecting feedback otherwise.
     fn is_adaptive(&self) -> bool {
         false
+    }
+
+    /// Number of observation windows folded into the live distribution
+    /// so far — the sampler's *commit version*. Advancing by more than
+    /// one per epoch is the signature of intra-epoch adaptivity
+    /// ([`CommitPolicy::EveryK`]); non-adaptive samplers stay at 0.
+    fn commit_version(&self) -> u64 {
+        0
     }
 }
 
@@ -374,6 +383,9 @@ pub struct AdaptiveIsSampler {
     commit: CommitPolicy,
     /// Accepted observations since the last commit (drives `EveryK`).
     since_commit: usize,
+    /// Observation windows folded so far (the commit version runtimes
+    /// surface to show intra-epoch adaptivity actually firing).
+    commits: u64,
 }
 
 impl AdaptiveIsSampler {
@@ -415,6 +427,7 @@ impl AdaptiveIsSampler {
             gamma,
             commit: CommitPolicy::EpochBoundary,
             since_commit: 0,
+            commits: 0,
         })
     }
 
@@ -456,6 +469,7 @@ impl AdaptiveIsSampler {
         if self.observed_rows.is_empty() {
             return;
         }
+        self.commits += 1;
         // Walk only the dirty list (rows observed this window), so a
         // commit costs O(window) — EveryK commits sit on the training
         // hot path of streamed schedules.
@@ -531,6 +545,10 @@ impl Sampler for AdaptiveIsSampler {
 
     fn is_adaptive(&self) -> bool {
         true
+    }
+
+    fn commit_version(&self) -> u64 {
+        self.commits
     }
 }
 
@@ -670,6 +688,27 @@ mod tests {
         boundary.epoch_reset();
         every2.epoch_reset();
         assert!(boundary.weight(0) > boundary.weight(1));
+    }
+
+    #[test]
+    fn commit_version_counts_folded_windows() {
+        let mut s = AdaptiveIsSampler::with_params(&[1.0, 1.0], 0.0, 1.0)
+            .unwrap()
+            .with_commit(CommitPolicy::EveryK(2));
+        assert_eq!(s.commit_version(), 0);
+        s.update_weight(0, 2.0);
+        assert_eq!(s.commit_version(), 0, "window still open");
+        s.update_weight(1, 1.0);
+        assert_eq!(s.commit_version(), 1, "every-2 commit folded mid-epoch");
+        s.update_weight(0, 3.0);
+        s.epoch_reset();
+        assert_eq!(s.commit_version(), 2, "boundary folds the partial window");
+        s.epoch_reset();
+        assert_eq!(s.commit_version(), 2, "empty windows are not commits");
+        // Non-adaptive samplers never advance.
+        let mut u = UniformSampler::new(4, 4, SequenceMode::UniformIid, 0).unwrap();
+        u.epoch_reset();
+        assert_eq!(u.commit_version(), 0);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! The [`ScheduleStream`]: chunked, adaptivity-aware draw streaming.
+//!
+//! Before this module existed, the training runtimes materialized each
+//! epoch's schedule as a `Vec` of draws per worker — an `O(epoch · n)`
+//! allocation that also froze the distribution for the whole epoch, so
+//! intra-epoch commits ([`CommitPolicy::EveryK`](crate::CommitPolicy))
+//! could not steer the remaining draws of a threaded run. The stream
+//! replaces materialization everywhere: each worker owns one
+//! `ScheduleStream` wrapping its shard [`Sampler`] and private draw RNG,
+//! and pulls draws in bounded chunks. Every chunk is drawn from the
+//! sampler's *current* distribution, so a mid-epoch re-weight is visible
+//! to the very next chunk — on the sequential, simulated, threaded, and
+//! cluster execution paths alike.
+//!
+//! Memory is `O(chunk)` per worker instead of `O(n)`. Only the owning
+//! stream consumes its RNG ([`draw_rngs`](crate::draw_rngs) seed
+//! derivation), so thread scheduling cannot perturb a worker's RNG
+//! sequence; the draw sequence itself is bit-deterministic whenever the
+//! observations feeding the sampler are (always, except multi-worker
+//! adaptive Hogwild runs, whose racy model reads make observed values —
+//! and thus committed weights — run-varying).
+//!
+//! Feedback loops back through [`ScheduleStream::observe`], which routes
+//! an observed gradient scale through the shared
+//! [`FeedbackProtocol`](crate::FeedbackProtocol) into the stream's own
+//! sampler. Worker shards are disjoint, so a worker only ever observes
+//! rows its own sampler owns — adaptivity needs no cross-thread
+//! coordination beyond the epoch barrier.
+
+use crate::feedback::FeedbackProtocol;
+use crate::rng::Xoshiro256pp;
+use crate::sampler::Sampler;
+
+/// One scheduled draw: a global row index plus its importance-sampling
+/// step correction `1/(n·p)` under the distribution *at draw time*
+/// (1.0 for uniform sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Draw {
+    /// Global row index into the (rearranged) dataset.
+    pub row: u32,
+    /// Step correction for this draw.
+    pub corr: f64,
+}
+
+/// A per-worker draw stream over one shard: the single schedule
+/// mechanism shared by every execution path (see the module docs).
+pub struct ScheduleStream {
+    sampler: Box<dyn Sampler>,
+    rng: Xoshiro256pp,
+    /// This worker's shard index (the protocol's routing key).
+    shard: usize,
+    /// Global-row offset of the shard (local index 0 maps here).
+    start: usize,
+    /// Draws per epoch (the shard length, by the paper's convention).
+    epoch_len: usize,
+    /// Draws already emitted this epoch.
+    emitted: usize,
+}
+
+impl std::fmt::Debug for ScheduleStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleStream")
+            .field("shard", &self.shard)
+            .field("start", &self.start)
+            .field("epoch_len", &self.epoch_len)
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+impl ScheduleStream {
+    /// Default chunk size for paths without an adaptivity-driven stride:
+    /// large enough to amortize per-chunk bookkeeping, small enough that
+    /// per-worker buffers stay cache-resident and `O(1)` in `n`.
+    pub const DEFAULT_CHUNK: usize = 1024;
+
+    /// Builds the stream for shard `shard` starting at global row
+    /// `start`, emitting `epoch_len` draws per epoch.
+    pub fn new(
+        sampler: Box<dyn Sampler>,
+        rng: Xoshiro256pp,
+        shard: usize,
+        start: usize,
+        epoch_len: usize,
+    ) -> Self {
+        ScheduleStream {
+            sampler,
+            rng,
+            shard,
+            start,
+            epoch_len,
+            emitted: 0,
+        }
+    }
+
+    /// The shard index this stream draws for.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Draws emitted per epoch.
+    pub fn epoch_len(&self) -> usize {
+        self.epoch_len
+    }
+
+    /// Draws left in the current epoch.
+    pub fn remaining(&self) -> usize {
+        self.epoch_len - self.emitted
+    }
+
+    /// True when the current epoch's draws are all emitted.
+    pub fn is_exhausted(&self) -> bool {
+        self.emitted >= self.epoch_len
+    }
+
+    /// Emits the next draw from the sampler's current distribution, or
+    /// `None` when the epoch is exhausted.
+    pub fn next_draw(&mut self) -> Option<Draw> {
+        if self.is_exhausted() {
+            return None;
+        }
+        self.emitted += 1;
+        let local = self.sampler.next(&mut self.rng);
+        Some(Draw {
+            row: (self.start + local) as u32,
+            corr: self.sampler.correction(local),
+        })
+    }
+
+    /// Clears `buf` and refills it with up to `chunk` draws (bounded by
+    /// the epoch remainder); returns the number drawn. Draws within one
+    /// chunk share the distribution in force when the chunk was pulled —
+    /// pull in strides of the commit period `k` to keep every draw at
+    /// most one window behind the freshest re-weighting.
+    pub fn fill_chunk(&mut self, buf: &mut Vec<Draw>, chunk: usize) -> usize {
+        buf.clear();
+        let take = chunk.min(self.remaining());
+        buf.reserve(take);
+        for _ in 0..take {
+            self.emitted += 1;
+            let local = self.sampler.next(&mut self.rng);
+            buf.push(Draw {
+                row: (self.start + local) as u32,
+                corr: self.sampler.correction(local),
+            });
+        }
+        take
+    }
+
+    /// Feeds one observed gradient scale for global row `row` back into
+    /// this stream's sampler through the shared protocol (scaling model
+    /// included). `age` is the observation's distance to its commit in
+    /// steps. Returns `false` — without touching the sampler — when the
+    /// row is not owned by this stream's shard.
+    pub fn observe(
+        &mut self,
+        proto: &FeedbackProtocol,
+        row: usize,
+        grad_scale: f64,
+        age: usize,
+    ) -> bool {
+        proto.observe(self.shard, self.sampler.as_mut(), row, grad_scale, age)
+    }
+
+    /// Read access to the underlying sampler.
+    pub fn sampler(&self) -> &dyn Sampler {
+        self.sampler.as_ref()
+    }
+
+    /// Mutable access to the underlying sampler (e.g. for delayed
+    /// observations routed by global row rather than through
+    /// [`ScheduleStream::observe`]).
+    pub fn sampler_mut(&mut self) -> &mut dyn Sampler {
+        self.sampler.as_mut()
+    }
+
+    /// Number of observation windows the sampler has folded into its
+    /// live distribution so far (see [`Sampler::commit_version`]).
+    pub fn commit_version(&self) -> u64 {
+        self.sampler.commit_version()
+    }
+
+    /// Epoch barrier: commits adaptive re-weighting / refreshes
+    /// pre-generated sequences and rewinds the draw counter.
+    pub fn epoch_reset(&mut self) {
+        self.sampler.epoch_reset();
+        self.emitted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::ObservationModel;
+    use crate::sampler::{AdaptiveIsSampler, CommitPolicy, UniformSampler};
+    use crate::sequence::SequenceMode;
+
+    fn uniform_stream(n: usize, shard: usize, start: usize) -> ScheduleStream {
+        let sampler = UniformSampler::new(n, n, SequenceMode::UniformIid, 3).unwrap();
+        ScheduleStream::new(Box::new(sampler), Xoshiro256pp::new(9), shard, start, n)
+    }
+
+    #[test]
+    fn chunked_draws_match_one_by_one_draws() {
+        let mut a = uniform_stream(10, 0, 5);
+        let mut b = uniform_stream(10, 0, 5);
+        let mut chunked = Vec::new();
+        let mut buf = Vec::new();
+        while a.fill_chunk(&mut buf, 3) > 0 {
+            chunked.extend_from_slice(&buf);
+        }
+        let mut single = Vec::new();
+        while let Some(d) = b.next_draw() {
+            single.push(d);
+        }
+        assert_eq!(chunked, single);
+        assert_eq!(chunked.len(), 10);
+        assert!(chunked.iter().all(|d| (5..15).contains(&(d.row as usize))));
+        assert!(a.is_exhausted() && b.is_exhausted());
+        assert_eq!(a.fill_chunk(&mut buf, 3), 0, "exhausted stream stays dry");
+    }
+
+    #[test]
+    fn epoch_reset_rewinds_and_advances_the_sequence() {
+        let mut s = uniform_stream(8, 0, 0);
+        let mut buf = Vec::new();
+        s.fill_chunk(&mut buf, 8);
+        let first = buf.clone();
+        assert_eq!(s.remaining(), 0);
+        s.epoch_reset();
+        assert_eq!(s.remaining(), 8);
+        s.fill_chunk(&mut buf, 8);
+        assert_ne!(first, buf, "next epoch draws a fresh sequence");
+    }
+
+    #[test]
+    fn observe_adapts_the_streams_own_sampler_mid_epoch() {
+        // A stream over shard 1 (rows 4..8) with an every-2 sampler: two
+        // observations commit without an epoch boundary, and subsequent
+        // corrections reflect the re-weighting.
+        let norms_sq = vec![1.0; 8];
+        let proto = FeedbackProtocol::new(vec![0..4, 4..8], &norms_sq, ObservationModel::GradNorm);
+        let sampler = AdaptiveIsSampler::with_params(&[1.0; 4], 0.0, 1.0)
+            .unwrap()
+            .with_commit(CommitPolicy::EveryK(2));
+        let mut s = ScheduleStream::new(Box::new(sampler), Xoshiro256pp::new(1), 1, 4, 4);
+        assert_eq!(s.commit_version(), 0);
+        assert!(s.observe(&proto, 4, 9.0, 0));
+        assert!(s.observe(&proto, 5, 1.0, 0));
+        assert_eq!(s.commit_version(), 1, "every-2 commit landed mid-epoch");
+        assert!(
+            !s.observe(&proto, 0, 5.0, 0),
+            "rows outside the shard are rejected"
+        );
+        let heavy = s.sampler().correction(0);
+        let light = s.sampler().correction(1);
+        assert!(heavy < light, "observed-heavier row steps smaller");
+    }
+
+    #[test]
+    fn streams_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ScheduleStream>();
+    }
+}

@@ -79,8 +79,8 @@ pub mod prelude {
     };
     pub use isasgd_model::{shared::UpdateMode, SavedModel, SharedModel};
     pub use isasgd_sampling::{
-        AdaptiveIsSampler, CommitPolicy, FeedbackProtocol, ObservationModel, Sampler,
-        SamplingStrategy,
+        AdaptiveIsSampler, CommitPolicy, Draw, FeedbackProtocol, ObservationModel, Sampler,
+        SamplingStrategy, ScheduleStream,
     };
     pub use isasgd_sampling::{AliasTable, SampleSequence, SequenceMode};
     pub use isasgd_sparse::{libsvm, Dataset, DatasetBuilder, DatasetStats, SparseVec};
