@@ -1,0 +1,100 @@
+//! Distributed-runtime transport bench: what one synchronization round
+//! costs in pure plumbing — wire encode/decode of the protocol
+//! messages, and a full send→recv round trip over each transport.
+//!
+//! `cargo bench -p isasgd-bench --bench cluster_transport`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_cluster::{in_process_links, tcp_loopback_links, Message, Transport};
+use std::hint::black_box;
+
+fn model_update(dim: usize) -> Message {
+    Message::ModelUpdate {
+        node: 1,
+        round: 7,
+        model: (0..dim).map(|i| (i as f64).sin()).collect(),
+    }
+}
+
+fn feedback_batch(entries: usize) -> Message {
+    Message::FeedbackBatch {
+        node: 1,
+        round: 7,
+        observations: (0..entries as u32)
+            .map(|i| (i * 3, 0.5 + i as f64))
+            .collect(),
+    }
+}
+
+fn wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for &dim in &[1_000usize, 100_000] {
+        let msg = model_update(dim);
+        let bytes = msg.to_bytes();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode_model", dim), &dim, |b, _| {
+            let mut buf = Vec::with_capacity(bytes.len());
+            b.iter(|| {
+                buf.clear();
+                msg.encode(&mut buf);
+                black_box(buf.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("decode_model", dim), &dim, |b, _| {
+            b.iter(|| black_box(Message::decode(&bytes).unwrap()));
+        });
+    }
+    for &entries in &[1_000usize, 50_000] {
+        let msg = feedback_batch(entries);
+        let bytes = msg.to_bytes();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("roundtrip_feedback", entries),
+            &entries,
+            |b, _| {
+                let mut buf = Vec::with_capacity(bytes.len());
+                b.iter(|| {
+                    buf.clear();
+                    msg.encode(&mut buf);
+                    black_box(Message::decode(&buf).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One protocol round trip (send a model down, echo a model back) per
+/// transport — the per-round latency floor of the distributed runtime.
+fn transport_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    let dim = 10_000;
+    let msg = model_update(dim);
+
+    let (mut coord, mut worker) = in_process_links(1).pop().unwrap();
+    group.bench_function("round_trip/inproc", |b| {
+        b.iter(|| {
+            coord.send(&msg).unwrap();
+            let m = worker.recv().unwrap();
+            worker.send(&m).unwrap();
+            black_box(coord.recv().unwrap())
+        });
+    });
+
+    let (mut tc, mut tw) = tcp_loopback_links(1, "127.0.0.1:0")
+        .expect("loopback sockets")
+        .pop()
+        .unwrap();
+    group.bench_function("round_trip/tcp", |b| {
+        b.iter(|| {
+            tc.send(&msg).unwrap();
+            let m = tw.recv().unwrap();
+            tw.send(&m).unwrap();
+            black_box(tc.recv().unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wire_codec, transport_round_trip);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! `isasgd train` — train any solver of the family on a LibSVM file.
 
 use crate::opts::Opts;
-use crate::spec::{LossKind, TrainSpec};
+use crate::spec::{ClusterSpec, LossKind, TrainSpec};
+use isasgd_cluster::{ClusterConfig, ClusterRun};
 use isasgd_core::{
-    train, train_from, LogisticLoss, Objective, RunResult, SquaredHingeLoss, TrainConfig,
+    train, train_from, LogisticLoss, Objective, RunResult, SamplingStrategy, SquaredHingeLoss,
+    TrainConfig,
 };
 use isasgd_model::SavedModel;
 use isasgd_sparse::{holdout_split, Dataset};
@@ -60,25 +62,161 @@ fn run_inner(o: &Opts) -> Result<(), String> {
         (ds, None)
     };
 
-    let r = run_training(&spec, &train_ds, &data_path, init.as_deref())?;
+    let r = match &spec.cluster {
+        Some(cluster) => {
+            if init.is_some() {
+                return Err("--init-model is not supported with --cluster \
+                            (cluster training starts from the zero model)"
+                    .into());
+            }
+            let run = run_cluster(&spec, cluster, &train_ds)?;
+            report_cluster(&spec, cluster, &run, test_ds.as_ref(), quiet);
+            // Reuse the model-save path below through a RunResult-free
+            // early return.
+            if let Some(path) = model_out {
+                // Record what actually ran (e.g. "Cluster-AIS-SGD"),
+                // not the engine solver the cluster path never uses.
+                save_model(
+                    &run.model,
+                    &run.trace.algorithm,
+                    &spec,
+                    &data_path,
+                    &path,
+                    quiet,
+                )?;
+            }
+            return Ok(());
+        }
+        None => run_training(&spec, &train_ds, &data_path, init.as_deref())?,
+    };
     report(&spec, &r, test_ds.as_ref(), quiet);
 
     if let Some(path) = model_out {
-        let m = SavedModel::from_dense(
+        save_model(
             &r.model,
             spec.algorithm.name(),
+            &spec,
             &data_path,
-            spec.step_size,
-            spec.epochs,
-            spec.seed,
-        )
-        .map_err(|e| e.to_string())?;
-        m.save(&path).map_err(|e| e.to_string())?;
-        if !quiet {
-            eprintln!("[save] model → {path} ({} non-zeros)", m.nnz());
-        }
+            &path,
+            quiet,
+        )?;
     }
     Ok(())
+}
+
+fn save_model(
+    model: &[f64],
+    algorithm: &str,
+    spec: &TrainSpec,
+    data_path: &str,
+    path: &str,
+    quiet: bool,
+) -> Result<(), String> {
+    let m = SavedModel::from_dense(
+        model,
+        algorithm,
+        data_path,
+        spec.step_size,
+        spec.epochs,
+        spec.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    m.save(path).map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!("[save] model → {path} ({} non-zeros)", m.nnz());
+    }
+    Ok(())
+}
+
+/// Runs `train` through the distributed runtime: epochs become
+/// synchronization rounds of `--local-epochs` local passes each.
+fn run_cluster(
+    spec: &TrainSpec,
+    cluster: &ClusterSpec,
+    ds: &Dataset,
+) -> Result<ClusterRun, String> {
+    let cfg = ClusterConfig {
+        nodes: cluster.nodes,
+        rounds: spec.epochs,
+        local_epochs: cluster.local_epochs,
+        step_size: spec.step_size,
+        importance: spec.importance,
+        balance: spec.balance,
+        sync: cluster.sync,
+        // The cluster runtime has no per-algorithm dispatch; the
+        // sampling flag picks the distribution (paper default: static
+        // offline IS sequences).
+        sampling: spec.sampling.unwrap_or(SamplingStrategy::Static),
+        obs_model: spec.obs_model,
+        commit: spec.commit,
+        transport: cluster.transport.clone(),
+        seed: spec.seed,
+    };
+    match spec.loss {
+        LossKind::Logistic => {
+            let obj = Objective::new(LogisticLoss, spec.regularizer);
+            isasgd_cluster::run(ds, &obj, &cfg)
+        }
+        LossKind::SquaredHinge => {
+            let obj = Objective::new(SquaredHingeLoss, spec.regularizer);
+            isasgd_cluster::run(ds, &obj, &cfg)
+        }
+    }
+    .map_err(|e| e.to_string())
+}
+
+/// Cluster-run reporting. Per-round lines (stderr) carry no wall-clock
+/// fields, so two runs of the same seed/config are textually identical
+/// across transports — the property the e2e parity test compares.
+fn report_cluster(
+    spec: &TrainSpec,
+    cluster: &ClusterSpec,
+    r: &ClusterRun,
+    test: Option<&Dataset>,
+    quiet: bool,
+) {
+    if !quiet {
+        for p in &r.rounds {
+            eprintln!(
+                "[round {:>4}] obj={:<12.8} rmse={:<12.8} err={:.6}",
+                p.round, p.objective, p.rmse, p.error_rate
+            );
+        }
+        if let Some(observed) = r.observed_phi_imbalance {
+            eprintln!(
+                "[feedback] rows={} observed_phi_imbalance={observed:.4}",
+                r.feedback_rows
+            );
+        }
+    }
+    let last = r.rounds.last().expect("≥1 round");
+    println!(
+        "algorithm={} transport={} nodes={} rounds={} local_epochs={} \
+         phi_imbalance={:.4} final_obj={:.6} final_err={:.6} train_secs={:.3}",
+        r.trace.algorithm,
+        cluster.transport.name(),
+        cluster.nodes,
+        r.syncs,
+        cluster.local_epochs,
+        r.phi_imbalance,
+        last.objective,
+        last.error_rate,
+        r.trace.points.last().map(|p| p.wall_secs).unwrap_or(0.0),
+    );
+    if let Some(te) = test {
+        let metrics = match spec.loss {
+            LossKind::Logistic => Objective::new(LogisticLoss, spec.regularizer).eval(te, &r.model),
+            LossKind::SquaredHinge => {
+                Objective::new(SquaredHingeLoss, spec.regularizer).eval(te, &r.model)
+            }
+        };
+        println!(
+            "holdout_n={} holdout_obj={:.6} holdout_err={:.6}",
+            te.n_samples(),
+            metrics.objective,
+            metrics.error_rate
+        );
+    }
 }
 
 /// Dispatches over the (static) loss type.
@@ -186,6 +324,13 @@ isasgd train <data.svm> [flags]
                      on every exec mode; needs --sampling adaptive) [epoch]
   --bias <f>         uniform mix for --scheme partial       [0.5]
   --balance <name>   adaptive | head-tail | greedy | shuffle | identity
+  --cluster <k>      distributed run with k nodes (epochs become
+                     synchronization rounds)                [off]
+  --cluster-transport <t>  inproc | tcp — how coordinator and workers
+                     talk; either flag enables cluster mode [inproc]
+  --local-epochs <n> local passes per round (cluster mode)  [1]
+  --sync <name>      average | weighted — round model reducer
+                     (cluster mode)                         [average]
   --epochs <n>       passes over the data                   [10]
   --step <f>         step size λ                            [0.5]
   --holdout <f>      held-out fraction for test metrics     [0]

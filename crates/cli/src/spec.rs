@@ -1,10 +1,26 @@
 //! Shared option-to-configuration mapping for the CLI commands.
 
 use crate::opts::{OptError, Opts};
+use isasgd_cluster::{SyncStrategy, TransportConfig};
 use isasgd_core::{
     Algorithm, BalancePolicy, CommitPolicy, Execution, ImportanceScheme, ObservationModel,
     Regularizer, SamplingStrategy, SvrgVariant,
 };
+
+/// Distributed-run settings: present when any `--cluster*` flag was
+/// given, routing `train` through the `isasgd-cluster` runtime instead
+/// of the in-process engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Node count `numT`.
+    pub nodes: usize,
+    /// Local epochs per synchronization round.
+    pub local_epochs: usize,
+    /// Coordinator↔worker transport.
+    pub transport: TransportConfig,
+    /// Model reducer at each round.
+    pub sync: SyncStrategy,
+}
 
 /// Everything `train` needs besides the dataset itself.
 #[derive(Debug, Clone)]
@@ -13,6 +29,9 @@ pub struct TrainSpec {
     pub algorithm: Algorithm,
     /// Execution mode.
     pub execution: Execution,
+    /// Distributed execution (`--cluster`/`--cluster-transport`);
+    /// `None` keeps the single-process engine.
+    pub cluster: Option<ClusterSpec>,
     /// Loss selection (by name; the CLI trains logistic or squared-hinge).
     pub loss: LossKind,
     /// Regularizer.
@@ -164,9 +183,68 @@ impl TrainSpec {
             return Err(bad("holdout", holdout.to_string(), "float in [0,1)"));
         }
 
+        // Cluster mode turns on when any --cluster* flag appears;
+        // `--cluster-transport tcp` alone implies the default 4 nodes.
+        let cluster_nodes = o.get("cluster");
+        let cluster_transport = o.get("cluster-transport");
+        let sync_name = o.get("sync");
+        let cluster = if cluster_nodes.is_some() || cluster_transport.is_some() {
+            let local_epochs: usize = o.get_parsed_or("local-epochs", 1, "usize")?;
+            // The cluster runtime has no per-algorithm dispatch — nodes
+            // run local (IS-)SGD. Reject an explicit solver request it
+            // would silently ignore.
+            if o.get("algo").is_some() && !matches!(algorithm, Algorithm::Sgd | Algorithm::IsSgd) {
+                return Err(bad(
+                    "algo",
+                    algorithm.name().into(),
+                    "cluster nodes run local (is-)sgd; use --algo sgd or is-sgd \
+                     (sampling/importance flags still apply)",
+                ));
+            }
+            if tau > 0 || threads > 1 {
+                return Err(bad(
+                    "cluster",
+                    "with --tau/--threads".into(),
+                    "cluster nodes run sequential local SGD; drop --tau/--threads",
+                ));
+            }
+            let nodes: usize = match cluster_nodes {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| bad("cluster", v, "node count (usize)"))?,
+                None => 4,
+            };
+            let transport = match cluster_transport {
+                Some(v) => TransportConfig::parse(&v)
+                    .ok_or_else(|| bad("cluster-transport", v, "inproc|tcp"))?,
+                None => TransportConfig::InProcess,
+            };
+            let sync = match sync_name.as_deref() {
+                None | Some("average") => SyncStrategy::Average,
+                Some("weighted") => SyncStrategy::WeightedByShard,
+                Some(other) => return Err(bad("sync", other.into(), "average|weighted")),
+            };
+            Some(ClusterSpec {
+                nodes,
+                local_epochs,
+                transport,
+                sync,
+            })
+        } else {
+            if let Some(v) = sync_name {
+                return Err(bad(
+                    "sync",
+                    v,
+                    "only valid with --cluster/--cluster-transport",
+                ));
+            }
+            None
+        };
+
         Ok(TrainSpec {
             algorithm,
             execution,
+            cluster,
             loss,
             regularizer,
             importance,
@@ -292,6 +370,46 @@ mod tests {
             Some(SamplingStrategy::Uniform)
         );
         assert!(spec("--sampling magic").is_err());
+    }
+
+    #[test]
+    fn cluster_flags_parse() {
+        // Off by default.
+        assert_eq!(spec("").unwrap().cluster, None);
+        // --cluster alone.
+        let t = spec("--cluster 6").unwrap();
+        let c = t.cluster.unwrap();
+        assert_eq!(c.nodes, 6);
+        assert_eq!(c.local_epochs, 1);
+        assert_eq!(c.transport, TransportConfig::InProcess);
+        assert_eq!(c.sync, SyncStrategy::Average);
+        // --cluster-transport alone implies cluster mode with defaults.
+        let t = spec("--cluster-transport tcp").unwrap();
+        let c = t.cluster.unwrap();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.transport, TransportConfig::tcp());
+        // The full set.
+        let t = spec("--cluster 3 --cluster-transport inproc --local-epochs 2 --sync weighted")
+            .unwrap();
+        let c = t.cluster.unwrap();
+        assert_eq!(c.nodes, 3);
+        assert_eq!(c.local_epochs, 2);
+        assert_eq!(c.sync, SyncStrategy::WeightedByShard);
+        // Bad values are rejected with the flag named.
+        assert!(spec("--cluster-transport udp").is_err());
+        assert!(spec("--cluster zero").is_err());
+        assert!(spec("--cluster 2 --sync median").is_err());
+        // --sync without cluster mode is rejected.
+        assert!(spec("--sync weighted").is_err());
+        // Cluster nodes run sequential local SGD; parallel-exec flags
+        // conflict.
+        assert!(spec("--cluster 2 --threads 4").is_err());
+        assert!(spec("--cluster 2 --tau 8").is_err());
+        // ... and so does an explicit solver the runtime would ignore.
+        assert!(spec("--cluster 2 --algo svrg").is_err());
+        assert!(spec("--cluster 2 --algo asgd").is_err());
+        assert!(spec("--cluster 2 --algo is-sgd").is_ok());
+        assert!(spec("--cluster 2").is_ok(), "default algo stays implicit");
     }
 
     #[test]

@@ -357,6 +357,95 @@ fn obs_model_and_commit_flags_end_to_end() {
 }
 
 #[test]
+fn cluster_transports_produce_identical_round_traces() {
+    // The PR-4 acceptance path: `train --cluster-transport tcp` on
+    // localhost must produce a bit-identical RoundPoint trace to
+    // `--cluster-transport inproc` for the same seed — the per-round
+    // lines carry no wall-clock fields, so the comparison is textual.
+    let dir = tmpdir("cluster");
+    let data = dir.join("d.svm");
+    let out = bin()
+        .args(["gen", "--out"])
+        .arg(&data)
+        .args(["--profile", "news20", "--scale", "0.05", "--training"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = |transport: &str| {
+        let out = bin()
+            .arg("train")
+            .arg(&data)
+            .args([
+                "--algo",
+                "is-sgd",
+                "--cluster",
+                "3",
+                "--cluster-transport",
+                transport,
+                "--sampling",
+                "adaptive",
+                "--epochs",
+                "4",
+                "--step",
+                "0.2",
+                "--seed",
+                "7",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--cluster-transport {transport} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let trace: Vec<String> = String::from_utf8_lossy(&out.stderr)
+            .lines()
+            .filter(|l| l.starts_with("[round") || l.starts_with("[feedback"))
+            .map(String::from)
+            .collect();
+        let summary = String::from_utf8_lossy(&out.stdout).to_string();
+        (trace, summary)
+    };
+
+    let (inproc_trace, inproc_summary) = run("inproc");
+    let (tcp_trace, tcp_summary) = run("tcp");
+    assert!(
+        inproc_trace.len() >= 5,
+        "expected 4 rounds + initial point, got {inproc_trace:?}"
+    );
+    assert_eq!(
+        inproc_trace, tcp_trace,
+        "tcp round trace must be bit-identical to inproc"
+    );
+    assert!(
+        inproc_summary.contains("transport=inproc"),
+        "{inproc_summary}"
+    );
+    assert!(tcp_summary.contains("transport=tcp"), "{tcp_summary}");
+    assert!(
+        tcp_summary.contains("algorithm=Cluster-AIS-SGD"),
+        "{tcp_summary}"
+    );
+
+    // Bad transport name is caught with the flag named.
+    let out = bin()
+        .arg("train")
+        .arg(&data)
+        .args(["--cluster-transport", "udp", "--quiet"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cluster-transport"));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn simulated_tau_execution() {
     let dir = tmpdir("tau");
     let data = dir.join("d.svm");

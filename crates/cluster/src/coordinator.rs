@@ -1,0 +1,560 @@
+//! The distributed runtime: a [`Coordinator`]-less round driver and the
+//! per-node [`NodeRuntime`], both generic over [`Transport`].
+//!
+//! This module replaced the old single-threaded round loop that called
+//! node training as a plain function. The protocol, per link (one duplex
+//! link per worker):
+//!
+//! ```text
+//! worker                         coordinator
+//!   ── RoundBarrier(0) ──────────▶   hello: announce readiness
+//!   ◀───────────── ShardRebalance   Algorithm-4 balancing decision:
+//!                                    permutation + every shard range
+//!  per round r = 1..=rounds:
+//!   ◀── RoundBarrier(r) ──────────   start-of-round barrier
+//!   ◀── ModelUpdate(r, consensus)    round's starting model
+//!      … local_epochs of (IS-)SGD on the worker's shard …
+//!   ── FeedbackBatch(r) ─────────▶   per-row max importance observations
+//!                                    (adaptive runs only)
+//!   ── ModelUpdate(r, replica) ──▶   trained local model
+//!                                    coordinator: average via
+//!                                    SyncStrategy, eval consensus
+//! ```
+//!
+//! Receivers are written against a weaker channel than either bundled
+//! transport provides: they tolerate duplicated messages and reordering
+//! within one send burst, draining until the messages they need for the
+//! current round arrive and ignoring stale round tags. That tolerance is
+//! what `tests/fault_injection.rs` pins with
+//! [`FlakyTransport`](crate::transport::FlakyTransport).
+//!
+//! Determinism: each worker's draws come from its own seed-derived
+//! [`ScheduleStream`], observations only ever touch the worker's own
+//! sampler, and the coordinator averages models into per-node slots — so
+//! the result is bit-identical across transports and thread schedules,
+//! and a single-node run stays bit-equal to the sequential engine
+//! (`tests/equivalence.rs`).
+
+use crate::node::{
+    effective_strategy, validate, ClusterConfig, ClusterError, ClusterRun, Node, RoundPoint,
+};
+use crate::sync::average_models;
+use crate::transport::Transport;
+use crate::wire::Message;
+use isasgd_balance::decide;
+use isasgd_losses::{importance_weights, Loss, Objective};
+use isasgd_metrics::{Trace, TracePoint};
+use isasgd_sampling::rng::derive_seeds;
+use isasgd_sampling::{
+    build_sampler, draw_rngs, AdaptiveIsSampler, FeedbackProtocol, Sampler, SamplingStrategy,
+    ScheduleStream, SequenceMode,
+};
+use isasgd_sparse::dataset::shard_ranges;
+use isasgd_sparse::Dataset;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Runs a full cluster round schedule over caller-supplied links — the
+/// extension point fault-injection tests wrap with
+/// [`FlakyTransport`](crate::transport::FlakyTransport).
+///
+/// `links[k]` is the `(coordinator_end, worker_end)` pair for node `k`.
+/// Worker runtimes run on scoped threads; the coordinator drives rounds
+/// on the calling thread. See [`crate::run`] for the convenience entry
+/// point that wires the links from
+/// [`ClusterConfig::transport`](crate::ClusterConfig).
+pub fn run_with_links<L: Loss, T: Transport>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+    links: Vec<(T, T)>,
+) -> Result<ClusterRun, ClusterError> {
+    validate(cfg, ds)?;
+    if links.len() != cfg.nodes {
+        return Err(ClusterError::InvalidConfig(format!(
+            "{} transport links for {} nodes",
+            links.len(),
+            cfg.nodes
+        )));
+    }
+    let (mut coord_ends, worker_ends): (Vec<T>, Vec<T>) = links.into_iter().unzip();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = worker_ends
+            .into_iter()
+            .enumerate()
+            .map(|(k, link)| scope.spawn(move || NodeRuntime::new(link, k).run(ds, obj, cfg)))
+            .collect();
+        let coord = coordinate(&mut coord_ends, ds, obj, cfg);
+        // On coordinator failure, drop the links now so every blocked
+        // worker `recv` unblocks with `Closed` instead of deadlocking
+        // the join. On success keep them alive until the workers have
+        // joined: a worker may still be emitting trailing traffic the
+        // coordinator no longer needs (e.g. a fault-injected duplicate
+        // of its final model), and tearing the links down under it
+        // would turn that benign tail into a spurious `Closed` error.
+        if coord.is_err() {
+            coord_ends.clear();
+        }
+        let mut worker_err: Option<ClusterError> = None;
+        for h in handles {
+            let err = match h.join() {
+                Ok(Ok(())) => continue,
+                Ok(Err(e)) => e,
+                Err(_) => ClusterError::Worker("worker thread panicked".into()),
+            };
+            // Keep the most informative worker error: a failing worker
+            // tears down its link, so its *peers* (and itself, once the
+            // coordinator drops the links) often report derivative
+            // `Transport(Closed)` errors — don't let those overwrite a
+            // root cause.
+            let keep_new = match (&worker_err, &err) {
+                (None, _) => true,
+                (Some(ClusterError::Transport(_)), e) => !matches!(e, ClusterError::Transport(_)),
+                _ => false,
+            };
+            if keep_new {
+                worker_err = Some(err);
+            }
+        }
+        match (coord, worker_err) {
+            (Ok(run), None) => Ok(run),
+            (Ok(_), Some(e)) => Err(e),
+            // A dead worker surfaces at the coordinator as a transport
+            // failure (closed link / read timeout); the worker's own
+            // error is the root cause — prefer it.
+            (Err(ClusterError::Transport(_)), Some(e)) => Err(e),
+            (Err(e), _) => Err(e),
+        }
+    })
+}
+
+/// The coordinator: owns the balancing decision, the round barriers,
+/// model averaging, consensus evaluation, and the feedback mirror.
+fn coordinate<L: Loss, T: Transport>(
+    links: &mut [T],
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+) -> Result<ClusterRun, ClusterError> {
+    let n = ds.n_samples();
+    let d = ds.dim();
+    let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
+
+    // Algorithm 4 lines 2–6: weigh, decide, rearrange.
+    let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
+    let decision = decide(&weights, cfg.balance, seeds[cfg.nodes], cfg.nodes);
+    let data = ds.reordered(&decision.order)?;
+    let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| weights[i]).collect();
+    let ranges = shard_ranges(n, cfg.nodes)?;
+    let strategy = effective_strategy(cfg);
+
+    let phis: Vec<f64> = ranges
+        .iter()
+        .map(|r| reordered_weights[r.clone()].iter().sum())
+        .collect();
+    let mean_phi: f64 = phis.iter().sum::<f64>() / cfg.nodes as f64;
+    let max_phi = phis.iter().copied().fold(0.0, f64::max);
+    let phi_imbalance = if mean_phi > 0.0 {
+        max_phi / mean_phi
+    } else {
+        1.0
+    };
+
+    // The coordinator's consensus view of every node's adaptive
+    // distribution (Alain et al.: per-node importance observations flow
+    // back to a coordinator). Mirrors fold at round boundaries only —
+    // within a round, per-row max accumulation makes duplicated
+    // FeedbackBatch deliveries idempotent (pinned by the fault tests).
+    let protocol = (strategy == SamplingStrategy::Adaptive)
+        .then(|| FeedbackProtocol::for_dataset(&data, ranges.clone(), cfg.obs_model));
+    let mut mirrors: Vec<AdaptiveIsSampler> = if protocol.is_some() {
+        ranges
+            .iter()
+            .map(|r| AdaptiveIsSampler::new(&reordered_weights[r.clone()]))
+            .collect::<Result<_, _>>()
+            .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?
+    } else {
+        Vec::new()
+    };
+
+    // Hellos: every worker announces readiness before any assignment
+    // goes out (drain tolerates a duplicated hello).
+    for link in links.iter_mut() {
+        loop {
+            if let Message::RoundBarrier { round: 0, .. } = link.recv()? {
+                break;
+            }
+        }
+    }
+
+    // Ship the balancing decision: each worker reconstructs the
+    // rearranged dataset view from the permutation and trains only its
+    // assigned shard.
+    let order_u32: Vec<u32> = decision.order.iter().map(|&i| i as u32).collect();
+    let ranges_u32: Vec<(u32, u32)> = ranges
+        .iter()
+        .map(|r| (r.start as u32, r.end as u32))
+        .collect();
+    for (k, link) in links.iter_mut().enumerate() {
+        link.send(&Message::ShardRebalance {
+            round: 0,
+            assigned: k as u32,
+            order: order_u32.clone(),
+            ranges: ranges_u32.clone(),
+        })?;
+    }
+
+    let mut trace = Trace::new(
+        match strategy {
+            SamplingStrategy::Uniform => "Cluster-SGD",
+            SamplingStrategy::Static => "Cluster-IS-SGD",
+            SamplingStrategy::Adaptive => "Cluster-AIS-SGD",
+        },
+        "cluster",
+        cfg.nodes,
+        cfg.step_size,
+    );
+    let mut rounds = Vec::with_capacity(cfg.rounds + 1);
+    let mut consensus = vec![0.0f64; d];
+    let m0 = obj.eval(&data, &consensus);
+    trace.push(TracePoint {
+        epoch: 0.0,
+        wall_secs: 0.0,
+        objective: m0.objective,
+        rmse: m0.rmse,
+        error_rate: m0.error_rate,
+    });
+    rounds.push(RoundPoint {
+        round: 0,
+        objective: m0.objective,
+        rmse: m0.rmse,
+        error_rate: m0.error_rate,
+    });
+
+    let mut train_secs = 0.0;
+    let shard_sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+    let mut models: Vec<Vec<f64>> = vec![Vec::new(); cfg.nodes];
+    let mut feedback_rows = 0usize;
+    for round in 1..=cfg.rounds {
+        let t0 = Instant::now();
+        for (k, link) in links.iter_mut().enumerate() {
+            link.send(&Message::RoundBarrier {
+                node: k as u32,
+                round: round as u64,
+            })?;
+            link.send(&Message::ModelUpdate {
+                node: k as u32,
+                round: round as u64,
+                model: consensus.clone(),
+            })?;
+        }
+        // Collect: drain each link until this round's replica (and, for
+        // adaptive runs, its feedback batch) arrives; stale tags are
+        // duplicates from earlier rounds and are dropped.
+        for (k, link) in links.iter_mut().enumerate() {
+            let mut have_model = false;
+            let mut have_feedback = protocol.is_none();
+            while !(have_model && have_feedback) {
+                match link.recv()? {
+                    Message::ModelUpdate {
+                        round: r, model, ..
+                    } if r == round as u64 => {
+                        models[k] = model;
+                        have_model = true;
+                    }
+                    Message::FeedbackBatch {
+                        round: r,
+                        observations,
+                        ..
+                    } if r == round as u64 => {
+                        if let Some(p) = &protocol {
+                            for (row, obs) in observations {
+                                if let Some((shard, local)) = p.locate(row as usize) {
+                                    mirrors[shard].update_weight(local, obs);
+                                    feedback_rows += 1;
+                                }
+                            }
+                        }
+                        have_feedback = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for m in mirrors.iter_mut() {
+            m.epoch_reset();
+        }
+        average_models(&models, &shard_sizes, cfg.sync, &mut consensus);
+        train_secs += t0.elapsed().as_secs_f64();
+
+        let m = obj.eval(&data, &consensus);
+        trace.push(TracePoint {
+            epoch: (round * cfg.local_epochs) as f64,
+            wall_secs: train_secs,
+            objective: m.objective,
+            rmse: m.rmse,
+            error_rate: m.error_rate,
+        });
+        rounds.push(RoundPoint {
+            round,
+            objective: m.objective,
+            rmse: m.rmse,
+            error_rate: m.error_rate,
+        });
+    }
+
+    // The mirror's view of shard importance after all feedback landed —
+    // max/mean of the mirrored per-shard mass, 1.0 meaning the observed
+    // distributions stayed balanced.
+    let observed_phi_imbalance = protocol.as_ref().map(|_| {
+        let sums: Vec<f64> = mirrors
+            .iter()
+            .zip(&ranges)
+            .map(|(m, r)| (0..r.len()).map(|i| m.weight(i)).sum())
+            .collect();
+        let mean: f64 = sums.iter().sum::<f64>() / sums.len().max(1) as f64;
+        let max = sums.iter().copied().fold(0.0, f64::max);
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    });
+
+    Ok(ClusterRun {
+        trace,
+        model: consensus,
+        rounds,
+        phi_imbalance,
+        balanced: decision.balanced,
+        rho: decision.rho,
+        syncs: cfg.rounds,
+        feedback_rows,
+        observed_phi_imbalance,
+    })
+}
+
+/// One worker's runtime: receives its shard assignment, runs local
+/// (IS-)SGD epochs on its own [`ScheduleStream`], and reports its
+/// replica and importance observations every round.
+pub struct NodeRuntime<T: Transport> {
+    link: T,
+    node_id: usize,
+    /// Messages that arrived ahead of the phase that consumes them
+    /// (e.g. a round-1 barrier delivered before a delayed
+    /// `ShardRebalance`): stashed instead of dropped so transport
+    /// reordering can never starve a later await.
+    stash: std::collections::VecDeque<Message>,
+}
+
+impl<T: Transport> NodeRuntime<T> {
+    /// Wraps one worker endpoint for node `node_id`.
+    pub fn new(link: T, node_id: usize) -> Self {
+        NodeRuntime {
+            link,
+            node_id,
+            stash: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Runs the full worker side of the protocol (see module docs).
+    ///
+    /// `ds` is the *original* (pre-rearrangement) dataset: workers
+    /// reconstruct the rearranged view from the coordinator's
+    /// [`Message::ShardRebalance`], and recompute importance weights on
+    /// the original row order — the exact float-op order the
+    /// coordinator used — so the run stays bit-equal across transports
+    /// even for schemes with order-sensitive reductions.
+    pub fn run<L: Loss>(
+        mut self,
+        ds: &Dataset,
+        obj: &Objective<L>,
+        cfg: &ClusterConfig,
+    ) -> Result<(), ClusterError> {
+        let id = self.node_id as u32;
+        self.link
+            .send(&Message::RoundBarrier { node: id, round: 0 })?;
+        let (order, wire_ranges, assigned) = loop {
+            match self.link.recv()? {
+                Message::ShardRebalance {
+                    assigned,
+                    order,
+                    ranges,
+                    ..
+                } => break (order, ranges, assigned as usize),
+                // A reordered transport can deliver round-1 traffic
+                // before the assignment; keep it for await_round_start.
+                m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
+                    if m.round() >= 1 =>
+                {
+                    self.stash.push_back(m)
+                }
+                _ => {}
+            }
+        };
+        let order: Vec<usize> = order.into_iter().map(|i| i as usize).collect();
+        let ranges: Vec<Range<usize>> = wire_ranges
+            .into_iter()
+            .map(|(s, e)| s as usize..e as usize)
+            .collect();
+        let range = ranges.get(assigned).cloned().ok_or_else(|| {
+            ClusterError::Worker(format!("assigned shard {assigned} out of range"))
+        })?;
+
+        let data = ds.reordered(&order)?;
+        let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
+        let local: Vec<f64> = order[range.clone()].iter().map(|&i| weights[i]).collect();
+        let strategy = effective_strategy(cfg);
+        let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
+        let sampler = build_sampler(
+            strategy,
+            Some(&local),
+            range.len(),
+            SequenceMode::RegeneratePerEpoch,
+            seeds[assigned],
+            cfg.commit,
+        )
+        .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
+        let rng = draw_rngs(cfg.seed, cfg.nodes)
+            .into_iter()
+            .nth(assigned)
+            .expect("one draw stream per node");
+        let mut node = Node {
+            range: range.clone(),
+            stream: ScheduleStream::new(sampler, rng, assigned, range.start, range.len()),
+            model: vec![0.0; ds.dim()],
+        };
+        let protocol = (strategy == SamplingStrategy::Adaptive)
+            .then(|| FeedbackProtocol::for_dataset(&data, ranges.clone(), cfg.obs_model));
+
+        // Per-round observation gather for the coordinator's mirror:
+        // per-row max of the scaled observations, the same reduction the
+        // sampler applies, so a batch replay is idempotent.
+        let mut obs_max = vec![f64::NEG_INFINITY; range.len()];
+        let mut visited = vec![false; range.len()];
+        for round in 1..=cfg.rounds as u64 {
+            let consensus = self.await_round_start(round)?;
+            if consensus.len() != node.model.len() {
+                return Err(ClusterError::Worker(format!(
+                    "round {round}: consensus dim {} != model dim {}",
+                    consensus.len(),
+                    node.model.len()
+                )));
+            }
+            node.model.copy_from_slice(&consensus);
+            if protocol.is_some() {
+                obs_max.fill(f64::NEG_INFINITY);
+                visited.fill(false);
+            }
+            for _ in 0..cfg.local_epochs {
+                local_epoch(
+                    &data,
+                    obj,
+                    &mut node,
+                    protocol.as_ref(),
+                    cfg.step_size,
+                    &mut obs_max,
+                    &mut visited,
+                );
+                node.stream.epoch_reset();
+            }
+            if protocol.is_some() {
+                let observations: Vec<(u32, f64)> = visited
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v)
+                    .map(|(i, _)| ((range.start + i) as u32, obs_max[i]))
+                    .collect();
+                self.link.send(&Message::FeedbackBatch {
+                    node: id,
+                    round,
+                    observations,
+                })?;
+            }
+            self.link.send(&Message::ModelUpdate {
+                node: id,
+                round,
+                model: node.model.clone(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Drains the stash and then the link until both the round-`round`
+    /// barrier and the round's consensus model arrived, in either
+    /// order; duplicates and stale round tags are dropped, and traffic
+    /// for a later round is re-stashed (never silently discarded).
+    fn await_round_start(&mut self, round: u64) -> Result<Vec<f64>, ClusterError> {
+        fn sort(
+            m: Message,
+            round: u64,
+            barrier: &mut bool,
+            consensus: &mut Option<Vec<f64>>,
+            stash: &mut std::collections::VecDeque<Message>,
+        ) {
+            match m {
+                Message::RoundBarrier { round: r, .. } if r == round => *barrier = true,
+                Message::ModelUpdate {
+                    round: r, model, ..
+                } if r == round => *consensus = Some(model),
+                m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
+                    if m.round() > round =>
+                {
+                    stash.push_back(m)
+                }
+                _ => {}
+            }
+        }
+        let mut barrier = false;
+        let mut consensus = None;
+        // One pass over previously stashed messages (re-stashing any
+        // that are still ahead of this round), then block on the link.
+        let stashed: Vec<Message> = self.stash.drain(..).collect();
+        for m in stashed {
+            sort(m, round, &mut barrier, &mut consensus, &mut self.stash);
+        }
+        while !(barrier && consensus.is_some()) {
+            let m = self.link.recv()?;
+            sort(m, round, &mut barrier, &mut consensus, &mut self.stash);
+        }
+        Ok(consensus.expect("loop exits with a consensus"))
+    }
+}
+
+/// One local epoch of sequential (IS-)SGD on the node's shard, drawn
+/// through the node's [`ScheduleStream`]. Observed gradient scales
+/// stream through the shared [`FeedbackProtocol`] — the single scaling
+/// convention this runtime shares with the `isasgd-core` engine — into
+/// the stream's own sampler (`protocol` is `None` for uniform/static
+/// sampling, where feedback is a no-op). Under intra-epoch commits the
+/// sampler re-weights mid-epoch and the very next draw sees it, matching
+/// the engine's sequential streaming path draw-for-draw. The scaled
+/// observations are additionally max-reduced into `obs_max`/`visited`
+/// for the round's [`Message::FeedbackBatch`].
+fn local_epoch<L: Loss>(
+    data: &Dataset,
+    obj: &Objective<L>,
+    node: &mut Node,
+    protocol: Option<&FeedbackProtocol>,
+    lambda: f64,
+    obs_max: &mut [f64],
+    visited: &mut [bool],
+) {
+    let start = node.range.start;
+    while let Some(d) = node.stream.next_draw() {
+        let row = data.row(d.row as usize);
+        let margin = obj.margin(&row, &node.model);
+        let g = obj.grad_scale(&row, margin);
+        let scale = lambda * d.corr;
+        obj.apply_sgd_update(&row, -scale * g, scale, &mut node.model);
+        if let Some(p) = protocol {
+            // Age = steps remaining before the epoch-boundary commit
+            // (consumed only by the staleness-discounted model).
+            let age = node.stream.remaining();
+            node.stream.observe(p, d.row as usize, g.abs(), age);
+            let local = d.row as usize - start;
+            obs_max[local] = obs_max[local].max(p.observation(d.row as usize, g.abs(), age));
+            visited[local] = true;
+        }
+    }
+}

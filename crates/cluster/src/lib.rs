@@ -1,24 +1,61 @@
-//! Multi-node data-parallel IS-SGD: the paper's "cores/**nodes**" setting.
+//! The distributed runtime: multi-node data-parallel IS-SGD behind a
+//! pluggable [`Transport`].
 //!
 //! §2.3 of the paper frames importance imbalance in terms of processes
 //! that "run on [their] corresponding core/node and typically work on
 //! [their] local dataset". Within one machine the Hogwild solvers of
-//! `isasgd-core` cover the *core* half of that sentence; this crate covers
-//! the *node* half: `K` nodes each hold a contiguous shard, run local
-//! sequential (IS-)SGD, and periodically synchronize by model averaging
-//! (the classical local-SGD / parameter-averaging scheme ASGD deployments
-//! use across machines, where a shared atomic model is impossible).
+//! `isasgd-core` cover the *core* half of that sentence; this crate
+//! covers the *node* half: `K` nodes each hold a contiguous shard, run
+//! local sequential (IS-)SGD, and periodically synchronize by model
+//! averaging (the classical local-SGD / parameter-averaging scheme ASGD
+//! deployments use across machines, where a shared atomic model is
+//! impossible). Because every node samples **only from its local
+//! shard**, the sampling-distribution distortion of Fig. 2 applies
+//! verbatim — this is the setting where Algorithm 3's importance
+//! balancing is load-bearing.
 //!
-//! Because every node samples **only from its local shard**, the sampling
-//! distribution distortion of Fig. 2 applies verbatim — this is the
-//! setting where the paper's Algorithm 3 importance balancing is load-
-//! bearing, and the `cluster` experiment measures exactly that.
+//! # Architecture
+//!
+//! The runtime is split along the real deployment boundary:
+//!
+//! * [`wire`] — a hand-rolled length-prefixed codec for the four typed
+//!   protocol messages ([`Message::ModelUpdate`],
+//!   [`Message::FeedbackBatch`], [`Message::RoundBarrier`],
+//!   [`Message::ShardRebalance`]). Decoding is total: garbage returns a
+//!   typed [`WireError`], never a panic.
+//! * [`transport`] — the [`Transport`] trait plus the two bundled
+//!   wirings: [`InProcess`] (typed channels between threads, default)
+//!   and [`Tcp`] (real loopback sockets), and the deterministic
+//!   [`FlakyTransport`] fault injector used by the test suite.
+//! * [`coordinator`] — the round driver, generic over [`Transport`]:
+//!   the coordinator owns balancing, barriers, [`SyncStrategy`]
+//!   averaging, and a feedback mirror fed by per-node importance
+//!   observations (Alain et al.'s message shape); each [`NodeRuntime`]
+//!   owns a shard, a `ScheduleStream`, and its local epochs.
+//! * [`node`] — [`ClusterConfig`] / [`ClusterRun`] and the [`run`]
+//!   entry point that wires links from
+//!   [`ClusterConfig::transport`].
+//!
+//! Runs are bit-identical across transports and thread schedules for
+//! the same seed and config; a single-node run is bit-equal to the
+//! sequential `isasgd-core` engine. Both properties are pinned by
+//! `tests/equivalence.rs`, and the protocol's tolerance of duplicated
+//! and reordered messages by `tests/fault_injection.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coordinator;
 pub mod node;
 pub mod sync;
+pub mod transport;
+pub mod wire;
 
-pub use node::{run, ClusterConfig, ClusterRun, Node, RoundPoint};
+pub use coordinator::{run_with_links, NodeRuntime};
+pub use node::{run, ClusterConfig, ClusterError, ClusterRun, Node, RoundPoint};
 pub use sync::{average_models, SyncStrategy};
+pub use transport::{
+    in_process_links, tcp_loopback_links, FlakyTransport, InProcess, Tcp, Transport,
+    TransportConfig, TransportError,
+};
+pub use wire::{Message, WireError, MAX_FRAME};

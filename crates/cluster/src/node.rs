@@ -1,21 +1,27 @@
-//! The cluster simulation: nodes, local training, synchronization rounds.
+//! Cluster configuration, per-node state, and the top-level [`run`]
+//! entry point.
+//!
+//! The round loop itself lives in [`crate::coordinator`]; this module
+//! owns what surrounds it: [`ClusterConfig`] (topology, schedule, and
+//! the [`TransportConfig`] choosing how coordinator and workers talk),
+//! validation, and the [`ClusterRun`] result type.
 
-use crate::sync::{average_models, SyncStrategy};
-use isasgd_balance::{decide, BalancePolicy};
-use isasgd_losses::{importance_weights, ImportanceScheme, Loss, Objective};
-use isasgd_metrics::{Trace, TracePoint};
-use isasgd_sampling::rng::derive_seeds;
-use isasgd_sampling::{
-    build_sampler, draw_rngs, CommitPolicy, FeedbackProtocol, ObservationModel, SamplingStrategy,
-    ScheduleStream, SequenceMode,
-};
-use isasgd_sparse::dataset::shard_ranges;
+use crate::coordinator::run_with_links;
+use crate::sync::SyncStrategy;
+use crate::transport::{in_process_links, tcp_loopback_links, TransportConfig, TransportError};
+use isasgd_balance::BalancePolicy;
+use isasgd_losses::{ImportanceScheme, Loss, Objective};
+use isasgd_metrics::Trace;
+use isasgd_sampling::{CommitPolicy, ObservationModel, SamplingStrategy, ScheduleStream};
 use isasgd_sparse::{Dataset, SparseError};
 use std::ops::Range;
-use std::time::Instant;
 
 /// Cluster topology and schedule.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Clone` (deliberately not `Copy`): [`TransportConfig`] carries a bind
+/// address, so configs are heap-owning values now — callers thread them
+/// by reference or clone explicitly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of nodes `numT` (paper Algorithm 4's process count).
     pub nodes: usize,
@@ -40,7 +46,7 @@ pub struct ClusterConfig {
     pub sampling: SamplingStrategy,
     /// How observed gradient scales become importance observations for
     /// adaptive nodes (see [`ObservationModel`]); the shared
-    /// [`FeedbackProtocol`] applies it identically to the `isasgd-core`
+    /// `FeedbackProtocol` applies it identically to the `isasgd-core`
     /// engine's convention.
     pub obs_model: ObservationModel,
     /// When adaptive nodes fold accumulated observations into their live
@@ -48,6 +54,11 @@ pub struct ClusterConfig {
     /// (intra-epoch adaptivity — node loops stream draws, so mid-epoch
     /// commits steer the remaining draws of the same pass).
     pub commit: CommitPolicy,
+    /// How coordinator↔worker messages travel: typed channels between
+    /// threads ([`TransportConfig::InProcess`], default) or real
+    /// loopback sockets ([`TransportConfig::Tcp`]). Bit-identical
+    /// results either way (pinned by `tests/equivalence.rs`).
+    pub transport: TransportConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -65,6 +76,7 @@ impl Default for ClusterConfig {
             sampling: SamplingStrategy::Static,
             obs_model: ObservationModel::GradNorm,
             commit: CommitPolicy::EpochBoundary,
+            transport: TransportConfig::InProcess,
             seed: 0x15A5_6D00,
         }
     }
@@ -83,47 +95,45 @@ pub struct RoundPoint {
     pub error_rate: f64,
 }
 
-/// One simulated node: a shard plus its private draw stream.
+/// One node: a shard plus its private draw stream and model replica —
+/// the state a [`NodeRuntime`](crate::NodeRuntime) owns between rounds.
 ///
 /// The node consumes draws from the same [`ScheduleStream`] mechanism
 /// the `isasgd-core` engine workers use — one stream per shard, owning
 /// the node's sampler and private draw RNG — so a single-node cluster
 /// run stays bit-equal to the sequential engine (pinned by
 /// `tests/equivalence.rs`, on the streamed intra-epoch path too).
-/// Observation scaling and norm precompute live in the run-level
-/// [`FeedbackProtocol`] shared by all nodes; the node holds no feedback
-/// state of its own beyond the sampler's pending window.
+/// Observation scaling and norm precompute live in the worker's
+/// `FeedbackProtocol`; the node holds no feedback state of its own
+/// beyond the sampler's pending window.
 pub struct Node {
     /// Row range into the (rearranged) dataset.
     pub range: Range<usize>,
     /// The node's draw stream (wraps its uniform, static-IS, or
     /// adaptive-IS sampler and its private RNG).
-    stream: ScheduleStream,
+    pub(crate) stream: ScheduleStream,
     /// The node's local model replica.
     pub model: Vec<f64>,
-    /// Shard importance sum Φ_a (paper Eq. 18).
-    pub phi: f64,
 }
 
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node")
-            .field("range", &self.range)
-            .field("phi", &self.phi)
-            .finish()
+        f.debug_struct("Node").field("range", &self.range).finish()
     }
 }
 
 /// Result of a cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterRun {
-    /// Consensus-model trace; one point per round, `wall_secs` is
-    /// cumulative local-training time (communication modelled as free —
-    /// it is identical between the compared configurations).
+    /// Consensus-model trace; one point per round. `wall_secs` is
+    /// cumulative round time as the coordinator saw it: parallel local
+    /// training (max over nodes) plus transport round-trips.
     pub trace: Trace,
     /// Final consensus model.
     pub model: Vec<f64>,
-    /// Per-round metrics (redundant with `trace`, typed for convenience).
+    /// Per-round metrics (redundant with `trace`, typed for convenience
+    /// — and deliberately wall-clock-free, so traces are bit-comparable
+    /// across transports).
     pub rounds: Vec<RoundPoint>,
     /// Max/mean ratio of the shard importance sums Φ_a — 1.0 is the
     /// perfectly balanced Eq. 19 condition.
@@ -134,15 +144,27 @@ pub struct ClusterRun {
     pub rho: f64,
     /// Number of synchronizations performed.
     pub syncs: usize,
+    /// Observation entries the coordinator applied to its feedback
+    /// mirror (0 for non-adaptive runs; counts duplicate deliveries,
+    /// which the mirror's per-row max semantics absorb).
+    pub feedback_rows: usize,
+    /// Max/mean shard mass of the coordinator's mirrored (observed)
+    /// distributions after the final round — the feedback-side analogue
+    /// of `phi_imbalance`. `None` for non-adaptive runs.
+    pub observed_phi_imbalance: Option<f64>,
 }
 
-/// Configuration/validation errors.
+/// Configuration/validation/runtime errors.
 #[derive(Debug)]
 pub enum ClusterError {
     /// Bad parameter combination.
     InvalidConfig(String),
     /// Propagated dataset error.
     Sparse(SparseError),
+    /// Transport-level failure (socket i/o, peer hangup, wire decode).
+    Transport(TransportError),
+    /// A worker runtime failed.
+    Worker(String),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -150,6 +172,8 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::InvalidConfig(s) => write!(f, "invalid cluster config: {s}"),
             ClusterError::Sparse(e) => write!(f, "dataset error: {e}"),
+            ClusterError::Transport(e) => write!(f, "transport error: {e}"),
+            ClusterError::Worker(s) => write!(f, "worker error: {s}"),
         }
     }
 }
@@ -162,12 +186,24 @@ impl From<SparseError> for ClusterError {
     }
 }
 
-/// Runs the simulation: rearrange → shard → (local epochs ∥ sync)*.
-pub fn run<L: Loss>(
-    ds: &Dataset,
-    obj: &Objective<L>,
-    cfg: &ClusterConfig,
-) -> Result<ClusterRun, ClusterError> {
+impl From<TransportError> for ClusterError {
+    fn from(e: TransportError) -> Self {
+        ClusterError::Transport(e)
+    }
+}
+
+/// The sampling strategy nodes actually run: uniform importance forces
+/// uniform sampling (there is nothing to weight by).
+pub(crate) fn effective_strategy(cfg: &ClusterConfig) -> SamplingStrategy {
+    if matches!(cfg.importance, ImportanceScheme::Uniform) {
+        SamplingStrategy::Uniform
+    } else {
+        cfg.sampling
+    }
+}
+
+/// Validates a config against a dataset (shared by every entry point).
+pub(crate) fn validate(cfg: &ClusterConfig, ds: &Dataset) -> Result<(), ClusterError> {
     if cfg.nodes == 0 || cfg.nodes > ds.n_samples() {
         return Err(ClusterError::InvalidConfig(format!(
             "nodes = {} must be in 1..={}",
@@ -200,162 +236,27 @@ pub fn run<L: Loss>(
             cfg.commit.name()
         )));
     }
-
-    let n = ds.n_samples();
-    let d = ds.dim();
-    let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
-
-    // Algorithm 4 lines 2–6: weigh, decide, rearrange.
-    let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
-    let decision = decide(&weights, cfg.balance, seeds[cfg.nodes], cfg.nodes);
-    let data = ds.reordered(&decision.order)?;
-    let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| weights[i]).collect();
-
-    let ranges = shard_ranges(n, cfg.nodes)?;
-    let uniform = matches!(cfg.importance, ImportanceScheme::Uniform);
-    // Draw streams come from the same derivation the engine plan uses,
-    // so a node and an engine worker over the same shard and master seed
-    // draw identically (pinned by the core↔cluster equivalence test).
-    let mut draw_streams = draw_rngs(cfg.seed, cfg.nodes).into_iter();
-    let strategy = if uniform {
-        SamplingStrategy::Uniform
-    } else {
-        cfg.sampling
-    };
-    // The shared feedback protocol owns the observation convention (norm
-    // precompute included); built only when nodes actually adapt.
-    let protocol = (strategy == SamplingStrategy::Adaptive)
-        .then(|| FeedbackProtocol::for_dataset(&data, ranges.to_vec(), cfg.obs_model));
-    let mut nodes = Vec::with_capacity(cfg.nodes);
-    for (k, r) in ranges.iter().enumerate() {
-        let local = &reordered_weights[r.clone()];
-        let phi: f64 = local.iter().sum();
-        let sampler = build_sampler(
-            strategy,
-            Some(local),
-            r.len(),
-            SequenceMode::RegeneratePerEpoch,
-            seeds[k],
-            cfg.commit,
-        )
-        .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
-        nodes.push(Node {
-            range: r.clone(),
-            stream: ScheduleStream::new(
-                sampler,
-                draw_streams.next().expect("one stream per node"),
-                k,
-                r.start,
-                r.len(),
-            ),
-            model: vec![0.0; d],
-            phi,
-        });
-    }
-    let mean_phi: f64 = nodes.iter().map(|x| x.phi).sum::<f64>() / cfg.nodes as f64;
-    let max_phi = nodes.iter().map(|x| x.phi).fold(0.0, f64::max);
-    let phi_imbalance = if mean_phi > 0.0 {
-        max_phi / mean_phi
-    } else {
-        1.0
-    };
-
-    let mut trace = Trace::new(
-        match strategy {
-            SamplingStrategy::Uniform => "Cluster-SGD",
-            SamplingStrategy::Static => "Cluster-IS-SGD",
-            SamplingStrategy::Adaptive => "Cluster-AIS-SGD",
-        },
-        "cluster",
-        cfg.nodes,
-        cfg.step_size,
-    );
-    let mut rounds = Vec::with_capacity(cfg.rounds + 1);
-    let mut consensus = vec![0.0f64; d];
-    let m0 = obj.eval(&data, &consensus);
-    trace.push(TracePoint {
-        epoch: 0.0,
-        wall_secs: 0.0,
-        objective: m0.objective,
-        rmse: m0.rmse,
-        error_rate: m0.error_rate,
-    });
-    rounds.push(RoundPoint {
-        round: 0,
-        objective: m0.objective,
-        rmse: m0.rmse,
-        error_rate: m0.error_rate,
-    });
-
-    let mut train_secs = 0.0;
-    let shard_sizes: Vec<usize> = nodes.iter().map(|x| x.range.len()).collect();
-    for round in 1..=cfg.rounds {
-        let t0 = Instant::now();
-        for node in nodes.iter_mut() {
-            // Local training starts from the consensus.
-            node.model.copy_from_slice(&consensus);
-            for _ in 0..cfg.local_epochs {
-                local_epoch(&data, obj, node, protocol.as_ref(), cfg.step_size);
-                node.stream.epoch_reset();
-            }
-        }
-        train_secs += t0.elapsed().as_secs_f64();
-        let models: Vec<Vec<f64>> = nodes.iter().map(|x| x.model.clone()).collect();
-        average_models(&models, &shard_sizes, cfg.sync, &mut consensus);
-
-        let m = obj.eval(&data, &consensus);
-        trace.push(TracePoint {
-            epoch: (round * cfg.local_epochs) as f64,
-            wall_secs: train_secs,
-            objective: m.objective,
-            rmse: m.rmse,
-            error_rate: m.error_rate,
-        });
-        rounds.push(RoundPoint {
-            round,
-            objective: m.objective,
-            rmse: m.rmse,
-            error_rate: m.error_rate,
-        });
-    }
-
-    Ok(ClusterRun {
-        trace,
-        model: consensus,
-        rounds,
-        phi_imbalance,
-        balanced: decision.balanced,
-        rho: decision.rho,
-        syncs: cfg.rounds,
-    })
+    Ok(())
 }
 
-/// One local epoch of sequential (IS-)SGD on the node's shard, drawn
-/// through the node's [`ScheduleStream`]. Observed gradient scales
-/// stream through the shared [`FeedbackProtocol`] — the single scaling
-/// convention this runtime shares with the `isasgd-core` engine — into
-/// the stream's own sampler (`protocol` is `None` for uniform/static
-/// sampling, where feedback is a no-op). Under `CommitPolicy::EveryK`
-/// the sampler re-weights mid-epoch and the very next draw sees it,
-/// matching the engine's sequential streaming path draw-for-draw.
-fn local_epoch<L: Loss>(
-    data: &Dataset,
+/// Runs the distributed schedule: rearrange → shard → (local epochs ∥
+/// sync)*, over the transport [`ClusterConfig::transport`] selects.
+///
+/// Workers run on their own threads either way; `InProcess` wires them
+/// with typed channels, `Tcp` with real loopback sockets speaking the
+/// [`wire`](crate::wire) codec. Results are bit-identical across
+/// transports for the same seed and config.
+pub fn run<L: Loss>(
+    ds: &Dataset,
     obj: &Objective<L>,
-    node: &mut Node,
-    protocol: Option<&FeedbackProtocol>,
-    lambda: f64,
-) {
-    while let Some(d) = node.stream.next_draw() {
-        let row = data.row(d.row as usize);
-        let margin = obj.margin(&row, &node.model);
-        let g = obj.grad_scale(&row, margin);
-        let scale = lambda * d.corr;
-        obj.apply_sgd_update(&row, -scale * g, scale, &mut node.model);
-        if let Some(p) = protocol {
-            // Age = steps remaining before the epoch-boundary commit
-            // (consumed only by the staleness-discounted model).
-            let age = node.stream.remaining();
-            node.stream.observe(p, d.row as usize, g.abs(), age);
+    cfg: &ClusterConfig,
+) -> Result<ClusterRun, ClusterError> {
+    validate(cfg, ds)?;
+    match &cfg.transport {
+        TransportConfig::InProcess => run_with_links(ds, obj, cfg, in_process_links(cfg.nodes)),
+        TransportConfig::Tcp { bind } => {
+            let links = tcp_loopback_links(cfg.nodes, bind).map_err(TransportError::Io)?;
+            run_with_links(ds, obj, cfg, links)
         }
     }
 }
@@ -443,6 +344,62 @@ mod tests {
     }
 
     #[test]
+    fn tcp_transport_matches_in_process() {
+        // The quick transport-parity check (the exhaustive matrix lives
+        // in tests/equivalence.rs): same seed/config over real loopback
+        // sockets must reproduce the channel-backed run bit-for-bit.
+        let ds = sorted_skewed(240);
+        let cfg = ClusterConfig {
+            nodes: 3,
+            rounds: 3,
+            importance: ImportanceScheme::LipschitzSmoothness,
+            sampling: SamplingStrategy::Adaptive,
+            ..ClusterConfig::default()
+        };
+        let inproc = run(&ds, &obj(), &cfg).unwrap();
+        let tcp_cfg = ClusterConfig {
+            transport: TransportConfig::tcp(),
+            ..cfg
+        };
+        let tcp = run(&ds, &obj(), &tcp_cfg).unwrap();
+        assert_eq!(inproc.model, tcp.model, "transports diverged");
+        assert_eq!(inproc.rounds, tcp.rounds, "RoundPoint traces diverged");
+        assert_eq!(inproc.feedback_rows, tcp.feedback_rows);
+        assert_eq!(inproc.observed_phi_imbalance, tcp.observed_phi_imbalance);
+    }
+
+    #[test]
+    fn adaptive_runs_report_mirror_stats() {
+        let ds = sorted_skewed(300);
+        let cfg = ClusterConfig {
+            nodes: 3,
+            rounds: 2,
+            importance: ImportanceScheme::LipschitzSmoothness,
+            sampling: SamplingStrategy::Adaptive,
+            ..ClusterConfig::default()
+        };
+        let r = run(&ds, &obj(), &cfg).unwrap();
+        assert!(
+            r.feedback_rows > 0,
+            "adaptive rounds must ship feedback batches"
+        );
+        let observed = r.observed_phi_imbalance.expect("adaptive runs mirror");
+        assert!(observed >= 1.0 - 1e-9, "max/mean is ≥ 1, got {observed}");
+        // Non-adaptive runs carry no mirror.
+        let stat = run(
+            &ds,
+            &obj(),
+            &ClusterConfig {
+                sampling: SamplingStrategy::Static,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(stat.feedback_rows, 0);
+        assert_eq!(stat.observed_phi_imbalance, None);
+    }
+
+    #[test]
     fn balancing_equalizes_phi_on_sorted_data() {
         let ds = sorted_skewed(1000);
         let base = ClusterConfig {
@@ -456,7 +413,7 @@ mod tests {
             &obj(),
             &ClusterConfig {
                 balance: BalancePolicy::Identity,
-                ..base
+                ..base.clone()
             },
         )
         .unwrap();
@@ -465,7 +422,7 @@ mod tests {
             &obj(),
             &ClusterConfig {
                 balance: BalancePolicy::ForceBalance,
-                ..base
+                ..base.clone()
             },
         )
         .unwrap();

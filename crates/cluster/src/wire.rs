@@ -1,0 +1,460 @@
+//! Hand-rolled wire codec for the cluster protocol.
+//!
+//! The build environment is offline, so the wire path cannot lean on a
+//! serde derive; instead every [`Message`] encodes to a fixed,
+//! versionless little-endian layout:
+//!
+//! ```text
+//! frame    := u32 payload_len ‖ payload          (framing lives in Tcp)
+//! payload  := u8 tag ‖ fields…
+//! u32/u64  := little-endian fixed width
+//! f64      := IEEE-754 bits, little-endian (bit-exact round trips,
+//!             including ±0.0, ±inf, and subnormals)
+//! vec<T>   := u32 count ‖ count × T
+//! ```
+//!
+//! Decoding is total: truncated frames, unknown tags, over-declared
+//! vector counts, and trailing garbage all return a typed [`WireError`]
+//! — never a panic, never an unbounded allocation (counts are validated
+//! against the remaining frame bytes *before* any buffer is reserved).
+//! `tests/wire_proptests.rs` pins both directions: every message
+//! round-trips bit-exactly, and every strict prefix of a valid encoding
+//! (plus arbitrary garbage) decodes to an error.
+
+/// Hard ceiling on one frame's payload size (256 MiB). A length prefix
+/// beyond this is rejected before allocation — a garbage or hostile
+/// stream cannot make the receiver reserve arbitrary memory.
+pub const MAX_FRAME: usize = 1 << 28;
+
+/// A typed message of the coordinator↔worker protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A dense model: a worker's trained replica flowing up to the
+    /// coordinator, or the coordinator's consensus flowing down.
+    ModelUpdate {
+        /// Sending node (or addressed worker, coordinator→worker).
+        node: u32,
+        /// Synchronization round this model belongs to.
+        round: u64,
+        /// Dense model coordinates.
+        model: Vec<f64>,
+    },
+    /// Per-node importance observations: the [`FeedbackProtocol`]
+    /// (Alain et al.'s message shape) scaled observation for every row
+    /// the node visited this round, pre-reduced to the per-row max.
+    ///
+    /// [`FeedbackProtocol`]: isasgd_sampling::FeedbackProtocol
+    FeedbackBatch {
+        /// Sending node.
+        node: u32,
+        /// Round the observations were gathered in.
+        round: u64,
+        /// `(global_row, scaled_observation)` pairs.
+        observations: Vec<(u32, f64)>,
+    },
+    /// Round synchronization marker: a worker's readiness announcement
+    /// (round 0 is the connection hello) or the coordinator's
+    /// start-of-round barrier.
+    RoundBarrier {
+        /// Announcing node (or addressed worker).
+        node: u32,
+        /// Round being announced.
+        round: u64,
+    },
+    /// Shard assignment (Algorithm 4 lines 2–6): the coordinator's
+    /// balancing decision, shipped to every worker so each can
+    /// reconstruct the rearranged dataset view and its own shard.
+    ShardRebalance {
+        /// Round of the decision (0 = initial assignment).
+        round: u64,
+        /// The receiving worker's shard index into `ranges`.
+        assigned: u32,
+        /// Row permutation to apply before sharding.
+        order: Vec<u32>,
+        /// Every shard's `[start, end)` row range after reordering.
+        ranges: Vec<(u32, u32)>,
+    },
+}
+
+/// Typed decode failures. Garbage never panics the decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before a declared field or element count.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// A frame (or its length prefix) exceeds [`MAX_FRAME`].
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The payload decoded cleanly but bytes were left over — the frame
+    /// is not a canonical encoding.
+    TrailingBytes {
+        /// Number of undecoded trailing bytes.
+        extra: usize,
+    },
+    /// An empty payload (no tag byte).
+    Empty,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} more bytes, have {have}"
+                )
+            }
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            WireError::Empty => write!(f, "empty frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const TAG_MODEL_UPDATE: u8 = 1;
+const TAG_FEEDBACK_BATCH: u8 = 2;
+const TAG_ROUND_BARRIER: u8 = 3;
+const TAG_SHARD_REBALANCE: u8 = 4;
+
+/// Bounded cursor over a payload; every read is length-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8"),
+        )))
+    }
+
+    /// Validates a declared element count against the bytes actually
+    /// left, so a hostile count cannot drive an allocation.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let needed = n.saturating_mul(elem_bytes);
+        if self.remaining() < needed {
+            return Err(WireError::Truncated {
+                needed,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+impl Message {
+    /// Appends this message's payload encoding (tag + fields, no length
+    /// prefix) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::ModelUpdate { node, round, model } => {
+                out.push(TAG_MODEL_UPDATE);
+                put_u32(out, *node);
+                put_u64(out, *round);
+                put_u32(out, model.len() as u32);
+                for &v in model {
+                    put_f64(out, v);
+                }
+            }
+            Message::FeedbackBatch {
+                node,
+                round,
+                observations,
+            } => {
+                out.push(TAG_FEEDBACK_BATCH);
+                put_u32(out, *node);
+                put_u64(out, *round);
+                put_u32(out, observations.len() as u32);
+                for &(row, obs) in observations {
+                    put_u32(out, row);
+                    put_f64(out, obs);
+                }
+            }
+            Message::RoundBarrier { node, round } => {
+                out.push(TAG_ROUND_BARRIER);
+                put_u32(out, *node);
+                put_u64(out, *round);
+            }
+            Message::ShardRebalance {
+                round,
+                assigned,
+                order,
+                ranges,
+            } => {
+                out.push(TAG_SHARD_REBALANCE);
+                put_u64(out, *round);
+                put_u32(out, *assigned);
+                put_u32(out, order.len() as u32);
+                for &i in order {
+                    put_u32(out, i);
+                }
+                put_u32(out, ranges.len() as u32);
+                for &(s, e) in ranges {
+                    put_u32(out, s);
+                    put_u32(out, e);
+                }
+            }
+        }
+    }
+
+    /// The payload encoding as a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one complete payload. The payload must contain exactly
+    /// one message — trailing bytes are an error, so a canonical
+    /// encoding is the unique fixed point of `decode ∘ encode`.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        if payload.len() > MAX_FRAME {
+            return Err(WireError::FrameTooLarge { len: payload.len() });
+        }
+        let mut r = Reader::new(payload);
+        let tag = r.u8().map_err(|_| WireError::Empty)?;
+        let msg = match tag {
+            TAG_MODEL_UPDATE => {
+                let node = r.u32()?;
+                let round = r.u64()?;
+                let n = r.count(8)?;
+                let mut model = Vec::with_capacity(n);
+                for _ in 0..n {
+                    model.push(r.f64()?);
+                }
+                Message::ModelUpdate { node, round, model }
+            }
+            TAG_FEEDBACK_BATCH => {
+                let node = r.u32()?;
+                let round = r.u64()?;
+                let n = r.count(12)?;
+                let mut observations = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let row = r.u32()?;
+                    let obs = r.f64()?;
+                    observations.push((row, obs));
+                }
+                Message::FeedbackBatch {
+                    node,
+                    round,
+                    observations,
+                }
+            }
+            TAG_ROUND_BARRIER => Message::RoundBarrier {
+                node: r.u32()?,
+                round: r.u64()?,
+            },
+            TAG_SHARD_REBALANCE => {
+                let round = r.u64()?;
+                let assigned = r.u32()?;
+                let n = r.count(4)?;
+                let mut order = Vec::with_capacity(n);
+                for _ in 0..n {
+                    order.push(r.u32()?);
+                }
+                let k = r.count(8)?;
+                let mut ranges = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let s = r.u32()?;
+                    let e = r.u32()?;
+                    ranges.push((s, e));
+                }
+                Message::ShardRebalance {
+                    round,
+                    assigned,
+                    order,
+                    ranges,
+                }
+            }
+            other => return Err(WireError::BadTag(other)),
+        };
+        if r.remaining() > 0 {
+            return Err(WireError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(msg)
+    }
+
+    /// Short display name of the message kind (logging/tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::ModelUpdate { .. } => "ModelUpdate",
+            Message::FeedbackBatch { .. } => "FeedbackBatch",
+            Message::RoundBarrier { .. } => "RoundBarrier",
+            Message::ShardRebalance { .. } => "ShardRebalance",
+        }
+    }
+
+    /// The round number carried by any message kind.
+    pub fn round(&self) -> u64 {
+        match self {
+            Message::ModelUpdate { round, .. }
+            | Message::FeedbackBatch { round, .. }
+            | Message::RoundBarrier { round, .. }
+            | Message::ShardRebalance { round, .. } => *round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &Message) {
+        let bytes = m.to_bytes();
+        let back = Message::decode(&bytes).expect("valid encoding decodes");
+        assert_eq!(&back, m);
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(&Message::ModelUpdate {
+            node: 3,
+            round: 17,
+            model: vec![0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, -1e-308],
+        });
+        roundtrip(&Message::ModelUpdate {
+            node: 0,
+            round: 0,
+            model: vec![],
+        });
+        roundtrip(&Message::FeedbackBatch {
+            node: u32::MAX,
+            round: u64::MAX,
+            observations: vec![(0, 1.0), (u32::MAX, f64::INFINITY)],
+        });
+        roundtrip(&Message::RoundBarrier { node: 9, round: 2 });
+        roundtrip(&Message::ShardRebalance {
+            round: 0,
+            assigned: 2,
+            order: vec![2, 0, 1],
+            ranges: vec![(0, 1), (1, 2), (2, 3)],
+        });
+    }
+
+    #[test]
+    fn f64_roundtrips_are_bit_exact() {
+        let m = Message::ModelUpdate {
+            node: 0,
+            round: 0,
+            model: vec![-0.0, f64::NEG_INFINITY, 5e-324],
+        };
+        let Message::ModelUpdate { model, .. } = Message::decode(&m.to_bytes()).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(model[0].to_bits(), (-0.0f64).to_bits(), "signed zero kept");
+        assert_eq!(model[1], f64::NEG_INFINITY);
+        assert_eq!(model[2].to_bits(), 5e-324f64.to_bits(), "subnormal kept");
+    }
+
+    #[test]
+    fn bad_tag_and_empty_are_typed_errors() {
+        assert_eq!(Message::decode(&[]), Err(WireError::Empty));
+        assert_eq!(Message::decode(&[0xff]), Err(WireError::BadTag(0xff)));
+        assert_eq!(Message::decode(&[0]), Err(WireError::BadTag(0)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Message::RoundBarrier { node: 1, round: 1 }.to_bytes();
+        bytes.push(0xAB);
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn over_declared_counts_do_not_allocate() {
+        // A FeedbackBatch declaring u32::MAX entries with no bytes
+        // behind it must fail the count check before any reserve.
+        let mut bytes = vec![TAG_FEEDBACK_BATCH];
+        put_u32(&mut bytes, 0); // node
+        put_u64(&mut bytes, 0); // round
+        put_u32(&mut bytes, u32::MAX); // declared count
+        match Message::decode(&bytes) {
+            Err(WireError::Truncated { needed, have: 0 }) => {
+                assert_eq!(needed, u32::MAX as usize * 12)
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_truncated() {
+        let bytes = Message::ModelUpdate {
+            node: 1,
+            round: 2,
+            model: vec![1.0, 2.0, 3.0],
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+}

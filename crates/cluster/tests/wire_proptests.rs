@@ -1,0 +1,171 @@
+//! Property tests on the wire codec: every message round-trips
+//! bit-exactly, and the decoder is total — truncated, garbage, and
+//! mutated frames return a typed `WireError`, never a panic and never
+//! an unbounded allocation.
+
+use isasgd_cluster::{Message, WireError};
+use proptest::prelude::*;
+
+/// NaN-free f64 values including the nasty edges: ±0.0, ±inf,
+/// subnormals, and the extremes of the normal range. (NaN is excluded
+/// only because `PartialEq` would make the round-trip assertion
+/// vacuous; the codec itself moves raw bits.)
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e300f64..1e300,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::MAX),
+        Just(f64::MIN),
+        Just(f64::MIN_POSITIVE),
+        Just(5e-324), // smallest subnormal
+    ]
+}
+
+fn arb_model_update() -> impl Strategy<Value = Message> {
+    (
+        0u32..=u32::MAX,
+        0u64..=u64::MAX,
+        prop::collection::vec(arb_f64(), 0..64),
+    )
+        .prop_map(|(node, round, model)| Message::ModelUpdate { node, round, model })
+}
+
+/// Feedback batches including empty ones and max-shard-index rows.
+fn arb_feedback_batch() -> impl Strategy<Value = Message> {
+    (
+        0u32..=u32::MAX,
+        0u64..=u64::MAX,
+        prop::collection::vec(
+            prop_oneof![0u32..1 << 20, Just(u32::MAX)]
+                .prop_flat_map(|row| arb_f64().prop_map(move |obs| (row, obs))),
+            0..48,
+        ),
+    )
+        .prop_map(|(node, round, observations)| Message::FeedbackBatch {
+            node,
+            round,
+            observations,
+        })
+}
+
+fn arb_round_barrier() -> impl Strategy<Value = Message> {
+    (0u32..=u32::MAX, 0u64..=u64::MAX)
+        .prop_map(|(node, round)| Message::RoundBarrier { node, round })
+}
+
+fn arb_shard_rebalance() -> impl Strategy<Value = Message> {
+    (
+        0u64..=u64::MAX,
+        prop_oneof![0u32..1024, Just(u32::MAX)],
+        prop::collection::vec(prop_oneof![0u32..1 << 16, Just(u32::MAX)], 0..64),
+        prop::collection::vec(
+            (0u32..1 << 16).prop_flat_map(|s| (s..1 << 17).prop_map(move |e| (s, e))),
+            0..16,
+        ),
+    )
+        .prop_map(|(round, assigned, order, ranges)| Message::ShardRebalance {
+            round,
+            assigned,
+            order,
+            ranges,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_model_update(),
+        arb_feedback_batch(),
+        arb_round_barrier(),
+        arb_shard_rebalance(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode ∘ encode is the identity, bit-exactly (f64 payloads are
+    /// compared through their bit patterns so -0.0 and subnormals count).
+    #[test]
+    fn every_message_roundtrips(msg in arb_message()) {
+        let bytes = msg.to_bytes();
+        let back = Message::decode(&bytes);
+        prop_assert_eq!(back.as_ref(), Ok(&msg));
+        // Bit-exact f64s, not just PartialEq-equal:
+        if let (Ok(Message::ModelUpdate { model: a, .. }), Message::ModelUpdate { model: b, .. }) =
+            (&back, &msg)
+        {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Canonical: re-encoding the decoded message reproduces the bytes.
+        prop_assert_eq!(back.unwrap().to_bytes(), bytes);
+    }
+
+    /// Every strict prefix of a valid encoding fails to decode — the
+    /// decoder never accepts a truncated frame.
+    #[test]
+    fn strict_prefixes_never_decode(msg in arb_message()) {
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "prefix of {} / {} bytes decoded",
+                cut,
+                bytes.len()
+            );
+        }
+    }
+
+    /// Fuzz: feeding arbitrary bytes to the decoder is total — it
+    /// returns `Ok` or a typed error, and anything it accepts is a
+    /// canonical encoding (re-encodes to the same bytes).
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        match Message::decode(&bytes) {
+            Ok(msg) => prop_assert_eq!(msg.to_bytes(), bytes, "accepted a non-canonical frame"),
+            Err(
+                WireError::Truncated { .. }
+                | WireError::BadTag(_)
+                | WireError::TrailingBytes { .. }
+                | WireError::FrameTooLarge { .. }
+                | WireError::Empty,
+            ) => {}
+        }
+    }
+
+    /// Fuzz with a valid prefix: random byte prefixes glued in front of
+    /// (or spliced into) a valid message must not panic the decoder.
+    #[test]
+    fn prefixed_garbage_never_panics(
+        msg in arb_message(),
+        junk in prop::collection::vec(0u8..=255, 1..32),
+    ) {
+        let valid = msg.to_bytes();
+        let mut spliced = junk.clone();
+        spliced.extend_from_slice(&valid);
+        let _ = Message::decode(&spliced);
+        let mut appended = valid;
+        appended.extend_from_slice(&junk);
+        // Appending junk must be rejected (trailing bytes) — a framed
+        // stream cannot silently swallow extra payload.
+        prop_assert!(Message::decode(&appended).is_err());
+    }
+
+    /// Single-byte corruption anywhere in a frame is total: either a
+    /// typed error or a decoded message (flips in value bytes are
+    /// legitimate different values) — never a panic or runaway alloc.
+    #[test]
+    fn bit_flips_never_panic(msg in arb_message(), pos_seed in 0usize..4096, flip in 1u8..=255) {
+        let mut bytes = msg.to_bytes();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = Message::decode(&bytes);
+    }
+}

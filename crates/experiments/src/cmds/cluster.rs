@@ -7,7 +7,7 @@
 //! model quality for each balancing policy across cluster sizes.
 
 use crate::common::Ctx;
-use isasgd_cluster::{ClusterConfig, SyncStrategy};
+use isasgd_cluster::{ClusterConfig, SyncStrategy, TransportConfig};
 use isasgd_core::{BalancePolicy, ImportanceScheme, LogisticLoss, Objective, Regularizer};
 use isasgd_datagen::{DatasetProfile, FeatureKind};
 use isasgd_metrics::table::{fmt_num, TextTable};
@@ -84,6 +84,34 @@ pub fn run(ctx: &mut Ctx) {
     }
     let rendered = table.render();
     println!("{rendered}");
+
+    // Transport sanity: re-run one configuration over real loopback
+    // sockets and check the consensus trajectory is bit-identical to
+    // the in-process run (the tests pin this exhaustively; here it
+    // documents that the artifact numbers are transport-independent).
+    let parity_cfg = ClusterConfig {
+        nodes: 4,
+        rounds: rounds.min(3),
+        local_epochs: 1,
+        step_size: 0.1,
+        importance: ImportanceScheme::GradNormBound { radius: 1.0 },
+        balance: BalancePolicy::ForceGreedy,
+        sync: SyncStrategy::Average,
+        seed: ctx.settings.seed,
+        ..ClusterConfig::default()
+    };
+    let inproc = isasgd_cluster::node::run(&sorted, &obj, &parity_cfg).expect("inproc run");
+    let tcp_cfg = ClusterConfig {
+        transport: TransportConfig::tcp(),
+        ..parity_cfg
+    };
+    let tcp = isasgd_cluster::node::run(&sorted, &obj, &tcp_cfg).expect("tcp run");
+    let parity = if inproc.rounds == tcp.rounds && inproc.model == tcp.model {
+        "bit-identical"
+    } else {
+        "DIVERGED"
+    };
+    println!("transport parity (inproc vs tcp loopback, 4 nodes, greedy-lpt): {parity}\n");
     println!(
         "Expected: identity sharding of importance-sorted data is maximally\n\
          imbalanced (Φ ratio ≫ 1, growing with node count); greedy-LPT flattens\n\
