@@ -5,6 +5,7 @@
 //! `cargo bench -p isasgd-bench --bench cluster_transport`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isasgd_bench::bench_dataset;
 use isasgd_cluster::{in_process_links, tcp_loopback_links, Message, Transport};
 use std::hint::black_box;
 
@@ -60,6 +61,27 @@ fn wire_codec(c: &mut Criterion) {
                 });
             },
         );
+    }
+    // The session layer's biggest frame: shipping the whole dataset to a
+    // freshly-admitted worker process (validating decode included).
+    for &rows in &[1_000usize, 10_000] {
+        let data = bench_dataset(5_000, rows, 20);
+        let msg = Message::DatasetTransfer {
+            dataset: Box::new(data.dataset),
+        };
+        let bytes = msg.to_bytes();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode_dataset", rows), &rows, |b, _| {
+            let mut buf = Vec::with_capacity(bytes.len());
+            b.iter(|| {
+                buf.clear();
+                msg.encode(&mut buf);
+                black_box(buf.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("decode_dataset", rows), &rows, |b, _| {
+            b.iter(|| black_box(Message::decode(&bytes).unwrap()));
+        });
     }
     group.finish();
 }

@@ -135,6 +135,9 @@ fn run_cluster(
     cluster: &ClusterSpec,
     ds: &Dataset,
 ) -> Result<ClusterRun, String> {
+    // Process transport: `ProcessConfig.worker == None` makes the fleet
+    // spawn the current executable — which here IS the isasgd binary,
+    // re-entered as `isasgd worker`. No CLI-side resolution needed.
     let cfg = ClusterConfig {
         nodes: cluster.nodes,
         rounds: spec.epochs,
@@ -326,8 +329,21 @@ isasgd train <data.svm> [flags]
   --balance <name>   adaptive | head-tail | greedy | shuffle | identity
   --cluster <k>      distributed run with k nodes (epochs become
                      synchronization rounds)                [off]
-  --cluster-transport <t>  inproc | tcp — how coordinator and workers
-                     talk; either flag enables cluster mode [inproc]
+  --cluster-transport <t>  inproc | tcp | process — how coordinator and
+                     workers talk; either flag enables cluster mode.
+                     `process` spawns real `isasgd worker` OS processes
+                     under a supervisor                     [inproc]
+  --cluster-bind <a> listener bind address (tcp/process transports)
+                                                            [127.0.0.1:0]
+  --on-worker-loss <p>  fail | respawn — what the process-transport
+                     supervisor does when a worker dies mid-run:
+                     abort with a typed error, or respawn + replay the
+                     session (bit-identical recovery)       [fail]
+  --chaos-kill <n:r> testing hook (process transport): worker n aborts
+                     abruptly at round r, exercising --on-worker-loss
+  --round-timeout <s>  per-round worker liveness deadline in seconds
+                     (process transport; workers scale their own read
+                     deadline from it)                      [120]
   --local-epochs <n> local passes per round (cluster mode)  [1]
   --sync <name>      average | weighted — round model reducer
                      (cluster mode)                         [average]

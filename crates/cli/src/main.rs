@@ -11,6 +11,7 @@ mod cmd_gen;
 mod cmd_info;
 mod cmd_predict;
 mod cmd_train;
+mod cmd_worker;
 mod opts;
 mod spec;
 
@@ -26,6 +27,8 @@ COMMANDS
   predict   score a LibSVM file with a saved model
   info      dataset diagnostics (Table-1 stats, importance & conflict structure)
   gen       synthesize a Table-1-calibrated dataset
+  worker    one node of a distributed run (spawned by train --cluster-transport
+            process, or launched by hand against a remote coordinator)
 
 Run `isasgd <command> --help` for command flags.
 ";
@@ -40,6 +43,7 @@ fn main() {
             Some("predict") => cmd_predict::HELP,
             Some("info") => cmd_info::HELP,
             Some("gen") => cmd_gen::HELP,
+            Some("worker") => cmd_worker::HELP,
             _ => HELP,
         };
         print!("{text}");
@@ -50,6 +54,7 @@ fn main() {
         Some("predict") => cmd_predict::run(&o),
         Some("info") => cmd_info::run(&o),
         Some("gen") => cmd_gen::run(&o),
+        Some("worker") => cmd_worker::run(&o),
         Some(other) => {
             eprintln!("unknown command '{other}'\n\n{HELP}");
             2

@@ -1,7 +1,7 @@
 //! Shared option-to-configuration mapping for the CLI commands.
 
 use crate::opts::{OptError, Opts};
-use isasgd_cluster::{SyncStrategy, TransportConfig};
+use isasgd_cluster::{SyncStrategy, TransportConfig, WorkerLossPolicy};
 use isasgd_core::{
     Algorithm, BalancePolicy, CommitPolicy, Execution, ImportanceScheme, ObservationModel,
     Regularizer, SamplingStrategy, SvrgVariant,
@@ -214,11 +214,75 @@ impl TrainSpec {
                     .map_err(|_| bad("cluster", v, "node count (usize)"))?,
                 None => 4,
             };
-            let transport = match cluster_transport {
+            let mut transport = match cluster_transport {
                 Some(v) => TransportConfig::parse(&v)
-                    .ok_or_else(|| bad("cluster-transport", v, "inproc|tcp"))?,
+                    .ok_or_else(|| bad("cluster-transport", v, "inproc|tcp|process"))?,
                 None => TransportConfig::InProcess,
             };
+            // Fleet/socket flags, validated against the chosen transport
+            // so a silently-ignored flag is impossible. Each mismatch
+            // error names the flag the offending value came from.
+            let bind = o.get("cluster-bind");
+            let on_loss = o.get("on-worker-loss");
+            let chaos = o.get("chaos-kill");
+            let round_timeout = o.get("round-timeout");
+            let needs_process = |flag: &str, v: String| {
+                Err(bad(flag, v, "only valid with --cluster-transport process"))
+            };
+            match &mut transport {
+                TransportConfig::Process(pc) => {
+                    if let Some(b) = bind {
+                        pc.bind = b;
+                    }
+                    if let Some(v) = on_loss {
+                        pc.on_loss = WorkerLossPolicy::parse(&v)
+                            .ok_or_else(|| bad("on-worker-loss", v, "fail|respawn"))?;
+                    }
+                    if let Some(v) = chaos {
+                        let parsed = v.split_once(':').and_then(|(n, r)| {
+                            Some((n.parse::<u32>().ok()?, r.parse::<u64>().ok()?))
+                        });
+                        pc.chaos_kill =
+                            Some(parsed.ok_or_else(|| {
+                                bad("chaos-kill", v, "<node>:<round> (e.g. 1:2)")
+                            })?);
+                    }
+                    if let Some(v) = round_timeout {
+                        let secs: u64 = v
+                            .parse()
+                            .ok()
+                            .filter(|&s| s > 0)
+                            .ok_or_else(|| bad("round-timeout", v, "seconds (u64, ≥ 1)"))?;
+                        pc.round_timeout_ms = secs.saturating_mul(1000);
+                    }
+                }
+                TransportConfig::Tcp { bind: tcp_bind } => {
+                    if let Some(v) = on_loss {
+                        return needs_process("on-worker-loss", v);
+                    }
+                    if let Some(v) = chaos {
+                        return needs_process("chaos-kill", v);
+                    }
+                    if let Some(v) = round_timeout {
+                        return needs_process("round-timeout", v);
+                    }
+                    if let Some(b) = bind {
+                        *tcp_bind = b;
+                    }
+                }
+                TransportConfig::InProcess => {
+                    for (flag, value) in [
+                        ("cluster-bind", bind),
+                        ("on-worker-loss", on_loss),
+                        ("chaos-kill", chaos),
+                        ("round-timeout", round_timeout),
+                    ] {
+                        if let Some(v) = value {
+                            return Err(bad(flag, v, "needs a socket transport (tcp or process)"));
+                        }
+                    }
+                }
+            }
             let sync = match sync_name.as_deref() {
                 None | Some("average") => SyncStrategy::Average,
                 Some("weighted") => SyncStrategy::WeightedByShard,
@@ -410,6 +474,68 @@ mod tests {
         assert!(spec("--cluster 2 --algo asgd").is_err());
         assert!(spec("--cluster 2 --algo is-sgd").is_ok());
         assert!(spec("--cluster 2").is_ok(), "default algo stays implicit");
+    }
+
+    #[test]
+    fn process_transport_flags_parse() {
+        use isasgd_cluster::ProcessConfig;
+        // Bare process transport: defaults (fail policy, loopback bind).
+        let t = spec("--cluster 3 --cluster-transport process").unwrap();
+        let c = t.cluster.unwrap();
+        assert_eq!(
+            c.transport,
+            TransportConfig::Process(ProcessConfig::default())
+        );
+        // The full fleet flag set.
+        let t = spec(
+            "--cluster 3 --cluster-transport process --on-worker-loss respawn \
+             --chaos-kill 1:2 --cluster-bind 127.0.0.1:7070 --round-timeout 300",
+        )
+        .unwrap();
+        match t.cluster.unwrap().transport {
+            TransportConfig::Process(pc) => {
+                assert_eq!(pc.on_loss, WorkerLossPolicy::Respawn);
+                assert_eq!(pc.chaos_kill, Some((1, 2)));
+                assert_eq!(pc.bind, "127.0.0.1:7070");
+                assert_eq!(pc.round_timeout_ms, 300_000);
+                assert_eq!(pc.worker, None, "worker binary resolved at run time");
+            }
+            other => panic!("expected process transport, got {other:?}"),
+        }
+        // --cluster-bind also applies to tcp.
+        let t = spec("--cluster 2 --cluster-transport tcp --cluster-bind 127.0.0.1:9000").unwrap();
+        assert_eq!(
+            t.cluster.unwrap().transport,
+            TransportConfig::Tcp {
+                bind: "127.0.0.1:9000".into()
+            }
+        );
+        // Bad values are rejected with the flag named.
+        assert!(spec("--cluster 2 --cluster-transport process --on-worker-loss retry").is_err());
+        assert!(spec("--cluster 2 --cluster-transport process --chaos-kill soonish").is_err());
+        assert!(spec("--cluster 2 --cluster-transport process --chaos-kill 1").is_err());
+        // Fleet flags demand the process transport — and the error
+        // names the flag the offending value came from.
+        for (line, flag) in [
+            ("--cluster 2 --on-worker-loss respawn", "on-worker-loss"),
+            (
+                "--cluster 2 --cluster-transport tcp --chaos-kill 1:2",
+                "chaos-kill",
+            ),
+            ("--cluster 2 --cluster-bind 127.0.0.1:9000", "cluster-bind"),
+            (
+                "--cluster 2 --cluster-transport tcp --round-timeout 5",
+                "round-timeout",
+            ),
+        ] {
+            match spec(line) {
+                Err(OptError::BadValue { flag: f, .. }) => {
+                    assert_eq!(f, flag, "{line}: wrong flag attributed")
+                }
+                other => panic!("{line}: expected BadValue, got {other:?}"),
+            }
+        }
+        assert!(spec("--cluster 2 --cluster-transport process --round-timeout soon").is_err());
     }
 
     #[test]

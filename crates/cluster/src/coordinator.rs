@@ -52,7 +52,28 @@ use isasgd_sampling::{
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::Dataset;
 use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// The run state every node derives from the coordinator's balancing
+/// decision: the rearranged dataset view and the importance weights in
+/// *original* row order. Remote workers reconstruct it from
+/// [`Message::ShardRebalance`]; in-process workers share the
+/// coordinator's copy behind an [`Arc`] — the reconstruction is
+/// deterministic, so the shared values are bit-identical to what each
+/// node would have rebuilt (pinned by `tests/equivalence.rs`), and the
+/// `K+1`-copies-per-run cost the ROADMAP called out is gone.
+pub(crate) struct RunView {
+    /// The dataset after the balancing permutation.
+    pub data: Dataset,
+    /// Importance weights indexed by original row.
+    pub weights: Vec<f64>,
+}
+
+/// Publication slot for the shared [`RunView`]: the coordinator fills
+/// it before shipping `ShardRebalance`, so any in-process worker that
+/// has received its assignment observes the view as set.
+pub(crate) type SharedViewSlot = Arc<OnceLock<Arc<RunView>>>;
 
 /// Runs a full cluster round schedule over caller-supplied links — the
 /// extension point fault-injection tests wrap with
@@ -69,6 +90,23 @@ pub fn run_with_links<L: Loss, T: Transport>(
     cfg: &ClusterConfig,
     links: Vec<(T, T)>,
 ) -> Result<ClusterRun, ClusterError> {
+    run_with_links_inner(ds, obj, cfg, links, false)
+}
+
+/// [`run_with_links`] with the in-process fast path switched on: all
+/// workers share the coordinator's reconstructed [`RunView`] behind an
+/// `Arc` instead of each rebuilding it. Entered through
+/// [`crate::run`] for `TransportConfig::InProcess`; the public
+/// `run_with_links` keeps the copying (remote-faithful) semantics so
+/// fault-injection wrappers and transport tests exercise what real
+/// distributed workers do.
+pub(crate) fn run_with_links_inner<L: Loss, T: Transport>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+    links: Vec<(T, T)>,
+    share_view: bool,
+) -> Result<ClusterRun, ClusterError> {
     validate(cfg, ds)?;
     if links.len() != cfg.nodes {
         return Err(ClusterError::InvalidConfig(format!(
@@ -77,14 +115,21 @@ pub fn run_with_links<L: Loss, T: Transport>(
             cfg.nodes
         )));
     }
+    let slot: Option<SharedViewSlot> = share_view.then(|| Arc::new(OnceLock::new()));
     let (mut coord_ends, worker_ends): (Vec<T>, Vec<T>) = links.into_iter().unzip();
     std::thread::scope(|scope| {
         let handles: Vec<_> = worker_ends
             .into_iter()
             .enumerate()
-            .map(|(k, link)| scope.spawn(move || NodeRuntime::new(link, k).run(ds, obj, cfg)))
+            .map(|(k, link)| {
+                let mut runtime = NodeRuntime::new(link, k);
+                if let Some(s) = &slot {
+                    runtime = runtime.with_shared_view(s.clone());
+                }
+                scope.spawn(move || runtime.run(ds, obj, cfg))
+            })
             .collect();
-        let coord = coordinate(&mut coord_ends, ds, obj, cfg);
+        let coord = coordinate(&mut coord_ends, ds, obj, cfg, slot.as_ref());
         // On coordinator failure, drop the links now so every blocked
         // worker `recv` unblocks with `Closed` instead of deadlocking
         // the join. On success keep them alive until the workers have
@@ -130,11 +175,15 @@ pub fn run_with_links<L: Loss, T: Transport>(
 
 /// The coordinator: owns the balancing decision, the round barriers,
 /// model averaging, consensus evaluation, and the feedback mirror.
-fn coordinate<L: Loss, T: Transport>(
+/// When `share` is given (in-process runs), the reconstructed
+/// [`RunView`] is published there before any assignment ships, so
+/// workers can borrow it instead of rebuilding their own copies.
+pub(crate) fn coordinate<L: Loss, T: Transport>(
     links: &mut [T],
     ds: &Dataset,
     obj: &Objective<L>,
     cfg: &ClusterConfig,
+    share: Option<&SharedViewSlot>,
 ) -> Result<ClusterRun, ClusterError> {
     let n = ds.n_samples();
     let d = ds.dim();
@@ -143,10 +192,19 @@ fn coordinate<L: Loss, T: Transport>(
     // Algorithm 4 lines 2–6: weigh, decide, rearrange.
     let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
     let decision = decide(&weights, cfg.balance, seeds[cfg.nodes], cfg.nodes);
-    let data = ds.reordered(&decision.order)?;
-    let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| weights[i]).collect();
+    let view = Arc::new(RunView {
+        data: ds.reordered(&decision.order)?,
+        weights,
+    });
+    let data = &view.data;
+    let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| view.weights[i]).collect();
     let ranges = shard_ranges(n, cfg.nodes)?;
     let strategy = effective_strategy(cfg);
+    if let Some(slot) = share {
+        // Publish before the first send: a worker that has its
+        // ShardRebalance is guaranteed to see the view as set.
+        let _ = slot.set(view.clone());
+    }
 
     let phis: Vec<f64> = ranges
         .iter()
@@ -166,7 +224,7 @@ fn coordinate<L: Loss, T: Transport>(
     // within a round, per-row max accumulation makes duplicated
     // FeedbackBatch deliveries idempotent (pinned by the fault tests).
     let protocol = (strategy == SamplingStrategy::Adaptive)
-        .then(|| FeedbackProtocol::for_dataset(&data, ranges.clone(), cfg.obs_model));
+        .then(|| FeedbackProtocol::for_dataset(data, ranges.clone(), cfg.obs_model));
     let mut mirrors: Vec<AdaptiveIsSampler> = if protocol.is_some() {
         ranges
             .iter()
@@ -216,7 +274,7 @@ fn coordinate<L: Loss, T: Transport>(
     );
     let mut rounds = Vec::with_capacity(cfg.rounds + 1);
     let mut consensus = vec![0.0f64; d];
-    let m0 = obj.eval(&data, &consensus);
+    let m0 = obj.eval(data, &consensus);
     trace.push(TracePoint {
         epoch: 0.0,
         wall_secs: 0.0,
@@ -287,7 +345,7 @@ fn coordinate<L: Loss, T: Transport>(
         average_models(&models, &shard_sizes, cfg.sync, &mut consensus);
         train_secs += t0.elapsed().as_secs_f64();
 
-        let m = obj.eval(&data, &consensus);
+        let m = obj.eval(data, &consensus);
         trace.push(TracePoint {
             epoch: (round * cfg.local_epochs) as f64,
             wall_secs: train_secs,
@@ -345,6 +403,14 @@ pub struct NodeRuntime<T: Transport> {
     /// `ShardRebalance`): stashed instead of dropped so transport
     /// reordering can never starve a later await.
     stash: std::collections::VecDeque<Message>,
+    /// In-process fast path: when set (and filled by the coordinator),
+    /// borrow the shared rearranged dataset + weights instead of
+    /// reconstructing them — bit-identical values either way.
+    shared_view: Option<SharedViewSlot>,
+    /// Chaos hook: abort abruptly right after this round starts,
+    /// simulating a worker crash mid-round (drives the fleet's
+    /// supervision tests and `--chaos-kill`).
+    die_at_round: Option<u64>,
 }
 
 impl<T: Transport> NodeRuntime<T> {
@@ -354,7 +420,23 @@ impl<T: Transport> NodeRuntime<T> {
             link,
             node_id,
             stash: std::collections::VecDeque::new(),
+            shared_view: None,
+            die_at_round: None,
         }
+    }
+
+    /// Attaches the in-process shared-view slot (see [`RunView`]).
+    pub(crate) fn with_shared_view(mut self, slot: SharedViewSlot) -> Self {
+        self.shared_view = Some(slot);
+        self
+    }
+
+    /// Arms the chaos hook: the runtime errors out (dropping its link,
+    /// which a remote coordinator observes as a dead worker) right
+    /// after round `round` starts.
+    pub(crate) fn with_chaos_kill(mut self, round: Option<u64>) -> Self {
+        self.die_at_round = round;
+        self
     }
 
     /// Runs the full worker side of the protocol (see module docs).
@@ -401,8 +483,23 @@ impl<T: Transport> NodeRuntime<T> {
             ClusterError::Worker(format!("assigned shard {assigned} out of range"))
         })?;
 
-        let data = ds.reordered(&order)?;
-        let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
+        // The shared view (if wired) was published before the
+        // ShardRebalance we just consumed, so `get()` observing `None`
+        // here means this is a copying (remote-faithful) run.
+        let shared = self.shared_view.as_ref().and_then(|s| s.get()).cloned();
+        let owned: Option<(Dataset, Vec<f64>)> = if shared.is_none() {
+            Some((
+                ds.reordered(&order)?,
+                importance_weights(ds, &obj.loss, obj.reg, cfg.importance),
+            ))
+        } else {
+            None
+        };
+        let (data, weights): (&Dataset, &[f64]) = match (&shared, &owned) {
+            (Some(v), _) => (&v.data, &v.weights),
+            (None, Some((d, w))) => (d, w),
+            (None, None) => unreachable!("either the shared or the owned view exists"),
+        };
         let local: Vec<f64> = order[range.clone()].iter().map(|&i| weights[i]).collect();
         let strategy = effective_strategy(cfg);
         let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
@@ -425,7 +522,7 @@ impl<T: Transport> NodeRuntime<T> {
             model: vec![0.0; ds.dim()],
         };
         let protocol = (strategy == SamplingStrategy::Adaptive)
-            .then(|| FeedbackProtocol::for_dataset(&data, ranges.clone(), cfg.obs_model));
+            .then(|| FeedbackProtocol::for_dataset(data, ranges.clone(), cfg.obs_model));
 
         // Per-round observation gather for the coordinator's mirror:
         // per-row max of the scaled observations, the same reduction the
@@ -434,6 +531,15 @@ impl<T: Transport> NodeRuntime<T> {
         let mut visited = vec![false; range.len()];
         for round in 1..=cfg.rounds as u64 {
             let consensus = self.await_round_start(round)?;
+            if self.die_at_round == Some(round) {
+                // Chaos hook: abort mid-round. Returning drops the
+                // link; over a socket the peer observes exactly what a
+                // killed process would produce.
+                return Err(ClusterError::Worker(format!(
+                    "chaos kill: worker {} aborted at round {round}",
+                    self.node_id
+                )));
+            }
             if consensus.len() != node.model.len() {
                 return Err(ClusterError::Worker(format!(
                     "round {round}: consensus dim {} != model dim {}",
@@ -448,7 +554,7 @@ impl<T: Transport> NodeRuntime<T> {
             }
             for _ in 0..cfg.local_epochs {
                 local_epoch(
-                    &data,
+                    data,
                     obj,
                     &mut node,
                     protocol.as_ref(),

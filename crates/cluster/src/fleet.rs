@@ -1,0 +1,484 @@
+//! The [`ProcessFleet`]-style supervisor behind
+//! `--cluster-transport process`: spawn, admit, drive, and (optionally)
+//! resurrect a fleet of `isasgd worker` OS processes.
+//!
+//! # Shape
+//!
+//! [`run_fleet`] binds a real [`TcpListener`], then for each node slot:
+//! spawns a worker via the [`WorkerSpawner`] (subprocesses in
+//! production, test harnesses install thread-backed spawners), and
+//! admits exactly one connection through the session handshake — a
+//! [`Message::Hello`] whose [`PROTOCOL_VERSION`] matches, answered with
+//! [`Message::Assign`] + [`Message::DatasetTransfer`]. Connections that
+//! speak garbage, truncate, or announce the wrong version are dropped
+//! with a typed [`WireError`] recorded and the accept loop keeps
+//! going until its deadline — junk can never hang or kill admission.
+//!
+//! The admitted links are wrapped in [`SupervisedLink`]s and handed to
+//! the ordinary [`coordinate`](crate::coordinator) round driver — the
+//! protocol above the session layer is byte-identical to the `tcp`
+//! transport, which is what keeps process runs bit-equal to every
+//! other execution mode.
+//!
+//! # Supervision
+//!
+//! A [`SupervisedLink`] records every outbound message. When a worker
+//! is lost (socket death, or silence past the per-round deadline):
+//!
+//! * [`WorkerLossPolicy::Fail`] — the run aborts with a typed
+//!   [`ClusterError::WorkerLost`]; closed sockets make detection
+//!   immediate, the round deadline bounds the hung-worker case, so a
+//!   loss can never hang the run.
+//! * [`WorkerLossPolicy::Respawn`] — a replacement is spawned, taken
+//!   through the same handshake, and the recorded session is replayed
+//!   (`ShardRebalance`, then every round's barrier + consensus model).
+//!   Workers are deterministic functions of that message stream, so
+//!   the replacement recomputes the lost worker's state exactly; its
+//!   stale re-sends are dropped by round tag and its duplicated
+//!   feedback is absorbed by the mirror's per-row max — the run
+//!   completes **bit-identically** to an undisturbed one (pinned by
+//!   `tests/process_fleet.rs` and the CLI kill-a-worker e2e).
+
+use crate::coordinator::coordinate;
+use crate::node::{validate, ClusterConfig, ClusterError, ClusterRun};
+use crate::procnode::wire_known_loss;
+use crate::transport::{ProcessConfig, Tcp, Transport, TransportError, WorkerLossPolicy};
+use crate::wire::{Message, SessionConfig, WireError, PROTOCOL_VERSION};
+use isasgd_losses::{Loss, Objective};
+use isasgd_sparse::Dataset;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A handle to one spawned worker. Cleanup is Drop-driven: dropping
+/// the handle must release the worker (reap the child process, join
+/// the thread, …), never block indefinitely, and tolerate a worker
+/// that already exited.
+pub trait WorkerHandle: Send {}
+
+/// Launches workers for the fleet. `respawn` distinguishes the initial
+/// population from replacements (chaos hooks only arm on first spawn).
+pub trait WorkerSpawner: Send {
+    /// Starts one worker that will connect to `addr` and perform the
+    /// session handshake.
+    fn spawn(
+        &mut self,
+        node: u32,
+        addr: &str,
+        respawn: bool,
+    ) -> Result<Box<dyn WorkerHandle>, ClusterError>;
+}
+
+/// The production spawner: `<program> worker --connect <addr>`
+/// subprocesses (the `isasgd` CLI passes its own executable).
+pub struct CommandSpawner {
+    program: PathBuf,
+    /// `(node, round)` chaos hook forwarded as `--die-at-round` to the
+    /// matching node's *initial* spawn.
+    chaos_kill: Option<(u32, u64)>,
+}
+
+impl CommandSpawner {
+    /// Spawner running `program` as the worker binary.
+    pub fn new(program: PathBuf, chaos_kill: Option<(u32, u64)>) -> Self {
+        CommandSpawner {
+            program,
+            chaos_kill,
+        }
+    }
+}
+
+/// Reaps the child on drop: a short grace for voluntary exit, then
+/// kill — so neither a finished nor a wedged worker can leak.
+struct ChildHandle(Child);
+
+impl WorkerHandle for ChildHandle {}
+
+impl Drop for ChildHandle {
+    fn drop(&mut self) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match self.0.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                _ => {
+                    let _ = self.0.kill();
+                    let _ = self.0.wait();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl WorkerSpawner for CommandSpawner {
+    fn spawn(
+        &mut self,
+        node: u32,
+        addr: &str,
+        respawn: bool,
+    ) -> Result<Box<dyn WorkerHandle>, ClusterError> {
+        let mut cmd = Command::new(&self.program);
+        cmd.arg("worker")
+            .arg("--connect")
+            .arg(addr)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        if let Some((victim, round)) = self.chaos_kill {
+            if victim == node && !respawn {
+                cmd.arg("--die-at-round").arg(round.to_string());
+            }
+        }
+        let child = cmd.spawn().map_err(|e| {
+            ClusterError::Worker(format!(
+                "spawning worker {node} ({}): {e}",
+                self.program.display()
+            ))
+        })?;
+        Ok(Box::new(ChildHandle(child)))
+    }
+}
+
+/// State shared by every supervised link: the listener, the spawner,
+/// and the session frames a (re)admitted worker must receive.
+struct FleetShared<S: WorkerSpawner> {
+    listener: TcpListener,
+    addr: String,
+    spawner: S,
+    session: SessionConfig,
+    /// The `DatasetTransfer` frame payload, encoded once at fleet
+    /// start (and size-validated there): admissions — initial and
+    /// respawn alike — write the cached bytes instead of re-encoding
+    /// the dataset per worker.
+    dataset_frame: Vec<u8>,
+    pc: ProcessConfig,
+}
+
+impl<S: WorkerSpawner> FleetShared<S> {
+    /// Admits one worker for node slot `node`: accepts connections
+    /// until one completes a valid handshake, dropping (and recording)
+    /// invalid ones. Returns the admitted link with the round deadline
+    /// armed, or a typed error when the handshake deadline passes.
+    fn accept_worker(&mut self, node: u32) -> Result<Tcp, ClusterError> {
+        let deadline = Instant::now() + Duration::from_millis(self.pc.handshake_timeout_ms);
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| ClusterError::Worker(format!("listener: {e}")))?;
+        let mut last_reject: Option<WireError> = None;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    // Handshake under what's left of the deadline, so a
+                    // connection that goes silent cannot stall the loop.
+                    let left = deadline
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_millis(10));
+                    let admitted = (|| -> Result<Tcp, TransportError> {
+                        stream.set_nonblocking(false).map_err(TransportError::Io)?;
+                        // The deadline bounds writes too: a peer that
+                        // sends a valid Hello but never reads would
+                        // otherwise stall the Assign/DatasetTransfer
+                        // write_all once the socket buffers fill.
+                        stream
+                            .set_write_timeout(Some(left))
+                            .map_err(TransportError::Io)?;
+                        let mut link =
+                            Tcp::with_read_timeout(stream, left).map_err(TransportError::Io)?;
+                        match link.recv()? {
+                            Message::Hello { version } if version == PROTOCOL_VERSION => {}
+                            Message::Hello { version } => {
+                                return Err(TransportError::Wire(WireError::Version {
+                                    got: version,
+                                    want: PROTOCOL_VERSION,
+                                }))
+                            }
+                            _ => {
+                                return Err(TransportError::Wire(WireError::Invalid {
+                                    what: "expected Hello as the first frame",
+                                }))
+                            }
+                        }
+                        link.send(&Message::Assign {
+                            worker: node,
+                            config: self.session.clone(),
+                        })?;
+                        link.send_payload(&self.dataset_frame)?;
+                        // Admitted: relax both deadlines to the round
+                        // liveness deadline.
+                        let round = Duration::from_millis(self.pc.round_timeout_ms.max(1));
+                        link.set_read_timeout(round).map_err(TransportError::Io)?;
+                        link.set_write_timeout(round).map_err(TransportError::Io)?;
+                        Ok(link)
+                    })();
+                    match admitted {
+                        Ok(link) => return Ok(link),
+                        // An invalid connection is dropped; the accept
+                        // loop continues — junk peers (port scanners,
+                        // stale workers, wrong builds) cannot take the
+                        // fleet down or hang admission.
+                        Err(e) => {
+                            last_reject = Some(match e {
+                                TransportError::Wire(w) => w,
+                                other => WireError::Invalid {
+                                    what: match other {
+                                        TransportError::Closed => "connection closed mid-handshake",
+                                        _ => "handshake i/o failure",
+                                    },
+                                },
+                            });
+                            let _ = peer; // connection drops here
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        let why = last_reject
+                            .map(|w| format!(" (last rejected handshake: {w})"))
+                            .unwrap_or_default();
+                        return Err(ClusterError::WorkerLost {
+                            node,
+                            detail: format!(
+                                "no valid worker handshake within {}ms{why}",
+                                self.pc.handshake_timeout_ms
+                            ),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(ClusterError::Worker(format!("accept: {e}"))),
+            }
+        }
+    }
+}
+
+/// One supervised coordinator↔worker link: a [`Tcp`] endpoint plus the
+/// outbound message log that makes deterministic respawn possible.
+pub struct SupervisedLink<S: WorkerSpawner> {
+    shared: Arc<Mutex<FleetShared<S>>>,
+    node: u32,
+    // Declared before `handle` so the socket closes before the worker
+    // is reaped — a blocked worker unblocks instead of being killed
+    // mid-wait.
+    tcp: Tcp,
+    handle: Box<dyn WorkerHandle>,
+    log: Vec<Message>,
+    respawns_left: u32,
+    policy: WorkerLossPolicy,
+}
+
+impl<S: WorkerSpawner> SupervisedLink<S> {
+    fn lost(&self, cause: &dyn std::fmt::Display) -> TransportError {
+        TransportError::WorkerLost {
+            node: self.node,
+            detail: cause.to_string(),
+        }
+    }
+
+    /// Worker-loss recovery: under `Respawn` (with budget left), spawn
+    /// a replacement, re-admit it through the handshake, and replay the
+    /// recorded session so it deterministically recomputes the lost
+    /// state. Under `Fail` (or an exhausted budget) the loss surfaces
+    /// as a typed [`TransportError::WorkerLost`].
+    ///
+    /// The replay writes the whole session before reading anything;
+    /// the replacement's own re-sends are drained later by the round
+    /// driver (stale tags dropped). If a pathologically large session
+    /// fills both sockets' buffers mid-replay, the armed write
+    /// deadline turns that into a typed `WorkerLost` instead of a
+    /// deadlock — bounded-size recovery (checkpointed/streamed replay)
+    /// is a ROADMAP item.
+    fn recover(&mut self, cause: TransportError) -> Result<(), TransportError> {
+        if matches!(cause, TransportError::WorkerLost { .. }) {
+            return Err(cause);
+        }
+        if self.policy == WorkerLossPolicy::Fail {
+            return Err(self.lost(&cause));
+        }
+        if self.respawns_left == 0 {
+            return Err(self.lost(&format_args!("respawn budget exhausted after: {cause}")));
+        }
+        self.respawns_left -= 1;
+        let mut shared = self.shared.lock().expect("fleet state poisoned");
+        let addr = shared.addr.clone();
+        let handle = shared
+            .spawner
+            .spawn(self.node, &addr, true)
+            .map_err(|e| self.lost(&format_args!("respawn failed: {e}")))?;
+        let mut tcp = shared
+            .accept_worker(self.node)
+            .map_err(|e| self.lost(&format_args!("respawn handshake failed: {e}")))?;
+        drop(shared);
+        // Deterministic replay: the replacement walks the identical
+        // message stream the lost worker saw and reconstructs its
+        // sampler / RNG / model state exactly; its re-sent traffic for
+        // already-finished rounds is dropped by round tag upstream.
+        for m in &self.log {
+            tcp.send(m)
+                .map_err(|e| self.lost(&format_args!("replay failed: {e}")))?;
+        }
+        // Replace the dead endpoint; the old handle is dropped (and the
+        // dead process reaped) with the assignment below.
+        self.tcp = tcp;
+        self.handle = handle;
+        Ok(())
+    }
+}
+
+impl<S: WorkerSpawner> Transport for SupervisedLink<S> {
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        if let Err(e) = self.tcp.send(msg) {
+            self.recover(e)?;
+            // A fresh, just-replayed link failing again is terminal.
+            self.tcp.send(msg).map_err(|e| self.lost(&e))?;
+        }
+        self.log.push(msg.clone());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, TransportError> {
+        loop {
+            match self.tcp.recv() {
+                Ok(m) => return Ok(m),
+                // After recovery the replacement re-emits everything the
+                // lost worker owed; loop back into recv for it.
+                Err(e) => self.recover(e)?,
+            }
+        }
+    }
+}
+
+/// Runs a cluster schedule over real worker OS processes spawned from
+/// `pc.worker` (default: the current executable — correct for the
+/// `isasgd` CLI). See the module docs for the supervision contract.
+pub fn run_fleet<L: Loss>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+    pc: &ProcessConfig,
+) -> Result<ClusterRun, ClusterError> {
+    let program = match &pc.worker {
+        Some(p) => PathBuf::from(p),
+        None => std::env::current_exe().map_err(|e| {
+            ClusterError::InvalidConfig(format!("cannot locate worker binary: {e}"))
+        })?,
+    };
+    run_fleet_with(
+        ds,
+        obj,
+        cfg,
+        pc,
+        CommandSpawner::new(program, pc.chaos_kill),
+    )
+}
+
+/// [`run_fleet`] with a caller-supplied [`WorkerSpawner`] — the test
+/// seam that lets harnesses run protocol-faithful workers on threads
+/// (or inject handshake abuse) without a separate binary.
+pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+    pc: &ProcessConfig,
+    spawner: S,
+) -> Result<ClusterRun, ClusterError> {
+    validate(cfg, ds)?;
+    if !wire_known_loss(obj.loss.name()) {
+        return Err(ClusterError::InvalidConfig(format!(
+            "loss '{}' cannot cross the process boundary (wire-known: logistic, \
+             squared_hinge, squared)",
+            obj.loss.name()
+        )));
+    }
+    if let Some((victim, round)) = pc.chaos_kill {
+        // An out-of-range chaos target would silently never fire —
+        // turning a supervision-validation run into a false pass.
+        if victim as usize >= cfg.nodes || round == 0 || round > cfg.rounds as u64 {
+            return Err(ClusterError::InvalidConfig(format!(
+                "--chaos-kill {victim}:{round} is out of range for {} nodes / {} rounds \
+                 (nodes are 0-based, rounds are 1-based)",
+                cfg.nodes, cfg.rounds
+            )));
+        }
+    }
+    // Encode the dataset frame once (straight from the borrowed
+    // dataset — no clone), and validate its size *before* binding or
+    // spawning anything: an over-MAX_FRAME dataset is a deterministic
+    // coordinator-side configuration error, not a per-worker handshake
+    // failure to retry against a deadline.
+    let mut dataset_frame = Vec::new();
+    crate::wire::encode_dataset_transfer(ds, &mut dataset_frame);
+    if dataset_frame.len() > crate::wire::MAX_FRAME {
+        return Err(ClusterError::InvalidConfig(format!(
+            "dataset wire encoding is {} bytes, above the {}-byte frame cap — \
+             too large to ship to worker processes (shard/delta dataset \
+             transfer is a roadmap item)",
+            dataset_frame.len(),
+            crate::wire::MAX_FRAME
+        )));
+    }
+    let listener = TcpListener::bind(&pc.bind)
+        .map_err(|e| ClusterError::Worker(format!("bind {}: {e}", pc.bind)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ClusterError::Worker(format!("local_addr: {e}")))?
+        .to_string();
+    let session = SessionConfig {
+        nodes: cfg.nodes as u32,
+        rounds: cfg.rounds as u64,
+        local_epochs: cfg.local_epochs as u32,
+        step_size: cfg.step_size,
+        seed: cfg.seed,
+        round_timeout_ms: pc.round_timeout_ms,
+        importance: cfg.importance,
+        sampling: cfg.sampling,
+        obs_model: cfg.obs_model,
+        commit: cfg.commit,
+        loss: obj.loss.name().to_string(),
+        reg: obj.reg,
+    };
+    let shared = Arc::new(Mutex::new(FleetShared {
+        listener,
+        addr,
+        spawner,
+        session,
+        dataset_frame,
+        pc: pc.clone(),
+    }));
+
+    // Populate sequentially: spawn worker k, admit worker k. Serializing
+    // spawn and admission pins the node-id ↔ process pairing (the chaos
+    // hook and error attribution depend on it).
+    let mut links: Vec<SupervisedLink<S>> = Vec::with_capacity(cfg.nodes);
+    for node in 0..cfg.nodes as u32 {
+        let mut sh = shared.lock().expect("fleet state poisoned");
+        let addr = sh.addr.clone();
+        let handle = sh.spawner.spawn(node, &addr, false)?;
+        let tcp = sh.accept_worker(node)?;
+        drop(sh);
+        links.push(SupervisedLink {
+            shared: shared.clone(),
+            node,
+            tcp,
+            handle,
+            log: Vec::new(),
+            respawns_left: pc.max_respawns,
+            policy: pc.on_loss,
+        });
+    }
+
+    let result = coordinate(&mut links, ds, obj, cfg, None);
+    // Dropping the links closes every socket first, then reaps every
+    // worker (grace, then kill) — success and failure paths alike end
+    // with no leaked processes.
+    drop(links);
+    match result {
+        Err(ClusterError::Transport(TransportError::WorkerLost { node, detail })) => {
+            Err(ClusterError::WorkerLost { node, detail })
+        }
+        r => r,
+    }
+}

@@ -46,16 +46,20 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod fleet;
 pub mod node;
+pub mod procnode;
 pub mod sync;
 pub mod transport;
 pub mod wire;
 
 pub use coordinator::{run_with_links, NodeRuntime};
+pub use fleet::{run_fleet, run_fleet_with, CommandSpawner, WorkerHandle, WorkerSpawner};
 pub use node::{run, ClusterConfig, ClusterError, ClusterRun, Node, RoundPoint};
+pub use procnode::{run_worker, WorkerOptions, WorkerReport};
 pub use sync::{average_models, SyncStrategy};
 pub use transport::{
-    in_process_links, tcp_loopback_links, FlakyTransport, InProcess, Tcp, Transport,
-    TransportConfig, TransportError,
+    in_process_links, tcp_loopback_links, FlakyTransport, InProcess, ProcessConfig, Tcp, Transport,
+    TransportConfig, TransportError, WorkerLossPolicy,
 };
-pub use wire::{Message, WireError, MAX_FRAME};
+pub use wire::{Message, SessionConfig, WireError, MAX_FRAME, PROTOCOL_VERSION};

@@ -145,8 +145,11 @@ pub struct ClusterRun {
     /// Number of synchronizations performed.
     pub syncs: usize,
     /// Observation entries the coordinator applied to its feedback
-    /// mirror (0 for non-adaptive runs; counts duplicate deliveries,
-    /// which the mirror's per-row max semantics absorb).
+    /// mirror (0 for non-adaptive runs; counts duplicate deliveries —
+    /// whether transport-injected or re-sent by a respawned worker's
+    /// session replay — which the mirror's per-row max semantics
+    /// absorb, so the mirror state stays bit-equal even when this
+    /// counter exceeds the undisturbed run's).
     pub feedback_rows: usize,
     /// Max/mean shard mass of the coordinator's mirrored (observed)
     /// distributions after the final round — the feedback-side analogue
@@ -165,6 +168,16 @@ pub enum ClusterError {
     Transport(TransportError),
     /// A worker runtime failed.
     Worker(String),
+    /// A supervised worker *process* was lost (connection death or a
+    /// missed per-round deadline) and the fleet could not — or, under
+    /// [`WorkerLossPolicy::Fail`](crate::WorkerLossPolicy::Fail), was
+    /// told not to — recover it.
+    WorkerLost {
+        /// The lost worker's node id.
+        node: u32,
+        /// Root cause.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -174,6 +187,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Sparse(e) => write!(f, "dataset error: {e}"),
             ClusterError::Transport(e) => write!(f, "transport error: {e}"),
             ClusterError::Worker(s) => write!(f, "worker error: {s}"),
+            ClusterError::WorkerLost { node, detail } => {
+                write!(f, "worker {node} lost: {detail}")
+            }
         }
     }
 }
@@ -242,10 +258,15 @@ pub(crate) fn validate(cfg: &ClusterConfig, ds: &Dataset) -> Result<(), ClusterE
 /// Runs the distributed schedule: rearrange → shard → (local epochs ∥
 /// sync)*, over the transport [`ClusterConfig::transport`] selects.
 ///
-/// Workers run on their own threads either way; `InProcess` wires them
-/// with typed channels, `Tcp` with real loopback sockets speaking the
-/// [`wire`](crate::wire) codec. Results are bit-identical across
-/// transports for the same seed and config.
+/// `InProcess` wires worker threads with typed channels (sharing one
+/// reconstructed dataset view behind an `Arc` — the in-process fast
+/// path), `Tcp` wires worker threads with real loopback sockets
+/// speaking the [`wire`](crate::wire) codec, and `Process` spawns
+/// genuine `isasgd worker` OS processes under the
+/// [`fleet`](crate::fleet) supervisor. Results are bit-identical
+/// across all three for the same seed and config (pinned by
+/// `tests/equivalence.rs` / `tests/process_fleet.rs` and the CLI e2e
+/// suite).
 pub fn run<L: Loss>(
     ds: &Dataset,
     obj: &Objective<L>,
@@ -253,11 +274,18 @@ pub fn run<L: Loss>(
 ) -> Result<ClusterRun, ClusterError> {
     validate(cfg, ds)?;
     match &cfg.transport {
-        TransportConfig::InProcess => run_with_links(ds, obj, cfg, in_process_links(cfg.nodes)),
+        TransportConfig::InProcess => crate::coordinator::run_with_links_inner(
+            ds,
+            obj,
+            cfg,
+            in_process_links(cfg.nodes),
+            true,
+        ),
         TransportConfig::Tcp { bind } => {
             let links = tcp_loopback_links(cfg.nodes, bind).map_err(TransportError::Io)?;
             run_with_links(ds, obj, cfg, links)
         }
+        TransportConfig::Process(pc) => crate::fleet::run_fleet(ds, obj, cfg, pc),
     }
 }
 

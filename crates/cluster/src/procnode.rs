@@ -1,0 +1,165 @@
+//! Worker side of the cross-process runtime: `isasgd worker --connect`.
+//!
+//! A worker process owns nothing at launch except the coordinator's
+//! address. Everything else arrives over the session handshake:
+//!
+//! ```text
+//! worker                          coordinator (fleet accept loop)
+//!   ── Hello(version) ───────────▶  validate protocol version
+//!   ◀──────── Assign(id, config)    node id + SessionConfig
+//!   ◀──────── DatasetTransfer       full training dataset, bit-exact
+//!   …NodeRuntime round protocol (see crate::coordinator docs)…
+//! ```
+//!
+//! After the handshake the worker constructs its [`ClusterConfig`] and
+//! objective from the [`SessionConfig`] and runs the exact same
+//! [`NodeRuntime`] the thread-backed transports run — which is why a
+//! `--cluster-transport process` run is bit-equal to `tcp`, `inproc`,
+//! and (single-node) the sequential engine: same draws, same float-op
+//! order, only the process boundary differs.
+//!
+//! The loss crosses the wire as its stable [`Loss::name`] string; only
+//! wire-known losses (`logistic`, `squared_hinge`, `squared`) can run
+//! cross-process, and an unknown name is a typed error, not a panic.
+
+use crate::coordinator::NodeRuntime;
+use crate::node::{ClusterConfig, ClusterError};
+use crate::sync::SyncStrategy;
+use crate::transport::{Tcp, Transport, TransportConfig, TransportError};
+use crate::wire::{Message, SessionConfig, PROTOCOL_VERSION};
+use isasgd_balance::BalancePolicy;
+use isasgd_losses::{LogisticLoss, Loss, Objective, SquaredHingeLoss, SquaredLoss};
+use isasgd_sparse::Dataset;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Options of one worker session (the `isasgd worker` CLI flags).
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Chaos hook: abort abruptly at this round (test/chaos flag
+    /// `--die-at-round`; the coordinator observes a dead worker).
+    pub die_at_round: Option<u64>,
+    /// Socket read deadline while awaiting coordinator traffic.
+    pub read_timeout: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            die_at_round: None,
+            read_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a completed worker session reports (logging/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The node id the coordinator assigned.
+    pub node: u32,
+    /// Rounds the session was configured to run.
+    pub rounds: u64,
+}
+
+/// Connects to a coordinator, performs the `Hello`/`Assign` handshake,
+/// and serves the full worker side of the round protocol. Blocks until
+/// the run completes (or fails) and reports the assigned node id.
+pub fn run_worker(connect: &str, opts: &WorkerOptions) -> Result<WorkerReport, ClusterError> {
+    let stream = TcpStream::connect(connect)
+        .map_err(|e| ClusterError::Worker(format!("connect {connect}: {e}")))?;
+    let mut link = Tcp::with_read_timeout(stream, opts.read_timeout).map_err(TransportError::Io)?;
+    link.send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+    })?;
+    let (worker, config) = match link.recv()? {
+        Message::Assign { worker, config } => (worker, config),
+        other => {
+            return Err(ClusterError::Worker(format!(
+                "handshake: expected Assign, got {}",
+                other.kind()
+            )))
+        }
+    };
+    let dataset = match link.recv()? {
+        Message::DatasetTransfer { dataset } => *dataset,
+        other => {
+            return Err(ClusterError::Worker(format!(
+                "handshake: expected DatasetTransfer, got {}",
+                other.kind()
+            )))
+        }
+    };
+    // Re-arm the read deadline from the coordinator's configured round
+    // deadline, scaled by the node count: between its own rounds a
+    // worker legitimately waits through every peer's local epochs plus
+    // the coordinator's sequential collection and consensus eval, so a
+    // fixed constant would spuriously kill healthy workers on slow
+    // rounds the coordinator itself still considers live.
+    let per_round = if config.round_timeout_ms == 0 {
+        opts.read_timeout.as_millis() as u64
+    } else {
+        config.round_timeout_ms
+    };
+    let deadline = per_round.saturating_mul(u64::from(config.nodes).saturating_add(1));
+    link.set_read_timeout(Duration::from_millis(deadline.max(1)))
+        .map_err(TransportError::Io)?;
+    serve(link, worker, config, &dataset, opts.die_at_round)
+}
+
+/// Runs the [`NodeRuntime`] for an already-handshaken link,
+/// reconstructing the cluster config and dispatching over the wire
+/// loss name.
+fn serve(
+    link: Tcp,
+    worker: u32,
+    sc: SessionConfig,
+    ds: &Dataset,
+    die_at_round: Option<u64>,
+) -> Result<WorkerReport, ClusterError> {
+    let cfg = ClusterConfig {
+        nodes: sc.nodes as usize,
+        rounds: sc.rounds as usize,
+        local_epochs: sc.local_epochs as usize,
+        step_size: sc.step_size,
+        importance: sc.importance,
+        // Coordinator-only decisions: the worker receives their outcome
+        // through ShardRebalance / consensus models and never reads
+        // these fields.
+        balance: BalancePolicy::default(),
+        sync: SyncStrategy::Average,
+        sampling: sc.sampling,
+        obs_model: sc.obs_model,
+        commit: sc.commit,
+        transport: TransportConfig::InProcess,
+        seed: sc.seed,
+    };
+    let runtime = NodeRuntime::new(link, worker as usize).with_chaos_kill(die_at_round);
+    match sc.loss.as_str() {
+        n if n == LogisticLoss.name() => {
+            runtime.run(ds, &Objective::new(LogisticLoss, sc.reg), &cfg)?
+        }
+        n if n == SquaredHingeLoss.name() => {
+            runtime.run(ds, &Objective::new(SquaredHingeLoss, sc.reg), &cfg)?
+        }
+        n if n == SquaredLoss.name() => {
+            runtime.run(ds, &Objective::new(SquaredLoss, sc.reg), &cfg)?
+        }
+        other => {
+            return Err(ClusterError::InvalidConfig(format!(
+                "loss '{other}' is not wire-known (expected logistic, squared_hinge, or squared)"
+            )))
+        }
+    }
+    Ok(WorkerReport {
+        node: worker,
+        rounds: sc.rounds,
+    })
+}
+
+/// The wire-known loss names [`run_worker`] can reconstruct — the
+/// fleet validates a run's loss against this list *before* spawning
+/// anything, so an unservable configuration fails fast on the
+/// coordinator.
+pub fn wire_known_loss(name: &str) -> bool {
+    name == LogisticLoss.name() || name == SquaredHingeLoss.name() || name == SquaredLoss.name()
+}

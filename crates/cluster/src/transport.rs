@@ -38,6 +38,15 @@ pub enum TransportError {
     Io(std::io::Error),
     /// The peer sent an undecodable frame.
     Wire(WireError),
+    /// A supervised worker process was lost (connection died or a
+    /// per-round deadline expired) and the loss policy does not permit
+    /// — or respawning exhausted its budget for — recovery.
+    WorkerLost {
+        /// The lost worker's node id.
+        node: u32,
+        /// Human-readable root cause (original transport failure).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -46,6 +55,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Closed => write!(f, "peer closed the link"),
             TransportError::Io(e) => write!(f, "transport i/o: {e}"),
             TransportError::Wire(e) => write!(f, "wire decode: {e}"),
+            TransportError::WorkerLost { node, detail } => {
+                write!(f, "worker {node} lost: {detail}")
+            }
         }
     }
 }
@@ -81,11 +93,100 @@ pub enum TransportConfig {
     /// Channel-backed links between threads of this process (default).
     #[default]
     InProcess,
-    /// Length-prefixed frames over localhost TCP sockets.
+    /// Length-prefixed frames over localhost TCP sockets (workers stay
+    /// threads of this process; only the bytes cross a socket).
     Tcp {
         /// Listener bind address; port 0 lets the OS pick a free port.
         bind: String,
     },
+    /// Real cross-process workers: the coordinator binds a listener,
+    /// spawns `isasgd worker --connect` subprocesses, drives the
+    /// [`wire`](crate::wire) session handshake, and supervises the
+    /// fleet (see [`crate::fleet`]).
+    Process(ProcessConfig),
+}
+
+/// What the fleet supervisor does when a worker process is lost
+/// mid-run (its connection dies or a per-round deadline expires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerLossPolicy {
+    /// Abort the run with a typed
+    /// [`WorkerLost`](crate::ClusterError::WorkerLost) error (default:
+    /// fail loudly, never hang).
+    #[default]
+    Fail,
+    /// Spawn a replacement process and replay the lost worker's entire
+    /// session (assignment, dataset, every round message) so the
+    /// replacement deterministically recomputes the lost state — the
+    /// run completes **bit-identically** to an undisturbed run.
+    Respawn,
+}
+
+impl WorkerLossPolicy {
+    /// Parses a CLI name: `fail` or `respawn`.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "fail" => WorkerLossPolicy::Fail,
+            "respawn" => WorkerLossPolicy::Respawn,
+            _ => return None,
+        })
+    }
+
+    /// The CLI/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkerLossPolicy::Fail => "fail",
+            WorkerLossPolicy::Respawn => "respawn",
+        }
+    }
+}
+
+/// Settings of the cross-process fleet (see
+/// [`TransportConfig::Process`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessConfig {
+    /// Listener bind address. The default binds loopback with an
+    /// OS-assigned port. A routable address is accepted, but the fleet
+    /// still spawns all `nodes` workers locally today — a remote
+    /// `isasgd worker --connect` would race those spawns for admission
+    /// slots, so remote join (with auth and a spawn-nothing mode) is a
+    /// ROADMAP item, not a supported deployment.
+    pub bind: String,
+    /// Reaction to a lost worker process.
+    pub on_loss: WorkerLossPolicy,
+    /// Worker program to spawn (`<worker> worker --connect <addr>`);
+    /// `None` uses the current executable — correct for the `isasgd`
+    /// CLI, wrong inside test harnesses, which install their own
+    /// spawner instead.
+    pub worker: Option<String>,
+    /// Deadline for a spawned worker to connect and complete the
+    /// `Hello` handshake, in milliseconds.
+    pub handshake_timeout_ms: u64,
+    /// Per-round liveness deadline, in milliseconds: the socket read
+    /// timeout while awaiting a worker's round traffic. A worker that
+    /// stays silent longer is declared lost.
+    pub round_timeout_ms: u64,
+    /// Respawn budget per worker slot (guards against crash loops).
+    pub max_respawns: u32,
+    /// Chaos hook: make the *initially spawned* worker `node` abort
+    /// abruptly at round `round` (replacements are spawned clean).
+    /// Exercises the supervision path end-to-end; surfaced as
+    /// `isasgd train --chaos-kill <node>:<round>`.
+    pub chaos_kill: Option<(u32, u64)>,
+}
+
+impl Default for ProcessConfig {
+    fn default() -> Self {
+        ProcessConfig {
+            bind: "127.0.0.1:0".into(),
+            on_loss: WorkerLossPolicy::Fail,
+            worker: None,
+            handshake_timeout_ms: 30_000,
+            round_timeout_ms: 120_000,
+            max_respawns: 3,
+            chaos_kill: None,
+        }
+    }
 }
 
 impl TransportConfig {
@@ -96,11 +197,17 @@ impl TransportConfig {
         }
     }
 
-    /// Parses a CLI name: `inproc`/`in-process` or `tcp`.
+    /// The cross-process transport with default fleet settings.
+    pub fn process() -> Self {
+        TransportConfig::Process(ProcessConfig::default())
+    }
+
+    /// Parses a CLI name: `inproc`/`in-process`, `tcp`, or `process`.
     pub fn parse(s: &str) -> Option<Self> {
         Some(match s {
             "inproc" | "in-process" | "channel" => TransportConfig::InProcess,
             "tcp" => TransportConfig::tcp(),
+            "process" | "subprocess" => TransportConfig::process(),
             _ => return None,
         })
     }
@@ -110,6 +217,7 @@ impl TransportConfig {
         match self {
             TransportConfig::InProcess => "inproc",
             TransportConfig::Tcp { .. } => "tcp",
+            TransportConfig::Process(_) => "process",
         }
     }
 }
@@ -164,12 +272,48 @@ impl Tcp {
     /// Wraps a connected stream (disables Nagle — the protocol is
     /// latency-bound request/response, not bulk).
     pub fn new(stream: TcpStream) -> std::io::Result<Tcp> {
+        Self::with_read_timeout(stream, Self::READ_TIMEOUT)
+    }
+
+    /// [`Tcp::new`] with an explicit per-recv deadline — the fleet
+    /// supervisor's per-round liveness timer.
+    pub fn with_read_timeout(stream: TcpStream, timeout: Duration) -> std::io::Result<Tcp> {
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Self::READ_TIMEOUT))?;
+        stream.set_read_timeout(Some(timeout))?;
         Ok(Tcp {
             stream,
             scratch: Vec::new(),
         })
+    }
+
+    /// Re-arms the per-recv deadline (the fleet uses a short handshake
+    /// deadline, then relaxes to the round deadline once admitted).
+    pub fn set_read_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Arms a per-write deadline. The fleet sets one on every
+    /// supervised link so a peer that accepts a connection but never
+    /// reads (stalling `write_all` once the socket buffers fill)
+    /// surfaces as a typed I/O error instead of hanging the
+    /// coordinator — the write-side half of the never-hang contract.
+    pub fn set_write_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_write_timeout(Some(timeout))
+    }
+
+    /// Sends an already-encoded message payload (no length prefix) —
+    /// the fleet encodes its `DatasetTransfer` frame once and reuses
+    /// the bytes for every admission instead of re-encoding per worker.
+    pub fn send_payload(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        if payload.len() > MAX_FRAME {
+            return Err(TransportError::Wire(WireError::FrameTooLarge {
+                len: payload.len(),
+            }));
+        }
+        self.stream
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.stream.write_all(payload)?;
+        Ok(())
     }
 }
 
@@ -429,8 +573,28 @@ mod tests {
             Some(TransportConfig::InProcess)
         );
         assert_eq!(TransportConfig::parse("tcp"), Some(TransportConfig::tcp()));
+        assert_eq!(
+            TransportConfig::parse("process"),
+            Some(TransportConfig::process())
+        );
         assert_eq!(TransportConfig::parse("udp"), None);
         assert_eq!(TransportConfig::default().name(), "inproc");
         assert_eq!(TransportConfig::tcp().name(), "tcp");
+        assert_eq!(TransportConfig::process().name(), "process");
+    }
+
+    #[test]
+    fn worker_loss_policy_parses() {
+        assert_eq!(
+            WorkerLossPolicy::parse("fail"),
+            Some(WorkerLossPolicy::Fail)
+        );
+        assert_eq!(
+            WorkerLossPolicy::parse("respawn"),
+            Some(WorkerLossPolicy::Respawn)
+        );
+        assert_eq!(WorkerLossPolicy::parse("retry"), None);
+        assert_eq!(WorkerLossPolicy::default().name(), "fail");
+        assert_eq!(WorkerLossPolicy::Respawn.name(), "respawn");
     }
 }

@@ -21,10 +21,62 @@
 //! round-trips bit-exactly, and every strict prefix of a valid encoding
 //! (plus arbitrary garbage) decodes to an error.
 
+use isasgd_losses::{ImportanceScheme, Regularizer};
+use isasgd_sampling::{CommitPolicy, ObservationModel, SamplingStrategy};
+use isasgd_sparse::{Dataset, DatasetBuilder};
+
 /// Hard ceiling on one frame's payload size (256 MiB). A length prefix
 /// beyond this is rejected before allocation — a garbage or hostile
 /// stream cannot make the receiver reserve arbitrary memory.
 pub const MAX_FRAME: usize = 1 << 28;
+
+/// Version of the coordinator↔worker session protocol. Carried by
+/// [`Message::Hello`]; the accept loop rejects mismatches with a typed
+/// [`WireError::Version`] instead of attempting to drive an
+/// incompatible peer through the round protocol.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The training assignment a [`Message::Assign`] ships to a
+/// freshly-connected worker process: everything a `NodeRuntime` needs
+/// to reconstruct its `ClusterConfig` and objective in another OS
+/// process. Coordinator-only decisions (balance policy, sync strategy)
+/// deliberately stay off the wire — the worker receives their *outcome*
+/// through [`Message::ShardRebalance`] and the per-round consensus
+/// models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Total node count `numT` (seed-derivation space, not this
+    /// worker's id — that is the `worker` field of the Assign frame).
+    pub nodes: u32,
+    /// Synchronization rounds the run will drive.
+    pub rounds: u64,
+    /// Local epochs per round.
+    pub local_epochs: u32,
+    /// Step size λ.
+    pub step_size: f64,
+    /// Master seed (per-shard draw streams derive from it).
+    pub seed: u64,
+    /// The coordinator's per-round liveness deadline, in milliseconds
+    /// (0 = coordinator default). Workers derive their own read
+    /// deadline from it — scaled up by the node count, since a worker
+    /// legitimately waits through every peer's round — so a run whose
+    /// rounds outlast any fixed constant still keeps liveness checking
+    /// proportional instead of spuriously killing healthy workers.
+    pub round_timeout_ms: u64,
+    /// Importance scheme for static weights / step corrections.
+    pub importance: ImportanceScheme,
+    /// Sampling strategy the node draws with.
+    pub sampling: SamplingStrategy,
+    /// Observation model for adaptive feedback.
+    pub obs_model: ObservationModel,
+    /// Commit policy for adaptive feedback.
+    pub commit: CommitPolicy,
+    /// Loss name (`Loss::name`): the worker rebuilds the concrete loss
+    /// from this tag, so only wire-known losses can run cross-process.
+    pub loss: String,
+    /// Regularizer bundled into the objective.
+    pub reg: Regularizer,
+}
 
 /// A typed message of the coordinator↔worker protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +126,34 @@ pub enum Message {
         /// Every shard's `[start, end)` row range after reordering.
         ranges: Vec<(u32, u32)>,
     },
+    /// Session greeting: the first frame a worker process sends after
+    /// connecting. The accept loop validates the protocol version
+    /// before admitting the connection to the fleet; anything else on a
+    /// fresh connection (garbage, a truncated frame, a different
+    /// message kind) is a handshake failure and the connection is
+    /// dropped without disturbing the accept loop.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Session assignment, the coordinator's reply to a valid
+    /// [`Message::Hello`]: the worker's node id plus the
+    /// [`SessionConfig`] it needs to run the round protocol.
+    Assign {
+        /// Node id assigned to this connection (0-based).
+        worker: u32,
+        /// The run's training configuration subset.
+        config: SessionConfig,
+    },
+    /// The full training dataset, shipped after [`Message::Assign`] so
+    /// a worker process needs no shared filesystem: CSR rows move as
+    /// raw IEEE-754 bits, so the worker's view is bit-identical to the
+    /// coordinator's. (Delta/shard-local encoding is a ROADMAP item;
+    /// correctness first.)
+    DatasetTransfer {
+        /// The dataset (boxed: this variant dwarfs the others).
+        dataset: Box<Dataset>,
+    },
 }
 
 /// Typed decode failures. Garbage never panics the decoder.
@@ -101,6 +181,29 @@ pub enum WireError {
     },
     /// An empty payload (no tag byte).
     Empty,
+    /// A sub-enum field (importance scheme, commit policy, …) carried a
+    /// tag outside its variant range.
+    BadEnum {
+        /// Which field was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A structurally well-formed frame whose contents violate an
+    /// invariant (non-UTF-8 string, unsorted dataset row, ±1 label
+    /// violation, non-finite feature value, …).
+    Invalid {
+        /// Which invariant failed.
+        what: &'static str,
+    },
+    /// A [`Message::Hello`] declared a protocol version this build does
+    /// not speak.
+    Version {
+        /// Version the peer announced.
+        got: u32,
+        /// Version this build speaks ([`PROTOCOL_VERSION`]).
+        want: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -120,6 +223,13 @@ impl std::fmt::Display for WireError {
                 write!(f, "{extra} trailing bytes after a complete message")
             }
             WireError::Empty => write!(f, "empty frame"),
+            WireError::BadEnum { what, tag } => {
+                write!(f, "unknown {what} tag {tag:#04x}")
+            }
+            WireError::Invalid { what } => write!(f, "invalid frame contents: {what}"),
+            WireError::Version { got, want } => {
+                write!(f, "protocol version {got} (this build speaks {want})")
+            }
         }
     }
 }
@@ -130,6 +240,9 @@ const TAG_MODEL_UPDATE: u8 = 1;
 const TAG_FEEDBACK_BATCH: u8 = 2;
 const TAG_ROUND_BARRIER: u8 = 3;
 const TAG_SHARD_REBALANCE: u8 = 4;
+const TAG_HELLO: u8 = 5;
+const TAG_ASSIGN: u8 = 6;
+const TAG_DATASET_TRANSFER: u8 = 7;
 
 /// Bounded cursor over a payload; every read is length-checked.
 struct Reader<'a> {
@@ -189,6 +302,15 @@ impl<'a> Reader<'a> {
         }
         Ok(n)
     }
+
+    /// A length-prefixed UTF-8 string (count-validated like any vector).
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid {
+            what: "non-UTF-8 string",
+        })
+    }
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -201,6 +323,256 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// --- sub-enum codecs for the Assign frame -------------------------------
+//
+// Each enum encodes as a tag byte followed only by the fields its
+// variant actually carries — parameterless variants ship the bare tag,
+// so every valid value has exactly one encoding and the canonicality
+// property (`decode ∘ encode` is the unique fixed point) extends to the
+// session frames.
+
+fn put_importance(out: &mut Vec<u8>, v: ImportanceScheme) {
+    match v {
+        ImportanceScheme::LipschitzSmoothness => out.push(0),
+        ImportanceScheme::GradNormBound { radius } => {
+            out.push(1);
+            put_f64(out, radius);
+        }
+        ImportanceScheme::Uniform => out.push(2),
+        ImportanceScheme::PartiallyBiased { bias } => {
+            out.push(3);
+            put_f64(out, bias);
+        }
+    }
+}
+
+fn get_importance(r: &mut Reader<'_>) -> Result<ImportanceScheme, WireError> {
+    Ok(match r.u8()? {
+        0 => ImportanceScheme::LipschitzSmoothness,
+        1 => ImportanceScheme::GradNormBound { radius: r.f64()? },
+        2 => ImportanceScheme::Uniform,
+        3 => ImportanceScheme::PartiallyBiased { bias: r.f64()? },
+        tag => {
+            return Err(WireError::BadEnum {
+                what: "importance scheme",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_sampling(out: &mut Vec<u8>, v: SamplingStrategy) {
+    out.push(match v {
+        SamplingStrategy::Uniform => 0,
+        SamplingStrategy::Static => 1,
+        SamplingStrategy::Adaptive => 2,
+    });
+}
+
+fn get_sampling(r: &mut Reader<'_>) -> Result<SamplingStrategy, WireError> {
+    Ok(match r.u8()? {
+        0 => SamplingStrategy::Uniform,
+        1 => SamplingStrategy::Static,
+        2 => SamplingStrategy::Adaptive,
+        tag => {
+            return Err(WireError::BadEnum {
+                what: "sampling strategy",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_obs_model(out: &mut Vec<u8>, v: ObservationModel) {
+    match v {
+        ObservationModel::GradNorm => out.push(0),
+        ObservationModel::LossBound => out.push(1),
+        ObservationModel::StalenessDiscounted { half_life } => {
+            out.push(2);
+            put_f64(out, half_life);
+        }
+    }
+}
+
+fn get_obs_model(r: &mut Reader<'_>) -> Result<ObservationModel, WireError> {
+    Ok(match r.u8()? {
+        0 => ObservationModel::GradNorm,
+        1 => ObservationModel::LossBound,
+        2 => ObservationModel::StalenessDiscounted {
+            half_life: r.f64()?,
+        },
+        tag => {
+            return Err(WireError::BadEnum {
+                what: "observation model",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_commit(out: &mut Vec<u8>, v: CommitPolicy) {
+    match v {
+        CommitPolicy::EpochBoundary => out.push(0),
+        CommitPolicy::EveryK(k) => {
+            out.push(1);
+            put_u64(out, k as u64);
+        }
+    }
+}
+
+fn get_commit(r: &mut Reader<'_>) -> Result<CommitPolicy, WireError> {
+    Ok(match r.u8()? {
+        0 => CommitPolicy::EpochBoundary,
+        1 => {
+            let k = r.u64()?;
+            if k > usize::MAX as u64 {
+                return Err(WireError::Invalid {
+                    what: "commit period exceeds usize",
+                });
+            }
+            CommitPolicy::EveryK(k as usize)
+        }
+        tag => {
+            return Err(WireError::BadEnum {
+                what: "commit policy",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_reg(out: &mut Vec<u8>, v: Regularizer) {
+    match v {
+        Regularizer::None => out.push(0),
+        Regularizer::L1 { eta } => {
+            out.push(1);
+            put_f64(out, eta);
+        }
+        Regularizer::L2 { eta } => {
+            out.push(2);
+            put_f64(out, eta);
+        }
+    }
+}
+
+fn get_reg(r: &mut Reader<'_>) -> Result<Regularizer, WireError> {
+    Ok(match r.u8()? {
+        0 => Regularizer::None,
+        1 => Regularizer::L1 { eta: r.f64()? },
+        2 => Regularizer::L2 { eta: r.f64()? },
+        tag => {
+            return Err(WireError::BadEnum {
+                what: "regularizer",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_session_config(out: &mut Vec<u8>, c: &SessionConfig) {
+    put_u32(out, c.nodes);
+    put_u64(out, c.rounds);
+    put_u32(out, c.local_epochs);
+    put_f64(out, c.step_size);
+    put_u64(out, c.seed);
+    put_u64(out, c.round_timeout_ms);
+    put_importance(out, c.importance);
+    put_sampling(out, c.sampling);
+    put_obs_model(out, c.obs_model);
+    put_commit(out, c.commit);
+    put_string(out, &c.loss);
+    put_reg(out, c.reg);
+}
+
+fn get_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
+    Ok(SessionConfig {
+        nodes: r.u32()?,
+        rounds: r.u64()?,
+        local_epochs: r.u32()?,
+        step_size: r.f64()?,
+        seed: r.u64()?,
+        round_timeout_ms: r.u64()?,
+        importance: get_importance(r)?,
+        sampling: get_sampling(r)?,
+        obs_model: get_obs_model(r)?,
+        commit: get_commit(r)?,
+        loss: r.string()?,
+        reg: get_reg(r)?,
+    })
+}
+
+/// Encodes a [`Message::DatasetTransfer`] payload for `ds` directly
+/// from a borrowed dataset — what the fleet uses to build its cached
+/// admission frame without cloning the dataset into a `Message` first.
+pub fn encode_dataset_transfer(ds: &Dataset, out: &mut Vec<u8>) {
+    out.push(TAG_DATASET_TRANSFER);
+    put_dataset(out, ds);
+}
+
+fn put_dataset(out: &mut Vec<u8>, ds: &Dataset) {
+    put_u32(out, ds.dim() as u32);
+    put_u32(out, ds.n_samples() as u32);
+    for row in ds.rows() {
+        put_f64(out, row.label);
+        put_u32(out, row.indices.len() as u32);
+        for (&i, &x) in row.indices.iter().zip(row.values) {
+            put_u32(out, i);
+            put_f64(out, x);
+        }
+    }
+}
+
+/// Decodes a dataset, re-validating every invariant the builder
+/// enforces (±1 labels, strictly increasing in-bounds indices, finite
+/// values) so a hostile frame can never construct a `Dataset` that
+/// violates them — and so accepted frames stay canonical.
+fn get_dataset(r: &mut Reader<'_>) -> Result<Dataset, WireError> {
+    let dim = r.u32()? as usize;
+    // Minimum 12 bytes per row (label + nnz count) bounds the row count
+    // before any allocation.
+    let n = r.count(12)?;
+    let mut b = DatasetBuilder::with_capacity(dim, n, 0);
+    for _ in 0..n {
+        let label = r.f64()?;
+        if label != 1.0 && label != -1.0 {
+            return Err(WireError::Invalid {
+                what: "dataset label not ±1",
+            });
+        }
+        let nnz = r.count(12)?;
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let i = r.u32()?;
+            let x = r.f64()?;
+            if indices.last().is_some_and(|&last| i <= last) {
+                return Err(WireError::Invalid {
+                    what: "dataset row indices not strictly increasing",
+                });
+            }
+            if i as usize >= dim {
+                return Err(WireError::Invalid {
+                    what: "dataset feature index out of bounds",
+                });
+            }
+            if !x.is_finite() {
+                return Err(WireError::Invalid {
+                    what: "non-finite dataset value",
+                });
+            }
+            indices.push(i);
+            values.push(x);
+        }
+        b.push_row_unchecked(&indices, &values, label);
+    }
+    Ok(b.finish())
 }
 
 impl Message {
@@ -254,6 +626,19 @@ impl Message {
                     put_u32(out, s);
                     put_u32(out, e);
                 }
+            }
+            Message::Hello { version } => {
+                out.push(TAG_HELLO);
+                put_u32(out, *version);
+            }
+            Message::Assign { worker, config } => {
+                out.push(TAG_ASSIGN);
+                put_u32(out, *worker);
+                put_session_config(out, config);
+            }
+            Message::DatasetTransfer { dataset } => {
+                out.push(TAG_DATASET_TRANSFER);
+                put_dataset(out, dataset);
             }
         }
     }
@@ -327,6 +712,14 @@ impl Message {
                     ranges,
                 }
             }
+            TAG_HELLO => Message::Hello { version: r.u32()? },
+            TAG_ASSIGN => Message::Assign {
+                worker: r.u32()?,
+                config: get_session_config(&mut r)?,
+            },
+            TAG_DATASET_TRANSFER => Message::DatasetTransfer {
+                dataset: Box::new(get_dataset(&mut r)?),
+            },
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() > 0 {
@@ -344,16 +737,21 @@ impl Message {
             Message::FeedbackBatch { .. } => "FeedbackBatch",
             Message::RoundBarrier { .. } => "RoundBarrier",
             Message::ShardRebalance { .. } => "ShardRebalance",
+            Message::Hello { .. } => "Hello",
+            Message::Assign { .. } => "Assign",
+            Message::DatasetTransfer { .. } => "DatasetTransfer",
         }
     }
 
-    /// The round number carried by any message kind.
+    /// The round number carried by any message kind (session-layer
+    /// frames — hello, assign, dataset — all belong to round 0).
     pub fn round(&self) -> u64 {
         match self {
             Message::ModelUpdate { round, .. }
             | Message::FeedbackBatch { round, .. }
             | Message::RoundBarrier { round, .. }
             | Message::ShardRebalance { round, .. } => *round,
+            Message::Hello { .. } | Message::Assign { .. } | Message::DatasetTransfer { .. } => 0,
         }
     }
 }
@@ -392,6 +790,183 @@ mod tests {
             order: vec![2, 0, 1],
             ranges: vec![(0, 1), (1, 2), (2, 3)],
         });
+        roundtrip(&Message::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        for config in session_configs() {
+            roundtrip(&Message::Assign { worker: 3, config });
+        }
+        roundtrip(&Message::DatasetTransfer {
+            dataset: Box::new(tiny_dataset()),
+        });
+    }
+
+    fn tiny_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new(6);
+        b.push_row(&[(0, 1.5), (2, -0.25), (5, 5e-324)], 1.0)
+            .unwrap();
+        b.push_row(&[], -1.0).unwrap();
+        b.push_row(&[(3, -0.0)], -1.0).unwrap();
+        b.finish()
+    }
+
+    /// One SessionConfig per sub-enum variant so every codec arm is hit.
+    fn session_configs() -> Vec<SessionConfig> {
+        let base = SessionConfig {
+            nodes: 4,
+            rounds: 10,
+            local_epochs: 2,
+            step_size: 0.5,
+            seed: 0x15A5_6D00,
+            round_timeout_ms: 120_000,
+            importance: ImportanceScheme::LipschitzSmoothness,
+            sampling: SamplingStrategy::Static,
+            obs_model: ObservationModel::GradNorm,
+            commit: CommitPolicy::EpochBoundary,
+            loss: "logistic".into(),
+            reg: Regularizer::None,
+        };
+        vec![
+            base.clone(),
+            SessionConfig {
+                importance: ImportanceScheme::GradNormBound { radius: 1.25 },
+                sampling: SamplingStrategy::Adaptive,
+                obs_model: ObservationModel::StalenessDiscounted { half_life: 64.0 },
+                commit: CommitPolicy::EveryK(32),
+                loss: "squared hinge".into(),
+                reg: Regularizer::L1 { eta: 1e-5 },
+                ..base.clone()
+            },
+            SessionConfig {
+                importance: ImportanceScheme::PartiallyBiased { bias: 0.5 },
+                sampling: SamplingStrategy::Uniform,
+                obs_model: ObservationModel::LossBound,
+                reg: Regularizer::L2 { eta: 0.01 },
+                ..base.clone()
+            },
+            SessionConfig {
+                importance: ImportanceScheme::Uniform,
+                ..base
+            },
+        ]
+    }
+
+    #[test]
+    fn dataset_transfer_is_bit_exact() {
+        let ds = tiny_dataset();
+        let m = Message::DatasetTransfer {
+            dataset: Box::new(ds.clone()),
+        };
+        let Message::DatasetTransfer { dataset: back } = Message::decode(&m.to_bytes()).unwrap()
+        else {
+            panic!("wrong variant")
+        };
+        assert_eq!(*back, ds);
+        // Subnormal and signed-zero feature values survive bitwise.
+        assert_eq!(back.row(0).values[2].to_bits(), 5e-324f64.to_bits());
+        assert_eq!(back.row(2).values[0].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn malformed_dataset_frames_are_typed_errors() {
+        // Bad label.
+        let mut bytes = vec![TAG_DATASET_TRANSFER];
+        put_u32(&mut bytes, 4); // dim
+        put_u32(&mut bytes, 1); // rows
+        put_f64(&mut bytes, 0.5); // label not ±1
+        put_u32(&mut bytes, 0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Unsorted indices.
+        let mut bytes = vec![TAG_DATASET_TRANSFER];
+        put_u32(&mut bytes, 4);
+        put_u32(&mut bytes, 1);
+        put_f64(&mut bytes, 1.0);
+        put_u32(&mut bytes, 2);
+        put_u32(&mut bytes, 2);
+        put_f64(&mut bytes, 1.0);
+        put_u32(&mut bytes, 1); // 1 after 2
+        put_f64(&mut bytes, 1.0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Out-of-bounds index.
+        let mut bytes = vec![TAG_DATASET_TRANSFER];
+        put_u32(&mut bytes, 4);
+        put_u32(&mut bytes, 1);
+        put_f64(&mut bytes, 1.0);
+        put_u32(&mut bytes, 1);
+        put_u32(&mut bytes, 9);
+        put_f64(&mut bytes, 1.0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // NaN value.
+        let mut bytes = vec![TAG_DATASET_TRANSFER];
+        put_u32(&mut bytes, 4);
+        put_u32(&mut bytes, 1);
+        put_f64(&mut bytes, 1.0);
+        put_u32(&mut bytes, 1);
+        put_u32(&mut bytes, 0);
+        put_f64(&mut bytes, f64::NAN);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Over-declared row count fails before allocation.
+        let mut bytes = vec![TAG_DATASET_TRANSFER];
+        put_u32(&mut bytes, 4);
+        put_u32(&mut bytes, u32::MAX);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_session_enum_tags_are_typed_errors() {
+        let m = Message::Assign {
+            worker: 0,
+            config: session_configs().remove(0),
+        };
+        let bytes = m.to_bytes();
+        // The importance-scheme tag sits right after worker(4) + nodes(4)
+        // + rounds(8) + local_epochs(4) + step(8) + seed(8) +
+        // round_timeout(8) + the message tag byte.
+        let pos = 1 + 4 + 4 + 8 + 4 + 8 + 8 + 8;
+        let mut bad = bytes.clone();
+        bad[pos] = 0xEE;
+        assert!(matches!(
+            Message::decode(&bad),
+            Err(WireError::BadEnum {
+                what: "importance scheme",
+                tag: 0xEE
+            })
+        ));
+        // Non-UTF-8 loss name.
+        let m2 = Message::Assign {
+            worker: 0,
+            config: SessionConfig {
+                loss: "ab".into(),
+                ..session_configs().remove(0)
+            },
+        };
+        let mut bytes = m2.to_bytes();
+        let n = bytes.len();
+        // The trailing reg tag (1 byte, Regularizer::None) is preceded by
+        // the 2-byte loss string; corrupt its bytes to invalid UTF-8.
+        bytes[n - 2] = 0xFF;
+        bytes[n - 3] = 0xFE;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid {
+                what: "non-UTF-8 string"
+            })
+        ));
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! mutated frames return a typed `WireError`, never a panic and never
 //! an unbounded allocation.
 
-use isasgd_cluster::{Message, WireError};
+use isasgd_cluster::{Message, SessionConfig, WireError, PROTOCOL_VERSION};
+use isasgd_core::{
+    CommitPolicy, ImportanceScheme, ObservationModel, Regularizer, SamplingStrategy,
+};
+use isasgd_sparse::DatasetBuilder;
 use proptest::prelude::*;
 
 /// NaN-free f64 values including the nasty edges: ±0.0, ±inf,
@@ -74,12 +78,121 @@ fn arb_shard_rebalance() -> impl Strategy<Value = Message> {
         })
 }
 
+fn arb_hello() -> impl Strategy<Value = Message> {
+    prop_oneof![Just(PROTOCOL_VERSION), 0u32..=u32::MAX]
+        .prop_map(|version| Message::Hello { version })
+}
+
+fn arb_importance() -> impl Strategy<Value = ImportanceScheme> {
+    prop_oneof![
+        Just(ImportanceScheme::LipschitzSmoothness),
+        arb_f64().prop_map(|radius| ImportanceScheme::GradNormBound { radius }),
+        Just(ImportanceScheme::Uniform),
+        arb_f64().prop_map(|bias| ImportanceScheme::PartiallyBiased { bias }),
+    ]
+}
+
+/// Loss-name strings: the two real names plus arbitrary ASCII junk (the
+/// codec ships any string; semantic validation is the session layer's).
+fn arb_loss_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("logistic".to_string()),
+        Just("squared hinge".to_string()),
+        prop::collection::vec(0u8..26, 0..12)
+            .prop_map(|v| v.into_iter().map(|c| (b'a' + c) as char).collect()),
+    ]
+}
+
+fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
+    // The vendored proptest stand-in caps tuple strategies at arity 4;
+    // nest the fields in groups instead.
+    (
+        (0u32..=u32::MAX, 0u64..=u64::MAX, 0u32..=u32::MAX, arb_f64()),
+        (0u64..=u64::MAX, 0u64..=u64::MAX, arb_importance()),
+        (
+            prop_oneof![
+                Just(SamplingStrategy::Uniform),
+                Just(SamplingStrategy::Static),
+                Just(SamplingStrategy::Adaptive),
+            ],
+            prop_oneof![
+                Just(ObservationModel::GradNorm),
+                Just(ObservationModel::LossBound),
+                arb_f64().prop_map(|half_life| ObservationModel::StalenessDiscounted { half_life }),
+            ],
+            prop_oneof![
+                Just(CommitPolicy::EpochBoundary),
+                (0usize..1 << 20).prop_map(CommitPolicy::EveryK),
+            ],
+        ),
+        (
+            arb_loss_name(),
+            prop_oneof![
+                Just(Regularizer::None),
+                arb_f64().prop_map(|eta| Regularizer::L1 { eta }),
+                arb_f64().prop_map(|eta| Regularizer::L2 { eta }),
+            ],
+        ),
+    )
+        .prop_map(
+            |(
+                (nodes, rounds, local_epochs, step_size),
+                (seed, round_timeout_ms, importance),
+                (sampling, obs_model, commit),
+                (loss, reg),
+            )| SessionConfig {
+                nodes,
+                rounds,
+                local_epochs,
+                step_size,
+                seed,
+                round_timeout_ms,
+                importance,
+                sampling,
+                obs_model,
+                commit,
+                loss,
+                reg,
+            },
+        )
+}
+
+fn arb_assign() -> impl Strategy<Value = Message> {
+    (0u32..=u32::MAX, arb_session_config())
+        .prop_map(|(worker, config)| Message::Assign { worker, config })
+}
+
+/// Small random CSR datasets (including empty rows) shipped whole.
+fn arb_dataset_transfer() -> impl Strategy<Value = Message> {
+    prop::collection::vec(
+        (
+            prop::collection::btree_map(0u32..32, -10.0f64..10.0, 0..6),
+            0u8..2,
+        ),
+        0..12,
+    )
+    .prop_map(|rows| {
+        let mut b = DatasetBuilder::new(32);
+        for (pairs, pos) in rows {
+            let pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
+            b.push_row(&pairs, if pos == 1 { 1.0 } else { -1.0 })
+                .unwrap();
+        }
+        Message::DatasetTransfer {
+            dataset: Box::new(b.finish()),
+        }
+    })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_model_update(),
         arb_feedback_batch(),
         arb_round_barrier(),
         arb_shard_rebalance(),
+        arb_hello(),
+        arb_assign(),
+        arb_dataset_transfer(),
     ]
 }
 
@@ -132,7 +245,10 @@ proptest! {
                 | WireError::BadTag(_)
                 | WireError::TrailingBytes { .. }
                 | WireError::FrameTooLarge { .. }
-                | WireError::Empty,
+                | WireError::Empty
+                | WireError::BadEnum { .. }
+                | WireError::Invalid { .. }
+                | WireError::Version { .. },
             ) => {}
         }
     }

@@ -103,7 +103,7 @@ pub fn run(ctx: &mut Ctx) {
     let inproc = isasgd_cluster::node::run(&sorted, &obj, &parity_cfg).expect("inproc run");
     let tcp_cfg = ClusterConfig {
         transport: TransportConfig::tcp(),
-        ..parity_cfg
+        ..parity_cfg.clone()
     };
     let tcp = isasgd_cluster::node::run(&sorted, &obj, &tcp_cfg).expect("tcp run");
     let parity = if inproc.rounds == tcp.rounds && inproc.model == tcp.model {
@@ -111,7 +111,33 @@ pub fn run(ctx: &mut Ctx) {
     } else {
         "DIVERGED"
     };
-    println!("transport parity (inproc vs tcp loopback, 4 nodes, greedy-lpt): {parity}\n");
+    println!("transport parity (inproc vs tcp loopback, 4 nodes, greedy-lpt): {parity}");
+    // The cross-*process* leg needs a worker binary to spawn; the
+    // experiments harness is not that binary, so this leg only runs
+    // when ISASGD_BIN points at the isasgd CLI (the e2e suite pins it
+    // unconditionally).
+    match std::env::var("ISASGD_BIN") {
+        Ok(bin) if !bin.is_empty() => {
+            let proc_cfg = ClusterConfig {
+                transport: TransportConfig::Process(isasgd_cluster::ProcessConfig {
+                    worker: Some(bin),
+                    ..isasgd_cluster::ProcessConfig::default()
+                }),
+                ..parity_cfg
+            };
+            let process = isasgd_cluster::node::run(&sorted, &obj, &proc_cfg).expect("process run");
+            let parity = if inproc.rounds == process.rounds && inproc.model == process.model {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            };
+            println!("transport parity (inproc vs real worker subprocesses): {parity}\n");
+        }
+        _ => println!(
+            "transport parity (process): skipped — set ISASGD_BIN=<path to isasgd> \
+             to spawn real worker subprocesses\n"
+        ),
+    }
     println!(
         "Expected: identity sharding of importance-sorted data is maximally\n\
          imbalanced (Φ ratio ≫ 1, growing with node count); greedy-LPT flattens\n\

@@ -198,6 +198,19 @@ impl FeedbackProtocol {
         r.contains(&row).then(|| (k, row - r.start))
     }
 
+    /// [`FeedbackProtocol::locate`] for callers that already know the
+    /// owning shard — threaded engine workers and cluster `NodeRuntime`s
+    /// observe only rows of their own shard, so the per-observation
+    /// binary search over the shard table is wasted work on those hot
+    /// paths. Returns the local index, or `None` when `shard` does not
+    /// exist or does not own `row` (same rejection the full lookup
+    /// would produce for that shard).
+    #[inline]
+    pub fn locate_in_shard(&self, shard: usize, row: usize) -> Option<usize> {
+        let r = self.ranges.get(shard)?;
+        r.contains(&row).then(|| row - r.start)
+    }
+
     /// Streaming entry point: feeds one observed gradient scale for
     /// global row `row` into `sampler` (shard `shard`'s sampler).
     /// Returns `false` — without touching the sampler — when the row is
@@ -227,15 +240,19 @@ impl FeedbackProtocol {
         age: usize,
         measured_delay: usize,
     ) -> bool {
-        match self.locate(row) {
-            Some((k, local)) if k == shard => {
+        // The caller names the shard, so routing is the O(1)
+        // shard-known check — no binary search on the streaming hot
+        // path. Rows outside `shard` are rejected exactly as the full
+        // lookup would reject them.
+        match self.locate_in_shard(shard, row) {
+            Some(local) => {
                 sampler.update_weight(
                     local,
                     self.observation_delayed(row, grad_scale, age, measured_delay),
                 );
                 true
             }
-            _ => false,
+            None => false,
         }
     }
 }
@@ -324,6 +341,29 @@ mod tests {
         assert_eq!(p.locate(5), Some((1, 2)));
         assert_eq!(p.locate(6), None);
         assert_eq!(p.locate(usize::MAX), None);
+    }
+
+    #[test]
+    fn locate_in_shard_agrees_with_full_locate() {
+        // The shard-known fast path must accept exactly the rows the
+        // binary-search lookup routes to that shard, and reject
+        // everything else (other shards' rows, rows past every shard,
+        // nonexistent shards).
+        let p = two_shard_protocol(ObservationModel::GradNorm);
+        for row in 0..8usize {
+            for shard in 0..3usize {
+                let expected = match p.locate(row) {
+                    Some((k, local)) if k == shard => Some(local),
+                    _ => None,
+                };
+                assert_eq!(
+                    p.locate_in_shard(shard, row),
+                    expected,
+                    "shard {shard} row {row}"
+                );
+            }
+        }
+        assert_eq!(p.locate_in_shard(usize::MAX, 0), None);
     }
 
     #[test]

@@ -23,9 +23,43 @@ impl<'a> SparseRow<'a> {
         self.indices.len()
     }
 
-    /// Dot product against a dense model vector.
+    /// Dot product against a dense model vector — the margin kernel
+    /// `wᵀx_i` every solver evaluates once per step.
+    ///
+    /// Unrolled 4-wide: four independent accumulators break the
+    /// loop-carried add dependency so the gathers pipeline. Summation
+    /// order differs from the strict left-to-right reduction for rows
+    /// with ≥ 4 non-zeros (the accumulators combine as
+    /// `(a₀+a₁)+(a₂+a₃)` before the strict-order tail); rows shorter
+    /// than 4 non-zeros take only the tail loop and are bit-identical
+    /// to [`SparseRow::dot_dense_strict`].
     #[inline]
     pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        let (idx, val) = (self.indices, self.values);
+        let chunks = idx.len() - idx.len() % 4;
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0, 0.0, 0.0);
+        let mut i = 0;
+        while i < chunks {
+            a0 += val[i] * dense[idx[i] as usize];
+            a1 += val[i + 1] * dense[idx[i + 1] as usize];
+            a2 += val[i + 2] * dense[idx[i + 2] as usize];
+            a3 += val[i + 3] * dense[idx[i + 3] as usize];
+            i += 4;
+        }
+        // (0+0)+(0+0) is exactly 0.0, so the chunk-free case degenerates
+        // to the strict loop bit-for-bit.
+        let mut acc = (a0 + a1) + (a2 + a3);
+        for j in chunks..idx.len() {
+            acc += val[j] * dense[idx[j] as usize];
+        }
+        acc
+    }
+
+    /// The strict left-to-right dot product — the pre-unroll reduction
+    /// order, kept for callers (and benches) that pin exact values
+    /// against a sequential accumulation.
+    #[inline]
+    pub fn dot_dense_strict(&self, dense: &[f64]) -> f64 {
         let mut acc = 0.0;
         for (&i, &x) in self.indices.iter().zip(self.values) {
             acc += x * dense[i as usize];
@@ -378,6 +412,43 @@ mod tests {
         assert!(shard_ranges(2, 3).is_err());
         let ranges = shard_ranges(4, 4).unwrap();
         assert!(ranges.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn unrolled_dot_matches_strict_for_short_rows_exactly() {
+        // Rows with fewer than 4 non-zeros skip the unrolled chunks
+        // entirely — the tail loop IS the strict loop, bit-for-bit.
+        let mut b = DatasetBuilder::new(8);
+        b.push_row(&[(1, 0.1)], 1.0).unwrap();
+        b.push_row(&[(0, 0.3), (5, -0.7)], -1.0).unwrap();
+        b.push_row(&[(2, 1e-3), (3, 0.11), (7, -9.4)], 1.0).unwrap();
+        let ds = b.finish();
+        let w: Vec<f64> = (0..8).map(|i| 0.1 + 0.77 * i as f64).collect();
+        for i in 0..ds.n_samples() {
+            let r = ds.row(i);
+            assert_eq!(r.dot_dense(&w).to_bits(), r.dot_dense_strict(&w).to_bits());
+        }
+    }
+
+    #[test]
+    fn unrolled_dot_matches_strict_for_long_rows_closely() {
+        // ≥ 4 non-zeros: the 4-wide reduction order differs, but only by
+        // floating-point associativity — values agree to relative 1e-12.
+        for nnz in [4usize, 5, 7, 8, 13, 64, 101] {
+            let pairs: Vec<(u32, f64)> = (0..nnz)
+                .map(|j| (j as u32, ((j * 37 + 11) % 19) as f64 * 0.31 - 2.0))
+                .collect();
+            let mut b = DatasetBuilder::new(nnz);
+            b.push_row(&pairs, 1.0).unwrap();
+            let ds = b.finish();
+            let w: Vec<f64> = (0..nnz).map(|i| (i as f64 * 1.37).sin()).collect();
+            let r = ds.row(0);
+            let (fast, strict) = (r.dot_dense(&w), r.dot_dense_strict(&w));
+            assert!(
+                (fast - strict).abs() <= 1e-12 * (1.0 + strict.abs()),
+                "nnz={nnz}: {fast} vs {strict}"
+            );
+        }
     }
 
     #[test]
