@@ -1,0 +1,235 @@
+//! Wire-codec perf-trajectory runner: measures the encode/decode
+//! throughput of the bandwidth-bearing frames (dense model updates,
+//! sparse deltas, shard-streamed datasets) plus their deterministic
+//! byte footprints, and gates CI against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p isasgd-bench --bin bench_wire            # print
+//! cargo run --release -p isasgd-bench --bin bench_wire -- --write BENCH_wire.json
+//! cargo run --release -p isasgd-bench --bin bench_wire -- --check BENCH_wire.json
+//! ```
+//!
+//! `--check` exits non-zero when any `*_gbps` metric falls more than
+//! 25% below the baseline (a real codec regression at these sizes
+//! dwarfs scheduler noise), or when any `*_bytes` metric — which is a
+//! pure function of the codec, not of the machine — grows at all.
+//! Criterion stays the tool for statistics (`--bench cluster_transport`);
+//! this runner exists so the trajectory lives in-repo as one small
+//! JSON file CI can diff against.
+
+use isasgd_bench::bench_dataset;
+use isasgd_cluster::{encode_dataset_shard_chunks, Message};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+const DIM: usize = 100_000;
+const NNZ: usize = DIM / 10;
+const SHARD_ROWS: usize = 10_000;
+const SHARDS: usize = 3;
+
+fn model_update(dim: usize) -> Message {
+    Message::ModelUpdate {
+        node: 1,
+        round: 7,
+        model: (0..dim).map(|i| (i as f64).sin()).collect(),
+    }
+}
+
+fn model_delta(dim: usize, nnz: usize) -> Message {
+    let stride = dim / nnz;
+    Message::ModelDelta {
+        node: 1,
+        round: 7,
+        dim: dim as u32,
+        indices: (0..nnz).map(|i| (i * stride) as u32).collect(),
+        values: (0..nnz).map(|i| (i as f64).cos()).collect(),
+    }
+}
+
+/// Median-of-5 throughput in GB/s of `f`, which processes `bytes`
+/// bytes per call. Each rep loops until ≥ 30 ms has elapsed so the
+/// measurement amortizes timer overhead.
+fn gbps<F: FnMut()>(bytes: usize, mut f: F) -> f64 {
+    // Warm-up.
+    for _ in 0..3 {
+        f();
+    }
+    let mut reps = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 30 {
+            f();
+            iters += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        reps.push((bytes as f64 * iters as f64) / secs / 1e9);
+    }
+    reps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    reps[2]
+}
+
+fn measure() -> BTreeMap<&'static str, f64> {
+    let mut m = BTreeMap::new();
+
+    let dense = model_update(DIM);
+    let dense_bytes = dense.to_bytes();
+    let mut buf = Vec::with_capacity(dense_bytes.len());
+    m.insert(
+        "encode_dense_gbps",
+        gbps(dense_bytes.len(), || {
+            buf.clear();
+            dense.encode(&mut buf);
+            black_box(buf.len());
+        }),
+    );
+    m.insert(
+        "decode_dense_gbps",
+        gbps(dense_bytes.len(), || {
+            black_box(Message::decode(&dense_bytes).unwrap());
+        }),
+    );
+
+    let delta = model_delta(DIM, NNZ);
+    let delta_bytes = delta.to_bytes();
+    let mut buf = Vec::with_capacity(delta_bytes.len());
+    m.insert(
+        "encode_delta_gbps",
+        gbps(delta_bytes.len(), || {
+            buf.clear();
+            delta.encode(&mut buf);
+            black_box(buf.len());
+        }),
+    );
+    m.insert(
+        "decode_delta_gbps",
+        gbps(delta_bytes.len(), || {
+            black_box(Message::decode(&delta_bytes).unwrap());
+        }),
+    );
+
+    // Bytes-per-round at the benchmark shape (dim 100k, nnz = dim/10):
+    // one model exchange in each direction per link per round.
+    m.insert("round_dense_bytes", 2.0 * dense_bytes.len() as f64);
+    m.insert("round_delta_bytes", 2.0 * delta_bytes.len() as f64);
+
+    let data = bench_dataset(5_000, SHARD_ROWS, 20);
+    let weights: Vec<f64> = (0..SHARD_ROWS).map(|i| 1.0 + (i % 17) as f64).collect();
+    let shard = 0..SHARD_ROWS / SHARDS;
+    let chunks = encode_dataset_shard_chunks(0, shard.clone(), &data.dataset, &weights);
+    let stream_bytes: usize = chunks.iter().map(Vec::len).sum();
+    m.insert(
+        "encode_shard_stream_gbps",
+        gbps(stream_bytes, || {
+            black_box(encode_dataset_shard_chunks(
+                0,
+                shard.clone(),
+                &data.dataset,
+                &weights,
+            ));
+        }),
+    );
+    m.insert(
+        "decode_shard_stream_gbps",
+        gbps(stream_bytes, || {
+            for c in &chunks {
+                black_box(Message::decode(c).unwrap());
+            }
+        }),
+    );
+
+    // Admission footprints: one worker's shard stream vs the monolithic
+    // whole-dataset frame the v1 handshake shipped to every worker.
+    let full = Message::DatasetTransfer {
+        dataset: Box::new(data.dataset.clone()),
+    }
+    .to_bytes()
+    .len();
+    m.insert("admission_full_bytes", full as f64);
+    m.insert("admission_shard_stream_bytes", stream_bytes as f64);
+
+    m
+}
+
+fn to_json(m: &BTreeMap<&'static str, f64>) -> String {
+    let mut out = String::from("{\n");
+    let last = m.len() - 1;
+    for (i, (k, v)) in m.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{k}\": {v:.6}{}\n",
+            if i == last { "" } else { "," }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Minimal parser for the flat `{"key": number, ...}` files this tool
+/// writes — no serde in the workspace.
+fn parse_json(s: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut m = BTreeMap::new();
+    for line in s.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((k, v)) = line.split_once(':') else {
+            continue;
+        };
+        let key = k.trim().trim_matches('"').to_string();
+        let val: f64 = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad value for {key}: {e}"))?;
+        m.insert(key, val);
+    }
+    if m.is_empty() {
+        return Err("no metrics found in baseline".into());
+    }
+    Ok(m)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current = measure();
+    match args.as_slice() {
+        [] => print!("{}", to_json(&current)),
+        [flag, path] if flag == "--write" => {
+            std::fs::write(path, to_json(&current)).expect("writing baseline");
+            eprintln!("wrote {path}");
+        }
+        [flag, path] if flag == "--check" => {
+            let baseline =
+                parse_json(&std::fs::read_to_string(path).expect("reading baseline")).unwrap();
+            print!("{}", to_json(&current));
+            let mut failed = false;
+            for (k, &cur) in &current {
+                let Some(&base) = baseline.get(*k) else {
+                    eprintln!("FAIL {k}: missing from baseline {path}");
+                    failed = true;
+                    continue;
+                };
+                if k.ends_with("_gbps") {
+                    if cur < 0.75 * base {
+                        eprintln!("FAIL {k}: {cur:.3} GB/s is >25% below the baseline {base:.3}");
+                        failed = true;
+                    }
+                } else if cur > base {
+                    eprintln!("FAIL {k}: {cur:.0} bytes grew past the baseline {base:.0}");
+                    failed = true;
+                }
+            }
+            // The headline ratio must hold on the current build too.
+            if current["round_dense_bytes"] < 4.0 * current["round_delta_bytes"] {
+                eprintln!("FAIL: sparse delta no longer ≥4× smaller than dense per round");
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            eprintln!("wire perf OK vs {path}");
+        }
+        _ => {
+            eprintln!("usage: bench_wire [--write PATH | --check PATH]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -191,11 +191,26 @@ fn report_cluster(
                 r.feedback_rows
             );
         }
+        // Wire-traffic counters exist only for socket-backed transports;
+        // the parity e2e compares only `[round`/`[feedback` stderr lines,
+        // so these carry byte counts without breaking textual equality.
+        for (k, stats) in r.net.iter().enumerate() {
+            eprintln!("[net] link {k}: {}", stats.summary());
+        }
     }
     let last = r.rounds.last().expect("≥1 round");
+    // Coordinator-side wire totals across all links (socket transports
+    // only — in-process channel runs report no counters).
+    let wire = if r.net.is_empty() {
+        String::new()
+    } else {
+        let tx: u64 = r.net.iter().map(|s| s.tx_total_bytes()).sum();
+        let rx: u64 = r.net.iter().map(|s| s.rx_total_bytes()).sum();
+        format!(" wire_tx_bytes={tx} wire_rx_bytes={rx}")
+    };
     println!(
         "algorithm={} transport={} nodes={} rounds={} local_epochs={} \
-         phi_imbalance={:.4} final_obj={:.6} final_err={:.6} train_secs={:.3}",
+         phi_imbalance={:.4} final_obj={:.6} final_err={:.6} train_secs={:.3}{}",
         r.trace.algorithm,
         cluster.transport.name(),
         cluster.nodes,
@@ -205,6 +220,7 @@ fn report_cluster(
         last.objective,
         last.error_rate,
         r.trace.points.last().map(|p| p.wall_secs).unwrap_or(0.0),
+        wire,
     );
     if let Some(te) = test {
         let metrics = match spec.loss {
@@ -335,6 +351,12 @@ isasgd train <data.svm> [flags]
                      under a supervisor                     [inproc]
   --cluster-bind <a> listener bind address (tcp/process transports)
                                                             [127.0.0.1:0]
+  --wire-encoding <e>  dense | delta | auto — how socket transports
+                     encode round model updates: always-dense frames,
+                     always sparse deltas against the link's last
+                     synced model, or per-update selection by sparsity
+                     (delta iff nnz ≤ dim/3). Bit-identical results
+                     either way                             [auto]
   --on-worker-loss <p>  fail | respawn — what the process-transport
                      supervisor does when a worker dies mid-run:
                      abort with a typed error, or respawn + replay the

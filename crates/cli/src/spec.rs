@@ -1,7 +1,7 @@
 //! Shared option-to-configuration mapping for the CLI commands.
 
 use crate::opts::{OptError, Opts};
-use isasgd_cluster::{SyncStrategy, TransportConfig, WorkerLossPolicy};
+use isasgd_cluster::{SyncStrategy, TransportConfig, WireEncoding, WorkerLossPolicy};
 use isasgd_core::{
     Algorithm, BalancePolicy, CommitPolicy, Execution, ImportanceScheme, ObservationModel,
     Regularizer, SamplingStrategy, SvrgVariant,
@@ -226,8 +226,12 @@ impl TrainSpec {
             let on_loss = o.get("on-worker-loss");
             let chaos = o.get("chaos-kill");
             let round_timeout = o.get("round-timeout");
+            let wire_encoding = o.get("wire-encoding");
             let needs_process = |flag: &str, v: String| {
                 Err(bad(flag, v, "only valid with --cluster-transport process"))
+            };
+            let parse_encoding = |v: String| {
+                WireEncoding::parse(&v).ok_or_else(|| bad("wire-encoding", v, "dense|delta|auto"))
             };
             match &mut transport {
                 TransportConfig::Process(pc) => {
@@ -255,8 +259,14 @@ impl TrainSpec {
                             .ok_or_else(|| bad("round-timeout", v, "seconds (u64, ≥ 1)"))?;
                         pc.round_timeout_ms = secs.saturating_mul(1000);
                     }
+                    if let Some(v) = wire_encoding {
+                        pc.encoding = parse_encoding(v)?;
+                    }
                 }
-                TransportConfig::Tcp { bind: tcp_bind } => {
+                TransportConfig::Tcp {
+                    bind: tcp_bind,
+                    encoding,
+                } => {
                     if let Some(v) = on_loss {
                         return needs_process("on-worker-loss", v);
                     }
@@ -269,6 +279,9 @@ impl TrainSpec {
                     if let Some(b) = bind {
                         *tcp_bind = b;
                     }
+                    if let Some(v) = wire_encoding {
+                        *encoding = parse_encoding(v)?;
+                    }
                 }
                 TransportConfig::InProcess => {
                     for (flag, value) in [
@@ -276,6 +289,7 @@ impl TrainSpec {
                         ("on-worker-loss", on_loss),
                         ("chaos-kill", chaos),
                         ("round-timeout", round_timeout),
+                        ("wire-encoding", wire_encoding),
                     ] {
                         if let Some(v) = value {
                             return Err(bad(flag, v, "needs a socket transport (tcp or process)"));
@@ -507,7 +521,8 @@ mod tests {
         assert_eq!(
             t.cluster.unwrap().transport,
             TransportConfig::Tcp {
-                bind: "127.0.0.1:9000".into()
+                bind: "127.0.0.1:9000".into(),
+                encoding: WireEncoding::default(),
             }
         );
         // Bad values are rejected with the flag named.
@@ -536,6 +551,42 @@ mod tests {
             }
         }
         assert!(spec("--cluster 2 --cluster-transport process --round-timeout soon").is_err());
+    }
+
+    #[test]
+    fn wire_encoding_flag_parses() {
+        use isasgd_cluster::ProcessConfig;
+        // Socket transports accept all three spellings; default is auto.
+        assert_eq!(ProcessConfig::default().encoding, WireEncoding::Auto);
+        for (name, enc) in [
+            ("dense", WireEncoding::Dense),
+            ("delta", WireEncoding::Delta),
+            ("auto", WireEncoding::Auto),
+        ] {
+            let t = spec(&format!(
+                "--cluster 2 --cluster-transport tcp --wire-encoding {name}"
+            ))
+            .unwrap();
+            match t.cluster.unwrap().transport {
+                TransportConfig::Tcp { encoding, .. } => assert_eq!(encoding, enc, "{name}"),
+                other => panic!("expected tcp transport, got {other:?}"),
+            }
+            let t = spec(&format!(
+                "--cluster 2 --cluster-transport process --wire-encoding {name}"
+            ))
+            .unwrap();
+            match t.cluster.unwrap().transport {
+                TransportConfig::Process(pc) => assert_eq!(pc.encoding, enc, "{name}"),
+                other => panic!("expected process transport, got {other:?}"),
+            }
+        }
+        // Bad values and the channel transport are rejected with the
+        // flag named.
+        assert!(spec("--cluster 2 --cluster-transport tcp --wire-encoding rle").is_err());
+        match spec("--cluster 2 --wire-encoding delta") {
+            Err(OptError::BadValue { flag, .. }) => assert_eq!(flag, "wire-encoding"),
+            other => panic!("expected BadValue, got {other:?}"),
+        }
     }
 
     #[test]

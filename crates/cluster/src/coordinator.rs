@@ -75,6 +75,53 @@ pub(crate) struct RunView {
 /// has received its assignment observes the view as set.
 pub(crate) type SharedViewSlot = Arc<OnceLock<Arc<RunView>>>;
 
+/// Everything the coordinator derives from the balancing decision
+/// before any traffic moves: the shared [`RunView`], the permutation,
+/// the shard ranges, and the weights in reordered row order. Computed
+/// once per run by [`plan_run`] so the fleet can stream per-shard
+/// dataset frames from the *same* reordered view the round driver
+/// evaluates against — bit-identical by construction, not by replay.
+pub(crate) struct RunPlan {
+    /// The rearranged dataset plus original-order weights.
+    pub view: Arc<RunView>,
+    /// The balancing permutation (original row for each reordered slot).
+    pub order: Vec<usize>,
+    /// Contiguous shard ranges into the reordered view.
+    pub ranges: Vec<Range<usize>>,
+    /// Importance weights in reordered row order.
+    pub reordered_weights: Vec<f64>,
+    /// Whether the balance policy rearranged anything.
+    pub balanced: bool,
+    /// Measured ρ of the importance weights.
+    pub rho: f64,
+}
+
+/// Algorithm 4 lines 2–6 (weigh, decide, rearrange) plus the shard
+/// split — the deterministic pre-round state every entry point shares.
+pub(crate) fn plan_run<L: Loss>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+) -> Result<RunPlan, ClusterError> {
+    let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
+    let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
+    let decision = decide(&weights, cfg.balance, seeds[cfg.nodes], cfg.nodes);
+    let view = Arc::new(RunView {
+        data: ds.reordered(&decision.order)?,
+        weights,
+    });
+    let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| view.weights[i]).collect();
+    let ranges = shard_ranges(ds.n_samples(), cfg.nodes)?;
+    Ok(RunPlan {
+        view,
+        order: decision.order,
+        ranges,
+        reordered_weights,
+        balanced: decision.balanced,
+        rho: decision.rho,
+    })
+}
+
 /// Runs a full cluster round schedule over caller-supplied links — the
 /// extension point fault-injection tests wrap with
 /// [`FlakyTransport`](crate::transport::FlakyTransport).
@@ -116,6 +163,7 @@ pub(crate) fn run_with_links_inner<L: Loss, T: Transport>(
         )));
     }
     let slot: Option<SharedViewSlot> = share_view.then(|| Arc::new(OnceLock::new()));
+    let plan = plan_run(ds, obj, cfg)?;
     let (mut coord_ends, worker_ends): (Vec<T>, Vec<T>) = links.into_iter().unzip();
     std::thread::scope(|scope| {
         let handles: Vec<_> = worker_ends
@@ -129,7 +177,7 @@ pub(crate) fn run_with_links_inner<L: Loss, T: Transport>(
                 scope.spawn(move || runtime.run(ds, obj, cfg))
             })
             .collect();
-        let coord = coordinate(&mut coord_ends, ds, obj, cfg, slot.as_ref());
+        let coord = coordinate(&mut coord_ends, &plan, obj, cfg, slot.as_ref());
         // On coordinator failure, drop the links now so every blocked
         // worker `recv` unblocks with `Closed` instead of deadlocking
         // the join. On success keep them alive until the workers have
@@ -180,30 +228,20 @@ pub(crate) fn run_with_links_inner<L: Loss, T: Transport>(
 /// workers can borrow it instead of rebuilding their own copies.
 pub(crate) fn coordinate<L: Loss, T: Transport>(
     links: &mut [T],
-    ds: &Dataset,
+    plan: &RunPlan,
     obj: &Objective<L>,
     cfg: &ClusterConfig,
     share: Option<&SharedViewSlot>,
 ) -> Result<ClusterRun, ClusterError> {
-    let n = ds.n_samples();
-    let d = ds.dim();
-    let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
-
-    // Algorithm 4 lines 2–6: weigh, decide, rearrange.
-    let weights = importance_weights(ds, &obj.loss, obj.reg, cfg.importance);
-    let decision = decide(&weights, cfg.balance, seeds[cfg.nodes], cfg.nodes);
-    let view = Arc::new(RunView {
-        data: ds.reordered(&decision.order)?,
-        weights,
-    });
-    let data = &view.data;
-    let reordered_weights: Vec<f64> = decision.order.iter().map(|&i| view.weights[i]).collect();
-    let ranges = shard_ranges(n, cfg.nodes)?;
+    let data = &plan.view.data;
+    let d = data.dim();
+    let ranges = &plan.ranges;
+    let reordered_weights = &plan.reordered_weights;
     let strategy = effective_strategy(cfg);
     if let Some(slot) = share {
         // Publish before the first send: a worker that has its
         // ShardRebalance is guaranteed to see the view as set.
-        let _ = slot.set(view.clone());
+        let _ = slot.set(plan.view.clone());
     }
 
     let phis: Vec<f64> = ranges
@@ -224,7 +262,7 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
     // within a round, per-row max accumulation makes duplicated
     // FeedbackBatch deliveries idempotent (pinned by the fault tests).
     let protocol = (strategy == SamplingStrategy::Adaptive)
-        .then(|| FeedbackProtocol::for_dataset(data, ranges.clone(), cfg.obs_model));
+        .then(|| FeedbackProtocol::for_dataset(data, plan.ranges.clone(), cfg.obs_model));
     let mut mirrors: Vec<AdaptiveIsSampler> = if protocol.is_some() {
         ranges
             .iter()
@@ -248,7 +286,7 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
     // Ship the balancing decision: each worker reconstructs the
     // rearranged dataset view from the permutation and trains only its
     // assigned shard.
-    let order_u32: Vec<u32> = decision.order.iter().map(|&i| i as u32).collect();
+    let order_u32: Vec<u32> = plan.order.iter().map(|&i| i as u32).collect();
     let ranges_u32: Vec<(u32, u32)> = ranges
         .iter()
         .map(|r| (r.start as u32, r.end as u32))
@@ -367,7 +405,7 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
     let observed_phi_imbalance = protocol.as_ref().map(|_| {
         let sums: Vec<f64> = mirrors
             .iter()
-            .zip(&ranges)
+            .zip(ranges)
             .map(|(m, r)| (0..r.len()).map(|i| m.weight(i)).sum())
             .collect();
         let mean: f64 = sums.iter().sum::<f64>() / sums.len().max(1) as f64;
@@ -384,13 +422,20 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
         model: consensus,
         rounds,
         phi_imbalance,
-        balanced: decision.balanced,
-        rho: decision.rho,
+        balanced: plan.balanced,
+        rho: plan.rho,
         syncs: cfg.rounds,
         feedback_rows,
         observed_phi_imbalance,
+        // Per-link wire counters, where the transport keeps them (real
+        // sockets do; typed channels report nothing).
+        net: links.iter().filter_map(|l| l.stats()).collect(),
     })
 }
+
+/// The raw wire form of a shard assignment as carried by
+/// [`Message::ShardRebalance`]: `(order, ranges, assigned)`.
+type WireAssignment = (Vec<u32>, Vec<(u32, u32)>, usize);
 
 /// One worker's runtime: receives its shard assignment, runs local
 /// (IS-)SGD epochs on its own [`ScheduleStream`], and reports its
@@ -453,27 +498,7 @@ impl<T: Transport> NodeRuntime<T> {
         obj: &Objective<L>,
         cfg: &ClusterConfig,
     ) -> Result<(), ClusterError> {
-        let id = self.node_id as u32;
-        self.link
-            .send(&Message::RoundBarrier { node: id, round: 0 })?;
-        let (order, wire_ranges, assigned) = loop {
-            match self.link.recv()? {
-                Message::ShardRebalance {
-                    assigned,
-                    order,
-                    ranges,
-                    ..
-                } => break (order, ranges, assigned as usize),
-                // A reordered transport can deliver round-1 traffic
-                // before the assignment; keep it for await_round_start.
-                m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
-                    if m.round() >= 1 =>
-                {
-                    self.stash.push_back(m)
-                }
-                _ => {}
-            }
-        };
+        let (order, wire_ranges, assigned) = self.await_assignment()?;
         let order: Vec<usize> = order.into_iter().map(|i| i as usize).collect();
         let ranges: Vec<Range<usize>> = wire_ranges
             .into_iter()
@@ -502,10 +527,131 @@ impl<T: Transport> NodeRuntime<T> {
         };
         let local: Vec<f64> = order[range.clone()].iter().map(|&i| weights[i]).collect();
         let strategy = effective_strategy(cfg);
+        let protocol = (strategy == SamplingStrategy::Adaptive)
+            .then(|| FeedbackProtocol::for_dataset(data, ranges.clone(), cfg.obs_model));
+        self.run_rounds(data, 0, &local, protocol, assigned, range, obj, cfg)
+    }
+
+    /// The worker side of a shard-streamed session: `shard` holds only
+    /// this node's (already reordered) rows and `weights` the matching
+    /// per-row importance weights, both received over the wire as
+    /// [`Message::DatasetShard`] chunks — nothing global is recomputed,
+    /// which is what makes admission bandwidth proportional to the
+    /// shard. Bit-equal to [`NodeRuntime::run`] over the full dataset:
+    /// the streamed rows and weights are the exact bits the
+    /// coordinator's plan holds, and per-row feature norms are
+    /// row-local, so recomputing them from the shard reproduces the
+    /// full-dataset precompute at every row this worker can observe.
+    pub fn run_sharded<L: Loss>(
+        mut self,
+        shard: &Dataset,
+        weights: &[f64],
+        shard_start: usize,
+        obj: &Objective<L>,
+        cfg: &ClusterConfig,
+    ) -> Result<(), ClusterError> {
+        let (_order, wire_ranges, assigned) = self.await_assignment()?;
+        let ranges: Vec<Range<usize>> = wire_ranges
+            .into_iter()
+            .map(|(s, e)| s as usize..e as usize)
+            .collect();
+        let range = ranges.get(assigned).cloned().ok_or_else(|| {
+            ClusterError::Worker(format!("assigned shard {assigned} out of range"))
+        })?;
+        // The streamed shard and the assignment travelled as separate
+        // frames; a disagreement means the coordinator and this worker
+        // would silently train different rows — refuse instead.
+        if range.start != shard_start || range.len() != shard.n_samples() {
+            return Err(ClusterError::Worker(format!(
+                "streamed shard rows {}..{} disagree with assigned range {}..{}",
+                shard_start,
+                shard_start + shard.n_samples(),
+                range.start,
+                range.end
+            )));
+        }
+        if weights.len() != shard.n_samples() {
+            return Err(ClusterError::Worker(format!(
+                "{} streamed weights for {} shard rows",
+                weights.len(),
+                shard.n_samples()
+            )));
+        }
+        let strategy = effective_strategy(cfg);
+        let protocol = (strategy == SamplingStrategy::Adaptive).then(|| {
+            // Global-length norms, zeroed outside this shard: a worker
+            // only ever scales observations for rows it owns, and
+            // per-row norms computed from the shard's rows are
+            // bit-identical to the full-dataset precompute there.
+            let n = ranges.last().map(|r| r.end).unwrap_or(0);
+            let mut norms_sq = vec![0.0f64; n];
+            norms_sq[range.clone()].copy_from_slice(&isasgd_sparse::stats::row_norms_sq(shard));
+            FeedbackProtocol::new(ranges.clone(), &norms_sq, cfg.obs_model)
+        });
+        self.run_rounds(
+            shard,
+            range.start,
+            weights,
+            protocol,
+            assigned,
+            range.clone(),
+            obj,
+            cfg,
+        )
+    }
+
+    /// Announces readiness (the round-0 hello barrier) and awaits the
+    /// coordinator's [`Message::ShardRebalance`], stashing any round
+    /// traffic a reordering transport delivered early. Returns the raw
+    /// wire assignment `(order, ranges, assigned)`.
+    fn await_assignment(&mut self) -> Result<WireAssignment, ClusterError> {
+        self.link.send(&Message::RoundBarrier {
+            node: self.node_id as u32,
+            round: 0,
+        })?;
+        loop {
+            match self.link.recv()? {
+                Message::ShardRebalance {
+                    assigned,
+                    order,
+                    ranges,
+                    ..
+                } => return Ok((order, ranges, assigned as usize)),
+                // A reordered transport can deliver round-1 traffic
+                // before the assignment; keep it for await_round_start.
+                m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
+                    if m.round() >= 1 =>
+                {
+                    self.stash.push_back(m)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The round loop shared by the full-dataset and shard-streamed
+    /// worker paths. `data` holds the rows of `range` starting at row
+    /// offset `row_base` (0 when `data` is the full reordered view),
+    /// and `local` the shard's per-row importance weights. Draw ids
+    /// stay global either way — only the storage indexing differs.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rounds<L: Loss>(
+        mut self,
+        data: &Dataset,
+        row_base: usize,
+        local: &[f64],
+        protocol: Option<FeedbackProtocol>,
+        assigned: usize,
+        range: Range<usize>,
+        obj: &Objective<L>,
+        cfg: &ClusterConfig,
+    ) -> Result<(), ClusterError> {
+        let id = self.node_id as u32;
+        let strategy = effective_strategy(cfg);
         let seeds = derive_seeds(cfg.seed, cfg.nodes + 1);
         let sampler = build_sampler(
             strategy,
-            Some(&local),
+            Some(local),
             range.len(),
             SequenceMode::RegeneratePerEpoch,
             seeds[assigned],
@@ -519,10 +665,8 @@ impl<T: Transport> NodeRuntime<T> {
         let mut node = Node {
             range: range.clone(),
             stream: ScheduleStream::new(sampler, rng, assigned, range.start, range.len()),
-            model: vec![0.0; ds.dim()],
+            model: vec![0.0; data.dim()],
         };
-        let protocol = (strategy == SamplingStrategy::Adaptive)
-            .then(|| FeedbackProtocol::for_dataset(data, ranges.clone(), cfg.obs_model));
 
         // Per-round observation gather for the coordinator's mirror:
         // per-row max of the scaled observations, the same reduction the
@@ -555,6 +699,7 @@ impl<T: Transport> NodeRuntime<T> {
             for _ in 0..cfg.local_epochs {
                 local_epoch(
                     data,
+                    row_base,
                     obj,
                     &mut node,
                     protocol.as_ref(),
@@ -637,8 +782,10 @@ impl<T: Transport> NodeRuntime<T> {
 /// the engine's sequential streaming path draw-for-draw. The scaled
 /// observations are additionally max-reduced into `obs_max`/`visited`
 /// for the round's [`Message::FeedbackBatch`].
+#[allow(clippy::too_many_arguments)]
 fn local_epoch<L: Loss>(
     data: &Dataset,
+    row_base: usize,
     obj: &Objective<L>,
     node: &mut Node,
     protocol: Option<&FeedbackProtocol>,
@@ -648,7 +795,7 @@ fn local_epoch<L: Loss>(
 ) {
     let start = node.range.start;
     while let Some(d) = node.stream.next_draw() {
-        let row = data.row(d.row as usize);
+        let row = data.row(d.row as usize - row_base);
         let margin = obj.margin(&row, &node.model);
         let g = obj.grad_scale(&row, margin);
         let scale = lambda * d.corr;

@@ -9,7 +9,11 @@
 //! production, test harnesses install thread-backed spawners), and
 //! admits exactly one connection through the session handshake — a
 //! [`Message::Hello`] whose [`PROTOCOL_VERSION`] matches, answered with
-//! [`Message::Assign`] + [`Message::DatasetTransfer`]. Connections that
+//! [`Message::Assign`] followed by the node's [`Message::DatasetShard`]
+//! chunk stream: each worker receives only the rows of the shard it
+//! owns (already reordered, with per-row importance weights riding
+//! along), so admission bandwidth is proportional to the shard, not
+//! the dataset. Connections that
 //! speak garbage, truncate, or announce the wrong version are dropped
 //! with a typed [`WireError`] recorded and the accept loop keeps
 //! going until its deadline — junk can never hang or kill admission.
@@ -39,11 +43,15 @@
 //!   completes **bit-identically** to an undisturbed one (pinned by
 //!   `tests/process_fleet.rs` and the CLI kill-a-worker e2e).
 
-use crate::coordinator::coordinate;
+use crate::coordinator::{coordinate, plan_run};
 use crate::node::{validate, ClusterConfig, ClusterError, ClusterRun};
 use crate::procnode::wire_known_loss;
-use crate::transport::{ProcessConfig, Tcp, Transport, TransportError, WorkerLossPolicy};
-use crate::wire::{Message, SessionConfig, WireError, PROTOCOL_VERSION};
+use crate::transport::{
+    LinkStats, ProcessConfig, Tcp, Transport, TransportError, WorkerLossPolicy,
+};
+use crate::wire::{
+    encode_dataset_shard_chunks, Message, SessionConfig, WireError, MAX_FRAME, PROTOCOL_VERSION,
+};
 use isasgd_losses::{Loss, Objective};
 use isasgd_sparse::Dataset;
 use std::net::TcpListener;
@@ -150,11 +158,12 @@ struct FleetShared<S: WorkerSpawner> {
     addr: String,
     spawner: S,
     session: SessionConfig,
-    /// The `DatasetTransfer` frame payload, encoded once at fleet
-    /// start (and size-validated there): admissions — initial and
-    /// respawn alike — write the cached bytes instead of re-encoding
-    /// the dataset per worker.
-    dataset_frame: Vec<u8>,
+    /// Per-node [`Message::DatasetShard`] chunk payloads, encoded once
+    /// at fleet start from the run plan's reordered view (and
+    /// size-validated there): admissions — initial and respawn alike —
+    /// write the cached bytes instead of re-encoding, so recovery is
+    /// byte-identical to first admission.
+    shard_frames: Vec<Vec<Vec<u8>>>,
     pc: ProcessConfig,
 }
 
@@ -206,7 +215,15 @@ impl<S: WorkerSpawner> FleetShared<S> {
                             worker: node,
                             config: self.session.clone(),
                         })?;
-                        link.send_payload(&self.dataset_frame)?;
+                        for frame in &self.shard_frames[node as usize] {
+                            link.send_payload(frame)?;
+                        }
+                        // Arm the session's wire encoding only now: the
+                        // handshake frames above are always dense, and
+                        // the fresh link's empty delta bases match the
+                        // (re)admitted worker's — replay and live
+                        // traffic alike start from a dense send.
+                        link.set_encoding(self.pc.encoding);
                         // Admitted: relax both deadlines to the round
                         // liveness deadline.
                         let round = Duration::from_millis(self.pc.round_timeout_ms.max(1));
@@ -268,6 +285,10 @@ pub struct SupervisedLink<S: WorkerSpawner> {
     log: Vec<Message>,
     respawns_left: u32,
     policy: WorkerLossPolicy,
+    /// Traffic counters of connections this slot has already replaced:
+    /// a respawn folds the dead link's counters here, so the slot's
+    /// reported totals cover the whole session including replays.
+    stats: LinkStats,
 }
 
 impl<S: WorkerSpawner> SupervisedLink<S> {
@@ -320,8 +341,10 @@ impl<S: WorkerSpawner> SupervisedLink<S> {
             tcp.send(m)
                 .map_err(|e| self.lost(&format_args!("replay failed: {e}")))?;
         }
-        // Replace the dead endpoint; the old handle is dropped (and the
-        // dead process reaped) with the assignment below.
+        // Replace the dead endpoint, folding its traffic into the
+        // slot's running totals first; the old handle is dropped (and
+        // the dead process reaped) with the assignment below.
+        self.stats.merge(self.tcp.link_stats());
         self.tcp = tcp;
         self.handle = handle;
         Ok(())
@@ -348,6 +371,14 @@ impl<S: WorkerSpawner> Transport for SupervisedLink<S> {
                 Err(e) => self.recover(e)?,
             }
         }
+    }
+
+    fn stats(&self) -> Option<LinkStats> {
+        // The slot's whole-session totals: every replaced connection's
+        // counters plus the live one's.
+        let mut stats = self.stats.clone();
+        stats.merge(self.tcp.link_stats());
+        Some(stats)
     }
 }
 
@@ -404,21 +435,34 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
             )));
         }
     }
-    // Encode the dataset frame once (straight from the borrowed
-    // dataset — no clone), and validate its size *before* binding or
-    // spawning anything: an over-MAX_FRAME dataset is a deterministic
-    // coordinator-side configuration error, not a per-worker handshake
-    // failure to retry against a deadline.
-    let mut dataset_frame = Vec::new();
-    crate::wire::encode_dataset_transfer(ds, &mut dataset_frame);
-    if dataset_frame.len() > crate::wire::MAX_FRAME {
-        return Err(ClusterError::InvalidConfig(format!(
-            "dataset wire encoding is {} bytes, above the {}-byte frame cap — \
-             too large to ship to worker processes (shard/delta dataset \
-             transfer is a roadmap item)",
-            dataset_frame.len(),
-            crate::wire::MAX_FRAME
-        )));
+    // The run plan (weigh → decide → rearrange → shard) is computed
+    // once, up front: the fleet streams each worker its shard of the
+    // *same* reordered view the round driver evaluates against, so the
+    // two can never disagree. Per-node shard chunks are encoded here,
+    // before binding or spawning anything — an unencodable shard is a
+    // deterministic coordinator-side configuration error, not a
+    // per-worker handshake failure to retry against a deadline.
+    let plan = plan_run(ds, obj, cfg)?;
+    let shard_frames: Vec<Vec<Vec<u8>>> = (0..cfg.nodes)
+        .map(|k| {
+            encode_dataset_shard_chunks(
+                k as u32,
+                plan.ranges[k].clone(),
+                &plan.view.data,
+                &plan.reordered_weights,
+            )
+        })
+        .collect();
+    // Chunks target ~256 KiB; only a single row wider than MAX_FRAME
+    // can push one over the cap (chunks always carry ≥ 1 row).
+    for chunk in shard_frames.iter().flatten() {
+        if chunk.len() > MAX_FRAME {
+            return Err(ClusterError::InvalidConfig(format!(
+                "a dataset shard chunk is {} bytes, above the {MAX_FRAME}-byte \
+                 frame cap — a single row is too wide to ship to worker processes",
+                chunk.len()
+            )));
+        }
     }
     let listener = TcpListener::bind(&pc.bind)
         .map_err(|e| ClusterError::Worker(format!("bind {}: {e}", pc.bind)))?;
@@ -439,13 +483,14 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
         commit: cfg.commit,
         loss: obj.loss.name().to_string(),
         reg: obj.reg,
+        encoding: pc.encoding,
     };
     let shared = Arc::new(Mutex::new(FleetShared {
         listener,
         addr,
         spawner,
         session,
-        dataset_frame,
+        shard_frames,
         pc: pc.clone(),
     }));
 
@@ -467,10 +512,11 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
             log: Vec::new(),
             respawns_left: pc.max_respawns,
             policy: pc.on_loss,
+            stats: LinkStats::default(),
         });
     }
 
-    let result = coordinate(&mut links, ds, obj, cfg, None);
+    let result = coordinate(&mut links, &plan, obj, cfg, None);
     // Dropping the links closes every socket first, then reaps every
     // worker (grace, then kill) — success and failure paths alike end
     // with no leaked processes.

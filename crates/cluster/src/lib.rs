@@ -18,15 +18,20 @@
 //!
 //! The runtime is split along the real deployment boundary:
 //!
-//! * [`wire`] — a hand-rolled length-prefixed codec for the four typed
+//! * [`wire`] — a hand-rolled length-prefixed codec for the typed
 //!   protocol messages ([`Message::ModelUpdate`],
 //!   [`Message::FeedbackBatch`], [`Message::RoundBarrier`],
-//!   [`Message::ShardRebalance`]). Decoding is total: garbage returns a
-//!   typed [`WireError`], never a panic.
+//!   [`Message::ShardRebalance`], plus the bandwidth-proportional
+//!   frames: sparse [`Message::ModelDelta`] updates against a per-link
+//!   base and the [`Message::DatasetShard`] admission stream, both on
+//!   a canonical varint/gap-coded index codec). Decoding is total:
+//!   garbage returns a typed [`WireError`], never a panic.
 //! * [`transport`] — the [`Transport`] trait plus the two bundled
 //!   wirings: [`InProcess`] (typed channels between threads, default)
-//!   and [`Tcp`] (real loopback sockets), and the deterministic
-//!   [`FlakyTransport`] fault injector used by the test suite.
+//!   and [`Tcp`] (real loopback sockets — delta-aware under a
+//!   [`WireEncoding`], with per-link [`LinkStats`] traffic counters),
+//!   and the deterministic [`FlakyTransport`] fault injector used by
+//!   the test suite.
 //! * [`coordinator`] — the round driver, generic over [`Transport`]:
 //!   the coordinator owns balancing, barriers, [`SyncStrategy`]
 //!   averaging, and a feedback mirror fed by per-node importance
@@ -59,7 +64,10 @@ pub use node::{run, ClusterConfig, ClusterError, ClusterRun, Node, RoundPoint};
 pub use procnode::{run_worker, WorkerOptions, WorkerReport};
 pub use sync::{average_models, SyncStrategy};
 pub use transport::{
-    in_process_links, tcp_loopback_links, FlakyTransport, InProcess, ProcessConfig, Tcp, Transport,
-    TransportConfig, TransportError, WorkerLossPolicy,
+    in_process_links, tcp_loopback_links, FlakyTransport, InProcess, LinkStats, ProcessConfig, Tcp,
+    Transport, TransportConfig, TransportError, WorkerLossPolicy,
 };
-pub use wire::{Message, SessionConfig, WireError, MAX_FRAME, PROTOCOL_VERSION};
+pub use wire::{
+    apply_delta, delta_coords, encode_dataset_shard_chunks, FrameKind, Message, SessionConfig,
+    WireEncoding, WireError, FRAME_KINDS, MAX_FRAME, PROTOCOL_VERSION, SHARD_CHUNK_BYTES,
+};

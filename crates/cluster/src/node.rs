@@ -8,7 +8,9 @@
 
 use crate::coordinator::run_with_links;
 use crate::sync::SyncStrategy;
-use crate::transport::{in_process_links, tcp_loopback_links, TransportConfig, TransportError};
+use crate::transport::{
+    in_process_links, tcp_loopback_links, LinkStats, TransportConfig, TransportError,
+};
 use isasgd_balance::BalancePolicy;
 use isasgd_losses::{ImportanceScheme, Loss, Objective};
 use isasgd_metrics::Trace;
@@ -155,6 +157,12 @@ pub struct ClusterRun {
     /// distributions after the final round — the feedback-side analogue
     /// of `phi_imbalance`. `None` for non-adaptive runs.
     pub observed_phi_imbalance: Option<f64>,
+    /// Per-link wire traffic counters (tx/rx bytes and frames by frame
+    /// kind), one entry per worker link for transports that count
+    /// (`tcp`, `process`); empty for in-process channel runs.
+    /// Deliberately excluded from bit-equality comparisons: counters
+    /// measure the wire, not the computation.
+    pub net: Vec<LinkStats>,
 }
 
 /// Configuration/validation/runtime errors.
@@ -281,8 +289,12 @@ pub fn run<L: Loss>(
             in_process_links(cfg.nodes),
             true,
         ),
-        TransportConfig::Tcp { bind } => {
-            let links = tcp_loopback_links(cfg.nodes, bind).map_err(TransportError::Io)?;
+        TransportConfig::Tcp { bind, encoding } => {
+            let mut links = tcp_loopback_links(cfg.nodes, bind).map_err(TransportError::Io)?;
+            for (coord_end, worker_end) in links.iter_mut() {
+                coord_end.set_encoding(*encoding);
+                worker_end.set_encoding(*encoding);
+            }
             run_with_links(ds, obj, cfg, links)
         }
         TransportConfig::Process(pc) => crate::fleet::run_fleet(ds, obj, cfg, pc),

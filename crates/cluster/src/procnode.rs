@@ -7,7 +7,11 @@
 //! worker                          coordinator (fleet accept loop)
 //!   ── Hello(version) ───────────▶  validate protocol version
 //!   ◀──────── Assign(id, config)    node id + SessionConfig
-//!   ◀──────── DatasetTransfer       full training dataset, bit-exact
+//!   ◀──────── DatasetShard ×N       this node's shard, streamed in
+//!                                   ~256 KiB chunks (reordered rows +
+//!                                   per-row importance weights); a v1
+//!                                   monolithic DatasetTransfer is
+//!                                   still accepted
 //!   …NodeRuntime round protocol (see crate::coordinator docs)…
 //! ```
 //!
@@ -16,7 +20,10 @@
 //! [`NodeRuntime`] the thread-backed transports run — which is why a
 //! `--cluster-transport process` run is bit-equal to `tcp`, `inproc`,
 //! and (single-node) the sequential engine: same draws, same float-op
-//! order, only the process boundary differs.
+//! order, only the process boundary differs. Shard-streamed sessions
+//! enter through [`NodeRuntime::run_sharded`], whose inputs are the
+//! exact bits the coordinator's own plan holds — so the equivalence
+//! extends to workers that never saw the full dataset.
 //!
 //! The loss crosses the wire as its stable [`Loss::name`] string; only
 //! wire-known losses (`logistic`, `squared_hinge`, `squared`) can run
@@ -29,7 +36,7 @@ use crate::transport::{Tcp, Transport, TransportConfig, TransportError};
 use crate::wire::{Message, SessionConfig, PROTOCOL_VERSION};
 use isasgd_balance::BalancePolicy;
 use isasgd_losses::{LogisticLoss, Loss, Objective, SquaredHingeLoss, SquaredLoss};
-use isasgd_sparse::Dataset;
+use isasgd_sparse::{Dataset, DatasetBuilder};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -80,15 +87,11 @@ pub fn run_worker(connect: &str, opts: &WorkerOptions) -> Result<WorkerReport, C
             )))
         }
     };
-    let dataset = match link.recv()? {
-        Message::DatasetTransfer { dataset } => *dataset,
-        other => {
-            return Err(ClusterError::Worker(format!(
-                "handshake: expected DatasetTransfer, got {}",
-                other.kind()
-            )))
-        }
-    };
+    // Arm the session's wire encoding before any round traffic: the
+    // remaining handshake frames are always dense, and both ends start
+    // with empty delta bases, so encoder and decoder stay in lockstep.
+    link.set_encoding(config.encoding);
+    let data = receive_data(&mut link, worker)?;
     // Re-arm the read deadline from the coordinator's configured round
     // deadline, scaled by the node count: between its own rounds a
     // worker legitimately waits through every peer's local epochs plus
@@ -103,7 +106,118 @@ pub fn run_worker(connect: &str, opts: &WorkerOptions) -> Result<WorkerReport, C
     let deadline = per_round.saturating_mul(u64::from(config.nodes).saturating_add(1));
     link.set_read_timeout(Duration::from_millis(deadline.max(1)))
         .map_err(TransportError::Io)?;
-    serve(link, worker, config, &dataset, opts.die_at_round)
+    serve(link, worker, config, &data, opts.die_at_round)
+}
+
+/// The training data a worker session received over the wire.
+enum WorkerData {
+    /// v1-style monolithic transfer: the full, original-order dataset
+    /// (the worker reconstructs the reordered view itself).
+    Full(Dataset),
+    /// Shard-streamed admission: only this node's reordered rows, with
+    /// their importance weights and the shard's first global row.
+    Shard {
+        data: Dataset,
+        weights: Vec<f64>,
+        start: usize,
+    },
+}
+
+/// Receives the dataset phase of the handshake: either one
+/// [`Message::DatasetTransfer`] or a contiguous stream of
+/// [`Message::DatasetShard`] chunks for this worker's shard, assembled
+/// incrementally (each chunk's builder invariants were re-validated by
+/// the wire decoder; this layer checks the chunks agree with each
+/// other and tile the declared shard exactly).
+fn receive_data(link: &mut Tcp, worker: u32) -> Result<WorkerData, ClusterError> {
+    let bad = |what: &str, got: String| ClusterError::Worker(format!("handshake: {what}{got}"));
+    let (shard_start, shard_rows, dim, mut builder, mut weights) = match link.recv()? {
+        Message::DatasetTransfer { dataset } => return Ok(WorkerData::Full(*dataset)),
+        Message::DatasetShard {
+            shard,
+            shard_start,
+            shard_rows,
+            start,
+            weights,
+            chunk,
+        } => {
+            if shard != worker {
+                return Err(bad(
+                    "first shard chunk is for node ",
+                    format!("{shard}, this worker is {worker}"),
+                ));
+            }
+            if start != shard_start {
+                return Err(bad(
+                    "shard stream must begin at its first row, got row ",
+                    format!("{start} of a shard starting at {shard_start}"),
+                ));
+            }
+            let dim = chunk.dim();
+            let mut builder = DatasetBuilder::new(dim);
+            append_chunk(&mut builder, &chunk);
+            (shard_start, shard_rows, dim, builder, weights)
+        }
+        other => {
+            return Err(bad(
+                "expected DatasetShard or DatasetTransfer, got ",
+                other.kind().to_string(),
+            ))
+        }
+    };
+    while weights.len() < shard_rows as usize {
+        match link.recv()? {
+            Message::DatasetShard {
+                shard,
+                shard_start: s0,
+                shard_rows: n0,
+                start,
+                weights: w,
+                chunk,
+            } => {
+                if shard != worker || s0 != shard_start || n0 != shard_rows {
+                    return Err(bad(
+                        "shard chunk disagrees with the stream's header: ",
+                        format!("shard {shard} rows {s0}..{}", u64::from(s0) + u64::from(n0)),
+                    ));
+                }
+                if chunk.dim() != dim {
+                    return Err(bad("shard chunk dim changed mid-stream", String::new()));
+                }
+                if u64::from(start) != u64::from(shard_start) + weights.len() as u64 {
+                    return Err(bad(
+                        "shard chunks must arrive contiguously, got row ",
+                        format!(
+                            "{start} after {} assembled rows from {shard_start}",
+                            weights.len()
+                        ),
+                    ));
+                }
+                append_chunk(&mut builder, &chunk);
+                weights.extend_from_slice(&w);
+            }
+            other => {
+                return Err(bad(
+                    "expected the next DatasetShard chunk, got ",
+                    other.kind().to_string(),
+                ))
+            }
+        }
+    }
+    Ok(WorkerData::Shard {
+        data: builder.finish(),
+        weights,
+        start: shard_start as usize,
+    })
+}
+
+/// Re-appends a decoded chunk's rows to the shard builder. The wire
+/// decoder already re-validated every row invariant, so the unchecked
+/// push cannot smuggle a malformed row past the builder.
+fn append_chunk(builder: &mut DatasetBuilder, chunk: &Dataset) {
+    for row in chunk.rows() {
+        builder.push_row_unchecked(row.indices, row.values, row.label);
+    }
 }
 
 /// Runs the [`NodeRuntime`] for an already-handshaken link,
@@ -113,7 +227,7 @@ fn serve(
     link: Tcp,
     worker: u32,
     sc: SessionConfig,
-    ds: &Dataset,
+    data: &WorkerData,
     die_at_round: Option<u64>,
 ) -> Result<WorkerReport, ClusterError> {
     let cfg = ClusterConfig {
@@ -136,13 +250,16 @@ fn serve(
     let runtime = NodeRuntime::new(link, worker as usize).with_chaos_kill(die_at_round);
     match sc.loss.as_str() {
         n if n == LogisticLoss.name() => {
-            runtime.run(ds, &Objective::new(LogisticLoss, sc.reg), &cfg)?
+            drive(runtime, data, &Objective::new(LogisticLoss, sc.reg), &cfg)?
         }
-        n if n == SquaredHingeLoss.name() => {
-            runtime.run(ds, &Objective::new(SquaredHingeLoss, sc.reg), &cfg)?
-        }
+        n if n == SquaredHingeLoss.name() => drive(
+            runtime,
+            data,
+            &Objective::new(SquaredHingeLoss, sc.reg),
+            &cfg,
+        )?,
         n if n == SquaredLoss.name() => {
-            runtime.run(ds, &Objective::new(SquaredLoss, sc.reg), &cfg)?
+            drive(runtime, data, &Objective::new(SquaredLoss, sc.reg), &cfg)?
         }
         other => {
             return Err(ClusterError::InvalidConfig(format!(
@@ -154,6 +271,25 @@ fn serve(
         node: worker,
         rounds: sc.rounds,
     })
+}
+
+/// Enters the runtime through the path matching how the data arrived:
+/// full datasets reconstruct the reordered view locally, streamed
+/// shards train in place.
+fn drive<L: Loss>(
+    runtime: NodeRuntime<Tcp>,
+    data: &WorkerData,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+) -> Result<(), ClusterError> {
+    match data {
+        WorkerData::Full(ds) => runtime.run(ds, obj, cfg),
+        WorkerData::Shard {
+            data,
+            weights,
+            start,
+        } => runtime.run_sharded(data, weights, *start, obj, cfg),
+    }
 }
 
 /// The wire-known loss names [`run_worker`] can reconstruct — the

@@ -22,12 +22,92 @@
 //! tolerates duplicated messages and reordering within one send burst
 //! (the guarantees [`FlakyTransport`] deliberately erodes).
 
-use crate::wire::{Message, WireError, MAX_FRAME};
+use crate::wire::{
+    apply_delta, delta_coords, FrameKind, Message, WireEncoding, WireError, FRAME_KINDS, MAX_FRAME,
+};
 use isasgd_sampling::Xoshiro256pp;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Duration;
+
+/// Per-link traffic counters, broken down by [`FrameKind`]: one frame
+/// and byte tally per direction, where bytes include the 4-byte length
+/// prefix (what actually crossed the socket). This is how the delta
+/// and shard-streaming wins are *observed* — surfaced as the CLI's
+/// `[net]` trace lines and asserted by the bandwidth tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames sent, indexed by [`FrameKind::index`].
+    pub tx_frames: [u64; FRAME_KINDS],
+    /// Bytes sent (payload + length prefix), indexed by kind.
+    pub tx_bytes: [u64; FRAME_KINDS],
+    /// Frames received, indexed by kind.
+    pub rx_frames: [u64; FRAME_KINDS],
+    /// Bytes received (payload + length prefix), indexed by kind.
+    pub rx_bytes: [u64; FRAME_KINDS],
+}
+
+impl LinkStats {
+    fn record_tx(&mut self, kind: FrameKind, bytes: usize) {
+        self.tx_frames[kind.index()] += 1;
+        self.tx_bytes[kind.index()] += bytes as u64;
+    }
+
+    fn record_rx(&mut self, kind: FrameKind, bytes: usize) {
+        self.rx_frames[kind.index()] += 1;
+        self.rx_bytes[kind.index()] += bytes as u64;
+    }
+
+    /// Accumulates another link's counters into this one (the fleet
+    /// folds a replaced connection's traffic into its slot's totals).
+    pub fn merge(&mut self, other: &LinkStats) {
+        for i in 0..FRAME_KINDS {
+            self.tx_frames[i] += other.tx_frames[i];
+            self.tx_bytes[i] += other.tx_bytes[i];
+            self.rx_frames[i] += other.rx_frames[i];
+            self.rx_bytes[i] += other.rx_bytes[i];
+        }
+    }
+
+    /// Total bytes sent across all frame kinds.
+    pub fn tx_total_bytes(&self) -> u64 {
+        self.tx_bytes.iter().sum()
+    }
+
+    /// Total bytes received across all frame kinds.
+    pub fn rx_total_bytes(&self) -> u64 {
+        self.rx_bytes.iter().sum()
+    }
+
+    /// Bytes sent as frames of `kind`.
+    pub fn tx_bytes_for(&self, kind: FrameKind) -> u64 {
+        self.tx_bytes[kind.index()]
+    }
+
+    /// Bytes received as frames of `kind`.
+    pub fn rx_bytes_for(&self, kind: FrameKind) -> u64 {
+        self.rx_bytes[kind.index()]
+    }
+
+    /// One-line `kind:frames/bytes` summary of the non-zero sent kinds
+    /// followed by received kinds — the `[net]` trace format.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for (dir, frames, bytes) in [
+            ("tx", &self.tx_frames, &self.tx_bytes),
+            ("rx", &self.rx_frames, &self.rx_bytes),
+        ] {
+            for kind in FrameKind::ALL {
+                let i = kind.index();
+                if frames[i] > 0 {
+                    parts.push(format!("{dir} {}:{}/{}B", kind.name(), frames[i], bytes[i]));
+                }
+            }
+        }
+        parts.join(" ")
+    }
+}
 
 /// Transport-level failures.
 #[derive(Debug)]
@@ -83,6 +163,13 @@ pub trait Transport: Send {
 
     /// Blocks until the peer's next message arrives.
     fn recv(&mut self) -> Result<Message, TransportError>;
+
+    /// This link's traffic counters, when the transport measures any —
+    /// socket transports do; [`InProcess`] moves typed values, so there
+    /// are no wire bytes to count and it reports `None`.
+    fn stats(&self) -> Option<LinkStats> {
+        None
+    }
 }
 
 /// Which transport a cluster run wires its links with. Carried by
@@ -98,6 +185,8 @@ pub enum TransportConfig {
     Tcp {
         /// Listener bind address; port 0 lets the OS pick a free port.
         bind: String,
+        /// Model-update encoding on every link (`--wire-encoding`).
+        encoding: WireEncoding,
     },
     /// Real cross-process workers: the coordinator binds a listener,
     /// spawns `isasgd worker --connect` subprocesses, drives the
@@ -173,6 +262,10 @@ pub struct ProcessConfig {
     /// Exercises the supervision path end-to-end; surfaced as
     /// `isasgd train --chaos-kill <node>:<round>`.
     pub chaos_kill: Option<(u32, u64)>,
+    /// Model-update encoding on every supervised link
+    /// (`--wire-encoding`); shipped to workers in the session config so
+    /// both ends of each link agree on the delta base discipline.
+    pub encoding: WireEncoding,
 }
 
 impl Default for ProcessConfig {
@@ -185,6 +278,7 @@ impl Default for ProcessConfig {
             round_timeout_ms: 120_000,
             max_respawns: 3,
             chaos_kill: None,
+            encoding: WireEncoding::default(),
         }
     }
 }
@@ -194,6 +288,7 @@ impl TransportConfig {
     pub fn tcp() -> Self {
         TransportConfig::Tcp {
             bind: "127.0.0.1:0".into(),
+            encoding: WireEncoding::default(),
         }
     }
 
@@ -259,9 +354,25 @@ pub fn in_process_links(nodes: usize) -> Vec<(InProcess, InProcess)> {
 }
 
 /// A real socket endpoint: [`wire`](crate::wire) frames over TCP.
+///
+/// Under a non-[`Dense`](WireEncoding::Dense) encoding, each endpoint
+/// tracks the last model that crossed the link in each direction (the
+/// *delta bases*). A [`Message::ModelUpdate`] send may then go out as a
+/// sparse [`Message::ModelDelta`] against the send-side base; the
+/// receiving endpoint reconstructs the dense model bitwise against its
+/// own base before handing it up, so the round protocol above never
+/// sees a delta frame. Links are FIFO per direction, which is exactly
+/// what keeps the two bases in lockstep; the first model on a fresh
+/// link always goes dense (no base exists yet).
 pub struct Tcp {
     stream: TcpStream,
     scratch: Vec<u8>,
+    encoding: WireEncoding,
+    /// Last model sent on this link (delta base for the tx direction).
+    tx_base: Option<Vec<f64>>,
+    /// Last model received on this link (delta base for rx).
+    rx_base: Option<Vec<f64>>,
+    stats: LinkStats,
 }
 
 impl Tcp {
@@ -283,7 +394,25 @@ impl Tcp {
         Ok(Tcp {
             stream,
             scratch: Vec::new(),
+            encoding: WireEncoding::Dense,
+            tx_base: None,
+            rx_base: None,
+            stats: LinkStats::default(),
         })
+    }
+
+    /// Selects the model-update encoding for this endpoint. Both ends
+    /// of a link must agree (a delta frame is only decodable against
+    /// the matching base discipline); the run entry points set it from
+    /// the config on every endpoint they wire. A raw [`Tcp::new`] link
+    /// defaults to [`WireEncoding::Dense`] — the v1 wire behavior.
+    pub fn set_encoding(&mut self, encoding: WireEncoding) {
+        self.encoding = encoding;
+    }
+
+    /// This endpoint's traffic counters so far.
+    pub fn link_stats(&self) -> &LinkStats {
+        &self.stats
     }
 
     /// Re-arms the per-recv deadline (the fleet uses a short handshake
@@ -302,8 +431,9 @@ impl Tcp {
     }
 
     /// Sends an already-encoded message payload (no length prefix) —
-    /// the fleet encodes its `DatasetTransfer` frame once and reuses
-    /// the bytes for every admission instead of re-encoding per worker.
+    /// the fleet encodes its admission frames (assignment dataset
+    /// chunks) once and reuses the bytes for every admission and replay
+    /// instead of re-encoding per worker.
     pub fn send_payload(&mut self, payload: &[u8]) -> Result<(), TransportError> {
         if payload.len() > MAX_FRAME {
             return Err(TransportError::Wire(WireError::FrameTooLarge {
@@ -313,23 +443,65 @@ impl Tcp {
         self.stream
             .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.stream.write_all(payload)?;
+        if let Some(kind) = payload.first().copied().and_then(FrameKind::from_tag) {
+            self.stats.record_tx(kind, payload.len() + 4);
+        }
         Ok(())
+    }
+
+    /// The frame this endpoint would put on the wire for `msg`: a
+    /// sparse [`Message::ModelDelta`] when the encoding, the per-link
+    /// base, and (under [`WireEncoding::Auto`]) the changed-coordinate
+    /// count all permit it; otherwise `None` (send dense).
+    fn deltify(&self, msg: &Message) -> Option<Message> {
+        let Message::ModelUpdate { node, round, model } = msg else {
+            return None;
+        };
+        if self.encoding == WireEncoding::Dense {
+            return None;
+        }
+        let base = self.tx_base.as_ref()?;
+        if base.len() != model.len() {
+            return None;
+        }
+        let (indices, values) = delta_coords(base, model);
+        let heavy = indices.len() > model.len() / 3;
+        if self.encoding == WireEncoding::Auto && heavy {
+            return None;
+        }
+        Some(Message::ModelDelta {
+            node: *node,
+            round: *round,
+            dim: model.len() as u32,
+            indices,
+            values,
+        })
     }
 }
 
 impl Transport for Tcp {
     fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        let delta = self.deltify(msg);
+        let wire_msg = delta.as_ref().unwrap_or(msg);
         self.scratch.clear();
         // Reserve the length prefix, encode, then patch it — one
         // contiguous buffer, one write_all.
         self.scratch.extend_from_slice(&[0u8; 4]);
-        msg.encode(&mut self.scratch);
+        wire_msg.encode(&mut self.scratch);
         let len = self.scratch.len() - 4;
         if len > MAX_FRAME {
             return Err(TransportError::Wire(WireError::FrameTooLarge { len }));
         }
         self.scratch[..4].copy_from_slice(&(len as u32).to_le_bytes());
         self.stream.write_all(&self.scratch)?;
+        if let Some(kind) = FrameKind::from_tag(self.scratch[4]) {
+            self.stats.record_tx(kind, self.scratch.len());
+        }
+        // Only after a successful write: the peer's rx base advances
+        // exactly when bytes actually left, keeping the two in lockstep.
+        if let Message::ModelUpdate { model, .. } = msg {
+            self.tx_base = Some(model.clone());
+        }
         Ok(())
     }
 
@@ -347,7 +519,40 @@ impl Transport for Tcp {
         self.stream
             .read_exact(&mut self.scratch)
             .map_err(eof_is_closed)?;
-        Ok(Message::decode(&self.scratch)?)
+        let msg = Message::decode(&self.scratch)?;
+        if let Some(kind) = FrameKind::from_tag(self.scratch[0]) {
+            self.stats.record_rx(kind, len + 4);
+        }
+        match msg {
+            Message::ModelUpdate { node, round, model } => {
+                self.rx_base = Some(model.clone());
+                Ok(Message::ModelUpdate { node, round, model })
+            }
+            Message::ModelDelta {
+                node,
+                round,
+                dim,
+                indices,
+                values,
+            } => {
+                let base = match &self.rx_base {
+                    Some(b) if b.len() == dim as usize => b,
+                    _ => {
+                        return Err(TransportError::Wire(WireError::Invalid {
+                            what: "model delta without a matching base model",
+                        }))
+                    }
+                };
+                let model = apply_delta(base, &indices, &values);
+                self.rx_base = Some(model.clone());
+                Ok(Message::ModelUpdate { node, round, model })
+            }
+            other => Ok(other),
+        }
+    }
+
+    fn stats(&self) -> Option<LinkStats> {
+        Some(self.stats.clone())
     }
 }
 
@@ -454,6 +659,10 @@ impl<T: Transport> Transport for FlakyTransport<T> {
         // Never block while still owing the peer a held message.
         self.flush_held()?;
         self.inner.recv()
+    }
+
+    fn stats(&self) -> Option<LinkStats> {
+        self.inner.stats()
     }
 }
 

@@ -11,15 +11,24 @@
 //! f64      := IEEE-754 bits, little-endian (bit-exact round trips,
 //!             including ±0.0, ±inf, and subnormals)
 //! vec<T>   := u32 count ‖ count × T
+//! varint   := canonical LEB128 (7 bits per byte, low first; the
+//!             shortest encoding is the only accepted one)
+//! idxlist  := u32 count ‖ varint first ‖ (count−1) × varint gap
+//!             (gap = idx − prev − 1; strictly increasing by
+//!             construction, so sortedness needs no re-check)
 //! ```
 //!
+//! The bandwidth-bearing frames ([`Message::ModelDelta`],
+//! [`Message::DatasetShard`]) use the varint index list for their
+//! coordinate payloads; dense frames keep the fixed-width layout.
+//!
 //! Decoding is total: truncated frames, unknown tags, over-declared
-//! vector counts, and trailing garbage all return a typed [`WireError`]
-//! — never a panic, never an unbounded allocation (counts are validated
-//! against the remaining frame bytes *before* any buffer is reserved).
-//! `tests/wire_proptests.rs` pins both directions: every message
-//! round-trips bit-exactly, and every strict prefix of a valid encoding
-//! (plus arbitrary garbage) decodes to an error.
+//! vector counts, non-minimal varints, and trailing garbage all return
+//! a typed [`WireError`] — never a panic, never an unbounded allocation
+//! (counts are validated against the remaining frame bytes *before* any
+//! buffer is reserved). `tests/wire_proptests.rs` pins both directions:
+//! every message round-trips bit-exactly, and every strict prefix of a
+//! valid encoding (plus arbitrary garbage) decodes to an error.
 
 use isasgd_losses::{ImportanceScheme, Regularizer};
 use isasgd_sampling::{CommitPolicy, ObservationModel, SamplingStrategy};
@@ -34,7 +43,59 @@ pub const MAX_FRAME: usize = 1 << 28;
 /// [`Message::Hello`]; the accept loop rejects mismatches with a typed
 /// [`WireError::Version`] instead of attempting to drive an
 /// incompatible peer through the round protocol.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version 2 added the bandwidth frames ([`Message::ModelDelta`],
+/// [`Message::DatasetShard`]) and the [`SessionConfig::encoding`]
+/// field; a v1 peer would mis-parse an Assign frame, so the version
+/// gate is load-bearing.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// How [`Message::ModelUpdate`] traffic is encoded on a socket link.
+///
+/// Both sides of a [`Tcp`] link track the last model that crossed it in
+/// each direction; a delta frame carries only the coordinates whose
+/// IEEE-754 bits differ from that base, so bandwidth tracks *what
+/// changed* rather than model size. Reconstruction is bitwise
+/// (overwrite the base at the listed coordinates), so every encoding
+/// choice yields bit-identical training — pinned by the equivalence
+/// matrix running under all three variants.
+///
+/// [`Tcp`]: crate::transport::Tcp
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireEncoding {
+    /// Always ship the full dense model (the v1 wire behavior).
+    Dense,
+    /// Always ship a sparse delta against the per-link base (the first
+    /// model on a fresh link necessarily goes dense — there is no base).
+    Delta,
+    /// Ship whichever is smaller: delta when the changed-coordinate
+    /// count is at most `dim / 3` (the break-even point of the
+    /// 12-byte-per-coordinate delta row against 8 bytes per dense
+    /// coordinate, with varint headroom), dense otherwise.
+    #[default]
+    Auto,
+}
+
+impl WireEncoding {
+    /// Parses a CLI name (`dense` | `delta` | `auto`).
+    pub fn parse(s: &str) -> Option<WireEncoding> {
+        Some(match s {
+            "dense" => WireEncoding::Dense,
+            "delta" => WireEncoding::Delta,
+            "auto" => WireEncoding::Auto,
+            _ => return None,
+        })
+    }
+
+    /// The CLI/log name of this encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WireEncoding::Dense => "dense",
+            WireEncoding::Delta => "delta",
+            WireEncoding::Auto => "auto",
+        }
+    }
+}
 
 /// The training assignment a [`Message::Assign`] ships to a
 /// freshly-connected worker process: everything a `NodeRuntime` needs
@@ -76,6 +137,9 @@ pub struct SessionConfig {
     pub loss: String,
     /// Regularizer bundled into the objective.
     pub reg: Regularizer,
+    /// Model-update encoding both sides of the link must agree on
+    /// (delta frames only reconstruct against a synchronized base).
+    pub encoding: WireEncoding,
 }
 
 /// A typed message of the coordinator↔worker protocol.
@@ -148,11 +212,56 @@ pub enum Message {
     /// The full training dataset, shipped after [`Message::Assign`] so
     /// a worker process needs no shared filesystem: CSR rows move as
     /// raw IEEE-754 bits, so the worker's view is bit-identical to the
-    /// coordinator's. (Delta/shard-local encoding is a ROADMAP item;
-    /// correctness first.)
+    /// coordinator's. Kept as the legacy whole-dataset form (benches,
+    /// compatibility tests); the fleet admission path streams
+    /// [`Message::DatasetShard`] chunks instead.
     DatasetTransfer {
         /// The dataset (boxed: this variant dwarfs the others).
         dataset: Box<Dataset>,
+    },
+    /// A sparse model delta against the last model that crossed this
+    /// link in the same direction: only the coordinates whose IEEE-754
+    /// bits differ from that base, with their new bit patterns.
+    /// Reconstruction is a bitwise overwrite, so a delta-encoded
+    /// session is bit-identical to a dense one. Produced and consumed
+    /// inside the `Tcp` transport — the round protocol above it only
+    /// ever sees the reconstructed [`Message::ModelUpdate`].
+    ModelDelta {
+        /// Sending node (or addressed worker, coordinator→worker).
+        node: u32,
+        /// Synchronization round this model belongs to.
+        round: u64,
+        /// Dense dimensionality of the model being patched (the
+        /// receiver's base must match it exactly).
+        dim: u32,
+        /// Strictly increasing changed coordinates (varint gap-coded on
+        /// the wire).
+        indices: Vec<u32>,
+        /// New IEEE-754 bit patterns at `indices`, in order.
+        values: Vec<f64>,
+    },
+    /// One chunk of a worker's own shard, streamed during fleet
+    /// admission in place of the monolithic [`Message::DatasetTransfer`]:
+    /// a worker receives only the rows it owns, each bundled with its
+    /// coordinator-computed importance weight (schemes like
+    /// `PartiallyBiased` mix in global statistics a shard cannot
+    /// recompute locally). Chunks arrive in row order; the receiver
+    /// re-validates builder invariants per chunk and bounds every
+    /// allocation by the chunk's own declared-and-checked row count.
+    DatasetShard {
+        /// Shard index this chunk belongs to (the receiving worker's id).
+        shard: u32,
+        /// First global row of the whole shard (after reordering).
+        shard_start: u32,
+        /// Total row count of the whole shard across all chunks.
+        shard_rows: u32,
+        /// First global row of *this chunk* (`shard_start` +
+        /// previously-streamed rows).
+        start: u32,
+        /// Per-row importance weights, parallel to the chunk's rows.
+        weights: Vec<f64>,
+        /// The chunk's rows as a dataset with the full feature `dim`.
+        chunk: Box<Dataset>,
     },
 }
 
@@ -243,6 +352,87 @@ const TAG_SHARD_REBALANCE: u8 = 4;
 const TAG_HELLO: u8 = 5;
 const TAG_ASSIGN: u8 = 6;
 const TAG_DATASET_TRANSFER: u8 = 7;
+const TAG_MODEL_DELTA: u8 = 8;
+const TAG_DATASET_SHARD: u8 = 9;
+
+/// Number of distinct frame kinds — the length of per-kind counter
+/// arrays such as [`LinkStats`](crate::transport::LinkStats).
+pub const FRAME_KINDS: usize = 9;
+
+/// The kind of a wire frame, independent of its payload — the axis the
+/// per-link byte/frame counters are broken down by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// [`Message::ModelUpdate`]
+    ModelUpdate,
+    /// [`Message::FeedbackBatch`]
+    FeedbackBatch,
+    /// [`Message::RoundBarrier`]
+    RoundBarrier,
+    /// [`Message::ShardRebalance`]
+    ShardRebalance,
+    /// [`Message::Hello`]
+    Hello,
+    /// [`Message::Assign`]
+    Assign,
+    /// [`Message::DatasetTransfer`]
+    DatasetTransfer,
+    /// [`Message::ModelDelta`]
+    ModelDelta,
+    /// [`Message::DatasetShard`]
+    DatasetShard,
+}
+
+impl FrameKind {
+    /// All kinds, in tag order (index = [`FrameKind::index`]).
+    pub const ALL: [FrameKind; FRAME_KINDS] = [
+        FrameKind::ModelUpdate,
+        FrameKind::FeedbackBatch,
+        FrameKind::RoundBarrier,
+        FrameKind::ShardRebalance,
+        FrameKind::Hello,
+        FrameKind::Assign,
+        FrameKind::DatasetTransfer,
+        FrameKind::ModelDelta,
+        FrameKind::DatasetShard,
+    ];
+
+    /// Classifies an encoded payload by its leading tag byte.
+    pub fn from_tag(tag: u8) -> Option<FrameKind> {
+        Some(match tag {
+            TAG_MODEL_UPDATE => FrameKind::ModelUpdate,
+            TAG_FEEDBACK_BATCH => FrameKind::FeedbackBatch,
+            TAG_ROUND_BARRIER => FrameKind::RoundBarrier,
+            TAG_SHARD_REBALANCE => FrameKind::ShardRebalance,
+            TAG_HELLO => FrameKind::Hello,
+            TAG_ASSIGN => FrameKind::Assign,
+            TAG_DATASET_TRANSFER => FrameKind::DatasetTransfer,
+            TAG_MODEL_DELTA => FrameKind::ModelDelta,
+            TAG_DATASET_SHARD => FrameKind::DatasetShard,
+            _ => return None,
+        })
+    }
+
+    /// Dense 0-based index (tag − 1) for counter arrays.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Display name (matches [`Message::kind`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FrameKind::ModelUpdate => "ModelUpdate",
+            FrameKind::FeedbackBatch => "FeedbackBatch",
+            FrameKind::RoundBarrier => "RoundBarrier",
+            FrameKind::ShardRebalance => "ShardRebalance",
+            FrameKind::Hello => "Hello",
+            FrameKind::Assign => "Assign",
+            FrameKind::DatasetTransfer => "DatasetTransfer",
+            FrameKind::ModelDelta => "ModelDelta",
+            FrameKind::DatasetShard => "DatasetShard",
+        }
+    }
+}
 
 /// Bounded cursor over a payload; every read is length-checked.
 struct Reader<'a> {
@@ -328,6 +518,135 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 fn put_string(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+// --- varint / index-list codec ------------------------------------------
+//
+// Canonical LEB128: 7 payload bits per byte, least-significant group
+// first, high bit = continuation. "Canonical" means the shortest
+// encoding is the only accepted one — a redundant trailing 0x00 group
+// (e.g. `0x80 0x00` for zero) is rejected, so the decode∘encode
+// fixed-point property of the whole codec extends to varint payloads.
+
+/// Appends the canonical LEB128 encoding of `v`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(r: &mut Reader<'_>) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = r.u8()?;
+        if shift >= 64 || (shift == 63 && byte & 0x7E != 0) {
+            return Err(WireError::Invalid {
+                what: "varint overflows u64",
+            });
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            if byte == 0 && shift != 0 {
+                return Err(WireError::Invalid {
+                    what: "non-minimal varint",
+                });
+            }
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends the gap-coded index list: `u32 count ‖ varint first ‖
+/// (count−1) × varint (idx − prev − 1)`. `indices` must be strictly
+/// increasing (every caller holds sorted coordinates by construction).
+pub fn put_index_list(out: &mut Vec<u8>, indices: &[u32]) {
+    put_u32(out, indices.len() as u32);
+    let mut prev: Option<u32> = None;
+    for &i in indices {
+        match prev {
+            None => put_varint(out, u64::from(i)),
+            Some(p) => {
+                debug_assert!(i > p, "index list not strictly increasing");
+                put_varint(out, u64::from(i) - u64::from(p) - 1);
+            }
+        }
+        prev = Some(i);
+    }
+}
+
+/// Decodes a gap-coded index list, bounding every index by `dim`.
+/// Strict monotonicity holds by construction (each gap adds ≥ 1), so
+/// the returned list is always a valid sorted coordinate set.
+fn get_index_list(r: &mut Reader<'_>, dim: u64) -> Result<Vec<u32>, WireError> {
+    // Each encoded index is at least one varint byte.
+    let n = r.count(1)?;
+    let mut indices = Vec::with_capacity(n);
+    let mut prev: Option<u64> = None;
+    for _ in 0..n {
+        let raw = get_varint(r)?;
+        let idx = match prev {
+            None => raw,
+            Some(p) => {
+                p.checked_add(1)
+                    .and_then(|b| b.checked_add(raw))
+                    .ok_or(WireError::Invalid {
+                        what: "index list overflows u64",
+                    })?
+            }
+        };
+        if idx >= dim {
+            return Err(WireError::Invalid {
+                what: "index list coordinate out of bounds",
+            });
+        }
+        indices.push(idx as u32);
+        prev = Some(idx);
+    }
+    Ok(indices)
+}
+
+// --- sparse model deltas -------------------------------------------------
+
+/// Computes the coordinates (and new bit patterns) where `next` differs
+/// from `base` — *bitwise*, never arithmetically, so a delta-encoded
+/// model reconstructs bit-identically (−0.0 vs 0.0, NaN payloads and
+/// subnormals included). Both slices must be the same length.
+pub fn delta_coords(base: &[f64], next: &[f64]) -> (Vec<u32>, Vec<f64>) {
+    debug_assert_eq!(base.len(), next.len());
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for (i, (b, n)) in base.iter().zip(next).enumerate() {
+        if b.to_bits() != n.to_bits() {
+            indices.push(i as u32);
+            values.push(*n);
+        }
+    }
+    (indices, values)
+}
+
+/// Reconstructs a model from its per-link base and a sparse delta:
+/// clone the base, overwrite the listed coordinates with the carried
+/// bit patterns. The exact inverse of [`delta_coords`].
+///
+/// # Panics
+/// Panics if any index is out of bounds — callers must have validated
+/// `indices < base.len()` (the wire decoder bounds them by the frame's
+/// declared `dim`, and the transport checks its base against that dim).
+pub fn apply_delta(base: &[f64], indices: &[u32], values: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(indices.len(), values.len());
+    let mut model = base.to_vec();
+    for (&i, &v) in indices.iter().zip(values) {
+        model[i as usize] = v;
+    }
+    model
 }
 
 // --- sub-enum codecs for the Assign frame -------------------------------
@@ -476,6 +795,28 @@ fn get_reg(r: &mut Reader<'_>) -> Result<Regularizer, WireError> {
     })
 }
 
+fn put_encoding(out: &mut Vec<u8>, v: WireEncoding) {
+    out.push(match v {
+        WireEncoding::Dense => 0,
+        WireEncoding::Delta => 1,
+        WireEncoding::Auto => 2,
+    });
+}
+
+fn get_encoding(r: &mut Reader<'_>) -> Result<WireEncoding, WireError> {
+    Ok(match r.u8()? {
+        0 => WireEncoding::Dense,
+        1 => WireEncoding::Delta,
+        2 => WireEncoding::Auto,
+        tag => {
+            return Err(WireError::BadEnum {
+                what: "wire encoding",
+                tag,
+            })
+        }
+    })
+}
+
 fn put_session_config(out: &mut Vec<u8>, c: &SessionConfig) {
     put_u32(out, c.nodes);
     put_u64(out, c.rounds);
@@ -489,6 +830,7 @@ fn put_session_config(out: &mut Vec<u8>, c: &SessionConfig) {
     put_commit(out, c.commit);
     put_string(out, &c.loss);
     put_reg(out, c.reg);
+    put_encoding(out, c.encoding);
 }
 
 fn get_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
@@ -505,6 +847,7 @@ fn get_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
         commit: get_commit(r)?,
         loss: r.string()?,
         reg: get_reg(r)?,
+        encoding: get_encoding(r)?,
     })
 }
 
@@ -575,6 +918,129 @@ fn get_dataset(r: &mut Reader<'_>) -> Result<Dataset, WireError> {
     Ok(b.finish())
 }
 
+// --- shard-streamed dataset transfer ------------------------------------
+//
+// A shard row is `u8 label (0 → −1.0, 1 → +1.0) ‖ f64 weight ‖
+// idxlist(indices) ‖ nnz × f64 value`. The weight rides along because
+// importance schemes mix in *global* statistics (mean, positive floor)
+// that a worker holding only its shard cannot recompute.
+
+/// Soft payload target for one [`Message::DatasetShard`] chunk. Every
+/// chunk carries at least one row, so a single row larger than this
+/// still moves — in one oversized chunk — but typical admission traffic
+/// streams in ~256 KiB frames instead of one dataset-sized allocation.
+pub const SHARD_CHUNK_BYTES: usize = 1 << 18;
+
+fn put_shard_row(out: &mut Vec<u8>, indices: &[u32], values: &[f64], label: f64, weight: f64) {
+    out.push(if label == 1.0 { 1 } else { 0 });
+    put_f64(out, weight);
+    put_index_list(out, indices);
+    for &x in values {
+        put_f64(out, x);
+    }
+}
+
+/// Encodes one shard of `data` as a sequence of [`Message::DatasetShard`]
+/// payloads, each at most [`SHARD_CHUNK_BYTES`] (plus one row of
+/// overshoot). `range` is the shard's row range into the reordered
+/// `data`; `weights` are the reordered per-row importance weights,
+/// indexed like `data`. The fleet caches these frames per node and
+/// replays them verbatim on respawn, so admission and recovery are
+/// byte-identical.
+pub fn encode_dataset_shard_chunks(
+    shard: u32,
+    range: std::ops::Range<usize>,
+    data: &Dataset,
+    weights: &[f64],
+) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut row = range.start;
+    while row < range.end {
+        let mut out = Vec::new();
+        out.push(TAG_DATASET_SHARD);
+        put_u32(&mut out, shard);
+        put_u32(&mut out, range.start as u32);
+        put_u32(&mut out, range.len() as u32);
+        put_u32(&mut out, row as u32);
+        put_u32(&mut out, data.dim() as u32);
+        let count_at = out.len();
+        put_u32(&mut out, 0); // row count, patched below
+        let mut rows_in_chunk = 0u32;
+        while row < range.end && (rows_in_chunk == 0 || out.len() < SHARD_CHUNK_BYTES) {
+            let r = data.row(row);
+            put_shard_row(&mut out, r.indices, r.values, r.label, weights[row]);
+            rows_in_chunk += 1;
+            row += 1;
+        }
+        out[count_at..count_at + 4].copy_from_slice(&rows_in_chunk.to_le_bytes());
+        chunks.push(out);
+    }
+    chunks
+}
+
+/// Decodes a [`Message::DatasetShard`] payload body (after the tag),
+/// re-validating every builder invariant per chunk and bounding each
+/// allocation by the chunk's own declared-and-checked row count — the
+/// streamed replacement for the monolithic transfer's worst-case
+/// allocation on admission.
+#[allow(clippy::type_complexity)]
+fn get_dataset_shard(
+    r: &mut Reader<'_>,
+) -> Result<(u32, u32, u32, u32, Vec<f64>, Dataset), WireError> {
+    let shard = r.u32()?;
+    let shard_start = r.u32()?;
+    let shard_rows = r.u32()?;
+    let start = r.u32()?;
+    let dim = r.u32()? as usize;
+    // Minimum 13 bytes per row (label byte + weight + nnz count).
+    let n = r.count(13)?;
+    if n == 0 {
+        return Err(WireError::Invalid {
+            what: "empty dataset shard chunk",
+        });
+    }
+    let lo = u64::from(shard_start);
+    let hi = lo + u64::from(shard_rows);
+    if u64::from(start) < lo || u64::from(start) + n as u64 > hi {
+        return Err(WireError::Invalid {
+            what: "dataset shard chunk outside its shard range",
+        });
+    }
+    let mut weights = Vec::with_capacity(n);
+    let mut b = DatasetBuilder::with_capacity(dim, n, 0);
+    for _ in 0..n {
+        let label = match r.u8()? {
+            0 => -1.0,
+            1 => 1.0,
+            _ => {
+                return Err(WireError::Invalid {
+                    what: "dataset shard label byte not 0/1",
+                })
+            }
+        };
+        let weight = r.f64()?;
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(WireError::Invalid {
+                what: "dataset shard importance weight not positive finite",
+            });
+        }
+        let indices = get_index_list(r, dim as u64)?;
+        let mut values = Vec::with_capacity(indices.len());
+        for _ in 0..indices.len() {
+            let x = r.f64()?;
+            if !x.is_finite() {
+                return Err(WireError::Invalid {
+                    what: "non-finite dataset value",
+                });
+            }
+            values.push(x);
+        }
+        weights.push(weight);
+        b.push_row_unchecked(&indices, &values, label);
+    }
+    Ok((shard, shard_start, shard_rows, start, weights, b.finish()))
+}
+
 impl Message {
     /// Appends this message's payload encoding (tag + fields, no length
     /// prefix) to `out`.
@@ -639,6 +1105,41 @@ impl Message {
             Message::DatasetTransfer { dataset } => {
                 out.push(TAG_DATASET_TRANSFER);
                 put_dataset(out, dataset);
+            }
+            Message::ModelDelta {
+                node,
+                round,
+                dim,
+                indices,
+                values,
+            } => {
+                out.push(TAG_MODEL_DELTA);
+                put_u32(out, *node);
+                put_u64(out, *round);
+                put_u32(out, *dim);
+                put_index_list(out, indices);
+                for &v in values {
+                    put_f64(out, v);
+                }
+            }
+            Message::DatasetShard {
+                shard,
+                shard_start,
+                shard_rows,
+                start,
+                weights,
+                chunk,
+            } => {
+                out.push(TAG_DATASET_SHARD);
+                put_u32(out, *shard);
+                put_u32(out, *shard_start);
+                put_u32(out, *shard_rows);
+                put_u32(out, *start);
+                put_u32(out, chunk.dim() as u32);
+                put_u32(out, chunk.n_samples() as u32);
+                for (i, row) in chunk.rows().enumerate() {
+                    put_shard_row(out, row.indices, row.values, row.label, weights[i]);
+                }
             }
         }
     }
@@ -720,6 +1221,35 @@ impl Message {
             TAG_DATASET_TRANSFER => Message::DatasetTransfer {
                 dataset: Box::new(get_dataset(&mut r)?),
             },
+            TAG_MODEL_DELTA => {
+                let node = r.u32()?;
+                let round = r.u64()?;
+                let dim = r.u32()?;
+                let indices = get_index_list(&mut r, u64::from(dim))?;
+                let mut values = Vec::with_capacity(indices.len());
+                for _ in 0..indices.len() {
+                    values.push(r.f64()?);
+                }
+                Message::ModelDelta {
+                    node,
+                    round,
+                    dim,
+                    indices,
+                    values,
+                }
+            }
+            TAG_DATASET_SHARD => {
+                let (shard, shard_start, shard_rows, start, weights, chunk) =
+                    get_dataset_shard(&mut r)?;
+                Message::DatasetShard {
+                    shard,
+                    shard_start,
+                    shard_rows,
+                    start,
+                    weights,
+                    chunk: Box::new(chunk),
+                }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() > 0 {
@@ -740,6 +1270,8 @@ impl Message {
             Message::Hello { .. } => "Hello",
             Message::Assign { .. } => "Assign",
             Message::DatasetTransfer { .. } => "DatasetTransfer",
+            Message::ModelDelta { .. } => "ModelDelta",
+            Message::DatasetShard { .. } => "DatasetShard",
         }
     }
 
@@ -750,8 +1282,12 @@ impl Message {
             Message::ModelUpdate { round, .. }
             | Message::FeedbackBatch { round, .. }
             | Message::RoundBarrier { round, .. }
-            | Message::ShardRebalance { round, .. } => *round,
-            Message::Hello { .. } | Message::Assign { .. } | Message::DatasetTransfer { .. } => 0,
+            | Message::ShardRebalance { round, .. }
+            | Message::ModelDelta { round, .. } => *round,
+            Message::Hello { .. }
+            | Message::Assign { .. }
+            | Message::DatasetTransfer { .. }
+            | Message::DatasetShard { .. } => 0,
         }
     }
 }
@@ -825,6 +1361,7 @@ mod tests {
             commit: CommitPolicy::EpochBoundary,
             loss: "logistic".into(),
             reg: Regularizer::None,
+            encoding: WireEncoding::Dense,
         };
         vec![
             base.clone(),
@@ -835,6 +1372,7 @@ mod tests {
                 commit: CommitPolicy::EveryK(32),
                 loss: "squared hinge".into(),
                 reg: Regularizer::L1 { eta: 1e-5 },
+                encoding: WireEncoding::Delta,
                 ..base.clone()
             },
             SessionConfig {
@@ -842,6 +1380,7 @@ mod tests {
                 sampling: SamplingStrategy::Uniform,
                 obs_model: ObservationModel::LossBound,
                 reg: Regularizer::L2 { eta: 0.01 },
+                encoding: WireEncoding::Auto,
                 ..base.clone()
             },
             SessionConfig {
@@ -957,10 +1496,11 @@ mod tests {
         };
         let mut bytes = m2.to_bytes();
         let n = bytes.len();
-        // The trailing reg tag (1 byte, Regularizer::None) is preceded by
-        // the 2-byte loss string; corrupt its bytes to invalid UTF-8.
-        bytes[n - 2] = 0xFF;
-        bytes[n - 3] = 0xFE;
+        // The frame ends reg tag (1 byte, Regularizer::None) ‖ encoding
+        // (1 byte), preceded by the 2-byte loss string; corrupt the loss
+        // bytes to invalid UTF-8.
+        bytes[n - 3] = 0xFF;
+        bytes[n - 4] = 0xFE;
         assert!(matches!(
             Message::decode(&bytes),
             Err(WireError::Invalid {
@@ -1031,5 +1571,241 @@ mod tests {
                 "prefix of {cut} bytes must not decode"
             );
         }
+    }
+
+    // --- varint / index-list ---------------------------------------------
+
+    fn varint_roundtrip(v: u64) -> usize {
+        let mut out = Vec::new();
+        put_varint(&mut out, v);
+        let mut r = Reader::new(&out);
+        assert_eq!(get_varint(&mut r).unwrap(), v, "varint {v}");
+        assert_eq!(r.remaining(), 0);
+        out.len()
+    }
+
+    #[test]
+    fn varint_boundary_values_roundtrip_minimally() {
+        assert_eq!(varint_roundtrip(0), 1);
+        assert_eq!(varint_roundtrip(127), 1); // 2^7 − 1
+        assert_eq!(varint_roundtrip(128), 2); // 2^7
+        assert_eq!(varint_roundtrip(16_383), 2); // 2^14 − 1
+        assert_eq!(varint_roundtrip(16_384), 3); // 2^14
+        assert_eq!(varint_roundtrip(u64::from(u32::MAX)), 5);
+        assert_eq!(varint_roundtrip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn non_minimal_varints_are_rejected() {
+        // `0x80 0x00` is a redundant encoding of zero.
+        for bad in [&[0x80u8, 0x00][..], &[0x81, 0x00], &[0xFF, 0x80, 0x00]] {
+            let mut r = Reader::new(bad);
+            assert!(
+                matches!(get_varint(&mut r), Err(WireError::Invalid { .. })),
+                "{bad:?} must be rejected as non-minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_a_typed_error() {
+        // 10 continuation bytes followed by a 2-bit final group: > 64 bits.
+        let mut bytes = vec![0xFFu8; 9];
+        bytes.push(0x7F);
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(get_varint(&mut r), Err(WireError::Invalid { .. })));
+        // 11 bytes always overflow.
+        let mut bytes = vec![0x80u8; 10];
+        bytes.push(0x01);
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(get_varint(&mut r), Err(WireError::Invalid { .. })));
+    }
+
+    #[test]
+    fn index_lists_gap_code_and_bound_check() {
+        let indices = vec![0u32, 1, 129, 4_000_000, u32::MAX - 1];
+        let mut out = Vec::new();
+        put_index_list(&mut out, &indices);
+        let mut r = Reader::new(&out);
+        let back = get_index_list(&mut r, u64::from(u32::MAX)).unwrap();
+        assert_eq!(back, indices);
+        // The same bytes against a small dim are rejected.
+        let mut r = Reader::new(&out);
+        assert!(matches!(
+            get_index_list(&mut r, 130),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    // --- model deltas ----------------------------------------------------
+
+    #[test]
+    fn delta_roundtrip_reconstructs_bit_exactly() {
+        let base = vec![0.0, -0.0, 1.5, f64::MAX, 5e-324, -3.25];
+        let next = vec![0.0, 0.0, 1.5, f64::MAX, -5e-324, f64::NEG_INFINITY];
+        let (indices, values) = delta_coords(&base, &next);
+        // −0.0 → 0.0 is a bit change and must be carried.
+        assert_eq!(indices, vec![1, 4, 5]);
+        let rebuilt = apply_delta(&base, &indices, &values);
+        for (a, b) in rebuilt.iter().zip(&next) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        roundtrip(&Message::ModelDelta {
+            node: 2,
+            round: 7,
+            dim: base.len() as u32,
+            indices,
+            values,
+        });
+        roundtrip(&Message::ModelDelta {
+            node: 0,
+            round: 1,
+            dim: 10,
+            indices: vec![],
+            values: vec![],
+        });
+    }
+
+    #[test]
+    fn model_delta_rejects_out_of_dim_indices() {
+        let m = Message::ModelDelta {
+            node: 0,
+            round: 1,
+            dim: 4,
+            indices: vec![1, 5],
+            values: vec![1.0, 2.0],
+        };
+        assert!(matches!(
+            Message::decode(&m.to_bytes()),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    // --- shard-streamed dataset ------------------------------------------
+
+    #[test]
+    fn dataset_shard_chunks_roundtrip_and_cover_the_shard() {
+        let mut b = DatasetBuilder::new(16);
+        for i in 0..40u32 {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            b.push_row(&[(i % 16, 0.5 + f64::from(i))], y).unwrap();
+        }
+        let ds = b.finish();
+        let weights: Vec<f64> = (0..40).map(|i| 1.0 + i as f64 * 0.25).collect();
+        let chunks = encode_dataset_shard_chunks(1, 10..30, &ds, &weights);
+        assert!(!chunks.is_empty());
+        let mut rows_seen = 0usize;
+        for bytes in &chunks {
+            let msg = Message::decode(bytes).expect("chunk decodes");
+            // Chunks are canonical: re-encoding is byte-identical.
+            assert_eq!(&msg.to_bytes(), bytes);
+            let Message::DatasetShard {
+                shard,
+                shard_start,
+                shard_rows,
+                start,
+                weights: w,
+                chunk,
+            } = msg
+            else {
+                panic!("wrong variant")
+            };
+            assert_eq!(shard, 1);
+            assert_eq!(shard_start, 10);
+            assert_eq!(shard_rows, 20);
+            assert_eq!(start as usize, 10 + rows_seen);
+            assert_eq!(chunk.dim(), ds.dim());
+            for (i, row) in chunk.rows().enumerate() {
+                let global = start as usize + i;
+                let orig = ds.row(global);
+                assert_eq!(row.indices, orig.indices);
+                assert_eq!(
+                    row.values[0].to_bits(),
+                    orig.values[0].to_bits(),
+                    "row {global} values must be bit-exact"
+                );
+                assert_eq!(row.label, orig.label);
+                assert_eq!(w[i].to_bits(), weights[global].to_bits());
+            }
+            rows_seen += chunk.n_samples();
+        }
+        assert_eq!(rows_seen, 20, "chunks cover the shard exactly once");
+    }
+
+    #[test]
+    fn oversized_rows_still_stream_one_per_chunk() {
+        // A row bigger than SHARD_CHUNK_BYTES moves alone.
+        let dim = (SHARD_CHUNK_BYTES / 8) + 64;
+        let pairs: Vec<(u32, f64)> = (0..dim as u32).map(|i| (i, 1.0)).collect();
+        let mut b = DatasetBuilder::new(dim);
+        b.push_row(&pairs, 1.0).unwrap();
+        b.push_row(&[(0, 2.0)], -1.0).unwrap();
+        let ds = b.finish();
+        let chunks = encode_dataset_shard_chunks(0, 0..2, &ds, &[1.0, 2.0]);
+        assert_eq!(chunks.len(), 2, "huge row forces a chunk break");
+        for bytes in &chunks {
+            assert!(Message::decode(bytes).is_ok());
+        }
+    }
+
+    #[test]
+    fn malformed_shard_frames_are_typed_errors() {
+        let mk_header = |rows: u32| {
+            let mut bytes = vec![TAG_DATASET_SHARD];
+            put_u32(&mut bytes, 0); // shard
+            put_u32(&mut bytes, 4); // shard_start
+            put_u32(&mut bytes, 8); // shard_rows
+            put_u32(&mut bytes, 4); // start
+            put_u32(&mut bytes, 4); // dim
+            put_u32(&mut bytes, rows);
+            bytes
+        };
+        // Empty chunk.
+        let bytes = mk_header(0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Bad label byte.
+        let mut bytes = mk_header(1);
+        bytes.push(7);
+        put_f64(&mut bytes, 1.0);
+        put_u32(&mut bytes, 0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Non-positive weight.
+        let mut bytes = mk_header(1);
+        bytes.push(1);
+        put_f64(&mut bytes, 0.0);
+        put_u32(&mut bytes, 0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Chunk escapes its shard range: start+rows > shard_start+shard_rows.
+        let mut bytes = vec![TAG_DATASET_SHARD];
+        put_u32(&mut bytes, 0);
+        put_u32(&mut bytes, 4); // shard_start
+        put_u32(&mut bytes, 1); // shard_rows
+        put_u32(&mut bytes, 4); // start
+        put_u32(&mut bytes, 4); // dim
+        put_u32(&mut bytes, 2); // rows
+        for label in [0u8, 1] {
+            bytes.push(label);
+            put_f64(&mut bytes, 1.0);
+            put_u32(&mut bytes, 0);
+        }
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Over-declared row count fails before allocation.
+        let bytes = mk_header(u32::MAX);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

@@ -21,7 +21,7 @@
 //! codec's f64 handling, or the SGD update itself shows up as a model
 //! mismatch here.
 
-use isasgd_cluster::{run, ClusterConfig, ClusterRun, SyncStrategy, TransportConfig};
+use isasgd_cluster::{run, ClusterConfig, ClusterRun, SyncStrategy, TransportConfig, WireEncoding};
 use isasgd_core::{
     train, Algorithm, BalancePolicy, CommitPolicy, Execution, ImportanceScheme, LogisticLoss,
     Objective, Regularizer, SamplingStrategy, TrainConfig,
@@ -206,6 +206,132 @@ fn three_way_matrix_tcp_inproc_engine() {
             );
         }
     }
+}
+
+/// The wire-encoding leg of the matrix: sparse delta frames and the
+/// auto-selected mix are a pure re-encoding of the same model bits, so
+/// a TCP run under every [`WireEncoding`] MUST be bit-identical to the
+/// in-process run — models, traces, and feedback-mirror state alike.
+/// Any arithmetic (rather than bitwise) step in delta encode/apply, or
+/// any tx/rx base desynchronization, breaks this immediately.
+#[test]
+fn tcp_matrix_is_encoding_invariant() {
+    let ds = skewed(240);
+    let seed = 0x15A5_6D00;
+    let rounds = 4;
+    for (strategy, commit) in sampling_commit_cells() {
+        let baseline = run_cluster(
+            &ds,
+            3,
+            strategy,
+            SyncStrategy::WeightedByShard,
+            commit,
+            TransportConfig::InProcess,
+            seed,
+            rounds,
+        );
+        for encoding in [WireEncoding::Dense, WireEncoding::Delta, WireEncoding::Auto] {
+            let tag = format!("{strategy:?}/{commit:?}/{encoding:?}");
+            let tcp = run_cluster(
+                &ds,
+                3,
+                strategy,
+                SyncStrategy::WeightedByShard,
+                commit,
+                TransportConfig::Tcp {
+                    bind: "127.0.0.1:0".into(),
+                    encoding,
+                },
+                seed,
+                rounds,
+            );
+            assert_eq!(baseline.model, tcp.model, "{tag}: model ≠ inproc");
+            assert_eq!(baseline.rounds, tcp.rounds, "{tag}: traces differ");
+            assert_eq!(
+                baseline.feedback_rows, tcp.feedback_rows,
+                "{tag}: mirror traffic differs"
+            );
+            assert_eq!(
+                baseline.observed_phi_imbalance, tcp.observed_phi_imbalance,
+                "{tag}: mirror state differs"
+            );
+            // The counters must attest the encoding actually engaged:
+            // round-model traffic flows as ModelUpdate frames under
+            // Dense and (after the first exchange) as ModelDelta under
+            // Delta.
+            let stats = &tcp.net;
+            assert_eq!(stats.len(), 3, "{tag}: one LinkStats per link");
+            let tx_delta: u64 = stats
+                .iter()
+                .map(|s| s.tx_bytes_for(isasgd_cluster::FrameKind::ModelDelta))
+                .sum();
+            match encoding {
+                WireEncoding::Dense => {
+                    assert_eq!(tx_delta, 0, "{tag}: dense run sent delta frames")
+                }
+                WireEncoding::Delta => {
+                    assert!(tx_delta > 0, "{tag}: delta run never sent a delta frame")
+                }
+                WireEncoding::Auto => {} // workload-dependent either way
+            }
+        }
+    }
+}
+
+/// The headline bandwidth claim, pinned on real traffic rather than on
+/// synthetic frames: a sparse workload (the model only ever moves on
+/// nnz ≪ dim/10 coordinates) under `--wire-encoding auto` must move at
+/// least 4× fewer round-model bytes than the dense encoding — while
+/// producing the bit-identical model.
+#[test]
+fn auto_encoding_cuts_round_model_bytes_at_least_4x_on_sparse_workloads() {
+    // Feature space of 4096, but every row touches only coordinates
+    // 0..8 — so each round's model delta has nnz ≤ 8 ≪ dim/10.
+    let dim = 4096;
+    let mut b = DatasetBuilder::new(dim);
+    for i in 0..240 {
+        let norm = if i % 10 == 0 { 6.0 } else { 0.3 };
+        let j = (i % 4) as u32;
+        let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+        b.push_row(&[(j, y * norm), (4 + j, 0.5 * y * norm)], y)
+            .unwrap();
+    }
+    let ds = b.finish();
+    let round_model_bytes = |run: &ClusterRun| -> u64 {
+        run.net
+            .iter()
+            .map(|s| {
+                s.tx_bytes_for(isasgd_cluster::FrameKind::ModelUpdate)
+                    + s.tx_bytes_for(isasgd_cluster::FrameKind::ModelDelta)
+                    + s.rx_bytes_for(isasgd_cluster::FrameKind::ModelUpdate)
+                    + s.rx_bytes_for(isasgd_cluster::FrameKind::ModelDelta)
+            })
+            .sum()
+    };
+    let mut runs = [WireEncoding::Dense, WireEncoding::Auto].map(|encoding| {
+        run_cluster(
+            &ds,
+            2,
+            SamplingStrategy::Static,
+            SyncStrategy::Average,
+            CommitPolicy::EpochBoundary,
+            TransportConfig::Tcp {
+                bind: "127.0.0.1:0".into(),
+                encoding,
+            },
+            0x15A5_6D00,
+            8,
+        )
+    });
+    let [dense, auto] = &mut runs;
+    assert_eq!(dense.model, auto.model, "encodings changed the model");
+    assert_eq!(dense.rounds, auto.rounds, "encodings changed the trace");
+    let (dense_bytes, auto_bytes) = (round_model_bytes(dense), round_model_bytes(auto));
+    assert!(
+        dense_bytes >= 4 * auto_bytes,
+        "sparse workload: auto encoding moved {auto_bytes} round-model bytes \
+         vs {dense_bytes} dense — less than the pinned 4× reduction"
+    );
 }
 
 /// A bigger TCP soak (more nodes, more rounds, adaptive every-k) —

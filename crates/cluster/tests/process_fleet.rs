@@ -18,9 +18,9 @@
 //!   the accept loop keeps admitting real workers.
 
 use isasgd_cluster::{
-    run, run_fleet_with, run_worker, ClusterConfig, ClusterError, ClusterRun, ProcessConfig,
-    SyncStrategy, TransportConfig, WorkerHandle, WorkerLossPolicy, WorkerOptions, WorkerSpawner,
-    PROTOCOL_VERSION,
+    run, run_fleet_with, run_worker, ClusterConfig, ClusterError, ClusterRun, FrameKind, Message,
+    ProcessConfig, SyncStrategy, TransportConfig, WireEncoding, WorkerHandle, WorkerLossPolicy,
+    WorkerOptions, WorkerSpawner, PROTOCOL_VERSION,
 };
 use isasgd_core::{
     train, Algorithm, CommitPolicy, Execution, ImportanceScheme, LogisticLoss, Objective,
@@ -250,6 +250,88 @@ fn killed_worker_with_respawn_completes_bit_identically() {
         assert_eq!(
             chaotic.rounds, clean.rounds,
             "kill {victim}@{round}: round traces diverged"
+        );
+    }
+}
+
+/// The bandwidth half of the shard-streaming pin: every admitted worker
+/// of a 3-node fleet receives strictly fewer dataset bytes than one
+/// monolithic [`Message::DatasetTransfer`] of the whole training set
+/// would have cost — measured by the supervisor's own per-link,
+/// per-frame-kind counters, not by construction.
+#[test]
+fn fleet_workers_receive_strictly_fewer_dataset_bytes_than_a_full_transfer() {
+    let ds = skewed(240);
+    let cfg = adaptive_cfg(3);
+    let fleet =
+        run_fleet_guarded(ds.clone(), cfg, fleet_pc(), ThreadSpawner { die_at: None }).unwrap();
+    // What the v1 handshake would have shipped to EVERY worker: one
+    // whole-dataset frame (payload + 4-byte length prefix).
+    let full = Message::DatasetTransfer {
+        dataset: Box::new(ds.clone()),
+    }
+    .to_bytes()
+    .len() as u64
+        + 4;
+    assert_eq!(fleet.net.len(), 3, "one LinkStats per supervised link");
+    let mut total = 0u64;
+    for (k, stats) in fleet.net.iter().enumerate() {
+        let shard_tx = stats.tx_bytes_for(FrameKind::DatasetShard);
+        assert!(shard_tx > 0, "worker {k} was never streamed its shard");
+        assert!(
+            shard_tx < full,
+            "worker {k} received {shard_tx} shard bytes — not fewer than the \
+             {full}-byte monolithic transfer it replaces"
+        );
+        assert_eq!(
+            stats.tx_bytes_for(FrameKind::DatasetTransfer),
+            0,
+            "worker {k} also received a monolithic transfer"
+        );
+        total += shard_tx;
+    }
+    // Aggregate honesty: 3 disjoint shard streams must also undercut
+    // the old cost of 3 full copies by roughly the sharding factor.
+    assert!(
+        total * 2 < full * 3,
+        "shard streaming saved less than half of 3 full transfers \
+         ({total} vs {})",
+        full * 3
+    );
+}
+
+/// Respawn replay over sparse frames: a worker killed mid-run under the
+/// delta (and auto) wire encodings must recover bit-identically. The
+/// fresh link's empty delta bases have to line up with the readmitted
+/// worker's — the cached handshake frames are always dense, and both
+/// ends only install a base after a successful round exchange.
+#[test]
+fn killed_worker_with_respawn_is_bit_identical_under_delta_encodings() {
+    let ds = skewed(240);
+    let cfg = adaptive_cfg(3);
+    let clean = run(&ds, &obj(), &cfg).unwrap();
+    for encoding in [WireEncoding::Delta, WireEncoding::Auto] {
+        let pc = ProcessConfig {
+            on_loss: WorkerLossPolicy::Respawn,
+            encoding,
+            ..fleet_pc()
+        };
+        let chaotic = run_fleet_guarded(
+            ds.clone(),
+            cfg.clone(),
+            pc,
+            ThreadSpawner {
+                die_at: Some((1, 2)),
+            },
+        )
+        .unwrap_or_else(|e| panic!("{encoding:?}: respawn run failed: {e}"));
+        assert_eq!(
+            chaotic.model, clean.model,
+            "{encoding:?}: delta-encoded replay diverged from the undisturbed model"
+        );
+        assert_eq!(
+            chaotic.rounds, clean.rounds,
+            "{encoding:?}: round traces diverged"
         );
     }
 }

@@ -3,7 +3,9 @@
 //! mutated frames return a typed `WireError`, never a panic and never
 //! an unbounded allocation.
 
-use isasgd_cluster::{Message, SessionConfig, WireError, PROTOCOL_VERSION};
+use isasgd_cluster::{
+    apply_delta, delta_coords, Message, SessionConfig, WireEncoding, WireError, PROTOCOL_VERSION,
+};
 use isasgd_core::{
     CommitPolicy, ImportanceScheme, ObservationModel, Regularizer, SamplingStrategy,
 };
@@ -124,6 +126,11 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
                 Just(CommitPolicy::EpochBoundary),
                 (0usize..1 << 20).prop_map(CommitPolicy::EveryK),
             ],
+            prop_oneof![
+                Just(WireEncoding::Dense),
+                Just(WireEncoding::Delta),
+                Just(WireEncoding::Auto),
+            ],
         ),
         (
             arb_loss_name(),
@@ -138,7 +145,7 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
             |(
                 (nodes, rounds, local_epochs, step_size),
                 (seed, round_timeout_ms, importance),
-                (sampling, obs_model, commit),
+                (sampling, obs_model, commit, encoding),
                 (loss, reg),
             )| SessionConfig {
                 nodes,
@@ -153,6 +160,7 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
                 commit,
                 loss,
                 reg,
+                encoding,
             },
         )
 }
@@ -184,6 +192,84 @@ fn arb_dataset_transfer() -> impl Strategy<Value = Message> {
     })
 }
 
+/// Sparse model deltas: a strictly increasing coordinate set bounded by
+/// `dim` (so every generated frame is decodable), with nasty-edge f64
+/// payloads. `dim` includes `u32::MAX` so the gap-coded varints exercise
+/// their widest encodings.
+fn arb_model_delta() -> impl Strategy<Value = Message> {
+    (
+        0u32..=u32::MAX,
+        0u64..=u64::MAX,
+        prop_oneof![1u32..4096, Just(u32::MAX)],
+    )
+        .prop_flat_map(|(node, round, dim)| {
+            (
+                Just(node),
+                Just(round),
+                Just(dim),
+                prop::collection::vec(0..dim, 0..32),
+            )
+        })
+        .prop_flat_map(|(node, round, dim, mut raw)| {
+            raw.sort_unstable();
+            raw.dedup();
+            let indices = raw;
+            let n = indices.len();
+            (
+                Just(node),
+                Just(round),
+                Just(dim),
+                (Just(indices), prop::collection::vec(arb_f64(), n..n + 1)),
+            )
+        })
+        .prop_map(
+            |(node, round, dim, (indices, values))| Message::ModelDelta {
+                node,
+                round,
+                dim,
+                indices,
+                values,
+            },
+        )
+}
+
+/// Shard-stream chunks with a consistent header: `start` sits inside
+/// `[shard_start, shard_start + shard_rows)` and the chunk's rows fit
+/// the declared shard. Weights are strictly positive finite (the
+/// decoder's invariant), labels ±1.
+fn arb_dataset_shard() -> impl Strategy<Value = Message> {
+    (
+        (0u32..=u32::MAX, 0u32..1024, 0u32..8, 0u32..8),
+        prop::collection::vec(
+            (
+                prop::collection::btree_map(0u32..32, -10.0f64..10.0, 0..6),
+                0u8..2,
+                1e-3f64..10.0,
+            ),
+            1..12,
+        ),
+    )
+        .prop_map(|((shard, shard_start, before, after), rows)| {
+            let n = rows.len() as u32;
+            let mut b = DatasetBuilder::new(32);
+            let mut weights = Vec::with_capacity(rows.len());
+            for (pairs, pos, w) in rows {
+                let pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
+                b.push_row(&pairs, if pos == 1 { 1.0 } else { -1.0 })
+                    .unwrap();
+                weights.push(w);
+            }
+            Message::DatasetShard {
+                shard,
+                shard_start,
+                shard_rows: before + n + after,
+                start: shard_start + before,
+                weights,
+                chunk: Box::new(b.finish()),
+            }
+        })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_model_update(),
@@ -193,6 +279,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         arb_hello(),
         arb_assign(),
         arb_dataset_transfer(),
+        arb_model_delta(),
+        arb_dataset_shard(),
     ]
 }
 
@@ -283,5 +371,55 @@ proptest! {
         let pos = pos_seed % bytes.len();
         bytes[pos] ^= flip;
         let _ = Message::decode(&bytes);
+    }
+
+    /// `apply_delta(base, delta_coords(base, next)) == next` bit-exactly
+    /// for arbitrary models — including ±0.0, ±inf, and subnormal
+    /// coordinates — and the delta itself survives the wire unchanged.
+    #[test]
+    fn delta_encode_apply_is_the_identity(
+        pairs in prop::collection::vec((arb_f64(), arb_f64()), 0..64),
+    ) {
+        let base: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let next: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let (indices, values) = delta_coords(&base, &next);
+        let rebuilt = apply_delta(&base, &indices, &values);
+        prop_assert_eq!(rebuilt.len(), next.len());
+        for (a, b) in rebuilt.iter().zip(&next) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let msg = Message::ModelDelta {
+            node: 0,
+            round: 0,
+            dim: base.len() as u32,
+            indices,
+            values,
+        };
+        let back = Message::decode(&msg.to_bytes());
+        prop_assert_eq!(back.as_ref(), Ok(&msg));
+        if let Ok(Message::ModelDelta { values: v, .. }) = &back {
+            if let Message::ModelDelta { values: w, .. } = &msg {
+                for (x, y) in v.iter().zip(w) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Varint boundary indices (0, 2^7, 2^14, and the widest encodable
+    /// coordinate) gap-code through a ModelDelta frame and come back
+    /// exactly, at any payload.
+    #[test]
+    fn varint_boundary_indices_roundtrip(values in prop::collection::vec(arb_f64(), 6..7)) {
+        let indices = vec![0u32, 127, 128, 16_384, 1 << 20, u32::MAX - 1];
+        let msg = Message::ModelDelta {
+            node: 1,
+            round: 2,
+            dim: u32::MAX,
+            indices,
+            values,
+        };
+        let back = Message::decode(&msg.to_bytes());
+        prop_assert_eq!(back.as_ref(), Ok(&msg));
     }
 }
