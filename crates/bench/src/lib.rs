@@ -7,6 +7,8 @@
 //! time-to-target (Fig. 4), and the samplers that make IS free at run
 //! time (Alg. 2).
 
+#![forbid(unsafe_code)]
+
 use isasgd_datagen::{generate, DatasetProfile, FeatureKind, GeneratedData};
 
 /// A small-but-realistic benchmark dataset: sparse rows, skewed feature

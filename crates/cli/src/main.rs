@@ -7,6 +7,8 @@
 //! isasgd gen     --out f.svm          synthesize a calibrated dataset
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cmd_gen;
 mod cmd_info;
 mod cmd_predict;

@@ -545,7 +545,7 @@ mod tests {
         ] {
             match spec(line) {
                 Err(OptError::BadValue { flag: f, .. }) => {
-                    assert_eq!(f, flag, "{line}: wrong flag attributed")
+                    assert_eq!(f, flag, "{line}: wrong flag attributed");
                 }
                 other => panic!("{line}: expected BadValue, got {other:?}"),
             }

@@ -332,6 +332,7 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
     let mut models: Vec<Vec<f64>> = vec![Vec::new(); cfg.nodes];
     let mut feedback_rows = 0usize;
     for round in 1..=cfg.rounds {
+        // lint: allow(wall-clock) — measures reported train_secs only; no control-flow or results depend on it
         let t0 = Instant::now();
         for (k, link) in links.iter_mut().enumerate() {
             link.send(&Message::RoundBarrier {
@@ -622,7 +623,7 @@ impl<T: Transport> NodeRuntime<T> {
                 m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
                     if m.round() >= 1 =>
                 {
-                    self.stash.push_back(m)
+                    self.stash.push_back(m);
                 }
                 _ => {}
             }
@@ -751,7 +752,7 @@ impl<T: Transport> NodeRuntime<T> {
                 m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
                     if m.round() > round =>
                 {
-                    stash.push_back(m)
+                    stash.push_back(m);
                 }
                 _ => {}
             }

@@ -111,7 +111,7 @@ impl Drop for ChildHandle {
             match self.0.try_wait() {
                 Ok(Some(_)) => return,
                 Ok(None) if Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(10))
+                    std::thread::sleep(Duration::from_millis(10));
                 }
                 _ => {
                     let _ = self.0.kill();

@@ -606,7 +606,7 @@ mod tests {
             };
             match run(&ds, &obj(), &cfg) {
                 Err(ClusterError::InvalidConfig(msg)) => {
-                    assert!(msg.contains("adaptive"), "must point at the fix: {msg}")
+                    assert!(msg.contains("adaptive"), "must point at the fix: {msg}");
                 }
                 other => panic!("expected InvalidConfig, got {other:?}"),
             }

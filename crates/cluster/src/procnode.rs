@@ -250,7 +250,7 @@ fn serve(
     let runtime = NodeRuntime::new(link, worker as usize).with_chaos_kill(die_at_round);
     match sc.loss.as_str() {
         n if n == LogisticLoss.name() => {
-            drive(runtime, data, &Objective::new(LogisticLoss, sc.reg), &cfg)?
+            drive(runtime, data, &Objective::new(LogisticLoss, sc.reg), &cfg)?;
         }
         n if n == SquaredHingeLoss.name() => drive(
             runtime,
@@ -259,7 +259,7 @@ fn serve(
             &cfg,
         )?,
         n if n == SquaredLoss.name() => {
-            drive(runtime, data, &Objective::new(SquaredLoss, sc.reg), &cfg)?
+            drive(runtime, data, &Objective::new(SquaredLoss, sc.reg), &cfg)?;
         }
         other => {
             return Err(ClusterError::InvalidConfig(format!(

@@ -520,7 +520,7 @@ impl Transport for Tcp {
             .read_exact(&mut self.scratch)
             .map_err(eof_is_closed)?;
         let msg = Message::decode(&self.scratch)?;
-        if let Some(kind) = FrameKind::from_tag(self.scratch[0]) {
+        if let Some(kind) = self.scratch.first().copied().and_then(FrameKind::from_tag) {
             self.stats.record_rx(kind, len + 4);
         }
         match msg {
@@ -543,7 +543,11 @@ impl Transport for Tcp {
                         }))
                     }
                 };
-                let model = apply_delta(base, &indices, &values);
+                let model = apply_delta(base, &indices, &values).ok_or(TransportError::Wire(
+                    WireError::Invalid {
+                        what: "model delta out of bounds against its base",
+                    },
+                ))?;
                 self.rx_base = Some(model.clone());
                 Ok(Message::ModelUpdate { node, round, model })
             }

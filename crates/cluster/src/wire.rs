@@ -450,33 +450,39 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated {
-                needed: n,
-                have: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = WireError::Truncated {
+            needed: n,
+            have: self.remaining(),
+        };
+        let end = self.pos.checked_add(n).ok_or(truncated.clone())?;
+        let s = self.buf.get(self.pos..end).ok_or(truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
+    /// A fixed-width field as an owned array, so the integer readers
+    /// below need neither slice indexing nor a fallible `try_into`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_bits(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8"),
-        )))
+        Ok(f64::from_bits(u64::from_le_bytes(self.array()?)))
     }
 
     /// Validates a declared element count against the bytes actually
@@ -607,6 +613,7 @@ fn get_index_list(r: &mut Reader<'_>, dim: u64) -> Result<Vec<u32>, WireError> {
                 what: "index list coordinate out of bounds",
             });
         }
+        // lint: allow(decode-cast) — idx < dim just checked, and every caller passes dim ≤ u32::MAX + 1
         indices.push(idx as u32);
         prev = Some(idx);
     }
@@ -636,17 +643,19 @@ pub fn delta_coords(base: &[f64], next: &[f64]) -> (Vec<u32>, Vec<f64>) {
 /// clone the base, overwrite the listed coordinates with the carried
 /// bit patterns. The exact inverse of [`delta_coords`].
 ///
-/// # Panics
-/// Panics if any index is out of bounds — callers must have validated
-/// `indices < base.len()` (the wire decoder bounds them by the frame's
-/// declared `dim`, and the transport checks its base against that dim).
-pub fn apply_delta(base: &[f64], indices: &[u32], values: &[f64]) -> Vec<f64> {
-    debug_assert_eq!(indices.len(), values.len());
+/// The delta arrives off the wire, so the checks hold in release
+/// builds: returns `None` when the coordinate and value lists disagree
+/// in length or any index falls outside `base` (a delta built against
+/// a different model dimension than the receiver holds).
+pub fn apply_delta(base: &[f64], indices: &[u32], values: &[f64]) -> Option<Vec<f64>> {
+    if indices.len() != values.len() {
+        return None;
+    }
     let mut model = base.to_vec();
     for (&i, &v) in indices.iter().zip(values) {
-        model[i as usize] = v;
+        *model.get_mut(i as usize)? = v;
     }
-    model
+    Some(model)
 }
 
 // --- sub-enum codecs for the Assign frame -------------------------------
@@ -884,6 +893,7 @@ fn get_dataset(r: &mut Reader<'_>) -> Result<Dataset, WireError> {
     let mut b = DatasetBuilder::with_capacity(dim, n, 0);
     for _ in 0..n {
         let label = r.f64()?;
+        // lint: allow(float-cmp) — ±1.0 are exact sentinel bit patterns the encoder wrote, not arithmetic results
         if label != 1.0 && label != -1.0 {
             return Err(WireError::Invalid {
                 what: "dataset label not ±1",
@@ -932,6 +942,7 @@ fn get_dataset(r: &mut Reader<'_>) -> Result<Dataset, WireError> {
 pub const SHARD_CHUNK_BYTES: usize = 1 << 18;
 
 fn put_shard_row(out: &mut Vec<u8>, indices: &[u32], values: &[f64], label: f64, weight: f64) {
+    // lint: allow(float-cmp) — labels are the exact sentinels ±1.0 by Dataset construction
     out.push(if label == 1.0 { 1 } else { 0 });
     put_f64(out, weight);
     put_index_list(out, indices);
@@ -1551,7 +1562,7 @@ mod tests {
         put_u32(&mut bytes, u32::MAX); // declared count
         match Message::decode(&bytes) {
             Err(WireError::Truncated { needed, have: 0 }) => {
-                assert_eq!(needed, u32::MAX as usize * 12)
+                assert_eq!(needed, u32::MAX as usize * 12);
             }
             other => panic!("expected Truncated, got {other:?}"),
         }
@@ -1646,7 +1657,8 @@ mod tests {
         let (indices, values) = delta_coords(&base, &next);
         // −0.0 → 0.0 is a bit change and must be carried.
         assert_eq!(indices, vec![1, 4, 5]);
-        let rebuilt = apply_delta(&base, &indices, &values);
+        let rebuilt =
+            apply_delta(&base, &indices, &values).expect("delta from delta_coords is in bounds");
         for (a, b) in rebuilt.iter().zip(&next) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -1664,6 +1676,39 @@ mod tests {
             indices: vec![],
             values: vec![],
         });
+    }
+
+    /// The checks in [`apply_delta`] hold in release builds: a delta
+    /// whose coordinates outrun the receiver's base, or whose index and
+    /// value lists disagree in length, is refused instead of panicking.
+    #[test]
+    fn apply_delta_refuses_malformed_deltas() {
+        let base = vec![1.0, 2.0, 3.0];
+        // Index == base.len() is out of bounds.
+        assert_eq!(apply_delta(&base, &[3], &[9.0]), None);
+        // Far out of bounds.
+        assert_eq!(apply_delta(&base, &[u32::MAX], &[9.0]), None);
+        // Length mismatch in either direction.
+        assert_eq!(apply_delta(&base, &[0, 1], &[9.0]), None);
+        assert_eq!(apply_delta(&base, &[0], &[9.0, 8.0]), None);
+        // The empty delta is the identity.
+        assert_eq!(apply_delta(&base, &[], &[]), Some(base.clone()));
+        // A partial failure must not have been applied halfway — the
+        // refusal happens before any caller-visible state changes.
+        assert_eq!(apply_delta(&base, &[2, 3], &[7.0, 9.0]), None);
+    }
+
+    /// `Reader::take` survives a length that would overflow `pos + n`.
+    #[test]
+    fn reader_take_survives_overflowing_lengths() {
+        let buf = [0u8; 4];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.take(usize::MAX),
+            Err(WireError::Truncated { .. })
+        ));
+        // Position is untouched by the failed take.
+        assert_eq!(r.u32().unwrap(), 0);
     }
 
     #[test]

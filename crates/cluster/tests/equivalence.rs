@@ -267,10 +267,10 @@ fn tcp_matrix_is_encoding_invariant() {
                 .sum();
             match encoding {
                 WireEncoding::Dense => {
-                    assert_eq!(tx_delta, 0, "{tag}: dense run sent delta frames")
+                    assert_eq!(tx_delta, 0, "{tag}: dense run sent delta frames");
                 }
                 WireEncoding::Delta => {
-                    assert!(tx_delta > 0, "{tag}: delta run never sent a delta frame")
+                    assert!(tx_delta > 0, "{tag}: delta run never sent a delta frame");
                 }
                 WireEncoding::Auto => {} // workload-dependent either way
             }

@@ -552,7 +552,7 @@ fn out_of_range_chaos_kill_is_rejected_up_front() {
         };
         match run_fleet_with(&ds, &obj(), &cfg, &pc, ThreadSpawner { die_at: None }) {
             Err(ClusterError::InvalidConfig(msg)) => {
-                assert!(msg.contains("chaos-kill"), "{victim}:{round}: {msg}")
+                assert!(msg.contains("chaos-kill"), "{victim}:{round}: {msg}");
             }
             other => panic!("{victim}:{round}: expected InvalidConfig, got {other:?}"),
         }
@@ -576,7 +576,7 @@ fn process_transport_config_round_trips_through_run() {
     };
     match run(&ds, &obj(), &cfg) {
         Err(ClusterError::Worker(msg)) => {
-            assert!(msg.contains("spawning worker"), "{msg}")
+            assert!(msg.contains("spawning worker"), "{msg}");
         }
         other => panic!("expected a spawn error, got {other:?}"),
     }

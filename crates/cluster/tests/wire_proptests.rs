@@ -383,7 +383,7 @@ proptest! {
         let base: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let next: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         let (indices, values) = delta_coords(&base, &next);
-        let rebuilt = apply_delta(&base, &indices, &values);
+        let rebuilt = apply_delta(&base, &indices, &values).expect("delta from delta_coords is in bounds");
         prop_assert_eq!(rebuilt.len(), next.len());
         for (a, b) in rebuilt.iter().zip(&next) {
             prop_assert_eq!(a.to_bits(), b.to_bits());

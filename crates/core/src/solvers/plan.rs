@@ -127,6 +127,7 @@ pub fn build_plan<L: Loss>(
         )));
     }
 
+    // lint: allow(wall-clock) — measures reported setup_secs only; no control-flow or results depend on it
     let t0 = Instant::now();
     let n = ds.n_samples();
     let seeds = derive_seeds(cfg.seed, workers + 1);

@@ -33,6 +33,8 @@
 //!   --out <dir>       output directory                    [default results/]
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cmds;
 mod common;
 

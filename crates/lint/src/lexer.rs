@@ -1,0 +1,380 @@
+//! A minimal hand-rolled Rust lexer: just enough token structure for
+//! the rule pass — identifiers, punctuation, literals, comments — with
+//! line/column spans. No `syn`, no proc-macro machinery: the build
+//! environment is offline (see `vendor/README.md`), and the rules are
+//! deliberately token-level (see the crate docs for what that means
+//! they can and cannot check).
+//!
+//! Handled: line comments, nested block comments, string/char/byte
+//! literals, raw strings (`r"…"`, `r#"…"#`, any guard depth),
+//! lifetimes vs. char literals, numeric literals (including floats and
+//! exponents). Not handled: raw identifiers (`r#fn`) — the workspace
+//! does not use them, and the lexer would tokenize one as a raw-string
+//! false start; if one ever appears the lint output will make the
+//! confusion obvious rather than silently misreading it.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `fn`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so char literals don't blur.
+    Lifetime,
+    /// Numeric literal (`42`, `1.0`, `1e-5`, `0x1F`).
+    Number,
+    /// String, char, or byte-string literal (contents opaque).
+    Str,
+    /// One punctuation character (`.`, `[`, `=`, `!`, …).
+    Punct,
+    /// `// …` comment, text kept for `lint: allow(...)` parsing.
+    LineComment,
+    /// `/* … */` comment (nesting folded into one token).
+    BlockComment,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when this token is the identifier/keyword `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for comment tokens (skipped by the rule pass).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Total: any byte sequence produces a token stream
+/// (unterminated literals are closed by end-of-file), so the lint can
+/// never panic on the code it is checking.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += c.len_utf8() as u32;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if self.raw_string_guard().is_some() {
+                self.raw_string(line, col);
+            } else if c == '"' || (c == 'b' && self.peek(1) == Some('"')) {
+                if c == 'b' {
+                    self.bump();
+                }
+                self.quoted('"', line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if is_ident_start(c) {
+                self.ident(line, col);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    /// When positioned at the start of a raw (byte) string (`r"`,
+    /// `r#"`, `br##"` …), returns the number of `#` guards.
+    fn raw_string_guard(&self) -> Option<usize> {
+        let mut at = 0;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            at = 2;
+        } else if self.peek(0) == Some('r') {
+            at = 1;
+        }
+        if at == 0 {
+            return None;
+        }
+        let mut guards = 0;
+        while self.peek(at + guards) == Some('#') {
+            guards += 1;
+        }
+        (self.peek(at + guards) == Some('"')).then_some(guards)
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::BlockComment, text, line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let guards = self.raw_string_guard().unwrap_or(0);
+        let start = self.i;
+        // Consume the opener: optional `b`, `r`, guards, quote.
+        while self.peek(0) != Some('"') {
+            self.bump();
+        }
+        self.bump();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for g in 0..guards {
+                    if self.peek(g) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..guards {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    fn quoted(&mut self, close: char, line: u32, col: u32) {
+        let start = self.i;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == close {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    /// `'` starts either a char literal (`'a'`, `'\n'`) or a lifetime
+    /// (`'a`): escape or a close-quote within two characters means
+    /// char literal, otherwise lifetime.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        if self.peek(1) == Some('\\') || self.peek(2) == Some('\'') {
+            self.quoted('\'', line, col);
+            return;
+        }
+        let start = self.i;
+        self.bump(); // the quote
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Lifetime, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let at_exponent = matches!(c, 'e' | 'E')
+                    && !self.chars[start..self.i].contains(&'x')
+                    && matches!(self.peek(1), Some('+' | '-') | Some('0'..='9'));
+                self.bump();
+                if at_exponent && matches!(self.peek(0), Some('+' | '-')) {
+                    self.bump();
+                }
+            } else if c == '.'
+                && self.peek(1) != Some('.')
+                && self.peek(1).is_none_or(|n| n.is_ascii_digit())
+            {
+                // `1.0` continues the number; `0..n` and `1.max(2)` stop.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Number, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+// Keep the unused-field warning away: `src` documents that the lexer
+// could hand out borrowed slices instead of owned strings if the rule
+// pass ever needs to scale past this workspace's file count.
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Lexer at {}:{} of {} bytes",
+            self.line,
+            self.col,
+            self.src.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokKind::Punct, "=".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        let toks = kinds("1.5 0..n 2e-3 0x1F 1.max(2)");
+        assert_eq!(toks[0], (TokKind::Number, "1.5".into()));
+        assert_eq!(toks[1], (TokKind::Number, "0".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[4], (TokKind::Ident, "n".into()));
+        assert_eq!(toks[5], (TokKind::Number, "2e-3".into()));
+        assert_eq!(toks[6], (TokKind::Number, "0x1F".into()));
+        assert_eq!(toks[7], (TokKind::Number, "1".into()));
+        assert_eq!(toks[8], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[9], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes_comments() {
+        let toks = kinds(r##"'a' '\n' 'static "s[i]" r#"raw // not a comment"# // real"##);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2], (TokKind::Lifetime, "'static".into()));
+        assert_eq!(toks[3], (TokKind::Str, "\"s[i]\"".into()));
+        assert_eq!(toks[4].0, TokKind::Str);
+        assert!(toks[4].1.contains("not a comment"));
+        assert_eq!(toks[5].0, TokKind::LineComment);
+    }
+
+    #[test]
+    fn nested_block_comments_and_spans() {
+        let toks = lex("a\n/* x /* y */ z */ b");
+        assert_eq!(toks[1].kind, TokKind::BlockComment);
+        assert_eq!(toks[2].text, "b");
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[2].col, 19);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        assert!(!lex("\"open").is_empty());
+        assert!(!lex("r#\"open").is_empty());
+        assert!(!lex("/* open").is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Findings and the two report formats: human text and `--format json`
+//! (machine-readable, so future PRs can diff rule-violation counts the
+//! same way `BENCH_wire.json` diffs throughput).
+
+use std::collections::BTreeMap;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (see the `rules` module table).
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// One acknowledged escape hatch, surfaced so reviews see the full
+/// list of sites the rules do **not** cover.
+#[derive(Debug, Clone)]
+pub struct AllowReport {
+    /// Rule being silenced.
+    pub rule: String,
+    /// File of the annotation.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+    /// The annotation's reason text.
+    pub reason: String,
+}
+
+/// The complete run result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Escape hatches in effect across the workspace.
+    pub allows: Vec<AllowReport>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings per rule, sorted by rule name.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            s.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n",
+                f.file, f.line, f.col, f.rule, f.message
+            ));
+        }
+        s.push_str(&format!(
+            "isasgd-lint: {} file(s) scanned, {} finding(s), {} allow(s) in effect\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.allows.len()
+        ));
+        for a in &self.allows {
+            s.push_str(&format!(
+                "  allow {} at {}:{} — {}\n",
+                a.rule, a.file, a.line, a.reason
+            ));
+        }
+        s
+    }
+
+    /// Machine-readable report: stable key order, no timestamps, so
+    /// two runs over the same tree are byte-identical and diffable.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"files_scanned\": ");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\n  \"counts\": {");
+        let counts = self.counts();
+        for (k, (rule, n)) in counts.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {}", json_str(rule), n));
+        }
+        s.push_str(if counts.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"findings\": [");
+        for (k, f) in self.findings.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            ));
+        }
+        s.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"allows\": [");
+        for (k, a) in self.allows.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason)
+            ));
+        }
+        s.push_str(if self.allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        r.findings.push(Finding {
+            rule: "decode-unwrap",
+            file: "a \"b\".rs".into(),
+            line: 3,
+            col: 7,
+            message: "bad\nthing".into(),
+        });
+        let a = r.render_json();
+        let b = r.render_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"b\\\""));
+        assert!(a.contains("\\n"));
+        assert!(a.contains("\"decode-unwrap\": 1"));
+        assert!(!a.to_lowercase().contains("time"));
+    }
+}

@@ -1,0 +1,409 @@
+//! The rule families over scanned source files.
+//!
+//! Scoping is data, not code: [`decode_scope`] and the constant tables
+//! below say exactly which files and functions each family covers, so
+//! adding a path to the protocol surface is a one-line diff that the
+//! review can see.
+//!
+//! | rule | family | fires on |
+//! |------|--------|----------|
+//! | `decode-unwrap` | panic-freedom | `.unwrap()` in a decode file |
+//! | `decode-expect` | panic-freedom | `.expect(` in a decode file |
+//! | `decode-panic` | panic-freedom | `panic!`/`unreachable!`/`todo!`/`unimplemented!`/`assert*!` in a decode file |
+//! | `decode-index` | panic-freedom | `x[...]` indexing inside a decode-side function |
+//! | `decode-cast` | panic-freedom | `as u8/u16/u32/i8/i16/i32/isize` inside a decode-side function |
+//! | `decode-debug-assert` | panic-freedom | `debug_assert*!` inside a decode-side function (release builds skip it — PR 3's `next_index(0)` bug class) |
+//! | `hash-container` | determinism | `HashMap`/`HashSet` in deterministic-core code (iteration order would break the bit-identity pins; token-level analysis cannot see *which* use iterates, so the type itself is the contraband) |
+//! | `wall-clock` | determinism | `Instant::now`/`SystemTime` outside the designated timing modules |
+//! | `float-cmp` | determinism | `==`/`!=` against a non-zero float literal (comparisons to `0.0` are exact-representation guards and stay legal) |
+//! | `missing-forbid-unsafe` | audit | crate root without `#![forbid(unsafe_code)]` |
+//! | `allow-missing-reason` | hygiene | a `lint: allow` with no `— reason` |
+//! | `unused-allow` | hygiene | a `lint: allow` that silenced nothing |
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::scan::SourceFile;
+
+/// Files whose decode paths must be panic-free on hostile input
+/// (workspace-relative). The whole non-test file is covered by the
+/// unwrap/expect/panic rules; the index/cast/debug-assert rules narrow
+/// further to decode-side functions via [`decode_scope`].
+pub const DECODE_FILES: [&str; 3] = [
+    "crates/cluster/src/wire.rs",
+    "crates/cluster/src/transport.rs",
+    "crates/cluster/src/procnode.rs",
+];
+
+/// Crates whose `src/` trees carry the bit-identity guarantees (the
+/// 4-way equivalence matrix): the determinism rules apply here.
+pub const DETERMINISM_CRATES: [&str; 4] = [
+    "crates/cluster/src/",
+    "crates/sampling/src/",
+    "crates/balance/src/",
+    "crates/core/src/",
+];
+
+/// Designated timing modules: wall-clock reads are their purpose
+/// (fleet liveness deadlines, the train-timer harness), so
+/// `wall-clock` does not apply. Everything else in the determinism
+/// crates needs a per-site `lint: allow(wall-clock)` with a reason.
+pub const TIMING_MODULES: [&str; 2] = ["crates/cluster/src/fleet.rs", "crates/core/src/eval.rs"];
+
+/// Is this (file, fn, impl) location on the decode side — parsing
+/// bytes a hostile peer controls?
+fn decode_scope(path: &str, fn_name: &str, impl_name: &str) -> bool {
+    if path.ends_with("cluster/src/wire.rs") {
+        fn_name.starts_with("get_")
+            || fn_name == "decode"
+            || fn_name == "apply_delta"
+            || impl_name == "Reader"
+    } else if path.ends_with("cluster/src/transport.rs") {
+        // The rx path: `Tcp::recv` and the in-process mirror.
+        fn_name == "recv"
+    } else if path.ends_with("cluster/src/procnode.rs") {
+        // The whole worker module handles coordinator-sent frames.
+        !fn_name.is_empty()
+    } else {
+        false
+    }
+}
+
+fn is_decode_file(path: &str) -> bool {
+    DECODE_FILES.iter().any(|f| path.ends_with(f) || path == *f)
+}
+
+fn in_determinism_scope(path: &str) -> bool {
+    DETERMINISM_CRATES.iter().any(|c| path.contains(c))
+}
+
+fn is_timing_module(path: &str) -> bool {
+    TIMING_MODULES
+        .iter()
+        .any(|f| path.ends_with(f) || path == *f)
+}
+
+/// Keywords that may legally precede `[` without it being an index
+/// expression (`return [..]`, `in [..]`, …).
+const NONINDEX_KEYWORDS: [&str; 24] = [
+    "return", "in", "mut", "else", "match", "if", "break", "while", "loop", "as", "move", "ref",
+    "let", "const", "static", "pub", "fn", "where", "unsafe", "dyn", "impl", "for", "use", "box",
+];
+
+/// Cast targets the `decode-cast` rule forbids. Casts *into* `usize`/
+/// `u64`/`u128`/`f64` stay legal: every wire-sourced integer is u8/u32,
+/// so those directions widen on the 64-bit targets this workspace
+/// supports — a limit of token-level analysis the crate docs own up to.
+const NARROWING_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "isize"];
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Runs every per-file rule over `file`, appending findings. Findings
+/// silenced by a `lint: allow` are not appended (the allow is marked
+/// used); allow hygiene itself is checked by [`allow_hygiene`].
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let decode_file = is_decode_file(&file.path);
+    let determinism = in_determinism_scope(&file.path);
+    if !decode_file && !determinism {
+        return;
+    }
+    let toks = &file.toks;
+    let mut emit = |rule: &'static str, line: u32, col: u32, message: String| {
+        if !file.consume_allow(rule, line) {
+            out.push(Finding {
+                rule,
+                file: file.path.clone(),
+                line,
+                col,
+                message,
+            });
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let (fn_name, impl_name) = &file.scopes[i];
+        let in_decode = decode_file && decode_scope(&file.path, fn_name, impl_name);
+
+        if decode_file && t.kind == TokKind::Ident {
+            let next_is = |c| {
+                toks.get(i + 1)
+                    .is_some_and(|n: &crate::lexer::Tok| n.is_punct(c))
+            };
+            let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+            if t.text == "unwrap" && next_is('(') && prev_is_dot {
+                emit(
+                    "decode-unwrap",
+                    t.line,
+                    t.col,
+                    "`.unwrap()` on a decode path — return a typed WireError instead".into(),
+                );
+            } else if t.text == "expect" && next_is('(') && prev_is_dot {
+                emit(
+                    "decode-expect",
+                    t.line,
+                    t.col,
+                    "`.expect(..)` on a decode path — return a typed WireError instead".into(),
+                );
+            } else if PANIC_MACROS.contains(&t.text.as_str()) && next_is('!') {
+                emit(
+                    "decode-panic",
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}!` can panic on hostile input — return a typed error",
+                        t.text
+                    ),
+                );
+            } else if in_decode && t.text.starts_with("debug_assert") && next_is('!') {
+                emit(
+                    "decode-debug-assert",
+                    t.line,
+                    t.col,
+                    "`debug_assert!` guards nothing in release builds — promote to a \
+                     checked error return"
+                        .into(),
+                );
+            } else if in_decode && t.text == "as" {
+                if let Some(target) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    if NARROWING_TARGETS.contains(&target.text.as_str()) {
+                        emit(
+                            "decode-cast",
+                            t.line,
+                            t.col,
+                            format!(
+                                "`as {}` can silently truncate wire-sourced data — use \
+                                 try_from or bound the value first",
+                                target.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if decode_file && in_decode && t.is_punct('[') && i > 0 {
+            let p = &toks[i - 1];
+            let indexable = match p.kind {
+                TokKind::Ident => !NONINDEX_KEYWORDS.contains(&p.text.as_str()),
+                TokKind::Punct => p.is_punct(')') || p.is_punct(']') || p.is_punct('?'),
+                _ => false,
+            };
+            if indexable {
+                emit(
+                    "decode-index",
+                    t.line,
+                    t.col,
+                    "direct indexing can panic on hostile input — use .get()/.get_mut()".into(),
+                );
+            }
+        }
+        if determinism && t.kind == TokKind::Ident {
+            if t.text == "HashMap" || t.text == "HashSet" {
+                emit(
+                    "hash-container",
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` iteration order is nondeterministic — use BTreeMap/BTreeSet \
+                         or an index-keyed Vec",
+                        t.text
+                    ),
+                );
+            } else if !is_timing_module(&file.path) {
+                let now_call = t.text == "Instant"
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|a| a.is_ident("now"));
+                if now_call || t.text == "SystemTime" {
+                    emit(
+                        "wall-clock",
+                        t.line,
+                        t.col,
+                        "wall-clock reads outside a designated timing module make runs \
+                         irreproducible"
+                            .into(),
+                    );
+                }
+            }
+        }
+        if determinism && float_eq_at(file, i) {
+            emit(
+                "float-cmp",
+                t.line,
+                t.col,
+                "`==`/`!=` against a float literal — floats compare reliably only in \
+                 bit-identity helpers (compare .to_bits(), or use a 0.0 exact-guard)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// True when token `i` starts a `==`/`!=` whose operand is a non-zero
+/// float literal (possibly behind a unary minus).
+fn float_eq_at(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.toks;
+    let t = &toks[i];
+    let adjacent_eq = toks
+        .get(i + 1)
+        .is_some_and(|n| n.is_punct('=') && n.line == t.line && n.col == t.col + 1);
+    if !((t.is_punct('=') || t.is_punct('!')) && adjacent_eq) {
+        return false;
+    }
+    // `==` must not itself be the tail of `<=`, `>=`, or a prior `!=`.
+    if i > 0 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].col + 1 == t.col {
+        return false;
+    }
+    let float_lit = |idx: usize| {
+        let mut j = idx;
+        if toks.get(j).is_some_and(|x| x.is_punct('-')) {
+            j += 1;
+        }
+        toks.get(j).is_some_and(|x| {
+            x.kind == TokKind::Number
+                && x.text.contains('.')
+                && x.text.trim_end_matches('0').trim_end_matches('.') != "0"
+        })
+    };
+    // Left operand: the token before `==`; right: after it (skip `-`).
+    let left = i > 0
+        && toks[i - 1].kind == TokKind::Number
+        && toks[i - 1].text.contains('.')
+        && toks[i - 1].text.trim_end_matches('0').trim_end_matches('.') != "0";
+    left || float_lit(i + 2)
+}
+
+/// Allow hygiene over a scanned file: every `lint: allow` must carry a
+/// reason, and must have silenced at least one finding. Call after
+/// [`check_file`] (which marks allows used).
+pub fn allow_hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
+    for a in &file.allows {
+        if a.reason.is_empty() {
+            out.push(Finding {
+                rule: "allow-missing-reason",
+                file: file.path.clone(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "lint: allow({}) carries no reason — append `— <why this site is safe>`",
+                    a.rule
+                ),
+            });
+        }
+        if !a.used.get() {
+            out.push(Finding {
+                rule: "unused-allow",
+                file: file.path.clone(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "lint: allow({}) silences nothing here — remove it or fix the rule name",
+                    a.rule
+                ),
+            });
+        }
+    }
+}
+
+/// The unsafe-audit rule: a crate-root file (`lib.rs` / `main.rs`)
+/// must open with `#![forbid(unsafe_code)]`. `vendor/` stand-ins are
+/// outside the walk entirely (documented allowlist: they exist only
+/// because the build environment is offline).
+pub fn check_crate_root(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.forbids_unsafe {
+        out.push(Finding {
+            rule: "missing-forbid-unsafe",
+            file: file.path.clone(),
+            line: 1,
+            col: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        allow_hygiene(&f, &mut out);
+        out
+    }
+
+    const WIRE: &str = "crates/cluster/src/wire.rs";
+
+    #[test]
+    fn unwrap_fires_only_outside_tests() {
+        let src = "fn get_x(v: &[u8]) { v.first().unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        let f = run(WIRE, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "decode-unwrap");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn index_and_cast_scope_to_decode_fns() {
+        let src = "fn get_x(v: &[u8], n: u64) -> u8 { let _ = n as u32; v[0] }\n\
+                   fn put_x(v: &[u8], n: u64) -> u8 { let _ = n as u32; v[0] }\n";
+        let f = run(WIRE, src);
+        let rules: Vec<_> = f.iter().map(|x| (x.rule, x.line)).collect();
+        assert!(rules.contains(&("decode-cast", 1)));
+        assert!(rules.contains(&("decode-index", 1)));
+        // put_x is encode-side: not in scope for index/cast...
+        assert!(!rules.contains(&("decode-cast", 2)));
+        assert!(!rules.contains(&("decode-index", 2)));
+    }
+
+    #[test]
+    fn allows_silence_and_unused_allows_fire() {
+        let src = "fn get_x(v: &[u8]) -> u8 {\n\
+                   \x20   // lint: allow(decode-index) — length checked on entry\n\
+                   \x20   v[0]\n\
+                   }\n\
+                   // lint: allow(decode-unwrap) — nothing here\n";
+        let f = run(WIRE, src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn float_cmp_exempts_zero_guards() {
+        let path = "crates/core/src/solvers/x.rs";
+        let zero = run(path, "fn f(x: f64) -> bool { x == 0.0 }");
+        assert!(zero.is_empty(), "{zero:?}");
+        let one = run(path, "fn f(x: f64) -> bool { x != 1.0 }");
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].rule, "float-cmp");
+        let le = run(path, "fn f(x: f64) -> bool { x <= 1.0 }");
+        assert!(le.is_empty(), "{le:?}");
+    }
+
+    #[test]
+    fn wall_clock_respects_timing_modules() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(run("crates/cluster/src/coordinator.rs", src).len(), 1);
+        assert!(run("crates/cluster/src/fleet.rs", src).is_empty());
+        assert!(run("crates/experiments/src/common.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_container_fires_in_core_crates() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let f = run("crates/sampling/src/feedback.rs", src);
+        assert_eq!(f.len(), 3); // the use + two mentions
+        assert!(f.iter().all(|x| x.rule == "hash-container"));
+    }
+}

@@ -1,0 +1,371 @@
+//! The item scanner: turns a token stream into the context the rules
+//! need — which tokens are test-only code, which function and `impl`
+//! block each token sits in, and where the `// lint: allow(...)`
+//! escape hatches are.
+//!
+//! All of it is token-level bookkeeping (brace matching, attribute
+//! spotting), not name resolution: `#[cfg(test)]` is recognized by its
+//! tokens, so an exotic spelling via a custom attribute macro would not
+//! be recognized — the workspace has none, and the crate docs spell
+//! this limit out.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One `// lint: allow(<rule>) — <reason>` escape hatch.
+///
+/// An allow silences `rule` on its own line (trailing comment) and on
+/// the next source line (a comment line of its own). The reason text
+/// after the dash is mandatory — an allow without one is itself a
+/// finding, and so is an allow that silences nothing.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The reason text after the `—`/`--`/`-` separator (trimmed).
+    pub reason: String,
+    /// Set by the rule pass when a finding was actually silenced.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A lexed file plus the item-level context the rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (also the rules' scoping key).
+    pub path: String,
+    /// Significant tokens (comments stripped).
+    pub toks: Vec<Tok>,
+    /// Escape-hatch annotations, in file order.
+    pub allows: Vec<Allow>,
+    /// `(fn_name, impl_name)` context per token in `toks`; empty
+    /// strings outside any function / `impl`.
+    pub scopes: Vec<(String, String)>,
+    /// Per-token flag: inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: Vec<bool>,
+    /// True when the file carries `#![forbid(unsafe_code)]`.
+    pub forbids_unsafe: bool,
+}
+
+impl SourceFile {
+    /// Lexes and scans `src` under the workspace-relative `path`.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let all = lex(src);
+        let allows = collect_allows(&all);
+        let toks: Vec<Tok> = all.into_iter().filter(|t| !t.is_comment()).collect();
+        let in_test = mark_test_items(&toks);
+        let scopes = assign_scopes(&toks);
+        let forbids_unsafe = has_forbid_unsafe(&toks);
+        SourceFile {
+            path: path.to_string(),
+            toks,
+            allows,
+            scopes,
+            in_test,
+            forbids_unsafe,
+        }
+    }
+
+    /// Looks for an unused-or-used allow of `rule` covering `line`
+    /// (same line or the line directly above), marking it used.
+    pub fn consume_allow(&self, rule: &str, line: u32) -> bool {
+        for a in &self.allows {
+            if a.rule == rule && (a.line == line || a.line + 1 == line) {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Parses `lint: allow(<rule>)` comments. Grammar (inside a `//`
+/// comment, anywhere after the slashes): `lint: allow(` rule `)`
+/// separator reason, where separator is an em-dash, `--`, or `-`.
+fn collect_allows(toks: &[Tok]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint: allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim();
+        let reason = ["—", "--", "-"]
+            .iter()
+            .find_map(|sep| after.strip_prefix(sep))
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Allow {
+            rule,
+            line: t.line,
+            reason,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    out
+}
+
+/// True when the stream carries the inner attribute
+/// `#![forbid(unsafe_code)]` (possibly alongside other forbids).
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(4).any(|w| {
+        w[0].is_ident("forbid") && w[1].is_punct('(') && w.iter().any(|t| t.is_ident("unsafe_code"))
+    }) && toks
+        .windows(6)
+        .any(|w| w[0].is_punct('#') && w[1].is_punct('!') && w.iter().any(|t| t.is_ident("forbid")))
+}
+
+/// Marks every token inside an item annotated `#[cfg(test)]` or
+/// `#[test]` (the item's attributes included). The item body is found
+/// by brace matching: everything to the matching `}` of the item's
+/// first `{`, or to the terminating `;` for bodyless items.
+fn mark_test_items(toks: &[Tok]) -> Vec<bool> {
+    let mut test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = scan_attribute(toks, i);
+            if is_test {
+                let item_end = item_end_after_attributes(toks, attr_end);
+                for flag in test.iter_mut().take(item_end).skip(i) {
+                    *flag = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    test
+}
+
+/// Scans one `#[...]` attribute starting at the `#`; returns the index
+/// one past its closing `]` and whether it marks test-only code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`, …).
+fn scan_attribute(toks: &[Tok], at: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut i = at + 1;
+    let mut idents: Vec<&str> = Vec::new();
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(&t.text);
+        }
+        i += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+/// From the first token after an item's attributes, returns the index
+/// one past the item (matching `}` of its first brace, or past the
+/// `;` for bodyless items). Further attributes are stepped over.
+fn item_end_after_attributes(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len()
+        && toks[i].is_punct('#')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        i = scan_attribute(toks, i).0;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Assigns each token its enclosing `(fn, impl)` names via a brace
+/// -matched scope stack. Closures and nested fns shadow the outer fn
+/// for their body, which is the honest granularity for rule scoping.
+fn assign_scopes(toks: &[Tok]) -> Vec<(String, String)> {
+    #[derive(Clone)]
+    enum Scope {
+        Fn(String),
+        Impl(String),
+        Other,
+    }
+    let mut scopes = Vec::with_capacity(toks.len());
+    let mut stack: Vec<Scope> = Vec::new();
+    // A scope opened by `fn name` / `impl Name` waiting for its `{`.
+    let mut pending: Option<Scope> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let fn_name = stack
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                Scope::Fn(n) => Some(n.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        let impl_name = stack
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                Scope::Impl(n) => Some(n.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        scopes.push((fn_name, impl_name));
+
+        if t.is_ident("fn") {
+            if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                pending = Some(Scope::Fn(name.text.clone()));
+            }
+        } else if t.is_ident("impl") {
+            pending = Some(Scope::Impl(impl_target_name(toks, i + 1)));
+        } else if t.is_punct('{') {
+            stack.push(pending.take().unwrap_or(Scope::Other));
+        } else if t.is_punct('}') {
+            stack.pop();
+        } else if t.is_punct(';') {
+            // `fn f();` in a trait / `impl Trait for T;` never open.
+            pending = None;
+        }
+        i += 1;
+    }
+    scopes
+}
+
+/// The implemented type's name from an `impl` header: the first
+/// identifier after `for` when present (`impl Trait for Type`),
+/// otherwise the first identifier outside angle brackets
+/// (`impl<'a> Reader<'a>` → `Reader`).
+fn impl_target_name(toks: &[Tok], from: usize) -> String {
+    let mut angle = 0i32;
+    let mut first: Option<&str> = None;
+    let mut i = from;
+    let mut saw_for = false;
+    while i < toks.len() && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_ident("for") && angle == 0 {
+            saw_for = true;
+            first = None;
+        } else if t.kind == TokKind::Ident && angle == 0 && first.is_none() && !t.is_ident("dyn") {
+            first = Some(&t.text);
+            if saw_for {
+                break;
+            }
+        }
+        i += 1;
+    }
+    first.unwrap_or_default().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+#![forbid(unsafe_code)]
+struct S;
+impl<'a> Reader<'a> {
+    fn take(&mut self) -> u8 { self.buf[0] }
+}
+impl Transport for Tcp {
+    fn recv(&mut self) { let x = v[1]; }
+}
+fn free() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { v.unwrap(); }
+}
+"#;
+
+    fn file() -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", SRC)
+    }
+
+    #[test]
+    fn detects_forbid_unsafe() {
+        assert!(file().forbids_unsafe);
+        assert!(
+            !SourceFile::parse("f.rs", "fn forbid() {} // #![forbid(unsafe_code)]").forbids_unsafe
+        );
+    }
+
+    #[test]
+    fn scopes_track_fn_and_impl() {
+        let f = file();
+        let at = |text: &str| {
+            f.toks
+                .iter()
+                .position(|t| t.is_ident(text))
+                .expect("token present")
+        };
+        let buf = at("buf");
+        assert_eq!(f.scopes[buf], ("take".to_string(), "Reader".to_string()));
+        let v = at("v");
+        assert_eq!(f.scopes[v], ("recv".to_string(), "Tcp".to_string()));
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let f = file();
+        let unwrap_at = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(f.in_test[unwrap_at]);
+        let recv_at = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("recv"))
+            .expect("recv");
+        assert!(!f.in_test[recv_at]);
+    }
+
+    #[test]
+    fn allows_parse_rule_and_reason() {
+        let src = "fn f() {\n  x(); // lint: allow(decode-unwrap) — provably infallible\n  // lint: allow(wall-clock) -- measured timing only\n  y();\n  // lint: allow(no-reason)\n}\n";
+        let f = SourceFile::parse("f.rs", src);
+        assert_eq!(f.allows.len(), 3);
+        assert_eq!(f.allows[0].rule, "decode-unwrap");
+        assert_eq!(f.allows[0].reason, "provably infallible");
+        assert_eq!(f.allows[1].reason, "measured timing only");
+        assert!(f.allows[2].reason.is_empty());
+        assert!(f.consume_allow("decode-unwrap", 2));
+        assert!(f.consume_allow("wall-clock", 4)); // line below the comment
+        assert!(!f.consume_allow("wall-clock", 6));
+        assert!(f.allows[0].used.get());
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixture self-tests: one known-bad snippet per rule (asserting the
+//! rule fires at the expected span with the expected message) and one
+//! known-good file that must produce zero findings under every scope —
+//! the false-positive budget.
+
+use isasgd_lint::report::Finding;
+use isasgd_lint::rules;
+use isasgd_lint::scan::SourceFile;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Parses a fixture as if it lived at `as_path` and runs the per-file
+/// rules plus allow hygiene.
+fn run_as(as_path: &str, name: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(as_path, &fixture(name));
+    let mut out = Vec::new();
+    rules::check_file(&file, &mut out);
+    rules::allow_hygiene(&file, &mut out);
+    out
+}
+
+const WIRE: &str = "crates/cluster/src/wire.rs";
+
+#[track_caller]
+fn assert_single(f: &[Finding], rule: &str, line: u32, msg_part: &str) {
+    assert_eq!(f.len(), 1, "expected exactly one finding, got {f:?}");
+    assert_eq!(f[0].rule, rule, "{f:?}");
+    assert_eq!(f[0].line, line, "{f:?}");
+    assert!(f[0].col >= 1);
+    assert!(
+        f[0].message.contains(msg_part),
+        "message {:?} lacks {msg_part:?}",
+        f[0].message
+    );
+}
+
+#[test]
+fn decode_unwrap_fires() {
+    let f = run_as(WIRE, "bad_decode_unwrap.rs");
+    assert_single(&f, "decode-unwrap", 3, "typed WireError");
+    assert_eq!(f[0].col, 16, "span must point at the unwrap call");
+}
+
+#[test]
+fn decode_expect_fires_per_site() {
+    let f = run_as(WIRE, "bad_decode_expect.rs");
+    assert_eq!(f.len(), 2, "both expect sites on the line: {f:?}");
+    assert!(f.iter().all(|x| x.rule == "decode-expect" && x.line == 3));
+    assert_ne!(f[0].col, f[1].col);
+}
+
+#[test]
+fn decode_panic_fires() {
+    let f = run_as(WIRE, "bad_decode_panic.rs");
+    assert_single(&f, "decode-panic", 5, "`panic!`");
+}
+
+#[test]
+fn decode_index_fires() {
+    let f = run_as(WIRE, "bad_decode_index.rs");
+    assert_single(&f, "decode-index", 4, ".get()");
+}
+
+#[test]
+fn decode_cast_fires() {
+    let f = run_as(WIRE, "bad_decode_cast.rs");
+    assert_single(&f, "decode-cast", 4, "`as u32` can silently truncate");
+}
+
+#[test]
+fn decode_debug_assert_fires() {
+    let f = run_as(WIRE, "bad_decode_debug_assert.rs");
+    assert_single(&f, "decode-debug-assert", 5, "release builds");
+}
+
+#[test]
+fn hash_container_fires_on_every_mention() {
+    let f = run_as("crates/sampling/src/feedback.rs", "bad_hash_container.rs");
+    assert!(f.len() >= 3, "use + signature + constructor: {f:?}");
+    assert!(f.iter().all(|x| x.rule == "hash-container"));
+    assert!(f[0].message.contains("BTreeMap"));
+}
+
+#[test]
+fn wall_clock_fires_outside_timing_modules() {
+    let f = run_as("crates/cluster/src/coordinator.rs", "bad_wall_clock.rs");
+    assert_single(&f, "wall-clock", 6, "timing module");
+    // The same source inside a designated timing module is legal.
+    let ok = run_as("crates/cluster/src/fleet.rs", "bad_wall_clock.rs");
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn float_cmp_fires_but_zero_guard_is_exempt() {
+    let f = run_as("crates/core/src/solvers/x.rs", "bad_float_cmp.rs");
+    assert_single(&f, "float-cmp", 4, "bit-identity");
+}
+
+#[test]
+fn allow_hygiene_fires_both_ways() {
+    let f = run_as(WIRE, "bad_allow_hygiene.rs");
+    let rules: Vec<_> = f.iter().map(|x| (x.rule, x.line)).collect();
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(rules.contains(&("allow-missing-reason", 4)), "{rules:?}");
+    assert!(rules.contains(&("unused-allow", 7)), "{rules:?}");
+    // The reasonless allow still silenced the indexing on the next line.
+    assert!(!rules.iter().any(|r| r.0 == "decode-index"));
+}
+
+#[test]
+fn missing_forbid_unsafe_fires_on_crate_roots() {
+    let file = SourceFile::parse(
+        "crates/example/src/lib.rs",
+        &fixture("bad_missing_forbid_unsafe.rs"),
+    );
+    let mut out = Vec::new();
+    rules::check_crate_root(&file, &mut out);
+    assert_single(&out, "missing-forbid-unsafe", 1, "#![forbid(unsafe_code)]");
+}
+
+/// The known-good fixture is clean under every scope it could land in:
+/// a decode file, a determinism crate, and the crate-root audit.
+#[test]
+fn good_fixture_has_zero_false_positives() {
+    for as_path in [
+        WIRE,
+        "crates/cluster/src/transport.rs",
+        "crates/cluster/src/procnode.rs",
+        "crates/sampling/src/lib.rs",
+        "crates/core/src/solvers/sgd.rs",
+    ] {
+        let f = run_as(as_path, "good_clean.rs");
+        assert!(f.is_empty(), "false positives as {as_path}: {f:?}");
+    }
+    let file = SourceFile::parse("crates/example/src/lib.rs", &fixture("good_clean.rs"));
+    let mut out = Vec::new();
+    rules::check_crate_root(&file, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}

@@ -1,0 +1,10 @@
+// Fixture: both hygiene failures of the escape hatch itself
+// (parsed as wire.rs).
+fn get_first(v: &[u8]) -> u8 {
+    // lint: allow(decode-index)
+    v[0]
+}
+// lint: allow(decode-unwrap) — silences nothing on this or the next line
+fn put_first(out: &mut Vec<u8>, b: u8) {
+    out.push(b);
+}

@@ -1,0 +1,5 @@
+// Fixture: truncating `as` cast inside a decode-side function
+// (parsed as wire.rs).
+fn get_count(declared: u64) -> u32 {
+    declared as u32
+}

@@ -1,0 +1,7 @@
+// Fixture: `debug_assert!` guarding decode-path bounds — vanishes in
+// release builds, exactly the bug class the rule exists for
+// (parsed as wire.rs).
+fn get_coords(indices: &[u32], dim: u32) -> usize {
+    debug_assert!(indices.iter().all(|&i| i < dim));
+    indices.len()
+}

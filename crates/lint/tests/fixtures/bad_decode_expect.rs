@@ -1,0 +1,4 @@
+// Fixture: `.expect(..)` on a decode path (parsed as wire.rs).
+fn get_header(v: &[u8]) -> u32 {
+    u32::from_le_bytes(v.get(..4).expect("short frame").try_into().expect("4"))
+}

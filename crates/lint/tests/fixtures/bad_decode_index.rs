@@ -1,0 +1,5 @@
+// Fixture: direct slice indexing inside a decode-side function
+// (parsed as wire.rs; `get_` prefix puts it in decode scope).
+fn get_byte(v: &[u8], i: usize) -> u8 {
+    v[i]
+}

@@ -1,0 +1,7 @@
+// Fixture: panicking macro on a decode path (parsed as wire.rs).
+fn get_tag(tag: u8) -> &'static str {
+    match tag {
+        1 => "model",
+        _ => panic!("unknown tag {tag}"),
+    }
+}

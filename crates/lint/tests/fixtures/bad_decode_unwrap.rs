@@ -1,0 +1,4 @@
+// Fixture: `.unwrap()` on a decode path (parsed as wire.rs).
+fn get_frame(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

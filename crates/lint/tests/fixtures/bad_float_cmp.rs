@@ -1,0 +1,9 @@
+// Fixture: `==` against a non-zero float literal in the deterministic
+// core (parsed as a core-crate path). Zero guards stay legal.
+fn is_unit_step(step: f64) -> bool {
+    step == 1.0
+}
+
+fn is_cleared(x: f64) -> bool {
+    x == 0.0
+}

@@ -1,0 +1,11 @@
+// Fixture: HashMap inside the deterministic core (parsed as a
+// sampling-crate path). Iteration order would break bit-identity.
+use std::collections::HashMap;
+
+fn tally(obs: &[(u32, f64)]) -> HashMap<u32, f64> {
+    let mut m = HashMap::new();
+    for &(k, v) in obs {
+        *m.entry(k).or_insert(0.0) += v;
+    }
+    m
+}

@@ -1,0 +1,3 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

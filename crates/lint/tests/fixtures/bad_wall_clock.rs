@@ -1,0 +1,7 @@
+// Fixture: wall-clock read outside a designated timing module
+// (parsed as a cluster-crate path that is not fleet.rs).
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,56 @@
+//! Fixture: idiomatic decode-side code every rule must accept with
+//! zero findings — the false-positive budget. Parsed under *both* a
+//! decode path (wire.rs) and a determinism path in the tests.
+
+#![forbid(unsafe_code)]
+
+pub enum Error {
+    Truncated,
+    BadTag(u8),
+}
+
+/// Checked reads, typed errors, `?`, widening casts only.
+fn get_record(v: &[u8]) -> Result<(u8, u32, f64), Error> {
+    let tag = *v.first().ok_or(Error::Truncated)?;
+    if tag != 1 {
+        return Err(Error::BadTag(tag));
+    }
+    let n_bytes: [u8; 4] = v
+        .get(1..5)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(Error::Truncated)?;
+    let n = u32::from_le_bytes(n_bytes);
+    let x_bytes: [u8; 8] = v
+        .get(5..13)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(Error::Truncated)?;
+    let x = f64::from_bits(u64::from_le_bytes(x_bytes));
+    // Widening `as` is legal; exact-zero guards are legal.
+    let _slot = n as usize;
+    if x == 0.0 {
+        return Err(Error::Truncated);
+    }
+    Ok((tag, n, x))
+}
+
+/// Encode side may index (scoped out), and ranges are not floats.
+fn put_record(out: &mut Vec<u8>, n: u32) {
+    out.push(1);
+    out.extend_from_slice(&n.to_le_bytes());
+    for i in 0..4 {
+        let _ = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely.
+    #[test]
+    fn roundtrip() {
+        let mut out = Vec::new();
+        super::put_record(&mut out, 7);
+        out.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        let (tag, n, _) = super::get_record(&out).ok().unwrap();
+        assert_eq!((tag, n), (1, 7));
+    }
+}

@@ -59,8 +59,8 @@ fn main() {
     let t_asgd = time_to_error(&asgd.trace, opt);
     let t_is = time_to_error(&is_asgd.trace, opt);
     println!("\nASGD optimum error: {opt:.4}");
-    println!("  ASGD reached it at    {:?} s", t_asgd);
-    println!("  IS-ASGD reached it at {:?} s", t_is);
+    println!("  ASGD reached it at    {t_asgd:?} s");
+    println!("  IS-ASGD reached it at {t_is:?} s");
     if let (Some(a), Some(b)) = (t_asgd, t_is) {
         if b > 0.0 {
             println!(
