@@ -1,0 +1,280 @@
+//! The `.schedule` counterexample format: a compact, hand-rolled
+//! binary encoding (wire-codec style — explicit bytes, varints, no
+//! serde) of everything needed to re-execute one exact interleaving as
+//! an ordinary test: the scenario spec, the expected outcome class,
+//! and the choice taken at every decision point.
+//!
+//! Layout (integers are LEB128 varints unless noted):
+//!
+//! ```text
+//! magic      8 raw bytes  "ISCHED01"
+//! nodes, rounds, local_epochs, rows, seed, adaptive
+//! faults     flags byte (1=reorder 2=duplicate 4=hold 8=drop), window, budget
+//! bugs       flags byte (1=drop_preassignment 2=eager_teardown 4=strict_extras)
+//! expected   tag (0=pass 1=expected-deadlock 2=violation)
+//! contains   len + utf8   substring a violation's description must contain
+//! max_decisions
+//! choices    count + one varint per decision
+//! ```
+
+use crate::explore::Chooser;
+use crate::scenario::{run_schedule, Outcome, ScenarioSpec};
+use crate::sched::FaultSpec;
+use isasgd_cluster::{put_varint, ProtocolBugs};
+
+const MAGIC: &[u8; 8] = b"ISCHED01";
+
+/// The outcome class a replayed schedule must reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// All invariants hold.
+    Pass,
+    /// Deadlock with a drop fault having fired.
+    ExpectedDeadlock,
+    /// An invariant violation (optionally matched by substring).
+    Violation,
+}
+
+/// One committed counterexample (or regression witness): a scenario
+/// plus the exact schedule that drives it to `expected`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleFile {
+    /// The scenario to run.
+    pub spec: ScenarioSpec,
+    /// The per-run decision bound the schedule was found under.
+    pub max_decisions: usize,
+    /// The outcome class replaying must reproduce.
+    pub expected: Expected,
+    /// Substring the violation description must contain (empty: any).
+    pub contains: String,
+    /// The choice at every decision point.
+    pub choices: Vec<u32>,
+}
+
+/// Serializes `file` to the `.schedule` byte format.
+pub fn write_schedule(file: &ScheduleFile) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let s = &file.spec;
+    put_varint(&mut out, s.nodes as u64);
+    put_varint(&mut out, s.rounds as u64);
+    put_varint(&mut out, s.local_epochs as u64);
+    put_varint(&mut out, u64::from(s.rows));
+    put_varint(&mut out, s.seed);
+    put_varint(&mut out, u64::from(s.adaptive));
+    let f = &s.faults;
+    let fault_flags = u64::from(f.reorder)
+        | u64::from(f.duplicate) << 1
+        | u64::from(f.hold) << 2
+        | u64::from(f.drop) << 3;
+    put_varint(&mut out, fault_flags);
+    put_varint(&mut out, u64::from(f.reorder_window));
+    put_varint(&mut out, u64::from(f.budget));
+    let b = &s.bugs;
+    let bug_flags = u64::from(b.drop_preassignment_traffic)
+        | u64::from(b.eager_link_teardown) << 1
+        | u64::from(b.strict_extra_sends) << 2;
+    put_varint(&mut out, bug_flags);
+    let tag = match file.expected {
+        Expected::Pass => 0,
+        Expected::ExpectedDeadlock => 1,
+        Expected::Violation => 2,
+    };
+    put_varint(&mut out, tag);
+    put_varint(&mut out, file.contains.len() as u64);
+    out.extend_from_slice(file.contains.as_bytes());
+    put_varint(&mut out, file.max_decisions as u64);
+    put_varint(&mut out, file.choices.len() as u64);
+    for &c in &file.choices {
+        put_varint(&mut out, u64::from(c));
+    }
+    out
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or_else(|| "truncated varint".to_string())?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err("varint overflows u64".into());
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Parses the `.schedule` byte format.
+pub fn read_schedule(bytes: &[u8]) -> Result<ScheduleFile, String> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err("not a .schedule file (bad magic)".into());
+    }
+    let mut pos = MAGIC.len();
+    let int = |pos: &mut usize| get_varint(bytes, pos);
+    let nodes = int(&mut pos)? as usize;
+    let rounds = int(&mut pos)? as usize;
+    let local_epochs = int(&mut pos)? as usize;
+    let rows = u32::try_from(int(&mut pos)?).map_err(|_| "rows out of range".to_string())?;
+    let seed = int(&mut pos)?;
+    let adaptive = int(&mut pos)? != 0;
+    let fault_flags = int(&mut pos)?;
+    let reorder_window =
+        u8::try_from(int(&mut pos)?).map_err(|_| "window out of range".to_string())?;
+    let budget = u8::try_from(int(&mut pos)?).map_err(|_| "budget out of range".to_string())?;
+    let bug_flags = int(&mut pos)?;
+    let expected = match int(&mut pos)? {
+        0 => Expected::Pass,
+        1 => Expected::ExpectedDeadlock,
+        2 => Expected::Violation,
+        t => return Err(format!("unknown expected-outcome tag {t}")),
+    };
+    let contains_len = int(&mut pos)? as usize;
+    let end = pos
+        .checked_add(contains_len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| "truncated contains string".to_string())?;
+    let contains = std::str::from_utf8(&bytes[pos..end])
+        .map_err(|_| "contains string is not utf8".to_string())?
+        .to_string();
+    pos = end;
+    let max_decisions = int(&mut pos)? as usize;
+    let n_choices = int(&mut pos)? as usize;
+    if n_choices > bytes.len() {
+        return Err("choice count exceeds file size".into());
+    }
+    let mut choices = Vec::with_capacity(n_choices);
+    for _ in 0..n_choices {
+        let c = u32::try_from(int(&mut pos)?).map_err(|_| "choice out of range".to_string())?;
+        choices.push(c);
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after schedule",
+            bytes.len() - pos
+        ));
+    }
+    Ok(ScheduleFile {
+        spec: ScenarioSpec {
+            nodes,
+            rounds,
+            local_epochs,
+            rows,
+            seed,
+            adaptive,
+            faults: FaultSpec {
+                reorder: fault_flags & 1 != 0,
+                reorder_window,
+                duplicate: fault_flags & 2 != 0,
+                hold: fault_flags & 4 != 0,
+                drop: fault_flags & 8 != 0,
+                budget,
+            },
+            bugs: ProtocolBugs {
+                drop_preassignment_traffic: bug_flags & 1 != 0,
+                eager_link_teardown: bug_flags & 2 != 0,
+                strict_extra_sends: bug_flags & 4 != 0,
+            },
+        },
+        max_decisions,
+        expected,
+        contains,
+        choices,
+    })
+}
+
+impl ScheduleFile {
+    /// Re-executes the exact committed interleaving and checks that it
+    /// reproduces the expected outcome class. `Ok` carries the judged
+    /// outcome for further assertions.
+    pub fn replay(&self) -> Result<Outcome, String> {
+        let chooser = Chooser::replay(self.choices.clone(), self.max_decisions);
+        let (outcome, chooser) = run_schedule(&self.spec, chooser);
+        if let Some(kind) = chooser.aborted() {
+            return Err(format!(
+                "replay did not follow the committed schedule ({kind:?}): the code under \
+                 test no longer offers these choices"
+            ));
+        }
+        use crate::explore::Verdict;
+        match (&self.expected, &outcome.verdict) {
+            (Expected::Pass, Verdict::Pass)
+            | (Expected::ExpectedDeadlock, Verdict::ExpectedDeadlock) => Ok(outcome),
+            (Expected::Violation, Verdict::Violation(what)) => {
+                if self.contains.is_empty() || what.contains(&self.contains) {
+                    Ok(outcome)
+                } else {
+                    Err(format!(
+                        "replay violated a different invariant: got {what:?}, expected one \
+                         containing {:?}",
+                        self.contains
+                    ))
+                }
+            }
+            (want, got) => Err(format!(
+                "replay outcome class mismatch: expected {want:?}, got {got:?}"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScheduleFile {
+        ScheduleFile {
+            spec: ScenarioSpec {
+                nodes: 3,
+                rounds: 2,
+                local_epochs: 1,
+                rows: 120,
+                seed: 0xDEAD_BEEF,
+                adaptive: true,
+                faults: FaultSpec {
+                    reorder: true,
+                    reorder_window: 3,
+                    duplicate: true,
+                    hold: false,
+                    drop: true,
+                    budget: 2,
+                },
+                bugs: ProtocolBugs {
+                    drop_preassignment_traffic: true,
+                    eager_link_teardown: false,
+                    strict_extra_sends: true,
+                },
+            },
+            max_decisions: 40,
+            expected: Expected::Violation,
+            contains: "deadlock".into(),
+            choices: vec![0, 3, 1, 0, 2, 150],
+        }
+    }
+
+    #[test]
+    fn schedule_files_roundtrip() {
+        let f = sample();
+        let bytes = write_schedule(&f);
+        assert_eq!(read_schedule(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn corrupt_schedules_are_rejected() {
+        let f = sample();
+        let bytes = write_schedule(&f);
+        assert!(read_schedule(&bytes[..4]).is_err(), "bad magic");
+        assert!(
+            read_schedule(&bytes[..bytes.len() - 1]).is_err(),
+            "truncated choices"
+        );
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(read_schedule(&extra).is_err(), "trailing bytes");
+    }
+}

@@ -1,0 +1,166 @@
+//! The model checker against the real cluster protocol: exhaustive
+//! bounded exploration of small configurations, with every completed
+//! schedule judged against the sequential-engine oracle.
+//!
+//! Every exploration runs under a watchdog thread so a checker or
+//! protocol regression fails loudly instead of hanging the suite.
+
+use isasgd_check::{
+    explore_scenario, sample_scenario, Budget, Exploration, FaultSpec, ScenarioSpec,
+};
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+fn explore_guarded(spec: ScenarioSpec, max_decisions: usize, budget: Budget) -> Exploration {
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(explore_scenario(&spec, max_decisions, budget));
+    });
+    rx.recv_timeout(Duration::from_secs(240))
+        .expect("exploration hung: the model scheduler lost a wakeup or the protocol deadlocked outside scheduler control")
+}
+
+fn assert_clean(out: &Exploration) {
+    assert!(
+        out.counterexample.is_none(),
+        "unexpected counterexample: {:?}",
+        out.counterexample
+    );
+    assert_eq!(out.stats.violations, 0, "{:?}", out.stats);
+}
+
+/// One worker, one round, no faults: everything is forced, so there is
+/// exactly one schedule and it matches the oracle.
+#[test]
+fn single_worker_faultless_run_is_fully_forced() {
+    let spec = ScenarioSpec {
+        nodes: 1,
+        rounds: 1,
+        rows: 48,
+        ..ScenarioSpec::default()
+    };
+    let out = explore_guarded(spec, 32, Budget::default());
+    assert_clean(&out);
+    assert!(out.stats.exhaustive(), "{:?}", out.stats.truncated);
+    assert_eq!(
+        out.stats.schedules, 1,
+        "a faultless SPSC protocol has no scheduling freedom: {:?}",
+        out.stats
+    );
+}
+
+/// The flagship configuration from the issue: two workers, two rounds,
+/// full lossless fault vocabulary — exhaustively explored.
+#[test]
+fn two_workers_two_rounds_lossless_faults_exhaustive() {
+    let spec = ScenarioSpec {
+        faults: FaultSpec::lossless(1),
+        ..ScenarioSpec::default()
+    };
+    let out = explore_guarded(spec, 48, Budget::default());
+    assert_clean(&out);
+    assert!(
+        out.stats.exhaustive(),
+        "2x2 must be exhaustible: {:?}",
+        out.stats.truncated
+    );
+    assert!(
+        out.stats.schedules > 10,
+        "the fault vocabulary must open real scheduling freedom: {:?}",
+        out.stats
+    );
+    assert_eq!(
+        out.stats.expected_deadlocks, 0,
+        "lossless faults cannot starve"
+    );
+}
+
+/// Message loss: dropped messages may starve the protocol (expected
+/// deadlocks), but must never corrupt a completing run.
+#[test]
+fn drops_starve_but_never_corrupt() {
+    let spec = ScenarioSpec {
+        nodes: 1,
+        rounds: 1,
+        rows: 48,
+        faults: FaultSpec {
+            drop: true,
+            budget: 1,
+            ..FaultSpec::none()
+        },
+        ..ScenarioSpec::default()
+    };
+    let out = explore_guarded(spec, 32, Budget::default());
+    assert_clean(&out);
+    assert!(out.stats.exhaustive(), "{:?}", out.stats.truncated);
+    assert!(
+        out.stats.expected_deadlocks > 0,
+        "dropping a required message must starve some schedule: {:?}",
+        out.stats
+    );
+    assert!(
+        out.stats.schedules > out.stats.expected_deadlocks,
+        "some schedules must still complete: {:?}",
+        out.stats
+    );
+}
+
+/// The declared-truncation path: a run cap far below the tree size must
+/// be reported, never silent.
+#[test]
+fn run_caps_are_reported_not_silent() {
+    let spec = ScenarioSpec {
+        faults: FaultSpec::lossless(2),
+        ..ScenarioSpec::default()
+    };
+    let out = explore_guarded(
+        spec,
+        48,
+        Budget {
+            max_runs: 5,
+            wall_clock: None,
+        },
+    );
+    assert_clean(&out);
+    assert!(!out.stats.exhaustive());
+    assert!(
+        out.stats
+            .truncated
+            .as_deref()
+            .unwrap_or("")
+            .contains("run cap"),
+        "{:?}",
+        out.stats.truncated
+    );
+}
+
+/// Random-walk sampling: the big-config mode also holds the invariants
+/// and reports its truncation honestly.
+#[test]
+fn random_walks_hold_invariants_on_a_bigger_config() {
+    let spec = ScenarioSpec {
+        nodes: 3,
+        rounds: 3,
+        rows: 120,
+        faults: FaultSpec::lossless(2),
+        ..ScenarioSpec::default()
+    };
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(sample_scenario(&spec, 96, 40, 0xC0FFEE));
+    });
+    let out = rx
+        .recv_timeout(Duration::from_secs(240))
+        .expect("sampling hung");
+    assert_clean(&out);
+    assert!(out.stats.schedules > 0);
+    assert!(
+        out.stats
+            .truncated
+            .as_deref()
+            .unwrap_or("")
+            .contains("random walk"),
+        "{:?}",
+        out.stats.truncated
+    );
+}

@@ -1,0 +1,204 @@
+//! The two historical PR-4 races, rediscovered systematically and
+//! replayed from committed `.schedule` counterexamples.
+//!
+//! Each race's fix can be reverted behind a test-only `ProtocolBugs`
+//! flag; the checker must (a) rediscover the race by bounded-exhaustive
+//! exploration, (b) find exactly the committed counterexample (DFS is
+//! deterministic), (c) reproduce it by replaying the committed bytes,
+//! and (d) pass the same fault vocabulary once the fix is restored.
+//!
+//! To regenerate the committed files after an intentional protocol
+//! change: `REGEN_SCHEDULES=1 cargo test -p isasgd-check --test
+//! pr4_regressions` and commit the rewritten `tests/schedules/*`.
+
+use isasgd_check::{
+    explore_scenario, read_schedule, write_schedule, Budget, Expected, Exploration, FaultSpec,
+    ScenarioSpec, ScheduleFile, Verdict,
+};
+use isasgd_cluster::ProtocolBugs;
+use std::path::PathBuf;
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+const MAX_DECISIONS: usize = 32;
+
+fn explore_guarded(spec: ScenarioSpec) -> Exploration {
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(explore_scenario(&spec, MAX_DECISIONS, Budget::default()));
+    });
+    rx.recv_timeout(Duration::from_secs(240))
+        .expect("exploration hung")
+}
+
+fn schedule_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/schedules")
+        .join(name)
+}
+
+struct Race {
+    file: &'static str,
+    spec: ScenarioSpec,
+    contains: &'static str,
+}
+
+/// PR-4 race 1: a worker that *drops* (instead of stashing) round
+/// traffic arriving before its shard assignment starves the round
+/// loop when the transport reorders the assignment behind it.
+fn race1() -> Race {
+    Race {
+        file: "pr4_reorder_starvation.schedule",
+        spec: ScenarioSpec {
+            nodes: 1,
+            rounds: 1,
+            rows: 48,
+            faults: FaultSpec {
+                reorder: true,
+                reorder_window: 2,
+                budget: 1,
+                ..FaultSpec::none()
+            },
+            bugs: ProtocolBugs {
+                drop_preassignment_traffic: true,
+                ..ProtocolBugs::default()
+            },
+            ..ScenarioSpec::default()
+        },
+        contains: "deadlock without any drop fault",
+    }
+}
+
+/// PR-4 race 2: the coordinator tearing links down eagerly (before
+/// joining workers) races a trailing duplicated message; with the
+/// historical strict extra-send propagation the worker dies on
+/// `Closed` instead of the extra being swallowed best-effort.
+fn race2() -> Race {
+    Race {
+        file: "pr4_teardown_race.schedule",
+        spec: ScenarioSpec {
+            nodes: 1,
+            rounds: 1,
+            rows: 48,
+            faults: FaultSpec {
+                duplicate: true,
+                budget: 1,
+                ..FaultSpec::none()
+            },
+            bugs: ProtocolBugs {
+                eager_link_teardown: true,
+                strict_extra_sends: true,
+                ..ProtocolBugs::default()
+            },
+            ..ScenarioSpec::default()
+        },
+        contains: "Transport(Closed)",
+    }
+}
+
+fn races() -> [Race; 2] {
+    [race1(), race2()]
+}
+
+/// Finds the race by exploration and builds the `.schedule` file its
+/// counterexample serializes to.
+fn rediscover(race: &Race) -> ScheduleFile {
+    let out = explore_guarded(race.spec);
+    assert!(
+        out.stats.exhaustive(),
+        "{}: exploration truncated: {:?}",
+        race.file,
+        out.stats.truncated
+    );
+    let ce = out.counterexample.unwrap_or_else(|| {
+        panic!(
+            "{}: the historical race was NOT rediscovered: {:?}",
+            race.file, out.stats
+        )
+    });
+    assert!(
+        ce.what.contains(race.contains),
+        "{}: rediscovered a different violation: {:?}",
+        race.file,
+        ce.what
+    );
+    ScheduleFile {
+        spec: race.spec,
+        max_decisions: MAX_DECISIONS,
+        expected: Expected::Violation,
+        contains: race.contains.to_string(),
+        choices: ce.choices,
+    }
+}
+
+/// (a) + (b): with the fix reverted, bounded-exhaustive exploration
+/// rediscovers each race, and its DFS-least counterexample is exactly
+/// the committed one, byte for byte.
+#[test]
+fn races_are_rediscovered_as_the_committed_counterexamples() {
+    for race in races() {
+        let found = write_schedule(&rediscover(&race));
+        let path = schedule_path(race.file);
+        if std::env::var_os("REGEN_SCHEDULES").is_some() {
+            std::fs::write(&path, &found).unwrap();
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing committed schedule {}: {e}", path.display()));
+        assert_eq!(
+            committed, found,
+            "{}: the committed counterexample is stale; regenerate with REGEN_SCHEDULES=1",
+            race.file
+        );
+    }
+}
+
+/// (c): the committed bytes replay deterministically and reproduce the
+/// exact violation class they were found with.
+#[test]
+fn committed_counterexamples_replay_deterministically() {
+    for race in races() {
+        let bytes = std::fs::read(schedule_path(race.file)).unwrap();
+        let file = read_schedule(&bytes).unwrap();
+        assert_eq!(file.spec, race.spec, "{}: spec drifted", race.file);
+        for attempt in 0..3 {
+            let outcome = file.replay().unwrap_or_else(|e| {
+                panic!("{} (attempt {attempt}): replay failed: {e}", race.file)
+            });
+            assert!(
+                matches!(outcome.verdict, Verdict::Violation(_)),
+                "{}: {:?}",
+                race.file,
+                outcome.verdict
+            );
+        }
+    }
+}
+
+/// (d): restoring the fix heals the exact committed schedule — the
+/// same choices now drive a clean run — and the whole fault vocabulary
+/// explores clean.
+#[test]
+fn fixed_code_passes_the_same_schedules_and_vocabulary() {
+    for race in races() {
+        let bytes = std::fs::read(schedule_path(race.file)).unwrap();
+        let mut file = read_schedule(&bytes).unwrap();
+        file.spec.bugs = ProtocolBugs::default();
+        assert!(
+            file.replay().is_err(),
+            "{}: the schedule still violates with the fix restored",
+            race.file
+        );
+        let fixed_spec = ScenarioSpec {
+            bugs: ProtocolBugs::default(),
+            ..race.spec
+        };
+        let out = explore_guarded(fixed_spec);
+        assert!(out.stats.exhaustive());
+        assert_eq!(
+            out.stats.violations, 0,
+            "{}: fixed code still violates: {:?}",
+            race.file, out.counterexample
+        );
+    }
+}

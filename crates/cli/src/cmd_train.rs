@@ -154,6 +154,9 @@ fn run_cluster(
         commit: spec.commit,
         transport: cluster.transport.clone(),
         seed: spec.seed,
+        // Historical-bug flags exist only for the model checker's
+        // regression rediscovery; production runs never enable them.
+        bugs: Default::default(),
     };
     match spec.loss {
         LossKind::Logistic => {

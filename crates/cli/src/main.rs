@@ -5,10 +5,12 @@
 //! isasgd predict <data.svm> --model m.json [--out preds.txt]
 //! isasgd info    <data.svm>           Table-1 stats, ψ/ρ, Δ̄, τ budget
 //! isasgd gen     --out f.svm          synthesize a calibrated dataset
+//! isasgd check   [flags]              model-check the cluster protocol
 //! ```
 
 #![forbid(unsafe_code)]
 
+mod cmd_check;
 mod cmd_gen;
 mod cmd_info;
 mod cmd_predict;
@@ -31,6 +33,8 @@ COMMANDS
   gen       synthesize a Table-1-calibrated dataset
   worker    one node of a distributed run (spawned by train --cluster-transport
             process, or launched by hand against a remote coordinator)
+  check     deterministic protocol model checker: explore message schedules
+            systematically, replay committed .schedule counterexamples
 
 Run `isasgd <command> --help` for command flags.
 ";
@@ -46,6 +50,7 @@ fn main() {
             Some("info") => cmd_info::HELP,
             Some("gen") => cmd_gen::HELP,
             Some("worker") => cmd_worker::HELP,
+            Some("check") => cmd_check::HELP,
             _ => HELP,
         };
         print!("{text}");
@@ -57,6 +62,7 @@ fn main() {
         Some("info") => cmd_info::run(&o),
         Some("gen") => cmd_gen::run(&o),
         Some("worker") => cmd_worker::run(&o),
+        Some("check") => cmd_check::run(&o),
         Some(other) => {
             eprintln!("unknown command '{other}'\n\n{HELP}");
             2

@@ -137,7 +137,27 @@ pub fn run_with_links<L: Loss, T: Transport>(
     cfg: &ClusterConfig,
     links: Vec<(T, T)>,
 ) -> Result<ClusterRun, ClusterError> {
-    run_with_links_inner(ds, obj, cfg, links, false)
+    run_with_links_inner(ds, obj, cfg, links, false, || {})
+}
+
+/// [`run_with_links`] with an observer called on the coordinating
+/// thread the moment the round driver finishes (success or failure),
+/// before link teardown and worker joins.
+///
+/// This is the seam the `isasgd-check` model scheduler needs: once the
+/// driver is done the coordinator performs no further transport
+/// operations it must be scheduled for, and the observer lets the
+/// checker mark it quiescent so pending worker actions (e.g. a
+/// fault-injected trailing duplicate) can be sequenced against the
+/// teardown deterministically.
+pub fn run_with_links_observed<L: Loss, T: Transport>(
+    ds: &Dataset,
+    obj: &Objective<L>,
+    cfg: &ClusterConfig,
+    links: Vec<(T, T)>,
+    on_driver_done: impl FnOnce() + Send,
+) -> Result<ClusterRun, ClusterError> {
+    run_with_links_inner(ds, obj, cfg, links, false, on_driver_done)
 }
 
 /// [`run_with_links`] with the in-process fast path switched on: all
@@ -153,6 +173,7 @@ pub(crate) fn run_with_links_inner<L: Loss, T: Transport>(
     cfg: &ClusterConfig,
     links: Vec<(T, T)>,
     share_view: bool,
+    on_driver_done: impl FnOnce() + Send,
 ) -> Result<ClusterRun, ClusterError> {
     validate(cfg, ds)?;
     if links.len() != cfg.nodes {
@@ -178,6 +199,7 @@ pub(crate) fn run_with_links_inner<L: Loss, T: Transport>(
             })
             .collect();
         let coord = coordinate(&mut coord_ends, &plan, obj, cfg, slot.as_ref());
+        on_driver_done();
         // On coordinator failure, drop the links now so every blocked
         // worker `recv` unblocks with `Closed` instead of deadlocking
         // the join. On success keep them alive until the workers have
@@ -185,7 +207,9 @@ pub(crate) fn run_with_links_inner<L: Loss, T: Transport>(
         // coordinator no longer needs (e.g. a fault-injected duplicate
         // of its final model), and tearing the links down under it
         // would turn that benign tail into a spurious `Closed` error.
-        if coord.is_err() {
+        // (`eager_link_teardown` resurrects the historical pre-fix
+        // behaviour for the model checker's regression corpus.)
+        if coord.is_err() || cfg.bugs.eager_link_teardown {
             coord_ends.clear();
         }
         let mut worker_err: Option<ClusterError> = None;
@@ -277,6 +301,7 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
     // goes out (drain tolerates a duplicated hello).
     for link in links.iter_mut() {
         loop {
+            // lint: allow(unbounded-recv) — fleet links arm Tcp read deadlines; the in-process transport's hello drain is deadlock-checked by isasgd-check
             if let Message::RoundBarrier { round: 0, .. } = link.recv()? {
                 break;
             }
@@ -352,6 +377,7 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
             let mut have_model = false;
             let mut have_feedback = protocol.is_none();
             while !(have_model && have_feedback) {
+                // lint: allow(unbounded-recv) — fleet links arm Tcp round deadlines; the in-process collect loop is deadlock-checked by isasgd-check
                 match link.recv()? {
                     Message::ModelUpdate {
                         round: r, model, ..
@@ -457,6 +483,9 @@ pub struct NodeRuntime<T: Transport> {
     /// simulating a worker crash mid-round (drives the fleet's
     /// supervision tests and `--chaos-kill`).
     die_at_round: Option<u64>,
+    /// Test-only resurrection of fixed protocol bugs (copied from
+    /// [`ClusterConfig::bugs`] at run entry; all-off in production).
+    bugs: crate::node::ProtocolBugs,
 }
 
 impl<T: Transport> NodeRuntime<T> {
@@ -468,6 +497,7 @@ impl<T: Transport> NodeRuntime<T> {
             stash: std::collections::VecDeque::new(),
             shared_view: None,
             die_at_round: None,
+            bugs: crate::node::ProtocolBugs::default(),
         }
     }
 
@@ -499,6 +529,7 @@ impl<T: Transport> NodeRuntime<T> {
         obj: &Objective<L>,
         cfg: &ClusterConfig,
     ) -> Result<(), ClusterError> {
+        self.bugs = cfg.bugs;
         let (order, wire_ranges, assigned) = self.await_assignment()?;
         let order: Vec<usize> = order.into_iter().map(|i| i as usize).collect();
         let ranges: Vec<Range<usize>> = wire_ranges
@@ -551,6 +582,7 @@ impl<T: Transport> NodeRuntime<T> {
         obj: &Objective<L>,
         cfg: &ClusterConfig,
     ) -> Result<(), ClusterError> {
+        self.bugs = cfg.bugs;
         let (_order, wire_ranges, assigned) = self.await_assignment()?;
         let ranges: Vec<Range<usize>> = wire_ranges
             .into_iter()
@@ -611,6 +643,7 @@ impl<T: Transport> NodeRuntime<T> {
             round: 0,
         })?;
         loop {
+            // lint: allow(unbounded-recv) — the node's link is deadline-armed by its owner (Tcp) or in-process, where isasgd-check covers this wait
             match self.link.recv()? {
                 Message::ShardRebalance {
                     assigned,
@@ -620,8 +653,11 @@ impl<T: Transport> NodeRuntime<T> {
                 } => return Ok((order, ranges, assigned as usize)),
                 // A reordered transport can deliver round-1 traffic
                 // before the assignment; keep it for await_round_start.
+                // (`drop_preassignment_traffic` resurrects the
+                // historical drop-instead-of-stash bug for the model
+                // checker's regression corpus.)
                 m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
-                    if m.round() >= 1 =>
+                    if m.round() >= 1 && !self.bugs.drop_preassignment_traffic =>
                 {
                     self.stash.push_back(m);
                 }
@@ -766,6 +802,7 @@ impl<T: Transport> NodeRuntime<T> {
             sort(m, round, &mut barrier, &mut consensus, &mut self.stash);
         }
         while !(barrier && consensus.is_some()) {
+            // lint: allow(unbounded-recv) — same link as await_assignment; the barrier wait is the checker's flagship no-deadlock invariant
             let m = self.link.recv()?;
             sort(m, round, &mut barrier, &mut consensus, &mut self.stash);
         }

@@ -58,16 +58,18 @@ pub mod sync;
 pub mod transport;
 pub mod wire;
 
-pub use coordinator::{run_with_links, NodeRuntime};
+pub use coordinator::{run_with_links, run_with_links_observed, NodeRuntime};
 pub use fleet::{run_fleet, run_fleet_with, CommandSpawner, WorkerHandle, WorkerSpawner};
-pub use node::{run, ClusterConfig, ClusterError, ClusterRun, Node, RoundPoint};
+pub use node::{run, ClusterConfig, ClusterError, ClusterRun, Node, ProtocolBugs, RoundPoint};
 pub use procnode::{run_worker, WorkerOptions, WorkerReport};
 pub use sync::{average_models, SyncStrategy};
 pub use transport::{
-    in_process_links, tcp_loopback_links, FlakyTransport, InProcess, LinkStats, ProcessConfig, Tcp,
-    Transport, TransportConfig, TransportError, WorkerLossPolicy,
+    in_process_links, tcp_loopback_links, FaultPolicy, FaultingTransport, FlakyTransport,
+    InProcess, LinkStats, ProcessConfig, RandomWalk, SendFault, Tcp, Transport, TransportConfig,
+    TransportError, WorkerLossPolicy,
 };
 pub use wire::{
-    apply_delta, delta_coords, encode_dataset_shard_chunks, FrameKind, Message, SessionConfig,
-    WireEncoding, WireError, FRAME_KINDS, MAX_FRAME, PROTOCOL_VERSION, SHARD_CHUNK_BYTES,
+    apply_delta, delta_coords, encode_dataset_shard_chunks, put_varint, FrameKind, Message,
+    SessionConfig, WireEncoding, WireError, FRAME_KINDS, MAX_FRAME, PROTOCOL_VERSION,
+    SHARD_CHUNK_BYTES,
 };

@@ -63,6 +63,44 @@ pub struct ClusterConfig {
     pub transport: TransportConfig,
     /// Master seed.
     pub seed: u64,
+    /// Test-only reintroduction of fixed protocol bugs (all off by
+    /// default); exists so the `isasgd-check` model checker can prove
+    /// it rediscovers each historical race. Never crosses the wire.
+    pub bugs: ProtocolBugs,
+}
+
+/// Switches that resurrect historical protocol bugs (each fixed in
+/// PR 4) behind test-only flags, so the model checker's counterexample
+/// corpus can demonstrate that disabling a fix is caught again.
+///
+/// Production paths never set these; they default to all-off, are
+/// excluded from [`SessionConfig`](crate::wire::SessionConfig), and
+/// exist purely so a regression test can assert "the checker finds
+/// this bug".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolBugs {
+    /// Bug 1 (reorder-deadlock): while awaiting its `ShardRebalance`
+    /// assignment, a worker *drops* round ≥ 1 barrier/model traffic
+    /// that arrives early instead of stashing it for replay.
+    pub drop_preassignment_traffic: bool,
+    /// Bug 2a (teardown race): the coordinator tears its link
+    /// endpoints down as soon as the round driver finishes, instead of
+    /// keeping them alive until every worker thread has joined.
+    pub eager_link_teardown: bool,
+    /// Bug 2b (strict extras): injected extra copies (duplicates,
+    /// held-message flushes) propagate `Closed` errors instead of
+    /// being delivered best-effort. Honoured by the model transport in
+    /// `isasgd-check`; the real
+    /// [`FaultingTransport`](crate::transport::FaultingTransport)
+    /// keeps the fixed best-effort behaviour unconditionally.
+    pub strict_extra_sends: bool,
+}
+
+impl ProtocolBugs {
+    /// True when any bug flag is set (used to guard release paths).
+    pub fn any(&self) -> bool {
+        self.drop_preassignment_traffic || self.eager_link_teardown || self.strict_extra_sends
+    }
 }
 
 impl Default for ClusterConfig {
@@ -80,6 +118,7 @@ impl Default for ClusterConfig {
             commit: CommitPolicy::EpochBoundary,
             transport: TransportConfig::InProcess,
             seed: 0x15A5_6D00,
+            bugs: ProtocolBugs::default(),
         }
     }
 }
@@ -288,6 +327,7 @@ pub fn run<L: Loss>(
             cfg,
             in_process_links(cfg.nodes),
             true,
+            || {},
         ),
         TransportConfig::Tcp { bind, encoding } => {
             let mut links = tcp_loopback_links(cfg.nodes, bind).map_err(TransportError::Io)?;

@@ -30,7 +30,7 @@
 //! cross-process, and an unknown name is a typed error, not a panic.
 
 use crate::coordinator::NodeRuntime;
-use crate::node::{ClusterConfig, ClusterError};
+use crate::node::{ClusterConfig, ClusterError, ProtocolBugs};
 use crate::sync::SyncStrategy;
 use crate::transport::{Tcp, Transport, TransportConfig, TransportError};
 use crate::wire::{Message, SessionConfig, PROTOCOL_VERSION};
@@ -78,6 +78,7 @@ pub fn run_worker(connect: &str, opts: &WorkerOptions) -> Result<WorkerReport, C
     link.send(&Message::Hello {
         version: PROTOCOL_VERSION,
     })?;
+    // lint: allow(unbounded-recv) — the link was armed with opts.read_timeout at connect, three lines up
     let (worker, config) = match link.recv()? {
         Message::Assign { worker, config } => (worker, config),
         other => {
@@ -131,6 +132,7 @@ enum WorkerData {
 /// other and tile the declared shard exactly).
 fn receive_data(link: &mut Tcp, worker: u32) -> Result<WorkerData, ClusterError> {
     let bad = |what: &str, got: String| ClusterError::Worker(format!("handshake: {what}{got}"));
+    // lint: allow(unbounded-recv) — the Tcp link still carries the handshake read deadline armed at connect
     let (shard_start, shard_rows, dim, mut builder, mut weights) = match link.recv()? {
         Message::DatasetTransfer { dataset } => return Ok(WorkerData::Full(*dataset)),
         Message::DatasetShard {
@@ -166,6 +168,7 @@ fn receive_data(link: &mut Tcp, worker: u32) -> Result<WorkerData, ClusterError>
         }
     };
     while weights.len() < shard_rows as usize {
+        // lint: allow(unbounded-recv) — same deadline-armed Tcp link as the first shard frame
         match link.recv()? {
             Message::DatasetShard {
                 shard,
@@ -246,6 +249,7 @@ fn serve(
         commit: sc.commit,
         transport: TransportConfig::InProcess,
         seed: sc.seed,
+        bugs: ProtocolBugs::default(),
     };
     let runtime = NodeRuntime::new(link, worker as usize).with_chaos_kill(die_at_round);
     match sc.loss.as_str() {

@@ -16,6 +16,7 @@
 //! | `hash-container` | determinism | `HashMap`/`HashSet` in deterministic-core code (iteration order would break the bit-identity pins; token-level analysis cannot see *which* use iterates, so the type itself is the contraband) |
 //! | `wall-clock` | determinism | `Instant::now`/`SystemTime` outside the designated timing modules |
 //! | `float-cmp` | determinism | `==`/`!=` against a non-zero float literal (comparisons to `0.0` are exact-representation guards and stay legal) |
+//! | `unbounded-recv` | liveness | `.recv()` on a cluster protocol file — a blocking receive with no deadline of its own; every site must say where its deadline comes from |
 //! | `missing-forbid-unsafe` | audit | crate root without `#![forbid(unsafe_code)]` |
 //! | `allow-missing-reason` | hygiene | a `lint: allow` with no `— reason` |
 //! | `unused-allow` | hygiene | a `lint: allow` that silenced nothing |
@@ -48,6 +49,20 @@ pub const DETERMINISM_CRATES: [&str; 4] = [
 /// `wall-clock` does not apply. Everything else in the determinism
 /// crates needs a per-site `lint: allow(wall-clock)` with a reason.
 pub const TIMING_MODULES: [&str; 2] = ["crates/cluster/src/fleet.rs", "crates/core/src/eval.rs"];
+
+/// Cluster protocol files where a blocking `.recv()` can hang the run
+/// forever unless a deadline is armed somewhere — PR 5's hang class.
+/// Every `.recv()` here needs a `lint: allow(unbounded-recv)` naming
+/// the deadline that actually covers it (a Tcp read timeout, the model
+/// checker's deadlock invariant, …). `fleet.rs` is excluded:
+/// `SupervisedLink` and the admission loop *are* the deadline
+/// machinery — handshake and round timeouts live there by design.
+pub const PROTOCOL_RECV_FILES: [&str; 4] = [
+    "crates/cluster/src/coordinator.rs",
+    "crates/cluster/src/transport.rs",
+    "crates/cluster/src/procnode.rs",
+    "crates/cluster/src/node.rs",
+];
 
 /// Is this (file, fn, impl) location on the decode side — parsing
 /// bytes a hostile peer controls?
@@ -82,6 +97,12 @@ fn is_timing_module(path: &str) -> bool {
         .any(|f| path.ends_with(f) || path == *f)
 }
 
+fn is_protocol_recv_file(path: &str) -> bool {
+    PROTOCOL_RECV_FILES
+        .iter()
+        .any(|f| path.ends_with(f) || path == *f)
+}
+
 /// Keywords that may legally precede `[` without it being an index
 /// expression (`return [..]`, `in [..]`, …).
 const NONINDEX_KEYWORDS: [&str; 24] = [
@@ -111,7 +132,8 @@ const PANIC_MACROS: [&str; 7] = [
 pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
     let decode_file = is_decode_file(&file.path);
     let determinism = in_determinism_scope(&file.path);
-    if !decode_file && !determinism {
+    let protocol_recv = is_protocol_recv_file(&file.path);
+    if !decode_file && !determinism && !protocol_recv {
         return;
     }
     let toks = &file.toks;
@@ -233,6 +255,22 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
                     );
                 }
             }
+        }
+        if protocol_recv
+            && t.kind == TokKind::Ident
+            && t.text == "recv"
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            emit(
+                "unbounded-recv",
+                t.line,
+                t.col,
+                "`.recv()` blocks with no deadline of its own — arm a read deadline on \
+                 the link, or annotate the site with the deadline that covers it"
+                    .into(),
+            );
         }
         if determinism && float_eq_at(file, i) {
             emit(
@@ -396,6 +434,23 @@ mod tests {
         assert_eq!(run("crates/cluster/src/coordinator.rs", src).len(), 1);
         assert!(run("crates/cluster/src/fleet.rs", src).is_empty());
         assert!(run("crates/experiments/src/common.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_recv_scopes_to_protocol_files() {
+        let src = "fn pump(l: &mut L) { let a = l.recv(); let b = l.recv_timeout(d); }";
+        let f = run("crates/cluster/src/coordinator.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unbounded-recv");
+        // recv_timeout carries its own deadline; fleet.rs owns the
+        // deadline machinery; foreign crates are out of scope.
+        assert!(run("crates/cluster/src/fleet.rs", src).is_empty());
+        assert!(run("crates/check/src/endpoint.rs", src).is_empty());
+        let allowed = "fn pump(l: &mut L) {\n\
+                       \x20   // lint: allow(unbounded-recv) — Tcp read deadline armed at connect\n\
+                       \x20   let a = l.recv();\n\
+                       }\n";
+        assert!(run("crates/cluster/src/procnode.rs", allowed).is_empty());
     }
 
     #[test]

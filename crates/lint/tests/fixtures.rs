@@ -103,6 +103,16 @@ fn float_cmp_fires_but_zero_guard_is_exempt() {
 }
 
 #[test]
+fn unbounded_recv_fires_on_protocol_paths_only() {
+    let f = run_as("crates/cluster/src/coordinator.rs", "bad_unbounded_recv.rs");
+    assert_single(&f, "unbounded-recv", 5, "deadline");
+    // fleet.rs owns the deadline machinery (SupervisedLink, admission
+    // timeouts): the same receive is legal there.
+    let ok = run_as("crates/cluster/src/fleet.rs", "bad_unbounded_recv.rs");
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
 fn allow_hygiene_fires_both_ways() {
     let f = run_as(WIRE, "bad_allow_hygiene.rs");
     let rules: Vec<_> = f.iter().map(|x| (x.rule, x.line)).collect();

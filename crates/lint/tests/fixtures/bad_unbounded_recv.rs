@@ -1,0 +1,7 @@
+//! Fixture: a blocking `.recv()` on a cluster protocol path with no
+//! annotation saying where its deadline comes from.
+
+fn pump_round(link: &mut Link) -> Result<Message, ClusterError> {
+    let msg = link.recv()?;
+    Ok(msg)
+}
