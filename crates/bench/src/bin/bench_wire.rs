@@ -18,7 +18,7 @@
 //! JSON file CI can diff against.
 
 use isasgd_bench::bench_dataset;
-use isasgd_cluster::{encode_dataset_shard_chunks, Message};
+use isasgd_cluster::{encode_dataset_shard_chunks, CheckpointSampler, CheckpointState, Message};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
@@ -45,6 +45,48 @@ fn model_delta(dim: usize, nnz: usize) -> Message {
         indices: (0..nnz).map(|i| (i * stride) as u32).collect(),
         values: (0..nnz).map(|i| (i as f64).cos()).collect(),
     }
+}
+
+fn checkpoint(dim: usize, round: u64) -> Message {
+    Message::Checkpoint {
+        node: 1,
+        round,
+        state: Box::new(CheckpointState {
+            draw_rng: [0x9E37_79B9, 0x7F4A_7C15, 0xF39C_C060, 0x5CED_C834],
+            model: (0..dim).map(|i| (i as f64).sin()).collect(),
+            sampler: CheckpointSampler::Adaptive {
+                rows: SHARD_ROWS as u32,
+                commits: 7,
+                indices: (0..256).map(|i| i * 31).collect(),
+                weights: (0..256).map(|i| 1.0 + (i % 17) as f64).collect(),
+            },
+        }),
+    }
+}
+
+/// Bytes a respawn re-ships for a session of `rounds` rounds with a
+/// checkpoint every `every` rounds: the newest absorbed checkpoint
+/// blob plus the post-checkpoint log suffix (one barrier and one dense
+/// update per round). A pure function of the checkpoint interval and
+/// the frame shapes — the 12-round and 120-round variants must be
+/// byte-identical, or checkpoint truncation has regressed to
+/// whole-session replay.
+fn recovery_replay_bytes(rounds: u64, every: u64, dim: usize) -> usize {
+    // The newest checkpoint the coordinator has absorbed by round
+    // `rounds` (the final-round checkpoint is skipped by design).
+    let last_ckpt = (rounds - 1) / every * every;
+    let mut total = checkpoint(dim, last_ckpt).to_bytes().len();
+    for round in last_ckpt + 1..=rounds {
+        total += Message::RoundBarrier { node: 1, round }.to_bytes().len();
+        total += Message::ModelUpdate {
+            node: 1,
+            round,
+            model: (0..dim).map(|i| (i as f64).sin()).collect(),
+        }
+        .to_bytes()
+        .len();
+    }
+    total
 }
 
 /// Median-of-5 throughput in GB/s of `f`, which processes `bytes`
@@ -139,6 +181,36 @@ fn measure() -> BTreeMap<&'static str, f64> {
         }),
     );
 
+    // Checkpoint frames are recovery-bearing traffic now: measure their
+    // codec throughput at the benchmark model shape, and the replay
+    // footprint they bound. The 12r/120r pair pins session-length
+    // independence (also re-checked as a headline invariant).
+    let ckpt = checkpoint(DIM, 8);
+    let ckpt_bytes = ckpt.to_bytes();
+    let mut buf = Vec::with_capacity(ckpt_bytes.len());
+    m.insert(
+        "encode_checkpoint_gbps",
+        gbps(ckpt_bytes.len(), || {
+            buf.clear();
+            ckpt.encode(&mut buf);
+            black_box(buf.len());
+        }),
+    );
+    m.insert(
+        "decode_checkpoint_gbps",
+        gbps(ckpt_bytes.len(), || {
+            black_box(Message::decode(&ckpt_bytes).unwrap());
+        }),
+    );
+    m.insert(
+        "recovery_replay_bytes_12r",
+        recovery_replay_bytes(12, 4, DIM) as f64,
+    );
+    m.insert(
+        "recovery_replay_bytes_120r",
+        recovery_replay_bytes(120, 4, DIM) as f64,
+    );
+
     // Admission footprints: one worker's shard stream vs the monolithic
     // whole-dataset frame the v1 handshake shipped to every worker.
     let full = Message::DatasetTransfer {
@@ -220,6 +292,13 @@ fn main() {
             // The headline ratio must hold on the current build too.
             if current["round_dense_bytes"] < 4.0 * current["round_delta_bytes"] {
                 eprintln!("FAIL: sparse delta no longer ≥4× smaller than dense per round");
+                failed = true;
+            }
+            if current["recovery_replay_bytes_12r"] != current["recovery_replay_bytes_120r"] {
+                eprintln!(
+                    "FAIL: recovery replay bytes depend on session length — \
+                     checkpoint truncation regressed to whole-session replay"
+                );
                 failed = true;
             }
             if failed {

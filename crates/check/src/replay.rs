@@ -7,8 +7,8 @@
 //! Layout (integers are LEB128 varints unless noted):
 //!
 //! ```text
-//! magic      8 raw bytes  "ISCHED01"
-//! nodes, rounds, local_epochs, rows, seed, adaptive
+//! magic      8 raw bytes  "ISCHED02"
+//! nodes, rounds, local_epochs, rows, seed, adaptive, checkpoint_every
 //! faults     flags byte (1=reorder 2=duplicate 4=hold 8=drop), window, budget
 //! bugs       flags byte (1=drop_preassignment 2=eager_teardown 4=strict_extras)
 //! expected   tag (0=pass 1=expected-deadlock 2=violation)
@@ -22,7 +22,7 @@ use crate::scenario::{run_schedule, Outcome, ScenarioSpec};
 use crate::sched::FaultSpec;
 use isasgd_cluster::{put_varint, ProtocolBugs};
 
-const MAGIC: &[u8; 8] = b"ISCHED01";
+const MAGIC: &[u8; 8] = b"ISCHED02";
 
 /// The outcome class a replayed schedule must reproduce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +62,7 @@ pub fn write_schedule(file: &ScheduleFile) -> Vec<u8> {
     put_varint(&mut out, u64::from(s.rows));
     put_varint(&mut out, s.seed);
     put_varint(&mut out, u64::from(s.adaptive));
+    put_varint(&mut out, s.checkpoint_every);
     let f = &s.faults;
     let fault_flags = u64::from(f.reorder)
         | u64::from(f.duplicate) << 1
@@ -123,6 +124,7 @@ pub fn read_schedule(bytes: &[u8]) -> Result<ScheduleFile, String> {
     let rows = u32::try_from(int(&mut pos)?).map_err(|_| "rows out of range".to_string())?;
     let seed = int(&mut pos)?;
     let adaptive = int(&mut pos)? != 0;
+    let checkpoint_every = int(&mut pos)?;
     let fault_flags = int(&mut pos)?;
     let reorder_window =
         u8::try_from(int(&mut pos)?).map_err(|_| "window out of range".to_string())?;
@@ -167,6 +169,7 @@ pub fn read_schedule(bytes: &[u8]) -> Result<ScheduleFile, String> {
             rows,
             seed,
             adaptive,
+            checkpoint_every,
             faults: FaultSpec {
                 reorder: fault_flags & 1 != 0,
                 reorder_window,
@@ -236,6 +239,7 @@ mod tests {
                 rows: 120,
                 seed: 0xDEAD_BEEF,
                 adaptive: true,
+                checkpoint_every: 2,
                 faults: FaultSpec {
                     reorder: true,
                     reorder_window: 3,
@@ -276,5 +280,11 @@ mod tests {
         let mut extra = bytes.clone();
         extra.push(0);
         assert!(read_schedule(&extra).is_err(), "trailing bytes");
+        let mut old = bytes.clone();
+        old[..8].copy_from_slice(b"ISCHED01");
+        assert!(
+            read_schedule(&old).is_err(),
+            "pre-checkpoint format version must be rejected, not misparsed"
+        );
     }
 }

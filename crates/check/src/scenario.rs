@@ -39,6 +39,10 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Adaptive sampling (exercises the FeedbackBatch path) vs static.
     pub adaptive: bool,
+    /// Worker checkpoint cadence in rounds (0 = disabled). Exercises
+    /// the `Checkpoint` frame path: workers emit state snapshots that a
+    /// plain coordinator must absorb without perturbing bit-identity.
+    pub checkpoint_every: u64,
     /// Fault vocabulary the scheduler may enumerate.
     pub faults: FaultSpec,
     /// Historical bugs to re-enable (regression rediscovery).
@@ -54,6 +58,7 @@ impl Default for ScenarioSpec {
             rows: 96,
             seed: 0x15A5_6D00,
             adaptive: true,
+            checkpoint_every: 0,
             faults: FaultSpec::none(),
             bugs: ProtocolBugs::default(),
         }
@@ -109,6 +114,7 @@ fn cluster_cfg(spec: &ScenarioSpec, bugs: ProtocolBugs) -> ClusterConfig {
         commit: CommitPolicy::EpochBoundary,
         transport: TransportConfig::InProcess,
         seed: spec.seed,
+        checkpoint_every: spec.checkpoint_every,
         bugs,
         ..ClusterConfig::default()
     }

@@ -75,6 +75,69 @@ fn two_workers_two_rounds_lossless_faults_exhaustive() {
     );
 }
 
+/// Checkpoint frames are real protocol traffic: with a checkpoint
+/// cadence the workers emit `Checkpoint` state snapshots mid-session,
+/// and the coordinator must absorb duplicated / reordered / held
+/// copies idempotently — every completed schedule still bit-matches
+/// the oracle. The frames must also genuinely enter the scheduler's
+/// vocabulary (more scheduling freedom than the checkpoint-free run).
+#[test]
+fn checkpoint_frames_are_absorbed_idempotently_under_lossless_faults() {
+    let base = ScenarioSpec {
+        faults: FaultSpec::lossless(1),
+        ..ScenarioSpec::default()
+    };
+    let spec = ScenarioSpec {
+        checkpoint_every: 1,
+        ..base
+    };
+    let out = explore_guarded(spec, 64, Budget::default());
+    assert_clean(&out);
+    assert!(
+        out.stats.exhaustive(),
+        "2x2 with checkpoints must be exhaustible: {:?}",
+        out.stats.truncated
+    );
+    assert_eq!(
+        out.stats.expected_deadlocks, 0,
+        "nothing blocks on a checkpoint: lossless faults cannot starve"
+    );
+    let baseline = explore_guarded(base, 64, Budget::default());
+    assert!(
+        out.stats.schedules > baseline.stats.schedules,
+        "checkpoint frames must open real scheduling freedom: {} vs {}",
+        out.stats.schedules,
+        baseline.stats.schedules
+    );
+}
+
+/// A dropped `Checkpoint` frame must never corrupt a completing run:
+/// the frame is advisory for recovery, so losing one degrades recovery
+/// cost, not correctness.
+#[test]
+fn dropped_checkpoints_never_corrupt_a_completing_run() {
+    let spec = ScenarioSpec {
+        nodes: 1,
+        rounds: 2,
+        rows: 48,
+        checkpoint_every: 1,
+        faults: FaultSpec {
+            drop: true,
+            budget: 1,
+            ..FaultSpec::none()
+        },
+        ..ScenarioSpec::default()
+    };
+    let out = explore_guarded(spec, 64, Budget::default());
+    assert_clean(&out);
+    assert!(out.stats.exhaustive(), "{:?}", out.stats.truncated);
+    assert!(
+        out.stats.schedules > out.stats.expected_deadlocks,
+        "some schedules must still complete: {:?}",
+        out.stats
+    );
+}
+
 /// Message loss: dropped messages may starve the protocol (expected
 /// deadlocks), but must never corrupt a completing run.
 #[test]

@@ -147,6 +147,9 @@ fn run_inner(o: &Opts) -> Result<i32, String> {
     let seed = o
         .get_parsed_or("seed", 0x15A5_6D00u64, "u64")
         .map_err(|e| e.to_string())?;
+    let checkpoint_every = o
+        .get_parsed_or("checkpoint-every", 0u64, "u64")
+        .map_err(|e| e.to_string())?;
     let depth = o
         .get_parsed_or("depth", 48usize, "usize")
         .map_err(|e| e.to_string())?;
@@ -208,6 +211,7 @@ fn run_inner(o: &Opts) -> Result<i32, String> {
         rows,
         seed,
         adaptive: !is_static,
+        checkpoint_every,
         faults,
         bugs,
     };
@@ -260,6 +264,9 @@ Scenario
   --rows <n>           synthetic dataset rows               (default 96)
   --seed <s>           cluster RNG seed                     (default 0x15a56d00)
   --static             static sampling (default: adaptive feedback)
+  --checkpoint-every <r>  workers emit Checkpoint frames every r rounds
+                       (0 = disabled); the coordinator must absorb them
+                       without perturbing bit-identity  (default 0)
 
 Fault vocabulary (what the scheduler may do to messages)
   --faults <list>      comma list of reorder,duplicate,hold,drop —
@@ -322,6 +329,24 @@ mod tests {
             )),
             0
         );
+    }
+
+    #[test]
+    fn checkpointing_workers_explore_clean() {
+        // The Checkpoint frames a worker emits every round must be
+        // absorbed by the coordinator without opening a violation.
+        assert_eq!(
+            run(&opts(
+                "check --nodes 1 --rounds 2 --rows 48 --checkpoint-every 1 \
+                 --faults none --depth 48 --require-exhaustive --quiet"
+            )),
+            0
+        );
+    }
+
+    #[test]
+    fn bad_checkpoint_every_is_usage_error() {
+        assert_eq!(run(&opts("check --checkpoint-every often")), 2);
     }
 
     #[test]

@@ -154,6 +154,13 @@ fn run_cluster(
         commit: spec.commit,
         transport: cluster.transport.clone(),
         seed: spec.seed,
+        // Mirror the fleet flag so the config is self-consistent; the
+        // process transport reads its own copy when building the wire
+        // session.
+        checkpoint_every: match &cluster.transport {
+            isasgd_cluster::TransportConfig::Process(pc) => pc.checkpoint_every,
+            _ => 0,
+        },
         // Historical-bug flags exist only for the model checker's
         // regression rediscovery; production runs never enable them.
         bugs: Default::default(),
@@ -366,6 +373,11 @@ isasgd train <data.svm> [flags]
                      session (bit-identical recovery)       [fail]
   --chaos-kill <n:r> testing hook (process transport): worker n aborts
                      abruptly at round r, exercising --on-worker-loss
+  --checkpoint-every <r>  process transport: workers checkpoint their
+                     state every r rounds, bounding respawn replay (and
+                     the supervisor's log) by one interval instead of
+                     the whole session. Bit-identical results with or
+                     without it                              [off]
   --round-timeout <s>  per-round worker liveness deadline in seconds
                      (process transport; workers scale their own read
                      deadline from it)                      [120]

@@ -227,6 +227,7 @@ impl TrainSpec {
             let chaos = o.get("chaos-kill");
             let round_timeout = o.get("round-timeout");
             let wire_encoding = o.get("wire-encoding");
+            let checkpoint_every = o.get("checkpoint-every");
             let needs_process = |flag: &str, v: String| {
                 Err(bad(flag, v, "only valid with --cluster-transport process"))
             };
@@ -262,6 +263,16 @@ impl TrainSpec {
                     if let Some(v) = wire_encoding {
                         pc.encoding = parse_encoding(v)?;
                     }
+                    if let Some(v) = checkpoint_every {
+                        // 0 would silently disable the feature the user
+                        // just asked for — reject it; omit the flag to
+                        // disable checkpointing.
+                        pc.checkpoint_every = v
+                            .parse()
+                            .ok()
+                            .filter(|&n: &u64| n > 0)
+                            .ok_or_else(|| bad("checkpoint-every", v, "rounds (u64, ≥ 1)"))?;
+                    }
                 }
                 TransportConfig::Tcp {
                     bind: tcp_bind,
@@ -275,6 +286,9 @@ impl TrainSpec {
                     }
                     if let Some(v) = round_timeout {
                         return needs_process("round-timeout", v);
+                    }
+                    if let Some(v) = checkpoint_every {
+                        return needs_process("checkpoint-every", v);
                     }
                     if let Some(b) = bind {
                         *tcp_bind = b;
@@ -290,6 +304,7 @@ impl TrainSpec {
                         ("chaos-kill", chaos),
                         ("round-timeout", round_timeout),
                         ("wire-encoding", wire_encoding),
+                        ("checkpoint-every", checkpoint_every),
                     ] {
                         if let Some(v) = value {
                             return Err(bad(flag, v, "needs a socket transport (tcp or process)"));
@@ -503,7 +518,8 @@ mod tests {
         // The full fleet flag set.
         let t = spec(
             "--cluster 3 --cluster-transport process --on-worker-loss respawn \
-             --chaos-kill 1:2 --cluster-bind 127.0.0.1:7070 --round-timeout 300",
+             --chaos-kill 1:2 --cluster-bind 127.0.0.1:7070 --round-timeout 300 \
+             --checkpoint-every 4",
         )
         .unwrap();
         match t.cluster.unwrap().transport {
@@ -512,10 +528,20 @@ mod tests {
                 assert_eq!(pc.chaos_kill, Some((1, 2)));
                 assert_eq!(pc.bind, "127.0.0.1:7070");
                 assert_eq!(pc.round_timeout_ms, 300_000);
+                assert_eq!(pc.checkpoint_every, 4);
                 assert_eq!(pc.worker, None, "worker binary resolved at run time");
             }
             other => panic!("expected process transport, got {other:?}"),
         }
+        // Checkpointing is off unless asked for; zero and junk are
+        // rejected rather than silently disabling the flag.
+        let t = spec("--cluster 2 --cluster-transport process").unwrap();
+        match t.cluster.unwrap().transport {
+            TransportConfig::Process(pc) => assert_eq!(pc.checkpoint_every, 0),
+            other => panic!("expected process transport, got {other:?}"),
+        }
+        assert!(spec("--cluster 2 --cluster-transport process --checkpoint-every 0").is_err());
+        assert!(spec("--cluster 2 --cluster-transport process --checkpoint-every often").is_err());
         // --cluster-bind also applies to tcp.
         let t = spec("--cluster 2 --cluster-transport tcp --cluster-bind 127.0.0.1:9000").unwrap();
         assert_eq!(
@@ -542,6 +568,11 @@ mod tests {
                 "--cluster 2 --cluster-transport tcp --round-timeout 5",
                 "round-timeout",
             ),
+            (
+                "--cluster 2 --cluster-transport tcp --checkpoint-every 4",
+                "checkpoint-every",
+            ),
+            ("--cluster 2 --checkpoint-every 4", "checkpoint-every"),
         ] {
             match spec(line) {
                 Err(OptError::BadValue { flag: f, .. }) => {

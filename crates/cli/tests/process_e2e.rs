@@ -155,6 +155,44 @@ fn process_worker_loss_respawn_is_bit_identical() {
 }
 
 #[test]
+fn checkpointed_respawn_is_bit_identical_through_real_subprocesses() {
+    // The whole checkpoint path over genuine fork/exec workers: state
+    // frames every round, a chaos kill, checkpoint-installed recovery —
+    // and the result is bit-equal to a run that never checkpointed and
+    // never died.
+    let dir = tmpdir("ckpt");
+    let data = gen_data(&dir);
+    let m_clean = dir.join("m_clean.json");
+    let m_ckpt = dir.join("m_ckpt.json");
+    let (tr_clean, _, js_clean) =
+        run_cluster(&data, &m_clean, "process", "average", "adaptive", &[]);
+    let (tr_ckpt, _, js_ckpt) = run_cluster(
+        &data,
+        &m_ckpt,
+        "process",
+        "average",
+        "adaptive",
+        &[
+            "--checkpoint-every",
+            "1",
+            "--chaos-kill",
+            "1:2",
+            "--on-worker-loss",
+            "respawn",
+        ],
+    );
+    assert_eq!(
+        tr_ckpt, tr_clean,
+        "checkpointed recovery's round trace diverged from the undisturbed run"
+    );
+    assert_eq!(
+        js_ckpt, js_clean,
+        "checkpointed recovery's final model diverged from the undisturbed run"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn process_worker_loss_fail_is_a_typed_error() {
     let dir = tmpdir("fail");
     let data = gen_data(&dir);

@@ -40,14 +40,14 @@ use crate::node::{
 };
 use crate::sync::average_models;
 use crate::transport::Transport;
-use crate::wire::Message;
+use crate::wire::{CheckpointSampler, CheckpointState, Message};
 use isasgd_balance::decide;
 use isasgd_losses::{importance_weights, Loss, Objective};
 use isasgd_metrics::{Trace, TracePoint};
 use isasgd_sampling::rng::derive_seeds;
 use isasgd_sampling::{
-    build_sampler, draw_rngs, AdaptiveIsSampler, FeedbackProtocol, Sampler, SamplingStrategy,
-    ScheduleStream, SequenceMode,
+    build_sampler, draw_rngs, AdaptiveIsSampler, FeedbackProtocol, Sampler, SamplerSnapshot,
+    SamplingStrategy, ScheduleStream, SequenceMode,
 };
 use isasgd_sparse::dataset::shard_ranges;
 use isasgd_sparse::Dataset;
@@ -457,6 +457,9 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
         // Per-link wire counters, where the transport keeps them (real
         // sockets do; typed channels report nothing).
         net: links.iter().filter_map(|l| l.stats()).collect(),
+        // Per-slot recovery footprints, where the transport supervises
+        // (the fleet's links do; plain links report nothing).
+        recovery: links.iter().filter_map(|l| l.recovery()).collect(),
     })
 }
 
@@ -653,10 +656,15 @@ impl<T: Transport> NodeRuntime<T> {
                 } => return Ok((order, ranges, assigned as usize)),
                 // A reordered transport can deliver round-1 traffic
                 // before the assignment; keep it for await_round_start.
+                // A respawn replay also ships the slot's stored
+                // Checkpoint ahead of the replayed assignment — stash
+                // it for run_rounds to install.
                 // (`drop_preassignment_traffic` resurrects the
                 // historical drop-instead-of-stash bug for the model
                 // checker's regression corpus.)
-                m @ (Message::RoundBarrier { .. } | Message::ModelUpdate { .. })
+                m @ (Message::RoundBarrier { .. }
+                | Message::ModelUpdate { .. }
+                | Message::Checkpoint { .. })
                     if m.round() >= 1 && !self.bugs.drop_preassignment_traffic =>
                 {
                     self.stash.push_back(m);
@@ -710,7 +718,76 @@ impl<T: Transport> NodeRuntime<T> {
         // sampler applies, so a batch replay is idempotent.
         let mut obs_max = vec![f64::NEG_INFINITY; range.len()];
         let mut visited = vec![false; range.len()];
-        for round in 1..=cfg.rounds as u64 {
+
+        // Respawn replay ships the slot's stored Checkpoint ahead of
+        // the truncated log; await_assignment stashed it. Install the
+        // newest one (dups/reorders are harmless) and resume from the
+        // round after it — the whole point of checkpointing is that
+        // the replayed suffix, not the session, bounds recovery.
+        let mut ckpt: Option<(u64, Box<CheckpointState>)> = None;
+        let stashed: Vec<Message> = self.stash.drain(..).collect();
+        for m in stashed {
+            if let Message::Checkpoint { round, state, .. } = m {
+                if ckpt.as_ref().is_none_or(|(r, _)| round > *r) {
+                    ckpt = Some((round, state));
+                }
+            } else {
+                self.stash.push_back(m);
+            }
+        }
+        let mut first_round = 1u64;
+        if let Some((cround, state)) = ckpt {
+            if state.model.len() != node.model.len() {
+                return Err(ClusterError::Worker(format!(
+                    "checkpoint round {cround}: model dim {} != {}",
+                    state.model.len(),
+                    node.model.len()
+                )));
+            }
+            let snap = match state.sampler {
+                CheckpointSampler::Sequence { rows, rng, indices } => {
+                    if rows as usize != range.len() {
+                        return Err(ClusterError::Worker(format!(
+                            "checkpoint round {cround}: {rows} rows != shard {}",
+                            range.len()
+                        )));
+                    }
+                    SamplerSnapshot::Sequence { rng, indices }
+                }
+                CheckpointSampler::Adaptive {
+                    rows,
+                    commits,
+                    indices,
+                    weights,
+                } => {
+                    if rows as usize != range.len() {
+                        return Err(ClusterError::Worker(format!(
+                            "checkpoint round {cround}: {rows} rows != shard {}",
+                            range.len()
+                        )));
+                    }
+                    // Sparse diff against the configured base weights;
+                    // wire decode guarantees in-bounds strictly
+                    // increasing indices and finite weights.
+                    let mut dense = local.to_vec();
+                    for (&i, &w) in indices.iter().zip(&weights) {
+                        dense[i as usize] = w;
+                    }
+                    SamplerSnapshot::Adaptive {
+                        weights: dense,
+                        commits,
+                    }
+                }
+            };
+            node.stream
+                .sampler_mut()
+                .restore(snap)
+                .map_err(|e| ClusterError::Worker(format!("checkpoint restore: {e}")))?;
+            node.stream.set_rng_state(state.draw_rng);
+            node.model.copy_from_slice(&state.model);
+            first_round = cround + 1;
+        }
+        for round in first_round..=cfg.rounds as u64 {
             let consensus = self.await_round_start(round)?;
             if self.die_at_round == Some(round) {
                 // Chaos hook: abort mid-round. Returning drops the
@@ -764,6 +841,49 @@ impl<T: Transport> NodeRuntime<T> {
                 round,
                 model: node.model.clone(),
             })?;
+            // Periodic state checkpoint, after the round's update so
+            // the coordinator absorbs it while collecting the *next*
+            // round (hence none at the final round — there would be no
+            // collect left to absorb it). Snapshotting never mutates
+            // the stream, so emission cannot perturb the computation:
+            // runs are bit-identical with checkpointing on or off.
+            if cfg.checkpoint_every > 0
+                && round % cfg.checkpoint_every == 0
+                && round < cfg.rounds as u64
+            {
+                let rows = range.len() as u32;
+                let sampler = match node.stream.sampler().snapshot() {
+                    SamplerSnapshot::Sequence { rng, indices } => {
+                        CheckpointSampler::Sequence { rows, rng, indices }
+                    }
+                    SamplerSnapshot::Adaptive { weights, commits } => {
+                        // Ship only rows whose weight moved off the
+                        // configured base — bitwise, so the restored
+                        // dense vector reproduces `weights` exactly.
+                        let (indices, weights) = weights
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, &w)| w.to_bits() != local[i].to_bits())
+                            .map(|(i, &w)| (i as u32, w))
+                            .unzip();
+                        CheckpointSampler::Adaptive {
+                            rows,
+                            commits,
+                            indices,
+                            weights,
+                        }
+                    }
+                };
+                self.link.send(&Message::Checkpoint {
+                    node: id,
+                    round,
+                    state: Box::new(CheckpointState {
+                        draw_rng: node.stream.rng_state(),
+                        model: node.model.clone(),
+                        sampler,
+                    }),
+                })?;
+            }
         }
         Ok(())
     }

@@ -42,12 +42,22 @@
 //!   feedback is absorbed by the mirror's per-row max — the run
 //!   completes **bit-identically** to an undisturbed one (pinned by
 //!   `tests/process_fleet.rs` and the CLI kill-a-worker e2e).
+//!
+//! With a checkpoint cadence ([`ProcessConfig::checkpoint_every`]),
+//! replay is bounded instead of whole-session: workers periodically
+//! ship a versioned, checksummed [`Message::Checkpoint`] of their
+//! cross-round state; the link stores the newest blob per slot,
+//! acknowledges it, and truncates its log to the post-checkpoint
+//! suffix (the initial `ShardRebalance` is always retained). Recovery
+//! then replays checkpoint + suffix, so both log memory and respawn
+//! cost are bounded by one checkpoint interval regardless of session
+//! length — observable per slot via [`RecoveryFootprint`].
 
 use crate::coordinator::{coordinate, plan_run};
 use crate::node::{validate, ClusterConfig, ClusterError, ClusterRun};
 use crate::procnode::wire_known_loss;
 use crate::transport::{
-    LinkStats, ProcessConfig, Tcp, Transport, TransportError, WorkerLossPolicy,
+    LinkStats, ProcessConfig, RecoveryFootprint, Tcp, Transport, TransportError, WorkerLossPolicy,
 };
 use crate::wire::{
     encode_dataset_shard_chunks, Message, SessionConfig, WireError, MAX_FRAME, PROTOCOL_VERSION,
@@ -179,6 +189,22 @@ impl<S: WorkerSpawner> FleetShared<S> {
             .map_err(|e| ClusterError::Worker(format!("listener: {e}")))?;
         let mut last_reject: Option<WireError> = None;
         loop {
+            // Checked every iteration, not just when the listener runs
+            // dry: a continuous stream of junk connections used to keep
+            // the loop in the accept arm forever, so a flood of invalid
+            // peers could starve admission past any deadline.
+            if Instant::now() >= deadline {
+                let why = last_reject
+                    .map(|w| format!(" (last rejected handshake: {w})"))
+                    .unwrap_or_default();
+                return Err(ClusterError::WorkerLost {
+                    node,
+                    detail: format!(
+                        "no valid worker handshake within {}ms{why}",
+                        self.pc.handshake_timeout_ms
+                    ),
+                });
+            }
             match self.listener.accept() {
                 Ok((stream, peer)) => {
                     // Handshake under what's left of the deadline, so a
@@ -252,18 +278,6 @@ impl<S: WorkerSpawner> FleetShared<S> {
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
-                        let why = last_reject
-                            .map(|w| format!(" (last rejected handshake: {w})"))
-                            .unwrap_or_default();
-                        return Err(ClusterError::WorkerLost {
-                            node,
-                            detail: format!(
-                                "no valid worker handshake within {}ms{why}",
-                                self.pc.handshake_timeout_ms
-                            ),
-                        });
-                    }
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) => return Err(ClusterError::Worker(format!("accept: {e}"))),
@@ -289,6 +303,14 @@ pub struct SupervisedLink<S: WorkerSpawner> {
     /// a respawn folds the dead link's counters here, so the slot's
     /// reported totals cover the whole session including replays.
     stats: LinkStats,
+    /// The newest worker checkpoint absorbed on this slot, as the round
+    /// it covers plus the re-encoded [`Message::Checkpoint`] payload —
+    /// stored as wire bytes so respawn replay ships it verbatim without
+    /// holding a decoded model/sampler copy per slot.
+    ckpt: Option<(u64, Vec<u8>)>,
+    /// Successful respawns on this slot (reported in the run's
+    /// recovery footprint).
+    respawns: u32,
 }
 
 impl<S: WorkerSpawner> SupervisedLink<S> {
@@ -305,14 +327,21 @@ impl<S: WorkerSpawner> SupervisedLink<S> {
     /// state. Under `Fail` (or an exhausted budget) the loss surfaces
     /// as a typed [`TransportError::WorkerLost`].
     ///
-    /// The replay writes the whole session before reading anything;
-    /// the replacement's own re-sends are drained later by the round
-    /// driver (stale tags dropped). If a pathologically large session
-    /// fills both sockets' buffers mid-replay, the armed write
-    /// deadline turns that into a typed `WorkerLost` instead of a
-    /// deadlock — bounded-size recovery (checkpointed/streamed replay)
-    /// is a ROADMAP item.
+    /// The replay writes the stored checkpoint (if any) and the logged
+    /// suffix before reading anything; the replacement's own re-sends
+    /// are drained later by the round driver (stale tags dropped).
+    /// With checkpointing on, the replayed suffix — and so both the
+    /// socket traffic and the log held in memory — is bounded by one
+    /// checkpoint interval regardless of session length. If an
+    /// unbounded (no-checkpoint) session fills both sockets' buffers
+    /// mid-replay, the armed write deadline turns that into a typed
+    /// `WorkerLost` instead of a deadlock.
     fn recover(&mut self, cause: TransportError) -> Result<(), TransportError> {
+        // Fold the dead connection's counters into the slot totals
+        // first, before any path can bail: traffic that crossed the
+        // wire happened whether or not the respawn succeeds, and the
+        // bandwidth report must not lose it.
+        self.stats.merge(&self.tcp.take_stats());
         if matches!(cause, TransportError::WorkerLost { .. }) {
             return Err(cause);
         }
@@ -333,20 +362,34 @@ impl<S: WorkerSpawner> SupervisedLink<S> {
             .accept_worker(self.node)
             .map_err(|e| self.lost(&format_args!("respawn handshake failed: {e}")))?;
         drop(shared);
-        // Deterministic replay: the replacement walks the identical
-        // message stream the lost worker saw and reconstructs its
-        // sampler / RNG / model state exactly; its re-sent traffic for
-        // already-finished rounds is dropped by round tag upstream.
-        for m in &self.log {
-            tcp.send(m)
-                .map_err(|e| self.lost(&format_args!("replay failed: {e}")))?;
+        // Deterministic replay: the stored checkpoint (shipped verbatim
+        // as the bytes the worker sent, ahead of everything else so the
+        // replacement stashes it pre-assignment) followed by the logged
+        // suffix. The replacement installs the state and recomputes
+        // only the rounds after it — bit-identical to a worker that
+        // lived the whole session; its re-sent traffic for already-
+        // finished rounds is dropped by round tag upstream.
+        let replayed = (|| -> Result<(), TransportError> {
+            if let Some((_, blob)) = &self.ckpt {
+                tcp.send_payload(blob)?;
+            }
+            for m in &self.log {
+                tcp.send(m)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = replayed {
+            // The partial replay's traffic is real too.
+            self.stats.merge(tcp.link_stats());
+            return Err(self.lost(&format_args!("replay failed: {e}")));
         }
-        // Replace the dead endpoint, folding its traffic into the
-        // slot's running totals first; the old handle is dropped (and
-        // the dead process reaped) with the assignment below.
-        self.stats.merge(self.tcp.link_stats());
+        // Replace the dead endpoint; the old handle is dropped (and the
+        // dead process reaped) with the assignment below. The live
+        // link's counters were zeroed by take_stats above, so the
+        // replacement's start from zero double-counts nothing.
         self.tcp = tcp;
         self.handle = handle;
+        self.respawns += 1;
         Ok(())
     }
 }
@@ -365,6 +408,38 @@ impl<S: WorkerSpawner> Transport for SupervisedLink<S> {
     fn recv(&mut self) -> Result<Message, TransportError> {
         loop {
             match self.tcp.recv() {
+                // Checkpoints are absorbed here, never surfaced to the
+                // round driver: keep the newest blob, truncate the
+                // replay log to the post-checkpoint suffix, and ack.
+                // Duplicates and reordered (older) checkpoints are
+                // ignored-but-acked, so absorption is idempotent.
+                Ok(Message::Checkpoint { node, round, state }) => {
+                    if node == self.node && self.ckpt.as_ref().is_none_or(|(r, _)| round > *r) {
+                        // Re-encoding is deterministic, so the stored
+                        // bytes are exactly what the worker sent.
+                        let blob = Message::Checkpoint { node, round, state }.to_bytes();
+                        self.ckpt = Some((round, blob));
+                        // A respawned worker still needs its shard
+                        // assignment, so ShardRebalance survives every
+                        // truncation; everything at or before the
+                        // checkpointed round is recomputation the
+                        // installed state already covers.
+                        self.log.retain(|m| {
+                            matches!(m, Message::ShardRebalance { .. }) || m.round() > round
+                        });
+                    }
+                    // The ack is control traffic: sent directly (not
+                    // logged — a replayed worker re-emits checkpoints
+                    // and gets fresh acks), and a dead link here rolls
+                    // into the same recovery as any other send.
+                    let ack = Message::CheckpointAck {
+                        node: self.node,
+                        round,
+                    };
+                    if let Err(e) = self.tcp.send(&ack) {
+                        self.recover(e)?;
+                    }
+                }
                 Ok(m) => return Ok(m),
                 // After recovery the replacement re-emits everything the
                 // lost worker owed; loop back into recv for it.
@@ -379,6 +454,17 @@ impl<S: WorkerSpawner> Transport for SupervisedLink<S> {
         let mut stats = self.stats.clone();
         stats.merge(self.tcp.link_stats());
         Some(stats)
+    }
+
+    fn recovery(&self) -> Option<RecoveryFootprint> {
+        Some(RecoveryFootprint {
+            node: self.node,
+            log_frames: self.log.len() as u64,
+            log_bytes: self.log.iter().map(|m| m.resident_bytes() as u64).sum(),
+            checkpoint_round: self.ckpt.as_ref().map_or(0, |(r, _)| *r),
+            checkpoint_bytes: self.ckpt.as_ref().map_or(0, |(_, b)| b.len() as u64),
+            respawns: self.respawns,
+        })
     }
 }
 
@@ -484,6 +570,7 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
         loss: obj.loss.name().to_string(),
         reg: obj.reg,
         encoding: pc.encoding,
+        checkpoint_every: pc.checkpoint_every,
     };
     let shared = Arc::new(Mutex::new(FleetShared {
         listener,
@@ -513,6 +600,8 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
             respawns_left: pc.max_respawns,
             policy: pc.on_loss,
             stats: LinkStats::default(),
+            ckpt: None,
+            respawns: 0,
         });
     }
 

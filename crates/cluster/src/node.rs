@@ -9,7 +9,8 @@
 use crate::coordinator::run_with_links;
 use crate::sync::SyncStrategy;
 use crate::transport::{
-    in_process_links, tcp_loopback_links, LinkStats, TransportConfig, TransportError,
+    in_process_links, tcp_loopback_links, LinkStats, RecoveryFootprint, TransportConfig,
+    TransportError,
 };
 use isasgd_balance::BalancePolicy;
 use isasgd_losses::{ImportanceScheme, Loss, Objective};
@@ -63,6 +64,13 @@ pub struct ClusterConfig {
     pub transport: TransportConfig,
     /// Master seed.
     pub seed: u64,
+    /// Worker checkpoint period in rounds (0 = off). Every
+    /// `checkpoint_every` rounds each worker ships a snapshot of its
+    /// deterministic state to the coordinator, which uses it to bound
+    /// respawn recovery (and replay-log memory) by one interval
+    /// instead of the whole session. Checkpointing never changes the
+    /// computation — runs stay bit-identical with it on or off.
+    pub checkpoint_every: u64,
     /// Test-only reintroduction of fixed protocol bugs (all off by
     /// default); exists so the `isasgd-check` model checker can prove
     /// it rediscovers each historical race. Never crosses the wire.
@@ -118,6 +126,7 @@ impl Default for ClusterConfig {
             commit: CommitPolicy::EpochBoundary,
             transport: TransportConfig::InProcess,
             seed: 0x15A5_6D00,
+            checkpoint_every: 0,
             bugs: ProtocolBugs::default(),
         }
     }
@@ -202,6 +211,12 @@ pub struct ClusterRun {
     /// Deliberately excluded from bit-equality comparisons: counters
     /// measure the wire, not the computation.
     pub net: Vec<LinkStats>,
+    /// Per-slot respawn-recovery footprints at run end (replay-log
+    /// size, stored checkpoint round/bytes, respawn count), one entry
+    /// per worker link for transports that supervise (`process`);
+    /// empty otherwise. Like `net`, excluded from bit-equality: it
+    /// measures supervision, not the computation.
+    pub recovery: Vec<RecoveryFootprint>,
 }
 
 /// Configuration/validation/runtime errors.

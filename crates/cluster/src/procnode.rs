@@ -249,6 +249,7 @@ fn serve(
         commit: sc.commit,
         transport: TransportConfig::InProcess,
         seed: sc.seed,
+        checkpoint_every: sc.checkpoint_every,
         bugs: ProtocolBugs::default(),
     };
     let runtime = NodeRuntime::new(link, worker as usize).with_chaos_kill(die_at_round);

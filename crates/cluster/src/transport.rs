@@ -109,6 +109,28 @@ impl LinkStats {
     }
 }
 
+/// One worker slot's respawn-recovery footprint: how much replay the
+/// supervisor is holding for (and would ship to) a replacement. With
+/// checkpointing enabled this is bounded by one checkpoint interval
+/// regardless of session length — the bound `bench_wire`'s
+/// recovery-footprint case and the kill-respawn tests pin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryFootprint {
+    /// The slot's node id.
+    pub node: u32,
+    /// Messages currently in the replay log (the suffix a respawn
+    /// would replay after installing the stored checkpoint, if any).
+    pub log_frames: u64,
+    /// Estimated resident bytes of those logged messages.
+    pub log_bytes: u64,
+    /// Round of the stored checkpoint (0 = none stored yet).
+    pub checkpoint_round: u64,
+    /// Encoded size of the stored checkpoint frame, in bytes.
+    pub checkpoint_bytes: u64,
+    /// Respawns this slot has performed so far.
+    pub respawns: u32,
+}
+
 /// Transport-level failures.
 #[derive(Debug)]
 pub enum TransportError {
@@ -168,6 +190,13 @@ pub trait Transport: Send {
     /// socket transports do; [`InProcess`] moves typed values, so there
     /// are no wire bytes to count and it reports `None`.
     fn stats(&self) -> Option<LinkStats> {
+        None
+    }
+
+    /// This link's respawn-recovery footprint, when the transport
+    /// supervises one — only the fleet's supervised links do; plain
+    /// links have no replay log and report `None`.
+    fn recovery(&self) -> Option<RecoveryFootprint> {
         None
     }
 }
@@ -266,6 +295,14 @@ pub struct ProcessConfig {
     /// (`--wire-encoding`); shipped to workers in the session config so
     /// both ends of each link agree on the delta base discipline.
     pub encoding: WireEncoding,
+    /// Worker checkpoint period in rounds (`--checkpoint-every`); 0
+    /// disables checkpointing. With a period `k`, every worker ships a
+    /// [`Message::Checkpoint`] of its deterministic state each `k`
+    /// rounds; the supervisor keeps the latest blob per slot and
+    /// truncates that slot's replay log to the post-checkpoint suffix,
+    /// bounding respawn recovery cost (and log memory) by one
+    /// checkpoint interval instead of the whole session.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ProcessConfig {
@@ -279,6 +316,7 @@ impl Default for ProcessConfig {
             max_respawns: 3,
             chaos_kill: None,
             encoding: WireEncoding::default(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -414,6 +452,14 @@ impl Tcp {
     /// This endpoint's traffic counters so far.
     pub fn link_stats(&self) -> &LinkStats {
         &self.stats
+    }
+
+    /// Takes this endpoint's traffic counters, zeroing them. The fleet
+    /// folds a dying link's counters into its slot's running totals at
+    /// the *start* of recovery — so the traffic is accounted even when
+    /// the respawn itself fails.
+    pub fn take_stats(&mut self) -> LinkStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Re-arms the per-recv deadline (the fleet uses a short handshake

@@ -47,8 +47,17 @@ pub const MAX_FRAME: usize = 1 << 28;
 /// Version 2 added the bandwidth frames ([`Message::ModelDelta`],
 /// [`Message::DatasetShard`]) and the [`SessionConfig::encoding`]
 /// field; a v1 peer would mis-parse an Assign frame, so the version
-/// gate is load-bearing.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// gate is load-bearing. Version 3 added the recovery frames
+/// ([`Message::Checkpoint`], [`Message::CheckpointAck`]) and the
+/// [`SessionConfig::checkpoint_every`] field.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Version of the [`Message::Checkpoint`] *state layout*, carried
+/// inside every checkpoint frame independently of [`PROTOCOL_VERSION`]:
+/// a stored blob outlives the connection that produced it, so the
+/// receiver re-validates the layout version at decode time instead of
+/// trusting the session handshake.
+pub const CHECKPOINT_VERSION: u32 = 1;
 
 /// How [`Message::ModelUpdate`] traffic is encoded on a socket link.
 ///
@@ -140,6 +149,63 @@ pub struct SessionConfig {
     /// Model-update encoding both sides of the link must agree on
     /// (delta frames only reconstruct against a synchronized base).
     pub encoding: WireEncoding,
+    /// Worker checkpoint cadence in rounds (0 = checkpointing off).
+    /// Every `checkpoint_every` rounds the worker ships a
+    /// [`Message::Checkpoint`] so respawn recovery replays at most one
+    /// interval of round traffic instead of the whole session.
+    pub checkpoint_every: u64,
+}
+
+/// The deterministic worker state a [`Message::Checkpoint`] carries:
+/// everything that survives a round boundary beyond the session config.
+///
+/// At a boundary the rest of a worker's state is *derived*: the round
+/// loop overwrites the replica with the consensus model each round, the
+/// draw stream sits at zero emitted draws, and adaptive pending windows
+/// are freshly committed — so this struct plus the replayed post-
+/// checkpoint traffic reproduces the never-killed run bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// The worker's draw RNG stream state at the boundary.
+    pub draw_rng: [u64; 4],
+    /// The model replica at the boundary (the round's trained model).
+    pub model: Vec<f64>,
+    /// The shard sampler's surviving state.
+    pub sampler: CheckpointSampler,
+}
+
+/// Sampler state inside a [`CheckpointState`], split by sampler family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointSampler {
+    /// Pre-generated sequence samplers (uniform/static): the sequence
+    /// RNG plus the current epoch index buffer. Corrections are
+    /// config-derived and rebuilt at install, not carried.
+    Sequence {
+        /// Shard row count (bounds every buffer entry).
+        rows: u32,
+        /// The sequence generator's RNG state.
+        rng: [u64; 4],
+        /// The current epoch's index buffer (unsorted draws).
+        indices: Vec<u32>,
+    },
+    /// Adaptive sampler: the live Fenwick weights, encoded sparsely as
+    /// the coordinates whose IEEE-754 bits differ from the shard's
+    /// static base weights (gap-coded on the wire), plus the commit
+    /// counter. Early in a run few rows have re-weighted, so the sparse
+    /// form tracks *what adapted* rather than shard size.
+    Adaptive {
+        /// Shard row count (the dense weight dimensionality).
+        rows: u32,
+        /// Observation windows folded so far ([`Sampler::commit_version`]).
+        ///
+        /// [`Sampler::commit_version`]: isasgd_sampling::Sampler::commit_version
+        commits: u64,
+        /// Strictly increasing coordinates that differ from the static
+        /// base weights.
+        indices: Vec<u32>,
+        /// Live weight values at `indices`, in order.
+        weights: Vec<f64>,
+    },
 }
 
 /// A typed message of the coordinator↔worker protocol.
@@ -263,6 +329,30 @@ pub enum Message {
         /// The chunk's rows as a dataset with the full feature `dim`.
         chunk: Box<Dataset>,
     },
+    /// A worker's periodic state checkpoint (versioned and checksummed):
+    /// the coordinator stores the latest blob per slot and truncates
+    /// that slot's replay log to the post-checkpoint suffix, so respawn
+    /// recovery is bounded by one checkpoint interval. Receivers absorb
+    /// duplicates and reordered stale checkpoints idempotently (only a
+    /// strictly newer round replaces the stored blob).
+    Checkpoint {
+        /// Worker that took the checkpoint.
+        node: u32,
+        /// Round whose boundary the state was captured at.
+        round: u64,
+        /// The serialized worker state (boxed: dwarfs other frames).
+        state: Box<CheckpointState>,
+    },
+    /// The coordinator's acknowledgement that a [`Message::Checkpoint`]
+    /// is stored and the replay log truncated. Purely informational to
+    /// the worker (it never blocks on it); dropped by workers that are
+    /// past the round.
+    CheckpointAck {
+        /// Worker whose checkpoint is acknowledged.
+        node: u32,
+        /// Round of the stored checkpoint.
+        round: u64,
+    },
 }
 
 /// Typed decode failures. Garbage never panics the decoder.
@@ -354,10 +444,12 @@ const TAG_ASSIGN: u8 = 6;
 const TAG_DATASET_TRANSFER: u8 = 7;
 const TAG_MODEL_DELTA: u8 = 8;
 const TAG_DATASET_SHARD: u8 = 9;
+const TAG_CHECKPOINT: u8 = 10;
+const TAG_CHECKPOINT_ACK: u8 = 11;
 
 /// Number of distinct frame kinds — the length of per-kind counter
 /// arrays such as [`LinkStats`](crate::transport::LinkStats).
-pub const FRAME_KINDS: usize = 9;
+pub const FRAME_KINDS: usize = 11;
 
 /// The kind of a wire frame, independent of its payload — the axis the
 /// per-link byte/frame counters are broken down by.
@@ -381,6 +473,10 @@ pub enum FrameKind {
     ModelDelta,
     /// [`Message::DatasetShard`]
     DatasetShard,
+    /// [`Message::Checkpoint`]
+    Checkpoint,
+    /// [`Message::CheckpointAck`]
+    CheckpointAck,
 }
 
 impl FrameKind {
@@ -395,6 +491,8 @@ impl FrameKind {
         FrameKind::DatasetTransfer,
         FrameKind::ModelDelta,
         FrameKind::DatasetShard,
+        FrameKind::Checkpoint,
+        FrameKind::CheckpointAck,
     ];
 
     /// Classifies an encoded payload by its leading tag byte.
@@ -409,6 +507,8 @@ impl FrameKind {
             TAG_DATASET_TRANSFER => FrameKind::DatasetTransfer,
             TAG_MODEL_DELTA => FrameKind::ModelDelta,
             TAG_DATASET_SHARD => FrameKind::DatasetShard,
+            TAG_CHECKPOINT => FrameKind::Checkpoint,
+            TAG_CHECKPOINT_ACK => FrameKind::CheckpointAck,
             _ => return None,
         })
     }
@@ -430,6 +530,8 @@ impl FrameKind {
             FrameKind::DatasetTransfer => "DatasetTransfer",
             FrameKind::ModelDelta => "ModelDelta",
             FrameKind::DatasetShard => "DatasetShard",
+            FrameKind::Checkpoint => "Checkpoint",
+            FrameKind::CheckpointAck => "CheckpointAck",
         }
     }
 }
@@ -840,6 +942,7 @@ fn put_session_config(out: &mut Vec<u8>, c: &SessionConfig) {
     put_string(out, &c.loss);
     put_reg(out, c.reg);
     put_encoding(out, c.encoding);
+    put_u64(out, c.checkpoint_every);
 }
 
 fn get_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
@@ -857,6 +960,132 @@ fn get_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
         loss: r.string()?,
         reg: get_reg(r)?,
         encoding: get_encoding(r)?,
+        checkpoint_every: r.u64()?,
+    })
+}
+
+// --- worker checkpoints --------------------------------------------------
+//
+// A checkpoint payload is `u8 tag ‖ u32 layout version ‖ u32 node ‖
+// u64 round ‖ 4×u64 draw_rng ‖ vec<f64> model ‖ u8 sampler kind ‖
+// kind fields ‖ u64 FNV-1a checksum` — the checksum covers everything
+// between the tag and itself, so a blob corrupted at rest (the
+// coordinator stores checkpoints across respawns) is refused at decode
+// instead of silently steering a replacement worker off the
+// deterministic path.
+
+/// FNV-1a 64-bit hash — the checkpoint frame's integrity checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const CKPT_SAMPLER_SEQUENCE: u8 = 0;
+const CKPT_SAMPLER_ADAPTIVE: u8 = 1;
+
+fn put_checkpoint_state(out: &mut Vec<u8>, s: &CheckpointState) {
+    for &w in &s.draw_rng {
+        put_u64(out, w);
+    }
+    put_u32(out, s.model.len() as u32);
+    for &v in &s.model {
+        put_f64(out, v);
+    }
+    match &s.sampler {
+        CheckpointSampler::Sequence { rows, rng, indices } => {
+            out.push(CKPT_SAMPLER_SEQUENCE);
+            put_u32(out, *rows);
+            for &w in rng {
+                put_u64(out, w);
+            }
+            put_u32(out, indices.len() as u32);
+            for &i in indices {
+                put_u32(out, i);
+            }
+        }
+        CheckpointSampler::Adaptive {
+            rows,
+            commits,
+            indices,
+            weights,
+        } => {
+            out.push(CKPT_SAMPLER_ADAPTIVE);
+            put_u32(out, *rows);
+            put_u64(out, *commits);
+            put_index_list(out, indices);
+            for &w in weights {
+                put_f64(out, w);
+            }
+        }
+    }
+}
+
+fn get_checkpoint_state(r: &mut Reader<'_>) -> Result<CheckpointState, WireError> {
+    let mut draw_rng = [0u64; 4];
+    for w in &mut draw_rng {
+        *w = r.u64()?;
+    }
+    let n = r.count(8)?;
+    let mut model = Vec::with_capacity(n);
+    for _ in 0..n {
+        model.push(r.f64()?);
+    }
+    let sampler = match r.u8()? {
+        CKPT_SAMPLER_SEQUENCE => {
+            let rows = r.u32()?;
+            let mut rng = [0u64; 4];
+            for w in &mut rng {
+                *w = r.u64()?;
+            }
+            let k = r.count(4)?;
+            let mut indices = Vec::with_capacity(k);
+            for _ in 0..k {
+                let i = r.u32()?;
+                if i >= rows {
+                    return Err(WireError::Invalid {
+                        what: "checkpoint sequence index out of bounds",
+                    });
+                }
+                indices.push(i);
+            }
+            CheckpointSampler::Sequence { rows, rng, indices }
+        }
+        CKPT_SAMPLER_ADAPTIVE => {
+            let rows = r.u32()?;
+            let commits = r.u64()?;
+            let indices = get_index_list(r, u64::from(rows))?;
+            let mut weights = Vec::with_capacity(indices.len());
+            for _ in 0..indices.len() {
+                let w = r.f64()?;
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(WireError::Invalid {
+                        what: "checkpoint weight not finite non-negative",
+                    });
+                }
+                weights.push(w);
+            }
+            CheckpointSampler::Adaptive {
+                rows,
+                commits,
+                indices,
+                weights,
+            }
+        }
+        tag => {
+            return Err(WireError::BadEnum {
+                what: "checkpoint sampler kind",
+                tag,
+            })
+        }
+    };
+    Ok(CheckpointState {
+        draw_rng,
+        model,
+        sampler,
     })
 }
 
@@ -1152,6 +1381,21 @@ impl Message {
                     put_shard_row(out, row.indices, row.values, row.label, weights[i]);
                 }
             }
+            Message::Checkpoint { node, round, state } => {
+                out.push(TAG_CHECKPOINT);
+                let start = out.len();
+                put_u32(out, CHECKPOINT_VERSION);
+                put_u32(out, *node);
+                put_u64(out, *round);
+                put_checkpoint_state(out, state);
+                let sum = fnv1a(&out[start..]);
+                put_u64(out, sum);
+            }
+            Message::CheckpointAck { node, round } => {
+                out.push(TAG_CHECKPOINT_ACK);
+                put_u32(out, *node);
+                put_u64(out, *round);
+            }
         }
     }
 
@@ -1261,6 +1505,40 @@ impl Message {
                     chunk: Box::new(chunk),
                 }
             }
+            TAG_CHECKPOINT => {
+                let version = r.u32()?;
+                if version != CHECKPOINT_VERSION {
+                    return Err(WireError::Invalid {
+                        what: "unsupported checkpoint layout version",
+                    });
+                }
+                let node = r.u32()?;
+                let round = r.u64()?;
+                let state = get_checkpoint_state(&mut r)?;
+                let sum = r.u64()?;
+                // The checksum covers everything between the tag and
+                // itself (layout version included). The range is in
+                // bounds by construction — the reader just consumed
+                // through `r.pos` — but decode paths never index
+                // directly.
+                let covered = payload.get(1..r.pos - 8).ok_or(WireError::Invalid {
+                    what: "checkpoint frame too short for its checksum",
+                })?;
+                if fnv1a(covered) != sum {
+                    return Err(WireError::Invalid {
+                        what: "checkpoint checksum mismatch",
+                    });
+                }
+                Message::Checkpoint {
+                    node,
+                    round,
+                    state: Box::new(state),
+                }
+            }
+            TAG_CHECKPOINT_ACK => Message::CheckpointAck {
+                node: r.u32()?,
+                round: r.u64()?,
+            },
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() > 0 {
@@ -1283,6 +1561,8 @@ impl Message {
             Message::DatasetTransfer { .. } => "DatasetTransfer",
             Message::ModelDelta { .. } => "ModelDelta",
             Message::DatasetShard { .. } => "DatasetShard",
+            Message::Checkpoint { .. } => "Checkpoint",
+            Message::CheckpointAck { .. } => "CheckpointAck",
         }
     }
 
@@ -1294,13 +1574,55 @@ impl Message {
             | Message::FeedbackBatch { round, .. }
             | Message::RoundBarrier { round, .. }
             | Message::ShardRebalance { round, .. }
-            | Message::ModelDelta { round, .. } => *round,
+            | Message::ModelDelta { round, .. }
+            | Message::Checkpoint { round, .. }
+            | Message::CheckpointAck { round, .. } => *round,
             Message::Hello { .. }
             | Message::Assign { .. }
             | Message::DatasetTransfer { .. }
             | Message::DatasetShard { .. } => 0,
         }
     }
+
+    /// Approximate resident heap bytes of this message (struct plus
+    /// owned buffers) — what the coordinator's replay-log footprint
+    /// accounting sums. An estimate, not an allocator measurement: it
+    /// counts element payloads, not allocator slack.
+    pub fn resident_bytes(&self) -> usize {
+        let heap = match self {
+            Message::ModelUpdate { model, .. } => model.len() * 8,
+            Message::FeedbackBatch { observations, .. } => observations.len() * 16,
+            Message::RoundBarrier { .. }
+            | Message::Hello { .. }
+            | Message::CheckpointAck { .. } => 0,
+            Message::ShardRebalance { order, ranges, .. } => order.len() * 4 + ranges.len() * 8,
+            Message::Assign { config, .. } => config.loss.len(),
+            Message::DatasetTransfer { dataset } => dataset_resident_bytes(dataset),
+            Message::ModelDelta {
+                indices, values, ..
+            } => indices.len() * 4 + values.len() * 8,
+            Message::DatasetShard { weights, chunk, .. } => {
+                weights.len() * 8 + dataset_resident_bytes(chunk)
+            }
+            Message::Checkpoint { state, .. } => {
+                std::mem::size_of::<CheckpointState>()
+                    + state.model.len() * 8
+                    + match &state.sampler {
+                        CheckpointSampler::Sequence { indices, .. } => indices.len() * 4,
+                        CheckpointSampler::Adaptive {
+                            indices, weights, ..
+                        } => indices.len() * 4 + weights.len() * 8,
+                    }
+            }
+        };
+        std::mem::size_of::<Message>() + heap
+    }
+}
+
+fn dataset_resident_bytes(ds: &Dataset) -> usize {
+    ds.rows()
+        .map(|r| r.indices.len() * 4 + r.values.len() * 8 + 16)
+        .sum()
 }
 
 #[cfg(test)]
@@ -1346,6 +1668,42 @@ mod tests {
         roundtrip(&Message::DatasetTransfer {
             dataset: Box::new(tiny_dataset()),
         });
+        roundtrip(&sequence_checkpoint());
+        roundtrip(&adaptive_checkpoint());
+        roundtrip(&Message::CheckpointAck { node: 2, round: 8 });
+    }
+
+    fn sequence_checkpoint() -> Message {
+        Message::Checkpoint {
+            node: 1,
+            round: 4,
+            state: Box::new(CheckpointState {
+                draw_rng: [1, 2, 3, u64::MAX],
+                model: vec![0.0, -0.0, 1.5, 5e-324, f64::NEG_INFINITY],
+                sampler: CheckpointSampler::Sequence {
+                    rows: 6,
+                    rng: [9, 8, 7, 6],
+                    indices: vec![3, 0, 5, 5, 1, 2],
+                },
+            }),
+        }
+    }
+
+    fn adaptive_checkpoint() -> Message {
+        Message::Checkpoint {
+            node: 0,
+            round: 12,
+            state: Box::new(CheckpointState {
+                draw_rng: [u64::MAX, 0, 1, 2],
+                model: vec![],
+                sampler: CheckpointSampler::Adaptive {
+                    rows: 4_000_001,
+                    commits: 17,
+                    indices: vec![0, 129, 4_000_000],
+                    weights: vec![0.25, 0.0, 1e300],
+                },
+            }),
+        }
     }
 
     fn tiny_dataset() -> Dataset {
@@ -1373,6 +1731,7 @@ mod tests {
             loss: "logistic".into(),
             reg: Regularizer::None,
             encoding: WireEncoding::Dense,
+            checkpoint_every: 0,
         };
         vec![
             base.clone(),
@@ -1384,6 +1743,7 @@ mod tests {
                 loss: "squared hinge".into(),
                 reg: Regularizer::L1 { eta: 1e-5 },
                 encoding: WireEncoding::Delta,
+                checkpoint_every: 4,
                 ..base.clone()
             },
             SessionConfig {
@@ -1508,10 +1868,10 @@ mod tests {
         let mut bytes = m2.to_bytes();
         let n = bytes.len();
         // The frame ends reg tag (1 byte, Regularizer::None) ‖ encoding
-        // (1 byte), preceded by the 2-byte loss string; corrupt the loss
-        // bytes to invalid UTF-8.
-        bytes[n - 3] = 0xFF;
-        bytes[n - 4] = 0xFE;
+        // (1 byte) ‖ checkpoint_every (8 bytes), preceded by the 2-byte
+        // loss string; corrupt the loss bytes to invalid UTF-8.
+        bytes[n - 11] = 0xFF;
+        bytes[n - 12] = 0xFE;
         assert!(matches!(
             Message::decode(&bytes),
             Err(WireError::Invalid {
@@ -1848,6 +2208,143 @@ mod tests {
         ));
         // Over-declared row count fails before allocation.
         let bytes = mk_header(u32::MAX);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    // --- worker checkpoints ----------------------------------------------
+
+    #[test]
+    fn checkpoint_frames_are_checksummed() {
+        for m in [sequence_checkpoint(), adaptive_checkpoint()] {
+            let bytes = m.to_bytes();
+            // Flipping any single payload byte between the tag and the
+            // checksum must be caught (by the checksum if nothing
+            // structural rejects it first) — never accepted, never a
+            // panic.
+            for pos in 1..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 0x01;
+                assert!(
+                    Message::decode(&bad).is_err(),
+                    "bit flip at byte {pos} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncations_are_typed_errors() {
+        for m in [sequence_checkpoint(), adaptive_checkpoint()] {
+            let bytes = m.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::decode(&bytes[..cut]).is_err(),
+                    "prefix of {cut} bytes must not decode"
+                );
+            }
+            let mut extra = bytes.clone();
+            extra.push(0);
+            assert!(matches!(
+                Message::decode(&extra),
+                Err(WireError::TrailingBytes { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn wrong_checkpoint_layout_version_is_refused() {
+        let bytes = sequence_checkpoint().to_bytes();
+        let mut bad = bytes.clone();
+        // The layout version is the u32 right after the tag.
+        bad[1..5].copy_from_slice(&(CHECKPOINT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            Message::decode(&bad),
+            Err(WireError::Invalid {
+                what: "unsupported checkpoint layout version"
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_checkpoint_contents_are_typed_errors() {
+        let encode_with = |sampler: CheckpointSampler| {
+            Message::Checkpoint {
+                node: 0,
+                round: 1,
+                state: Box::new(CheckpointState {
+                    draw_rng: [1, 2, 3, 4],
+                    model: vec![1.0],
+                    sampler,
+                }),
+            }
+            .to_bytes()
+        };
+        // Sequence index ≥ rows.
+        let bytes = encode_with(CheckpointSampler::Sequence {
+            rows: 4,
+            rng: [1, 2, 3, 4],
+            indices: vec![0, 4],
+        });
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid {
+                what: "checkpoint sequence index out of bounds"
+            })
+        );
+        // Non-finite / negative adaptive weights.
+        for w in [f64::NAN, f64::INFINITY, -1.0] {
+            let bytes = encode_with(CheckpointSampler::Adaptive {
+                rows: 4,
+                commits: 0,
+                indices: vec![2],
+                weights: vec![w],
+            });
+            assert_eq!(
+                Message::decode(&bytes),
+                Err(WireError::Invalid {
+                    what: "checkpoint weight not finite non-negative"
+                })
+            );
+        }
+        // Adaptive delta coordinate ≥ rows (gap-coded bound check).
+        let bytes = encode_with(CheckpointSampler::Adaptive {
+            rows: 4,
+            commits: 0,
+            indices: vec![9],
+            weights: vec![1.0],
+        });
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Bad sampler kind tag: corrupt the kind byte of a valid frame.
+        // It sits after tag(1) + version(4) + node(4) + round(8) +
+        // draw_rng(32) + model count(4) + 1 model coordinate(8).
+        let mut bytes = encode_with(CheckpointSampler::Sequence {
+            rows: 1,
+            rng: [1, 2, 3, 4],
+            indices: vec![0],
+        });
+        bytes[1 + 4 + 4 + 8 + 32 + 4 + 8] = 0xEE;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadEnum {
+                what: "checkpoint sampler kind",
+                tag: 0xEE
+            }) | Err(WireError::Invalid { .. })
+        ));
+        // Over-declared counts fail before allocation.
+        let mut bytes = vec![TAG_CHECKPOINT];
+        put_u32(&mut bytes, CHECKPOINT_VERSION);
+        put_u32(&mut bytes, 0); // node
+        put_u64(&mut bytes, 1); // round
+        for w in [1u64, 2, 3, 4] {
+            put_u64(&mut bytes, w);
+        }
+        put_u32(&mut bytes, u32::MAX); // declared model count
         assert!(matches!(
             Message::decode(&bytes),
             Err(WireError::Truncated { .. })

@@ -15,7 +15,14 @@
 //!   [`ClusterError::WorkerLost`] promptly — never a hang;
 //! * handshake abuse (garbage bytes, wrong-version hello, silent and
 //!   instantly-closed connections) is rejected with typed errors while
-//!   the accept loop keeps admitting real workers.
+//!   the accept loop keeps admitting real workers — and a *continuous*
+//!   junk flood cannot starve the handshake deadline;
+//! * with `--checkpoint-every`, respawn recovery replays only the
+//!   post-checkpoint suffix: still bit-identical to an undisturbed run
+//!   at every kill round and under every wire encoding, with the
+//!   replay log and recovered bytes bounded by one checkpoint interval
+//!   (measured from the supervisor's own counters, independent of
+//!   session length).
 
 use isasgd_cluster::{
     run, run_fleet_with, run_worker, ClusterConfig, ClusterError, ClusterRun, FrameKind, Message,
@@ -333,6 +340,259 @@ fn killed_worker_with_respawn_is_bit_identical_under_delta_encodings() {
             chaotic.rounds, clean.rounds,
             "{encoding:?}: round traces diverged"
         );
+    }
+}
+
+/// The tentpole acceptance matrix: a 12-round session checkpointing
+/// every 4 rounds, chaos-killed at **every** round, under every wire
+/// encoding — each recovery installs the stored checkpoint and replays
+/// only the suffix, and the final model and round trace are
+/// bit-identical to a never-killed, never-checkpointed in-process run
+/// (checkpointing itself must also be invisible to the computation).
+#[test]
+fn checkpointed_kill_at_every_round_is_bit_identical_across_encodings() {
+    let ds = skewed(120);
+    let cfg = ClusterConfig {
+        rounds: 12,
+        ..adaptive_cfg(2)
+    };
+    let clean = run(&ds, &obj(), &cfg).unwrap();
+    for encoding in [WireEncoding::Dense, WireEncoding::Delta, WireEncoding::Auto] {
+        for round in 1..=12u64 {
+            let victim = (round % 2) as u32;
+            let pc = ProcessConfig {
+                on_loss: WorkerLossPolicy::Respawn,
+                encoding,
+                checkpoint_every: 4,
+                ..fleet_pc()
+            };
+            let chaotic = run_fleet_guarded(
+                ds.clone(),
+                cfg.clone(),
+                pc,
+                ThreadSpawner {
+                    die_at: Some((victim, round)),
+                },
+            )
+            .unwrap_or_else(|e| panic!("{encoding:?} kill {victim}@{round}: {e}"));
+            assert_eq!(
+                chaotic.model, clean.model,
+                "{encoding:?} kill {victim}@{round}: checkpointed recovery diverged"
+            );
+            assert_eq!(
+                chaotic.rounds, clean.rounds,
+                "{encoding:?} kill {victim}@{round}: round traces diverged"
+            );
+            let fp = &chaotic.recovery[victim as usize];
+            assert_eq!(
+                fp.respawns, 1,
+                "{encoding:?} kill {victim}@{round}: exactly one respawn expected"
+            );
+        }
+    }
+}
+
+/// The recovery-footprint bound, measured — not asserted by
+/// construction. With a checkpoint cadence the supervisor's replay log
+/// and the bytes a respawn actually re-ships are a function of the
+/// checkpoint *interval*, not the session length; without one, the log
+/// grows with every round (the pre-fix behaviour, pinned here as the
+/// regression guard).
+#[test]
+fn replay_footprint_is_bounded_by_one_checkpoint_interval() {
+    let ds = skewed(120);
+    let fleet = |rounds: usize, checkpoint_every: u64, die_at: Option<(u32, u64)>| {
+        let cfg = ClusterConfig {
+            rounds,
+            ..adaptive_cfg(2)
+        };
+        let pc = ProcessConfig {
+            on_loss: WorkerLossPolicy::Respawn,
+            encoding: WireEncoding::Dense,
+            checkpoint_every,
+            ..fleet_pc()
+        };
+        run_fleet_guarded(ds.clone(), cfg, pc, ThreadSpawner { die_at }).unwrap()
+    };
+
+    // Clean runs: the end-of-session log holds only the post-checkpoint
+    // suffix — identical for a 12- and a 24-round session.
+    let short = fleet(12, 4, None);
+    let long = fleet(24, 4, None);
+    for k in 0..2 {
+        let (s, l) = (&short.recovery[k], &long.recovery[k]);
+        assert_eq!(s.checkpoint_round, 8, "worker {k}: 12-round session");
+        assert_eq!(l.checkpoint_round, 20, "worker {k}: 24-round session");
+        assert!(s.checkpoint_bytes > 0, "worker {k}: no stored checkpoint");
+        assert_eq!(
+            (s.log_frames, s.log_bytes),
+            (l.log_frames, l.log_bytes),
+            "worker {k}: the replay log must not grow with session length"
+        );
+        // The worker really checkpointed over the wire: Checkpoint
+        // frames crossed the socket toward the coordinator.
+        assert!(
+            short.net[k].rx_bytes_for(FrameKind::Checkpoint) > 0,
+            "worker {k}: no Checkpoint frames were received"
+        );
+    }
+
+    // The regression guard: without checkpoints the log IS the session.
+    let short0 = fleet(12, 0, None);
+    let long0 = fleet(24, 0, None);
+    for k in 0..2 {
+        assert!(
+            long0.recovery[k].log_frames > short0.recovery[k].log_frames,
+            "worker {k}: an uncheckpointed log must grow with the session"
+        );
+        assert!(
+            short.recovery[k].log_frames < short0.recovery[k].log_frames,
+            "worker {k}: checkpoint truncation must shrink the log"
+        );
+        assert_eq!(short0.recovery[k].checkpoint_round, 0);
+        assert_eq!(short0.recovery[k].checkpoint_bytes, 0);
+    }
+
+    // The kill leg, pinned from real LinkStats counters: recovery
+    // traffic for a kill near the end of the session is the same for a
+    // 12- and a 24-round run — replayed bytes depend on the distance
+    // to the last checkpoint, never on how long the session ran.
+    // (Dense encoding keeps round frames fixed-size, so the replayed
+    // barrier/update byte counts compare exactly.)
+    let killed_short = fleet(12, 4, Some((1, 11)));
+    let killed_long = fleet(24, 4, Some((1, 23)));
+    for kind in [FrameKind::RoundBarrier, FrameKind::ModelUpdate] {
+        let overhead_short =
+            killed_short.net[1].tx_bytes_for(kind) - short.net[1].tx_bytes_for(kind);
+        let overhead_long = killed_long.net[1].tx_bytes_for(kind) - long.net[1].tx_bytes_for(kind);
+        assert!(overhead_short > 0, "{kind:?}: nothing was replayed");
+        assert_eq!(
+            overhead_short, overhead_long,
+            "{kind:?}: replayed bytes must be bounded by the checkpoint \
+             interval, independent of session length"
+        );
+    }
+    // And the respawn re-shipped a stored checkpoint blob.
+    assert!(
+        killed_short.net[1].tx_bytes_for(FrameKind::Checkpoint) > 0,
+        "recovery never sent the stored checkpoint"
+    );
+    assert_eq!(short.net[1].tx_bytes_for(FrameKind::Checkpoint), 0);
+}
+
+/// The slot's bandwidth totals survive a respawn: traffic that crossed
+/// the dead link is folded into the slot's running totals at the start
+/// of recovery, so the final report shows the whole session — the
+/// readmitted worker's shard re-stream doubles the slot's shard bytes
+/// rather than replacing them.
+#[test]
+fn respawned_slot_totals_include_the_dead_links_traffic() {
+    let ds = skewed(240);
+    let cfg = adaptive_cfg(3);
+    let pc = || ProcessConfig {
+        on_loss: WorkerLossPolicy::Respawn,
+        ..fleet_pc()
+    };
+    let clean = run_fleet_guarded(
+        ds.clone(),
+        cfg.clone(),
+        pc(),
+        ThreadSpawner { die_at: None },
+    )
+    .unwrap();
+    let chaotic = run_fleet_guarded(
+        ds.clone(),
+        cfg,
+        pc(),
+        ThreadSpawner {
+            die_at: Some((1, 2)),
+        },
+    )
+    .unwrap();
+    let shard = FrameKind::DatasetShard;
+    assert_eq!(
+        chaotic.net[1].tx_bytes_for(shard),
+        2 * clean.net[1].tx_bytes_for(shard),
+        "the victim's totals must count both the original shard stream \
+         and the respawn's re-stream"
+    );
+    assert!(
+        chaotic.net[1].tx_bytes_for(FrameKind::RoundBarrier)
+            > clean.net[1].tx_bytes_for(FrameKind::RoundBarrier),
+        "replayed round traffic is real traffic"
+    );
+    // Untouched slots are unaffected.
+    assert_eq!(
+        chaotic.net[0].tx_bytes_for(shard),
+        clean.net[0].tx_bytes_for(shard)
+    );
+}
+
+/// A continuous flood of framed junk connections must not starve the
+/// handshake deadline: the accept loop checks its deadline on *every*
+/// admission attempt, not only when the listener goes quiet, so a
+/// hostile peer that always has another connection ready cannot hold
+/// the slot open forever.
+#[test]
+fn junk_flood_cannot_starve_the_handshake_deadline() {
+    // A handle that does NOT join on drop: the flooder spins until the
+    // fleet's listener disappears, so joining it from teardown would
+    // deadlock against the very starvation this test measures. The
+    // thread exits on its own once its connects start failing.
+    struct DetachedWorker;
+    impl WorkerHandle for DetachedWorker {}
+    struct FloodingSpawner;
+    impl WorkerSpawner for FloodingSpawner {
+        fn spawn(
+            &mut self,
+            _node: u32,
+            addr: &str,
+            _respawn: bool,
+        ) -> Result<Box<dyn WorkerHandle>, ClusterError> {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                // Back-to-back framed garbage: each connection decodes
+                // far enough to be rejected, and the next is already
+                // waiting — the accept loop never sees WouldBlock.
+                while let Ok(mut s) = TcpStream::connect(&addr) {
+                    let _ = s.write_all(&[5, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 0x01]);
+                }
+            });
+            Ok(Box::new(DetachedWorker))
+        }
+    }
+    let ds = skewed(60);
+    let cfg = ClusterConfig {
+        rounds: 1,
+        ..adaptive_cfg(1)
+    };
+    let pc = ProcessConfig {
+        handshake_timeout_ms: 700,
+        ..fleet_pc()
+    };
+    let started = std::time::Instant::now();
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_fleet_with(&ds, &obj(), &cfg, &pc, FloodingSpawner));
+    });
+    let err = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("the junk flood starved the handshake deadline")
+        .expect_err("a flooded worker slot must fail admission");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "deadline fired far too late: {:?}",
+        started.elapsed()
+    );
+    match err {
+        ClusterError::WorkerLost { node, detail } => {
+            assert_eq!(node, 0);
+            assert!(
+                detail.contains("handshake"),
+                "error must name the handshake: {detail}"
+            );
+        }
+        other => panic!("expected WorkerLost, got {other}"),
     }
 }
 

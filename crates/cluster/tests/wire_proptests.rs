@@ -4,7 +4,8 @@
 //! an unbounded allocation.
 
 use isasgd_cluster::{
-    apply_delta, delta_coords, Message, SessionConfig, WireEncoding, WireError, PROTOCOL_VERSION,
+    apply_delta, delta_coords, CheckpointSampler, CheckpointState, Message, SessionConfig,
+    WireEncoding, WireError, PROTOCOL_VERSION,
 };
 use isasgd_core::{
     CommitPolicy, ImportanceScheme, ObservationModel, Regularizer, SamplingStrategy,
@@ -110,7 +111,12 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
     // nest the fields in groups instead.
     (
         (0u32..=u32::MAX, 0u64..=u64::MAX, 0u32..=u32::MAX, arb_f64()),
-        (0u64..=u64::MAX, 0u64..=u64::MAX, arb_importance()),
+        (
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            arb_importance(),
+        ),
         (
             prop_oneof![
                 Just(SamplingStrategy::Uniform),
@@ -144,7 +150,7 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
         .prop_map(
             |(
                 (nodes, rounds, local_epochs, step_size),
-                (seed, round_timeout_ms, importance),
+                (seed, round_timeout_ms, checkpoint_every, importance),
                 (sampling, obs_model, commit, encoding),
                 (loss, reg),
             )| SessionConfig {
@@ -161,6 +167,7 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
                 loss,
                 reg,
                 encoding,
+                checkpoint_every,
             },
         )
 }
@@ -270,6 +277,66 @@ fn arb_dataset_shard() -> impl Strategy<Value = Message> {
         })
 }
 
+fn arb_rng_state() -> impl Strategy<Value = [u64; 4]> {
+    prop::collection::vec(0u64..=u64::MAX, 4).prop_map(|v| [v[0], v[1], v[2], v[3]])
+}
+
+/// Checkpoint sampler states satisfying the decoder's invariants:
+/// sequence indices in-shard, adaptive overrides strictly increasing
+/// with parallel finite non-negative weights (0.0 and subnormals
+/// included — exact zeroes are legitimate committed weights).
+fn arb_weight() -> impl Strategy<Value = f64> {
+    prop_oneof![0.0f64..1e300, Just(0.0), Just(5e-324), Just(f64::MAX)]
+}
+
+fn arb_checkpoint_sampler() -> impl Strategy<Value = CheckpointSampler> {
+    prop_oneof![
+        (1u32..4096, arb_rng_state()).prop_flat_map(|(rows, rng)| {
+            prop::collection::vec(0..rows, 0..32)
+                .prop_map(move |indices| CheckpointSampler::Sequence { rows, rng, indices })
+        }),
+        (1u32..4096, 0u64..=u64::MAX).prop_flat_map(|(rows, commits)| {
+            prop::collection::vec(0..rows, 0..32).prop_flat_map(move |mut raw| {
+                raw.sort_unstable();
+                raw.dedup();
+                let n = raw.len();
+                (Just(raw), prop::collection::vec(arb_weight(), n..n + 1)).prop_map(
+                    move |(indices, weights)| CheckpointSampler::Adaptive {
+                        rows,
+                        commits,
+                        indices,
+                        weights,
+                    },
+                )
+            })
+        }),
+    ]
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Message> {
+    (
+        (0u32..=u32::MAX, 0u64..=u64::MAX, arb_rng_state()),
+        prop::collection::vec(arb_f64(), 0..32),
+        arb_checkpoint_sampler(),
+    )
+        .prop_map(
+            |((node, round, draw_rng), model, sampler)| Message::Checkpoint {
+                node,
+                round,
+                state: Box::new(CheckpointState {
+                    draw_rng,
+                    model,
+                    sampler,
+                }),
+            },
+        )
+}
+
+fn arb_checkpoint_ack() -> impl Strategy<Value = Message> {
+    (0u32..=u32::MAX, 0u64..=u64::MAX)
+        .prop_map(|(node, round)| Message::CheckpointAck { node, round })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_model_update(),
@@ -281,6 +348,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         arb_dataset_transfer(),
         arb_model_delta(),
         arb_dataset_shard(),
+        arb_checkpoint(),
+        arb_checkpoint_ack(),
     ]
 }
 

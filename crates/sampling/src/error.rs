@@ -32,6 +32,11 @@ pub enum SamplingError {
     },
     /// Requested a sequence of zero length.
     EmptySequence,
+    /// A sampler snapshot was restored into a sampler of another kind.
+    SnapshotMismatch {
+        /// The snapshot kind this sampler restores.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for SamplingError {
@@ -52,6 +57,12 @@ impl fmt::Display for SamplingError {
                 )
             }
             SamplingError::EmptySequence => write!(f, "sample sequence length must be positive"),
+            SamplingError::SnapshotMismatch { expected } => {
+                write!(
+                    f,
+                    "snapshot kind mismatch: this sampler restores {expected} snapshots"
+                )
+            }
         }
     }
 }

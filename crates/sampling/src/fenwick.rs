@@ -40,22 +40,37 @@ impl FenwickSampler {
         if total <= 0.0 {
             return Err(SamplingError::ZeroMass);
         }
-        let n = weights.len();
-        let mut tree = vec![0.0; n + 1];
-        // O(n) bulk construction.
-        for i in 1..=n {
-            tree[i] += weights[i - 1];
-            let parent = i + (i & i.wrapping_neg());
-            if parent <= n {
-                let v = tree[i];
-                tree[parent] += v;
-            }
-        }
-        Ok(Self {
-            tree,
+        let mut s = Self {
+            tree: Vec::new(),
             weights: weights.to_vec(),
             total,
-        })
+        };
+        s.canonicalize();
+        Ok(s)
+    }
+
+    /// Rebuilds the tree and cached total from the current weights via
+    /// the canonical O(n) bulk construction — making the internal
+    /// prefix sums a pure function of the weights rather than of the
+    /// update history ([`FenwickSampler::update`] maintains them with
+    /// incremental delta-adds, whose rounding depends on the sequence
+    /// of past updates). Adaptive commits canonicalize after every
+    /// fold, so a sampler restored from a checkpoint of the same
+    /// weights reproduces the tree — and every future draw —
+    /// bit-for-bit.
+    pub fn canonicalize(&mut self) {
+        let n = self.weights.len();
+        self.tree.clear();
+        self.tree.resize(n + 1, 0.0);
+        for i in 1..=n {
+            self.tree[i] += self.weights[i - 1];
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+        self.total = self.weights.iter().sum();
     }
 
     /// Number of outcomes.
@@ -222,6 +237,31 @@ mod tests {
         }
         assert!((f.total() - f.prefix_sum(3)).abs() < 1e-12);
         assert!((f.total() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonicalize_makes_state_history_independent() {
+        // Two samplers reaching the same weights through different
+        // update histories accumulate different tree rounding; after
+        // canonicalize their internal state is bitwise identical (the
+        // checkpoint-restore exactness contract).
+        let w = [0.1, 0.7, 1.3, 2.9, 0.05, 4.4, 0.33];
+        let mut a = FenwickSampler::new(&w).unwrap();
+        for k in 0..100 {
+            a.update(2, 0.1 + k as f64 * 0.01).unwrap();
+            a.update(5, 7.7 / (k + 1) as f64).unwrap();
+        }
+        a.update(2, w[2]).unwrap();
+        a.update(5, w[5]).unwrap();
+        a.canonicalize();
+        let b = FenwickSampler::new(&w).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(
+            a.tree.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.tree.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "canonical trees must be bitwise equal"
+        );
+        assert_eq!(a.total.to_bits(), b.total.to_bits());
     }
 
     #[test]

@@ -78,8 +78,8 @@ pub use feedback::{draw_rngs, FeedbackProtocol, ObservationModel};
 pub use fenwick::FenwickSampler;
 pub use rng::{splitmix64, Xoshiro256pp};
 pub use sampler::{
-    build_sampler, AdaptiveIsSampler, CommitPolicy, Sampler, SamplingStrategy, StaticIsSampler,
-    UniformSampler,
+    build_sampler, AdaptiveIsSampler, CommitPolicy, Sampler, SamplerSnapshot, SamplingStrategy,
+    StaticIsSampler, UniformSampler,
 };
 pub use sequence::{SampleSequence, SequenceMode};
 pub use stream::{Draw, ScheduleStream};

@@ -48,6 +48,21 @@ impl Xoshiro256pp {
         Self { s }
     }
 
+    /// The raw 256-bit generator state, for checkpointing. Restoring it
+    /// with [`Xoshiro256pp::from_state`] resumes the exact stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by
+    /// [`Xoshiro256pp::state`]. The caller is responsible for only
+    /// feeding back states that came from a real generator; an all-zero
+    /// state is the one fixed point of the transition and never occurs
+    /// from seeding.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_raw(&mut self) -> u64 {

@@ -127,6 +127,34 @@ impl CommitPolicy {
     }
 }
 
+/// Round-boundary sampler state carried by worker checkpoints: exactly
+/// the state that survives an epoch boundary.
+///
+/// At a boundary, pre-generated samplers sit at cursor 0 of their epoch
+/// buffer and adaptive samplers have an empty pending window (the
+/// boundary [`Sampler::epoch_reset`] committed it), so this enum plus
+/// the worker's draw RNG fully determines the remaining run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplerSnapshot {
+    /// Pre-generated sequence samplers ([`UniformSampler`],
+    /// [`StaticIsSampler`]): the sequence RNG plus the current epoch
+    /// buffer. Frozen corrections are config-derived and not carried.
+    Sequence {
+        /// The [`SampleSequence`] generator state.
+        rng: [u64; 4],
+        /// The current epoch's index buffer.
+        indices: Vec<u32>,
+    },
+    /// [`AdaptiveIsSampler`]: the live Fenwick weights plus the commit
+    /// counter.
+    Adaptive {
+        /// Dense live weights, one per shard row.
+        weights: Vec<f64>,
+        /// Observation windows folded so far.
+        commits: u64,
+    },
+}
+
 /// A stream of sample indices over `0..len()` outcomes, with per-outcome
 /// importance-sampling step corrections and optional adaptivity hooks.
 ///
@@ -178,6 +206,17 @@ pub trait Sampler: Send {
     fn commit_version(&self) -> u64 {
         0
     }
+
+    /// Captures the sampler's round-boundary state for a worker
+    /// checkpoint. Call only at an epoch boundary (right after
+    /// [`Sampler::epoch_reset`]); see [`SamplerSnapshot`].
+    fn snapshot(&self) -> SamplerSnapshot;
+
+    /// Restores state captured by [`Sampler::snapshot`] into a freshly
+    /// built sampler of the same shape (same strategy, shard length and
+    /// sequence length). Fails on a kind, length, or weight-validity
+    /// mismatch, leaving the sampler unchanged.
+    fn restore(&mut self, snap: SamplerSnapshot) -> Result<(), SamplingError>;
 }
 
 /// Builds the boxed [`Sampler`] for one worker shard under `strategy`.
@@ -246,6 +285,26 @@ impl SequenceReplay {
         self.seq.advance_epoch();
         self.cursor = 0;
     }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot::Sequence {
+            rng: self.seq.rng_state(),
+            indices: self.seq.indices().to_vec(),
+        }
+    }
+
+    fn restore(&mut self, snap: SamplerSnapshot) -> Result<(), SamplingError> {
+        match snap {
+            SamplerSnapshot::Sequence { rng, indices } => {
+                self.seq.restore(rng, indices)?;
+                self.cursor = 0;
+                Ok(())
+            }
+            SamplerSnapshot::Adaptive { .. } => Err(SamplingError::SnapshotMismatch {
+                expected: "sequence",
+            }),
+        }
+    }
 }
 
 /// Uniform sampling through a pre-generated [`SampleSequence`] stream
@@ -276,6 +335,14 @@ impl Sampler for UniformSampler {
 
     fn epoch_reset(&mut self) {
         self.replay.epoch_reset();
+    }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        self.replay.snapshot()
+    }
+
+    fn restore(&mut self, snap: SamplerSnapshot) -> Result<(), SamplingError> {
+        self.replay.restore(snap)
     }
 }
 
@@ -339,6 +406,14 @@ impl Sampler for StaticIsSampler {
 
     fn epoch_reset(&mut self) {
         self.replay.epoch_reset();
+    }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        self.replay.snapshot()
+    }
+
+    fn restore(&mut self, snap: SamplerSnapshot) -> Result<(), SamplingError> {
+        self.replay.restore(snap)
     }
 }
 
@@ -470,9 +545,9 @@ impl AdaptiveIsSampler {
             return;
         }
         self.commits += 1;
-        // Walk only the dirty list (rows observed this window), so a
-        // commit costs O(window) — EveryK commits sit on the training
-        // hot path of streamed schedules.
+        // Walk only the dirty list (rows observed this window) for the
+        // fold; the canonical rebuild below adds O(n), which keeps the
+        // tree history-independent (the checkpoint-restore contract).
         let mut rows = std::mem::take(&mut self.observed_rows);
         let mean_w = self.fen.total() / self.fen.len() as f64;
         let sum: f64 = rows.iter().map(|&i| self.pending[i as usize]).sum();
@@ -489,6 +564,11 @@ impl AdaptiveIsSampler {
                     .update(i, blended)
                     .expect("blended weight is finite and non-negative");
             }
+            // Canonical rebuild: after every fold the tree is a pure
+            // function of the committed weights, so a checkpoint-
+            // restored sampler (rebuilt from those weights) draws
+            // bit-identically to one that lived the whole history.
+            self.fen.canonicalize();
         }
         // mean_obs == 0 is the degenerate all-zero window: nothing to
         // rank by, so the distribution stays untouched and the window is
@@ -549,6 +629,54 @@ impl Sampler for AdaptiveIsSampler {
 
     fn commit_version(&self) -> u64 {
         self.commits
+    }
+
+    fn snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot::Adaptive {
+            weights: (0..self.fen.len()).map(|i| self.fen.weight(i)).collect(),
+            commits: self.commits,
+        }
+    }
+
+    fn restore(&mut self, snap: SamplerSnapshot) -> Result<(), SamplingError> {
+        let (weights, commits) = match snap {
+            SamplerSnapshot::Adaptive { weights, commits } => (weights, commits),
+            SamplerSnapshot::Sequence { .. } => {
+                return Err(SamplingError::SnapshotMismatch {
+                    expected: "adaptive",
+                })
+            }
+        };
+        if weights.len() != self.fen.len() {
+            return Err(SamplingError::LengthMismatch {
+                weights: self.fen.len(),
+                other: weights.len(),
+            });
+        }
+        // Validate everything up front so a bad snapshot leaves the
+        // sampler untouched rather than half-restored.
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(SamplingError::InvalidWeight { index: i, value: w });
+            }
+        }
+        if !weights.iter().any(|&w| w > 0.0) {
+            return Err(SamplingError::ZeroMass);
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            self.fen
+                .update(i, w)
+                .expect("weights were validated finite and non-negative");
+        }
+        // Same canonical tree a live sampler holds after its commits.
+        self.fen.canonicalize();
+        self.commits = commits;
+        self.since_commit = 0;
+        for p in &mut self.pending {
+            *p = f64::NAN;
+        }
+        self.observed_rows.clear();
+        Ok(())
     }
 }
 
@@ -828,6 +956,111 @@ mod tests {
         assert_eq!(SamplingStrategy::parse("magic"), None);
         assert!(SamplingStrategy::Adaptive.uses_importance());
         assert!(!SamplingStrategy::Uniform.uses_importance());
+    }
+
+    #[test]
+    fn sequence_snapshot_restore_resumes_the_exact_stream() {
+        // Run a sampler to a round boundary, snapshot, run on; a fresh
+        // sampler restored from the snapshot must replay the identical
+        // remaining draw stream (the checkpointed-recovery contract).
+        let w = [1.0, 3.0, 2.0, 4.0];
+        let mut live =
+            StaticIsSampler::from_weights(&w, 16, SequenceMode::RegeneratePerEpoch, 7).unwrap();
+        let mut rng = Xoshiro256pp::new(0);
+        for _ in 0..16 {
+            live.next(&mut rng);
+        }
+        live.epoch_reset();
+        let snap = live.snapshot();
+        let mut fresh =
+            StaticIsSampler::from_weights(&w, 16, SequenceMode::RegeneratePerEpoch, 7).unwrap();
+        fresh.restore(snap).unwrap();
+        let mut r1 = Xoshiro256pp::new(1);
+        let mut r2 = Xoshiro256pp::new(1);
+        for _ in 0..3 {
+            assert_eq!(
+                draws(&mut live, &mut r1, 16),
+                draws(&mut fresh, &mut r2, 16)
+            );
+            live.epoch_reset();
+            fresh.epoch_reset();
+        }
+    }
+
+    #[test]
+    fn adaptive_snapshot_restore_resumes_the_exact_distribution() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let mut live = AdaptiveIsSampler::new(&w)
+            .unwrap()
+            .with_commit(CommitPolicy::EveryK(2));
+        for i in 0..4 {
+            live.update_weight(i, (5 - i) as f64);
+        }
+        live.epoch_reset();
+        let snap = live.snapshot();
+        let mut fresh = AdaptiveIsSampler::new(&w)
+            .unwrap()
+            .with_commit(CommitPolicy::EveryK(2));
+        fresh.restore(snap).unwrap();
+        assert_eq!(fresh.commit_version(), live.commit_version());
+        let mut r1 = Xoshiro256pp::new(2);
+        let mut r2 = Xoshiro256pp::new(2);
+        assert_eq!(
+            draws(&mut live, &mut r1, 64),
+            draws(&mut fresh, &mut r2, 64)
+        );
+        for i in 0..4 {
+            assert_eq!(live.weight(i), fresh.weight(i));
+            assert_eq!(live.correction(i), fresh.correction(i));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_mismatches() {
+        let mut seq = UniformSampler::new(4, 4, SequenceMode::UniformIid, 0).unwrap();
+        let mut ada = AdaptiveIsSampler::new(&[1.0, 1.0]).unwrap();
+        assert!(matches!(
+            seq.restore(ada.snapshot()),
+            Err(SamplingError::SnapshotMismatch { .. })
+        ));
+        assert!(matches!(
+            ada.restore(seq.snapshot()),
+            Err(SamplingError::SnapshotMismatch { .. })
+        ));
+        // Wrong shard length.
+        assert!(matches!(
+            ada.restore(SamplerSnapshot::Adaptive {
+                weights: vec![1.0; 3],
+                commits: 0,
+            }),
+            Err(SamplingError::LengthMismatch { .. })
+        ));
+        // Invalid weights leave the sampler untouched.
+        let before = (ada.weight(0), ada.weight(1));
+        assert!(matches!(
+            ada.restore(SamplerSnapshot::Adaptive {
+                weights: vec![1.0, f64::NAN],
+                commits: 9,
+            }),
+            Err(SamplingError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            ada.restore(SamplerSnapshot::Adaptive {
+                weights: vec![0.0, 0.0],
+                commits: 9,
+            }),
+            Err(SamplingError::ZeroMass)
+        ));
+        assert_eq!((ada.weight(0), ada.weight(1)), before);
+        assert_eq!(ada.commit_version(), 0);
+        // Wrong sequence length.
+        assert!(matches!(
+            seq.restore(SamplerSnapshot::Sequence {
+                rng: [1, 2, 3, 4],
+                indices: vec![0; 9],
+            }),
+            Err(SamplingError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -118,6 +118,27 @@ impl SampleSequence {
         &self.indices
     }
 
+    /// The sequence RNG state, for checkpointing (paired with the
+    /// current [`SampleSequence::indices`] buffer).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the RNG stream and current epoch buffer from a
+    /// checkpoint. The buffer length must match the sequence length this
+    /// instance was built with, so the replayed walk stays in bounds.
+    pub fn restore(&mut self, rng_state: [u64; 4], indices: Vec<u32>) -> Result<(), SamplingError> {
+        if indices.len() != self.indices.len() {
+            return Err(SamplingError::LengthMismatch {
+                weights: self.indices.len(),
+                other: indices.len(),
+            });
+        }
+        self.rng = Xoshiro256pp::from_state(rng_state);
+        self.indices = indices;
+        Ok(())
+    }
+
     /// Refreshes the buffer for the next epoch according to the mode.
     pub fn advance_epoch(&mut self) {
         match self.mode {

@@ -180,6 +180,17 @@ impl ScheduleStream {
         self.sampler.commit_version()
     }
 
+    /// The draw RNG state, for worker checkpoints (paired with a
+    /// [`Sampler::snapshot`](crate::Sampler::snapshot) of the sampler).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the draw RNG stream from a checkpointed state.
+    pub fn set_rng_state(&mut self, s: [u64; 4]) {
+        self.rng = Xoshiro256pp::from_state(s);
+    }
+
     /// Epoch barrier: commits adaptive re-weighting / refreshes
     /// pre-generated sequences and rewinds the draw counter.
     pub fn epoch_reset(&mut self) {
