@@ -18,7 +18,9 @@
 //! JSON file CI can diff against.
 
 use isasgd_bench::bench_dataset;
-use isasgd_cluster::{encode_dataset_shard_chunks, CheckpointSampler, CheckpointState, Message};
+use isasgd_cluster::{
+    encode_dataset_shard_chunks, CheckpointSampler, CheckpointState, Message, WorkerTiming,
+};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
@@ -210,6 +212,39 @@ fn measure() -> BTreeMap<&'static str, f64> {
         "recovery_replay_bytes_120r",
         recovery_replay_bytes(120, 4, DIM) as f64,
     );
+
+    // Telemetry frames ride every round of an armed run (one per
+    // worker per round, absorbed by the supervisor), so their codec
+    // cost and fixed byte footprint join the trajectory. Throughput
+    // here is per-frame-overhead-bound — the frame is ~60 bytes — so
+    // the gbps figure guards the header/checksum path, not bulk copy.
+    let telem = Message::Telemetry {
+        node: 1,
+        round: 7,
+        timing: WorkerTiming {
+            compute_us: 48_000,
+            barrier_wait_us: 1_200,
+            rows: 10_000,
+            commits: 625,
+        },
+    };
+    let telem_bytes = telem.to_bytes();
+    let mut buf = Vec::with_capacity(telem_bytes.len());
+    m.insert(
+        "encode_telemetry_gbps",
+        gbps(telem_bytes.len(), || {
+            buf.clear();
+            telem.encode(&mut buf);
+            black_box(buf.len());
+        }),
+    );
+    m.insert(
+        "decode_telemetry_gbps",
+        gbps(telem_bytes.len(), || {
+            black_box(Message::decode(&telem_bytes).unwrap());
+        }),
+    );
+    m.insert("telemetry_frame_bytes", telem_bytes.len() as f64);
 
     // Admission footprints: one worker's shard stream vs the monolithic
     // whole-dataset frame the v1 handshake shipped to every worker.

@@ -22,6 +22,7 @@ pub fn run(o: &Opts) -> i32 {
     match run_inner(o) {
         Ok(code) => code,
         Err(e) => {
+            // lint: allow(raw-eprintln) — CLI error path: must print even when no recorder exists
             eprintln!("isasgd check: {e}");
             2
         }
@@ -91,38 +92,48 @@ fn parse_bugs(s: &str) -> Result<ProtocolBugs, String> {
 fn report(out: &Exploration, quiet: bool, require_exhaustive: bool) -> i32 {
     let s = &out.stats;
     if !quiet {
+        // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
         eprintln!(
             "schedules explored : {} ({} decisions, max depth {})",
             s.schedules, s.decisions, s.max_depth_seen
         );
+        // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
         eprintln!(
             "expected deadlocks : {} (starvation under drop faults)",
             s.expected_deadlocks
         );
+        // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
         eprintln!("pruned (state hash): {}", s.pruned);
+        // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
         eprintln!("depth-capped runs  : {}", s.depth_capped);
         match &s.truncated {
             // Never silent: either the space was exhausted or the reason
             // it was not is printed.
+            // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
             None => eprintln!("coverage           : exhaustive"),
+            // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
             Some(why) => eprintln!("coverage           : TRUNCATED — {why}"),
         }
     }
     match &out.counterexample {
         None => {
             if let (true, Some(why)) = (require_exhaustive, &out.stats.truncated) {
+                // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
                 eprintln!(
                     "FAILED             : --require-exhaustive, but the search was cut off ({why})"
                 );
                 return 1;
             }
             if !quiet {
+                // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
                 eprintln!("verdict            : no invariant violations");
             }
             0
         }
         Some(ce) => {
+            // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
             eprintln!("VIOLATION          : {}", ce.what);
+            // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
             eprintln!("counterexample     : {:?}", ce.choices);
             1
         }
@@ -182,6 +193,7 @@ fn run_inner(o: &Opts) -> Result<i32, String> {
         let bytes = std::fs::read(&path).map_err(|e| format!("read {path}: {e}"))?;
         let file = read_schedule(&bytes).map_err(|e| format!("{path}: {e}"))?;
         if !quiet {
+            // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
             eprintln!(
                 "replaying {path}: {} choices against {:?} (faults {:?}, bugs {:?})",
                 file.choices.len(),
@@ -193,11 +205,13 @@ fn run_inner(o: &Opts) -> Result<i32, String> {
         return match file.replay() {
             Ok(outcome) => {
                 if !quiet {
+                    // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
                     eprintln!("reproduced expected outcome: {:?}", outcome.verdict);
                 }
                 Ok(0)
             }
             Err(e) => {
+                // lint: allow(raw-eprintln) — CLI error path: must print even when no recorder exists
                 eprintln!("replay FAILED: {e}");
                 Ok(1)
             }
@@ -216,6 +230,7 @@ fn run_inner(o: &Opts) -> Result<i32, String> {
         bugs,
     };
     if !quiet {
+        // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
         eprintln!(
             "checking {nodes} worker(s) x {rounds} round(s), depth {depth}, faults {faults:?}{}",
             if bugs == ProtocolBugs::default() {
@@ -244,6 +259,7 @@ fn run_inner(o: &Opts) -> Result<i32, String> {
             choices: ce.choices.clone(),
         };
         std::fs::write(path, write_schedule(&file)).map_err(|e| format!("write {path}: {e}"))?;
+        // lint: allow(raw-eprintln) — model-checker report channel; `check` runs install no recorder
         eprintln!("counterexample written to {path}");
     }
     Ok(code)

@@ -8,6 +8,7 @@ pub fn run(o: &Opts) -> i32 {
     match run_inner(o) {
         Ok(()) => 0,
         Err(e) => {
+            // lint: allow(raw-eprintln) — CLI error path: must print even when no recorder exists
             eprintln!("isasgd gen: {e}");
             2
         }
@@ -42,6 +43,7 @@ fn run_inner(o: &Opts) -> Result<(), String> {
         profile.scaled()
     }
     .scaled_by(scale);
+    // lint: allow(raw-eprintln) — generator progress line; `gen` runs install no recorder
     eprintln!(
         "[gen] {} (d={}, n={}, ~{} nnz/row, {})…",
         p.name,

@@ -9,6 +9,7 @@ pub fn run(o: &Opts) -> i32 {
     match run_inner(o) {
         Ok(()) => 0,
         Err(e) => {
+            // lint: allow(raw-eprintln) — CLI error path: must print even when no recorder exists
             eprintln!("isasgd predict: {e}");
             2
         }

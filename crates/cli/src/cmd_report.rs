@@ -1,0 +1,387 @@
+//! `isasgd report` — render a `--trace-out` JSONL trace as a run report.
+//!
+//! The analyzer is strict where CI needs it to be: any line that fails
+//! to parse as a flat JSONL event is a hard error (exit 2), and
+//! `--expect-rounds n` fails the command unless every round `1..=n`
+//! closed with a `round_end` event. Everything else is best-effort
+//! rendering — unknown event names pass through untouched so newer
+//! traces stay readable by older binaries.
+
+use crate::opts::Opts;
+use isasgd_obs::{parse_jsonl_line, Histogram, JsonValue};
+use std::collections::BTreeMap;
+
+/// Runs the command; returns a process exit code.
+pub fn run(o: &Opts) -> i32 {
+    match run_inner(o) {
+        Ok(()) => 0,
+        Err(e) => {
+            // lint: allow(raw-eprintln) — CLI error path: must print even when no recorder exists
+            eprintln!("isasgd report: {e}");
+            2
+        }
+    }
+}
+
+fn run_inner(o: &Opts) -> Result<(), String> {
+    let path = o
+        .positional
+        .get(1)
+        .cloned()
+        .or_else(|| o.get("trace"))
+        .ok_or("usage: isasgd report <run.jsonl> [--expect-rounds n] (see --help)")?;
+    let expect_rounds: u64 = o
+        .get_parsed_or("expect-rounds", 0, "u64")
+        .map_err(|e| e.to_string())?;
+    o.finish().map_err(|e| e.to_string())?;
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading trace {path}: {e}"))?;
+    let report = analyze(&text)?;
+    print!("{}", report.render(&path));
+    if expect_rounds > 0 {
+        let missing: Vec<u64> = (1..=expect_rounds)
+            .filter(|r| !report.rounds.get(r).is_some_and(|row| row.closed))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "trace covers {} of {expect_rounds} expected rounds; missing round_end for {missing:?}",
+                report.rounds.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// What one `round_end` event recorded.
+#[derive(Debug)]
+struct RoundRow {
+    /// Whether a `round_end` event closed this round (worker timing
+    /// alone opens a row but does not close it).
+    closed: bool,
+    objective: f64,
+    rmse: f64,
+    error_rate: f64,
+    wall_us: u64,
+    /// Worker timings tagged with this round, in arrival order:
+    /// `(node, compute_us, barrier_wait_us)`. Respawn replay can
+    /// legitimately duplicate a `(node, round)` pair; duplicates stay
+    /// visible here exactly as they arrived.
+    timings: Vec<(u64, u64, u64)>,
+}
+
+/// Per-worker latency aggregation across the whole trace.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    compute: Histogram,
+    barrier: Histogram,
+    rows: u64,
+    commits: u64,
+}
+
+/// Everything [`analyze`] extracts from a trace.
+#[derive(Debug)]
+struct TraceReport {
+    events: usize,
+    rounds: BTreeMap<u64, RoundRow>,
+    workers: BTreeMap<u64, WorkerStats>,
+    /// `(node, respawn, dur_us)` per handshake, in trace order.
+    handshakes: Vec<(u64, bool, u64)>,
+    /// `(node, replay_frames, replay_bytes, replay_us)` per respawn.
+    respawns: Vec<(u64, u64, u64, u64)>,
+    /// `(node, tx_bytes, rx_bytes, summary)` per link, in trace order
+    /// (the coordinator emits these sorted by slot id).
+    net: Vec<(u64, u64, u64, String)>,
+}
+
+fn field<'a>(fields: &'a [(String, JsonValue)], name: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn need_u64(fields: &[(String, JsonValue)], name: &str, line_no: usize) -> Result<u64, String> {
+    field(fields, name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer field '{name}'"))
+}
+
+fn need_f64(fields: &[(String, JsonValue)], name: &str, line_no: usize) -> Result<f64, String> {
+    match field(fields, name) {
+        Some(JsonValue::Null) => Ok(f64::NAN),
+        other => other
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("line {line_no}: missing or non-number field '{name}'")),
+    }
+}
+
+fn analyze(text: &str) -> Result<TraceReport, String> {
+    let mut report = TraceReport {
+        events: 0,
+        rounds: BTreeMap::new(),
+        workers: BTreeMap::new(),
+        handshakes: Vec::new(),
+        respawns: Vec::new(),
+        net: Vec::new(),
+    };
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_jsonl_line(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let name = field(&fields, "event")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .ok_or_else(|| format!("line {line_no}: missing 'event' field"))?;
+        report.events += 1;
+        match name.as_str() {
+            "round_end" => {
+                let round = need_u64(&fields, "round", line_no)?;
+                let timings = report
+                    .rounds
+                    .remove(&round)
+                    .map(|r| r.timings)
+                    .unwrap_or_default();
+                report.rounds.insert(
+                    round,
+                    RoundRow {
+                        closed: true,
+                        objective: need_f64(&fields, "objective", line_no)?,
+                        rmse: need_f64(&fields, "rmse", line_no)?,
+                        error_rate: need_f64(&fields, "error_rate", line_no)?,
+                        wall_us: need_u64(&fields, "wall_us", line_no)?,
+                        timings,
+                    },
+                );
+            }
+            "worker_timing" => {
+                let node = need_u64(&fields, "node", line_no)?;
+                let round = need_u64(&fields, "round", line_no)?;
+                let compute_us = need_u64(&fields, "compute_us", line_no)?;
+                let barrier_wait_us = need_u64(&fields, "barrier_wait_us", line_no)?;
+                report
+                    .rounds
+                    .entry(round)
+                    .or_insert_with(|| RoundRow {
+                        closed: false,
+                        objective: f64::NAN,
+                        rmse: f64::NAN,
+                        error_rate: f64::NAN,
+                        wall_us: 0,
+                        timings: Vec::new(),
+                    })
+                    .timings
+                    .push((node, compute_us, barrier_wait_us));
+                let w = report.workers.entry(node).or_default();
+                w.compute.record(compute_us);
+                w.barrier.record(barrier_wait_us);
+                w.rows += need_u64(&fields, "rows", line_no)?;
+                w.commits += need_u64(&fields, "commits", line_no)?;
+            }
+            "handshake" => {
+                let respawn = matches!(field(&fields, "respawn"), Some(JsonValue::Bool(true)));
+                report.handshakes.push((
+                    need_u64(&fields, "node", line_no)?,
+                    respawn,
+                    need_u64(&fields, "dur_us", line_no)?,
+                ));
+            }
+            "respawn" => {
+                report.respawns.push((
+                    need_u64(&fields, "node", line_no)?,
+                    need_u64(&fields, "replay_frames", line_no)?,
+                    need_u64(&fields, "replay_bytes", line_no)?,
+                    need_u64(&fields, "replay_us", line_no)?,
+                ));
+            }
+            "net_summary" => {
+                let summary = field(&fields, "summary")
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .unwrap_or_default();
+                report.net.push((
+                    need_u64(&fields, "node", line_no)?,
+                    need_u64(&fields, "tx_bytes", line_no)?,
+                    need_u64(&fields, "rx_bytes", line_no)?,
+                    summary,
+                ));
+            }
+            // Every other event (dataset_loaded, barrier_wait, shard
+            // streaming, checkpoints, …) contributes to the event count
+            // but has no dedicated section yet.
+            _ => {}
+        }
+    }
+    Ok(report)
+}
+
+fn ms(us: u64) -> String {
+    format!("{:.1}ms", us as f64 / 1e3)
+}
+
+impl TraceReport {
+    fn render(&self, path: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace {path}: {} events, {} rounds, {} workers with timing\n",
+            self.events,
+            self.rounds.len(),
+            self.workers.len()
+        ));
+
+        if !self.rounds.is_empty() {
+            out.push_str("\n[rounds]\n");
+            for (round, row) in &self.rounds {
+                let timings: Vec<String> = row
+                    .timings
+                    .iter()
+                    .map(|&(n, c, b)| format!("{n}:{}/{}", ms(c), ms(b)))
+                    .collect();
+                out.push_str(&format!(
+                    "round {round:>4}  obj={:<12.6} rmse={:<12.6} err={:<8.4} wall={:<9} workers(compute/barrier): {}\n",
+                    row.objective,
+                    row.rmse,
+                    row.error_rate,
+                    ms(row.wall_us),
+                    if timings.is_empty() { "-".to_string() } else { timings.join(" ") }
+                ));
+            }
+        }
+
+        if !self.workers.is_empty() {
+            out.push_str("\n[workers]\n");
+            for (node, w) in &self.workers {
+                out.push_str(&format!(
+                    "worker {node}: rows={} commits={}\n  compute {}\n  barrier {}\n",
+                    w.rows,
+                    w.commits,
+                    w.compute.render_ascii(),
+                    w.barrier.render_ascii()
+                ));
+            }
+        }
+
+        if !self.handshakes.is_empty() {
+            out.push_str("\n[handshakes]\n");
+            for &(node, respawn, dur_us) in &self.handshakes {
+                out.push_str(&format!(
+                    "node {node}: {} in {}\n",
+                    if respawn { "respawn" } else { "admitted" },
+                    ms(dur_us)
+                ));
+            }
+        }
+
+        if !self.respawns.is_empty() {
+            out.push_str("\n[respawns]\n");
+            for &(node, frames, bytes, us) in &self.respawns {
+                out.push_str(&format!(
+                    "node {node}: replayed {frames} frames / {bytes} bytes in {}\n",
+                    ms(us)
+                ));
+            }
+        }
+
+        if !self.net.is_empty() {
+            out.push_str("\n[net]\n");
+            for (node, tx, rx, summary) in &self.net {
+                out.push_str(&format!("link {node}: tx={tx}B rx={rx}B {summary}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Usage string for `--help`.
+pub const HELP: &str = "\
+isasgd report <run.jsonl> [flags]
+
+  --trace <path>       trace file (alternative to the positional arg)
+  --expect-rounds <n>  fail unless rounds 1..=n all closed (CI gate)
+
+Renders a --trace-out JSONL trace: per-round timeline with worker
+compute/barrier timings, per-worker latency histograms, handshakes,
+respawn replay footprints, and per-link wire totals. Exits nonzero on
+any unparseable trace line or missing round coverage.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(s: &str) -> String {
+        s.to_string()
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let r = analyze("").unwrap();
+        assert_eq!(r.events, 0);
+        assert!(r.render("t.jsonl").contains("0 events"));
+    }
+
+    #[test]
+    fn round_and_timing_lines_aggregate() {
+        let trace = [
+            line(r#"{"ts_us":1,"event":"worker_timing","node":0,"round":1,"compute_us":900,"barrier_wait_us":30,"rows":64,"commits":8}"#),
+            line(r#"{"ts_us":2,"event":"worker_timing","node":1,"round":1,"compute_us":800,"barrier_wait_us":40,"rows":64,"commits":0}"#),
+            line(r#"{"ts_us":3,"event":"round_end","round":1,"objective":0.5,"rmse":0.7,"error_rate":0.25,"wall_us":2000}"#),
+        ]
+        .join("\n");
+        let r = analyze(&trace).unwrap();
+        assert_eq!(r.events, 3);
+        assert_eq!(r.rounds.len(), 1);
+        assert_eq!(r.rounds[&1].timings.len(), 2);
+        assert_eq!(r.workers.len(), 2);
+        assert_eq!(r.workers[&0].rows, 64);
+        assert_eq!(r.workers[&0].compute.count(), 1);
+        let text = r.render("t.jsonl");
+        assert!(text.contains("[rounds]"), "{text}");
+        assert!(text.contains("[workers]"), "{text}");
+        assert!(text.contains("0:0.9ms/0.0ms"), "{text}");
+    }
+
+    #[test]
+    fn malformed_lines_are_hard_errors_with_line_numbers() {
+        let trace = "{\"ts_us\":1,\"event\":\"round_end\",\"round\":1,\"objective\":0.5,\"rmse\":0.7,\"error_rate\":0.25,\"wall_us\":10}\nnot json";
+        let err = analyze(trace).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // Missing required fields are errors too, not silent zeros.
+        let err = analyze(r#"{"ts_us":1,"event":"round_end","round":1}"#).unwrap_err();
+        assert!(err.contains("objective"), "{err}");
+        // ... and so is a record with no event name.
+        let err = analyze(r#"{"ts_us":1,"round":1}"#).unwrap_err();
+        assert!(err.contains("event"), "{err}");
+    }
+
+    #[test]
+    fn respawn_handshake_and_net_sections_render() {
+        let trace = [
+            line(r#"{"ts_us":1,"event":"handshake","node":1,"respawn":false,"dur_us":500}"#),
+            line(r#"{"ts_us":2,"event":"handshake","node":1,"respawn":true,"dur_us":700}"#),
+            line(r#"{"ts_us":3,"event":"respawn","node":1,"replay_frames":5,"replay_bytes":4096,"replay_us":900}"#),
+            line(r#"{"ts_us":4,"event":"net_summary","node":0,"tx_bytes":10,"rx_bytes":20,"summary":"tx 10 B rx 20 B"}"#),
+        ]
+        .join("\n");
+        let r = analyze(&trace).unwrap();
+        let text = r.render("t.jsonl");
+        assert!(text.contains("[handshakes]"), "{text}");
+        assert!(text.contains("respawn in 0.7ms"), "{text}");
+        assert!(text.contains("replayed 5 frames / 4096 bytes"), "{text}");
+        assert!(text.contains("link 0: tx=10B rx=20B"), "{text}");
+    }
+
+    #[test]
+    fn unknown_events_count_but_do_not_fail() {
+        let r = analyze(r#"{"ts_us":1,"event":"brand_new_thing","x":1}"#).unwrap();
+        assert_eq!(r.events, 1);
+    }
+
+    #[test]
+    fn run_requires_a_trace_path() {
+        let o = Opts::parse(["report".to_string()]);
+        assert_eq!(run(&o), 2);
+    }
+
+    #[test]
+    fn run_rejects_missing_file() {
+        let o = Opts::parse(["report", "/no/such/trace.jsonl"].map(String::from));
+        assert_eq!(run(&o), 2);
+    }
+}

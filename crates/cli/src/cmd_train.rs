@@ -8,17 +8,54 @@ use isasgd_core::{
     TrainConfig,
 };
 use isasgd_model::SavedModel;
+use isasgd_obs::{Event, ObsClock, Recorder};
 use isasgd_sparse::{holdout_split, Dataset};
+use std::path::Path;
+use std::sync::Arc;
 
 /// Runs the command; returns a process exit code.
 pub fn run(o: &Opts) -> i32 {
     match run_inner(o) {
         Ok(()) => 0,
         Err(e) => {
+            // lint: allow(raw-eprintln) — CLI error path: must print even when no recorder exists
             eprintln!("isasgd train: {e}");
             2
         }
     }
+}
+
+/// Arms the global event recorder when any observability flag asked for
+/// it. Returns the recorder so [`finish_observability`] can drain it;
+/// `None` means telemetry is off and nothing was installed.
+fn install_observability(spec: &TrainSpec) -> Result<Option<Arc<Recorder>>, String> {
+    if !spec.telemetry_enabled() {
+        return Ok(None);
+    }
+    let mut rec = Recorder::new(spec.log_level, ObsClock::Wall);
+    if let Some(path) = &spec.trace_out {
+        rec = rec
+            .trace_to_file(Path::new(path))
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+    }
+    let rec = Arc::new(rec);
+    isasgd_obs::install(Arc::clone(&rec));
+    Ok(Some(rec))
+}
+
+/// Tears the recorder down: flushes the JSONL trace and writes the
+/// metrics dump, reporting (rather than swallowing) either IO failure.
+fn finish_observability(rec: Option<Arc<Recorder>>, spec: &TrainSpec) -> Result<(), String> {
+    let Some(rec) = rec else { return Ok(()) };
+    isasgd_obs::uninstall();
+    if let Err(e) = rec.flush() {
+        return Err(format!("flushing --trace-out: {e}"));
+    }
+    if let Some(path) = &spec.metrics_out {
+        std::fs::write(path, rec.metrics_json())
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn run_inner(o: &Opts) -> Result<(), String> {
@@ -41,18 +78,29 @@ fn run_inner(o: &Opts) -> Result<(), String> {
         None => None,
     };
 
-    let ds = isasgd_sparse::libsvm::read_file(&data_path, None)
+    let recorder = install_observability(&spec)?;
+    let result = execute(&spec, &data_path, model_out, init, quiet);
+    // Finalize even when training failed, so a partial trace still
+    // flushes — but report the training error first if both fail.
+    let finished = finish_observability(recorder, &spec);
+    result.and(finished)
+}
+
+fn execute(
+    spec: &TrainSpec,
+    data_path: &str,
+    model_out: Option<String>,
+    init: Option<Vec<f64>>,
+    quiet: bool,
+) -> Result<(), String> {
+    let ds = isasgd_sparse::libsvm::read_file(data_path, None)
         .map_err(|e| format!("reading {data_path}: {e}"))?;
-    if !quiet {
-        eprintln!(
-            "[load] {}: n={} d={} nnz={} density={:.2e}",
-            data_path,
-            ds.n_samples(),
-            ds.dim(),
-            ds.nnz(),
-            ds.density()
-        );
-    }
+    isasgd_obs::emit(&Event::DatasetLoaded {
+        path: data_path.to_string(),
+        rows: ds.n_samples() as u64,
+        dim: ds.dim() as u64,
+        nnz: ds.nnz() as u64,
+    });
 
     let (train_ds, test_ds) = if spec.holdout > 0.0 {
         let (tr, te) = holdout_split(&ds, spec.holdout, spec.seed)
@@ -69,37 +117,23 @@ fn run_inner(o: &Opts) -> Result<(), String> {
                             (cluster training starts from the zero model)"
                     .into());
             }
-            let run = run_cluster(&spec, cluster, &train_ds)?;
-            report_cluster(&spec, cluster, &run, test_ds.as_ref(), quiet);
+            let run = run_cluster(spec, cluster, &train_ds)?;
+            report_cluster(spec, cluster, &run, test_ds.as_ref(), quiet);
             // Reuse the model-save path below through a RunResult-free
             // early return.
             if let Some(path) = model_out {
                 // Record what actually ran (e.g. "Cluster-AIS-SGD"),
                 // not the engine solver the cluster path never uses.
-                save_model(
-                    &run.model,
-                    &run.trace.algorithm,
-                    &spec,
-                    &data_path,
-                    &path,
-                    quiet,
-                )?;
+                save_model(&run.model, &run.trace.algorithm, spec, data_path, &path)?;
             }
             return Ok(());
         }
-        None => run_training(&spec, &train_ds, &data_path, init.as_deref())?,
+        None => run_training(spec, &train_ds, data_path, init.as_deref())?,
     };
-    report(&spec, &r, test_ds.as_ref(), quiet);
+    report(spec, &r, test_ds.as_ref(), quiet);
 
     if let Some(path) = model_out {
-        save_model(
-            &r.model,
-            spec.algorithm.name(),
-            &spec,
-            &data_path,
-            &path,
-            quiet,
-        )?;
+        save_model(&r.model, spec.algorithm.name(), spec, data_path, &path)?;
     }
     Ok(())
 }
@@ -110,7 +144,6 @@ fn save_model(
     spec: &TrainSpec,
     data_path: &str,
     path: &str,
-    quiet: bool,
 ) -> Result<(), String> {
     let m = SavedModel::from_dense(
         model,
@@ -122,9 +155,10 @@ fn save_model(
     )
     .map_err(|e| e.to_string())?;
     m.save(path).map_err(|e| e.to_string())?;
-    if !quiet {
-        eprintln!("[save] model → {path} ({} non-zeros)", m.nnz());
-    }
+    isasgd_obs::emit(&Event::ModelSaved {
+        path: path.to_string(),
+        nnz: m.nnz() as u64,
+    });
     Ok(())
 }
 
@@ -161,6 +195,10 @@ fn run_cluster(
             isasgd_cluster::TransportConfig::Process(pc) => pc.checkpoint_every,
             _ => 0,
         },
+        // Any observability flag arms wire-shipped worker timing; the
+        // frames are provably inert (absorbed or dropped before the
+        // round protocol sees them), so results stay bit-identical.
+        telemetry: spec.telemetry_enabled(),
         // Historical-bug flags exist only for the model checker's
         // regression rediscovery; production runs never enable them.
         bugs: Default::default(),
@@ -190,23 +228,23 @@ fn report_cluster(
 ) {
     if !quiet {
         for p in &r.rounds {
+            // lint: allow(raw-eprintln) — the parity e2e compares these lines byte-for-byte across transports
             eprintln!(
                 "[round {:>4}] obj={:<12.8} rmse={:<12.8} err={:.6}",
                 p.round, p.objective, p.rmse, p.error_rate
             );
         }
         if let Some(observed) = r.observed_phi_imbalance {
+            // lint: allow(raw-eprintln) — the parity e2e compares these lines byte-for-byte across transports
             eprintln!(
                 "[feedback] rows={} observed_phi_imbalance={observed:.4}",
                 r.feedback_rows
             );
         }
-        // Wire-traffic counters exist only for socket-backed transports;
-        // the parity e2e compares only `[round`/`[feedback` stderr lines,
-        // so these carry byte counts without breaking textual equality.
-        for (k, stats) in r.net.iter().enumerate() {
-            eprintln!("[net] link {k}: {}", stats.summary());
-        }
+        // Per-link wire counters travel the event layer now: the
+        // coordinator emits a `net_summary` event per slot (in slot-id
+        // order), so `--log-level info` or `--trace-out` renders what
+        // the old `[net]` lines printed.
     }
     let last = r.rounds.last().expect("≥1 round");
     // Coordinator-side wire totals across all links (socket transports
@@ -288,6 +326,7 @@ fn run_training(
 fn report(spec: &TrainSpec, r: &RunResult, test: Option<&Dataset>, quiet: bool) {
     if !quiet {
         for p in &r.trace.points {
+            // lint: allow(raw-eprintln) — sequential-engine progress line; the event layer covers the cluster runtime
             eprintln!(
                 "[epoch {:>4}] t={:>8.3}s  obj={:<10.5} rmse={:<10.5} err={:.5}",
                 p.epoch, p.wall_secs, p.objective, p.rmse, p.error_rate
@@ -297,6 +336,7 @@ fn report(spec: &TrainSpec, r: &RunResult, test: Option<&Dataset>, quiet: bool) 
             // Cumulative commit versions per epoch: growth beyond one
             // per worker per epoch is intra-epoch (--commit every-k)
             // adaptivity firing mid-epoch.
+            // lint: allow(raw-eprintln) — sequential-engine progress line; the event layer covers the cluster runtime
             eprintln!(
                 "[sampler] cumulative commits per epoch: {:?}",
                 r.sampler_commits
@@ -391,6 +431,16 @@ isasgd train <data.svm> [flags]
   --model <path>     save the trained model as JSON
   --init-model <p>   warm-start from a previously saved model
   --quiet            suppress per-epoch progress
+  --log-level <l>    off | info | debug — structured-event verbosity on
+                     stderr (events also arm wire telemetry)    [off]
+  --trace-out <p>    write every event as one JSON object per line;
+                     render with `isasgd report --trace <p>`    [off]
+  --metrics-out <p>  dump the run's counters/gauges/histograms as JSON
+                     at exit                                    [off]
+
+Any of the three observability flags arms per-round worker timing over
+the wire (cluster runs). Telemetry is inert: results are bit-identical
+with it on or off.
 ";
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ pub fn run(o: &Opts) -> i32 {
     match run_inner(o) {
         Ok(()) => 0,
         Err(e) => {
+            // lint: allow(raw-eprintln) — CLI error path: must print even when no recorder exists
             eprintln!("isasgd worker: {e}");
             2
         }
@@ -41,6 +42,7 @@ fn run_inner(o: &Opts) -> Result<(), String> {
     };
     let report = run_worker(&connect, &opts).map_err(|e| e.to_string())?;
     if !quiet {
+        // lint: allow(raw-eprintln) — worker status line; workers never install a recorder (timing ships over the wire)
         eprintln!(
             "[worker {}] session complete after {} rounds",
             report.node, report.rounds

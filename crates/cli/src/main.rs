@@ -14,6 +14,7 @@ mod cmd_check;
 mod cmd_gen;
 mod cmd_info;
 mod cmd_predict;
+mod cmd_report;
 mod cmd_train;
 mod cmd_worker;
 mod opts;
@@ -35,6 +36,8 @@ COMMANDS
             process, or launched by hand against a remote coordinator)
   check     deterministic protocol model checker: explore message schedules
             systematically, replay committed .schedule counterexamples
+  report    render a train --trace-out JSONL trace: round timelines,
+            per-worker latency histograms, respawns, wire totals
 
 Run `isasgd <command> --help` for command flags.
 ";
@@ -51,6 +54,7 @@ fn main() {
             Some("gen") => cmd_gen::HELP,
             Some("worker") => cmd_worker::HELP,
             Some("check") => cmd_check::HELP,
+            Some("report") => cmd_report::HELP,
             _ => HELP,
         };
         print!("{text}");
@@ -63,7 +67,9 @@ fn main() {
         Some("gen") => cmd_gen::run(&o),
         Some("worker") => cmd_worker::run(&o),
         Some("check") => cmd_check::run(&o),
+        Some("report") => cmd_report::run(&o),
         Some(other) => {
+            // lint: allow(raw-eprintln) — CLI error path: usage text for an unknown command
             eprintln!("unknown command '{other}'\n\n{HELP}");
             2
         }

@@ -6,6 +6,7 @@ use isasgd_core::{
     Algorithm, BalancePolicy, CommitPolicy, Execution, ImportanceScheme, ObservationModel,
     Regularizer, SamplingStrategy, SvrgVariant,
 };
+use isasgd_obs::LogLevel;
 
 /// Distributed-run settings: present when any `--cluster*` flag was
 /// given, routing `train` through the `isasgd-cluster` runtime instead
@@ -54,6 +55,12 @@ pub struct TrainSpec {
     pub seed: u64,
     /// Held-out fraction (0 disables).
     pub holdout: f64,
+    /// Stderr event verbosity (`--log-level`; default off).
+    pub log_level: LogLevel,
+    /// JSONL trace destination (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Metrics-dump destination (`--metrics-out`).
+    pub metrics_out: Option<String>,
 }
 
 /// CLI-selectable losses.
@@ -334,6 +341,11 @@ impl TrainSpec {
             None
         };
 
+        let log_level = match o.get("log-level") {
+            None => LogLevel::Off,
+            Some(v) => LogLevel::parse(&v).ok_or_else(|| bad("log-level", v, "off|info|debug"))?,
+        };
+
         Ok(TrainSpec {
             algorithm,
             execution,
@@ -349,7 +361,20 @@ impl TrainSpec {
             step_size: o.get_parsed_or("step", 0.5, "float")?,
             seed: o.get_parsed_or("seed", 0x15A5_6D00, "u64")?,
             holdout,
+            log_level,
+            trace_out: o.get("trace-out"),
+            metrics_out: o.get("metrics-out"),
         })
+    }
+
+    /// Whether any observability channel was requested — the switch that
+    /// arms the recorder *and* the wire-level [`Message::Telemetry`]
+    /// frames in cluster runs. Everything downstream is inert when this
+    /// is false: no clock reads, no extra frames, no recorder.
+    ///
+    /// [`Message::Telemetry`]: isasgd_cluster::Message::Telemetry
+    pub fn telemetry_enabled(&self) -> bool {
+        self.log_level != LogLevel::Off || self.trace_out.is_some() || self.metrics_out.is_some()
     }
 }
 
@@ -616,6 +641,35 @@ mod tests {
         assert!(spec("--cluster 2 --cluster-transport tcp --wire-encoding rle").is_err());
         match spec("--cluster 2 --wire-encoding delta") {
             Err(OptError::BadValue { flag, .. }) => assert_eq!(flag, "wire-encoding"),
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let t = spec("").unwrap();
+        assert_eq!(t.log_level, LogLevel::Off);
+        assert_eq!(t.trace_out, None);
+        assert_eq!(t.metrics_out, None);
+        assert!(!t.telemetry_enabled(), "observability is strictly opt-in");
+        for (name, level) in [
+            ("off", LogLevel::Off),
+            ("info", LogLevel::Info),
+            ("debug", LogLevel::Debug),
+        ] {
+            assert_eq!(
+                spec(&format!("--log-level {name}")).unwrap().log_level,
+                level,
+                "{name}"
+            );
+        }
+        assert!(spec("--log-level info").unwrap().telemetry_enabled());
+        let t = spec("--trace-out /tmp/t.jsonl --metrics-out /tmp/m.json").unwrap();
+        assert_eq!(t.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(t.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert!(t.telemetry_enabled());
+        match spec("--log-level loud") {
+            Err(OptError::BadValue { flag, .. }) => assert_eq!(flag, "log-level"),
             other => panic!("expected BadValue, got {other:?}"),
         }
     }

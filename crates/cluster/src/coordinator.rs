@@ -40,10 +40,11 @@ use crate::node::{
 };
 use crate::sync::average_models;
 use crate::transport::Transport;
-use crate::wire::{CheckpointSampler, CheckpointState, Message};
+use crate::wire::{CheckpointSampler, CheckpointState, Message, WorkerTiming};
 use isasgd_balance::decide;
 use isasgd_losses::{importance_weights, Loss, Objective};
 use isasgd_metrics::{Trace, TracePoint};
+use isasgd_obs::{monotonic_us, Event};
 use isasgd_sampling::rng::derive_seeds;
 use isasgd_sampling::{
     build_sampler, draw_rngs, AdaptiveIsSampler, FeedbackProtocol, Sampler, SamplerSnapshot,
@@ -357,6 +358,10 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
     let mut models: Vec<Vec<f64>> = vec![Vec::new(); cfg.nodes];
     let mut feedback_rows = 0usize;
     for round in 1..=cfg.rounds {
+        isasgd_obs::emit(&Event::RoundStart {
+            round: round as u64,
+            nodes: cfg.nodes as u64,
+        });
         // lint: allow(wall-clock) — measures reported train_secs only; no control-flow or results depend on it
         let t0 = Instant::now();
         for (k, link) in links.iter_mut().enumerate() {
@@ -408,7 +413,8 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
             m.epoch_reset();
         }
         average_models(&models, &shard_sizes, cfg.sync, &mut consensus);
-        train_secs += t0.elapsed().as_secs_f64();
+        let round_secs = t0.elapsed().as_secs_f64();
+        train_secs += round_secs;
 
         let m = obj.eval(data, &consensus);
         trace.push(TracePoint {
@@ -423,6 +429,13 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
             objective: m.objective,
             rmse: m.rmse,
             error_rate: m.error_rate,
+        });
+        isasgd_obs::emit(&Event::RoundEnd {
+            round: round as u64,
+            objective: m.objective,
+            rmse: m.rmse,
+            error_rate: m.error_rate,
+            wall_us: (round_secs * 1e6) as u64,
         });
     }
 
@@ -443,6 +456,27 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
             1.0
         }
     });
+    if let Some(phi) = observed_phi_imbalance {
+        isasgd_obs::emit(&Event::SamplerCommit {
+            feedback_rows: feedback_rows as u64,
+            observed_phi_imbalance: phi,
+        });
+    }
+
+    // Per-link wire counters, where the transport keeps them (real
+    // sockets do; typed channels report nothing). Links live in slot
+    // order (the fleet admits slot 0, then 1, …), so this collection —
+    // and everything downstream that renders it — is ordered by node id
+    // (pinned by `tests/process_fleet.rs`).
+    let net: Vec<_> = links.iter().filter_map(|l| l.stats()).collect();
+    for (k, stats) in net.iter().enumerate() {
+        isasgd_obs::emit(&Event::NetSummary {
+            node: k as u64,
+            tx_bytes: stats.tx_total_bytes(),
+            rx_bytes: stats.rx_total_bytes(),
+            summary: stats.summary(),
+        });
+    }
 
     Ok(ClusterRun {
         trace,
@@ -454,12 +488,17 @@ pub(crate) fn coordinate<L: Loss, T: Transport>(
         syncs: cfg.rounds,
         feedback_rows,
         observed_phi_imbalance,
-        // Per-link wire counters, where the transport keeps them (real
-        // sockets do; typed channels report nothing).
-        net: links.iter().filter_map(|l| l.stats()).collect(),
+        net,
         // Per-slot recovery footprints, where the transport supervises
         // (the fleet's links do; plain links report nothing).
         recovery: links.iter().filter_map(|l| l.recovery()).collect(),
+        // Worker-shipped per-round timing, where the transport collects
+        // it (supervised process links do; plain links report nothing).
+        telemetry: links
+            .iter()
+            .filter_map(|l| l.telemetry())
+            .flatten()
+            .collect(),
     })
 }
 
@@ -788,7 +827,16 @@ impl<T: Transport> NodeRuntime<T> {
             first_round = cround + 1;
         }
         for round in first_round..=cfg.rounds as u64 {
+            // Timing capture is telemetry-gated so the bit-identity
+            // contract stays trivially true: with telemetry off not a
+            // single clock read happens on the round path.
+            let barrier_t0 = if cfg.telemetry { monotonic_us() } else { 0 };
             let consensus = self.await_round_start(round)?;
+            let barrier_wait_us = if cfg.telemetry {
+                monotonic_us().saturating_sub(barrier_t0)
+            } else {
+                0
+            };
             if self.die_at_round == Some(round) {
                 // Chaos hook: abort mid-round. Returning drops the
                 // link; over a socket the peer observes exactly what a
@@ -810,6 +858,7 @@ impl<T: Transport> NodeRuntime<T> {
                 obs_max.fill(f64::NEG_INFINITY);
                 visited.fill(false);
             }
+            let compute_t0 = if cfg.telemetry { monotonic_us() } else { 0 };
             for _ in 0..cfg.local_epochs {
                 local_epoch(
                     data,
@@ -823,6 +872,12 @@ impl<T: Transport> NodeRuntime<T> {
                 );
                 node.stream.epoch_reset();
             }
+            let compute_us = if cfg.telemetry {
+                monotonic_us().saturating_sub(compute_t0)
+            } else {
+                0
+            };
+            let mut commits = 0u64;
             if protocol.is_some() {
                 let observations: Vec<(u32, f64)> = visited
                     .iter()
@@ -830,10 +885,33 @@ impl<T: Transport> NodeRuntime<T> {
                     .filter(|&(_, &v)| v)
                     .map(|(i, _)| ((range.start + i) as u32, obs_max[i]))
                     .collect();
+                commits = observations.len() as u64;
                 self.link.send(&Message::FeedbackBatch {
                     node: id,
                     round,
                     observations,
+                })?;
+            }
+            // Ship the round's timing *before* the replica: the
+            // coordinator's collect loop for this round is still
+            // draining (it has not seen the ModelUpdate yet), so the
+            // frame is absorbed by supervised links and dropped by
+            // plain transports — for every round, including the last.
+            if cfg.telemetry {
+                isasgd_obs::emit(&Event::BarrierWait {
+                    node: u64::from(id),
+                    round,
+                    wait_us: barrier_wait_us,
+                });
+                self.link.send(&Message::Telemetry {
+                    node: id,
+                    round,
+                    timing: WorkerTiming {
+                        compute_us,
+                        barrier_wait_us,
+                        rows: (cfg.local_epochs * range.len()) as u64,
+                        commits,
+                    },
                 })?;
             }
             self.link.send(&Message::ModelUpdate {

@@ -57,12 +57,14 @@ use crate::coordinator::{coordinate, plan_run};
 use crate::node::{validate, ClusterConfig, ClusterError, ClusterRun};
 use crate::procnode::wire_known_loss;
 use crate::transport::{
-    LinkStats, ProcessConfig, RecoveryFootprint, Tcp, Transport, TransportError, WorkerLossPolicy,
+    LinkStats, ProcessConfig, RecoveryFootprint, Tcp, TelemetrySample, Transport, TransportError,
+    WorkerLossPolicy,
 };
 use crate::wire::{
     encode_dataset_shard_chunks, Message, SessionConfig, WireError, MAX_FRAME, PROTOCOL_VERSION,
 };
 use isasgd_losses::{Loss, Objective};
+use isasgd_obs::{monotonic_us, Event};
 use isasgd_sparse::Dataset;
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -311,6 +313,9 @@ pub struct SupervisedLink<S: WorkerSpawner> {
     /// Successful respawns on this slot (reported in the run's
     /// recovery footprint).
     respawns: u32,
+    /// Absorbed [`Message::Telemetry`] samples in arrival order
+    /// (replays re-ship recomputed rounds, so duplicates stay visible).
+    samples: Vec<TelemetrySample>,
 }
 
 impl<S: WorkerSpawner> SupervisedLink<S> {
@@ -352,16 +357,23 @@ impl<S: WorkerSpawner> SupervisedLink<S> {
             return Err(self.lost(&format_args!("respawn budget exhausted after: {cause}")));
         }
         self.respawns_left -= 1;
+        let t0 = monotonic_us();
         let mut shared = self.shared.lock().expect("fleet state poisoned");
         let addr = shared.addr.clone();
         let handle = shared
             .spawner
             .spawn(self.node, &addr, true)
             .map_err(|e| self.lost(&format_args!("respawn failed: {e}")))?;
+        let handshake_t0 = monotonic_us();
         let mut tcp = shared
             .accept_worker(self.node)
             .map_err(|e| self.lost(&format_args!("respawn handshake failed: {e}")))?;
         drop(shared);
+        isasgd_obs::emit(&Event::Handshake {
+            node: u64::from(self.node),
+            respawn: true,
+            dur_us: monotonic_us() - handshake_t0,
+        });
         // Deterministic replay: the stored checkpoint (shipped verbatim
         // as the bytes the worker sent, ahead of everything else so the
         // replacement stashes it pre-assignment) followed by the logged
@@ -390,6 +402,17 @@ impl<S: WorkerSpawner> SupervisedLink<S> {
         self.tcp = tcp;
         self.handle = handle;
         self.respawns += 1;
+        isasgd_obs::emit(&Event::Respawn {
+            node: u64::from(self.node),
+            replay_frames: self.log.len() as u64 + u64::from(self.ckpt.is_some()),
+            replay_bytes: self.ckpt.as_ref().map_or(0, |(_, b)| b.len() as u64)
+                + self
+                    .log
+                    .iter()
+                    .map(|m| m.resident_bytes() as u64)
+                    .sum::<u64>(),
+            replay_us: monotonic_us() - t0,
+        });
         Ok(())
     }
 }
@@ -418,6 +441,11 @@ impl<S: WorkerSpawner> Transport for SupervisedLink<S> {
                         // Re-encoding is deterministic, so the stored
                         // bytes are exactly what the worker sent.
                         let blob = Message::Checkpoint { node, round, state }.to_bytes();
+                        isasgd_obs::emit(&Event::CheckpointStored {
+                            node: u64::from(node),
+                            round,
+                            bytes: blob.len() as u64,
+                        });
                         self.ckpt = Some((round, blob));
                         // A respawned worker still needs its shard
                         // assignment, so ShardRebalance survives every
@@ -439,6 +467,28 @@ impl<S: WorkerSpawner> Transport for SupervisedLink<S> {
                     if let Err(e) = self.tcp.send(&ack) {
                         self.recover(e)?;
                     }
+                }
+                // Telemetry is observability traffic: absorbed into the
+                // slot's sample list, never surfaced to the round
+                // driver, never acked, never logged for replay.
+                Ok(Message::Telemetry {
+                    node,
+                    round,
+                    timing,
+                }) => {
+                    isasgd_obs::emit(&Event::WorkerTiming {
+                        node: u64::from(node),
+                        round,
+                        compute_us: timing.compute_us,
+                        barrier_wait_us: timing.barrier_wait_us,
+                        rows: timing.rows,
+                        commits: timing.commits,
+                    });
+                    self.samples.push(TelemetrySample {
+                        node,
+                        round,
+                        timing,
+                    });
                 }
                 Ok(m) => return Ok(m),
                 // After recovery the replacement re-emits everything the
@@ -465,6 +515,10 @@ impl<S: WorkerSpawner> Transport for SupervisedLink<S> {
             checkpoint_bytes: self.ckpt.as_ref().map_or(0, |(_, b)| b.len() as u64),
             respawns: self.respawns,
         })
+    }
+
+    fn telemetry(&self) -> Option<Vec<TelemetrySample>> {
+        Some(self.samples.clone())
     }
 }
 
@@ -531,12 +585,21 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
     let plan = plan_run(ds, obj, cfg)?;
     let shard_frames: Vec<Vec<Vec<u8>>> = (0..cfg.nodes)
         .map(|k| {
-            encode_dataset_shard_chunks(
+            let t0 = monotonic_us();
+            let frames = encode_dataset_shard_chunks(
                 k as u32,
                 plan.ranges[k].clone(),
                 &plan.view.data,
                 &plan.reordered_weights,
-            )
+            );
+            isasgd_obs::emit(&Event::ShardStream {
+                node: k as u64,
+                rows: plan.ranges[k].len() as u64,
+                bytes: frames.iter().map(|f| f.len() as u64).sum(),
+                chunks: frames.len() as u64,
+                encode_us: monotonic_us() - t0,
+            });
+            frames
         })
         .collect();
     // Chunks target ~256 KiB; only a single row wider than MAX_FRAME
@@ -571,6 +634,7 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
         reg: obj.reg,
         encoding: pc.encoding,
         checkpoint_every: pc.checkpoint_every,
+        telemetry: cfg.telemetry,
     };
     let shared = Arc::new(Mutex::new(FleetShared {
         listener,
@@ -589,8 +653,14 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
         let mut sh = shared.lock().expect("fleet state poisoned");
         let addr = sh.addr.clone();
         let handle = sh.spawner.spawn(node, &addr, false)?;
+        let t0 = monotonic_us();
         let tcp = sh.accept_worker(node)?;
         drop(sh);
+        isasgd_obs::emit(&Event::Handshake {
+            node: u64::from(node),
+            respawn: false,
+            dur_us: monotonic_us() - t0,
+        });
         links.push(SupervisedLink {
             shared: shared.clone(),
             node,
@@ -602,6 +672,7 @@ pub fn run_fleet_with<L: Loss, S: WorkerSpawner>(
             stats: LinkStats::default(),
             ckpt: None,
             respawns: 0,
+            samples: Vec::new(),
         });
     }
 

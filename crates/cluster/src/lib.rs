@@ -65,11 +65,11 @@ pub use procnode::{run_worker, WorkerOptions, WorkerReport};
 pub use sync::{average_models, SyncStrategy};
 pub use transport::{
     in_process_links, tcp_loopback_links, FaultPolicy, FaultingTransport, FlakyTransport,
-    InProcess, LinkStats, ProcessConfig, RandomWalk, RecoveryFootprint, SendFault, Tcp, Transport,
-    TransportConfig, TransportError, WorkerLossPolicy,
+    InProcess, LinkStats, ProcessConfig, RandomWalk, RecoveryFootprint, SendFault, Tcp,
+    TelemetrySample, Transport, TransportConfig, TransportError, WorkerLossPolicy,
 };
 pub use wire::{
     apply_delta, delta_coords, encode_dataset_shard_chunks, put_varint, CheckpointSampler,
-    CheckpointState, FrameKind, Message, SessionConfig, WireEncoding, WireError,
+    CheckpointState, FrameKind, Message, SessionConfig, WireEncoding, WireError, WorkerTiming,
     CHECKPOINT_VERSION, FRAME_KINDS, MAX_FRAME, PROTOCOL_VERSION, SHARD_CHUNK_BYTES,
 };

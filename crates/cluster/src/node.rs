@@ -9,8 +9,8 @@
 use crate::coordinator::run_with_links;
 use crate::sync::SyncStrategy;
 use crate::transport::{
-    in_process_links, tcp_loopback_links, LinkStats, RecoveryFootprint, TransportConfig,
-    TransportError,
+    in_process_links, tcp_loopback_links, LinkStats, RecoveryFootprint, TelemetrySample,
+    TransportConfig, TransportError,
 };
 use isasgd_balance::BalancePolicy;
 use isasgd_losses::{ImportanceScheme, Loss, Objective};
@@ -71,6 +71,15 @@ pub struct ClusterConfig {
     /// instead of the whole session. Checkpointing never changes the
     /// computation — runs stay bit-identical with it on or off.
     pub checkpoint_every: u64,
+    /// When set, workers ship a per-round [`Message::Telemetry`] timing
+    /// sample (compute time, barrier wait, draws, commits) that the
+    /// process-fleet supervisor collects into [`ClusterRun::telemetry`].
+    /// Plain transports drop the frames. Observability-only and inert:
+    /// the equivalence tests pin bit-identical models with this on and
+    /// off.
+    ///
+    /// [`Message::Telemetry`]: crate::wire::Message::Telemetry
+    pub telemetry: bool,
     /// Test-only reintroduction of fixed protocol bugs (all off by
     /// default); exists so the `isasgd-check` model checker can prove
     /// it rediscovers each historical race. Never crosses the wire.
@@ -127,6 +136,7 @@ impl Default for ClusterConfig {
             transport: TransportConfig::InProcess,
             seed: 0x15A5_6D00,
             checkpoint_every: 0,
+            telemetry: false,
             bugs: ProtocolBugs::default(),
         }
     }
@@ -217,6 +227,17 @@ pub struct ClusterRun {
     /// empty otherwise. Like `net`, excluded from bit-equality: it
     /// measures supervision, not the computation.
     pub recovery: Vec<RecoveryFootprint>,
+    /// Per-round worker timing samples absorbed from
+    /// [`Message::Telemetry`] frames, in arrival order — populated only
+    /// when [`ClusterConfig::telemetry`] is set and the transport
+    /// supervises links (`process`); empty otherwise. Respawn recovery
+    /// replays recomputed rounds, so a round may appear more than once
+    /// per node (kept visible deliberately). Like `net`/`recovery`,
+    /// excluded from bit-equality: it measures timing, not the
+    /// computation.
+    ///
+    /// [`Message::Telemetry`]: crate::wire::Message::Telemetry
+    pub telemetry: Vec<TelemetrySample>,
 }
 
 /// Configuration/validation/runtime errors.

@@ -250,6 +250,7 @@ fn serve(
         transport: TransportConfig::InProcess,
         seed: sc.seed,
         checkpoint_every: sc.checkpoint_every,
+        telemetry: sc.telemetry,
         bugs: ProtocolBugs::default(),
     };
     let runtime = NodeRuntime::new(link, worker as usize).with_chaos_kill(die_at_round);

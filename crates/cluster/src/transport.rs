@@ -23,7 +23,8 @@
 //! (the guarantees [`FlakyTransport`] deliberately erodes).
 
 use crate::wire::{
-    apply_delta, delta_coords, FrameKind, Message, WireEncoding, WireError, FRAME_KINDS, MAX_FRAME,
+    apply_delta, delta_coords, FrameKind, Message, WireEncoding, WireError, WorkerTiming,
+    FRAME_KINDS, MAX_FRAME,
 };
 use isasgd_sampling::Xoshiro256pp;
 use std::io::{Read, Write};
@@ -199,6 +200,29 @@ pub trait Transport: Send {
     fn recovery(&self) -> Option<RecoveryFootprint> {
         None
     }
+
+    /// The [`Message::Telemetry`] samples this link absorbed, in
+    /// arrival order — only the fleet's supervised links collect them;
+    /// plain transports drop telemetry frames (exactly as they drop
+    /// [`Message::Checkpoint`]) and report `None`. Replay after a
+    /// respawn re-ships recomputed rounds, so duplicates per round are
+    /// possible and deliberately kept visible.
+    fn telemetry(&self) -> Option<Vec<TelemetrySample>> {
+        None
+    }
+}
+
+/// One absorbed [`Message::Telemetry`] frame: which slot sent it plus
+/// the round's [`WorkerTiming`] counters. Surfaced through
+/// [`ClusterRun::telemetry`](crate::node::ClusterRun::telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySample {
+    /// Reporting worker's slot id.
+    pub node: u32,
+    /// Round the sample covers.
+    pub round: u64,
+    /// The worker's timing counters for that round.
+    pub timing: WorkerTiming,
 }
 
 /// Which transport a cluster run wires its links with. Carried by
@@ -789,6 +813,10 @@ impl<T: Transport, P: FaultPolicy> Transport for FaultingTransport<T, P> {
 
     fn stats(&self) -> Option<LinkStats> {
         self.inner.stats()
+    }
+
+    fn telemetry(&self) -> Option<Vec<TelemetrySample>> {
+        self.inner.telemetry()
     }
 }
 

@@ -49,8 +49,10 @@ pub const MAX_FRAME: usize = 1 << 28;
 /// field; a v1 peer would mis-parse an Assign frame, so the version
 /// gate is load-bearing. Version 3 added the recovery frames
 /// ([`Message::Checkpoint`], [`Message::CheckpointAck`]) and the
-/// [`SessionConfig::checkpoint_every`] field.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// [`SessionConfig::checkpoint_every`] field. Version 4 added the
+/// observability frame ([`Message::Telemetry`]) and the
+/// [`SessionConfig::telemetry`] field.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Version of the [`Message::Checkpoint`] *state layout*, carried
 /// inside every checkpoint frame independently of [`PROTOCOL_VERSION`]:
@@ -154,6 +156,29 @@ pub struct SessionConfig {
     /// [`Message::Checkpoint`] so respawn recovery replays at most one
     /// interval of round traffic instead of the whole session.
     pub checkpoint_every: u64,
+    /// When set, workers ship a [`Message::Telemetry`] timing sample
+    /// each round. Off by default: telemetry is observability-only and
+    /// provably inert (the equivalence tests pin bit-identical models
+    /// with it on and off).
+    pub telemetry: bool,
+}
+
+/// The per-round timing counters a worker ships inside
+/// [`Message::Telemetry`]: wall-time split between useful compute and
+/// barrier stalling, plus the round's work volume. Durations come from
+/// the worker's own monotonic clock (`isasgd_obs::monotonic_us`), so
+/// they are comparable within one worker but not across machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerTiming {
+    /// Microseconds spent in the local-epoch compute loop.
+    pub compute_us: u64,
+    /// Microseconds blocked waiting for the round-start barrier.
+    pub barrier_wait_us: u64,
+    /// Sample draws performed this round.
+    pub rows: u64,
+    /// Feedback observations committed this round (0 when the run is
+    /// not adaptive).
+    pub commits: u64,
 }
 
 /// The deterministic worker state a [`Message::Checkpoint`] carries:
@@ -353,6 +378,22 @@ pub enum Message {
         /// Round of the stored checkpoint.
         round: u64,
     },
+    /// A worker's per-round timing sample (checksummed), shipped before
+    /// the round's [`Message::ModelUpdate`] when
+    /// [`SessionConfig::telemetry`] is set. Purely observational: the
+    /// fleet supervisor absorbs it into [`ClusterRun::telemetry`], plain
+    /// transports drop it exactly as they drop [`Message::Checkpoint`],
+    /// and no receiver ever acknowledges or blocks on it.
+    ///
+    /// [`ClusterRun::telemetry`]: crate::node::ClusterRun::telemetry
+    Telemetry {
+        /// Worker that measured the sample.
+        node: u32,
+        /// Round the sample covers.
+        round: u64,
+        /// The round's timing counters.
+        timing: WorkerTiming,
+    },
 }
 
 /// Typed decode failures. Garbage never panics the decoder.
@@ -446,10 +487,11 @@ const TAG_MODEL_DELTA: u8 = 8;
 const TAG_DATASET_SHARD: u8 = 9;
 const TAG_CHECKPOINT: u8 = 10;
 const TAG_CHECKPOINT_ACK: u8 = 11;
+const TAG_TELEMETRY: u8 = 12;
 
 /// Number of distinct frame kinds — the length of per-kind counter
 /// arrays such as [`LinkStats`](crate::transport::LinkStats).
-pub const FRAME_KINDS: usize = 11;
+pub const FRAME_KINDS: usize = 12;
 
 /// The kind of a wire frame, independent of its payload — the axis the
 /// per-link byte/frame counters are broken down by.
@@ -477,6 +519,8 @@ pub enum FrameKind {
     Checkpoint,
     /// [`Message::CheckpointAck`]
     CheckpointAck,
+    /// [`Message::Telemetry`]
+    Telemetry,
 }
 
 impl FrameKind {
@@ -493,6 +537,7 @@ impl FrameKind {
         FrameKind::DatasetShard,
         FrameKind::Checkpoint,
         FrameKind::CheckpointAck,
+        FrameKind::Telemetry,
     ];
 
     /// Classifies an encoded payload by its leading tag byte.
@@ -509,6 +554,7 @@ impl FrameKind {
             TAG_DATASET_SHARD => FrameKind::DatasetShard,
             TAG_CHECKPOINT => FrameKind::Checkpoint,
             TAG_CHECKPOINT_ACK => FrameKind::CheckpointAck,
+            TAG_TELEMETRY => FrameKind::Telemetry,
             _ => return None,
         })
     }
@@ -532,6 +578,7 @@ impl FrameKind {
             FrameKind::DatasetShard => "DatasetShard",
             FrameKind::Checkpoint => "Checkpoint",
             FrameKind::CheckpointAck => "CheckpointAck",
+            FrameKind::Telemetry => "Telemetry",
         }
     }
 }
@@ -943,6 +990,7 @@ fn put_session_config(out: &mut Vec<u8>, c: &SessionConfig) {
     put_reg(out, c.reg);
     put_encoding(out, c.encoding);
     put_u64(out, c.checkpoint_every);
+    out.push(u8::from(c.telemetry));
 }
 
 fn get_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
@@ -961,6 +1009,16 @@ fn get_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, WireError> {
         reg: get_reg(r)?,
         encoding: get_encoding(r)?,
         checkpoint_every: r.u64()?,
+        telemetry: match r.u8()? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(WireError::BadEnum {
+                    what: "telemetry flag",
+                    tag,
+                })
+            }
+        },
     })
 }
 
@@ -1396,6 +1454,22 @@ impl Message {
                 put_u32(out, *node);
                 put_u64(out, *round);
             }
+            Message::Telemetry {
+                node,
+                round,
+                timing,
+            } => {
+                out.push(TAG_TELEMETRY);
+                let start = out.len();
+                put_u32(out, *node);
+                put_u64(out, *round);
+                put_u64(out, timing.compute_us);
+                put_u64(out, timing.barrier_wait_us);
+                put_u64(out, timing.rows);
+                put_u64(out, timing.commits);
+                let sum = fnv1a(&out[start..]);
+                put_u64(out, sum);
+            }
         }
     }
 
@@ -1539,6 +1613,33 @@ impl Message {
                 node: r.u32()?,
                 round: r.u64()?,
             },
+            TAG_TELEMETRY => {
+                let node = r.u32()?;
+                let round = r.u64()?;
+                let timing = WorkerTiming {
+                    compute_us: r.u64()?,
+                    barrier_wait_us: r.u64()?,
+                    rows: r.u64()?,
+                    commits: r.u64()?,
+                };
+                let sum = r.u64()?;
+                // Checksummed like Checkpoint: the sample may sit in
+                // coordinator memory for a whole run before anyone reads
+                // it, so corruption is refused at decode time.
+                let covered = payload.get(1..r.pos - 8).ok_or(WireError::Invalid {
+                    what: "telemetry frame too short for its checksum",
+                })?;
+                if fnv1a(covered) != sum {
+                    return Err(WireError::Invalid {
+                        what: "telemetry checksum mismatch",
+                    });
+                }
+                Message::Telemetry {
+                    node,
+                    round,
+                    timing,
+                }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() > 0 {
@@ -1563,6 +1664,7 @@ impl Message {
             Message::DatasetShard { .. } => "DatasetShard",
             Message::Checkpoint { .. } => "Checkpoint",
             Message::CheckpointAck { .. } => "CheckpointAck",
+            Message::Telemetry { .. } => "Telemetry",
         }
     }
 
@@ -1576,7 +1678,8 @@ impl Message {
             | Message::ShardRebalance { round, .. }
             | Message::ModelDelta { round, .. }
             | Message::Checkpoint { round, .. }
-            | Message::CheckpointAck { round, .. } => *round,
+            | Message::CheckpointAck { round, .. }
+            | Message::Telemetry { round, .. } => *round,
             Message::Hello { .. }
             | Message::Assign { .. }
             | Message::DatasetTransfer { .. }
@@ -1594,7 +1697,8 @@ impl Message {
             Message::FeedbackBatch { observations, .. } => observations.len() * 16,
             Message::RoundBarrier { .. }
             | Message::Hello { .. }
-            | Message::CheckpointAck { .. } => 0,
+            | Message::CheckpointAck { .. }
+            | Message::Telemetry { .. } => 0,
             Message::ShardRebalance { order, ranges, .. } => order.len() * 4 + ranges.len() * 8,
             Message::Assign { config, .. } => config.loss.len(),
             Message::DatasetTransfer { dataset } => dataset_resident_bytes(dataset),
@@ -1671,6 +1775,30 @@ mod tests {
         roundtrip(&sequence_checkpoint());
         roundtrip(&adaptive_checkpoint());
         roundtrip(&Message::CheckpointAck { node: 2, round: 8 });
+        roundtrip(&telemetry_sample());
+        roundtrip(&Message::Telemetry {
+            node: u32::MAX,
+            round: u64::MAX,
+            timing: WorkerTiming {
+                compute_us: u64::MAX,
+                barrier_wait_us: 0,
+                rows: u64::MAX,
+                commits: 0,
+            },
+        });
+    }
+
+    fn telemetry_sample() -> Message {
+        Message::Telemetry {
+            node: 2,
+            round: 7,
+            timing: WorkerTiming {
+                compute_us: 1_234,
+                barrier_wait_us: 56,
+                rows: 640,
+                commits: 80,
+            },
+        }
     }
 
     fn sequence_checkpoint() -> Message {
@@ -1732,6 +1860,7 @@ mod tests {
             reg: Regularizer::None,
             encoding: WireEncoding::Dense,
             checkpoint_every: 0,
+            telemetry: false,
         };
         vec![
             base.clone(),
@@ -1744,6 +1873,7 @@ mod tests {
                 reg: Regularizer::L1 { eta: 1e-5 },
                 encoding: WireEncoding::Delta,
                 checkpoint_every: 4,
+                telemetry: true,
                 ..base.clone()
             },
             SessionConfig {
@@ -1868,14 +1998,26 @@ mod tests {
         let mut bytes = m2.to_bytes();
         let n = bytes.len();
         // The frame ends reg tag (1 byte, Regularizer::None) ‖ encoding
-        // (1 byte) ‖ checkpoint_every (8 bytes), preceded by the 2-byte
-        // loss string; corrupt the loss bytes to invalid UTF-8.
-        bytes[n - 11] = 0xFF;
-        bytes[n - 12] = 0xFE;
+        // (1 byte) ‖ checkpoint_every (8 bytes) ‖ telemetry (1 byte),
+        // preceded by the 2-byte loss string; corrupt the loss bytes to
+        // invalid UTF-8.
+        bytes[n - 12] = 0xFF;
+        bytes[n - 13] = 0xFE;
         assert!(matches!(
             Message::decode(&bytes),
             Err(WireError::Invalid {
                 what: "non-UTF-8 string"
+            })
+        ));
+        // The telemetry flag closes the frame and only 0/1 are canonical.
+        let mut bytes = m.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 2;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadEnum {
+                what: "telemetry flag",
+                tag: 2
             })
         ));
     }
@@ -2252,6 +2394,53 @@ mod tests {
                 Err(WireError::TrailingBytes { .. })
             ));
         }
+    }
+
+    // --- telemetry samples -----------------------------------------------
+
+    #[test]
+    fn telemetry_frames_are_checksummed() {
+        let bytes = telemetry_sample().to_bytes();
+        // Flipping any single byte between the tag and the checksum must
+        // be caught by the checksum — never accepted, never a panic.
+        for pos in 1..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                Message::decode(&bad).is_err(),
+                "bit flip at byte {pos} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_truncations_are_typed_errors() {
+        let bytes = telemetry_sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(matches!(
+            Message::decode(&extra),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_checksum_mismatch_is_a_typed_error() {
+        let mut bytes = telemetry_sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // corrupt the checksum itself
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::Invalid {
+                what: "telemetry checksum mismatch"
+            })
+        );
     }
 
     #[test]

@@ -518,3 +518,56 @@ fn equivalence_is_seed_sensitive() {
     );
     assert_ne!(a, b);
 }
+
+/// The PR-10 inertness pin: arming per-round worker telemetry must
+/// not perturb a single bit of the training results, under any wire
+/// encoding. Telemetry frames ride the same links as model traffic,
+/// so this leg is what lets `--trace-out` be switched on in
+/// production without invalidating reproducibility claims. Plain
+/// transports drop `Telemetry` frames exactly as they drop
+/// `Checkpoint` — only the process-fleet supervisor collects them —
+/// so `ClusterRun::telemetry` must stay empty here.
+#[test]
+fn telemetry_is_bit_inert_across_encodings() {
+    let ds = skewed(240);
+    let seed = 0x0B5E_55ED;
+    let rounds = 4;
+    for encoding in [WireEncoding::Dense, WireEncoding::Delta, WireEncoding::Auto] {
+        let run_with = |telemetry: bool| {
+            let mut cfg = cluster_cfg(
+                3,
+                SamplingStrategy::Adaptive,
+                SyncStrategy::WeightedByShard,
+                CommitPolicy::EveryK(16),
+                TransportConfig::Tcp {
+                    bind: "127.0.0.1:0".into(),
+                    encoding,
+                },
+                seed,
+                rounds,
+            );
+            cfg.telemetry = telemetry;
+            run(&ds, &obj(), &cfg).unwrap()
+        };
+        let off = run_with(false);
+        let on = run_with(true);
+        let tag = format!("{encoding:?}");
+        assert_eq!(off.model, on.model, "{tag}: telemetry perturbed the model");
+        assert_eq!(
+            off.rounds, on.rounds,
+            "{tag}: telemetry perturbed the trace"
+        );
+        assert_eq!(
+            off.feedback_rows, on.feedback_rows,
+            "{tag}: telemetry perturbed mirror traffic"
+        );
+        assert_eq!(
+            off.observed_phi_imbalance, on.observed_phi_imbalance,
+            "{tag}: telemetry perturbed mirror state"
+        );
+        assert!(
+            off.telemetry.is_empty() && on.telemetry.is_empty(),
+            "{tag}: plain transports must drop Telemetry frames, not surface them"
+        );
+    }
+}

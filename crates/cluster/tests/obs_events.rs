@@ -1,0 +1,113 @@
+//! Event-layer integration pin: the coordinator narrates a cluster
+//! run through `isasgd_obs` — round lifecycle events plus one
+//! `net_summary` per link, **in slot order** (the contract
+//! `isasgd report`'s `[net]` section renders verbatim).
+//!
+//! This lives in its own test binary on purpose: the obs recorder is
+//! a process-global, so sharing a binary with the fleet suites would
+//! interleave their coordinators' events into our trace.
+
+use isasgd_cluster::{run, ClusterConfig, SyncStrategy, TransportConfig, WireEncoding};
+use isasgd_core::{
+    BalancePolicy, CommitPolicy, ImportanceScheme, LogisticLoss, Objective, Regularizer,
+    SamplingStrategy,
+};
+use isasgd_obs::{parse_jsonl_line, JsonValue, LogLevel, ObsClock, Recorder};
+use isasgd_sparse::{Dataset, DatasetBuilder};
+use std::sync::Arc;
+
+fn skewed(n: usize) -> Dataset {
+    let mut b = DatasetBuilder::new(8);
+    for i in 0..n {
+        let norm = if i % 10 == 0 { 6.0 } else { 0.3 };
+        let j = (i % 4) as u32;
+        let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+        b.push_row(&[(j, y * norm), (4 + j, 0.5 * y * norm)], y)
+            .unwrap();
+    }
+    b.finish()
+}
+
+fn field_u64(obj: &[(String, JsonValue)], key: &str) -> u64 {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap_or_else(|| panic!("missing u64 field {key:?}"))
+}
+
+#[test]
+fn coordinator_emits_round_events_and_net_summaries_in_slot_order() {
+    let nodes = 3;
+    let rounds = 4;
+    let cfg = ClusterConfig {
+        nodes,
+        rounds,
+        local_epochs: 1,
+        step_size: 0.3,
+        importance: ImportanceScheme::LipschitzSmoothness,
+        balance: BalancePolicy::default(),
+        sync: SyncStrategy::WeightedByShard,
+        sampling: SamplingStrategy::Adaptive,
+        commit: CommitPolicy::EveryK(16),
+        transport: TransportConfig::Tcp {
+            bind: "127.0.0.1:0".into(),
+            encoding: WireEncoding::Auto,
+        },
+        seed: 0x0B5E_55ED,
+        telemetry: true,
+        ..ClusterConfig::default()
+    };
+    let rec = Arc::new(Recorder::new(LogLevel::Off, ObsClock::logical()).trace_to_memory());
+    isasgd_obs::install(rec.clone());
+    let res = run(
+        &skewed(240),
+        &Objective::new(LogisticLoss, Regularizer::None),
+        &cfg,
+    );
+    isasgd_obs::uninstall();
+    let out = res.unwrap();
+
+    let events: Vec<(String, Vec<(String, JsonValue)>)> = rec
+        .take_trace_lines()
+        .iter()
+        .map(|l| {
+            let obj = parse_jsonl_line(l).unwrap_or_else(|e| panic!("bad trace line {l:?}: {e}"));
+            let name = obj
+                .iter()
+                .find(|(k, _)| k == "event")
+                .and_then(|(_, v)| match v {
+                    JsonValue::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .expect("event field");
+            (name, obj)
+        })
+        .collect();
+
+    // Round lifecycle: one start and one end per round, in order.
+    for kind in ["round_start", "round_end"] {
+        let seen: Vec<u64> = events
+            .iter()
+            .filter(|(n, _)| n == kind)
+            .map(|(_, o)| field_u64(o, "round"))
+            .collect();
+        let want: Vec<u64> = (1..=rounds as u64).collect();
+        assert_eq!(seen, want, "{kind} events out of order or missing");
+    }
+
+    // net_summary: exactly one per link, node ids 0..n in emission
+    // order (the slot-order contract), counters matching the run's
+    // own LinkStats vector index-for-index.
+    let net: Vec<&Vec<(String, JsonValue)>> = events
+        .iter()
+        .filter(|(n, _)| n == "net_summary")
+        .map(|(_, o)| o)
+        .collect();
+    assert_eq!(net.len(), nodes, "one net_summary per link");
+    assert_eq!(out.net.len(), nodes);
+    for (k, obj) in net.iter().enumerate() {
+        assert_eq!(field_u64(obj, "node"), k as u64, "net_summary slot order");
+        assert_eq!(field_u64(obj, "tx_bytes"), out.net[k].tx_total_bytes());
+        assert_eq!(field_u64(obj, "rx_bytes"), out.net[k].rx_total_bytes());
+    }
+}

@@ -841,3 +841,89 @@ fn process_transport_config_round_trips_through_run() {
         other => panic!("expected a spawn error, got {other:?}"),
     }
 }
+
+/// The PR-10 telemetry pins, all on one chaos-kill fleet run:
+///
+/// 1. **Inertness** — arming telemetry on a respawn-recovered run
+///    leaves the model and round trace bit-identical to an
+///    undisturbed telemetry-off run.
+/// 2. **Coverage** — every (node, round) cell ships at least one
+///    [`Message::Telemetry`] frame to the supervisor; the victim's
+///    replayed rounds show up as visible duplicates, never as holes.
+/// 3. **Slot order** — `ClusterRun::telemetry` concatenates per-link
+///    sample vectors in slot order (the contract `[net]` reporting
+///    relies on), so the node ids must arrive as ascending groups,
+///    and slot `k`'s link counters must attest the frames slot `k`
+///    sent.
+#[test]
+fn chaos_kill_telemetry_covers_every_round_and_stays_bit_inert() {
+    let ds = skewed(240);
+    let cfg = adaptive_cfg(3);
+    let pc = || ProcessConfig {
+        on_loss: WorkerLossPolicy::Respawn,
+        ..fleet_pc()
+    };
+    let clean = run_fleet_guarded(
+        ds.clone(),
+        cfg.clone(),
+        pc(),
+        ThreadSpawner { die_at: None },
+    )
+    .unwrap();
+    assert!(
+        clean.telemetry.is_empty(),
+        "telemetry off must mean zero samples collected"
+    );
+    let traced = run_fleet_guarded(
+        ds.clone(),
+        ClusterConfig {
+            telemetry: true,
+            ..cfg.clone()
+        },
+        pc(),
+        ThreadSpawner {
+            die_at: Some((1, 2)),
+        },
+    )
+    .unwrap();
+
+    // 1. Inertness across chaos: kill + replay + telemetry ≡ clean.
+    assert_eq!(traced.model, clean.model, "telemetry perturbed the model");
+    assert_eq!(traced.rounds, clean.rounds, "telemetry perturbed the trace");
+
+    // 2. Coverage: every (node, round) cell, duplicates allowed.
+    for node in 0..cfg.nodes as u32 {
+        for round in 1..=cfg.rounds as u64 {
+            let n = traced
+                .telemetry
+                .iter()
+                .filter(|s| s.node == node && s.round == round)
+                .count();
+            assert!(n >= 1, "no timing sample for node {node} round {round}");
+        }
+    }
+    for s in &traced.telemetry {
+        assert!(s.timing.rows > 0, "worker {} reported zero rows", s.node);
+    }
+
+    // 3. Slot order: samples arrive as ascending per-slot groups…
+    let nodes: Vec<u32> = traced.telemetry.iter().map(|s| s.node).collect();
+    let mut grouped = nodes.clone();
+    grouped.sort_unstable();
+    assert_eq!(
+        nodes, grouped,
+        "ClusterRun::telemetry must concatenate links in slot order"
+    );
+    // …and the per-slot wire counters attest the frames were real.
+    for k in 0..cfg.nodes {
+        assert!(
+            traced.net[k].rx_bytes_for(FrameKind::Telemetry) > 0,
+            "slot {k}: no Telemetry bytes on its own link"
+        );
+        assert_eq!(
+            clean.net[k].rx_bytes_for(FrameKind::Telemetry),
+            0,
+            "slot {k}: telemetry-off run still carried Telemetry frames"
+        );
+    }
+}

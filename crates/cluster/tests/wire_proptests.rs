@@ -5,7 +5,7 @@
 
 use isasgd_cluster::{
     apply_delta, delta_coords, CheckpointSampler, CheckpointState, Message, SessionConfig,
-    WireEncoding, WireError, PROTOCOL_VERSION,
+    WireEncoding, WireError, WorkerTiming, PROTOCOL_VERSION,
 };
 use isasgd_core::{
     CommitPolicy, ImportanceScheme, ObservationModel, Regularizer, SamplingStrategy,
@@ -145,6 +145,7 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
                 arb_f64().prop_map(|eta| Regularizer::L1 { eta }),
                 arb_f64().prop_map(|eta| Regularizer::L2 { eta }),
             ],
+            prop_oneof![Just(false), Just(true)],
         ),
     )
         .prop_map(
@@ -152,7 +153,7 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
                 (nodes, rounds, local_epochs, step_size),
                 (seed, round_timeout_ms, checkpoint_every, importance),
                 (sampling, obs_model, commit, encoding),
-                (loss, reg),
+                (loss, reg, telemetry),
             )| SessionConfig {
                 nodes,
                 rounds,
@@ -168,6 +169,7 @@ fn arb_session_config() -> impl Strategy<Value = SessionConfig> {
                 reg,
                 encoding,
                 checkpoint_every,
+                telemetry,
             },
         )
 }
@@ -337,6 +339,29 @@ fn arb_checkpoint_ack() -> impl Strategy<Value = Message> {
         .prop_map(|(node, round)| Message::CheckpointAck { node, round })
 }
 
+/// Telemetry frames across the full field ranges (durations and counts
+/// are unconstrained u64s on the wire; semantics live with the
+/// consumer).
+fn arb_telemetry() -> impl Strategy<Value = Message> {
+    (
+        (0u32..=u32::MAX, 0u64..=u64::MAX),
+        (0u64..=u64::MAX, 0u64..=u64::MAX),
+        (0u64..=u64::MAX, 0u64..=u64::MAX),
+    )
+        .prop_map(
+            |((node, round), (compute_us, barrier_wait_us), (rows, commits))| Message::Telemetry {
+                node,
+                round,
+                timing: WorkerTiming {
+                    compute_us,
+                    barrier_wait_us,
+                    rows,
+                    commits,
+                },
+            },
+        )
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_model_update(),
@@ -350,6 +375,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         arb_dataset_shard(),
         arb_checkpoint(),
         arb_checkpoint_ack(),
+        arb_telemetry(),
     ]
 }
 

@@ -17,6 +17,7 @@
 //! | `wall-clock` | determinism | `Instant::now`/`SystemTime` outside the designated timing modules |
 //! | `float-cmp` | determinism | `==`/`!=` against a non-zero float literal (comparisons to `0.0` are exact-representation guards and stay legal) |
 //! | `unbounded-recv` | liveness | `.recv()` on a cluster protocol file — a blocking receive with no deadline of its own; every site must say where its deadline comes from |
+//! | `raw-eprintln` | observability | `eprintln!` in runtime/CLI code — trace output belongs on the typed event layer (`isasgd-obs`); survivors (pinned parity lines, CLI error paths) carry a reasoned allow |
 //! | `missing-forbid-unsafe` | audit | crate root without `#![forbid(unsafe_code)]` |
 //! | `allow-missing-reason` | hygiene | a `lint: allow` with no `— reason` |
 //! | `unused-allow` | hygiene | a `lint: allow` that silenced nothing |
@@ -64,6 +65,15 @@ pub const PROTOCOL_RECV_FILES: [&str; 4] = [
     "crates/cluster/src/node.rs",
 ];
 
+/// Source trees where ad-hoc `eprintln!` tracing is forbidden: runtime
+/// diagnostics go through `isasgd-obs` events (level-gated stderr,
+/// JSONL traces, metrics — all three for free) instead of raw prints.
+/// The obs crate itself is the sanctioned sink and is not listed.
+/// Survivors need a `lint: allow(raw-eprintln)` stating why they must
+/// bypass the recorder (byte-pinned parity lines, error paths that
+/// must print when no recorder exists).
+pub const EPRINTLN_SCOPES: [&str; 2] = ["crates/cluster/src/", "crates/cli/src/"];
+
 /// Is this (file, fn, impl) location on the decode side — parsing
 /// bytes a hostile peer controls?
 fn decode_scope(path: &str, fn_name: &str, impl_name: &str) -> bool {
@@ -103,6 +113,10 @@ fn is_protocol_recv_file(path: &str) -> bool {
         .any(|f| path.ends_with(f) || path == *f)
 }
 
+fn in_eprintln_scope(path: &str) -> bool {
+    EPRINTLN_SCOPES.iter().any(|c| path.contains(c))
+}
+
 /// Keywords that may legally precede `[` without it being an index
 /// expression (`return [..]`, `in [..]`, …).
 const NONINDEX_KEYWORDS: [&str; 24] = [
@@ -133,7 +147,8 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
     let decode_file = is_decode_file(&file.path);
     let determinism = in_determinism_scope(&file.path);
     let protocol_recv = is_protocol_recv_file(&file.path);
-    if !decode_file && !determinism && !protocol_recv {
+    let eprintln_scope = in_eprintln_scope(&file.path);
+    if !decode_file && !determinism && !protocol_recv && !eprintln_scope {
         return;
     }
     let toks = &file.toks;
@@ -269,6 +284,21 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
                 t.col,
                 "`.recv()` blocks with no deadline of its own — arm a read deadline on \
                  the link, or annotate the site with the deadline that covers it"
+                    .into(),
+            );
+        }
+        if eprintln_scope
+            && t.kind == TokKind::Ident
+            && t.text == "eprintln"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            emit(
+                "raw-eprintln",
+                t.line,
+                t.col,
+                "`eprintln!` bypasses the event layer — emit an `isasgd_obs::Event` \
+                 (level-gated stderr + JSONL + metrics), or annotate why this line \
+                 must print raw"
                     .into(),
             );
         }
@@ -451,6 +481,28 @@ mod tests {
                        \x20   let a = l.recv();\n\
                        }\n";
         assert!(run("crates/cluster/src/procnode.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn raw_eprintln_scopes_to_runtime_and_cli() {
+        let src = "fn f() { eprintln!(\"[net] {x}\"); }";
+        // Runtime and CLI trees are in scope...
+        let f = run("crates/cluster/src/fleet.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "raw-eprintln");
+        assert_eq!(run("crates/cli/src/cmd_train.rs", src).len(), 1);
+        // ...the obs sink and foreign crates are not.
+        assert!(run("crates/obs/src/sink.rs", src).is_empty());
+        assert!(run("crates/experiments/src/common.rs", src).is_empty());
+        // Tests may print freely.
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { eprintln!(\"x\"); } }\n";
+        assert!(run("crates/cli/src/cmd_train.rs", test_src).is_empty());
+        // A reasoned allow silences the rule.
+        let allowed = "fn f() {\n\
+                       \x20   // lint: allow(raw-eprintln) — parity e2e pins this line byte-for-byte\n\
+                       \x20   eprintln!(\"[round]\");\n\
+                       }\n";
+        assert!(run("crates/cli/src/cmd_train.rs", allowed).is_empty());
     }
 
     #[test]

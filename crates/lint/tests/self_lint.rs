@@ -66,8 +66,8 @@ fn committed_schema_matches_extraction_exactly() {
 fn schema_covers_the_full_protocol() {
     let root = workspace_root();
     let schema = isasgd_lint::extract_schema(&root, &mut Vec::new()).unwrap();
-    assert_eq!(schema.frames.len(), 11);
-    assert_eq!(schema.frame_kinds, 11);
+    assert_eq!(schema.frames.len(), 12);
+    assert_eq!(schema.frame_kinds, 12);
     let names: Vec<&str> = schema.frames.iter().map(|f| f.name.as_str()).collect();
     assert_eq!(
         names,
@@ -82,7 +82,8 @@ fn schema_covers_the_full_protocol() {
             "ModelDelta",
             "DatasetShard",
             "Checkpoint",
-            "CheckpointAck"
+            "CheckpointAck",
+            "Telemetry"
         ],
         "frames are rendered in tag order"
     );

@@ -1,0 +1,455 @@
+//! The typed event catalog and its two renderings (human stderr, JSONL).
+//!
+//! Every event renders the same way everywhere: field order is declaration
+//! order, names are `snake_case`, and the JSONL object always opens with
+//! `"ts_us"` then `"event"`. `isasgd report` and the trace-driven CI check
+//! both parse this shape, so the field order is a compatibility contract —
+//! append new fields at the end of a variant, never reorder.
+
+use crate::json::escape_json;
+
+/// Verbosity threshold for the human-readable stderr sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No stderr event output (default).
+    Off,
+    /// Coarse run landmarks: rounds, handshakes, respawns, summaries.
+    Info,
+    /// Everything, including per-worker timing and per-frame detail.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parse a `--log-level` value.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s {
+            "off" => Some(LogLevel::Off),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// One field value inside an event, for uniform rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer (counts, ids, microseconds).
+    U(u64),
+    /// Floating point (objectives, rates). Non-finite renders as JSON null.
+    F(f64),
+    /// Boolean flag.
+    B(bool),
+    /// String (paths, pre-rendered summaries).
+    S(String),
+}
+
+/// A typed, timestamped record of one runtime occurrence.
+///
+/// Durations are microseconds from [`crate::monotonic_us`]. `node` is the
+/// cluster slot id (coordinator-assigned, 0-based).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A training dataset finished loading.
+    DatasetLoaded {
+        /// Source path as given on the command line.
+        path: String,
+        /// Row count.
+        rows: u64,
+        /// Feature dimensionality.
+        dim: u64,
+        /// Stored non-zero count.
+        nnz: u64,
+    },
+    /// The coordinator is about to release round `round` to the workers.
+    RoundStart {
+        /// 1-based round number.
+        round: u64,
+        /// Worker count participating in the round.
+        nodes: u64,
+    },
+    /// The coordinator finished collecting and evaluating round `round`.
+    RoundEnd {
+        /// 1-based round number.
+        round: u64,
+        /// Training objective after the round's model average.
+        objective: f64,
+        /// Root-mean-square error on the training set.
+        rmse: f64,
+        /// Classification error rate (0 for regression losses).
+        error_rate: f64,
+        /// Coordinator wall time spent in the round.
+        wall_us: u64,
+    },
+    /// A worker waited at the round barrier (worker-side measurement).
+    BarrierWait {
+        /// Worker slot id.
+        node: u64,
+        /// 1-based round number.
+        round: u64,
+        /// Time blocked in `await_round_start`.
+        wait_us: u64,
+    },
+    /// A worker completed the admission handshake.
+    Handshake {
+        /// Worker slot id.
+        node: u64,
+        /// True when this admission replaced a lost worker.
+        respawn: bool,
+        /// Handshake duration (accept → admitted).
+        dur_us: u64,
+    },
+    /// The supervisor absorbed and stored a worker checkpoint.
+    CheckpointStored {
+        /// Worker slot id.
+        node: u64,
+        /// Round the checkpoint covers.
+        round: u64,
+        /// Encoded checkpoint size.
+        bytes: u64,
+    },
+    /// A lost worker was respawned and its replay log re-sent.
+    Respawn {
+        /// Worker slot id.
+        node: u64,
+        /// Frames replayed to restore the worker.
+        replay_frames: u64,
+        /// Bytes replayed.
+        replay_bytes: u64,
+        /// Recovery duration (spawn → caught up).
+        replay_us: u64,
+    },
+    /// A dataset shard was streamed to a worker at admission.
+    ShardStream {
+        /// Worker slot id.
+        node: u64,
+        /// Rows in the shard.
+        rows: u64,
+        /// Encoded bytes streamed.
+        bytes: u64,
+        /// Chunk frames used.
+        chunks: u64,
+        /// Time spent encoding the shard frames.
+        encode_us: u64,
+    },
+    /// The sampler committed observed feedback into its distribution.
+    SamplerCommit {
+        /// Total feedback rows folded in across the run.
+        feedback_rows: u64,
+        /// Importance imbalance observed by the sampler.
+        observed_phi_imbalance: f64,
+    },
+    /// A per-round worker timing sample (shipped as `Message::Telemetry`).
+    WorkerTiming {
+        /// Worker slot id.
+        node: u64,
+        /// 1-based round number.
+        round: u64,
+        /// Time in the local-epoch compute loop.
+        compute_us: u64,
+        /// Time blocked waiting for the round barrier.
+        barrier_wait_us: u64,
+        /// Sample draws performed this round.
+        rows: u64,
+        /// Feedback observations committed this round.
+        commits: u64,
+    },
+    /// End-of-run per-link traffic summary (one per worker slot).
+    NetSummary {
+        /// Worker slot id.
+        node: u64,
+        /// Total bytes sent to the worker.
+        tx_bytes: u64,
+        /// Total bytes received from the worker.
+        rx_bytes: u64,
+        /// Pre-rendered per-kind frame/byte breakdown.
+        summary: String,
+    },
+    /// The trained model was written to disk.
+    ModelSaved {
+        /// Destination path.
+        path: String,
+        /// Non-zero weights written.
+        nnz: u64,
+    },
+}
+
+impl Event {
+    /// Stable `snake_case` event name (the JSONL `"event"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::DatasetLoaded { .. } => "dataset_loaded",
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::BarrierWait { .. } => "barrier_wait",
+            Event::Handshake { .. } => "handshake",
+            Event::CheckpointStored { .. } => "checkpoint_stored",
+            Event::Respawn { .. } => "respawn",
+            Event::ShardStream { .. } => "shard_stream",
+            Event::SamplerCommit { .. } => "sampler_commit",
+            Event::WorkerTiming { .. } => "worker_timing",
+            Event::NetSummary { .. } => "net_summary",
+            Event::ModelSaved { .. } => "model_saved",
+        }
+    }
+
+    /// Minimum [`LogLevel`] at which the stderr sink prints this event.
+    pub fn level(&self) -> LogLevel {
+        match self {
+            Event::DatasetLoaded { .. }
+            | Event::RoundEnd { .. }
+            | Event::Handshake { .. }
+            | Event::Respawn { .. }
+            | Event::SamplerCommit { .. }
+            | Event::NetSummary { .. }
+            | Event::ModelSaved { .. } => LogLevel::Info,
+            Event::RoundStart { .. }
+            | Event::BarrierWait { .. }
+            | Event::CheckpointStored { .. }
+            | Event::ShardStream { .. }
+            | Event::WorkerTiming { .. } => LogLevel::Debug,
+        }
+    }
+
+    /// Field names and values in declaration (= wire/JSONL) order.
+    pub fn fields(&self) -> Vec<(&'static str, Field)> {
+        match self {
+            Event::DatasetLoaded {
+                path,
+                rows,
+                dim,
+                nnz,
+            } => vec![
+                ("path", Field::S(path.clone())),
+                ("rows", Field::U(*rows)),
+                ("dim", Field::U(*dim)),
+                ("nnz", Field::U(*nnz)),
+            ],
+            Event::RoundStart { round, nodes } => {
+                vec![("round", Field::U(*round)), ("nodes", Field::U(*nodes))]
+            }
+            Event::RoundEnd {
+                round,
+                objective,
+                rmse,
+                error_rate,
+                wall_us,
+            } => vec![
+                ("round", Field::U(*round)),
+                ("objective", Field::F(*objective)),
+                ("rmse", Field::F(*rmse)),
+                ("error_rate", Field::F(*error_rate)),
+                ("wall_us", Field::U(*wall_us)),
+            ],
+            Event::BarrierWait {
+                node,
+                round,
+                wait_us,
+            } => vec![
+                ("node", Field::U(*node)),
+                ("round", Field::U(*round)),
+                ("wait_us", Field::U(*wait_us)),
+            ],
+            Event::Handshake {
+                node,
+                respawn,
+                dur_us,
+            } => vec![
+                ("node", Field::U(*node)),
+                ("respawn", Field::B(*respawn)),
+                ("dur_us", Field::U(*dur_us)),
+            ],
+            Event::CheckpointStored { node, round, bytes } => vec![
+                ("node", Field::U(*node)),
+                ("round", Field::U(*round)),
+                ("bytes", Field::U(*bytes)),
+            ],
+            Event::Respawn {
+                node,
+                replay_frames,
+                replay_bytes,
+                replay_us,
+            } => vec![
+                ("node", Field::U(*node)),
+                ("replay_frames", Field::U(*replay_frames)),
+                ("replay_bytes", Field::U(*replay_bytes)),
+                ("replay_us", Field::U(*replay_us)),
+            ],
+            Event::ShardStream {
+                node,
+                rows,
+                bytes,
+                chunks,
+                encode_us,
+            } => vec![
+                ("node", Field::U(*node)),
+                ("rows", Field::U(*rows)),
+                ("bytes", Field::U(*bytes)),
+                ("chunks", Field::U(*chunks)),
+                ("encode_us", Field::U(*encode_us)),
+            ],
+            Event::SamplerCommit {
+                feedback_rows,
+                observed_phi_imbalance,
+            } => vec![
+                ("feedback_rows", Field::U(*feedback_rows)),
+                ("observed_phi_imbalance", Field::F(*observed_phi_imbalance)),
+            ],
+            Event::WorkerTiming {
+                node,
+                round,
+                compute_us,
+                barrier_wait_us,
+                rows,
+                commits,
+            } => {
+                vec![
+                    ("node", Field::U(*node)),
+                    ("round", Field::U(*round)),
+                    ("compute_us", Field::U(*compute_us)),
+                    ("barrier_wait_us", Field::U(*barrier_wait_us)),
+                    ("rows", Field::U(*rows)),
+                    ("commits", Field::U(*commits)),
+                ]
+            }
+            Event::NetSummary {
+                node,
+                tx_bytes,
+                rx_bytes,
+                summary,
+            } => vec![
+                ("node", Field::U(*node)),
+                ("tx_bytes", Field::U(*tx_bytes)),
+                ("rx_bytes", Field::U(*rx_bytes)),
+                ("summary", Field::S(summary.clone())),
+            ],
+            Event::ModelSaved { path, nnz } => {
+                vec![("path", Field::S(path.clone())), ("nnz", Field::U(*nnz))]
+            }
+        }
+    }
+
+    /// One JSONL line (no trailing newline), stable field order.
+    pub fn to_jsonl(&self, ts_us: u64) -> String {
+        let mut out = format!("{{\"ts_us\":{ts_us},\"event\":\"{}\"", self.name());
+        for (k, v) in self.fields() {
+            out.push_str(",\"");
+            out.push_str(k);
+            out.push_str("\":");
+            match v {
+                Field::U(n) => out.push_str(&n.to_string()),
+                Field::F(f) if f.is_finite() => out.push_str(&f.to_string()),
+                Field::F(_) => out.push_str("null"),
+                Field::B(b) => out.push_str(if b { "true" } else { "false" }),
+                Field::S(s) => {
+                    out.push('"');
+                    out.push_str(&escape_json(&s));
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Terse human rendering for the stderr sink: `[name] k=v k=v …`.
+    pub fn human(&self, ts_us: u64) -> String {
+        let mut out = format!(
+            "[{} +{}.{:06}s]",
+            self.name(),
+            ts_us / 1_000_000,
+            ts_us % 1_000_000
+        );
+        for (k, v) in self.fields() {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            match v {
+                Field::U(n) => out.push_str(&n.to_string()),
+                Field::F(f) => out.push_str(&format!("{f:.6}")),
+                Field::B(b) => out.push_str(if b { "true" } else { "false" }),
+                Field::S(s) => out.push_str(&s),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_has_stable_field_order() {
+        let ev = Event::RoundEnd {
+            round: 3,
+            objective: 0.5,
+            rmse: 0.25,
+            error_rate: 0.0,
+            wall_us: 1200,
+        };
+        assert_eq!(
+            ev.to_jsonl(42),
+            "{\"ts_us\":42,\"event\":\"round_end\",\"round\":3,\"objective\":0.5,\
+             \"rmse\":0.25,\"error_rate\":0,\"wall_us\":1200}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let ev = Event::SamplerCommit {
+            feedback_rows: 1,
+            observed_phi_imbalance: f64::NAN,
+        };
+        assert!(ev.to_jsonl(0).contains("\"observed_phi_imbalance\":null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = Event::ModelSaved {
+            path: "a\"b\\c".into(),
+            nnz: 7,
+        };
+        assert!(ev.to_jsonl(0).contains("\"path\":\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn human_rendering_is_terse() {
+        let ev = Event::Handshake {
+            node: 2,
+            respawn: true,
+            dur_us: 1_500_000,
+        };
+        assert_eq!(
+            ev.human(1_500_000),
+            "[handshake +1.500000s] node=2 respawn=true dur_us=1500000"
+        );
+    }
+
+    #[test]
+    fn levels_partition_the_catalog() {
+        assert_eq!(
+            Event::RoundStart { round: 1, nodes: 2 }.level(),
+            LogLevel::Debug
+        );
+        assert_eq!(
+            Event::Respawn {
+                node: 0,
+                replay_frames: 0,
+                replay_bytes: 0,
+                replay_us: 0
+            }
+            .level(),
+            LogLevel::Info
+        );
+        assert!(LogLevel::Off < LogLevel::Info && LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn log_level_parses() {
+        assert_eq!(LogLevel::parse("off"), Some(LogLevel::Off));
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("verbose"), None);
+    }
+}

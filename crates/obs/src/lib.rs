@@ -1,0 +1,49 @@
+//! Structured observability for the IS-ASGD runtime.
+//!
+//! Everything the runtime knows about its own behaviour flows through this
+//! crate as a [`Event`] — a typed, timestamped record of one thing that
+//! happened (a round starting, a worker handshake, a respawn replay, a
+//! per-round worker timing sample shipped over the wire). Events fan out to
+//! three sinks inside a single [`Recorder`]:
+//!
+//! 1. **Human-readable stderr** at `--log-level {off,info,debug}` — terse
+//!    `[event] k=v` lines for live debugging.
+//! 2. **JSONL traces** via `--trace-out <path>` — one hand-rolled JSON object
+//!    per line with a stable field order (no serde; the build is offline and
+//!    the schema is part of the repo's contract). `isasgd report` replays
+//!    these files into per-round timelines and latency histograms.
+//! 3. **A metrics registry** ([`Metrics`]) — counters, gauges, and
+//!    fixed-bucket latency histograms (handshake, worker compute, barrier
+//!    wait, shard encode, recovery replay), snapshotted per round and dumped
+//!    as JSON via `--metrics-out <path>`.
+//!
+//! # The clock seam
+//!
+//! Every timestamp comes from one seam, [`ObsClock`]: wall-clock
+//! (`monotonic_us`, a process-wide [`std::time::Instant`] anchor) in
+//! production, a logical counter in tests. Nothing else in the workspace may
+//! read the clock — the `isasgd-lint` `wall-clock` rule keeps timing out of
+//! the deterministic crates, and cluster code that needs a duration calls
+//! [`monotonic_us`] so the seam stays singular.
+//!
+//! # Inertness
+//!
+//! Observability must never change a result. The recorder is a process
+//! global that defaults to *absent*: [`emit`] is a no-op until [`install`]
+//! is called, worker subprocesses never install one (their timing travels as
+//! `Message::Telemetry` wire frames instead), and the cluster equivalence
+//! tests pin bit-identical models with tracing on vs. off.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use clock::{monotonic_us, ObsClock};
+pub use event::{Event, LogLevel};
+pub use json::{parse_jsonl_line, JsonValue};
+pub use metrics::{Histogram, Metrics, RoundSnapshot};
+pub use sink::{emit, install, installed, uninstall, Recorder};
